@@ -1,0 +1,49 @@
+//! Ablation A1: PRR as a function of the array organisation, analytic sweep
+//! plus one cycle-accurate point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use bench::ablation_array_size;
+use lp_precharge::prelude::*;
+use march_test::library;
+use sram_model::config::{ArrayOrganization, SramConfig, TechnologyParams};
+
+fn ablation_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_array_size");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    group.bench_function("analytic_sweep", |b| {
+        let technology = TechnologyParams::default_013um();
+        b.iter(|| {
+            let sweep = ablation_array_size(&technology);
+            assert_eq!(sweep.len(), 6);
+            sweep
+        })
+    });
+
+    for cols in [32u32, 64, 128] {
+        let config = SramConfig::builder()
+            .organization(ArrayOrganization::new(32, cols).expect("valid organization"))
+            .build()
+            .expect("valid configuration");
+        group.bench_with_input(
+            BenchmarkId::new("simulated_march_c_minus", cols),
+            &config,
+            |b, config| {
+                let session = TestSession::new(*config);
+                b.iter(|| {
+                    let record = session
+                        .compare(&library::march_c_minus())
+                        .expect("comparison succeeds");
+                    assert!(record.prr > 0.0);
+                    record
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_benches);
+criterion_main!(benches);

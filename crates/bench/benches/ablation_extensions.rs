@@ -1,0 +1,43 @@
+//! Ablations A2/A3 and the word-oriented extension A4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use bench::{ablation_alpha, ablation_read_write_ratio, word_oriented_sweep};
+use sram_model::config::{ArrayOrganization, TechnologyParams};
+
+fn extension_benches(c: &mut Criterion) {
+    let technology = TechnologyParams::default_013um();
+    let organization = ArrayOrganization::paper_512x512();
+    let mut group = c.benchmark_group("ablation_extensions");
+    group.sample_size(30).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("alpha_sensitivity", |b| {
+        b.iter(|| {
+            let sweep = ablation_alpha(&technology, &organization);
+            assert_eq!(sweep.len(), 9);
+            sweep
+        })
+    });
+
+    group.bench_function("read_write_ratio", |b| {
+        b.iter(|| {
+            let sweep = ablation_read_write_ratio(&technology, &organization);
+            assert_eq!(sweep.len(), 6);
+            sweep
+        })
+    });
+
+    group.bench_function("word_oriented_sweep", |b| {
+        b.iter(|| {
+            let sweep = word_oriented_sweep(&technology, &organization);
+            assert!(sweep.first().unwrap().1 > sweep.last().unwrap().1);
+            sweep
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, extension_benches);
+criterion_main!(benches);

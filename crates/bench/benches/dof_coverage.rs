@@ -1,0 +1,43 @@
+//! Experiment E6: fault-simulation cost of the degree-of-freedom coverage
+//! comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use bench::dof_summary;
+use march_test::address_order::WordLineAfterWordLine;
+use march_test::coverage::evaluate_coverage;
+use march_test::faults::standard_fault_list;
+use march_test::library;
+use sram_model::config::ArrayOrganization;
+
+fn dof_benches(c: &mut Criterion) {
+    let organization = ArrayOrganization::new(8, 8).expect("valid organization");
+    let mut group = c.benchmark_group("dof_coverage");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    group.bench_function("order_independence_summary", |b| {
+        b.iter(|| {
+            let summary = dof_summary(&organization);
+            assert!(summary.iter().all(|(_, preserved, _)| *preserved));
+            summary
+        })
+    });
+
+    let faults = standard_fault_list(&organization);
+    for test in [library::mats_plus(), library::march_ss()] {
+        group.bench_with_input(
+            BenchmarkId::new("coverage", test.name()),
+            &test,
+            |b, test| {
+                b.iter(|| {
+                    evaluate_coverage(test, &WordLineAfterWordLine, &organization, &faults)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dof_benches);
+criterion_main!(benches);

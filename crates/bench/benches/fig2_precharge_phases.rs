@@ -1,0 +1,50 @@
+//! Experiment E2 (Figure 2): the pre-charge phase diagram and single-cycle
+//! execution in both modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use bench::{bench_config, fig2_phases};
+use sram_model::address::{Address, ColIndex, RowIndex};
+use sram_model::controller::MemoryController;
+use sram_model::operation::{CycleCommand, MemOperation};
+
+fn fig2_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_precharge_phases");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("phase_diagram", |b| {
+        b.iter(|| {
+            let phases = fig2_phases();
+            assert_eq!(phases.len(), 2);
+            phases
+        })
+    });
+
+    group.bench_function("functional_cycle", |b| {
+        let config = bench_config();
+        let mut controller = MemoryController::new(config);
+        let addr = Address::from_row_col(RowIndex(0), ColIndex(0), controller.organization());
+        b.iter(|| {
+            controller
+                .execute(CycleCommand::functional(addr, MemOperation::Read))
+                .expect("cycle executes")
+        })
+    });
+
+    group.bench_function("low_power_cycle", |b| {
+        let config = bench_config();
+        let mut controller = MemoryController::new(config);
+        let addr = Address::from_row_col(RowIndex(0), ColIndex(0), controller.organization());
+        b.iter(|| {
+            controller
+                .execute(CycleCommand::low_power(addr, MemOperation::Read, vec![0, 1]))
+                .expect("cycle executes")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, fig2_benches);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Experiment E3 (Figure 6): floating bit-line discharge, via both the
+//! behavioural per-cycle model and the netlist transient solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use bench::fig6_discharge;
+use sram_model::config::TechnologyParams;
+use transient::prelude::*;
+
+fn fig6_benches(c: &mut Criterion) {
+    let technology = TechnologyParams::default_013um();
+    let mut group = c.benchmark_group("fig6_bitline_discharge");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("behavioural_waveform", |b| {
+        b.iter(|| {
+            let data = fig6_discharge(&technology);
+            assert!(data.cycles_to_ground > 5.0);
+            data
+        })
+    });
+
+    group.bench_function("netlist_transient", |b| {
+        b.iter(|| {
+            let mut netlist = Netlist::new();
+            let gnd = netlist.add_source("GND", Volts::ZERO);
+            let bl = netlist.add_node("BL", technology.bitline_capacitance, technology.vdd);
+            let wl = netlist.add_switch("WL", true);
+            let r_cell = technology.vdd.value() / technology.cell_read_current.value();
+            netlist.add_gated_resistor(bl, gnd, Ohms(r_cell), wl);
+            let mut solver = TransientSolver::new(netlist);
+            let result = solver.run(SolverConfig::for_duration(Seconds(
+                technology.clock_period.value() * 30.0,
+            )));
+            assert!(result.final_voltage(bl) < technology.vdd);
+            result
+        })
+    });
+
+    group.bench_function("charge_sharing_swap_check", |b| {
+        b.iter(|| {
+            transient::charge_share::node_flips(
+                technology.cell_node_capacitance,
+                technology.vdd,
+                technology.bitline_capacitance,
+                Volts::ZERO,
+                technology.logic_threshold,
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, fig6_benches);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Experiment E4 (Figure 7): the row-transition hazard and the restore fix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use bench::fig7_row_transition;
+use sram_model::config::{ArrayOrganization, SramConfig};
+
+fn fig7_benches(c: &mut Criterion) {
+    let config = SramConfig::builder()
+        .organization(ArrayOrganization::new(16, 64).expect("valid organization"))
+        .build()
+        .expect("valid configuration");
+    let mut group = c.benchmark_group("fig7_row_transition");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    group.bench_function("with_and_without_restore", |b| {
+        b.iter(|| {
+            let data = fig7_row_transition(&config).expect("scenario runs");
+            assert!(data.swaps_without_restore > 0);
+            assert_eq!(data.swaps_with_restore, 0);
+            data
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, fig7_benches);
+criterion_main!(benches);

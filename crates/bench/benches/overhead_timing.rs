@@ -1,0 +1,61 @@
+//! Experiment E7 (Section 4): control-logic overhead and timing impact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use bench::{overhead, paper_config};
+use lp_precharge::control_logic::{ControlInputs, PrechargeControlElement};
+use lp_precharge::timing::TimingImpact;
+use sram_model::config::TechnologyParams;
+
+fn overhead_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead_timing");
+    group.sample_size(30).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("control_element_truth_table", |b| {
+        let element = PrechargeControlElement::new();
+        b.iter(|| {
+            let mut enabled = 0u32;
+            for lp_test in [false, true] {
+                for pr in [false, true] {
+                    for cs_prev in [false, true] {
+                        for cs_own in [false, true] {
+                            if element.precharge_enabled(ControlInputs {
+                                lp_test,
+                                pr,
+                                cs_prev,
+                                cs_own,
+                            }) {
+                                enabled += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            enabled
+        })
+    });
+
+    group.bench_function("overhead_report", |b| {
+        let config = paper_config();
+        b.iter(|| {
+            let data = overhead(&config);
+            assert_eq!(data.transistors_per_column, 10);
+            data
+        })
+    });
+
+    group.bench_function("timing_impact", |b| {
+        let technology = TechnologyParams::default_013um();
+        b.iter(|| {
+            let impact = TimingImpact::with_defaults(&technology);
+            assert!(impact.is_negligible());
+            impact
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, overhead_benches);
+criterion_main!(benches);

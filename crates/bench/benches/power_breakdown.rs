@@ -1,0 +1,35 @@
+//! Experiment E5 (Section 5): per-source power breakdown in both modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use bench::{bench_config, power_breakdowns};
+use march_test::library;
+
+fn breakdown_benches(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = c.benchmark_group("power_breakdown");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    for test in [library::mats_plus(), library::march_c_minus()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(test.name()),
+            &test,
+            |b, test| {
+                b.iter(|| {
+                    let (functional, low_power) =
+                        power_breakdowns(&config, test).expect("runs succeed");
+                    assert!(
+                        functional.breakdown.precharge_fraction()
+                            > low_power.breakdown.precharge_fraction()
+                    );
+                    (functional, low_power)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, breakdown_benches);
+criterion_main!(benches);

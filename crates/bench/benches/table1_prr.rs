@@ -1,0 +1,37 @@
+//! Experiment E1 (Table 1): PRR measurement for every March algorithm.
+//!
+//! The bench times one functional-vs-low-power comparison per algorithm on
+//! the reduced 64×128 array (the 512×512 reproduction lives in the `repro`
+//! binary), so `cargo bench` exercises exactly the code path behind the
+//! headline table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use bench::bench_config;
+use lp_precharge::prelude::*;
+use march_test::library;
+
+fn table1_prr(c: &mut Criterion) {
+    let config = bench_config();
+    let session = TestSession::new(config);
+    let mut group = c.benchmark_group("table1_prr");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for test in library::table1_algorithms() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(test.name()),
+            &test,
+            |b, test| {
+                b.iter(|| {
+                    let record = session.compare(test).expect("comparison succeeds");
+                    assert!(record.prr > 0.0);
+                    record
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_prr);
+criterion_main!(benches);

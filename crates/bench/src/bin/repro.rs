@@ -1,0 +1,222 @@
+//! Regenerates every table and figure of the paper from the workspace
+//! crates and prints them side by side with the published values.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro            # everything
+//! cargo run --release -p bench --bin repro -- --table1 --fig6
+//! cargo run --release -p bench --bin repro -- --quick  # reduced array sizes
+//! ```
+
+use bench::*;
+use lp_precharge::report::paper_table1_reference;
+use march_test::library;
+use power_model::report::format_table1;
+use sram_model::config::{ArrayOrganization, SramConfig, TechnologyParams};
+use sram_model::error::SramError;
+
+struct Flags {
+    table1: bool,
+    fig2: bool,
+    fig6: bool,
+    fig7: bool,
+    breakdown: bool,
+    dof: bool,
+    overhead: bool,
+    ablations: bool,
+    word_oriented: bool,
+    quick: bool,
+}
+
+impl Flags {
+    fn parse() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let has = |flag: &str| args.iter().any(|a| a == flag);
+        let any_specific = args.iter().any(|a| a.starts_with("--") && a != "--quick");
+        let all = !any_specific;
+        Self {
+            table1: all || has("--table1"),
+            fig2: all || has("--fig2"),
+            fig6: all || has("--fig6"),
+            fig7: all || has("--fig7"),
+            breakdown: all || has("--breakdown"),
+            dof: all || has("--dof"),
+            overhead: all || has("--overhead"),
+            ablations: all || has("--ablations"),
+            word_oriented: all || has("--word-oriented"),
+            quick: has("--quick"),
+        }
+    }
+}
+
+fn main() -> Result<(), SramError> {
+    let flags = Flags::parse();
+    let technology = TechnologyParams::default_013um();
+    let config = if flags.quick {
+        SramConfig::builder()
+            .organization(ArrayOrganization::new(128, 128)?)
+            .build()?
+    } else {
+        paper_config()
+    };
+
+    println!("# Reproduction run");
+    println!(
+        "array {}x{}, {:.2} um, {:.1} V, {:.1} ns cycle{}",
+        config.organization().rows(),
+        config.organization().cols(),
+        technology.feature_size_um,
+        technology.vdd.value(),
+        technology.clock_period.to_nanoseconds(),
+        if flags.quick { " (quick mode)" } else { "" }
+    );
+    println!();
+
+    if flags.table1 {
+        println!("## Table 1 — PRR per March algorithm");
+        let rows = table1(&config)?;
+        println!("{}", format_table1(&rows));
+        println!("paper reference:");
+        for (name, prr) in paper_table1_reference() {
+            println!("  {name:<10} {prr:.1} %");
+        }
+        println!();
+    }
+
+    if flags.fig2 {
+        println!("## Figure 2 — pre-charge action within one clock cycle");
+        println!(
+            "{:<28} {:<34} {:<34} {:<20}",
+            "phase", "selected column", "unselected (functional)", "uninvolved (LP test)"
+        );
+        for phase in fig2_phases() {
+            println!(
+                "{:<28} {:<34} {:<34} {:<20}",
+                phase.phase,
+                phase.selected_column,
+                phase.unselected_functional,
+                phase.unselected_low_power
+            );
+        }
+        println!();
+    }
+
+    if flags.fig6 {
+        println!("## Figure 6 — floating bit-line discharge");
+        let data = fig6_discharge(&technology);
+        println!("{}", data.waveform.to_ascii(48, 15));
+        println!(
+            "BL crosses the logic threshold after {:.1} cycles and reaches ground after {:.1} cycles",
+            data.cycles_to_threshold, data.cycles_to_ground
+        );
+        println!(
+            "BLB stays at {:.1} V (paper: discharge to logic '0' in nearly nine clock cycles)",
+            data.blb_voltage.value()
+        );
+        println!();
+        println!("CSV samples:");
+        print!("{}", data.waveform.to_csv());
+        println!();
+    }
+
+    if flags.fig7 {
+        println!("## Figure 7 — row-transition faulty swap and its fix");
+        // The hazard only needs a modest array to show up; keep it quick.
+        let small = SramConfig::builder()
+            .organization(ArrayOrganization::new(32, 64)?)
+            .build()?;
+        let data = fig7_row_transition(&small)?;
+        println!(
+            "without the one-cycle restore: {} faulty swaps, {} read mismatches",
+            data.swaps_without_restore, data.mismatches_without_restore
+        );
+        println!(
+            "with the restore (paper's fix): {} faulty swaps, {} read mismatches",
+            data.swaps_with_restore, data.mismatches_with_restore
+        );
+        println!();
+    }
+
+    if flags.breakdown {
+        println!("## Section 5 — per-source power breakdown (March C-)");
+        let (functional, low_power) = power_breakdowns(&config, &library::march_c_minus())?;
+        println!(
+            "functional mode: {:.3} mW average over {} cycles",
+            functional.report.average_power.to_milliwatts(),
+            functional.report.cycles
+        );
+        println!("{}", functional.breakdown);
+        println!();
+        println!(
+            "low-power test mode: {:.3} mW average over {} cycles",
+            low_power.report.average_power.to_milliwatts(),
+            low_power.report.cycles
+        );
+        println!("{}", low_power.breakdown);
+        println!(
+            "stressed cells per cycle (alpha): functional {:.1}, low-power {:.1}",
+            functional.stress.stressed_cells_per_cycle(),
+            low_power.stress.stressed_cells_per_cycle()
+        );
+        println!();
+    }
+
+    if flags.dof {
+        println!("## Degree of freedom #1 — coverage independent of the address order");
+        let organization = ArrayOrganization::new(8, 8)?;
+        for (name, preserved, coverage) in dof_summary(&organization) {
+            println!(
+                "  {name:<10} guaranteed coverage preserved: {preserved}   coverage (static faults): {:.1} %",
+                coverage * 100.0
+            );
+        }
+        println!();
+    }
+
+    if flags.overhead {
+        println!("## Section 4 — hardware overhead of the modified control logic");
+        let data = overhead(&config);
+        println!(
+            "  {} transistors per column, {} total ({:.2} % of the cell array)",
+            data.transistors_per_column,
+            data.total_transistors,
+            data.area_fraction * 100.0
+        );
+        println!(
+            "  added pre-charge path delay {:.1} ps = {:.3} % of the clock period",
+            data.added_delay_ps,
+            data.delay_fraction * 100.0
+        );
+        println!();
+    }
+
+    if flags.ablations {
+        println!("## Ablation A1 — PRR vs array organisation (March C-, analytic)");
+        for (rows, cols, prr) in ablation_array_size(&technology) {
+            println!("  {rows:>4} x {cols:<5} {:>5.1} %", prr * 100.0);
+        }
+        println!();
+        println!("## Ablation A2 — residual-RES cells (alpha) vs savings");
+        for (alpha, fraction) in ablation_alpha(&technology, config.organization()) {
+            println!(
+                "  alpha = {alpha:>2}: residual RES energy = {:.2} % of the gross savings",
+                fraction * 100.0
+            );
+        }
+        println!();
+        println!("## Ablation A3 — PRR vs write/read energy ratio (March C-)");
+        for (ratio, prr) in ablation_read_write_ratio(&technology, config.organization()) {
+            println!("  Pw/Pr = {ratio:>3.1}: PRR = {:.1} %", prr * 100.0);
+        }
+        println!();
+    }
+
+    if flags.word_oriented {
+        println!("## Extension — word-oriented memories (paper future work)");
+        for (width, prr) in word_oriented_sweep(&technology, config.organization()) {
+            println!("  {width:>2}-bit words: PRR = {:.1} %", prr * 100.0);
+        }
+        println!();
+    }
+
+    Ok(())
+}

@@ -1,0 +1,167 @@
+//! Ablations of the design choices behind the low-power schedule.
+//!
+//! The paper fixes two parameters without exploring alternatives: exactly
+//! *one* look-ahead column is kept pre-charged next to the selected one, and
+//! the row transition is handled by a *single* all-columns restore cycle.
+//! These ablations justify both choices experimentally:
+//!
+//! * with **zero** look-ahead columns the next access lands on a column
+//!   whose bit lines were left floating, the sense amplifier can no longer
+//!   resolve reliably and reads start failing — the schedule is broken;
+//! * with **more** look-ahead columns correctness is unchanged but every
+//!   extra column pays RES and restoration energy every cycle, eroding the
+//!   savings;
+//! * without the **row-transition restore** the energy is marginally lower
+//!   but cells of the next row are corrupted (the Figure 7 hazard).
+
+use serde::{Deserialize, Serialize};
+use sram_model::config::SramConfig;
+use sram_model::error::SramError;
+
+use march_test::algorithm::MarchTest;
+use transient::units::Watts;
+
+use crate::engine::TestSession;
+use crate::mode::OperatingMode;
+use crate::scheduler::LpOptions;
+
+/// Result of running the low-power schedule with one set of options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationPoint {
+    /// Number of look-ahead columns kept pre-charged.
+    pub lookahead_columns: u32,
+    /// Whether the row-transition restore cycle was enabled.
+    pub row_transition_restore: bool,
+    /// Average power of the run.
+    pub average_power: Watts,
+    /// Power reduction ratio versus the functional-mode run of the same
+    /// test.
+    pub prr: f64,
+    /// Whether every read matched and no cell was corrupted.
+    pub functionally_correct: bool,
+    /// Number of reads flagged unreliable by the sense amplifier.
+    pub unreliable_reads: u64,
+    /// Number of faulty swaps observed.
+    pub faulty_swaps: u64,
+}
+
+/// Sweeps the look-ahead width (0..=`max_lookahead`) for `test` on `config`
+/// and appends the no-restore variant, returning one [`AblationPoint`] per
+/// configuration.
+///
+/// # Errors
+///
+/// Propagates any [`SramError`] from the memory model.
+pub fn lookahead_ablation(
+    config: &SramConfig,
+    test: &MarchTest,
+    max_lookahead: u32,
+) -> Result<Vec<AblationPoint>, SramError> {
+    let functional = TestSession::new(*config).run(test, OperatingMode::Functional)?;
+    let pf = functional.report.average_power.value();
+
+    let mut points = Vec::new();
+    for lookahead in 0..=max_lookahead {
+        let options = LpOptions {
+            lookahead_columns: lookahead,
+            row_transition_restore: true,
+        };
+        points.push(run_point(config, test, options, pf)?);
+    }
+    points.push(run_point(
+        config,
+        test,
+        LpOptions {
+            lookahead_columns: 1,
+            row_transition_restore: false,
+        },
+        pf,
+    )?);
+    Ok(points)
+}
+
+fn run_point(
+    config: &SramConfig,
+    test: &MarchTest,
+    options: LpOptions,
+    functional_power: f64,
+) -> Result<AblationPoint, SramError> {
+    let outcome = TestSession::new(*config)
+        .with_options(options)
+        .run_with_background(test, OperatingMode::LowPowerTest, true)?;
+    let plpt = outcome.report.average_power.value();
+    Ok(AblationPoint {
+        lookahead_columns: options.lookahead_columns,
+        row_transition_restore: options.row_transition_restore,
+        average_power: outcome.report.average_power,
+        prr: if functional_power > 0.0 {
+            1.0 - plpt / functional_power
+        } else {
+            0.0
+        },
+        functionally_correct: outcome.is_functionally_correct(),
+        unreliable_reads: outcome.unreliable_reads,
+        faulty_swaps: outcome.faulty_swaps,
+    })
+}
+
+/// Convenience selector: among the correct ablation points, the one with the
+/// highest PRR (the paper's choice of one look-ahead column plus the restore
+/// cycle is expected to win).
+pub fn best_correct_point(points: &[AblationPoint]) -> Option<&AblationPoint> {
+    points
+        .iter()
+        .filter(|p| p.functionally_correct && p.unreliable_reads == 0)
+        .max_by(|a, b| a.prr.total_cmp(&b.prr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use march_test::library;
+
+    fn config() -> SramConfig {
+        SramConfig::small_for_tests(8, 32).unwrap()
+    }
+
+    #[test]
+    fn zero_lookahead_breaks_read_reliability() {
+        let points = lookahead_ablation(&config(), &library::mats_plus(), 2).unwrap();
+        let zero = points.iter().find(|p| p.lookahead_columns == 0).unwrap();
+        assert!(
+            zero.unreliable_reads > 0,
+            "reading a never-pre-charged column must be flagged"
+        );
+    }
+
+    #[test]
+    fn paper_choice_is_the_best_correct_point() {
+        let points = lookahead_ablation(&config(), &library::mats_plus(), 3).unwrap();
+        let best = best_correct_point(&points).expect("at least one correct point");
+        assert_eq!(best.lookahead_columns, 1, "one look-ahead column wins");
+        assert!(best.row_transition_restore);
+        // Wider look-ahead stays correct but saves less.
+        let two = points
+            .iter()
+            .find(|p| p.lookahead_columns == 2 && p.row_transition_restore)
+            .unwrap();
+        assert!(two.functionally_correct);
+        assert!(two.prr <= best.prr + 1e-9);
+    }
+
+    #[test]
+    fn removing_the_restore_is_cheaper_but_incorrect() {
+        let points = lookahead_ablation(&config(), &library::march_c_minus(), 1).unwrap();
+        let with = points
+            .iter()
+            .find(|p| p.lookahead_columns == 1 && p.row_transition_restore)
+            .unwrap();
+        let without = points.iter().find(|p| !p.row_transition_restore).unwrap();
+        assert!(with.functionally_correct);
+        assert!(!without.functionally_correct || without.faulty_swaps > 0);
+        assert!(without.faulty_swaps > 0);
+        // Skipping the restore can only reduce the energy (it removes work),
+        // which is exactly why correctness, not power, forces it.
+        assert!(without.average_power.value() <= with.average_power.value() + 1e-9);
+    }
+}

@@ -1,0 +1,264 @@
+//! The modified pre-charge control logic (Figure 8 of the paper).
+//!
+//! Each column `j` gains one small control element in front of its
+//! pre-charge driver:
+//!
+//! * a 2:1 multiplexer built from **two transmission gates and one
+//!   inverter** selects, under the `LPtest` mode signal, between the
+//!   column's normal pre-charge signal `Pr_j` (functional mode) and the
+//!   complemented selection signal of the *previous* column
+//!   `CS̄_{j-1}` (low-power test mode, so that selecting column `j−1`
+//!   pre-charges column `j`, the next one to be accessed);
+//! * a **NAND gate** forces the functional behaviour for the column while
+//!   it is itself selected for a read or write, regardless of `LPtest`.
+//!
+//! The pre-charge input is **active low** (`NPr_j = 0` ⇒ pre-charge ON).
+//! The element costs ten transistors per column (2 + 2 for the
+//! transmission gates, 2 for the inverter, 4 for the NAND), which is the
+//! hardware overhead the paper quotes. The selection signal of the last
+//! column is not fed back to the first column: the row-transition restore
+//! cycle makes column 0 ready instead.
+
+use serde::{Deserialize, Serialize};
+
+/// Transistors per control element (two transmission gates, one inverter,
+/// one NAND gate), as stated in the paper.
+pub const TRANSISTORS_PER_ELEMENT: u32 = 10;
+
+/// Transistors of one 6T SRAM cell, used for overhead comparisons.
+pub const TRANSISTORS_PER_CELL: u32 = 6;
+
+/// The input signals of one column's control element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ControlInputs {
+    /// Global low-power-test mode select.
+    pub lp_test: bool,
+    /// The column's normal pre-charge signal, active low (`false` = the
+    /// functional controller wants the pre-charge ON).
+    pub pr: bool,
+    /// Selection signal of the previous column (`CS_{j-1}`), active high.
+    /// `false` for column 0, whose element has no previous-column input.
+    pub cs_prev: bool,
+    /// The column's own selection signal (`CS_j`), active high.
+    pub cs_own: bool,
+}
+
+/// One column's modified pre-charge control element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PrechargeControlElement;
+
+impl PrechargeControlElement {
+    /// Creates a control element.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Evaluates the element: returns the new pre-charge signal `NPr_j`
+    /// (active low — `false` means the pre-charge circuit is driving).
+    ///
+    /// Gate-level behaviour:
+    /// * when the column is selected (`cs_own`), the NAND forces the
+    ///   functional path: `NPr_j = Pr_j`;
+    /// * otherwise the mux picks `Pr_j` in functional mode and
+    ///   `CS̄_{j-1}` in low-power test mode.
+    pub fn evaluate(&self, inputs: ControlInputs) -> bool {
+        if inputs.cs_own {
+            inputs.pr
+        } else if inputs.lp_test {
+            !inputs.cs_prev
+        } else {
+            inputs.pr
+        }
+    }
+
+    /// Whether the pre-charge circuit ends up ON for these inputs
+    /// (convenience wrapper around the active-low output).
+    pub fn precharge_enabled(&self, inputs: ControlInputs) -> bool {
+        !self.evaluate(inputs)
+    }
+
+    /// Transistor count of the element.
+    pub fn transistor_count(&self) -> u32 {
+        TRANSISTORS_PER_ELEMENT
+    }
+}
+
+/// The per-array collection of control elements.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModifiedPrechargeController {
+    columns: u32,
+    lp_test: bool,
+}
+
+impl ModifiedPrechargeController {
+    /// Creates the controller for an array of `columns` columns, starting
+    /// in functional mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is zero.
+    pub fn new(columns: u32) -> Self {
+        assert!(columns > 0, "the array must have at least one column");
+        Self {
+            columns,
+            lp_test: false,
+        }
+    }
+
+    /// Number of columns (and control elements).
+    pub fn columns(&self) -> u32 {
+        self.columns
+    }
+
+    /// Sets the global `LPtest` signal.
+    pub fn set_lp_test(&mut self, enabled: bool) {
+        self.lp_test = enabled;
+    }
+
+    /// Current state of the `LPtest` signal.
+    pub fn lp_test(&self) -> bool {
+        self.lp_test
+    }
+
+    /// Evaluates every column's element for the cycle in which
+    /// `selected_col` is addressed. `functional_precharge_off_selected`
+    /// mirrors the normal controller behaviour: the selected column's
+    /// `Pr_j` is high (pre-charge off) during the operation half-cycle and
+    /// the circuit restores it afterwards; unselected columns' `Pr_j` is
+    /// low (pre-charge on).
+    ///
+    /// Returns the list of columns whose pre-charge circuit is enabled for
+    /// the (second half of the) cycle.
+    pub fn enabled_columns(&self, selected_col: u32) -> Vec<u32> {
+        let element = PrechargeControlElement::new();
+        (0..self.columns)
+            .filter(|&col| {
+                let inputs = ControlInputs {
+                    lp_test: self.lp_test,
+                    // The functional pre-charge signal is active (low) for
+                    // every column; the selected column's restore phase is
+                    // also an active pre-charge.
+                    pr: false,
+                    cs_prev: col > 0 && col - 1 == selected_col,
+                    cs_own: col == selected_col,
+                };
+                element.precharge_enabled(inputs)
+            })
+            .collect()
+    }
+
+    /// Total transistor overhead of the modification for this array.
+    pub fn total_transistors(&self) -> u64 {
+        u64::from(self.columns) * u64::from(TRANSISTORS_PER_ELEMENT)
+    }
+
+    /// Overhead relative to the cell array transistor count.
+    pub fn area_overhead_fraction(&self, rows: u32) -> f64 {
+        let cells = u64::from(rows) * u64::from(self.columns) * u64::from(TRANSISTORS_PER_CELL);
+        self.total_transistors() as f64 / cells as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functional_mode_passes_pr_through() {
+        let element = PrechargeControlElement::new();
+        for cs_prev in [false, true] {
+            for cs_own in [false, true] {
+                for pr in [false, true] {
+                    let inputs = ControlInputs {
+                        lp_test: false,
+                        pr,
+                        cs_prev,
+                        cs_own,
+                    };
+                    assert_eq!(
+                        element.evaluate(inputs),
+                        pr,
+                        "functional mode must be transparent to Pr"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn low_power_mode_uses_previous_column_selection() {
+        let element = PrechargeControlElement::new();
+        // Unselected column, LP test: pre-charge ON exactly when the
+        // previous column is selected.
+        let on = ControlInputs {
+            lp_test: true,
+            pr: true,
+            cs_prev: true,
+            cs_own: false,
+        };
+        assert!(element.precharge_enabled(on));
+        let off = ControlInputs {
+            lp_test: true,
+            pr: true,
+            cs_prev: false,
+            cs_own: false,
+        };
+        assert!(!element.precharge_enabled(off));
+    }
+
+    #[test]
+    fn selected_column_follows_functional_timing_even_in_lp_mode() {
+        let element = PrechargeControlElement::new();
+        // Operation half-cycle: Pr high (pre-charge off).
+        let operating = ControlInputs {
+            lp_test: true,
+            pr: true,
+            cs_prev: false,
+            cs_own: true,
+        };
+        assert!(!element.precharge_enabled(operating));
+        // Restore half-cycle: Pr low (pre-charge on).
+        let restoring = ControlInputs {
+            lp_test: true,
+            pr: false,
+            cs_prev: false,
+            cs_own: true,
+        };
+        assert!(element.precharge_enabled(restoring));
+    }
+
+    #[test]
+    fn controller_enables_exactly_selected_and_next_in_lp_mode() {
+        let mut controller = ModifiedPrechargeController::new(8);
+        controller.set_lp_test(true);
+        assert!(controller.lp_test());
+        assert_eq!(controller.enabled_columns(3), vec![3, 4]);
+        // Last column: no wrap-around to column 0.
+        assert_eq!(controller.enabled_columns(7), vec![7]);
+        assert_eq!(controller.columns(), 8);
+    }
+
+    #[test]
+    fn controller_enables_every_column_in_functional_mode() {
+        let controller = ModifiedPrechargeController::new(8);
+        assert_eq!(controller.enabled_columns(3).len(), 8);
+    }
+
+    #[test]
+    fn hardware_overhead_matches_the_paper() {
+        let element = PrechargeControlElement::new();
+        assert_eq!(element.transistor_count(), 10);
+        let controller = ModifiedPrechargeController::new(512);
+        assert_eq!(controller.total_transistors(), 5_120);
+        // 10 transistors per column vs 512 rows × 6 transistors per cell:
+        // about 0.33 % of the cell array.
+        let overhead = controller.area_overhead_fraction(512);
+        assert!(overhead < 0.004, "overhead {overhead} should be below 0.4 %");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_column_controller_rejected() {
+        let _ = ModifiedPrechargeController::new(0);
+    }
+}

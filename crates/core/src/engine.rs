@@ -1,0 +1,325 @@
+//! The test session engine: run a March test, meter the power, compute the
+//! PRR.
+//!
+//! [`TestSession`] ties the workspace together: it builds the
+//! cycle-accurate [`MemoryController`], lets the [`LowPowerSchedule`]
+//! produce one [`sram_model::operation::CycleCommand`] per clock cycle,
+//! feeds the per-cycle energies into a [`PowerMeter`] and reports the
+//! run-level measurements the paper's Table 1 is built from.
+
+use serde::{Deserialize, Serialize};
+use sram_model::config::SramConfig;
+use sram_model::controller::MemoryController;
+use sram_model::error::SramError;
+use sram_model::stress::StressReport;
+
+use march_test::algorithm::MarchTest;
+use power_model::breakdown::PowerBreakdown;
+use power_model::meter::PowerMeter;
+use power_model::peak::PeakTracker;
+use power_model::report::{ModeReport, PrrRecord};
+use transient::units::Watts;
+
+use crate::mode::OperatingMode;
+use crate::scheduler::{LowPowerSchedule, LpOptions};
+
+/// Everything measured while running one March test in one operating mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionOutcome {
+    /// The operating mode of the run.
+    pub mode: OperatingMode,
+    /// Name of the March test.
+    pub test_name: String,
+    /// Power/energy measurements.
+    pub report: ModeReport,
+    /// Per-source energy breakdown.
+    pub breakdown: PowerBreakdown,
+    /// RES/corruption statistics.
+    pub stress: StressReport,
+    /// Number of faulty swaps the controller observed.
+    pub faulty_swaps: u64,
+    /// Number of reads that returned a value different from the March
+    /// expectation (zero on a fault-free memory when the schedule is
+    /// correct).
+    pub read_mismatches: u64,
+    /// Number of reads the sense amplifier flagged as unreliable (e.g. when
+    /// an ablated schedule forgets to pre-charge the selected column).
+    pub unreliable_reads: u64,
+    /// Power of the single most expensive clock cycle of the run.
+    pub peak_power: Watts,
+    /// Ratio between the peak cycle and the average cycle power.
+    pub peak_to_average: f64,
+}
+
+impl SessionOutcome {
+    /// `true` when every read matched its expectation and no cell was
+    /// corrupted — the run is functionally indistinguishable from a
+    /// functional-mode test.
+    pub fn is_functionally_correct(&self) -> bool {
+        self.read_mismatches == 0 && self.faulty_swaps == 0
+    }
+}
+
+/// Runs March tests on a configured SRAM in either operating mode.
+#[derive(Debug, Clone)]
+pub struct TestSession {
+    config: SramConfig,
+    options: LpOptions,
+}
+
+impl TestSession {
+    /// Creates a session for the given memory configuration with the
+    /// paper's default low-power options.
+    pub fn new(config: SramConfig) -> Self {
+        Self {
+            config,
+            options: LpOptions::default(),
+        }
+    }
+
+    /// Creates a session for the paper's 512×512 / 0.13 µm configuration.
+    pub fn paper_default() -> Self {
+        Self::new(SramConfig::paper_default())
+    }
+
+    /// Overrides the low-power schedule options (ablation experiments).
+    pub fn with_options(mut self, options: LpOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The memory configuration of the session.
+    pub fn config(&self) -> &SramConfig {
+        &self.config
+    }
+
+    /// The low-power options of the session.
+    pub fn options(&self) -> &LpOptions {
+        &self.options
+    }
+
+    /// Runs `test` in `mode` on a freshly initialised memory (all cells at
+    /// `0`, all bit lines pre-charged).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SramError`] from the memory model; with a
+    /// well-formed configuration this does not happen.
+    pub fn run(&self, test: &MarchTest, mode: OperatingMode) -> Result<SessionOutcome, SramError> {
+        self.run_with_background(test, mode, false)
+    }
+
+    /// Runs `test` in `mode` with every cell initialised to `background`
+    /// before the test starts (data-background independence experiments).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SramError`] from the memory model.
+    pub fn run_with_background(
+        &self,
+        test: &MarchTest,
+        mode: OperatingMode,
+        background: bool,
+    ) -> Result<SessionOutcome, SramError> {
+        let mut controller = MemoryController::new(self.config);
+        controller.array_mut().fill(background);
+        let technology = *self.config.technology();
+
+        let schedule = LowPowerSchedule::with_options(
+            test,
+            *self.config.organization(),
+            mode,
+            self.options,
+        );
+
+        let mut read_mismatches = 0u64;
+        let mut unreliable_reads = 0u64;
+        let mut peak = PeakTracker::new(technology.clock_period);
+        for cycle in schedule {
+            let outcome = controller.execute(cycle.command)?;
+            peak.record_total(outcome.energy.total());
+            if outcome.read_value.is_some() && !outcome.read_reliable {
+                unreliable_reads += 1;
+            }
+            if let (Some(expected), Some(observed)) = (cycle.expected_read, outcome.read_value) {
+                if expected != observed {
+                    read_mismatches += 1;
+                }
+            }
+        }
+
+        let mut meter = PowerMeter::new(technology.clock_period);
+        meter.record_aggregate(controller.accumulated_energy(), controller.cycles());
+
+        let breakdown = meter.breakdown();
+        let report = ModeReport {
+            cycles: meter.cycles(),
+            total_energy: meter.total_energy(),
+            energy_per_cycle: meter.energy_per_cycle(),
+            average_power: meter.average_power(),
+            precharge_fraction: breakdown.precharge_fraction(),
+        };
+
+        let peak_to_average = peak.peak_to_average(report.average_power);
+        Ok(SessionOutcome {
+            mode,
+            test_name: test.name().to_string(),
+            report,
+            breakdown,
+            stress: controller.stress_report(),
+            faulty_swaps: controller.total_faulty_swaps(),
+            read_mismatches,
+            unreliable_reads,
+            peak_power: peak.peak_power(),
+            peak_to_average,
+        })
+    }
+
+    /// Runs `test` in both modes and computes the measured Power Reduction
+    /// Ratio `PRR = 1 − P_LPT / P_F`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SramError`] from the memory model.
+    pub fn compare(&self, test: &MarchTest) -> Result<PrrRecord, SramError> {
+        let functional = self.run(test, OperatingMode::Functional)?;
+        let low_power = self.run(test, OperatingMode::LowPowerTest)?;
+        let pf = functional.report.average_power.value();
+        let plpt = low_power.report.average_power.value();
+        let prr = if pf > 0.0 { 1.0 - plpt / pf } else { 0.0 };
+        Ok(PrrRecord {
+            algorithm: test.name().to_string(),
+            functional: functional.report,
+            low_power: low_power.report,
+            prr,
+        })
+    }
+}
+
+impl Default for TestSession {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use march_test::library;
+
+    fn small_session() -> TestSession {
+        TestSession::new(SramConfig::small_for_tests(8, 16).unwrap())
+    }
+
+    #[test]
+    fn functional_run_is_correct_and_stresses_all_columns() {
+        let session = small_session();
+        let outcome = session
+            .run(&library::mats_plus(), OperatingMode::Functional)
+            .unwrap();
+        assert!(outcome.is_functionally_correct());
+        assert_eq!(outcome.report.cycles, 5 * 128);
+        // Every cycle stresses cols-1 = 15 cells.
+        assert!((outcome.stress.full_res_per_cycle() - 15.0).abs() < 1e-9);
+        assert!(outcome.report.total_energy.value() > 0.0);
+    }
+
+    #[test]
+    fn low_power_run_is_correct_and_saves_energy() {
+        let session = small_session();
+        let functional = session
+            .run(&library::march_c_minus(), OperatingMode::Functional)
+            .unwrap();
+        let low_power = session
+            .run(&library::march_c_minus(), OperatingMode::LowPowerTest)
+            .unwrap();
+        assert!(low_power.is_functionally_correct(), "no mismatches, no swaps");
+        assert!(
+            low_power.report.total_energy < functional.report.total_energy,
+            "LP mode must consume less energy"
+        );
+        // In LP mode only ~1 full RES per cycle (the next column).
+        assert!(low_power.stress.full_res_per_cycle() < 2.0);
+        assert!(functional.stress.full_res_per_cycle() > 10.0);
+    }
+
+    #[test]
+    fn compare_produces_a_positive_prr() {
+        let session = small_session();
+        let record = session.compare(&library::mats_plus()).unwrap();
+        assert!(record.prr > 0.0 && record.prr < 1.0);
+        assert_eq!(record.algorithm, "MATS+");
+        assert!(record.functional.average_power > record.low_power.average_power);
+    }
+
+    #[test]
+    fn background_independence() {
+        let session = small_session();
+        for background in [false, true] {
+            let outcome = session
+                .run_with_background(
+                    &library::march_c_minus(),
+                    OperatingMode::LowPowerTest,
+                    background,
+                )
+                .unwrap();
+            assert!(
+                outcome.is_functionally_correct(),
+                "background {background} must not break the low-power test"
+            );
+        }
+    }
+
+    #[test]
+    fn disabling_the_row_restore_breaks_correctness() {
+        // The ablation that motivates the row-transition restore: without
+        // it, discharged bit lines corrupt cells of the next row and reads
+        // start failing (with the all-ones background the very first
+        // element's reads already see it).
+        let session = small_session().with_options(LpOptions {
+            row_transition_restore: false,
+            ..LpOptions::default()
+        });
+        let outcome = session
+            .run_with_background(&library::march_c_minus(), OperatingMode::LowPowerTest, true)
+            .unwrap();
+        assert!(
+            outcome.faulty_swaps > 0,
+            "expected faulty swaps without the restore cycle"
+        );
+    }
+
+    #[test]
+    fn peak_power_is_tracked_and_exceeds_the_average() {
+        let session = small_session();
+        let functional = session
+            .run(&library::march_c_minus(), OperatingMode::Functional)
+            .unwrap();
+        let low_power = session
+            .run(&library::march_c_minus(), OperatingMode::LowPowerTest)
+            .unwrap();
+        assert!(functional.peak_power >= functional.report.average_power);
+        assert!(low_power.peak_power >= low_power.report.average_power);
+        assert!(functional.peak_to_average >= 1.0);
+        // The low-power mode concentrates restoration into the
+        // row-transition cycle, so its peak-to-average ratio is larger.
+        assert!(low_power.peak_to_average > functional.peak_to_average);
+        assert_eq!(functional.unreliable_reads, 0);
+        assert_eq!(low_power.unreliable_reads, 0);
+    }
+
+    #[test]
+    fn precharge_fraction_is_lower_in_low_power_mode() {
+        let session = small_session();
+        let functional = session
+            .run(&library::mats_plus(), OperatingMode::Functional)
+            .unwrap();
+        let low_power = session
+            .run(&library::mats_plus(), OperatingMode::LowPowerTest)
+            .unwrap();
+        assert!(
+            low_power.report.precharge_fraction < functional.report.precharge_fraction,
+            "removing pre-charge activity must reduce its share of the total"
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! The paper's contribution: low-power SRAM test through reduced
+//! pre-charge activity.
+//!
+//! This crate sits on top of the three substrates of the workspace
+//! (`sram-model`, `march-test`, `power-model`) and implements the technique
+//! of *"Minimizing Test Power in SRAM through Reduction of Pre-charge
+//! Activity"* (DATE 2006):
+//!
+//! * [`control_logic`] — the modified per-column pre-charge control element
+//!   of the paper's Figure 8: a two-transmission-gate multiplexer plus a
+//!   NAND gate (ten transistors per column) that selects between the normal
+//!   pre-charge signal and the previous column's selection signal under an
+//!   `LPtest` mode input,
+//! * [`scheduler`] — the "word line after word line" low-power schedule:
+//!   every cycle only the selected column and the next one are pre-charged,
+//!   and the last operation on the last cell of each row re-enables every
+//!   pre-charge circuit for one cycle (the faulty-swap fix of Figure 7),
+//! * [`engine`] — the [`engine::TestSession`] that runs any March test on
+//!   the cycle-accurate SRAM model in either operating [`mode`], meters the
+//!   power and computes the Power Reduction Ratio,
+//! * [`verification`] — the checks the paper argues for: no faulty swaps,
+//!   data-background independence and unchanged fault coverage,
+//! * [`timing`] — the (negligible) delay impact of the added control logic,
+//! * [`word_oriented`] — the word-oriented extension sketched as future
+//!   work in the paper's conclusions,
+//! * [`report`] — the Table 1 reproduction harness.
+//!
+//! # Example
+//!
+//! ```
+//! use lp_precharge::prelude::*;
+//! use march_test::library;
+//! use sram_model::config::SramConfig;
+//!
+//! // A small array keeps the doctest fast; the experiments use 512×512.
+//! let session = TestSession::new(SramConfig::small_for_tests(16, 16)?);
+//! let record = session.compare(&library::mats_plus())?;
+//! assert!(record.prr > 0.0, "the low-power mode must save power");
+//! # Ok::<(), sram_model::error::SramError>(())
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod control_logic;
+pub mod engine;
+pub mod mode;
+pub mod report;
+pub mod scheduler;
+pub mod timing;
+pub mod verification;
+pub mod word_oriented;
+
+/// Convenient glob import of the most commonly used items.
+pub mod prelude {
+    pub use crate::ablation::{best_correct_point, lookahead_ablation, AblationPoint};
+    pub use crate::control_logic::{ControlInputs, ModifiedPrechargeController, PrechargeControlElement};
+    pub use crate::engine::{SessionOutcome, TestSession};
+    pub use crate::mode::OperatingMode;
+    pub use crate::report::{paper_table1_reference, reproduce_table1};
+    pub use crate::scheduler::{LowPowerSchedule, LpOptions, ScheduledCycle};
+    pub use crate::timing::TimingImpact;
+    pub use crate::verification::VerificationReport;
+    pub use crate::word_oriented::WordOrientedExtension;
+}

@@ -1,0 +1,55 @@
+//! Operating modes of the modified SRAM.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two operating modes offered by the modified pre-charge control
+/// circuitry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperatingMode {
+    /// Normal operation: every column's pre-charge circuit is always
+    /// active, because the next access is unpredictable.
+    Functional,
+    /// The paper's low-power test mode: the address sequence is fixed to
+    /// "word line after word line" and only the selected column plus the
+    /// following one are pre-charged each cycle.
+    LowPowerTest,
+}
+
+impl OperatingMode {
+    /// Both modes, functional first.
+    pub fn both() -> [OperatingMode; 2] {
+        [OperatingMode::Functional, OperatingMode::LowPowerTest]
+    }
+
+    /// Returns `true` for the low-power test mode.
+    pub fn is_low_power(self) -> bool {
+        matches!(self, OperatingMode::LowPowerTest)
+    }
+}
+
+impl fmt::Display for OperatingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperatingMode::Functional => f.write_str("functional mode"),
+            OperatingMode::LowPowerTest => f.write_str("low-power test mode"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_and_display() {
+        assert!(!OperatingMode::Functional.is_low_power());
+        assert!(OperatingMode::LowPowerTest.is_low_power());
+        assert_eq!(OperatingMode::both().len(), 2);
+        assert_eq!(OperatingMode::Functional.to_string(), "functional mode");
+        assert_eq!(
+            OperatingMode::LowPowerTest.to_string(),
+            "low-power test mode"
+        );
+    }
+}

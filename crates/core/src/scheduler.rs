@@ -1,0 +1,383 @@
+//! The low-power test schedule.
+//!
+//! The scheduler turns a March test into the per-cycle [`CycleCommand`]s
+//! the memory controller executes. In functional mode every cycle simply
+//! enables all pre-charge circuits. In the paper's low-power test mode the
+//! schedule implements three rules:
+//!
+//! 1. the address order is fixed to *word line after word line* (the first
+//!    March degree of freedom),
+//! 2. each cycle pre-charges only the selected column and the next column
+//!    to be accessed (the column that "immediately follows"),
+//! 3. the last operation on the last cell of each row runs with every
+//!    pre-charge circuit enabled for that single cycle, restoring all bit
+//!    lines to `V_DD` before the word line of the next row rises — the fix
+//!    that prevents the faulty swap of Figure 7 and keeps the technique
+//!    independent of the data background.
+//!
+//! [`LowPowerSchedule`] is a lazy iterator: a full 512×512 March G run is
+//! about six million cycles, so commands are produced on demand rather
+//! than materialised.
+
+use serde::{Deserialize, Serialize};
+use sram_model::address::Address;
+use sram_model::config::ArrayOrganization;
+use sram_model::operation::{CycleCommand, MemOperation};
+
+use march_test::address_order::{AddressOrder, WordLineAfterWordLine};
+use march_test::algorithm::MarchTest;
+use march_test::operation::MarchOp;
+
+use crate::mode::OperatingMode;
+
+/// Tuning knobs of the low-power schedule (the paper's choices are the
+/// defaults; the alternatives exist for the ablation experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LpOptions {
+    /// Number of upcoming columns to keep pre-charged in addition to the
+    /// selected one. The paper uses 1 (the "column that immediately
+    /// follows"); 0 breaks the next access, larger values waste power.
+    pub lookahead_columns: u32,
+    /// Whether the last operation of each row re-enables every pre-charge
+    /// circuit for one cycle. Disabling this reproduces the faulty-swap
+    /// hazard of Figure 7.
+    pub row_transition_restore: bool,
+}
+
+impl Default for LpOptions {
+    fn default() -> Self {
+        Self {
+            lookahead_columns: 1,
+            row_transition_restore: true,
+        }
+    }
+}
+
+/// One scheduled clock cycle: the command to execute plus the value any
+/// read is expected to return.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledCycle {
+    /// The memory-controller command.
+    pub command: CycleCommand,
+    /// Expected read data (`None` for writes).
+    pub expected_read: Option<bool>,
+    /// Index of the March element this cycle belongs to.
+    pub element: usize,
+    /// Whether this cycle is a row-transition restore cycle.
+    pub is_row_transition_restore: bool,
+}
+
+/// Lazy generator of the cycle-by-cycle schedule of a March test.
+#[derive(Debug, Clone)]
+pub struct LowPowerSchedule {
+    mode: OperatingMode,
+    options: LpOptions,
+    organization: ArrayOrganization,
+    elements: Vec<(usize, Vec<Address>, Vec<MarchOp>)>,
+    element_cursor: usize,
+    address_cursor: usize,
+    op_cursor: usize,
+}
+
+impl LowPowerSchedule {
+    /// Builds the schedule of `test` over `organization` in `mode`, using
+    /// the paper's default options and the word-line-after-word-line order.
+    pub fn new(test: &MarchTest, organization: ArrayOrganization, mode: OperatingMode) -> Self {
+        Self::with_options(test, organization, mode, LpOptions::default())
+    }
+
+    /// Builds the schedule with explicit options (ablation experiments).
+    pub fn with_options(
+        test: &MarchTest,
+        organization: ArrayOrganization,
+        mode: OperatingMode,
+        options: LpOptions,
+    ) -> Self {
+        let order = WordLineAfterWordLine;
+        let elements = test
+            .elements()
+            .iter()
+            .enumerate()
+            .map(|(index, element)| {
+                (
+                    index,
+                    order.sequence(&organization, element.direction()),
+                    element.ops().to_vec(),
+                )
+            })
+            .collect();
+        Self {
+            mode,
+            options,
+            organization,
+            elements,
+            element_cursor: 0,
+            address_cursor: 0,
+            op_cursor: 0,
+        }
+    }
+
+    /// Total number of cycles the schedule will produce.
+    pub fn len(&self) -> u64 {
+        self.elements
+            .iter()
+            .map(|(_, addrs, ops)| addrs.len() as u64 * ops.len() as u64)
+            .sum()
+    }
+
+    /// Returns `true` if the schedule produces no cycles.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The operating mode the schedule targets.
+    pub fn mode(&self) -> OperatingMode {
+        self.mode
+    }
+
+    /// The options the schedule was built with.
+    pub fn options(&self) -> &LpOptions {
+        &self.options
+    }
+
+    fn build_cycle(&self) -> ScheduledCycle {
+        let (element_index, addresses, ops) = &self.elements[self.element_cursor];
+        let address = addresses[self.address_cursor];
+        let op = ops[self.op_cursor];
+        let mem_op = match op {
+            MarchOp::W0 => MemOperation::Write(false),
+            MarchOp::W1 => MemOperation::Write(true),
+            MarchOp::R0 | MarchOp::R1 => MemOperation::Read,
+        };
+        let expected_read = op.expected_value();
+
+        if !self.mode.is_low_power() {
+            return ScheduledCycle {
+                command: CycleCommand::functional(address, mem_op),
+                expected_read,
+                element: *element_index,
+                is_row_transition_restore: false,
+            };
+        }
+
+        let row = address.row(&self.organization);
+        let col = address.col(&self.organization).value();
+        let last_op_on_address = self.op_cursor == ops.len() - 1;
+        let next_address = addresses.get(self.address_cursor + 1).copied();
+        let next_in_same_row =
+            next_address.map(|a| a.row(&self.organization) == row).unwrap_or(false);
+
+        let needs_restore = self.options.row_transition_restore
+            && last_op_on_address
+            && !next_in_same_row;
+        if needs_restore {
+            return ScheduledCycle {
+                command: CycleCommand::low_power_restore_all(address, mem_op),
+                expected_read,
+                element: *element_index,
+                is_row_transition_restore: true,
+            };
+        }
+
+        // The selected column plus the configured lookahead of upcoming
+        // columns (only those in the same row: past the row boundary the
+        // restore cycle takes over).
+        let mut columns = vec![col];
+        for ahead in 1..=self.options.lookahead_columns as usize {
+            if let Some(a) = addresses.get(self.address_cursor + ahead) {
+                if a.row(&self.organization) == row {
+                    let c = a.col(&self.organization).value();
+                    if !columns.contains(&c) {
+                        columns.push(c);
+                    }
+                }
+            }
+        }
+        ScheduledCycle {
+            command: CycleCommand::low_power(address, mem_op, columns),
+            expected_read,
+            element: *element_index,
+            is_row_transition_restore: false,
+        }
+    }
+
+    fn advance(&mut self) {
+        let ops_len = self.elements[self.element_cursor].2.len();
+        let addr_len = self.elements[self.element_cursor].1.len();
+        self.op_cursor += 1;
+        if self.op_cursor == ops_len {
+            self.op_cursor = 0;
+            self.address_cursor += 1;
+            if self.address_cursor == addr_len {
+                self.address_cursor = 0;
+                self.element_cursor += 1;
+            }
+        }
+    }
+}
+
+impl Iterator for LowPowerSchedule {
+    type Item = ScheduledCycle;
+
+    fn next(&mut self) -> Option<ScheduledCycle> {
+        if self.element_cursor >= self.elements.len() {
+            return None;
+        }
+        let cycle = self.build_cycle();
+        self.advance();
+        Some(cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use march_test::library;
+    use sram_model::operation::PrechargePolicy;
+
+    fn org() -> ArrayOrganization {
+        ArrayOrganization::new(4, 8).unwrap()
+    }
+
+    #[test]
+    fn functional_schedule_enables_all_columns_every_cycle() {
+        let organization = org();
+        let test = library::mats_plus();
+        let schedule =
+            LowPowerSchedule::new(&test, organization, OperatingMode::Functional);
+        assert_eq!(schedule.len(), 5 * 32);
+        for cycle in schedule {
+            assert_eq!(cycle.command.precharge, PrechargePolicy::AllColumns);
+            assert!(!cycle.command.lp_test_mode);
+        }
+    }
+
+    #[test]
+    fn low_power_schedule_precharges_selected_and_next_column() {
+        let organization = org();
+        let test = library::mats_plus();
+        let schedule =
+            LowPowerSchedule::new(&test, organization, OperatingMode::LowPowerTest);
+        let cycles: Vec<ScheduledCycle> = schedule.collect();
+        assert_eq!(cycles.len(), 5 * 32);
+
+        // A mid-row cycle of the ascending element ⇑(r0,w1): address row 0,
+        // col 2 — the mask must be exactly {2, 3}.
+        let mid = cycles
+            .iter()
+            .find(|c| {
+                c.element == 1
+                    && c.command.address.col(&organization).value() == 2
+                    && c.command.address.row(&organization).value() == 0
+            })
+            .unwrap();
+        match &mid.command.precharge {
+            PrechargePolicy::Columns(cols) => assert_eq!(cols, &vec![2, 3]),
+            PrechargePolicy::AllColumns => panic!("mid-row cycle must not restore all"),
+        }
+        assert!(mid.command.lp_test_mode);
+    }
+
+    #[test]
+    fn last_operation_of_each_row_is_a_restore_cycle() {
+        let organization = org();
+        let test = library::mats_plus();
+        let schedule =
+            LowPowerSchedule::new(&test, organization, OperatingMode::LowPowerTest);
+        let cycles: Vec<ScheduledCycle> = schedule.collect();
+        // Element 1 is ⇑(r0,w1): for each of the 4 rows, the w1 on the last
+        // column of the row must be the restore cycle.
+        let restores: Vec<&ScheduledCycle> = cycles
+            .iter()
+            .filter(|c| c.element == 1 && c.is_row_transition_restore)
+            .collect();
+        assert_eq!(restores.len(), 4, "one restore per row");
+        for restore in restores {
+            assert_eq!(restore.command.address.col(&organization).value(), 7);
+            assert_eq!(restore.command.precharge, PrechargePolicy::AllColumns);
+            assert!(restore.command.lp_test_mode);
+        }
+        // Descending elements restore on column 0 instead.
+        let descending_restores: Vec<&ScheduledCycle> = cycles
+            .iter()
+            .filter(|c| c.element == 2 && c.is_row_transition_restore)
+            .collect();
+        assert_eq!(descending_restores.len(), 4);
+        for restore in descending_restores {
+            assert_eq!(restore.command.address.col(&organization).value(), 0);
+        }
+    }
+
+    #[test]
+    fn restore_can_be_disabled_for_the_hazard_ablation() {
+        let organization = org();
+        let test = library::mats_plus();
+        let options = LpOptions {
+            row_transition_restore: false,
+            ..LpOptions::default()
+        };
+        let schedule = LowPowerSchedule::with_options(
+            &test,
+            organization,
+            OperatingMode::LowPowerTest,
+            options,
+        );
+        assert!(schedule.clone().all(|c| !c.is_row_transition_restore));
+        assert_eq!(schedule.options().lookahead_columns, 1);
+    }
+
+    #[test]
+    fn lookahead_width_is_configurable() {
+        let organization = org();
+        let test = library::mats_plus();
+        let options = LpOptions {
+            lookahead_columns: 2,
+            ..LpOptions::default()
+        };
+        let schedule = LowPowerSchedule::with_options(
+            &test,
+            organization,
+            OperatingMode::LowPowerTest,
+            options,
+        );
+        let cycle = schedule
+            .into_iter()
+            .find(|c| {
+                c.element == 1 && c.command.address.col(&organization).value() == 1
+            })
+            .unwrap();
+        match &cycle.command.precharge {
+            PrechargePolicy::Columns(cols) => assert_eq!(cols, &vec![1, 2, 3]),
+            PrechargePolicy::AllColumns => panic!("unexpected restore"),
+        }
+    }
+
+    #[test]
+    fn expected_read_values_follow_the_march_ops() {
+        let organization = org();
+        let test = library::mats_plus();
+        let schedule =
+            LowPowerSchedule::new(&test, organization, OperatingMode::LowPowerTest);
+        for cycle in schedule {
+            match cycle.command.op {
+                MemOperation::Read => assert!(cycle.expected_read.is_some()),
+                MemOperation::Write(_) => assert!(cycle.expected_read.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_length_matches_test_length() {
+        let organization = org();
+        for test in library::table1_algorithms() {
+            let schedule =
+                LowPowerSchedule::new(&test, organization, OperatingMode::LowPowerTest);
+            assert_eq!(
+                schedule.len(),
+                test.total_operations(u64::from(organization.capacity()))
+            );
+            assert!(!schedule.is_empty());
+            assert_eq!(schedule.mode(), OperatingMode::LowPowerTest);
+        }
+    }
+}

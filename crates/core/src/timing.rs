@@ -1,0 +1,107 @@
+//! Delay impact of the modified pre-charge control logic.
+//!
+//! The paper argues that inserting the mux/NAND element in front of each
+//! pre-charge driver has a negligible effect on normal operation because
+//! the transmission gate adds only a small series resistance in the `Pr_j`
+//! path. This module quantifies that claim with the same first-order RC
+//! reasoning used elsewhere in the workspace: the added delay is the
+//! transmission-gate resistance times the pre-charge driver input
+//! capacitance, compared against the clock period.
+
+use serde::{Deserialize, Serialize};
+use sram_model::config::TechnologyParams;
+use transient::units::{Farads, Ohms, Seconds};
+
+/// Electrical assumptions for the added control element.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlElementTiming {
+    /// ON resistance of one transmission gate.
+    pub transmission_gate_resistance: Ohms,
+    /// Input capacitance of the pre-charge driver the element feeds.
+    pub precharge_driver_input_capacitance: Farads,
+    /// Additional junction/wiring capacitance introduced by the element.
+    pub parasitic_capacitance: Farads,
+}
+
+impl Default for ControlElementTiming {
+    fn default() -> Self {
+        Self {
+            transmission_gate_resistance: Ohms(2_500.0),
+            precharge_driver_input_capacitance: Farads::from_femtofarads(4.0),
+            parasitic_capacitance: Farads::from_femtofarads(1.0),
+        }
+    }
+}
+
+/// The computed delay impact.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingImpact {
+    /// Extra propagation delay added to the `Pr_j` path.
+    pub added_delay: Seconds,
+    /// The clock period it is compared against.
+    pub clock_period: Seconds,
+    /// `added_delay / clock_period`.
+    pub cycle_fraction: f64,
+}
+
+impl TimingImpact {
+    /// Evaluates the delay added by one control element under the given
+    /// technology.
+    pub fn evaluate(timing: &ControlElementTiming, technology: &TechnologyParams) -> Self {
+        let c = Farads(
+            timing.precharge_driver_input_capacitance.value()
+                + timing.parasitic_capacitance.value(),
+        );
+        // One RC time constant of the transmission gate driving the
+        // pre-charge driver input, times ln(2) ≈ 0.69 for a 50 % swing.
+        let tau = timing.transmission_gate_resistance.value() * c.value();
+        let added_delay = Seconds(0.69 * tau);
+        let clock_period = technology.clock_period;
+        Self {
+            added_delay,
+            clock_period,
+            cycle_fraction: added_delay.value() / clock_period.value(),
+        }
+    }
+
+    /// Evaluates the impact with the default element assumptions.
+    pub fn with_defaults(technology: &TechnologyParams) -> Self {
+        Self::evaluate(&ControlElementTiming::default(), technology)
+    }
+
+    /// The paper's claim: the impact is negligible. We call it negligible
+    /// when the added delay is below one percent of the clock period.
+    pub fn is_negligible(&self) -> bool {
+        self.cycle_fraction < 0.01
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn added_delay_is_a_few_picoseconds() {
+        let impact = TimingImpact::with_defaults(&TechnologyParams::default_013um());
+        let ps = impact.added_delay.to_picoseconds();
+        assert!((1.0..30.0).contains(&ps), "added delay {ps} ps");
+    }
+
+    #[test]
+    fn impact_is_negligible_at_the_paper_operating_point() {
+        let impact = TimingImpact::with_defaults(&TechnologyParams::default_013um());
+        assert!(impact.is_negligible(), "fraction = {}", impact.cycle_fraction);
+        assert!((impact.clock_period.to_nanoseconds() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slower_gates_eventually_stop_being_negligible() {
+        let timing = ControlElementTiming {
+            transmission_gate_resistance: Ohms(2.0e6),
+            precharge_driver_input_capacitance: Farads::from_femtofarads(40.0),
+            parasitic_capacitance: Farads::from_femtofarads(10.0),
+        };
+        let impact = TimingImpact::evaluate(&timing, &TechnologyParams::default_013um());
+        assert!(!impact.is_negligible());
+    }
+}

@@ -1,0 +1,135 @@
+//! Verification harness for the low-power test mode.
+//!
+//! The paper's technique is only acceptable if it changes *nothing* about
+//! what the test observes: no cell may be corrupted by the floating bit
+//! lines (faulty swaps), the result must not depend on the data background,
+//! and the March algorithms must keep their fault coverage when the address
+//! order is fixed to word-line-after-word-line. This module packages those
+//! three checks, plus the negative control that *demonstrates* the faulty
+//! swap when the row-transition restore is disabled.
+
+use serde::{Deserialize, Serialize};
+use sram_model::config::SramConfig;
+use sram_model::error::SramError;
+
+use march_test::address_order::{AddressOrder, ColumnMajor, PseudoRandomOrder, WordLineAfterWordLine};
+use march_test::algorithm::MarchTest;
+use march_test::dof::verify_order_independence;
+use march_test::faults::static_fault_list;
+
+use crate::engine::TestSession;
+use crate::mode::OperatingMode;
+use crate::scheduler::LpOptions;
+
+/// Outcome of the functional-equivalence checks for one March test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerificationReport {
+    /// Name of the March test verified.
+    pub test_name: String,
+    /// Whether the low-power run produced zero faulty swaps and zero read
+    /// mismatches for every data background tried.
+    pub functionally_equivalent: bool,
+    /// Whether the run without the row-transition restore produced at
+    /// least one faulty swap (the hazard the restore exists to prevent).
+    pub hazard_demonstrated: bool,
+    /// Whether fault coverage is identical across address orders
+    /// (the degree-of-freedom argument).
+    pub coverage_preserved: bool,
+    /// Average number of stressed cells per cycle in low-power mode — the
+    /// paper's `α`, expected between 2 and 10.
+    pub alpha_stressed_cells: f64,
+}
+
+impl VerificationReport {
+    /// `true` when every check passed.
+    pub fn all_checks_passed(&self) -> bool {
+        self.functionally_equivalent && self.hazard_demonstrated && self.coverage_preserved
+    }
+}
+
+/// Runs the full verification suite for `test` on `config`.
+///
+/// The fault-coverage check runs on a small auxiliary array (coverage does
+/// not depend on the array size, and fault simulation of a 512×512 array
+/// for every fault would dominate the runtime).
+///
+/// # Errors
+///
+/// Propagates any [`SramError`] from the memory model.
+pub fn verify_technique(config: &SramConfig, test: &MarchTest) -> Result<VerificationReport, SramError> {
+    // 1. Functional equivalence across data backgrounds.
+    let session = TestSession::new(*config);
+    let mut functionally_equivalent = true;
+    let mut alpha = 0.0;
+    for background in [false, true] {
+        let outcome =
+            session.run_with_background(test, OperatingMode::LowPowerTest, background)?;
+        functionally_equivalent &= outcome.is_functionally_correct();
+        alpha = outcome.stress.stressed_cells_per_cycle();
+    }
+
+    // 2. Negative control: without the row-transition restore the floating
+    //    bit lines corrupt cells of the next row.
+    let hazardous_session = TestSession::new(*config).with_options(LpOptions {
+        row_transition_restore: false,
+        ..LpOptions::default()
+    });
+    let hazardous =
+        hazardous_session.run_with_background(test, OperatingMode::LowPowerTest, true)?;
+    let hazard_demonstrated = hazardous.faulty_swaps > 0;
+
+    // 3. Degree of freedom #1: coverage identical across address orders.
+    //    The comparison uses the static fault classes only — the stuck-open
+    //    fault is sequence-dependent by nature and outside DOF-1's
+    //    guarantee (see `march_test::faults::static_fault_list`).
+    let coverage_org = sram_model::config::ArrayOrganization::new(4, 4)?;
+    let faults = static_fault_list(&coverage_org);
+    let random_order = PseudoRandomOrder::new(0xD0F1);
+    let orders: Vec<&dyn AddressOrder> =
+        vec![&WordLineAfterWordLine, &ColumnMajor, &random_order];
+    let dof_report = verify_order_independence(test, &orders, &coverage_org, &faults);
+    // "Preserved" means: every fault class the algorithm fully covers under
+    // the reference order stays fully covered under every order. Accidental
+    // detections of faults outside the algorithm's target classes may vary
+    // with the order and do not count against the technique.
+    let coverage_preserved = dof_report.guaranteed_coverage_preserved();
+
+    Ok(VerificationReport {
+        test_name: test.name().to_string(),
+        functionally_equivalent,
+        hazard_demonstrated,
+        coverage_preserved,
+        alpha_stressed_cells: alpha,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use march_test::library;
+
+    #[test]
+    fn march_c_minus_passes_the_full_verification_suite() {
+        let config = SramConfig::small_for_tests(8, 32).unwrap();
+        let report = verify_technique(&config, &library::march_c_minus()).unwrap();
+        assert!(report.functionally_equivalent, "no swaps / mismatches expected");
+        assert!(report.hazard_demonstrated, "removing the restore must corrupt cells");
+        assert!(report.coverage_preserved, "DOF-1 must hold");
+        assert!(report.all_checks_passed());
+        assert_eq!(report.test_name, "March C-");
+    }
+
+    #[test]
+    fn alpha_is_in_the_paper_band_for_wider_arrays() {
+        // With 32 columns and the 0.13 µm discharge rate, the number of
+        // cells still being stressed each cycle in low-power mode sits in
+        // the paper's 2 < α < 10 band plus the single full-RES cell.
+        let config = SramConfig::small_for_tests(8, 32).unwrap();
+        let report = verify_technique(&config, &library::mats_plus()).unwrap();
+        assert!(
+            report.alpha_stressed_cells > 1.0 && report.alpha_stressed_cells < 12.0,
+            "α = {}",
+            report.alpha_stressed_cells
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Word-oriented extension (the paper's future work).
+//!
+//! The paper studies a bit-oriented memory: one cell is accessed per
+//! operation. Its conclusions mention extending the method to
+//! word-oriented memories, where a `w`-bit word is read or written per
+//! operation and `w` columns are active simultaneously (one per column-mux
+//! group). The extension is straightforward: in the low-power test mode
+//! the pre-charge must stay active for the `w` selected columns and the
+//! `w` columns of the next word, so the per-cycle saving becomes
+//! `(#col − 2·w) · P_A` instead of `(#col − 2) · P_A`.
+
+use serde::{Deserialize, Serialize};
+use sram_model::config::ArrayOrganization;
+use transient::units::Joules;
+
+use march_test::algorithm::MarchTest;
+use power_model::calibration::CalibratedParameters;
+
+/// The analytic model extended to `word_width`-bit words.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WordOrientedExtension {
+    parameters: CalibratedParameters,
+    word_width: u32,
+}
+
+impl WordOrientedExtension {
+    /// Creates the extension for words of `word_width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_width` is zero.
+    pub fn new(parameters: CalibratedParameters, word_width: u32) -> Self {
+        assert!(word_width > 0, "word width must be at least one bit");
+        Self {
+            parameters,
+            word_width,
+        }
+    }
+
+    /// The word width in bits.
+    pub fn word_width(&self) -> u32 {
+        self.word_width
+    }
+
+    /// Functional-mode energy per cycle. The read/write mix argument is the
+    /// same as in the bit-oriented model; accessing a word activates
+    /// `word_width` columns, but the unselected-column RES power dominates
+    /// in exactly the same way.
+    pub fn functional_energy_per_cycle(&self, test: &MarchTest) -> Joules {
+        let reads = test.read_count() as f64;
+        let writes = test.write_count() as f64;
+        let ops = test.operation_count() as f64;
+        let word = self.word_width as f64;
+        // The selected-column portion of Pr/Pw scales with the word width;
+        // approximate it by adding (w-1) extra column operations on top of
+        // the calibrated single-column figures.
+        let extra_read = self.parameters.pa.value() * (word - 1.0);
+        let extra_write = self.parameters.pa.value() * (word - 1.0);
+        Joules(
+            (reads * (self.parameters.pr.value() + extra_read)
+                + writes * (self.parameters.pw.value() + extra_write))
+                / ops,
+        )
+    }
+
+    /// Per-cycle savings with `2·w` columns kept pre-charged.
+    pub fn savings_per_cycle(&self, test: &MarchTest, organization: &ArrayOrganization) -> Joules {
+        let cols = organization.cols() as f64;
+        let active = 2.0 * self.word_width as f64;
+        let elements = test.element_count() as f64;
+        let ops = test.operation_count() as f64;
+        Joules(
+            ((cols - active).max(0.0)) * self.parameters.pa.value()
+                - (elements / ops) * self.parameters.pb.value(),
+        )
+    }
+
+    /// The PRR of the word-oriented memory.
+    pub fn power_reduction_ratio(
+        &self,
+        test: &MarchTest,
+        organization: &ArrayOrganization,
+    ) -> f64 {
+        let pf = self.functional_energy_per_cycle(test).value();
+        if pf <= 0.0 {
+            return 0.0;
+        }
+        let saved = self.savings_per_cycle(test, organization).value().max(0.0);
+        (saved / pf).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use march_test::library;
+    use sram_model::config::TechnologyParams;
+
+    fn extension(width: u32) -> WordOrientedExtension {
+        WordOrientedExtension::new(
+            CalibratedParameters::derive(
+                &TechnologyParams::default_013um(),
+                &ArrayOrganization::paper_512x512(),
+            ),
+            width,
+        )
+    }
+
+    #[test]
+    fn bit_oriented_limit_matches_the_base_model() {
+        let organization = ArrayOrganization::paper_512x512();
+        let test = library::march_c_minus();
+        let ext = extension(1);
+        let prr = ext.power_reduction_ratio(&test, &organization);
+        assert!((0.43..0.56).contains(&prr), "PRR {prr}");
+        assert_eq!(ext.word_width(), 1);
+    }
+
+    #[test]
+    fn wider_words_reduce_the_savings() {
+        let organization = ArrayOrganization::paper_512x512();
+        let test = library::march_c_minus();
+        let prr_1 = extension(1).power_reduction_ratio(&test, &organization);
+        let prr_8 = extension(8).power_reduction_ratio(&test, &organization);
+        let prr_32 = extension(32).power_reduction_ratio(&test, &organization);
+        assert!(prr_1 > prr_8);
+        assert!(prr_8 > prr_32);
+        // Even at 32-bit words the technique still saves a substantial
+        // fraction on a 512-column array.
+        assert!(prr_32 > 0.3, "PRR at 32-bit words: {prr_32}");
+    }
+
+    #[test]
+    fn savings_never_negative_even_for_extreme_word_widths() {
+        let organization = ArrayOrganization::new(64, 64).unwrap();
+        let test = library::mats_plus();
+        let ext = extension(64);
+        let prr = ext.power_reduction_ratio(&test, &organization);
+        assert!((0.0..=1.0).contains(&prr));
+    }
+
+    #[test]
+    #[should_panic(expected = "word width must be at least one bit")]
+    fn zero_word_width_rejected() {
+        let _ = extension(0);
+    }
+}

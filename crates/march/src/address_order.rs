@@ -1,0 +1,330 @@
+//! Address orders — the first March degree of freedom.
+//!
+//! A March ⇑ sequence may be *any* fixed ordering of the cell addresses, as
+//! long as every address occurs exactly once and ⇓ is its exact reverse;
+//! fault coverage does not depend on the choice. The paper exploits this
+//! freedom by fixing the order to "word line after word line" (all columns
+//! of row 0, then all columns of row 1, …), which is what makes the next
+//! column to be accessed predictable and lets the pre-charge of every other
+//! column be switched off.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sram_model::address::{Address, ColIndex, RowIndex};
+use sram_model::config::ArrayOrganization;
+
+use crate::element::AddressDirection;
+
+/// An address ordering over a memory array.
+///
+/// Implementations must produce a permutation of all addresses for
+/// [`AddressOrder::ascending`]; [`AddressOrder::descending`] is its exact
+/// reverse (provided by the default method), as required by the March test
+/// definition.
+pub trait AddressOrder {
+    /// Human-readable name of the order.
+    fn name(&self) -> &'static str;
+
+    /// The ⇑ sequence: a permutation of all `organization.capacity()`
+    /// addresses.
+    fn ascending(&self, organization: &ArrayOrganization) -> Vec<Address>;
+
+    /// The ⇓ sequence: the exact reverse of [`Self::ascending`].
+    fn descending(&self, organization: &ArrayOrganization) -> Vec<Address> {
+        let mut addresses = self.ascending(organization);
+        addresses.reverse();
+        addresses
+    }
+
+    /// The sequence for an arbitrary element direction (⇕ uses ⇑).
+    fn sequence(
+        &self,
+        organization: &ArrayOrganization,
+        direction: AddressDirection,
+    ) -> Vec<Address> {
+        match direction {
+            AddressDirection::Ascending | AddressDirection::Either => {
+                self.ascending(organization)
+            }
+            AddressDirection::Descending => self.descending(organization),
+        }
+    }
+}
+
+/// The paper's order: all columns of a word line before moving to the next
+/// word line (row-major, column index changing fastest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WordLineAfterWordLine;
+
+impl AddressOrder for WordLineAfterWordLine {
+    fn name(&self) -> &'static str {
+        "word line after word line"
+    }
+
+    fn ascending(&self, organization: &ArrayOrganization) -> Vec<Address> {
+        let mut addresses = Vec::with_capacity(organization.capacity() as usize);
+        for row in 0..organization.rows() {
+            for col in 0..organization.cols() {
+                addresses.push(Address::from_row_col(
+                    RowIndex(row),
+                    ColIndex(col),
+                    organization,
+                ));
+            }
+        }
+        addresses
+    }
+}
+
+/// Column-major order: all rows of a column before moving to the next
+/// column (the "fast row" order, the usual worst case for the paper's
+/// technique because consecutive accesses change column as slowly as
+/// possible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ColumnMajor;
+
+impl AddressOrder for ColumnMajor {
+    fn name(&self) -> &'static str {
+        "column major"
+    }
+
+    fn ascending(&self, organization: &ArrayOrganization) -> Vec<Address> {
+        let mut addresses = Vec::with_capacity(organization.capacity() as usize);
+        for col in 0..organization.cols() {
+            for row in 0..organization.rows() {
+                addresses.push(Address::from_row_col(
+                    RowIndex(row),
+                    ColIndex(col),
+                    organization,
+                ));
+            }
+        }
+        addresses
+    }
+}
+
+/// Plain linear order over the raw address value. With the row-major
+/// address map used by this workspace it coincides with
+/// [`WordLineAfterWordLine`]; it is kept as a separate type so experiments
+/// can state which abstraction they rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinearOrder;
+
+impl AddressOrder for LinearOrder {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn ascending(&self, organization: &ArrayOrganization) -> Vec<Address> {
+        (0..organization.capacity()).map(Address::new).collect()
+    }
+}
+
+/// A reproducible pseudo-random permutation of the address space — a stand
+/// in for the "unpredictable" functional-mode access pattern and a stress
+/// test for the degree-of-freedom argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PseudoRandomOrder {
+    seed: u64,
+}
+
+impl PseudoRandomOrder {
+    /// Creates an order from a seed; the same seed always produces the same
+    /// permutation.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Default for PseudoRandomOrder {
+    fn default() -> Self {
+        Self::new(0x5eed_cafe)
+    }
+}
+
+impl AddressOrder for PseudoRandomOrder {
+    fn name(&self) -> &'static str {
+        "pseudo-random"
+    }
+
+    fn ascending(&self, organization: &ArrayOrganization) -> Vec<Address> {
+        let mut addresses: Vec<Address> =
+            (0..organization.capacity()).map(Address::new).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        addresses.shuffle(&mut rng);
+        addresses
+    }
+}
+
+/// The address-complement order: each address is immediately followed by its
+/// bitwise complement (within the address width of the array). This order is
+/// popular for exposing address-decoder faults because consecutive accesses
+/// flip every address bit at once; it is also the *worst* case for the
+/// paper's technique because consecutive accesses land in maximally distant
+/// columns, which is precisely why the paper fixes the order to
+/// word-line-after-word-line instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AddressComplementOrder;
+
+impl AddressOrder for AddressComplementOrder {
+    fn name(&self) -> &'static str {
+        "address complement"
+    }
+
+    fn ascending(&self, organization: &ArrayOrganization) -> Vec<Address> {
+        let capacity = organization.capacity();
+        // Number of address bits needed for the array.
+        let bits = (capacity.max(2) as f64).log2().ceil() as u32;
+        let mask = if bits >= 32 { u32::MAX } else { (1 << bits) - 1 };
+        let mut addresses = Vec::with_capacity(capacity as usize);
+        let mut seen = vec![false; capacity as usize];
+        for raw in 0..capacity {
+            if seen[raw as usize] {
+                continue;
+            }
+            seen[raw as usize] = true;
+            addresses.push(Address::new(raw));
+            let complement = (!raw) & mask;
+            if complement < capacity && !seen[complement as usize] {
+                seen[complement as usize] = true;
+                addresses.push(Address::new(complement));
+            }
+        }
+        addresses
+    }
+}
+
+/// Checks that an order is a valid ⇑ sequence for `organization`: every
+/// address occurs exactly once.
+pub fn is_valid_permutation(order: &dyn AddressOrder, organization: &ArrayOrganization) -> bool {
+    let addresses = order.ascending(organization);
+    if addresses.len() != organization.capacity() as usize {
+        return false;
+    }
+    let mut seen = vec![false; organization.capacity() as usize];
+    for a in addresses {
+        let idx = a.value() as usize;
+        if idx >= seen.len() || seen[idx] {
+            return false;
+        }
+        seen[idx] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn org() -> ArrayOrganization {
+        ArrayOrganization::new(4, 8).unwrap()
+    }
+
+    #[test]
+    fn word_line_after_word_line_walks_columns_first() {
+        let organization = org();
+        let seq = WordLineAfterWordLine.ascending(&organization);
+        assert_eq!(seq.len(), 32);
+        // First 8 addresses stay in row 0 with increasing columns.
+        for (i, a) in seq.iter().take(8).enumerate() {
+            assert_eq!(a.row(&organization), RowIndex(0));
+            assert_eq!(a.col(&organization), ColIndex(i as u32));
+        }
+        assert_eq!(seq[8].row(&organization), RowIndex(1));
+    }
+
+    #[test]
+    fn column_major_walks_rows_first() {
+        let organization = org();
+        let seq = ColumnMajor.ascending(&organization);
+        for (i, a) in seq.iter().take(4).enumerate() {
+            assert_eq!(a.col(&organization), ColIndex(0));
+            assert_eq!(a.row(&organization), RowIndex(i as u32));
+        }
+        assert_eq!(seq[4].col(&organization), ColIndex(1));
+    }
+
+    #[test]
+    fn all_orders_are_valid_permutations() {
+        let organization = org();
+        let orders: Vec<Box<dyn AddressOrder>> = vec![
+            Box::new(WordLineAfterWordLine),
+            Box::new(ColumnMajor),
+            Box::new(LinearOrder),
+            Box::new(PseudoRandomOrder::new(7)),
+            Box::new(AddressComplementOrder),
+        ];
+        for order in &orders {
+            assert!(
+                is_valid_permutation(order.as_ref(), &organization),
+                "{} is not a permutation",
+                order.name()
+            );
+        }
+    }
+
+    #[test]
+    fn descending_is_exact_reverse() {
+        let organization = org();
+        let up = WordLineAfterWordLine.ascending(&organization);
+        let mut down = WordLineAfterWordLine.descending(&organization);
+        down.reverse();
+        assert_eq!(up, down);
+    }
+
+    #[test]
+    fn sequence_respects_direction() {
+        let organization = org();
+        let order = WordLineAfterWordLine;
+        assert_eq!(
+            order.sequence(&organization, AddressDirection::Ascending)[0],
+            Address::new(0)
+        );
+        assert_eq!(
+            order.sequence(&organization, AddressDirection::Either)[0],
+            Address::new(0)
+        );
+        assert_eq!(
+            order.sequence(&organization, AddressDirection::Descending)[0],
+            Address::new(31)
+        );
+    }
+
+    #[test]
+    fn linear_equals_word_line_after_word_line_under_row_major_map() {
+        let organization = org();
+        assert_eq!(
+            LinearOrder.ascending(&organization),
+            WordLineAfterWordLine.ascending(&organization)
+        );
+    }
+
+    #[test]
+    fn address_complement_pairs_each_address_with_its_complement() {
+        let organization = ArrayOrganization::new(4, 4).unwrap(); // 16 cells, 4 bits
+        let seq = AddressComplementOrder.ascending(&organization);
+        assert_eq!(seq.len(), 16);
+        // The first pair is 0 and its 4-bit complement 15.
+        assert_eq!(seq[0], Address::new(0));
+        assert_eq!(seq[1], Address::new(15));
+        assert_eq!(seq[2], Address::new(1));
+        assert_eq!(seq[3], Address::new(14));
+        assert!(is_valid_permutation(&AddressComplementOrder, &organization));
+        // Also valid when the capacity is not a power of two times itself.
+        let odd = ArrayOrganization::new(3, 5).unwrap();
+        assert!(is_valid_permutation(&AddressComplementOrder, &odd));
+    }
+
+    #[test]
+    fn pseudo_random_is_deterministic_per_seed() {
+        let organization = org();
+        let a = PseudoRandomOrder::new(42).ascending(&organization);
+        let b = PseudoRandomOrder::new(42).ascending(&organization);
+        let c = PseudoRandomOrder::new(43).ascending(&organization);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // And it genuinely permutes (not the identity) for this size.
+        assert_ne!(a, LinearOrder.ascending(&organization));
+    }
+}

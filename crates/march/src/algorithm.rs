@@ -1,0 +1,175 @@
+//! Complete March tests and their statistics.
+//!
+//! A [`MarchTest`] is a named sequence of [`MarchElement`]s. The statistics
+//! exposed here (element count, operation count, read/write split) are the
+//! ones the paper's Table 1 lists for each algorithm, and they drive the
+//! analytic power model (`P_F` depends on the read/write mix, the
+//! row-transition overhead on the element/operation ratio).
+
+use crate::element::MarchElement;
+use crate::operation::MarchOp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A complete March algorithm.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MarchTest {
+    name: String,
+    elements: Vec<MarchElement>,
+}
+
+impl MarchTest {
+    /// Creates a named test from its elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elements` is empty.
+    pub fn new(name: impl Into<String>, elements: Vec<MarchElement>) -> Self {
+        assert!(!elements.is_empty(), "a march test must contain at least one element");
+        Self {
+            name: name.into(),
+            elements,
+        }
+    }
+
+    /// The algorithm name (e.g. `"March C-"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The March elements in application order.
+    pub fn elements(&self) -> &[MarchElement] {
+        &self.elements
+    }
+
+    /// Number of March elements (the `#elm` column of Table 1).
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Total number of operations applied per cell over the whole test (the
+    /// `#oper` column of Table 1). The test length is this number times the
+    /// number of cells.
+    pub fn operation_count(&self) -> usize {
+        self.elements.iter().map(|e| e.op_count()).sum()
+    }
+
+    /// Number of read operations per cell (the `#read` column of Table 1).
+    pub fn read_count(&self) -> usize {
+        self.elements.iter().map(|e| e.read_count()).sum()
+    }
+
+    /// Number of write operations per cell (the `#write` column of Table 1).
+    pub fn write_count(&self) -> usize {
+        self.elements.iter().map(|e| e.write_count()).sum()
+    }
+
+    /// The complexity in the conventional `k·N` notation, i.e. the value of
+    /// `k` (equal to [`Self::operation_count`]).
+    pub fn complexity_factor(&self) -> usize {
+        self.operation_count()
+    }
+
+    /// Total number of clock cycles needed to run the test on a memory of
+    /// `cells` cells (one operation per cycle).
+    pub fn total_operations(&self, cells: u64) -> u64 {
+        self.operation_count() as u64 * cells
+    }
+
+    /// Average number of operations per element, used by the paper's
+    /// row-transition frequency formula
+    /// `F(row transition) = 1 / (#ops-per-element · #columns)`.
+    pub fn mean_ops_per_element(&self) -> f64 {
+        self.operation_count() as f64 / self.element_count() as f64
+    }
+
+    /// The test with every operation's data complemented (degree of freedom
+    /// #5).
+    pub fn complemented(&self) -> Self {
+        Self {
+            name: format!("{} (complemented)", self.name),
+            elements: self.elements.iter().map(|e| e.complemented()).collect(),
+        }
+    }
+
+    /// Returns `true` if the test begins with an unconditional write to
+    /// every cell (needed so that later read expectations are defined
+    /// regardless of the initial memory contents).
+    pub fn initializes_memory(&self) -> bool {
+        self.elements
+            .first()
+            .map(|e| matches!(e.ops().first(), Some(MarchOp::W0 | MarchOp::W1)))
+            .unwrap_or(false)
+    }
+}
+
+impl fmt::Display for MarchTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {{", self.name)?;
+        for (i, e) in self.elements.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::MarchElement;
+    use crate::operation::MarchOp::*;
+
+    fn sample() -> MarchTest {
+        MarchTest::new(
+            "sample",
+            vec![
+                MarchElement::either(vec![W0]),
+                MarchElement::ascending(vec![R0, W1]),
+                MarchElement::descending(vec![R1, W0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn statistics() {
+        let t = sample();
+        assert_eq!(t.name(), "sample");
+        assert_eq!(t.element_count(), 3);
+        assert_eq!(t.operation_count(), 5);
+        assert_eq!(t.read_count(), 2);
+        assert_eq!(t.write_count(), 3);
+        assert_eq!(t.complexity_factor(), 5);
+        assert_eq!(t.total_operations(100), 500);
+        assert!((t.mean_ops_per_element() - 5.0 / 3.0).abs() < 1e-12);
+        assert!(t.initializes_memory());
+    }
+
+    #[test]
+    fn display_is_standard_notation() {
+        let t = sample();
+        assert_eq!(format!("{t}"), "sample: {⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}");
+    }
+
+    #[test]
+    fn complemented_test_swaps_all_data() {
+        let t = sample().complemented();
+        assert_eq!(t.elements()[0].ops(), &[W1]);
+        assert_eq!(t.elements()[1].ops(), &[R1, W0]);
+        assert!(t.name().contains("complemented"));
+    }
+
+    #[test]
+    fn non_initializing_test_detected() {
+        let t = MarchTest::new("reads-first", vec![MarchElement::ascending(vec![R0])]);
+        assert!(!t.initializes_memory());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn empty_test_rejected() {
+        let _ = MarchTest::new("empty", vec![]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Data backgrounds — the fifth March degree of freedom.
+//!
+//! A March test may be applied under any *data background*: the pattern of
+//! values considered to be "0" for each cell. Physically adjacent cells can
+//! then hold opposite values (checkerboard, row/column stripes), which is
+//! what exposes certain coupling and leakage mechanisms. The paper's
+//! low-power technique explicitly preserves data-background independence
+//! (the row-transition restore works for any stored pattern), so the
+//! verification harness sweeps the backgrounds defined here.
+
+use serde::{Deserialize, Serialize};
+use sram_model::address::Address;
+use sram_model::config::ArrayOrganization;
+use std::fmt;
+
+use crate::memory::GoodMemory;
+
+/// A classic data background pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataBackground {
+    /// Every cell holds the same value (`false` = all zeros).
+    Solid(bool),
+    /// Cells alternate in both directions: `(row + col) % 2`.
+    Checkerboard,
+    /// Rows alternate: even rows hold `0`, odd rows hold `1`.
+    RowStripe,
+    /// Columns alternate: even columns hold `0`, odd columns hold `1`.
+    ColumnStripe,
+}
+
+impl DataBackground {
+    /// The conventional set of backgrounds used in memory test practice.
+    pub fn all() -> [DataBackground; 5] {
+        [
+            DataBackground::Solid(false),
+            DataBackground::Solid(true),
+            DataBackground::Checkerboard,
+            DataBackground::RowStripe,
+            DataBackground::ColumnStripe,
+        ]
+    }
+
+    /// The value this background assigns to `address` under `organization`.
+    pub fn value_at(&self, address: Address, organization: &ArrayOrganization) -> bool {
+        let row = address.row(organization).value();
+        let col = address.col(organization).value();
+        match self {
+            DataBackground::Solid(value) => *value,
+            DataBackground::Checkerboard => (row + col) % 2 == 1,
+            DataBackground::RowStripe => row % 2 == 1,
+            DataBackground::ColumnStripe => col % 2 == 1,
+        }
+    }
+
+    /// The complemented background (degree of freedom #5 pairs each
+    /// background with its complement).
+    pub fn complemented(&self) -> DataBackground {
+        match self {
+            DataBackground::Solid(value) => DataBackground::Solid(!value),
+            // The alternating patterns are their own complement up to a
+            // one-cell shift; we keep the same pattern type.
+            other => *other,
+        }
+    }
+
+    /// Builds a [`GoodMemory`] initialised with this background.
+    pub fn build_memory(&self, organization: &ArrayOrganization) -> GoodMemory {
+        let mut memory = GoodMemory::new(organization.capacity());
+        for raw in 0..organization.capacity() {
+            let address = Address::new(raw);
+            memory.set(address, self.value_at(address, organization));
+        }
+        memory
+    }
+
+    /// Fraction of cells holding `1` under this background (0.5 for all the
+    /// alternating patterns on even-sized arrays).
+    pub fn ones_fraction(&self, organization: &ArrayOrganization) -> f64 {
+        let ones = (0..organization.capacity())
+            .filter(|&raw| self.value_at(Address::new(raw), organization))
+            .count();
+        ones as f64 / organization.capacity() as f64
+    }
+}
+
+impl fmt::Display for DataBackground {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataBackground::Solid(false) => f.write_str("solid 0"),
+            DataBackground::Solid(true) => f.write_str("solid 1"),
+            DataBackground::Checkerboard => f.write_str("checkerboard"),
+            DataBackground::RowStripe => f.write_str("row stripe"),
+            DataBackground::ColumnStripe => f.write_str("column stripe"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sram_model::address::{ColIndex, RowIndex};
+
+    fn org() -> ArrayOrganization {
+        ArrayOrganization::new(4, 4).unwrap()
+    }
+
+    fn at(bg: DataBackground, row: u32, col: u32) -> bool {
+        let organization = org();
+        bg.value_at(
+            Address::from_row_col(RowIndex(row), ColIndex(col), &organization),
+            &organization,
+        )
+    }
+
+    #[test]
+    fn solid_backgrounds() {
+        assert!(!at(DataBackground::Solid(false), 2, 3));
+        assert!(at(DataBackground::Solid(true), 0, 0));
+        assert_eq!(DataBackground::Solid(false).ones_fraction(&org()), 0.0);
+        assert_eq!(DataBackground::Solid(true).ones_fraction(&org()), 1.0);
+    }
+
+    #[test]
+    fn checkerboard_alternates_in_both_directions() {
+        assert!(!at(DataBackground::Checkerboard, 0, 0));
+        assert!(at(DataBackground::Checkerboard, 0, 1));
+        assert!(at(DataBackground::Checkerboard, 1, 0));
+        assert!(!at(DataBackground::Checkerboard, 1, 1));
+        assert!((DataBackground::Checkerboard.ones_fraction(&org()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stripes_alternate_in_one_direction_only() {
+        assert!(!at(DataBackground::RowStripe, 0, 3));
+        assert!(at(DataBackground::RowStripe, 1, 3));
+        assert!(!at(DataBackground::ColumnStripe, 3, 0));
+        assert!(at(DataBackground::ColumnStripe, 3, 1));
+    }
+
+    #[test]
+    fn build_memory_matches_value_at() {
+        let organization = org();
+        for bg in DataBackground::all() {
+            let memory = bg.build_memory(&organization);
+            for raw in 0..organization.capacity() {
+                let address = Address::new(raw);
+                assert_eq!(memory.get(address), bg.value_at(address, &organization));
+            }
+        }
+    }
+
+    #[test]
+    fn complement_and_display() {
+        assert_eq!(
+            DataBackground::Solid(false).complemented(),
+            DataBackground::Solid(true)
+        );
+        assert_eq!(
+            DataBackground::Checkerboard.complemented(),
+            DataBackground::Checkerboard
+        );
+        assert_eq!(DataBackground::Checkerboard.to_string(), "checkerboard");
+        assert_eq!(DataBackground::Solid(true).to_string(), "solid 1");
+        assert_eq!(DataBackground::all().len(), 5);
+    }
+}

@@ -1,0 +1,151 @@
+//! Fault-coverage evaluation over a fault list.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use sram_model::config::ArrayOrganization;
+
+use crate::address_order::AddressOrder;
+use crate::algorithm::MarchTest;
+use crate::fault_sim::{simulate_fault, FaultSimOutcome};
+use crate::faults::FaultFactory;
+
+/// Coverage of a March test over a fault list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Name of the March test evaluated.
+    pub test_name: String,
+    /// Name of the address order used.
+    pub order_name: String,
+    /// Per-fault outcomes, in fault-list order.
+    pub outcomes: Vec<FaultSimOutcome>,
+}
+
+impl CoverageReport {
+    /// Total number of faults simulated.
+    pub fn total(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Number of detected faults.
+    pub fn detected(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.detected).count()
+    }
+
+    /// Fault coverage as a fraction in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.detected() as f64 / self.total() as f64
+    }
+
+    /// The names of the faults this test detected (sorted), used to compare
+    /// coverage sets across address orders.
+    pub fn detected_fault_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.detected)
+            .map(|o| o.fault_name.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Per-fault-kind `(detected, total)` counts.
+    pub fn by_kind(&self) -> BTreeMap<String, (usize, usize)> {
+        let mut map: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        for outcome in &self.outcomes {
+            let entry = map.entry(outcome.fault_kind.to_string()).or_insert((0, 0));
+            entry.1 += 1;
+            if outcome.detected {
+                entry.0 += 1;
+            }
+        }
+        map
+    }
+}
+
+/// Simulates every fault in `faults` under `test`/`order` and aggregates
+/// the outcomes.
+pub fn evaluate_coverage(
+    test: &MarchTest,
+    order: &dyn AddressOrder,
+    organization: &ArrayOrganization,
+    faults: &[FaultFactory],
+) -> CoverageReport {
+    let outcomes = faults
+        .iter()
+        .map(|factory| simulate_fault(test, order, organization, factory()))
+        .collect();
+    CoverageReport {
+        test_name: test.name().to_string(),
+        order_name: order.name().to_string(),
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address_order::WordLineAfterWordLine;
+    use crate::faults::standard_fault_list;
+    use crate::library;
+
+    fn org() -> ArrayOrganization {
+        ArrayOrganization::new(4, 4).unwrap()
+    }
+
+    #[test]
+    fn march_ss_covers_more_than_mats_plus() {
+        let organization = org();
+        let faults = standard_fault_list(&organization);
+        let ss = evaluate_coverage(
+            &library::march_ss(),
+            &WordLineAfterWordLine,
+            &organization,
+            &faults,
+        );
+        let mats = evaluate_coverage(
+            &library::mats_plus(),
+            &WordLineAfterWordLine,
+            &organization,
+            &faults,
+        );
+        assert!(ss.coverage() > mats.coverage());
+        assert!(ss.coverage() > 0.8, "March SS coverage {}", ss.coverage());
+        assert_eq!(ss.total(), faults.len());
+        assert!(ss.detected() <= ss.total());
+    }
+
+    #[test]
+    fn stuck_at_faults_are_fully_covered_by_every_table1_algorithm() {
+        let organization = org();
+        let faults = standard_fault_list(&organization);
+        for test in library::table1_algorithms() {
+            let report =
+                evaluate_coverage(&test, &WordLineAfterWordLine, &organization, &faults);
+            let by_kind = report.by_kind();
+            let (detected, total) = by_kind["SAF"];
+            assert_eq!(detected, total, "{} must detect every SAF", test.name());
+        }
+    }
+
+    #[test]
+    fn report_accessors_are_consistent() {
+        let organization = org();
+        let faults = standard_fault_list(&organization);
+        let report = evaluate_coverage(
+            &library::march_c_minus(),
+            &WordLineAfterWordLine,
+            &organization,
+            &faults,
+        );
+        assert_eq!(report.detected_fault_names().len(), report.detected());
+        let kind_total: usize = report.by_kind().values().map(|(_, t)| t).sum();
+        assert_eq!(kind_total, report.total());
+        assert!(report.coverage() > 0.0 && report.coverage() <= 1.0);
+        assert_eq!(report.test_name, "March C-");
+    }
+}

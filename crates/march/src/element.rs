@@ -1,0 +1,151 @@
+//! March elements.
+//!
+//! A March element is an address direction (ascending ⇑, descending ⇓ or
+//! don't-care ⇕) together with a short sequence of [`MarchOp`]s applied to
+//! each cell before moving to the next address.
+
+use crate::operation::MarchOp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The address direction of a March element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AddressDirection {
+    /// ⇑ — the chosen ascending order.
+    Ascending,
+    /// ⇓ — the exact reverse of the ascending order.
+    Descending,
+    /// ⇕ — either order is acceptable.
+    Either,
+}
+
+impl fmt::Display for AddressDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AddressDirection::Ascending => "⇑",
+            AddressDirection::Descending => "⇓",
+            AddressDirection::Either => "⇕",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One March element: a direction plus the operations applied per cell.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MarchElement {
+    direction: AddressDirection,
+    ops: Vec<MarchOp>,
+}
+
+impl MarchElement {
+    /// Creates an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty — an empty March element is meaningless and
+    /// always indicates a construction bug.
+    pub fn new(direction: AddressDirection, ops: Vec<MarchOp>) -> Self {
+        assert!(!ops.is_empty(), "a march element must contain at least one operation");
+        Self { direction, ops }
+    }
+
+    /// Shorthand for an ascending element.
+    pub fn ascending(ops: Vec<MarchOp>) -> Self {
+        Self::new(AddressDirection::Ascending, ops)
+    }
+
+    /// Shorthand for a descending element.
+    pub fn descending(ops: Vec<MarchOp>) -> Self {
+        Self::new(AddressDirection::Descending, ops)
+    }
+
+    /// Shorthand for a direction-agnostic element.
+    pub fn either(ops: Vec<MarchOp>) -> Self {
+        Self::new(AddressDirection::Either, ops)
+    }
+
+    /// The address direction.
+    pub fn direction(&self) -> AddressDirection {
+        self.direction
+    }
+
+    /// The per-cell operation sequence.
+    pub fn ops(&self) -> &[MarchOp] {
+        &self.ops
+    }
+
+    /// Number of operations applied to each cell.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of reads applied to each cell.
+    pub fn read_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_read()).count()
+    }
+
+    /// Number of writes applied to each cell.
+    pub fn write_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_write()).count()
+    }
+
+    /// The element with every operation's data complemented (degree of
+    /// freedom #5: data backgrounds).
+    pub fn complemented(&self) -> Self {
+        Self {
+            direction: self.direction,
+            ops: self.ops.iter().map(|op| op.complemented()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for MarchElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.direction)?;
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{op}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_accessors() {
+        let e = MarchElement::ascending(vec![MarchOp::R0, MarchOp::W1, MarchOp::R1]);
+        assert_eq!(e.direction(), AddressDirection::Ascending);
+        assert_eq!(e.op_count(), 3);
+        assert_eq!(e.read_count(), 2);
+        assert_eq!(e.write_count(), 1);
+        assert_eq!(e.ops()[1], MarchOp::W1);
+    }
+
+    #[test]
+    fn display_uses_standard_notation() {
+        let e = MarchElement::descending(vec![MarchOp::R1, MarchOp::W0]);
+        assert_eq!(format!("{e}"), "⇓(r1,w0)");
+        let e = MarchElement::either(vec![MarchOp::W0]);
+        assert_eq!(format!("{e}"), "⇕(w0)");
+        assert_eq!(format!("{}", AddressDirection::Ascending), "⇑");
+    }
+
+    #[test]
+    fn complement_swaps_data() {
+        let e = MarchElement::ascending(vec![MarchOp::R0, MarchOp::W1]);
+        let c = e.complemented();
+        assert_eq!(c.ops(), &[MarchOp::R1, MarchOp::W0]);
+        assert_eq!(c.direction(), AddressDirection::Ascending);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operation")]
+    fn empty_element_is_rejected() {
+        let _ = MarchElement::ascending(vec![]);
+    }
+}

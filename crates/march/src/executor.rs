@@ -1,0 +1,253 @@
+//! March test execution.
+//!
+//! [`run_march`] applies a [`MarchTest`] to any [`MemoryModel`] under a
+//! chosen [`AddressOrder`], comparing every read against its expected value
+//! and recording mismatches. [`MarchWalk`] exposes the same traversal as a
+//! flat iterator of [`MarchStep`]s so that higher layers (the low-power
+//! test engine in the `lp-precharge` crate) can map each operation onto a
+//! memory clock cycle without re-implementing the ordering rules.
+
+use serde::{Deserialize, Serialize};
+use sram_model::address::Address;
+use sram_model::config::ArrayOrganization;
+
+use crate::address_order::AddressOrder;
+use crate::algorithm::MarchTest;
+use crate::memory::MemoryModel;
+use crate::operation::MarchOp;
+
+/// One operation of a March test applied to one address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MarchStep {
+    /// Index of the March element this step belongs to.
+    pub element: usize,
+    /// Index of the operation within the element.
+    pub op_index: usize,
+    /// The address the operation targets.
+    pub address: Address,
+    /// The operation itself.
+    pub op: MarchOp,
+    /// `true` if this is the last operation applied to this address within
+    /// the current element (the next step moves to a new address or a new
+    /// element).
+    pub last_op_on_address: bool,
+    /// `true` if this is the last operation of the element on the last
+    /// address of the element's sequence.
+    pub last_op_of_element: bool,
+}
+
+/// A detected mismatch: a read returned something other than its expected
+/// value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mismatch {
+    /// The element in which the failing read occurred.
+    pub element: usize,
+    /// The address that failed.
+    pub address: Address,
+    /// The value the March test expected.
+    pub expected: bool,
+    /// The value the memory returned.
+    pub observed: bool,
+}
+
+/// Result of running a March test.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MarchResult {
+    /// Every read mismatch, in occurrence order.
+    pub mismatches: Vec<Mismatch>,
+    /// Number of operations executed.
+    pub operations: u64,
+    /// Number of read operations executed.
+    pub reads: u64,
+    /// Number of write operations executed.
+    pub writes: u64,
+}
+
+impl MarchResult {
+    /// `true` when no read mismatched — the memory passes the test.
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// `true` when at least one read mismatched — a fault was detected.
+    pub fn detected_fault(&self) -> bool {
+        !self.mismatches.is_empty()
+    }
+}
+
+/// Enumerates every `(element, address, operation)` step of `test` over
+/// `organization` under `order`, in execution order.
+pub fn march_walk(
+    test: &MarchTest,
+    order: &dyn AddressOrder,
+    organization: &ArrayOrganization,
+) -> Vec<MarchStep> {
+    let mut steps = Vec::with_capacity(
+        test.operation_count() * organization.capacity() as usize,
+    );
+    for (element_index, element) in test.elements().iter().enumerate() {
+        let addresses = order.sequence(organization, element.direction());
+        let ops = element.ops();
+        for (addr_pos, &address) in addresses.iter().enumerate() {
+            for (op_index, &op) in ops.iter().enumerate() {
+                let last_op_on_address = op_index == ops.len() - 1;
+                steps.push(MarchStep {
+                    element: element_index,
+                    op_index,
+                    address,
+                    op,
+                    last_op_on_address,
+                    last_op_of_element: last_op_on_address && addr_pos == addresses.len() - 1,
+                });
+            }
+        }
+    }
+    steps
+}
+
+/// Runs `test` on `memory` and reports every read mismatch.
+pub fn run_march(
+    test: &MarchTest,
+    order: &dyn AddressOrder,
+    organization: &ArrayOrganization,
+    memory: &mut dyn MemoryModel,
+) -> MarchResult {
+    let mut result = MarchResult::default();
+    for (element_index, element) in test.elements().iter().enumerate() {
+        let addresses = order.sequence(organization, element.direction());
+        for &address in &addresses {
+            for &op in element.ops() {
+                result.operations += 1;
+                match op {
+                    MarchOp::W0 => {
+                        memory.write(address, false);
+                        result.writes += 1;
+                    }
+                    MarchOp::W1 => {
+                        memory.write(address, true);
+                        result.writes += 1;
+                    }
+                    MarchOp::R0 | MarchOp::R1 => {
+                        result.reads += 1;
+                        let expected = op.expected_value().expect("reads have expectations");
+                        let observed = memory.read(address);
+                        if observed != expected {
+                            result.mismatches.push(Mismatch {
+                                element: element_index,
+                                address,
+                                expected,
+                                observed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address_order::{ColumnMajor, WordLineAfterWordLine};
+    use crate::library;
+    use crate::memory::GoodMemory;
+
+    fn org() -> ArrayOrganization {
+        ArrayOrganization::new(4, 4).unwrap()
+    }
+
+    #[test]
+    fn fault_free_memory_passes_every_library_test() {
+        let organization = org();
+        for test in library::all_algorithms() {
+            let mut memory = GoodMemory::new(organization.capacity());
+            let result = run_march(&test, &WordLineAfterWordLine, &organization, &mut memory);
+            assert!(result.passed(), "{} failed on a good memory", test.name());
+            assert_eq!(
+                result.operations,
+                test.total_operations(u64::from(organization.capacity()))
+            );
+            assert_eq!(
+                result.reads + result.writes,
+                result.operations,
+                "{}: reads + writes must equal operations",
+                test.name()
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_independent_of_order_for_good_memory() {
+        let organization = org();
+        let test = library::march_c_minus();
+        let mut m1 = GoodMemory::new(organization.capacity());
+        let mut m2 = GoodMemory::new(organization.capacity());
+        let r1 = run_march(&test, &WordLineAfterWordLine, &organization, &mut m1);
+        let r2 = run_march(&test, &ColumnMajor, &organization, &mut m2);
+        assert!(r1.passed() && r2.passed());
+    }
+
+    #[test]
+    fn stuck_cell_is_detected() {
+        // A crude inline stuck-at-0: a memory whose cell 5 never stores 1.
+        struct StuckAt0(GoodMemory);
+        impl MemoryModel for StuckAt0 {
+            fn capacity(&self) -> u32 {
+                self.0.capacity()
+            }
+            fn read(&mut self, address: Address) -> bool {
+                self.0.read(address)
+            }
+            fn write(&mut self, address: Address, value: bool) {
+                if address.value() == 5 {
+                    self.0.write(address, false);
+                } else {
+                    self.0.write(address, value);
+                }
+            }
+        }
+        let organization = org();
+        let mut memory = StuckAt0(GoodMemory::new(organization.capacity()));
+        let result = run_march(
+            &library::march_c_minus(),
+            &WordLineAfterWordLine,
+            &organization,
+            &mut memory,
+        );
+        assert!(result.detected_fault());
+        assert!(result
+            .mismatches
+            .iter()
+            .all(|m| m.address == Address::new(5)));
+    }
+
+    #[test]
+    fn walk_enumerates_every_operation_in_order() {
+        let organization = org();
+        let test = library::mats_plus();
+        let steps = march_walk(&test, &WordLineAfterWordLine, &organization);
+        assert_eq!(
+            steps.len(),
+            test.operation_count() * organization.capacity() as usize
+        );
+        // First element is ⇕(w0): one op per address, each both last-on-
+        // address; the final one is also last-of-element.
+        assert!(steps[0].last_op_on_address);
+        assert!(!steps[0].last_op_of_element);
+        let first_element_steps = organization.capacity() as usize;
+        assert!(steps[first_element_steps - 1].last_op_of_element);
+        // Second element ⇑(r0,w1): alternating last_op_on_address.
+        let s = &steps[first_element_steps];
+        assert_eq!(s.element, 1);
+        assert_eq!(s.op, MarchOp::R0);
+        assert!(!s.last_op_on_address);
+        assert!(steps[first_element_steps + 1].last_op_on_address);
+        // Descending element ends on address 0.
+        let last = steps.last().unwrap();
+        assert_eq!(last.element, 2);
+        assert_eq!(last.address, Address::new(0));
+        assert!(last.last_op_of_element);
+    }
+}

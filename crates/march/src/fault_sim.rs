@@ -1,0 +1,180 @@
+//! Single-fault simulation.
+//!
+//! [`simulate_fault`] injects one fault into an otherwise fault-free
+//! memory, runs a March test over it under a given address order and
+//! reports whether the test detected the fault (at least one read
+//! mismatch). This is the primitive underneath the
+//! [`coverage`](crate::coverage) and [`dof`](crate::dof) experiments.
+
+use serde::{Deserialize, Serialize};
+use sram_model::config::ArrayOrganization;
+
+use crate::address_order::AddressOrder;
+use crate::algorithm::MarchTest;
+use crate::executor::run_march;
+use crate::faults::{Fault, FaultKind, FaultyMemory};
+use crate::memory::GoodMemory;
+
+/// Result of simulating one fault under one test/order combination.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSimOutcome {
+    /// Instance name of the injected fault.
+    pub fault_name: String,
+    /// Fault class.
+    pub fault_kind: FaultKind,
+    /// Name of the March test applied.
+    pub test_name: String,
+    /// Name of the address order used.
+    pub order_name: String,
+    /// Whether at least one read mismatched.
+    pub detected: bool,
+    /// Number of read mismatches observed.
+    pub mismatches: usize,
+}
+
+/// Runs `test` over a memory containing exactly one injected fault. The
+/// memory starts with the all-`0` background.
+pub fn simulate_fault(
+    test: &MarchTest,
+    order: &dyn AddressOrder,
+    organization: &ArrayOrganization,
+    fault: Box<dyn Fault>,
+) -> FaultSimOutcome {
+    simulate_fault_with_background(test, order, organization, fault, false)
+}
+
+/// Runs `test` over a memory containing exactly one injected fault, with
+/// every cell initialised to `background` before the test starts. Detection
+/// of some faults (e.g. write-disturb faults triggered by the very first
+/// initialising write) depends on the pre-test contents, which is why the
+/// background is exposed.
+pub fn simulate_fault_with_background(
+    test: &MarchTest,
+    order: &dyn AddressOrder,
+    organization: &ArrayOrganization,
+    fault: Box<dyn Fault>,
+    background: bool,
+) -> FaultSimOutcome {
+    let fault_name = fault.name();
+    let fault_kind = fault.kind();
+    let mut memory = FaultyMemory::new(
+        GoodMemory::filled(organization.capacity(), background),
+        fault,
+    );
+    let result = run_march(test, order, organization, &mut memory);
+    FaultSimOutcome {
+        fault_name,
+        fault_kind,
+        test_name: test.name().to_string(),
+        order_name: order.name().to_string(),
+        detected: result.detected_fault(),
+        mismatches: result.mismatches.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address_order::WordLineAfterWordLine;
+    use crate::faults::{
+        DeceptiveReadDestructiveFault, StuckAtFault, TransitionFault, WriteDisturbFault,
+    };
+    use crate::library;
+    use sram_model::address::Address;
+
+    fn org() -> ArrayOrganization {
+        ArrayOrganization::new(4, 4).unwrap()
+    }
+
+    #[test]
+    fn mats_plus_detects_stuck_at_faults() {
+        let organization = org();
+        for value in [false, true] {
+            let outcome = simulate_fault(
+                &library::mats_plus(),
+                &WordLineAfterWordLine,
+                &organization,
+                Box::new(StuckAtFault::new(Address::new(7), value)),
+            );
+            assert!(outcome.detected, "MATS+ must detect SAF{}", u8::from(value));
+            assert!(outcome.mismatches > 0);
+        }
+    }
+
+    #[test]
+    fn march_c_minus_detects_transition_faults() {
+        let organization = org();
+        for rising in [false, true] {
+            let outcome = simulate_fault(
+                &library::march_c_minus(),
+                &WordLineAfterWordLine,
+                &organization,
+                Box::new(TransitionFault::new(Address::new(9), rising)),
+            );
+            assert!(outcome.detected, "March C- must detect TF (rising={rising})");
+        }
+    }
+
+    #[test]
+    fn mats_plus_misses_write_disturb_but_march_ss_catches_it() {
+        // With an all-1 background, the initialising w0 of MATS+ is a real
+        // transition, so the algorithm never applies a non-transition write
+        // followed by a read and the WDF escapes. March SS contains the
+        // required ...w_x, r_x pattern and catches it regardless.
+        let organization = org();
+        let victim = Address::new(5);
+        let missed = simulate_fault_with_background(
+            &library::mats_plus(),
+            &WordLineAfterWordLine,
+            &organization,
+            Box::new(WriteDisturbFault::new(victim)),
+            true,
+        );
+        assert!(
+            !missed.detected,
+            "MATS+ applies no non-transition write followed by a read"
+        );
+        let caught = simulate_fault_with_background(
+            &library::march_ss(),
+            &WordLineAfterWordLine,
+            &organization,
+            Box::new(WriteDisturbFault::new(victim)),
+            true,
+        );
+        assert!(caught.detected, "March SS detects WDF");
+    }
+
+    #[test]
+    fn deceptive_read_destructive_needs_read_after_read() {
+        let organization = org();
+        let victim = Address::new(3);
+        let missed = simulate_fault(
+            &library::mats_plus(),
+            &WordLineAfterWordLine,
+            &organization,
+            Box::new(DeceptiveReadDestructiveFault::new(victim)),
+        );
+        assert!(!missed.detected, "MATS+ has no back-to-back reads");
+        let caught = simulate_fault(
+            &library::march_ss(),
+            &WordLineAfterWordLine,
+            &organization,
+            Box::new(DeceptiveReadDestructiveFault::new(victim)),
+        );
+        assert!(caught.detected, "March SS has r,r pairs and detects DRDF");
+    }
+
+    #[test]
+    fn outcome_records_names() {
+        let organization = org();
+        let outcome = simulate_fault(
+            &library::march_c_minus(),
+            &WordLineAfterWordLine,
+            &organization,
+            Box::new(StuckAtFault::new(Address::new(0), true)),
+        );
+        assert_eq!(outcome.test_name, "March C-");
+        assert_eq!(outcome.order_name, "word line after word line");
+        assert_eq!(outcome.fault_name, "SAF1@0");
+    }
+}

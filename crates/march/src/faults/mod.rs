@@ -1,0 +1,272 @@
+//! Functional memory fault models.
+//!
+//! Fault simulation works by wrapping the fault-free [`GoodMemory`] in a
+//! [`FaultyMemory`] that lets one injected [`Fault`] perturb reads and
+//! writes. The models implemented here are the classical single-cell and
+//! two-cell (coupling) functional fault models from the memory-test
+//! literature (van de Goor), plus the read-destructive family that the
+//! paper's authors study in their earlier work:
+//!
+//! | module | faults |
+//! |---|---|
+//! | [`stuck_at`] | SAF (stuck-at-0 / stuck-at-1) |
+//! | [`transition`] | TF (up / down transition faults) |
+//! | [`coupling`] | CFin, CFid, CFst |
+//! | [`read_fault`] | RDF, DRDF, IRF |
+//! | [`stuck_open`] | SOF |
+//! | [`write_disturb`] | WDF |
+//! | [`address_decoder`] | AF (aliased addresses) |
+
+pub mod address_decoder;
+pub mod coupling;
+pub mod read_fault;
+pub mod stuck_at;
+pub mod stuck_open;
+pub mod transition;
+pub mod write_disturb;
+
+pub use address_decoder::AddressAliasFault;
+pub use coupling::{CouplingIdempotentFault, CouplingInversionFault, CouplingStateFault};
+pub use read_fault::{DeceptiveReadDestructiveFault, IncorrectReadFault, ReadDestructiveFault};
+pub use stuck_at::StuckAtFault;
+pub use stuck_open::StuckOpenFault;
+pub use transition::TransitionFault;
+pub use write_disturb::WriteDisturbFault;
+
+use serde::{Deserialize, Serialize};
+use sram_model::address::Address;
+use sram_model::config::ArrayOrganization;
+use std::fmt;
+
+use crate::memory::{GoodMemory, MemoryModel};
+
+/// Broad classification of a fault model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// Stuck-at fault.
+    StuckAt,
+    /// Transition fault.
+    Transition,
+    /// Inversion coupling fault.
+    CouplingInversion,
+    /// Idempotent coupling fault.
+    CouplingIdempotent,
+    /// State coupling fault.
+    CouplingState,
+    /// Read destructive fault.
+    ReadDestructive,
+    /// Deceptive read destructive fault.
+    DeceptiveReadDestructive,
+    /// Incorrect read fault.
+    IncorrectRead,
+    /// Stuck-open fault.
+    StuckOpen,
+    /// Write disturb fault.
+    WriteDisturb,
+    /// Address-decoder fault.
+    AddressDecoder,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::StuckAt => "SAF",
+            FaultKind::Transition => "TF",
+            FaultKind::CouplingInversion => "CFin",
+            FaultKind::CouplingIdempotent => "CFid",
+            FaultKind::CouplingState => "CFst",
+            FaultKind::ReadDestructive => "RDF",
+            FaultKind::DeceptiveReadDestructive => "DRDF",
+            FaultKind::IncorrectRead => "IRF",
+            FaultKind::StuckOpen => "SOF",
+            FaultKind::WriteDisturb => "WDF",
+            FaultKind::AddressDecoder => "AF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One injected fault instance.
+///
+/// A fault sees every read and write of the memory and decides how the
+/// underlying fault-free state ([`GoodMemory`]) is affected and what value
+/// a read returns. Addresses the fault does not involve must behave
+/// normally.
+pub trait Fault: fmt::Debug {
+    /// Short human-readable instance name, e.g. `"SAF0@17"`.
+    fn name(&self) -> String;
+
+    /// The fault class.
+    fn kind(&self) -> FaultKind;
+
+    /// Performs the (possibly faulty) effect of writing `value` at
+    /// `address`.
+    fn write(&mut self, memory: &mut GoodMemory, address: Address, value: bool);
+
+    /// Performs the (possibly faulty) effect of reading `address` and
+    /// returns the value observed at the memory outputs.
+    fn read(&mut self, memory: &mut GoodMemory, address: Address) -> bool;
+}
+
+/// A fault-free memory wrapped with one injected fault.
+#[derive(Debug)]
+pub struct FaultyMemory {
+    base: GoodMemory,
+    fault: Box<dyn Fault>,
+}
+
+impl FaultyMemory {
+    /// Wraps `base` with `fault`.
+    pub fn new(base: GoodMemory, fault: Box<dyn Fault>) -> Self {
+        Self { base, fault }
+    }
+
+    /// Convenience constructor: a zero-initialised memory of `capacity`
+    /// cells with `fault` injected.
+    pub fn with_capacity(capacity: u32, fault: Box<dyn Fault>) -> Self {
+        Self::new(GoodMemory::new(capacity), fault)
+    }
+
+    /// The injected fault.
+    pub fn fault(&self) -> &dyn Fault {
+        self.fault.as_ref()
+    }
+
+    /// The underlying fault-free state.
+    pub fn base(&self) -> &GoodMemory {
+        &self.base
+    }
+}
+
+impl MemoryModel for FaultyMemory {
+    fn capacity(&self) -> u32 {
+        self.base.capacity()
+    }
+
+    fn read(&mut self, address: Address) -> bool {
+        self.fault.read(&mut self.base, address)
+    }
+
+    fn write(&mut self, address: Address, value: bool) {
+        self.fault.write(&mut self.base, address, value);
+    }
+}
+
+/// A generator of fault instances, so coverage experiments can build fresh
+/// (stateful) fault objects for every run.
+pub type FaultFactory = Box<dyn Fn() -> Box<dyn Fault>>;
+
+/// Builds the standard fault list used by the coverage and
+/// degree-of-freedom experiments: every fault class instantiated at a
+/// handful of representative victim locations (first cell, a mid-array
+/// cell, last cell) with a neighbouring aggressor where applicable.
+pub fn standard_fault_list(organization: &ArrayOrganization) -> Vec<FaultFactory> {
+    let capacity = organization.capacity();
+    assert!(capacity >= 4, "fault list needs at least four cells");
+    let victims = [0, capacity / 2, capacity - 1];
+    let mut factories: Vec<FaultFactory> = Vec::new();
+
+    for &v in &victims {
+        let victim = Address::new(v);
+        // The aggressor is the next cell (wrapping away from the end).
+        let aggressor = Address::new(if v + 1 < capacity { v + 1 } else { v - 1 });
+
+        for value in [false, true] {
+            factories.push(Box::new(move || Box::new(StuckAtFault::new(victim, value))));
+            factories.push(Box::new(move || {
+                Box::new(CouplingIdempotentFault::new(aggressor, victim, true, value))
+            }));
+            factories.push(Box::new(move || {
+                Box::new(CouplingStateFault::new(aggressor, victim, value, !value))
+            }));
+        }
+        for rising in [false, true] {
+            factories.push(Box::new(move || Box::new(TransitionFault::new(victim, rising))));
+            factories.push(Box::new(move || {
+                Box::new(CouplingInversionFault::new(aggressor, victim, rising))
+            }));
+        }
+        factories.push(Box::new(move || Box::new(ReadDestructiveFault::new(victim))));
+        factories.push(Box::new(move || {
+            Box::new(DeceptiveReadDestructiveFault::new(victim))
+        }));
+        factories.push(Box::new(move || Box::new(IncorrectReadFault::new(victim))));
+        factories.push(Box::new(move || Box::new(StuckOpenFault::new(victim))));
+        factories.push(Box::new(move || Box::new(WriteDisturbFault::new(victim))));
+        factories.push(Box::new(move || {
+            Box::new(AddressAliasFault::new(victim, aggressor))
+        }));
+    }
+    factories
+}
+
+/// Like [`standard_fault_list`], but restricted to the *static* fault
+/// classes for which the first March degree of freedom (arbitrary address
+/// order) provably preserves detection. The stuck-open fault is excluded:
+/// its observable behaviour depends on the value left on the bit lines by
+/// the *previous* read, so whether a given March test happens to catch a
+/// specific SOF instance legitimately depends on the address sequence.
+pub fn static_fault_list(organization: &ArrayOrganization) -> Vec<FaultFactory> {
+    standard_fault_list(organization)
+        .into_iter()
+        .filter(|factory| factory().kind() != FaultKind::StuckOpen)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faulty_memory_delegates_to_fault() {
+        let fault = Box::new(StuckAtFault::new(Address::new(2), true));
+        let mut memory = FaultyMemory::with_capacity(8, fault);
+        assert_eq!(memory.capacity(), 8);
+        memory.write(Address::new(2), false);
+        assert!(memory.read(Address::new(2)), "cell 2 is stuck at 1");
+        memory.write(Address::new(3), true);
+        assert!(memory.read(Address::new(3)), "other cells behave normally");
+        assert_eq!(memory.fault().kind(), FaultKind::StuckAt);
+        assert!(memory.base().get(Address::new(3)));
+    }
+
+    #[test]
+    fn standard_fault_list_covers_every_kind() {
+        let organization = ArrayOrganization::new(4, 4).unwrap();
+        let list = standard_fault_list(&organization);
+        assert!(list.len() > 30);
+        let kinds: std::collections::BTreeSet<String> = list
+            .iter()
+            .map(|factory| factory().kind().to_string())
+            .collect();
+        for expected in [
+            "SAF", "TF", "CFin", "CFid", "CFst", "RDF", "DRDF", "IRF", "SOF", "WDF", "AF",
+        ] {
+            assert!(kinds.contains(expected), "missing fault kind {expected}");
+        }
+    }
+
+    #[test]
+    fn static_fault_list_excludes_stuck_open() {
+        let organization = ArrayOrganization::new(4, 4).unwrap();
+        let list = static_fault_list(&organization);
+        assert!(!list.is_empty());
+        assert!(list.iter().all(|f| f().kind() != FaultKind::StuckOpen));
+        assert!(list.len() < standard_fault_list(&organization).len());
+    }
+
+    #[test]
+    fn fault_kind_display() {
+        assert_eq!(FaultKind::StuckAt.to_string(), "SAF");
+        assert_eq!(FaultKind::DeceptiveReadDestructive.to_string(), "DRDF");
+        assert_eq!(FaultKind::AddressDecoder.to_string(), "AF");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least four cells")]
+    fn tiny_memory_rejected() {
+        let organization = ArrayOrganization::new(1, 2).unwrap();
+        let _ = standard_fault_list(&organization);
+    }
+}

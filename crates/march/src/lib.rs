@@ -1,0 +1,74 @@
+//! March memory-test engine.
+//!
+//! March tests are the de-facto standard algorithms for testing random
+//! access memories: a *March test* is a sequence of *March elements*, each
+//! of which applies a short sequence of read/write operations to every cell
+//! of the memory in a prescribed address order. This crate provides:
+//!
+//! * the test description types ([`operation::MarchOp`],
+//!   [`element::MarchElement`], [`algorithm::MarchTest`]) and a
+//!   [`library`] of the published algorithms used by the paper's Table 1
+//!   (MATS+, March C-, March SS, March SR, March G) plus several other
+//!   classics,
+//! * [`address_order`] implementations of the first March degree of
+//!   freedom: the *word-line-after-word-line* (row-major) order exploited
+//!   by the paper, the column-major order, plain linear order and a seeded
+//!   pseudo-random permutation,
+//! * a behavioural [`memory`] model and a library of functional
+//!   [`faults`] (stuck-at, transition, coupling, read-destructive,
+//!   stuck-open, write-disturb, address-decoder, …),
+//! * the [`executor`] that applies a March test to any memory model, and
+//!   the [`fault_sim`]/[`coverage`] layers that measure which faults each
+//!   algorithm detects — used to demonstrate that fixing the address order
+//!   (the paper's prerequisite) does not change fault coverage
+//!   ([`dof`]).
+//!
+//! # Example
+//!
+//! ```
+//! use march_test::prelude::*;
+//! use sram_model::config::ArrayOrganization;
+//!
+//! let organization = ArrayOrganization::new(8, 8)?;
+//! let test = library::march_c_minus();
+//! assert_eq!(test.operation_count(), 10);
+//!
+//! // Run it on a fault-free memory: no failures.
+//! let order = WordLineAfterWordLine;
+//! let mut memory = GoodMemory::new(organization.capacity());
+//! let result = run_march(&test, &order, &organization, &mut memory);
+//! assert!(result.passed());
+//! # Ok::<(), sram_model::error::SramError>(())
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address_order;
+pub mod algorithm;
+pub mod background;
+pub mod coverage;
+pub mod dof;
+pub mod element;
+pub mod executor;
+pub mod fault_sim;
+pub mod faults;
+pub mod library;
+pub mod memory;
+pub mod operation;
+
+/// Convenient glob import of the most commonly used items.
+pub mod prelude {
+    pub use crate::address_order::{
+        AddressOrder, ColumnMajor, PseudoRandomOrder, WordLineAfterWordLine,
+    };
+    pub use crate::algorithm::MarchTest;
+    pub use crate::background::DataBackground;
+    pub use crate::coverage::{evaluate_coverage, CoverageReport};
+    pub use crate::element::{AddressDirection, MarchElement};
+    pub use crate::executor::{run_march, MarchResult, MarchStep};
+    pub use crate::fault_sim::{simulate_fault, FaultSimOutcome};
+    pub use crate::faults::{standard_fault_list, Fault};
+    pub use crate::library;
+    pub use crate::memory::{GoodMemory, MemoryModel};
+    pub use crate::operation::MarchOp;
+}

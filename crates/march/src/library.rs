@@ -1,0 +1,299 @@
+//! Library of published March algorithms.
+//!
+//! The five algorithms of the paper's Table 1 are here (MATS+, March C-,
+//! March SS, March SR, March G) together with several other classics that
+//! are useful for ablation experiments. Element sequences follow van de
+//! Goor's *Testing Semiconductor Memories* and the original publications;
+//! each constructor's unit test pins the element/operation/read/write
+//! counts so Table 1's workload statistics are reproduced exactly.
+
+use crate::algorithm::MarchTest;
+use crate::element::MarchElement;
+use crate::operation::MarchOp::*;
+
+/// MATS: `{⇕(w0); ⇕(r0,w1); ⇕(r1)}` — the minimal stuck-at test.
+pub fn mats() -> MarchTest {
+    MarchTest::new(
+        "MATS",
+        vec![
+            MarchElement::either(vec![W0]),
+            MarchElement::either(vec![R0, W1]),
+            MarchElement::either(vec![R1]),
+        ],
+    )
+}
+
+/// MATS+: `{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}` (Table 1: 3 elements, 5 ops,
+/// 2 reads, 3 writes).
+pub fn mats_plus() -> MarchTest {
+    MarchTest::new(
+        "MATS+",
+        vec![
+            MarchElement::either(vec![W0]),
+            MarchElement::ascending(vec![R0, W1]),
+            MarchElement::descending(vec![R1, W0]),
+        ],
+    )
+}
+
+/// MATS++: `{⇕(w0); ⇑(r0,w1); ⇓(r1,w0,r0)}`.
+pub fn mats_plus_plus() -> MarchTest {
+    MarchTest::new(
+        "MATS++",
+        vec![
+            MarchElement::either(vec![W0]),
+            MarchElement::ascending(vec![R0, W1]),
+            MarchElement::descending(vec![R1, W0, R0]),
+        ],
+    )
+}
+
+/// March X: `{⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0)}`.
+pub fn march_x() -> MarchTest {
+    MarchTest::new(
+        "March X",
+        vec![
+            MarchElement::either(vec![W0]),
+            MarchElement::ascending(vec![R0, W1]),
+            MarchElement::descending(vec![R1, W0]),
+            MarchElement::either(vec![R0]),
+        ],
+    )
+}
+
+/// March Y: `{⇕(w0); ⇑(r0,w1,r1); ⇓(r1,w0,r0); ⇕(r0)}`.
+pub fn march_y() -> MarchTest {
+    MarchTest::new(
+        "March Y",
+        vec![
+            MarchElement::either(vec![W0]),
+            MarchElement::ascending(vec![R0, W1, R1]),
+            MarchElement::descending(vec![R1, W0, R0]),
+            MarchElement::either(vec![R0]),
+        ],
+    )
+}
+
+/// March C-: `{⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)}`
+/// (Table 1: 6 elements, 10 ops, 5 reads, 5 writes).
+pub fn march_c_minus() -> MarchTest {
+    MarchTest::new(
+        "March C-",
+        vec![
+            MarchElement::either(vec![W0]),
+            MarchElement::ascending(vec![R0, W1]),
+            MarchElement::ascending(vec![R1, W0]),
+            MarchElement::descending(vec![R0, W1]),
+            MarchElement::descending(vec![R1, W0]),
+            MarchElement::either(vec![R0]),
+        ],
+    )
+}
+
+/// March A: `{⇕(w0); ⇑(r0,w1,w0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}`.
+pub fn march_a() -> MarchTest {
+    MarchTest::new(
+        "March A",
+        vec![
+            MarchElement::either(vec![W0]),
+            MarchElement::ascending(vec![R0, W1, W0, W1]),
+            MarchElement::ascending(vec![R1, W0, W1]),
+            MarchElement::descending(vec![R1, W0, W1, W0]),
+            MarchElement::descending(vec![R0, W1, W0]),
+        ],
+    )
+}
+
+/// March B: `{⇕(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}`.
+pub fn march_b() -> MarchTest {
+    MarchTest::new(
+        "March B",
+        vec![
+            MarchElement::either(vec![W0]),
+            MarchElement::ascending(vec![R0, W1, R1, W0, R0, W1]),
+            MarchElement::ascending(vec![R1, W0, W1]),
+            MarchElement::descending(vec![R1, W0, W1, W0]),
+            MarchElement::descending(vec![R0, W1, W0]),
+        ],
+    )
+}
+
+/// March SS:
+/// `{⇕(w0); ⇑(r0,r0,w0,r0,w1); ⇑(r1,r1,w1,r1,w0); ⇓(r0,r0,w0,r0,w1); ⇓(r1,r1,w1,r1,w0); ⇕(r0)}`
+/// (Table 1: 6 elements, 22 ops, 13 reads, 9 writes).
+pub fn march_ss() -> MarchTest {
+    MarchTest::new(
+        "March SS",
+        vec![
+            MarchElement::either(vec![W0]),
+            MarchElement::ascending(vec![R0, R0, W0, R0, W1]),
+            MarchElement::ascending(vec![R1, R1, W1, R1, W0]),
+            MarchElement::descending(vec![R0, R0, W0, R0, W1]),
+            MarchElement::descending(vec![R1, R1, W1, R1, W0]),
+            MarchElement::either(vec![R0]),
+        ],
+    )
+}
+
+/// March SR:
+/// `{⇓(w0); ⇑(r0,w1,r1,w0); ⇑(r0,r0); ⇑(w1); ⇓(r1,w0,r0,w1); ⇓(r1,r1)}`
+/// (Table 1: 6 elements, 14 ops, 8 reads, 6 writes).
+pub fn march_sr() -> MarchTest {
+    MarchTest::new(
+        "March SR",
+        vec![
+            MarchElement::descending(vec![W0]),
+            MarchElement::ascending(vec![R0, W1, R1, W0]),
+            MarchElement::ascending(vec![R0, R0]),
+            MarchElement::ascending(vec![W1]),
+            MarchElement::descending(vec![R1, W0, R0, W1]),
+            MarchElement::descending(vec![R1, R1]),
+        ],
+    )
+}
+
+/// March G (without the two delay pauses, which contribute no operations):
+/// `{⇕(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0); ⇕(r0,w1,r1); ⇕(r1,w0,r0)}`
+/// (Table 1: 7 elements, 23 ops, 10 reads, 13 writes).
+pub fn march_g() -> MarchTest {
+    MarchTest::new(
+        "March G",
+        vec![
+            MarchElement::either(vec![W0]),
+            MarchElement::ascending(vec![R0, W1, R1, W0, R0, W1]),
+            MarchElement::ascending(vec![R1, W0, W1]),
+            MarchElement::descending(vec![R1, W0, W1, W0]),
+            MarchElement::descending(vec![R0, W1, W0]),
+            MarchElement::either(vec![R0, W1, R1]),
+            MarchElement::either(vec![R1, W0, R0]),
+        ],
+    )
+}
+
+/// March LR: `{⇕(w0); ⇓(r0,w1); ⇑(r1,w0,r0,w1); ⇑(r1,w0); ⇑(r0,w1,r1,w0); ⇑(r0)}`.
+pub fn march_lr() -> MarchTest {
+    MarchTest::new(
+        "March LR",
+        vec![
+            MarchElement::either(vec![W0]),
+            MarchElement::descending(vec![R0, W1]),
+            MarchElement::ascending(vec![R1, W0, R0, W1]),
+            MarchElement::ascending(vec![R1, W0]),
+            MarchElement::ascending(vec![R0, W1, R1, W0]),
+            MarchElement::ascending(vec![R0]),
+        ],
+    )
+}
+
+/// March iC-: the improved March C- of Dilillo et al. (VTS 2004) targeting
+/// address-decoder open faults; same element structure as March C- but with
+/// the last element split to add read-after-read observation:
+/// `{⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇑(r0); ⇓(r0)}`.
+pub fn march_ic_minus() -> MarchTest {
+    MarchTest::new(
+        "March iC-",
+        vec![
+            MarchElement::either(vec![W0]),
+            MarchElement::ascending(vec![R0, W1]),
+            MarchElement::ascending(vec![R1, W0]),
+            MarchElement::descending(vec![R0, W1]),
+            MarchElement::descending(vec![R1, W0]),
+            MarchElement::ascending(vec![R0]),
+            MarchElement::descending(vec![R0]),
+        ],
+    )
+}
+
+/// The five algorithms evaluated in the paper's Table 1, in table order.
+pub fn table1_algorithms() -> Vec<MarchTest> {
+    vec![
+        march_c_minus(),
+        march_ss(),
+        mats_plus(),
+        march_sr(),
+        march_g(),
+    ]
+}
+
+/// Every algorithm in the library.
+pub fn all_algorithms() -> Vec<MarchTest> {
+    vec![
+        mats(),
+        mats_plus(),
+        mats_plus_plus(),
+        march_x(),
+        march_y(),
+        march_c_minus(),
+        march_a(),
+        march_b(),
+        march_ss(),
+        march_sr(),
+        march_g(),
+        march_lr(),
+        march_ic_minus(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The `(#elm, #oper, #read, #write)` tuples of the paper's Table 1.
+    #[test]
+    fn table1_statistics_match_the_paper() {
+        let cases = [
+            (march_c_minus(), 6, 10, 5, 5),
+            (march_ss(), 6, 22, 13, 9),
+            (mats_plus(), 3, 5, 2, 3),
+            (march_sr(), 6, 14, 8, 6),
+            (march_g(), 7, 23, 10, 13),
+        ];
+        for (test, elements, ops, reads, writes) in cases {
+            assert_eq!(test.element_count(), elements, "{} elements", test.name());
+            assert_eq!(test.operation_count(), ops, "{} operations", test.name());
+            assert_eq!(test.read_count(), reads, "{} reads", test.name());
+            assert_eq!(test.write_count(), writes, "{} writes", test.name());
+        }
+    }
+
+    #[test]
+    fn other_algorithms_have_expected_complexity() {
+        assert_eq!(mats().operation_count(), 4);
+        assert_eq!(mats_plus_plus().operation_count(), 6);
+        assert_eq!(march_x().operation_count(), 6);
+        assert_eq!(march_y().operation_count(), 8);
+        assert_eq!(march_a().operation_count(), 15);
+        assert_eq!(march_b().operation_count(), 17);
+        assert_eq!(march_lr().operation_count(), 14);
+        assert_eq!(march_ic_minus().operation_count(), 11);
+    }
+
+    #[test]
+    fn all_algorithms_initialize_memory_and_balance_reads_and_writes() {
+        for test in all_algorithms() {
+            assert!(
+                test.initializes_memory(),
+                "{} must start with an unconditional write",
+                test.name()
+            );
+            assert_eq!(
+                test.read_count() + test.write_count(),
+                test.operation_count(),
+                "{} read/write split must cover every operation",
+                test.name()
+            );
+        }
+    }
+
+    #[test]
+    fn table1_selection_is_in_paper_order() {
+        let names: Vec<String> = table1_algorithms()
+            .iter()
+            .map(|t| t.name().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["March C-", "March SS", "MATS+", "March SR", "March G"]
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Behavioural memory models for fault simulation.
+//!
+//! Fault simulation does not need the electrical detail of the
+//! `sram-model` crate — it needs a functional view: an array of bits whose
+//! read/write behaviour can be perturbed by an injected fault. The
+//! [`MemoryModel`] trait is that view; [`GoodMemory`] is the fault-free
+//! implementation, and [`crate::faults::FaultyMemory`] wraps it with a
+//! fault's behaviour.
+
+use sram_model::address::Address;
+
+/// A functional single-bit-per-address memory.
+pub trait MemoryModel {
+    /// Number of addressable cells.
+    fn capacity(&self) -> u32;
+
+    /// Reads the cell at `address`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `address` is outside `0..capacity()`.
+    fn read(&mut self, address: Address) -> bool;
+
+    /// Writes `value` into the cell at `address`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `address` is outside `0..capacity()`.
+    fn write(&mut self, address: Address, value: bool);
+}
+
+/// A fault-free memory backed by a plain bit vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoodMemory {
+    cells: Vec<bool>,
+}
+
+impl GoodMemory {
+    /// Creates a memory of `capacity` cells, all holding `0`.
+    pub fn new(capacity: u32) -> Self {
+        Self {
+            cells: vec![false; capacity as usize],
+        }
+    }
+
+    /// Creates a memory with every cell holding `value`.
+    pub fn filled(capacity: u32, value: bool) -> Self {
+        Self {
+            cells: vec![value; capacity as usize],
+        }
+    }
+
+    /// Direct, non-faulty access to a cell (used by fault wrappers to reach
+    /// the underlying state).
+    pub fn get(&self, address: Address) -> bool {
+        self.cells[address.value() as usize]
+    }
+
+    /// Direct, non-faulty modification of a cell.
+    pub fn set(&mut self, address: Address, value: bool) {
+        self.cells[address.value() as usize] = value;
+    }
+
+    /// Iterates over all stored values in address order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.cells.iter().copied()
+    }
+}
+
+impl MemoryModel for GoodMemory {
+    fn capacity(&self) -> u32 {
+        self.cells.len() as u32
+    }
+
+    fn read(&mut self, address: Address) -> bool {
+        self.cells[address.value() as usize]
+    }
+
+    fn write(&mut self, address: Address, value: bool) {
+        self.cells[address.value() as usize] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn good_memory_read_write() {
+        let mut m = GoodMemory::new(16);
+        assert_eq!(m.capacity(), 16);
+        assert!(!m.read(Address::new(3)));
+        m.write(Address::new(3), true);
+        assert!(m.read(Address::new(3)));
+        assert!(m.get(Address::new(3)));
+        m.set(Address::new(3), false);
+        assert!(!m.read(Address::new(3)));
+    }
+
+    #[test]
+    fn filled_memory() {
+        let m = GoodMemory::filled(8, true);
+        assert!(m.iter().all(|v| v));
+        assert_eq!(m.iter().count(), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_read_panics() {
+        let mut m = GoodMemory::new(4);
+        let _ = m.read(Address::new(4));
+    }
+}

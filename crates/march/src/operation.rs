@@ -1,0 +1,126 @@
+//! March operations.
+//!
+//! Each March element is a short sequence of single-cell operations drawn
+//! from four primitives: write `0`, write `1`, read expecting `0`, read
+//! expecting `1`. The expected value of a read is part of the operation —
+//! a March test knows what every cell must contain at every point of the
+//! sequence, which is what makes the comparison-based fault detection of
+//! [`crate::executor`] possible.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One single-cell March operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MarchOp {
+    /// Write `0` into the cell.
+    W0,
+    /// Write `1` into the cell.
+    W1,
+    /// Read the cell, expecting `0`.
+    R0,
+    /// Read the cell, expecting `1`.
+    R1,
+}
+
+impl MarchOp {
+    /// Returns `true` for read operations.
+    pub fn is_read(self) -> bool {
+        matches!(self, MarchOp::R0 | MarchOp::R1)
+    }
+
+    /// Returns `true` for write operations.
+    pub fn is_write(self) -> bool {
+        matches!(self, MarchOp::W0 | MarchOp::W1)
+    }
+
+    /// The value written by a write operation, `None` for reads.
+    pub fn write_value(self) -> Option<bool> {
+        match self {
+            MarchOp::W0 => Some(false),
+            MarchOp::W1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// The value a read operation expects, `None` for writes.
+    pub fn expected_value(self) -> Option<bool> {
+        match self {
+            MarchOp::R0 => Some(false),
+            MarchOp::R1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// The operation with `0` and `1` swapped — used to apply a test under
+    /// the complemented data background (March degree of freedom #5).
+    pub fn complemented(self) -> Self {
+        match self {
+            MarchOp::W0 => MarchOp::W1,
+            MarchOp::W1 => MarchOp::W0,
+            MarchOp::R0 => MarchOp::R1,
+            MarchOp::R1 => MarchOp::R0,
+        }
+    }
+
+    /// Parses the conventional textual notation (`"w0"`, `"w1"`, `"r0"`,
+    /// `"r1"`, case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "w0" => Some(MarchOp::W0),
+            "w1" => Some(MarchOp::W1),
+            "r0" => Some(MarchOp::R0),
+            "r1" => Some(MarchOp::R1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MarchOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MarchOp::W0 => "w0",
+            MarchOp::W1 => "w1",
+            MarchOp::R0 => "r0",
+            MarchOp::R1 => "r1",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_and_values() {
+        assert!(MarchOp::R0.is_read());
+        assert!(MarchOp::R1.is_read());
+        assert!(MarchOp::W0.is_write());
+        assert!(MarchOp::W1.is_write());
+        assert_eq!(MarchOp::W1.write_value(), Some(true));
+        assert_eq!(MarchOp::W0.write_value(), Some(false));
+        assert_eq!(MarchOp::R1.write_value(), None);
+        assert_eq!(MarchOp::R0.expected_value(), Some(false));
+        assert_eq!(MarchOp::R1.expected_value(), Some(true));
+        assert_eq!(MarchOp::W0.expected_value(), None);
+    }
+
+    #[test]
+    fn complement_is_an_involution() {
+        for op in [MarchOp::W0, MarchOp::W1, MarchOp::R0, MarchOp::R1] {
+            assert_eq!(op.complemented().complemented(), op);
+            assert_ne!(op.complemented(), op);
+        }
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for op in [MarchOp::W0, MarchOp::W1, MarchOp::R0, MarchOp::R1] {
+            assert_eq!(MarchOp::parse(&op.to_string()), Some(op));
+        }
+        assert_eq!(MarchOp::parse("W1"), Some(MarchOp::W1));
+        assert_eq!(MarchOp::parse(" r0 "), Some(MarchOp::R0));
+        assert_eq!(MarchOp::parse("x1"), None);
+    }
+}

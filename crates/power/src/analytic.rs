@@ -1,0 +1,237 @@
+//! The paper's closed-form power model.
+//!
+//! Section 5 of the paper expresses the average power per clock cycle in
+//! the two modes as
+//!
+//! ```text
+//! P_F   = (#read · P_r + #write · P_w) / #operations
+//! P_LPT = P_F − ( (#col − 2) · P_A  −  (#elements / #operations) · P_B )
+//! PRR   = 1 − P_LPT / P_F
+//! ```
+//!
+//! where `P_A` is the per-column pre-charge RES power, `P_B` the
+//! row-transition column restoration power, and `P_r`/`P_w` the functional
+//! read/write powers. [`AnalyticPowerModel`] implements these formulas on
+//! top of [`CalibratedParameters`], working in energy-per-cycle units (the
+//! conversion to watts is a division by the common clock period and cancels
+//! in the PRR).
+
+use serde::{Deserialize, Serialize};
+use sram_model::config::ArrayOrganization;
+use transient::units::{Joules, Watts};
+
+use crate::calibration::CalibratedParameters;
+use march_test::algorithm::MarchTest;
+
+/// The closed-form `P_F`/`P_LPT`/`PRR` model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalyticPowerModel {
+    parameters: CalibratedParameters,
+}
+
+impl AnalyticPowerModel {
+    /// Builds the model from calibrated parameters.
+    pub fn new(parameters: CalibratedParameters) -> Self {
+        Self { parameters }
+    }
+
+    /// The underlying parameters.
+    pub fn parameters(&self) -> &CalibratedParameters {
+        &self.parameters
+    }
+
+    /// `P_F`: average energy per cycle in functional-mode test, determined
+    /// by the algorithm's read/write mix.
+    pub fn functional_energy_per_cycle(&self, test: &MarchTest) -> Joules {
+        let reads = test.read_count() as f64;
+        let writes = test.write_count() as f64;
+        let ops = test.operation_count() as f64;
+        Joules((reads * self.parameters.pr.value() + writes * self.parameters.pw.value()) / ops)
+    }
+
+    /// The per-cycle energy saved by disabling the pre-charge of the
+    /// `#col − 2` uninvolved columns, net of the row-transition restore
+    /// overhead.
+    pub fn savings_per_cycle(&self, test: &MarchTest, organization: &ArrayOrganization) -> Joules {
+        let cols = organization.cols() as f64;
+        let elements = test.element_count() as f64;
+        let ops = test.operation_count() as f64;
+        Joules(
+            (cols - 2.0) * self.parameters.pa.value()
+                - (elements / ops) * self.parameters.pb.value(),
+        )
+    }
+
+    /// `P_LPT`: average energy per cycle in the low-power test mode.
+    pub fn low_power_energy_per_cycle(
+        &self,
+        test: &MarchTest,
+        organization: &ArrayOrganization,
+    ) -> Joules {
+        let pf = self.functional_energy_per_cycle(test);
+        let saved = self.savings_per_cycle(test, organization);
+        Joules((pf.value() - saved.value()).max(0.0))
+    }
+
+    /// `PRR = 1 − P_LPT / P_F`.
+    pub fn power_reduction_ratio(
+        &self,
+        test: &MarchTest,
+        organization: &ArrayOrganization,
+    ) -> f64 {
+        let pf = self.functional_energy_per_cycle(test);
+        if pf.value() <= 0.0 {
+            return 0.0;
+        }
+        let plpt = self.low_power_energy_per_cycle(test, organization);
+        1.0 - plpt.value() / pf.value()
+    }
+
+    /// `P_F` expressed in watts.
+    pub fn functional_power(&self, test: &MarchTest) -> Watts {
+        self.functional_energy_per_cycle(test)
+            .over(self.parameters.clock_period)
+    }
+
+    /// `P_LPT` expressed in watts.
+    pub fn low_power_power(&self, test: &MarchTest, organization: &ArrayOrganization) -> Watts {
+        self.low_power_energy_per_cycle(test, organization)
+            .over(self.parameters.clock_period)
+    }
+
+    /// The frequency of row transitions: once every
+    /// `#ops-per-element × #columns` cycles (the paper's
+    /// `F(row transition)` expression).
+    pub fn row_transition_frequency(
+        &self,
+        test: &MarchTest,
+        organization: &ArrayOrganization,
+    ) -> f64 {
+        1.0 / (test.mean_ops_per_element() * organization.cols() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use march_test::library;
+    use sram_model::config::TechnologyParams;
+
+    fn model() -> AnalyticPowerModel {
+        AnalyticPowerModel::new(CalibratedParameters::derive(
+            &TechnologyParams::default_013um(),
+            &ArrayOrganization::paper_512x512(),
+        ))
+    }
+
+    fn org() -> ArrayOrganization {
+        ArrayOrganization::paper_512x512()
+    }
+
+    #[test]
+    fn table1_prr_lands_in_the_paper_band() {
+        // Paper: 47.3 % … 50.5 % for the five algorithms on 512×512.
+        let model = model();
+        let organization = org();
+        for test in library::table1_algorithms() {
+            let prr = model.power_reduction_ratio(&test, &organization);
+            assert!(
+                (0.43..=0.56).contains(&prr),
+                "{}: PRR {:.1}% outside the expected band",
+                test.name(),
+                prr * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn functional_energy_follows_read_write_mix() {
+        let model = model();
+        // March G is write-heavy (13 writes / 10 reads), MATS+ also
+        // write-heavy, March SS read-heavy: P_F ordering must follow.
+        let pf_ss = model.functional_energy_per_cycle(&library::march_ss());
+        let pf_g = model.functional_energy_per_cycle(&library::march_g());
+        assert!(pf_g > pf_ss, "write-heavy tests cost more per cycle");
+        // P_F is bounded by Pr and Pw.
+        let p = model.parameters();
+        for test in library::table1_algorithms() {
+            let pf = model.functional_energy_per_cycle(&test);
+            assert!(pf >= p.pr && pf <= p.pw);
+        }
+    }
+
+    #[test]
+    fn savings_scale_with_column_count() {
+        let model = model();
+        let test = library::march_c_minus();
+        let small = ArrayOrganization::new(512, 64).unwrap();
+        let large = ArrayOrganization::new(512, 1024).unwrap();
+        assert!(
+            model.savings_per_cycle(&test, &large) > model.savings_per_cycle(&test, &small)
+        );
+        let prr_small = model.power_reduction_ratio(&test, &small);
+        let prr_large = model.power_reduction_ratio(&test, &large);
+        assert!(prr_large > prr_small, "wider arrays benefit more");
+    }
+
+    #[test]
+    fn row_transition_term_is_negligible() {
+        // The paper argues the row-transition overhead can be neglected; in
+        // the model it must be under 2 % of the gross savings.
+        let model = model();
+        let organization = org();
+        for test in library::table1_algorithms() {
+            let gross = (organization.cols() - 2) as f64 * model.parameters().pa.value();
+            let net = model.savings_per_cycle(&test, &organization).value();
+            let overhead = gross - net;
+            assert!(
+                overhead / gross < 0.02,
+                "{}: row-transition overhead {:.3}% too large",
+                test.name(),
+                overhead / gross * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn row_transition_frequency_matches_the_paper_example() {
+        // "Considering a one operation March element and n = 512, there is a
+        // row transition once for each 512 clock cycles. For a four
+        // operations element it happens once every 2048 cycles."
+        let model = model();
+        let organization = org();
+        let one_op = march_test::algorithm::MarchTest::new(
+            "one-op",
+            vec![march_test::element::MarchElement::ascending(vec![
+                march_test::operation::MarchOp::R0,
+            ])],
+        );
+        let four_op = march_test::algorithm::MarchTest::new(
+            "four-op",
+            vec![march_test::element::MarchElement::ascending(vec![
+                march_test::operation::MarchOp::R0,
+                march_test::operation::MarchOp::W1,
+                march_test::operation::MarchOp::R1,
+                march_test::operation::MarchOp::W0,
+            ])],
+        );
+        assert!(
+            (model.row_transition_frequency(&one_op, &organization) - 1.0 / 512.0).abs() < 1e-12
+        );
+        assert!(
+            (model.row_transition_frequency(&four_op, &organization) - 1.0 / 2048.0).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn powers_in_watts_are_consistent_with_energies() {
+        let model = model();
+        let organization = org();
+        let test = library::march_c_minus();
+        let pf_w = model.functional_power(&test).value();
+        let pf_e = model.functional_energy_per_cycle(&test).value();
+        assert!((pf_w - pf_e / 3e-9).abs() / pf_w < 1e-9);
+        assert!(model.low_power_power(&test, &organization) < model.functional_power(&test));
+    }
+}

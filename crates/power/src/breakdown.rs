@@ -1,0 +1,160 @@
+//! Per-source power breakdown (the paper's Section 5 analysis).
+
+use serde::{Deserialize, Serialize};
+use sram_model::energy::CycleEnergy;
+use std::fmt;
+use transient::units::Joules;
+
+use crate::source::PowerSource;
+
+/// One line of a breakdown: a source, its energy and its share of the
+/// total.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakdownEntry {
+    /// The physical source.
+    pub source: PowerSource,
+    /// Total energy attributed to the source.
+    pub energy: Joules,
+    /// Fraction of the run total in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// A per-source decomposition of a run's energy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    entries: Vec<BreakdownEntry>,
+    total: Joules,
+}
+
+impl PowerBreakdown {
+    /// Builds the breakdown of an aggregated energy record.
+    pub fn from_energy(energy: &CycleEnergy) -> Self {
+        let total = energy.total();
+        let entries = PowerSource::all()
+            .into_iter()
+            .map(|source| {
+                let e = source.energy_of(energy);
+                BreakdownEntry {
+                    source,
+                    energy: e,
+                    fraction: if total.value() > 0.0 {
+                        e.value() / total.value()
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        Self { entries, total }
+    }
+
+    /// All entries in the fixed source order.
+    pub fn entries(&self) -> &[BreakdownEntry] {
+        &self.entries
+    }
+
+    /// Total energy across all sources.
+    pub fn total(&self) -> Joules {
+        self.total
+    }
+
+    /// The entry for a specific source.
+    pub fn entry(&self, source: PowerSource) -> BreakdownEntry {
+        self.entries
+            .iter()
+            .copied()
+            .find(|e| e.source == source)
+            .expect("every source has an entry")
+    }
+
+    /// Fraction of the total attributable to pre-charge activity (the
+    /// quantity the paper's reference [8] puts at 70–80 % of SRAM power).
+    pub fn precharge_fraction(&self) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.source.is_precharge_related())
+            .map(|e| e.fraction)
+            .sum()
+    }
+
+    /// The largest contributor.
+    pub fn dominant_source(&self) -> PowerSource {
+        self.entries
+            .iter()
+            .max_by(|a, b| a.energy.value().total_cmp(&b.energy.value()))
+            .map(|e| e.source)
+            .expect("breakdown always has entries")
+    }
+}
+
+impl fmt::Display for PowerBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<45} {:>14} {:>8}", "source", "energy", "share")?;
+        for entry in &self.entries {
+            writeln!(
+                f,
+                "{:<45} {:>11.3} pJ {:>7.2}%",
+                entry.source.to_string(),
+                entry.energy.to_picojoules(),
+                entry.fraction * 100.0
+            )?;
+        }
+        write!(
+            f,
+            "{:<45} {:>11.3} pJ {:>7.2}%",
+            "total",
+            self.total.to_picojoules(),
+            100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CycleEnergy {
+        let mut e = CycleEnergy::new();
+        e.precharge_res = Joules::from_picojoules(36.0);
+        e.precharge_selected = Joules::from_picojoules(1.0);
+        e.precharge_row_transition = Joules::from_picojoules(1.0);
+        e.wordline = Joules::from_picojoules(1.0);
+        e.periphery = Joules::from_picojoules(11.0);
+        e
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let b = PowerBreakdown::from_energy(&sample());
+        let sum: f64 = b.entries().iter().map(|e| e.fraction).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!((b.total().to_picojoules() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precharge_fraction_and_dominant_source() {
+        let b = PowerBreakdown::from_energy(&sample());
+        assert!((b.precharge_fraction() - 38.0 / 50.0).abs() < 1e-9);
+        assert_eq!(b.dominant_source(), PowerSource::PrechargeRes);
+        assert_eq!(
+            b.entry(PowerSource::Periphery).energy,
+            Joules::from_picojoules(11.0)
+        );
+    }
+
+    #[test]
+    fn zero_energy_breakdown_is_well_formed() {
+        let b = PowerBreakdown::from_energy(&CycleEnergy::new());
+        assert_eq!(b.total(), Joules::ZERO);
+        assert!(b.entries().iter().all(|e| e.fraction == 0.0));
+    }
+
+    #[test]
+    fn display_renders_a_table() {
+        let b = PowerBreakdown::from_energy(&sample());
+        let text = b.to_string();
+        assert!(text.contains("pre-charge (RES, unselected columns)"));
+        assert!(text.contains("total"));
+        assert!(text.lines().count() >= 11);
+    }
+}

@@ -1,0 +1,40 @@
+//! Test-power accounting for the SRAM low-power test reproduction.
+//!
+//! This crate turns the raw per-cycle energies reported by the
+//! `sram-model` simulator into the quantities the paper reports:
+//!
+//! * [`meter::PowerMeter`] — accumulates [`sram_model::energy::CycleEnergy`]
+//!   records over a run and produces average power and per-source totals,
+//! * [`breakdown::PowerBreakdown`] — the Section-5 style per-source
+//!   decomposition (pre-charge circuits, row transition, RES, control
+//!   logic, …) with fractions of the total,
+//! * [`analytic::AnalyticPowerModel`] — the paper's closed-form model
+//!   `P_F`, `P_LPT` and `PRR = 1 − P_LPT/P_F` parameterised by `P_A`,
+//!   `P_B`, `P_r`, `P_w`,
+//! * [`calibration`] — derives those four parameters from the
+//!   [`sram_model::config::TechnologyParams`] so the analytic model and the
+//!   cycle-accurate simulation can be cross-checked,
+//! * [`report`] — serialisable records for the Table 1 reproduction and
+//!   the experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod breakdown;
+pub mod calibration;
+pub mod meter;
+pub mod peak;
+pub mod report;
+pub mod source;
+
+/// Convenient glob import of the most commonly used items.
+pub mod prelude {
+    pub use crate::analytic::AnalyticPowerModel;
+    pub use crate::breakdown::PowerBreakdown;
+    pub use crate::calibration::CalibratedParameters;
+    pub use crate::meter::PowerMeter;
+    pub use crate::peak::PeakTracker;
+    pub use crate::report::{ModeReport, PrrRecord, Table1Row};
+    pub use crate::source::PowerSource;
+}

@@ -1,0 +1,135 @@
+//! Peak (per-cycle maximum) power tracking.
+//!
+//! The paper reports *average* power per clock cycle, but test-power limits
+//! in practice are often set by the peak cycle (supply droop, thermal
+//! hot-spots). The low-power test mode changes the peak picture too: the
+//! ordinary cycles get much cheaper, while the row-transition restore cycle
+//! concentrates the restoration of ~half of all bit lines into a single
+//! cycle. [`PeakTracker`] records the most expensive cycle of a run so the
+//! experiments can quantify that trade-off.
+
+use serde::{Deserialize, Serialize};
+use sram_model::energy::CycleEnergy;
+use transient::units::{Joules, Seconds, Watts};
+
+/// Tracks the most expensive cycle observed in a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeakTracker {
+    clock_period: Seconds,
+    peak_energy: Joules,
+    peak_cycle: Option<u64>,
+    cycles_observed: u64,
+}
+
+impl PeakTracker {
+    /// Creates a tracker for a memory clocked at `clock_period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock period is not strictly positive.
+    pub fn new(clock_period: Seconds) -> Self {
+        assert!(clock_period.value() > 0.0, "clock period must be positive");
+        Self {
+            clock_period,
+            peak_energy: Joules::ZERO,
+            peak_cycle: None,
+            cycles_observed: 0,
+        }
+    }
+
+    /// Records the energy of one cycle.
+    pub fn record(&mut self, energy: &CycleEnergy) {
+        let total = energy.total();
+        if self.peak_cycle.is_none() || total > self.peak_energy {
+            self.peak_energy = total;
+            self.peak_cycle = Some(self.cycles_observed);
+        }
+        self.cycles_observed += 1;
+    }
+
+    /// Records a pre-computed cycle total (when the caller already has the
+    /// sum).
+    pub fn record_total(&mut self, total: Joules) {
+        if self.peak_cycle.is_none() || total > self.peak_energy {
+            self.peak_energy = total;
+            self.peak_cycle = Some(self.cycles_observed);
+        }
+        self.cycles_observed += 1;
+    }
+
+    /// Energy of the most expensive cycle seen so far.
+    pub fn peak_energy(&self) -> Joules {
+        self.peak_energy
+    }
+
+    /// Power of the most expensive cycle seen so far.
+    pub fn peak_power(&self) -> Watts {
+        if self.cycles_observed == 0 {
+            return Watts::ZERO;
+        }
+        self.peak_energy.over(self.clock_period)
+    }
+
+    /// Index of the most expensive cycle, if any cycle was recorded.
+    pub fn peak_cycle_index(&self) -> Option<u64> {
+        self.peak_cycle
+    }
+
+    /// Number of cycles observed.
+    pub fn cycles_observed(&self) -> u64 {
+        self.cycles_observed
+    }
+
+    /// Peak-to-average ratio given the run's average power.
+    pub fn peak_to_average(&self, average: Watts) -> f64 {
+        if average.value() <= 0.0 {
+            return 0.0;
+        }
+        self.peak_power().value() / average.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_the_largest_cycle() {
+        let mut tracker = PeakTracker::new(Seconds::from_nanoseconds(3.0));
+        let mut small = CycleEnergy::new();
+        small.periphery = Joules::from_picojoules(10.0);
+        let mut big = CycleEnergy::new();
+        big.precharge_row_transition = Joules::from_picojoules(300.0);
+        tracker.record(&small);
+        tracker.record(&big);
+        tracker.record(&small);
+        assert_eq!(tracker.peak_cycle_index(), Some(1));
+        assert!((tracker.peak_energy().to_picojoules() - 300.0).abs() < 1e-9);
+        assert_eq!(tracker.cycles_observed(), 3);
+        // 300 pJ / 3 ns = 100 mW
+        assert!((tracker.peak_power().to_milliwatts() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_total_and_ratio() {
+        let mut tracker = PeakTracker::new(Seconds::from_nanoseconds(3.0));
+        tracker.record_total(Joules::from_picojoules(30.0));
+        tracker.record_total(Joules::from_picojoules(90.0));
+        let average = Watts(60.0e-12 / 3.0e-9);
+        assert!((tracker.peak_to_average(average) - 1.5).abs() < 1e-9);
+        assert_eq!(tracker.peak_to_average(Watts::ZERO), 0.0);
+    }
+
+    #[test]
+    fn empty_tracker_is_zero() {
+        let tracker = PeakTracker::new(Seconds::from_nanoseconds(3.0));
+        assert_eq!(tracker.peak_power(), Watts::ZERO);
+        assert_eq!(tracker.peak_cycle_index(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock period must be positive")]
+    fn zero_clock_rejected() {
+        let _ = PeakTracker::new(Seconds::ZERO);
+    }
+}

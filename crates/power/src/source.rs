@@ -1,0 +1,133 @@
+//! Enumerated power sources.
+//!
+//! The variants mirror the component fields of
+//! [`sram_model::energy::CycleEnergy`] and the five dissipation sources the
+//! paper analyses in its experimental section.
+
+use serde::{Deserialize, Serialize};
+use sram_model::energy::CycleEnergy;
+use std::fmt;
+use transient::units::Joules;
+
+/// A physical source of test power.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PowerSource {
+    /// Pre-charge circuits replenishing RES droop on unselected columns.
+    PrechargeRes,
+    /// Pre-charge restoration of the selected column.
+    PrechargeSelected,
+    /// Row-transition (all columns) restoration.
+    PrechargeRowTransition,
+    /// Word-line switching.
+    WordLine,
+    /// Sense amplifiers.
+    SenseAmp,
+    /// Write drivers.
+    WriteDriver,
+    /// Address decoders.
+    Decoders,
+    /// Lumped periphery (control, clock, I/O).
+    Periphery,
+    /// Modified pre-charge control logic.
+    ControlLogic,
+    /// `LPtest` mode line driver.
+    LpTestDriver,
+}
+
+impl PowerSource {
+    /// All sources in the fixed reporting order.
+    pub fn all() -> [PowerSource; 10] {
+        [
+            PowerSource::PrechargeRes,
+            PowerSource::PrechargeSelected,
+            PowerSource::PrechargeRowTransition,
+            PowerSource::WordLine,
+            PowerSource::SenseAmp,
+            PowerSource::WriteDriver,
+            PowerSource::Decoders,
+            PowerSource::Periphery,
+            PowerSource::ControlLogic,
+            PowerSource::LpTestDriver,
+        ]
+    }
+
+    /// Extracts this source's energy from a cycle (or aggregated) record.
+    pub fn energy_of(self, energy: &CycleEnergy) -> Joules {
+        match self {
+            PowerSource::PrechargeRes => energy.precharge_res,
+            PowerSource::PrechargeSelected => energy.precharge_selected,
+            PowerSource::PrechargeRowTransition => energy.precharge_row_transition,
+            PowerSource::WordLine => energy.wordline,
+            PowerSource::SenseAmp => energy.sense_amp,
+            PowerSource::WriteDriver => energy.write_driver,
+            PowerSource::Decoders => energy.decoders,
+            PowerSource::Periphery => energy.periphery,
+            PowerSource::ControlLogic => energy.control_logic,
+            PowerSource::LpTestDriver => energy.lptest_driver,
+        }
+    }
+
+    /// Whether this source is part of the pre-charge activity the paper's
+    /// technique targets.
+    pub fn is_precharge_related(self) -> bool {
+        matches!(
+            self,
+            PowerSource::PrechargeRes
+                | PowerSource::PrechargeSelected
+                | PowerSource::PrechargeRowTransition
+        )
+    }
+}
+
+impl fmt::Display for PowerSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PowerSource::PrechargeRes => "pre-charge (RES, unselected columns)",
+            PowerSource::PrechargeSelected => "pre-charge (selected column)",
+            PowerSource::PrechargeRowTransition => "pre-charge (row-transition restore)",
+            PowerSource::WordLine => "word line",
+            PowerSource::SenseAmp => "sense amplifier",
+            PowerSource::WriteDriver => "write driver",
+            PowerSource::Decoders => "address decoders",
+            PowerSource::Periphery => "periphery (control, clock, I/O)",
+            PowerSource::ControlLogic => "modified pre-charge control logic",
+            PowerSource::LpTestDriver => "LPtest line driver",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sources_extract_matching_components() {
+        let mut e = CycleEnergy::new();
+        e.precharge_res = Joules(1.0);
+        e.wordline = Joules(2.0);
+        e.lptest_driver = Joules(3.0);
+        assert_eq!(PowerSource::PrechargeRes.energy_of(&e), Joules(1.0));
+        assert_eq!(PowerSource::WordLine.energy_of(&e), Joules(2.0));
+        assert_eq!(PowerSource::LpTestDriver.energy_of(&e), Joules(3.0));
+        assert_eq!(PowerSource::SenseAmp.energy_of(&e), Joules::ZERO);
+        // The enumeration covers every component of CycleEnergy.
+        let sum: Joules = PowerSource::all().iter().map(|s| s.energy_of(&e)).sum();
+        assert_eq!(sum, e.total());
+    }
+
+    #[test]
+    fn precharge_classification() {
+        assert!(PowerSource::PrechargeRes.is_precharge_related());
+        assert!(PowerSource::PrechargeSelected.is_precharge_related());
+        assert!(PowerSource::PrechargeRowTransition.is_precharge_related());
+        assert!(!PowerSource::WordLine.is_precharge_related());
+        assert!(!PowerSource::Periphery.is_precharge_related());
+    }
+
+    #[test]
+    fn display_names_are_informative() {
+        assert!(PowerSource::PrechargeRes.to_string().contains("RES"));
+        assert!(PowerSource::LpTestDriver.to_string().contains("LPtest"));
+    }
+}

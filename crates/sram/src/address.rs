@@ -1,0 +1,165 @@
+//! Cell addresses and their row/column decomposition.
+//!
+//! The paper's technique relies on a specific mapping between the linear
+//! test address and the physical (row, column) position: the "word line
+//! after word line" order walks all columns of a row before moving to the
+//! next row. The [`Address`] type is the linear address used by the March
+//! engine, and [`RowIndex`]/[`ColIndex`] are the physical coordinates used
+//! by the array; conversions go through the [`ArrayOrganization`] so the
+//! mapping is explicit everywhere.
+
+use crate::config::ArrayOrganization;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Linear cell address in `0..(rows × cols)`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Address(u32);
+
+/// Physical row (word line) index.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct RowIndex(pub u32);
+
+/// Physical column (bit-line pair) index.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct ColIndex(pub u32);
+
+impl Address {
+    /// Wraps a raw linear address.
+    pub fn new(value: u32) -> Self {
+        Address(value)
+    }
+
+    /// Raw linear value.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Builds the linear address of physical position `(row, col)` under the
+    /// row-major ("word line after word line") layout used throughout the
+    /// workspace: `address = row · #cols + col`.
+    pub fn from_row_col(row: RowIndex, col: ColIndex, organization: &ArrayOrganization) -> Self {
+        Address(row.0 * organization.cols() + col.0)
+    }
+
+    /// Physical row of this address under the row-major layout.
+    pub fn row(self, organization: &ArrayOrganization) -> RowIndex {
+        RowIndex(self.0 / organization.cols())
+    }
+
+    /// Physical column of this address under the row-major layout.
+    pub fn col(self, organization: &ArrayOrganization) -> ColIndex {
+        ColIndex(self.0 % organization.cols())
+    }
+
+    /// Returns `true` if the address falls inside `organization`.
+    pub fn is_valid(self, organization: &ArrayOrganization) -> bool {
+        self.0 < organization.capacity()
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl From<u32> for Address {
+    fn from(value: u32) -> Self {
+        Address(value)
+    }
+}
+
+impl From<Address> for u32 {
+    fn from(value: Address) -> Self {
+        value.0
+    }
+}
+
+impl fmt::Display for RowIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "row {}", self.0)
+    }
+}
+
+impl fmt::Display for ColIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "col {}", self.0)
+    }
+}
+
+impl RowIndex {
+    /// Raw index value.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl ColIndex {
+    /// Raw index value.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn org() -> ArrayOrganization {
+        ArrayOrganization::new(8, 16).unwrap()
+    }
+
+    #[test]
+    fn row_col_round_trip() {
+        let organization = org();
+        for row in 0..8 {
+            for col in 0..16 {
+                let a = Address::from_row_col(RowIndex(row), ColIndex(col), &organization);
+                assert_eq!(a.row(&organization), RowIndex(row));
+                assert_eq!(a.col(&organization), ColIndex(col));
+                assert!(a.is_valid(&organization));
+            }
+        }
+    }
+
+    #[test]
+    fn row_major_layout_is_word_line_after_word_line() {
+        let organization = org();
+        // Consecutive addresses inside a row differ only by the column.
+        let a = Address::from_row_col(RowIndex(3), ColIndex(5), &organization);
+        let b = Address::new(a.value() + 1);
+        assert_eq!(b.row(&organization), RowIndex(3));
+        assert_eq!(b.col(&organization), ColIndex(6));
+        // The last column of a row is followed by column 0 of the next row.
+        let last = Address::from_row_col(RowIndex(3), ColIndex(15), &organization);
+        let next = Address::new(last.value() + 1);
+        assert_eq!(next.row(&organization), RowIndex(4));
+        assert_eq!(next.col(&organization), ColIndex(0));
+    }
+
+    #[test]
+    fn validity_bound() {
+        let organization = org();
+        assert!(Address::new(127).is_valid(&organization));
+        assert!(!Address::new(128).is_valid(&organization));
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let a: Address = 42u32.into();
+        let v: u32 = a.into();
+        assert_eq!(v, 42);
+        assert_eq!(format!("{a}"), "@42");
+        assert_eq!(format!("{}", RowIndex(3)), "row 3");
+        assert_eq!(format!("{}", ColIndex(7)), "col 7");
+        assert_eq!(RowIndex(3).value(), 3);
+        assert_eq!(ColIndex(7).value(), 7);
+    }
+}

@@ -1,0 +1,240 @@
+//! Bit-line pair model.
+//!
+//! Every column owns a complementary pair of bit lines `BL`/`BLB`. Their
+//! voltages are the central analog state of the paper's technique:
+//!
+//! * with the **pre-charge circuit enabled**, both lines sit at `V_DD`
+//!   between operations and are restored there after every droop;
+//! * with the pre-charge **disabled** (the low-power test mode of the
+//!   paper), the lines float: the selected cell of the active row pulls one
+//!   of them towards ground by a fixed charge per cycle (constant-current
+//!   discharge through the access transistor), reproducing the ≈ 9-cycle
+//!   decay of Figure 6;
+//! * a **write** drives one line to ground and the other to `V_DD`;
+//! * a **read** develops a small differential swing which the pre-charge
+//!   circuit replenishes in the second half of the cycle.
+
+use serde::{Deserialize, Serialize};
+use transient::units::{Joules, Volts};
+
+use crate::config::TechnologyParams;
+
+/// Which of the two lines of a pair is meant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BitLineSide {
+    /// The true bit line `BL`.
+    Bl,
+    /// The complementary bit line `BLB`.
+    Blb,
+}
+
+/// Voltage state of one column's bit-line pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BitLinePair {
+    bl: Volts,
+    blb: Volts,
+}
+
+impl BitLinePair {
+    /// A pair pre-charged to `vdd` (the state after power-up pre-charge).
+    pub fn precharged(vdd: Volts) -> Self {
+        Self { bl: vdd, blb: vdd }
+    }
+
+    /// Voltage of the true bit line.
+    pub fn bl(&self) -> Volts {
+        self.bl
+    }
+
+    /// Voltage of the complementary bit line.
+    pub fn blb(&self) -> Volts {
+        self.blb
+    }
+
+    /// Voltage of one side.
+    pub fn side(&self, side: BitLineSide) -> Volts {
+        match side {
+            BitLineSide::Bl => self.bl,
+            BitLineSide::Blb => self.blb,
+        }
+    }
+
+    /// The lower of the two line voltages (used to decide whether the pair
+    /// still provides any stress or needs a full restore).
+    pub fn min_voltage(&self) -> Volts {
+        self.bl.min(self.blb)
+    }
+
+    /// Returns `true` if both lines are within `tolerance` of `vdd`.
+    pub fn is_fully_precharged(&self, vdd: Volts, tolerance: Volts) -> bool {
+        (vdd - self.bl).abs() <= tolerance && (vdd - self.blb).abs() <= tolerance
+    }
+
+    /// Applies the discharge caused by a selected cell over one cycle while
+    /// the pair floats (pre-charge disabled). The cell pulls the line on the
+    /// side of its `0` node: `BL` when the cell stores `0`, `BLB` when it
+    /// stores `1`. Returns the side that was discharged.
+    pub fn float_discharge_by_cell(
+        &mut self,
+        cell_value: bool,
+        technology: &TechnologyParams,
+    ) -> BitLineSide {
+        let side = if cell_value {
+            BitLineSide::Blb
+        } else {
+            BitLineSide::Bl
+        };
+        let dv = technology.floating_discharge_per_cycle();
+        let v = self.side_mut(side);
+        *v = (*v - dv).max(Volts::ZERO);
+        side
+    }
+
+    /// Drives the pair for a write of `value`: the line opposite to the
+    /// written value is pulled to ground, the other to `vdd`. Returns the
+    /// energy dissipated in the write driver (pulling the high line down).
+    pub fn drive_write(&mut self, value: bool, technology: &TechnologyParams) -> Joules {
+        let vdd = technology.vdd;
+        let (high, low) = if value {
+            (BitLineSide::Bl, BitLineSide::Blb)
+        } else {
+            (BitLineSide::Blb, BitLineSide::Bl)
+        };
+        // Energy to discharge the low-going line from its present level.
+        let discharged_from = self.side(low);
+        let dissipated = Joules(
+            technology.bitline_capacitance.value()
+                * discharged_from.value().max(0.0)
+                * vdd.value(),
+        ) * 0.5;
+        *self.side_mut(low) = Volts::ZERO;
+        *self.side_mut(high) = vdd;
+        dissipated
+    }
+
+    /// Develops the read swing for a cell storing `value`: the line on the
+    /// cell's `0` side droops by the configured read swing.
+    pub fn develop_read_swing(&mut self, value: bool, technology: &TechnologyParams) {
+        let side = if value {
+            BitLineSide::Blb
+        } else {
+            BitLineSide::Bl
+        };
+        let v = self.side_mut(side);
+        *v = (*v - technology.read_bitline_swing).max(Volts::ZERO);
+    }
+
+    /// Restores both lines to `vdd` and returns the energy drawn from the
+    /// supply by the pre-charge circuit (`C·V_DD·ΔV` per line).
+    pub fn restore(&mut self, technology: &TechnologyParams) -> Joules {
+        let vdd = technology.vdd;
+        let c = technology.bitline_capacitance;
+        let delta = (vdd - self.bl).max(Volts::ZERO) + (vdd - self.blb).max(Volts::ZERO);
+        self.bl = vdd;
+        self.blb = vdd;
+        Joules(c.value() * vdd.value() * delta.value())
+    }
+
+    fn side_mut(&mut self, side: BitLineSide) -> &mut Volts {
+        match side {
+            BitLineSide::Bl => &mut self.bl,
+            BitLineSide::Blb => &mut self.blb,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechnologyParams {
+        TechnologyParams::default_013um()
+    }
+
+    #[test]
+    fn precharged_pair_is_at_vdd() {
+        let t = tech();
+        let pair = BitLinePair::precharged(t.vdd);
+        assert!(pair.is_fully_precharged(t.vdd, Volts(1e-9)));
+        assert_eq!(pair.min_voltage(), t.vdd);
+    }
+
+    #[test]
+    fn floating_discharge_targets_the_zero_side() {
+        let t = tech();
+        let mut pair = BitLinePair::precharged(t.vdd);
+        // Cell stores 0 → BL (true line) is pulled down.
+        let side = pair.float_discharge_by_cell(false, &t);
+        assert_eq!(side, BitLineSide::Bl);
+        assert!(pair.bl() < t.vdd);
+        assert_eq!(pair.blb(), t.vdd);
+
+        let mut pair = BitLinePair::precharged(t.vdd);
+        let side = pair.float_discharge_by_cell(true, &t);
+        assert_eq!(side, BitLineSide::Blb);
+        assert!(pair.blb() < t.vdd);
+    }
+
+    #[test]
+    fn floating_discharge_reaches_ground_in_about_nine_cycles() {
+        let t = tech();
+        let mut pair = BitLinePair::precharged(t.vdd);
+        let mut cycles = 0;
+        while pair.bl().value() > 0.05 && cycles < 100 {
+            pair.float_discharge_by_cell(false, &t);
+            cycles += 1;
+        }
+        assert!(
+            (8..=11).contains(&cycles),
+            "discharge took {cycles} cycles, expected ~9"
+        );
+        // Clamped at ground, never negative.
+        for _ in 0..5 {
+            pair.float_discharge_by_cell(false, &t);
+        }
+        assert!(pair.bl().value() >= 0.0);
+    }
+
+    #[test]
+    fn write_drives_full_swing_and_dissipates_energy() {
+        let t = tech();
+        let mut pair = BitLinePair::precharged(t.vdd);
+        let e = pair.drive_write(false, &t);
+        assert_eq!(pair.bl(), Volts::ZERO);
+        assert_eq!(pair.blb(), t.vdd);
+        assert!(e.value() > 0.0);
+
+        // Writing into an already-written pair of the same polarity costs
+        // nothing in the driver (the low line is already low).
+        let e2 = pair.drive_write(false, &t);
+        assert_eq!(e2, Joules::ZERO);
+    }
+
+    #[test]
+    fn read_swing_and_restore_energy_accounting() {
+        let t = tech();
+        let mut pair = BitLinePair::precharged(t.vdd);
+        pair.develop_read_swing(true, &t);
+        assert!(pair.blb() < t.vdd);
+        let e = pair.restore(&t);
+        let expected = t.read_restore_energy();
+        assert!((e.value() - expected.value()).abs() / expected.value() < 1e-9);
+        assert!(pair.is_fully_precharged(t.vdd, Volts(1e-12)));
+
+        // Restoring a fully-discharged line costs C·Vdd².
+        let mut pair = BitLinePair::precharged(t.vdd);
+        pair.drive_write(true, &t);
+        let e = pair.restore(&t);
+        assert!((e.value() - t.full_bitline_restore_energy().value()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn side_accessors() {
+        let t = tech();
+        let mut pair = BitLinePair::precharged(t.vdd);
+        pair.drive_write(true, &t);
+        assert_eq!(pair.side(BitLineSide::Bl), t.vdd);
+        assert_eq!(pair.side(BitLineSide::Blb), Volts::ZERO);
+        assert_eq!(pair.min_voltage(), Volts::ZERO);
+    }
+}

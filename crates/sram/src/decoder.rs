@@ -1,0 +1,235 @@
+//! Row and column address decoders.
+//!
+//! The decoders translate the linear cell address into the physical word
+//! line and column-select signals and account for the dynamic energy of the
+//! pre-decoder and final driver stages. The energy model is deliberately
+//! simple — a fixed switched capacitance per decode that scales
+//! logarithmically with the number of outputs — because the paper lumps all
+//! peripheral power into the read/write operation power `P_r`/`P_w`; the
+//! explicit decoder term mainly exists so that ablation experiments can
+//! separate "array" from "periphery" contributions.
+
+use crate::address::{Address, ColIndex, RowIndex};
+use crate::config::{ArrayOrganization, TechnologyParams};
+use crate::error::SramError;
+use serde::{Deserialize, Serialize};
+use transient::units::{Farads, Joules};
+
+/// Decoded physical location of an address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DecodedAddress {
+    /// Word line to assert.
+    pub row: RowIndex,
+    /// Column-select to assert.
+    pub col: ColIndex,
+}
+
+/// Row (word-line) decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RowDecoder {
+    outputs: u32,
+    last_row: Option<u32>,
+    decode_count: u64,
+}
+
+/// Column-select decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColumnDecoder {
+    outputs: u32,
+    last_col: Option<u32>,
+    decode_count: u64,
+}
+
+/// Switched capacitance per decoded output bit, per decode event.
+const DECODE_CAP_PER_BIT: Farads = Farads(5e-15);
+
+fn decode_energy(outputs: u32, changed: bool, technology: &TechnologyParams) -> Joules {
+    if !changed {
+        // Same output as last cycle: only the pre-decoder clocking toggles.
+        return Joules(
+            DECODE_CAP_PER_BIT.value() * technology.vdd.value() * technology.vdd.value(),
+        );
+    }
+    let bits = (outputs.max(2) as f64).log2().ceil();
+    Joules(bits * DECODE_CAP_PER_BIT.value() * technology.vdd.value() * technology.vdd.value())
+}
+
+impl RowDecoder {
+    /// Creates a decoder with one output per row of `organization`.
+    pub fn new(organization: &ArrayOrganization) -> Self {
+        Self {
+            outputs: organization.rows(),
+            last_row: None,
+            decode_count: 0,
+        }
+    }
+
+    /// Decodes the row of `address`, returning the row and the decode
+    /// energy. Consecutive decodes of the same row are cheaper (the word
+    /// line simply stays asserted across the cycle boundary).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::AddressOutOfRange`] if the address does not fit
+    /// the organization the decoder was built for.
+    pub fn decode(
+        &mut self,
+        address: Address,
+        organization: &ArrayOrganization,
+        technology: &TechnologyParams,
+    ) -> Result<(RowIndex, Joules), SramError> {
+        if !address.is_valid(organization) {
+            return Err(SramError::AddressOutOfRange {
+                address,
+                capacity: organization.capacity(),
+            });
+        }
+        let row = address.row(organization);
+        let changed = self.last_row != Some(row.0);
+        self.last_row = Some(row.0);
+        self.decode_count += 1;
+        Ok((row, decode_energy(self.outputs, changed, technology)))
+    }
+
+    /// Number of decodes performed.
+    pub fn decode_count(&self) -> u64 {
+        self.decode_count
+    }
+}
+
+impl ColumnDecoder {
+    /// Creates a decoder with one output per column of `organization`.
+    pub fn new(organization: &ArrayOrganization) -> Self {
+        Self {
+            outputs: organization.cols(),
+            last_col: None,
+            decode_count: 0,
+        }
+    }
+
+    /// Decodes the column of `address`, returning the column and the decode
+    /// energy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::AddressOutOfRange`] if the address does not fit
+    /// the organization the decoder was built for.
+    pub fn decode(
+        &mut self,
+        address: Address,
+        organization: &ArrayOrganization,
+        technology: &TechnologyParams,
+    ) -> Result<(ColIndex, Joules), SramError> {
+        if !address.is_valid(organization) {
+            return Err(SramError::AddressOutOfRange {
+                address,
+                capacity: organization.capacity(),
+            });
+        }
+        let col = address.col(organization);
+        let changed = self.last_col != Some(col.0);
+        self.last_col = Some(col.0);
+        self.decode_count += 1;
+        Ok((col, decode_energy(self.outputs, changed, technology)))
+    }
+
+    /// Number of decodes performed.
+    pub fn decode_count(&self) -> u64 {
+        self.decode_count
+    }
+}
+
+/// Convenience wrapper decoding both coordinates at once.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AddressDecoder {
+    row: RowDecoder,
+    col: ColumnDecoder,
+}
+
+impl AddressDecoder {
+    /// Creates the pair of decoders for `organization`.
+    pub fn new(organization: &ArrayOrganization) -> Self {
+        Self {
+            row: RowDecoder::new(organization),
+            col: ColumnDecoder::new(organization),
+        }
+    }
+
+    /// Decodes an address into its physical location plus total decode
+    /// energy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::AddressOutOfRange`] for an address outside the
+    /// array.
+    pub fn decode(
+        &mut self,
+        address: Address,
+        organization: &ArrayOrganization,
+        technology: &TechnologyParams,
+    ) -> Result<(DecodedAddress, Joules), SramError> {
+        let (row, e_row) = self.row.decode(address, organization, technology)?;
+        let (col, e_col) = self.col.decode(address, organization, technology)?;
+        Ok((DecodedAddress { row, col }, e_row + e_col))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ArrayOrganization, TechnologyParams) {
+        (
+            ArrayOrganization::new(8, 16).unwrap(),
+            TechnologyParams::default_013um(),
+        )
+    }
+
+    #[test]
+    fn decodes_row_and_column() {
+        let (org, tech) = setup();
+        let mut dec = AddressDecoder::new(&org);
+        let a = Address::from_row_col(RowIndex(3), ColIndex(9), &org);
+        let (loc, energy) = dec.decode(a, &org, &tech).unwrap();
+        assert_eq!(loc.row, RowIndex(3));
+        assert_eq!(loc.col, ColIndex(9));
+        assert!(energy.value() > 0.0);
+    }
+
+    #[test]
+    fn repeated_row_decode_is_cheaper() {
+        let (org, tech) = setup();
+        let mut dec = RowDecoder::new(&org);
+        let a0 = Address::from_row_col(RowIndex(2), ColIndex(0), &org);
+        let a1 = Address::from_row_col(RowIndex(2), ColIndex(1), &org);
+        let a2 = Address::from_row_col(RowIndex(3), ColIndex(0), &org);
+        let (_, first) = dec.decode(a0, &org, &tech).unwrap();
+        let (_, same_row) = dec.decode(a1, &org, &tech).unwrap();
+        let (_, new_row) = dec.decode(a2, &org, &tech).unwrap();
+        assert!(same_row < first);
+        assert!(new_row > same_row);
+        assert_eq!(dec.decode_count(), 3);
+    }
+
+    #[test]
+    fn out_of_range_address_rejected() {
+        let (org, tech) = setup();
+        let mut dec = AddressDecoder::new(&org);
+        let bad = Address::new(org.capacity());
+        assert!(matches!(
+            dec.decode(bad, &org, &tech),
+            Err(SramError::AddressOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn column_decoder_counts() {
+        let (org, tech) = setup();
+        let mut dec = ColumnDecoder::new(&org);
+        for c in 0..4 {
+            let a = Address::from_row_col(RowIndex(0), ColIndex(c), &org);
+            dec.decode(a, &org, &tech).unwrap();
+        }
+        assert_eq!(dec.decode_count(), 4);
+    }
+}

@@ -1,0 +1,151 @@
+//! Per-cycle energy breakdown.
+//!
+//! Every executed cycle produces one [`CycleEnergy`] record with one field
+//! per physical source. The field list mirrors the five sources the paper
+//! analyses in its Section 5 (pre-charge circuits, array row transition,
+//! `LPtest` driver, read-equivalent stress, modified control logic) plus
+//! the operation-side contributors that make up `P_r`/`P_w` (bit-line
+//! restoration on the selected column, word line, sense amplifier, write
+//! driver, decoders and the lumped periphery).
+
+use serde::{Deserialize, Serialize};
+use transient::units::{Joules, Seconds, Watts};
+
+/// Energy spent during one clock cycle, broken down by physical source.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CycleEnergy {
+    /// Pre-charge circuits replenishing the RES droop on unselected,
+    /// pre-charged columns (the paper's `P_A` aggregated over columns).
+    pub precharge_res: Joules,
+    /// Pre-charge restoration of the selected column after its operation.
+    pub precharge_selected: Joules,
+    /// Pre-charge restoration of discharged bit lines during a
+    /// row-transition (or any all-columns) restore cycle — the paper's
+    /// `P_B` contribution.
+    pub precharge_row_transition: Joules,
+    /// Word-line charge/discharge.
+    pub wordline: Joules,
+    /// Sense-amplifier evaluation (reads only).
+    pub sense_amp: Joules,
+    /// Write-driver dissipation (writes only).
+    pub write_driver: Joules,
+    /// Row and column address decoders.
+    pub decoders: Joules,
+    /// Lumped periphery (control, clock tree, I/O).
+    pub periphery: Joules,
+    /// Modified pre-charge control logic (low-power mode only).
+    pub control_logic: Joules,
+    /// `LPtest` mode line driver (low-power mode, row transitions only).
+    pub lptest_driver: Joules,
+}
+
+impl CycleEnergy {
+    /// A cycle with no energy recorded yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total energy of the cycle.
+    pub fn total(&self) -> Joules {
+        self.precharge_res
+            + self.precharge_selected
+            + self.precharge_row_transition
+            + self.wordline
+            + self.sense_amp
+            + self.write_driver
+            + self.decoders
+            + self.periphery
+            + self.control_logic
+            + self.lptest_driver
+    }
+
+    /// Total energy attributable to pre-charge activity (the quantity the
+    /// paper's technique attacks).
+    pub fn precharge_total(&self) -> Joules {
+        self.precharge_res + self.precharge_selected + self.precharge_row_transition
+    }
+
+    /// Average power of the cycle given the clock period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_period` is zero or negative.
+    pub fn average_power(&self, clock_period: Seconds) -> Watts {
+        self.total().over(clock_period)
+    }
+
+    /// Element-wise sum of two cycle records (useful when aggregating).
+    pub fn accumulate(&mut self, other: &CycleEnergy) {
+        self.precharge_res += other.precharge_res;
+        self.precharge_selected += other.precharge_selected;
+        self.precharge_row_transition += other.precharge_row_transition;
+        self.wordline += other.wordline;
+        self.sense_amp += other.sense_amp;
+        self.write_driver += other.write_driver;
+        self.decoders += other.decoders;
+        self.periphery += other.periphery;
+        self.control_logic += other.control_logic;
+        self.lptest_driver += other.lptest_driver;
+    }
+
+    /// Iterates over `(source name, energy)` pairs in a fixed order.
+    pub fn components(&self) -> [(&'static str, Joules); 10] {
+        [
+            ("precharge_res", self.precharge_res),
+            ("precharge_selected", self.precharge_selected),
+            ("precharge_row_transition", self.precharge_row_transition),
+            ("wordline", self.wordline),
+            ("sense_amp", self.sense_amp),
+            ("write_driver", self.write_driver),
+            ("decoders", self.decoders),
+            ("periphery", self.periphery),
+            ("control_logic", self.control_logic),
+            ("lptest_driver", self.lptest_driver),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_all_components() {
+        let mut e = CycleEnergy::new();
+        e.precharge_res = Joules(1.0);
+        e.precharge_selected = Joules(2.0);
+        e.precharge_row_transition = Joules(3.0);
+        e.wordline = Joules(4.0);
+        e.sense_amp = Joules(5.0);
+        e.write_driver = Joules(6.0);
+        e.decoders = Joules(7.0);
+        e.periphery = Joules(8.0);
+        e.control_logic = Joules(9.0);
+        e.lptest_driver = Joules(10.0);
+        assert_eq!(e.total(), Joules(55.0));
+        assert_eq!(e.precharge_total(), Joules(6.0));
+        assert_eq!(e.components().len(), 10);
+        let sum: Joules = e.components().iter().map(|(_, j)| *j).sum();
+        assert_eq!(sum, e.total());
+    }
+
+    #[test]
+    fn accumulate_adds_element_wise() {
+        let mut a = CycleEnergy::new();
+        a.wordline = Joules(1.0);
+        let mut b = CycleEnergy::new();
+        b.wordline = Joules(2.0);
+        b.periphery = Joules(3.0);
+        a.accumulate(&b);
+        assert_eq!(a.wordline, Joules(3.0));
+        assert_eq!(a.periphery, Joules(3.0));
+    }
+
+    #[test]
+    fn average_power() {
+        let mut e = CycleEnergy::new();
+        e.periphery = Joules::from_picojoules(3.0);
+        let p = e.average_power(Seconds::from_nanoseconds(3.0));
+        assert!((p.to_milliwatts() - 1.0).abs() < 1e-9);
+    }
+}

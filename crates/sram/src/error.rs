@@ -1,0 +1,114 @@
+//! Error type of the SRAM simulator.
+
+use crate::address::Address;
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the SRAM model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SramError {
+    /// An address outside the configured array was used.
+    AddressOutOfRange {
+        /// The offending address.
+        address: Address,
+        /// Number of addressable cells in the array.
+        capacity: u32,
+    },
+    /// A row or column index outside the configured array was used.
+    IndexOutOfRange {
+        /// Human-readable description of the offending index.
+        what: &'static str,
+        /// The offending value.
+        index: u32,
+        /// Exclusive upper bound.
+        limit: u32,
+    },
+    /// The array organization is degenerate (zero rows or columns) or too
+    /// large to address.
+    InvalidOrganization {
+        /// Requested number of rows.
+        rows: u32,
+        /// Requested number of columns.
+        cols: u32,
+        /// Why the organization was rejected.
+        reason: &'static str,
+    },
+    /// A configuration parameter failed validation.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// A read was attempted on a column whose bit lines were not pre-charged
+    /// high enough for the sense amplifier to resolve the value.
+    ReadOnUnprechargedColumn {
+        /// The address being read.
+        address: Address,
+        /// The bit-line voltage seen by the sense amplifier, in volts.
+        bitline_voltage: f64,
+    },
+}
+
+impl fmt::Display for SramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SramError::AddressOutOfRange { address, capacity } => write!(
+                f,
+                "address {} is outside the array capacity of {} cells",
+                address.value(),
+                capacity
+            ),
+            SramError::IndexOutOfRange { what, index, limit } => {
+                write!(f, "{what} index {index} is outside the valid range 0..{limit}")
+            }
+            SramError::InvalidOrganization { rows, cols, reason } => {
+                write!(f, "invalid array organization {rows}x{cols}: {reason}")
+            }
+            SramError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            SramError::ReadOnUnprechargedColumn {
+                address,
+                bitline_voltage,
+            } => write!(
+                f,
+                "read at address {} attempted on a column whose bit lines are at {:.3} V and cannot be sensed",
+                address.value(),
+                bitline_voltage
+            ),
+        }
+    }
+}
+
+impl Error for SramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SramError::InvalidOrganization {
+            rows: 0,
+            cols: 4,
+            reason: "rows must be non-zero",
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("0x4"));
+        assert!(msg.contains("rows must be non-zero"));
+
+        let e = SramError::AddressOutOfRange {
+            address: Address::new(300),
+            capacity: 256,
+        };
+        assert!(format!("{e}").contains("300"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SramError>();
+    }
+}

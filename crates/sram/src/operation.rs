@@ -1,0 +1,133 @@
+//! Memory operations and per-cycle commands.
+//!
+//! The controller executes exactly one [`CycleCommand`] per clock cycle: a
+//! read or write at one address, together with the pre-charge policy for
+//! that cycle. In functional mode the policy is always "every column
+//! enabled"; the low-power test mode of the paper narrows it to the
+//! selected column and the next one, and widens it back to every column for
+//! the one-cycle row-transition restore.
+
+use crate::address::Address;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single-cell memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemOperation {
+    /// Read the addressed cell.
+    Read,
+    /// Write the given bit into the addressed cell.
+    Write(bool),
+}
+
+impl MemOperation {
+    /// Returns `true` for read operations.
+    pub fn is_read(self) -> bool {
+        matches!(self, MemOperation::Read)
+    }
+
+    /// Returns `true` for write operations.
+    pub fn is_write(self) -> bool {
+        matches!(self, MemOperation::Write(_))
+    }
+}
+
+impl fmt::Display for MemOperation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemOperation::Read => write!(f, "r"),
+            MemOperation::Write(true) => write!(f, "w1"),
+            MemOperation::Write(false) => write!(f, "w0"),
+        }
+    }
+}
+
+/// The pre-charge policy of one cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrechargePolicy {
+    /// Every column's pre-charge circuit is enabled (functional mode, and
+    /// the one-cycle row-transition restore of the low-power mode).
+    AllColumns,
+    /// Only the listed columns are enabled (low-power test mode: the
+    /// selected column and the one that follows).
+    Columns(Vec<u32>),
+}
+
+/// Everything the memory controller needs to execute one clock cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleCommand {
+    /// Cell addressed this cycle.
+    pub address: Address,
+    /// Operation performed on that cell.
+    pub op: MemOperation,
+    /// Pre-charge policy for this cycle.
+    pub precharge: PrechargePolicy,
+    /// Whether the low-power-test control logic is active this cycle (used
+    /// only for the small control-logic energy attribution).
+    pub lp_test_mode: bool,
+}
+
+impl CycleCommand {
+    /// A functional-mode cycle: all pre-charge circuits enabled.
+    pub fn functional(address: Address, op: MemOperation) -> Self {
+        Self {
+            address,
+            op,
+            precharge: PrechargePolicy::AllColumns,
+            lp_test_mode: false,
+        }
+    }
+
+    /// A low-power-test cycle with an explicit set of pre-charged columns.
+    pub fn low_power(address: Address, op: MemOperation, columns: Vec<u32>) -> Self {
+        Self {
+            address,
+            op,
+            precharge: PrechargePolicy::Columns(columns),
+            lp_test_mode: true,
+        }
+    }
+
+    /// The row-transition restore cycle of the low-power mode: the memory
+    /// temporarily returns to the all-columns policy while still running the
+    /// last operation of the row.
+    pub fn low_power_restore_all(address: Address, op: MemOperation) -> Self {
+        Self {
+            address,
+            op,
+            precharge: PrechargePolicy::AllColumns,
+            lp_test_mode: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operation_predicates_and_display() {
+        assert!(MemOperation::Read.is_read());
+        assert!(!MemOperation::Read.is_write());
+        assert!(MemOperation::Write(true).is_write());
+        assert_eq!(format!("{}", MemOperation::Read), "r");
+        assert_eq!(format!("{}", MemOperation::Write(true)), "w1");
+        assert_eq!(format!("{}", MemOperation::Write(false)), "w0");
+    }
+
+    #[test]
+    fn command_constructors_set_policy_and_mode() {
+        let a = Address::new(7);
+        let c = CycleCommand::functional(a, MemOperation::Read);
+        assert_eq!(c.precharge, PrechargePolicy::AllColumns);
+        assert!(!c.lp_test_mode);
+
+        let c = CycleCommand::low_power(a, MemOperation::Write(true), vec![3, 4]);
+        assert_eq!(c.precharge, PrechargePolicy::Columns(vec![3, 4]));
+        assert!(c.lp_test_mode);
+
+        let c = CycleCommand::low_power_restore_all(a, MemOperation::Read);
+        assert_eq!(c.precharge, PrechargePolicy::AllColumns);
+        assert!(c.lp_test_mode);
+    }
+}

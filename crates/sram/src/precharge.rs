@@ -1,0 +1,121 @@
+//! Per-column pre-charge circuit model.
+//!
+//! A pre-charge circuit is a pair of pull-up devices plus an equalizer that
+//! hold both bit lines of its column at `V_DD` whenever it is enabled. In
+//! the functional mode of the paper every column's circuit is enabled all
+//! the time (apart from the operation half-cycle on the selected column);
+//! in the low-power test mode it is enabled only for the selected column
+//! and the next one. The model tracks the ON/OFF state, counts activations
+//! and accumulates the supply energy it has delivered, so the experiment
+//! layer can attribute pre-charge power exactly as the paper does.
+
+use serde::{Deserialize, Serialize};
+use transient::units::Joules;
+
+/// State and accounting of one column's pre-charge circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrechargeCircuit {
+    enabled: bool,
+    cycles_enabled: u64,
+    cycles_disabled: u64,
+    delivered: Joules,
+}
+
+impl PrechargeCircuit {
+    /// A circuit in the enabled state (the functional-mode default).
+    pub fn new() -> Self {
+        Self {
+            enabled: true,
+            cycles_enabled: 0,
+            cycles_disabled: 0,
+            delivered: Joules::ZERO,
+        }
+    }
+
+    /// Whether the circuit currently drives its bit lines.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables the circuit for the coming cycle and counts the
+    /// cycle in the corresponding bucket.
+    pub fn set_enabled_for_cycle(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if enabled {
+            self.cycles_enabled += 1;
+        } else {
+            self.cycles_disabled += 1;
+        }
+    }
+
+    /// Records supply energy delivered by this circuit.
+    pub fn record_energy(&mut self, energy: Joules) {
+        self.delivered += energy;
+    }
+
+    /// Total supply energy delivered so far.
+    pub fn delivered_energy(&self) -> Joules {
+        self.delivered
+    }
+
+    /// Number of cycles spent enabled.
+    pub fn cycles_enabled(&self) -> u64 {
+        self.cycles_enabled
+    }
+
+    /// Number of cycles spent disabled.
+    pub fn cycles_disabled(&self) -> u64 {
+        self.cycles_disabled
+    }
+
+    /// Fraction of observed cycles spent enabled (1.0 when no cycle has been
+    /// observed yet, matching the always-on functional default).
+    pub fn duty_cycle(&self) -> f64 {
+        let total = self.cycles_enabled + self.cycles_disabled;
+        if total == 0 {
+            1.0
+        } else {
+            self.cycles_enabled as f64 / total as f64
+        }
+    }
+}
+
+impl Default for PrechargeCircuit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_enabled_with_full_duty() {
+        let pc = PrechargeCircuit::new();
+        assert!(pc.is_enabled());
+        assert_eq!(pc.duty_cycle(), 1.0);
+        assert_eq!(pc.delivered_energy(), Joules::ZERO);
+    }
+
+    #[test]
+    fn cycle_accounting() {
+        let mut pc = PrechargeCircuit::new();
+        pc.set_enabled_for_cycle(true);
+        pc.set_enabled_for_cycle(false);
+        pc.set_enabled_for_cycle(false);
+        pc.set_enabled_for_cycle(true);
+        assert_eq!(pc.cycles_enabled(), 2);
+        assert_eq!(pc.cycles_disabled(), 2);
+        assert!((pc.duty_cycle() - 0.5).abs() < 1e-12);
+        assert!(pc.is_enabled());
+    }
+
+    #[test]
+    fn energy_accumulates() {
+        let mut pc = PrechargeCircuit::new();
+        pc.record_energy(Joules::from_femtojoules(72.0));
+        pc.record_energy(Joules::from_femtojoules(28.0));
+        assert!((pc.delivered_energy().to_femtojoules() - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,147 @@
+//! Sense-amplifier model.
+//!
+//! The sense amplifier resolves the small differential swing developed on
+//! the selected column's bit lines during a read. The model captures the
+//! two properties the experiments rely on: it needs a minimum differential
+//! *and* a sufficiently pre-charged common mode to resolve correctly (reads
+//! on floating, discharged bit lines are flagged rather than silently
+//! returning data), and each evaluation costs a fixed energy.
+
+use crate::bitline::BitLinePair;
+use crate::config::TechnologyParams;
+use serde::{Deserialize, Serialize};
+use transient::units::{Joules, Volts};
+
+/// Outcome of a sense operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SenseOutcome {
+    /// The resolved bit.
+    pub value: bool,
+    /// Whether the common-mode level was high enough for a reliable
+    /// resolution.
+    pub reliable: bool,
+    /// Energy spent by the evaluation.
+    pub energy: Joules,
+}
+
+/// One column-multiplexed sense amplifier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SenseAmplifier {
+    /// Minimum differential input the latch resolves deterministically.
+    offset: Volts,
+    evaluations: u64,
+}
+
+impl SenseAmplifier {
+    /// Creates a sense amplifier with a 20 mV input offset.
+    pub fn new() -> Self {
+        Self {
+            offset: Volts::from_millivolts(20.0),
+            evaluations: 0,
+        }
+    }
+
+    /// Creates a sense amplifier with an explicit input offset.
+    pub fn with_offset(offset: Volts) -> Self {
+        Self {
+            offset,
+            evaluations: 0,
+        }
+    }
+
+    /// Resolves the value presented by `pair` for a cell that developed its
+    /// read swing. The common mode must be above the logic threshold for the
+    /// outcome to be reliable — this is what fails if a column is read
+    /// without having been pre-charged.
+    pub fn sense(&mut self, pair: &BitLinePair, technology: &TechnologyParams) -> SenseOutcome {
+        self.evaluations += 1;
+        let differential = pair.bl() - pair.blb();
+        let value = if differential.abs() < self.offset {
+            // Below the offset the latch falls towards its skewed side; we
+            // model it as reading the BL side but flag unreliability below.
+            pair.bl() >= pair.blb()
+        } else {
+            differential.value() > 0.0
+        };
+        let common_mode = pair.bl().max(pair.blb());
+        let reliable =
+            common_mode >= technology.logic_threshold && differential.abs() >= self.offset;
+        SenseOutcome {
+            value,
+            reliable,
+            energy: technology.sense_amp_energy,
+        }
+    }
+
+    /// Number of evaluations performed.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+}
+
+impl Default for SenseAmplifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechnologyParams {
+        TechnologyParams::default_013um()
+    }
+
+    #[test]
+    fn senses_a_one_and_a_zero() {
+        let t = tech();
+        let mut sa = SenseAmplifier::new();
+
+        let mut pair = BitLinePair::precharged(t.vdd);
+        pair.develop_read_swing(true, &t); // cell stores 1 → BLB droops
+        let out = sa.sense(&pair, &t);
+        assert!(out.value);
+        assert!(out.reliable);
+        assert_eq!(out.energy, t.sense_amp_energy);
+
+        let mut pair = BitLinePair::precharged(t.vdd);
+        pair.develop_read_swing(false, &t);
+        let out = sa.sense(&pair, &t);
+        assert!(!out.value);
+        assert!(out.reliable);
+        assert_eq!(sa.evaluations(), 2);
+    }
+
+    #[test]
+    fn unreliable_on_discharged_bitlines() {
+        let t = tech();
+        let mut sa = SenseAmplifier::new();
+        let mut pair = BitLinePair::precharged(t.vdd);
+        // Float the pair for many cycles: both the droop side goes to ground
+        // and the common mode argument no longer holds.
+        for _ in 0..20 {
+            pair.float_discharge_by_cell(false, &t);
+        }
+        // Now BL is at ground and BLB at VDD: a huge differential but the
+        // data is the *cell-induced* one, so it is still reliable.
+        let out = sa.sense(&pair, &t);
+        assert!(out.reliable);
+        assert!(!out.value);
+
+        // Equal, discharged lines: unreliable.
+        let mut pair = BitLinePair::precharged(Volts(0.3));
+        pair.develop_read_swing(true, &t);
+        let out = sa.sense(&pair, &t);
+        assert!(!out.reliable);
+    }
+
+    #[test]
+    fn below_offset_is_unreliable() {
+        let t = tech();
+        let mut sa = SenseAmplifier::with_offset(Volts::from_millivolts(50.0));
+        let pair = BitLinePair::precharged(t.vdd); // no swing developed
+        let out = sa.sense(&pair, &t);
+        assert!(!out.reliable);
+    }
+}

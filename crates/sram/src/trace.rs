@@ -1,0 +1,150 @@
+//! Cycle-level execution trace.
+//!
+//! A [`Trace`] optionally records, for every executed cycle, the address,
+//! operation, pre-charge count and selected bit-line voltages. The `repro`
+//! binary uses it to regenerate the waveform-style figures of the paper
+//! (Figures 2, 6 and 7) from an actual simulated run rather than from the
+//! closed-form models.
+
+use crate::address::Address;
+use crate::operation::MemOperation;
+use serde::{Deserialize, Serialize};
+use transient::units::{Joules, Volts};
+
+/// One recorded cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleRecord {
+    /// Cycle index since the trace was started.
+    pub cycle: u64,
+    /// Address accessed.
+    pub address: Address,
+    /// Operation performed.
+    pub op: MemOperation,
+    /// Number of columns whose pre-charge circuit was enabled this cycle.
+    pub precharged_columns: u32,
+    /// Whether this cycle used the all-columns restore (row transition).
+    pub restore_all: bool,
+    /// `BL` voltage of the observed column at the end of the cycle.
+    pub observed_bl: Volts,
+    /// `BLB` voltage of the observed column at the end of the cycle.
+    pub observed_blb: Volts,
+    /// Total energy of the cycle.
+    pub energy: Joules,
+}
+
+/// A sequence of recorded cycles plus the column being observed.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    observed_column: Option<u32>,
+    records: Vec<CycleRecord>,
+}
+
+impl Trace {
+    /// Creates a trace that observes no particular column (bit-line fields
+    /// record the selected column of each cycle).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a trace that records the bit-line voltages of a fixed column
+    /// regardless of which column each cycle selects.
+    pub fn observing_column(column: u32) -> Self {
+        Self {
+            observed_column: Some(column),
+            records: Vec::new(),
+        }
+    }
+
+    /// The column this trace observes, if fixed.
+    pub fn observed_column(&self) -> Option<u32> {
+        self.observed_column
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: CycleRecord) {
+        self.records.push(record);
+    }
+
+    /// The recorded cycles.
+    pub fn records(&self) -> &[CycleRecord] {
+        &self.records
+    }
+
+    /// Number of recorded cycles.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The `BL` voltage sequence of the observed column, one point per
+    /// cycle.
+    pub fn bl_series(&self) -> Vec<Volts> {
+        self.records.iter().map(|r| r.observed_bl).collect()
+    }
+
+    /// The `BLB` voltage sequence of the observed column.
+    pub fn blb_series(&self) -> Vec<Volts> {
+        self.records.iter().map(|r| r.observed_blb).collect()
+    }
+
+    /// The per-cycle total energy sequence.
+    pub fn energy_series(&self) -> Vec<Joules> {
+        self.records.iter().map(|r| r.energy).collect()
+    }
+
+    /// Average number of pre-charged columns per recorded cycle.
+    pub fn mean_precharged_columns(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records
+            .iter()
+            .map(|r| r.precharged_columns as f64)
+            .sum::<f64>()
+            / self.records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(cycle: u64, bl: f64, precharged: u32) -> CycleRecord {
+        CycleRecord {
+            cycle,
+            address: Address::new(cycle as u32),
+            op: MemOperation::Read,
+            precharged_columns: precharged,
+            restore_all: false,
+            observed_bl: Volts(bl),
+            observed_blb: Volts(1.6),
+            energy: Joules::from_picojoules(1.0),
+        }
+    }
+
+    #[test]
+    fn records_and_series() {
+        let mut trace = Trace::observing_column(3);
+        assert_eq!(trace.observed_column(), Some(3));
+        assert!(trace.is_empty());
+        trace.push(record(0, 1.6, 512));
+        trace.push(record(1, 1.4, 2));
+        trace.push(record(2, 1.2, 2));
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.bl_series(), vec![Volts(1.6), Volts(1.4), Volts(1.2)]);
+        assert_eq!(trace.blb_series().len(), 3);
+        assert_eq!(trace.energy_series().len(), 3);
+        assert!((trace.mean_precharged_columns() - (512.0 + 2.0 + 2.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_statistics() {
+        let trace = Trace::new();
+        assert_eq!(trace.observed_column(), None);
+        assert_eq!(trace.mean_precharged_columns(), 0.0);
+    }
+}

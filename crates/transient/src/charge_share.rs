@@ -1,0 +1,141 @@
+//! Capacitive charge sharing.
+//!
+//! When a word line rises, each cell node is connected through its access
+//! transistor to the corresponding bit line. If the bit line is floating
+//! (its pre-charge circuit disabled, as in the paper's low-power test mode),
+//! the two capacitors redistribute their charge. Because the bit-line
+//! capacitance is two to three orders of magnitude larger than the cell node
+//! capacitance, the final voltage is dominated by the bit line — this is
+//! exactly the "faulty swap" mechanism of Figure 7 of the paper: a bit line
+//! previously driven to '0' overwrites a cell that stores '1'.
+
+use crate::units::{Farads, Joules, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Result of connecting two capacitors that were at different voltages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChargeShareOutcome {
+    /// Common voltage after redistribution.
+    pub final_voltage: Volts,
+    /// Energy dissipated in the (unavoidably resistive) connecting path.
+    pub dissipated: Joules,
+    /// Voltage change seen by the first capacitor (signed).
+    pub delta_a: Volts,
+    /// Voltage change seen by the second capacitor (signed).
+    pub delta_b: Volts,
+}
+
+/// Connects capacitor `a` (capacitance `ca`, initial voltage `va`) to
+/// capacitor `b` and returns the equilibrium.
+///
+/// Charge is conserved: `V_f = (Ca·Va + Cb·Vb) / (Ca + Cb)`. The dissipated
+/// energy is the well-known charge-sharing loss
+/// `E = ½ · (Ca·Cb)/(Ca+Cb) · (Va − Vb)²` and does not depend on the series
+/// resistance.
+///
+/// # Panics
+///
+/// Panics if either capacitance is not strictly positive.
+pub fn share_charge(ca: Farads, va: Volts, cb: Farads, vb: Volts) -> ChargeShareOutcome {
+    assert!(ca.value() > 0.0, "capacitance a must be positive");
+    assert!(cb.value() > 0.0, "capacitance b must be positive");
+    let total_c = ca.value() + cb.value();
+    let vf = (ca.value() * va.value() + cb.value() * vb.value()) / total_c;
+    let series_c = ca.value() * cb.value() / total_c;
+    let dv = va.value() - vb.value();
+    ChargeShareOutcome {
+        final_voltage: Volts(vf),
+        dissipated: Joules(0.5 * series_c * dv * dv),
+        delta_a: Volts(vf - va.value()),
+        delta_b: Volts(vf - vb.value()),
+    }
+}
+
+/// Predicts whether connecting a storage node at `cell_voltage` (capacitance
+/// `cell_cap`) to a bit line at `bitline_voltage` (capacitance
+/// `bitline_cap`) flips the node across `logic_threshold`.
+///
+/// This is the quantitative form of the paper's faulty-swap argument: the
+/// swap happens when the equilibrium voltage ends up on the other side of
+/// the threshold from where the cell node started.
+pub fn node_flips(
+    cell_cap: Farads,
+    cell_voltage: Volts,
+    bitline_cap: Farads,
+    bitline_voltage: Volts,
+    logic_threshold: Volts,
+) -> bool {
+    let outcome = share_charge(cell_cap, cell_voltage, bitline_cap, bitline_voltage);
+    let was_high = cell_voltage >= logic_threshold;
+    let is_high = outcome.final_voltage >= logic_threshold;
+    was_high != is_high
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BL_CAP: Farads = Farads(500e-15);
+    const CELL_CAP: Farads = Farads(2e-15);
+    const VDD: Volts = Volts(1.6);
+    const VTH: Volts = Volts(0.8);
+
+    #[test]
+    fn equal_caps_meet_in_the_middle() {
+        let out = share_charge(Farads(1e-15), Volts(0.0), Farads(1e-15), Volts(1.6));
+        assert!((out.final_voltage.value() - 0.8).abs() < 1e-12);
+        assert!(out.dissipated.value() > 0.0);
+    }
+
+    #[test]
+    fn charge_is_conserved() {
+        let out = share_charge(BL_CAP, Volts(0.3), CELL_CAP, VDD);
+        let q_before = BL_CAP.value() * 0.3 + CELL_CAP.value() * VDD.value();
+        let q_after = (BL_CAP.value() + CELL_CAP.value()) * out.final_voltage.value();
+        assert!((q_before - q_after).abs() < 1e-24);
+    }
+
+    #[test]
+    fn bitline_dominates_cell_node() {
+        // Discharged bit line vs cell node at VDD: equilibrium is near the
+        // bit-line value, i.e. the cell node is destroyed (faulty swap).
+        let out = share_charge(CELL_CAP, VDD, BL_CAP, Volts(0.0));
+        assert!(out.final_voltage.value() < 0.01);
+        assert!(out.delta_a.value() < -1.5);
+        assert!(out.delta_b.value().abs() < 0.01);
+    }
+
+    #[test]
+    fn faulty_swap_predicted_for_discharged_bitline() {
+        assert!(node_flips(CELL_CAP, VDD, BL_CAP, Volts(0.0), VTH));
+    }
+
+    #[test]
+    fn no_swap_when_bitline_precharged() {
+        // Bit line restored to VDD: a cell storing '1' keeps its value, and a
+        // cell storing '0' is only weakly disturbed because in reality the
+        // cell actively drives — here we only check the passive criterion for
+        // the node that agrees with the bit line.
+        assert!(!node_flips(CELL_CAP, VDD, BL_CAP, VDD, VTH));
+    }
+
+    #[test]
+    fn no_swap_when_bitline_only_partially_discharged() {
+        // Bit line still above threshold after a few floating cycles.
+        assert!(!node_flips(CELL_CAP, VDD, BL_CAP, Volts(1.0), VTH));
+    }
+
+    #[test]
+    fn dissipated_energy_formula() {
+        let out = share_charge(BL_CAP, Volts(0.0), CELL_CAP, VDD);
+        let series = BL_CAP.value() * CELL_CAP.value() / (BL_CAP.value() + CELL_CAP.value());
+        let expected = 0.5 * series * VDD.value() * VDD.value();
+        assert!((out.dissipated.value() - expected).abs() < 1e-24);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance a must be positive")]
+    fn zero_capacitance_rejected() {
+        let _ = share_charge(Farads(0.0), Volts(0.0), Farads(1e-15), Volts(1.0));
+    }
+}

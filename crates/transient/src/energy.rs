@@ -1,0 +1,128 @@
+//! Switching- and restoration-energy helpers.
+//!
+//! Every power number in the paper ultimately reduces to charging a
+//! capacitance from a supply: restoring a bit line after a read, after a
+//! read-equivalent stress (RES), or at a row transition. The energy drawn
+//! from the supply to raise a capacitance `C` by `ΔV` towards a rail at
+//! `V_DD` is `E = C · V_DD · ΔV`; the "dynamic switching energy" of a full
+//! rail-to-rail transition is the familiar `C · V_DD²` (per charge event).
+
+use crate::units::{Farads, Joules, Seconds, Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Energy drawn from a supply at `vdd` to pull a capacitance `c` up by
+/// `delta_v` (e.g. a pre-charge circuit restoring a bit line).
+///
+/// Negative `delta_v` (a discharge) draws no supply energy and returns zero.
+pub fn restoration_energy(c: Farads, vdd: Volts, delta_v: Volts) -> Joules {
+    Joules(c.value() * vdd.value() * delta_v.value().max(0.0))
+}
+
+/// Full rail-to-rail dynamic switching energy `C · V_DD²` for one
+/// charge event of a node of capacitance `c`.
+pub fn switching_energy(c: Farads, vdd: Volts) -> Joules {
+    Joules(c.value() * vdd.value() * vdd.value())
+}
+
+/// Energy of a short-circuit/contention "fight" where a current `i_eq`
+/// flows from the supply for a duration `dt` — used for the RES contention
+/// between an ON pre-charge circuit and the pull-down of a selected cell in
+/// an unselected column.
+pub fn contention_energy(vdd: Volts, equivalent_resistance: f64, dt: Seconds) -> Joules {
+    let i = vdd.value() / equivalent_resistance;
+    Joules(vdd.value() * i * dt.value())
+}
+
+/// A small accumulator of named energy contributions. Useful when composing
+/// the energy of one clock cycle out of several physical events before
+/// handing a single number to the power meter.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBudget {
+    entries: Vec<(String, Joules)>,
+}
+
+impl EnergyBudget {
+    /// Creates an empty budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named contribution.
+    pub fn add(&mut self, label: impl Into<String>, energy: Joules) -> &mut Self {
+        self.entries.push((label.into(), energy));
+        self
+    }
+
+    /// Total energy across all contributions.
+    pub fn total(&self) -> Joules {
+        self.entries.iter().map(|(_, e)| *e).sum()
+    }
+
+    /// Average power when the whole budget is spent over `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is zero or negative.
+    pub fn average_power(&self, dt: Seconds) -> Watts {
+        self.total().over(dt)
+    }
+
+    /// Iterates over the named contributions in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Joules)> {
+        self.entries.iter().map(|(l, e)| (l.as_str(), *e))
+    }
+
+    /// Number of contributions recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no contribution has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restoration_energy_formula() {
+        let e = restoration_energy(Farads(500e-15), Volts(1.6), Volts(0.4));
+        assert!((e.to_femtojoules() - 320.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restoration_energy_zero_for_discharge() {
+        let e = restoration_energy(Farads(500e-15), Volts(1.6), Volts(-0.4));
+        assert_eq!(e, Joules::ZERO);
+    }
+
+    #[test]
+    fn switching_energy_full_swing() {
+        let e = switching_energy(Farads(500e-15), Volts(1.6));
+        assert!((e.to_picojoules() - 1.28).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_energy_scales_with_time() {
+        let e1 = contention_energy(Volts(1.6), 1.0e6, Seconds::from_nanoseconds(1.5));
+        let e2 = contention_energy(Volts(1.6), 1.0e6, Seconds::from_nanoseconds(3.0));
+        assert!((e2.value() / e1.value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_accumulates_and_reports_power() {
+        let mut b = EnergyBudget::new();
+        assert!(b.is_empty());
+        b.add("bitline", Joules::from_femtojoules(320.0))
+            .add("wordline", Joules::from_femtojoules(180.0));
+        assert_eq!(b.len(), 2);
+        assert!((b.total().to_femtojoules() - 500.0).abs() < 1e-9);
+        let p = b.average_power(Seconds::from_nanoseconds(3.0));
+        assert!((p.to_microwatts() - 500.0e-15 / 3.0e-9 * 1e6).abs() < 1e-6);
+        let labels: Vec<&str> = b.iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["bitline", "wordline"]);
+    }
+}

@@ -1,0 +1,54 @@
+//! First-order analog transient substrate used in place of Spice.
+//!
+//! The paper this workspace reproduces ("Minimizing Test Power in SRAM
+//! through Reduction of Pre-charge Activity", DATE 2006) validates its
+//! technique with Spice simulations of a 0.13 µm SRAM. We do not have the
+//! authors' transistor models or a Spice engine, so this crate provides the
+//! minimal analog machinery their conclusions rest on:
+//!
+//! * strongly-typed electrical [`units`] (volts, farads, ohms, seconds,
+//!   joules, watts) so that energy accounting cannot silently mix quantities,
+//! * analytic [`rc`] charge/discharge behaviour (the floating bit-line
+//!   discharge of Figure 6 is a single RC decay),
+//! * capacitive [`charge_share`] redistribution (the faulty-swap mechanism of
+//!   Figure 7 is charge sharing between a large bit line and a tiny cell
+//!   node),
+//! * [`energy`] helpers implementing the `E = C · V_DD · ΔV` accounting used
+//!   for every pre-charge restoration event,
+//! * [`waveform`] containers for sampled node voltages (the "figures"), and
+//! * a small [`netlist`] + forward-Euler [`solver`] for cases where the
+//!   closed-form expressions are not enough (e.g. a cell fighting an active
+//!   pre-charge pull-up).
+//!
+//! # Example
+//!
+//! ```
+//! use transient::prelude::*;
+//!
+//! // A 500 fF bit line floating at VDD, discharged through a cell pull-down
+//! // of 150 kΩ: how long until it crosses the logic-'0' threshold?
+//! let rc = RcDischarge::new(Ohms(150e3), Farads(500e-15), Volts(1.6));
+//! let t = rc.time_to_reach(Volts(0.8)).expect("threshold below start");
+//! assert!(t.0 > 0.0);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod charge_share;
+pub mod energy;
+pub mod netlist;
+pub mod rc;
+pub mod solver;
+pub mod units;
+pub mod waveform;
+
+/// Convenient glob import of the most commonly used items.
+pub mod prelude {
+    pub use crate::charge_share::{share_charge, ChargeShareOutcome};
+    pub use crate::energy::{restoration_energy, switching_energy, EnergyBudget};
+    pub use crate::netlist::{Netlist, NodeId};
+    pub use crate::rc::{RcCharge, RcDischarge};
+    pub use crate::solver::{SolverConfig, TransientSolver};
+    pub use crate::units::{Amps, Farads, Joules, Ohms, Seconds, Volts, Watts};
+    pub use crate::waveform::{Sample, Waveform};
+}

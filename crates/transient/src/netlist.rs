@@ -1,0 +1,255 @@
+//! A very small circuit netlist.
+//!
+//! Some of the paper's scenarios are not a single RC pole: a cell fighting
+//! an active pre-charge pull-up is a resistive divider charging/discharging
+//! two coupled capacitors, and the Figure 5 testbench connects two cells and
+//! a bit-line pair through switches (the access transistors). This module
+//! provides just enough structure to describe such circuits — nodes with
+//! grounded capacitors, resistors between nodes, switch-gated resistors and
+//! ideal voltage sources — for the forward-Euler [`solver`](crate::solver)
+//! to integrate.
+
+use crate::units::{Farads, Ohms, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node created by [`Netlist::add_node`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Index of the node inside its netlist.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a switch created by [`Netlist::add_switch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SwitchId(pub(crate) usize);
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct NodeDef {
+    pub(crate) name: String,
+    pub(crate) capacitance: Farads,
+    pub(crate) initial: Volts,
+    /// If set, the node is an ideal source pinned at `initial` volts.
+    pub(crate) pinned: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct ResistorDef {
+    pub(crate) a: NodeId,
+    pub(crate) b: NodeId,
+    pub(crate) resistance: Ohms,
+    /// If `Some`, the resistor only conducts while the switch is closed.
+    pub(crate) gated_by: Option<SwitchId>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct SwitchDef {
+    pub(crate) name: String,
+    pub(crate) closed: bool,
+}
+
+/// Builder/owner of a small circuit.
+///
+/// # Example
+///
+/// ```
+/// use transient::prelude::*;
+///
+/// let mut net = Netlist::new();
+/// let vdd = net.add_source("VDD", Volts(1.6));
+/// let bl = net.add_node("BL", Farads(500e-15), Volts(1.6));
+/// net.add_resistor(vdd, bl, Ohms(2_000.0)); // pre-charge pull-up
+/// assert_eq!(net.node_count(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    pub(crate) nodes: Vec<NodeDef>,
+    pub(crate) resistors: Vec<ResistorDef>,
+    pub(crate) switches: Vec<SwitchDef>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a capacitive node with an initial voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacitance` is not strictly positive.
+    pub fn add_node(&mut self, name: impl Into<String>, capacitance: Farads, initial: Volts) -> NodeId {
+        assert!(capacitance.value() > 0.0, "node capacitance must be positive");
+        self.nodes.push(NodeDef {
+            name: name.into(),
+            capacitance,
+            initial,
+            pinned: false,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds an ideal voltage source (a node pinned at a fixed voltage).
+    pub fn add_source(&mut self, name: impl Into<String>, voltage: Volts) -> NodeId {
+        self.nodes.push(NodeDef {
+            name: name.into(),
+            // Capacitance is irrelevant for a pinned node but must be valid.
+            capacitance: Farads(1e-15),
+            initial: voltage,
+            pinned: true,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a resistor between two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance is not strictly positive or if either node id
+    /// does not belong to this netlist.
+    pub fn add_resistor(&mut self, a: NodeId, b: NodeId, resistance: Ohms) {
+        self.push_resistor(a, b, resistance, None);
+    }
+
+    /// Adds a resistor that only conducts while `switch` is closed (models a
+    /// pass/access transistor driven by a word line or a control signal).
+    pub fn add_gated_resistor(&mut self, a: NodeId, b: NodeId, resistance: Ohms, switch: SwitchId) {
+        self.push_resistor(a, b, resistance, Some(switch));
+    }
+
+    fn push_resistor(&mut self, a: NodeId, b: NodeId, resistance: Ohms, gated_by: Option<SwitchId>) {
+        assert!(resistance.value() > 0.0, "resistance must be positive");
+        assert!(a.0 < self.nodes.len(), "node a out of range");
+        assert!(b.0 < self.nodes.len(), "node b out of range");
+        assert_ne!(a, b, "resistor endpoints must differ");
+        if let Some(s) = gated_by {
+            assert!(s.0 < self.switches.len(), "switch out of range");
+        }
+        self.resistors.push(ResistorDef {
+            a,
+            b,
+            resistance,
+            gated_by,
+        });
+    }
+
+    /// Declares a switch, initially open or closed.
+    pub fn add_switch(&mut self, name: impl Into<String>, closed: bool) -> SwitchId {
+        self.switches.push(SwitchDef {
+            name: name.into(),
+            closed,
+        });
+        SwitchId(self.switches.len() - 1)
+    }
+
+    /// Opens or closes a switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch id does not belong to this netlist.
+    pub fn set_switch(&mut self, switch: SwitchId, closed: bool) {
+        self.switches[switch.0].closed = closed;
+    }
+
+    /// Returns whether a switch is currently closed.
+    pub fn switch_closed(&self, switch: SwitchId) -> bool {
+        self.switches[switch.0].closed
+    }
+
+    /// Re-pins a source node to a new voltage (e.g. toggling a word line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not a source.
+    pub fn set_source_voltage(&mut self, node: NodeId, voltage: Volts) {
+        let def = &mut self.nodes[node.0];
+        assert!(def.pinned, "node {} is not a source", def.name);
+        def.initial = voltage;
+    }
+
+    /// Name of a node.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.nodes[node.0].name
+    }
+
+    /// Number of nodes (sources included).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of resistors.
+    pub fn resistor_count(&self) -> usize {
+        self.resistors.len()
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Returns `true` if the node is a pinned voltage source.
+    pub fn is_source(&self, node: NodeId) -> bool {
+        self.nodes[node.0].pinned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_simple_circuit() {
+        let mut net = Netlist::new();
+        let vdd = net.add_source("VDD", Volts(1.6));
+        let bl = net.add_node("BL", Farads(500e-15), Volts(1.6));
+        let wl = net.add_switch("WL", false);
+        let cell = net.add_node("S", Farads(2e-15), Volts(0.0));
+        net.add_resistor(vdd, bl, Ohms(2000.0));
+        net.add_gated_resistor(bl, cell, Ohms(50_000.0), wl);
+
+        assert_eq!(net.node_count(), 3);
+        assert_eq!(net.resistor_count(), 2);
+        assert_eq!(net.switch_count(), 1);
+        assert!(net.is_source(vdd));
+        assert!(!net.is_source(bl));
+        assert_eq!(net.node_name(bl), "BL");
+        assert!(!net.switch_closed(wl));
+        net.set_switch(wl, true);
+        assert!(net.switch_closed(wl));
+    }
+
+    #[test]
+    fn source_can_be_repinned() {
+        let mut net = Netlist::new();
+        let wl = net.add_source("WL", Volts(0.0));
+        net.set_source_voltage(wl, Volts(1.6));
+        assert_eq!(net.nodes[0].initial, Volts(1.6));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a source")]
+    fn repinning_a_capacitive_node_panics() {
+        let mut net = Netlist::new();
+        let bl = net.add_node("BL", Farads(1e-15), Volts(0.0));
+        net.set_source_voltage(bl, Volts(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints must differ")]
+    fn self_loop_rejected() {
+        let mut net = Netlist::new();
+        let a = net.add_node("A", Farads(1e-15), Volts(0.0));
+        net.add_resistor(a, a, Ohms(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "node capacitance must be positive")]
+    fn zero_cap_node_rejected() {
+        let mut net = Netlist::new();
+        net.add_node("A", Farads(0.0), Volts(0.0));
+    }
+}

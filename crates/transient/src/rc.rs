@@ -1,0 +1,297 @@
+//! Analytic single-pole RC charge and discharge behaviour.
+//!
+//! The central analog phenomenon of the paper is a *floating* bit line (its
+//! pre-charge circuit switched off) being discharged towards ground by the
+//! pull-down path of a selected cell storing a '0'. The paper's Spice plots
+//! (Figure 6) show this discharge taking roughly nine 3 ns clock cycles.
+//! With the pre-charge transistor off, the circuit is a single capacitor
+//! (the bit line) discharging through a single resistance (the series
+//! access + driver transistors of the cell), i.e. the textbook
+//! `v(t) = V₀ · e^(−t/RC)` decay modelled here.
+
+use crate::units::{Farads, Joules, Ohms, Seconds, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Exponential discharge of a capacitor through a resistance towards a
+/// final voltage (ground by default).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RcDischarge {
+    resistance: Ohms,
+    capacitance: Farads,
+    start: Volts,
+    target: Volts,
+}
+
+impl RcDischarge {
+    /// Discharge from `start` towards 0 V through `resistance` with the
+    /// capacitor `capacitance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance or capacitance is not strictly positive.
+    pub fn new(resistance: Ohms, capacitance: Farads, start: Volts) -> Self {
+        Self::towards(resistance, capacitance, start, Volts::ZERO)
+    }
+
+    /// Discharge (or converge) from `start` towards an arbitrary `target`
+    /// voltage — used for a cell node fighting a divider, or a bit line that
+    /// settles at an intermediate level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance or capacitance is not strictly positive.
+    pub fn towards(resistance: Ohms, capacitance: Farads, start: Volts, target: Volts) -> Self {
+        assert!(resistance.value() > 0.0, "resistance must be positive");
+        assert!(capacitance.value() > 0.0, "capacitance must be positive");
+        Self {
+            resistance,
+            capacitance,
+            start,
+            target,
+        }
+    }
+
+    /// The RC time constant `τ = R · C`.
+    pub fn time_constant(&self) -> Seconds {
+        self.resistance * self.capacitance
+    }
+
+    /// The starting voltage.
+    pub fn start_voltage(&self) -> Volts {
+        self.start
+    }
+
+    /// The asymptotic target voltage.
+    pub fn target_voltage(&self) -> Volts {
+        self.target
+    }
+
+    /// Voltage after an elapsed time `t`:
+    /// `v(t) = target + (start − target) · e^(−t/τ)`.
+    pub fn voltage_at(&self, t: Seconds) -> Volts {
+        let tau = self.time_constant().value();
+        let delta = self.start - self.target;
+        self.target + delta * (-t.value() / tau).exp()
+    }
+
+    /// Time at which the waveform crosses `threshold`, or `None` if it never
+    /// does (threshold outside the `[target, start]` span, or equal to the
+    /// asymptote).
+    pub fn time_to_reach(&self, threshold: Volts) -> Option<Seconds> {
+        let delta0 = (self.start - self.target).value();
+        let delta_th = (threshold - self.target).value();
+        if delta0 == 0.0 {
+            return None;
+        }
+        let ratio = delta_th / delta0;
+        if ratio <= 0.0 || ratio > 1.0 {
+            return None;
+        }
+        let tau = self.time_constant().value();
+        Some(Seconds(-tau * ratio.ln()))
+    }
+
+    /// Energy dissipated in the resistive path between `t0` and `t1`.
+    ///
+    /// For a discharge towards ground the capacitor energy difference is all
+    /// converted to heat in the resistance:
+    /// `E = ½·C·(v(t0)² − v(t1)²)` referenced to the target voltage.
+    pub fn dissipated_between(&self, t0: Seconds, t1: Seconds) -> Joules {
+        let v0 = (self.voltage_at(t0) - self.target).value();
+        let v1 = (self.voltage_at(t1) - self.target).value();
+        Joules(0.5 * self.capacitance.value() * (v0 * v0 - v1 * v1).max(0.0))
+    }
+}
+
+/// Exponential charge of a capacitor through a resistance towards a supply
+/// voltage, accounting for both the energy stored and the energy dissipated
+/// in the charging path (each `½·C·ΔV²` for a full charge, `C·V_DD·ΔV`
+/// drawn from the supply).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RcCharge {
+    resistance: Ohms,
+    capacitance: Farads,
+    start: Volts,
+    supply: Volts,
+}
+
+impl RcCharge {
+    /// Charge from `start` towards `supply` through `resistance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance or capacitance is not strictly positive, or
+    /// if `supply < start` (use [`RcDischarge`] for downward transitions).
+    pub fn new(resistance: Ohms, capacitance: Farads, start: Volts, supply: Volts) -> Self {
+        assert!(resistance.value() > 0.0, "resistance must be positive");
+        assert!(capacitance.value() > 0.0, "capacitance must be positive");
+        assert!(
+            supply.value() >= start.value(),
+            "supply must not be below the starting voltage"
+        );
+        Self {
+            resistance,
+            capacitance,
+            start,
+            supply,
+        }
+    }
+
+    /// The RC time constant `τ = R · C`.
+    pub fn time_constant(&self) -> Seconds {
+        self.resistance * self.capacitance
+    }
+
+    /// Voltage after an elapsed time `t`:
+    /// `v(t) = supply − (supply − start) · e^(−t/τ)`.
+    pub fn voltage_at(&self, t: Seconds) -> Volts {
+        let tau = self.time_constant().value();
+        let delta = self.supply - self.start;
+        self.supply - delta * (-t.value() / tau).exp()
+    }
+
+    /// Time to reach a voltage `threshold` between `start` and `supply`.
+    pub fn time_to_reach(&self, threshold: Volts) -> Option<Seconds> {
+        let delta0 = (self.supply - self.start).value();
+        let remaining = (self.supply - threshold).value();
+        if delta0 <= 0.0 {
+            return None;
+        }
+        let ratio = remaining / delta0;
+        if ratio <= 0.0 || ratio > 1.0 {
+            return None;
+        }
+        let tau = self.time_constant().value();
+        Some(Seconds(-tau * ratio.ln()))
+    }
+
+    /// Energy drawn from the supply to charge the capacitor fully from
+    /// `start` to `supply`: `E = C · V_supply · (V_supply − V_start)`.
+    ///
+    /// Half of it ends up stored on the capacitor and half is dissipated in
+    /// the charging resistance; the *supply* energy is what a power meter at
+    /// the V_DD pin observes, which is what the paper's pre-charge power
+    /// numbers refer to.
+    pub fn supply_energy(&self) -> Joules {
+        let dv = (self.supply - self.start).value();
+        Joules(self.capacitance.value() * self.supply.value() * dv)
+    }
+
+    /// Energy drawn from the supply to charge only up to time `t`.
+    pub fn supply_energy_until(&self, t: Seconds) -> Joules {
+        let dv = (self.voltage_at(t) - self.start).value();
+        Joules(self.capacitance.value() * self.supply.value() * dv.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bitline_discharge() -> RcDischarge {
+        // 500 fF bit line, ~1.2 MΩ effective cell pull-down path, 1.6 V.
+        RcDischarge::new(Ohms(1.2e6), Farads::from_femtofarads(500.0), Volts(1.6))
+    }
+
+    #[test]
+    fn discharge_monotonically_decreasing() {
+        let rc = bitline_discharge();
+        let mut prev = rc.voltage_at(Seconds::ZERO);
+        assert_eq!(prev, Volts(1.6));
+        for i in 1..100 {
+            let v = rc.voltage_at(Seconds::from_nanoseconds(i as f64));
+            assert!(v < prev, "voltage must strictly decrease");
+            assert!(v.value() >= 0.0);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn discharge_time_constant_point() {
+        let rc = bitline_discharge();
+        let tau = rc.time_constant();
+        let v = rc.voltage_at(tau);
+        // e^-1 of 1.6 V
+        assert!((v.value() - 1.6 * (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discharge_threshold_crossing_consistent() {
+        let rc = bitline_discharge();
+        let th = Volts(0.8);
+        let t = rc.time_to_reach(th).expect("crosses threshold");
+        let v = rc.voltage_at(t);
+        assert!((v.value() - th.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discharge_never_reaches_voltage_above_start() {
+        let rc = bitline_discharge();
+        assert!(rc.time_to_reach(Volts(1.7)).is_none());
+        assert!(rc.time_to_reach(Volts(0.0)).is_none());
+        assert!(rc.time_to_reach(Volts(-0.1)).is_none());
+    }
+
+    #[test]
+    fn discharge_towards_intermediate_target() {
+        let rc = RcDischarge::towards(
+            Ohms::from_kilo_ohms(100.0),
+            Farads::from_femtofarads(2.0),
+            Volts(1.6),
+            Volts(0.4),
+        );
+        // Converges to 0.4 V, never below.
+        let v_late = rc.voltage_at(Seconds::from_nanoseconds(1000.0));
+        assert!((v_late.value() - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn discharge_energy_is_half_cv_squared_total() {
+        let rc = bitline_discharge();
+        let e = rc.dissipated_between(Seconds::ZERO, Seconds(1.0));
+        let expected = 0.5 * 500e-15 * 1.6 * 1.6;
+        assert!((e.value() - expected).abs() / expected < 1e-6);
+    }
+
+    #[test]
+    fn charge_reaches_supply() {
+        let rc = RcCharge::new(
+            Ohms::from_kilo_ohms(2.0),
+            Farads::from_femtofarads(500.0),
+            Volts(0.0),
+            Volts(1.6),
+        );
+        let v = rc.voltage_at(Seconds::from_nanoseconds(100.0));
+        assert!((v.value() - 1.6).abs() < 1e-6);
+        let t = rc.time_to_reach(Volts(1.5)).expect("reaches 1.5 V");
+        assert!(rc.voltage_at(t).value() - 1.5 < 1e-9);
+    }
+
+    #[test]
+    fn charge_supply_energy_full_swing() {
+        let rc = RcCharge::new(
+            Ohms::from_kilo_ohms(2.0),
+            Farads::from_femtofarads(500.0),
+            Volts(0.0),
+            Volts(1.6),
+        );
+        // E = C * Vdd^2 for a full swing.
+        assert!((rc.supply_energy().to_picojoules() - 1.28).abs() < 1e-9);
+        // Partial charge draws strictly less.
+        let partial = rc.supply_energy_until(Seconds::from_nanoseconds(1.0));
+        assert!(partial < rc.supply_energy());
+        assert!(partial.value() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn zero_resistance_rejected() {
+        let _ = RcDischarge::new(Ohms(0.0), Farads(1e-15), Volts(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "supply must not be below")]
+    fn charge_with_inverted_supply_rejected() {
+        let _ = RcCharge::new(Ohms(1.0), Farads(1e-15), Volts(1.6), Volts(0.0));
+    }
+}

@@ -1,0 +1,382 @@
+//! Forward-Euler transient solver over a [`Netlist`].
+//!
+//! For each non-pinned node `i` with capacitance `C_i`, the solver
+//! integrates `C_i · dV_i/dt = Σ_j (V_j − V_i)/R_ij` over conducting
+//! resistors, with pinned nodes held at their source voltage. The time step
+//! is chosen as a fraction of the smallest RC product in the circuit so the
+//! explicit integration stays stable. Energy drawn from each source node is
+//! accumulated (`∫ V_source · I_source dt`) so experiments can meter supply
+//! energy exactly the way the paper does.
+
+use crate::netlist::{Netlist, NodeId};
+use crate::units::{Joules, Seconds, Volts};
+use crate::waveform::Waveform;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Configuration of a transient run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// Total simulated time.
+    pub duration: Seconds,
+    /// Integration step. If `None`, the solver picks `min(RC)/20`.
+    pub step: Option<Seconds>,
+    /// Interval at which node voltages are recorded into waveforms. If
+    /// `None`, every integration step is recorded.
+    pub record_every: Option<Seconds>,
+}
+
+impl SolverConfig {
+    /// Convenience constructor: simulate for `duration` with automatic step
+    /// selection and full-rate recording.
+    pub fn for_duration(duration: Seconds) -> Self {
+        Self {
+            duration,
+            step: None,
+            record_every: None,
+        }
+    }
+}
+
+/// Result of a transient run: per-node waveforms and per-source supplied
+/// energy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransientResult {
+    waveforms: BTreeMap<usize, Waveform>,
+    source_energy: BTreeMap<usize, Joules>,
+    final_voltages: Vec<Volts>,
+    steps: usize,
+}
+
+impl TransientResult {
+    /// Waveform recorded for `node`.
+    pub fn waveform(&self, node: NodeId) -> Option<&Waveform> {
+        self.waveforms.get(&node.index())
+    }
+
+    /// Final voltage of `node` at the end of the run.
+    pub fn final_voltage(&self, node: NodeId) -> Volts {
+        self.final_voltages[node.index()]
+    }
+
+    /// Energy delivered by the source `node` over the run. Zero for
+    /// non-source nodes.
+    pub fn source_energy(&self, node: NodeId) -> Joules {
+        self.source_energy
+            .get(&node.index())
+            .copied()
+            .unwrap_or(Joules::ZERO)
+    }
+
+    /// Total energy delivered by all sources.
+    pub fn total_source_energy(&self) -> Joules {
+        self.source_energy.values().copied().sum()
+    }
+
+    /// Number of integration steps taken.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+/// The transient integrator. Holds node state so that a circuit can be
+/// simulated in several consecutive segments (switch changes between
+/// segments, as when a word line rises mid-scenario).
+#[derive(Debug, Clone)]
+pub struct TransientSolver {
+    netlist: Netlist,
+    voltages: Vec<Volts>,
+    time: Seconds,
+}
+
+impl TransientSolver {
+    /// Creates a solver with every node at its initial/netlist voltage.
+    pub fn new(netlist: Netlist) -> Self {
+        let voltages = netlist.nodes.iter().map(|n| n.initial).collect();
+        Self {
+            netlist,
+            voltages,
+            time: Seconds::ZERO,
+        }
+    }
+
+    /// Mutable access to the underlying netlist, used to toggle switches or
+    /// re-pin sources between simulation segments.
+    pub fn netlist_mut(&mut self) -> &mut Netlist {
+        &mut self.netlist
+    }
+
+    /// Shared access to the underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Current voltage of a node.
+    pub fn voltage(&self, node: NodeId) -> Volts {
+        self.voltages[node.index()]
+    }
+
+    /// Overrides the voltage of a (non-pinned) node — used to set up a
+    /// scenario, e.g. a bit line left discharged by a previous phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is a pinned source (re-pin it instead).
+    pub fn set_voltage(&mut self, node: NodeId, v: Volts) {
+        assert!(
+            !self.netlist.is_source(node),
+            "cannot override the voltage of a source node"
+        );
+        self.voltages[node.index()] = v;
+    }
+
+    /// Simulated time elapsed so far.
+    pub fn elapsed(&self) -> Seconds {
+        self.time
+    }
+
+    fn auto_step(&self) -> Seconds {
+        let mut min_rc = f64::INFINITY;
+        for r in &self.netlist.resistors {
+            for node in [r.a, r.b] {
+                let def = &self.netlist.nodes[node.index()];
+                if !def.pinned {
+                    min_rc = min_rc.min(r.resistance.value() * def.capacitance.value());
+                }
+            }
+        }
+        if !min_rc.is_finite() {
+            // No resistors touching capacitive nodes: any step works.
+            return Seconds(1e-12);
+        }
+        Seconds(min_rc / 20.0)
+    }
+
+    /// Runs one transient segment and returns the recorded result. Node
+    /// state persists, so calling `run` again continues from where the
+    /// previous segment ended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured duration or step is not strictly positive.
+    pub fn run(&mut self, config: SolverConfig) -> TransientResult {
+        assert!(config.duration.value() > 0.0, "duration must be positive");
+        let dt = config.step.unwrap_or_else(|| self.auto_step());
+        assert!(dt.value() > 0.0, "step must be positive");
+        let record_every = config.record_every.unwrap_or(dt);
+        assert!(record_every.value() > 0.0, "record interval must be positive");
+
+        // Pin sources at their configured voltage (they may have been re-pinned).
+        for (i, def) in self.netlist.nodes.iter().enumerate() {
+            if def.pinned {
+                self.voltages[i] = def.initial;
+            }
+        }
+
+        let steps = (config.duration.value() / dt.value()).ceil() as usize;
+        let mut waveforms: BTreeMap<usize, Waveform> = self
+            .netlist
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, def)| (i, Waveform::new(def.name.clone())))
+            .collect();
+        let mut source_energy: BTreeMap<usize, Joules> = BTreeMap::new();
+
+        // Record the initial point.
+        for (i, w) in waveforms.iter_mut() {
+            w.push(self.time, self.voltages[*i]);
+        }
+        let mut since_record = 0.0;
+
+        for _ in 0..steps {
+            // Net current into each node.
+            let mut current = vec![0.0f64; self.netlist.nodes.len()];
+            for r in &self.netlist.resistors {
+                let conducting = r
+                    .gated_by
+                    .map(|s| self.netlist.switches[s.0].closed)
+                    .unwrap_or(true);
+                if !conducting {
+                    continue;
+                }
+                let va = self.voltages[r.a.index()].value();
+                let vb = self.voltages[r.b.index()].value();
+                let i_ab = (va - vb) / r.resistance.value();
+                current[r.a.index()] -= i_ab;
+                current[r.b.index()] += i_ab;
+            }
+
+            for (i, def) in self.netlist.nodes.iter().enumerate() {
+                if def.pinned {
+                    // Energy delivered by the source: V * I_out * dt, where
+                    // I_out is the current flowing *out* of the source
+                    // (negative net inflow).
+                    let i_out = -current[i];
+                    if i_out > 0.0 {
+                        let e = source_energy.entry(i).or_insert(Joules::ZERO);
+                        *e += Joules(def.initial.value() * i_out * dt.value());
+                    }
+                } else {
+                    let dv = current[i] / def.capacitance.value() * dt.value();
+                    self.voltages[i] = Volts(self.voltages[i].value() + dv);
+                }
+            }
+
+            self.time += dt;
+            since_record += dt.value();
+            if since_record + 1e-18 >= record_every.value() {
+                for (i, w) in waveforms.iter_mut() {
+                    w.push(self.time, self.voltages[*i]);
+                }
+                since_record = 0.0;
+            }
+        }
+
+        TransientResult {
+            waveforms,
+            source_energy,
+            final_voltages: self.voltages.clone(),
+            steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Farads, Ohms};
+
+    /// Pre-charge circuit charging a discharged bit line: compare the solver
+    /// against the closed-form RC charge.
+    #[test]
+    fn matches_analytic_rc_charge() {
+        let mut net = Netlist::new();
+        let vdd = net.add_source("VDD", Volts(1.6));
+        let bl = net.add_node("BL", Farads(500e-15), Volts(0.0));
+        net.add_resistor(vdd, bl, Ohms(2_000.0));
+        let mut solver = TransientSolver::new(net);
+        let result = solver.run(SolverConfig::for_duration(Seconds::from_nanoseconds(5.0)));
+
+        let analytic = crate::rc::RcCharge::new(
+            Ohms(2_000.0),
+            Farads(500e-15),
+            Volts(0.0),
+            Volts(1.6),
+        );
+        let v_sim = result.final_voltage(bl).value();
+        let v_ana = analytic.voltage_at(Seconds::from_nanoseconds(5.0)).value();
+        assert!(
+            (v_sim - v_ana).abs() < 0.02,
+            "simulated {v_sim} vs analytic {v_ana}"
+        );
+        // Supply energy close to C*Vdd*dV.
+        let e_sim = result.source_energy(vdd).value();
+        let e_ana = analytic.supply_energy_until(Seconds::from_nanoseconds(5.0)).value();
+        assert!((e_sim - e_ana).abs() / e_ana < 0.05);
+    }
+
+    /// A floating bit line discharged through a gated resistor (the access
+    /// path of a cell storing '0') — the Figure 6 scenario.
+    #[test]
+    fn floating_bitline_discharge_through_closed_switch() {
+        let mut net = Netlist::new();
+        let gnd = net.add_source("GND", Volts(0.0));
+        let bl = net.add_node("BL", Farads(500e-15), Volts(1.6));
+        let wl = net.add_switch("WL", false);
+        net.add_gated_resistor(bl, gnd, Ohms(1.2e6), wl);
+        let mut solver = TransientSolver::new(net);
+
+        // Switch open: nothing happens.
+        let r1 = solver.run(SolverConfig::for_duration(Seconds::from_nanoseconds(3.0)));
+        assert!((r1.final_voltage(bl).value() - 1.6).abs() < 1e-9);
+
+        // Close the word line: bit line decays.
+        solver.netlist_mut().set_switch(wl, true);
+        let r2 = solver.run(SolverConfig::for_duration(Seconds::from_nanoseconds(27.0)));
+        let v = r2.final_voltage(bl).value();
+        assert!(v < 1.6 * (-27.0e-9_f64 / (1.2e6 * 500e-15)).exp() + 0.05);
+        assert!(v > 0.0);
+        // The waveform is monotonically decreasing.
+        let w = r2.waveform(bl).unwrap();
+        let mut prev = f64::INFINITY;
+        for s in w.iter() {
+            assert!(s.voltage.value() <= prev + 1e-12);
+            prev = s.voltage.value();
+        }
+    }
+
+    /// Contention: pre-charge pull-up against a cell pull-down forms a
+    /// divider; the bit line settles at the divider voltage and the source
+    /// keeps supplying energy (static RES consumption).
+    #[test]
+    fn contention_settles_at_divider_voltage() {
+        let mut net = Netlist::new();
+        let vdd = net.add_source("VDD", Volts(1.6));
+        let gnd = net.add_source("GND", Volts(0.0));
+        let bl = net.add_node("BL", Farads(500e-15), Volts(1.6));
+        net.add_resistor(vdd, bl, Ohms(2_000.0));
+        net.add_resistor(bl, gnd, Ohms(200_000.0));
+        let mut solver = TransientSolver::new(net);
+        let result = solver.run(SolverConfig::for_duration(Seconds::from_nanoseconds(50.0)));
+        let expected = 1.6 * 200_000.0 / 202_000.0;
+        assert!((result.final_voltage(bl).value() - expected).abs() < 0.01);
+        assert!(result.source_energy(vdd).value() > 0.0);
+        // Ground never supplies energy.
+        assert_eq!(result.source_energy(gnd), Joules::ZERO);
+    }
+
+    #[test]
+    fn charge_sharing_between_two_capacitors() {
+        let mut net = Netlist::new();
+        let bl = net.add_node("BL", Farads(500e-15), Volts(0.0));
+        let s = net.add_node("S", Farads(2e-15), Volts(1.6));
+        net.add_resistor(bl, s, Ohms(10_000.0));
+        let mut solver = TransientSolver::new(net);
+        let result = solver.run(SolverConfig::for_duration(Seconds::from_nanoseconds(100.0)));
+        let expected = crate::charge_share::share_charge(
+            Farads(500e-15),
+            Volts(0.0),
+            Farads(2e-15),
+            Volts(1.6),
+        )
+        .final_voltage
+        .value();
+        assert!((result.final_voltage(bl).value() - expected).abs() < 0.01);
+        assert!((result.final_voltage(s).value() - expected).abs() < 0.01);
+    }
+
+    #[test]
+    fn set_voltage_and_elapsed_time() {
+        let mut net = Netlist::new();
+        let a = net.add_node("A", Farads(1e-15), Volts(0.0));
+        let mut solver = TransientSolver::new(net);
+        solver.set_voltage(a, Volts(1.0));
+        assert_eq!(solver.voltage(a), Volts(1.0));
+        assert_eq!(solver.elapsed(), Seconds::ZERO);
+        let _ = solver.run(SolverConfig {
+            duration: Seconds::from_nanoseconds(1.0),
+            step: Some(Seconds::from_picoseconds(10.0)),
+            record_every: None,
+        });
+        assert!(solver.elapsed().value() >= 1.0e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot override the voltage of a source")]
+    fn overriding_source_voltage_panics() {
+        let mut net = Netlist::new();
+        let vdd = net.add_source("VDD", Volts(1.6));
+        let mut solver = TransientSolver::new(net);
+        solver.set_voltage(vdd, Volts(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_rejected() {
+        let mut net = Netlist::new();
+        net.add_node("A", Farads(1e-15), Volts(0.0));
+        let mut solver = TransientSolver::new(net);
+        let _ = solver.run(SolverConfig::for_duration(Seconds::ZERO));
+    }
+}

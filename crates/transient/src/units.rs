@@ -1,0 +1,425 @@
+//! Strongly-typed electrical units.
+//!
+//! All quantities in this workspace are carried in SI base units inside
+//! simple newtypes. The newtypes are deliberately thin — `Copy`, `f64`
+//! payload, full arithmetic where it is dimensionally meaningful — so that
+//! the simulator code reads like the physics it implements while the
+//! compiler rejects accidental mixes such as adding volts to farads.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero value of this unit.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns the raw `f64` value in SI base units.
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamps the value between `lo` and `hi`.
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns `true` if the value is finite (not NaN or infinite).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|x| x.0).sum())
+            }
+        }
+    };
+}
+
+unit!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+unit!(
+    /// Resistance in ohms.
+    Ohms,
+    "Ω"
+);
+unit!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// Current in amperes.
+    Amps,
+    "A"
+);
+unit!(
+    /// Charge in coulombs.
+    Coulombs,
+    "C"
+);
+
+impl Volts {
+    /// Constructs a value expressed in millivolts.
+    pub fn from_millivolts(mv: f64) -> Self {
+        Volts(mv * 1e-3)
+    }
+
+    /// Returns the value expressed in millivolts.
+    pub fn to_millivolts(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Farads {
+    /// Constructs a value expressed in femtofarads.
+    pub fn from_femtofarads(ff: f64) -> Self {
+        Farads(ff * 1e-15)
+    }
+
+    /// Returns the value expressed in femtofarads.
+    pub fn to_femtofarads(self) -> f64 {
+        self.0 * 1e15
+    }
+}
+
+impl Seconds {
+    /// Constructs a value expressed in nanoseconds.
+    pub fn from_nanoseconds(ns: f64) -> Self {
+        Seconds(ns * 1e-9)
+    }
+
+    /// Returns the value expressed in nanoseconds.
+    pub fn to_nanoseconds(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Constructs a value expressed in picoseconds.
+    pub fn from_picoseconds(ps: f64) -> Self {
+        Seconds(ps * 1e-12)
+    }
+
+    /// Returns the value expressed in picoseconds.
+    pub fn to_picoseconds(self) -> f64 {
+        self.0 * 1e12
+    }
+}
+
+impl Joules {
+    /// Constructs a value expressed in femtojoules.
+    pub fn from_femtojoules(fj: f64) -> Self {
+        Joules(fj * 1e-15)
+    }
+
+    /// Returns the value expressed in femtojoules.
+    pub fn to_femtojoules(self) -> f64 {
+        self.0 * 1e15
+    }
+
+    /// Constructs a value expressed in picojoules.
+    pub fn from_picojoules(pj: f64) -> Self {
+        Joules(pj * 1e-12)
+    }
+
+    /// Returns the value expressed in picojoules.
+    pub fn to_picojoules(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Average power when this energy is spent over `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is zero or negative.
+    pub fn over(self, dt: Seconds) -> Watts {
+        assert!(dt.0 > 0.0, "duration must be positive, got {dt}");
+        Watts(self.0 / dt.0)
+    }
+}
+
+impl Watts {
+    /// Returns the value expressed in microwatts.
+    pub fn to_microwatts(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the value expressed in milliwatts.
+    pub fn to_milliwatts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Energy accumulated when this power is sustained for `dt`.
+    pub fn times(self, dt: Seconds) -> Joules {
+        Joules(self.0 * dt.0)
+    }
+}
+
+impl Ohms {
+    /// Constructs a value expressed in kilo-ohms.
+    pub fn from_kilo_ohms(k: f64) -> Self {
+        Ohms(k * 1e3)
+    }
+}
+
+/// `Q = C · V`
+impl Mul<Volts> for Farads {
+    type Output = Coulombs;
+    fn mul(self, rhs: Volts) -> Coulombs {
+        Coulombs(self.0 * rhs.0)
+    }
+}
+
+/// `Q = C · V` (commutative)
+impl Mul<Farads> for Volts {
+    type Output = Coulombs;
+    fn mul(self, rhs: Farads) -> Coulombs {
+        Coulombs(self.0 * rhs.0)
+    }
+}
+
+/// `E = Q · V`
+impl Mul<Volts> for Coulombs {
+    type Output = Joules;
+    fn mul(self, rhs: Volts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// `τ = R · C`
+impl Mul<Farads> for Ohms {
+    type Output = Seconds;
+    fn mul(self, rhs: Farads) -> Seconds {
+        Seconds(self.0 * rhs.0)
+    }
+}
+
+/// `τ = R · C` (commutative)
+impl Mul<Ohms> for Farads {
+    type Output = Seconds;
+    fn mul(self, rhs: Ohms) -> Seconds {
+        Seconds(self.0 * rhs.0)
+    }
+}
+
+/// `I = V / R` (Ohm's law)
+impl Div<Ohms> for Volts {
+    type Output = Amps;
+    fn div(self, rhs: Ohms) -> Amps {
+        Amps(self.0 / rhs.0)
+    }
+}
+
+/// `P = V · I`
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+/// `E = P · t`
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// `P = E / t`
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+/// `Q = I · t`
+impl Mul<Seconds> for Amps {
+    type Output = Coulombs;
+    fn mul(self, rhs: Seconds) -> Coulombs {
+        Coulombs(self.0 * rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volts_arithmetic() {
+        let a = Volts(1.6);
+        let b = Volts(0.4);
+        assert_eq!(a + b, Volts(2.0));
+        assert_eq!(a - b, Volts(1.2000000000000002));
+        assert_eq!(a * 2.0, Volts(3.2));
+        assert_eq!(2.0 * b, Volts(0.8));
+        assert!((a / b - 4.0).abs() < 1e-12);
+        assert_eq!(-b, Volts(-0.4));
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert!((Volts::from_millivolts(30.0).value() - 0.03).abs() < 1e-15);
+        assert!((Farads::from_femtofarads(500.0).value() - 500e-15).abs() < 1e-27);
+        assert!((Seconds::from_nanoseconds(3.0).value() - 3e-9).abs() < 1e-21);
+        assert!((Joules::from_picojoules(1.28).to_femtojoules() - 1280.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dimensional_products() {
+        let c = Farads::from_femtofarads(500.0);
+        let v = Volts(1.6);
+        let q = c * v;
+        let e = q * v;
+        // E = C * V^2 = 500fF * 2.56 V^2 = 1.28 pJ
+        assert!((e.to_picojoules() - 1.28).abs() < 1e-9);
+
+        let tau = Ohms::from_kilo_ohms(150.0) * c;
+        assert!((tau.to_nanoseconds() - 75.0).abs() < 1e-9);
+
+        let i = v / Ohms::from_kilo_ohms(1.0);
+        let p = v * i;
+        assert!((p.to_milliwatts() - 2.56).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_energy_roundtrip() {
+        let e = Joules::from_picojoules(3.0);
+        let p = e.over(Seconds::from_nanoseconds(3.0));
+        assert!((p.to_milliwatts() - 1.0).abs() < 1e-9);
+        let back = p.times(Seconds::from_nanoseconds(3.0));
+        assert!((back.to_picojoules() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn power_over_zero_duration_panics() {
+        let _ = Joules(1.0).over(Seconds::ZERO);
+    }
+
+    #[test]
+    fn sums_min_max_clamp() {
+        let total: Joules = vec![Joules(1.0), Joules(2.0), Joules(3.0)].into_iter().sum();
+        assert_eq!(total, Joules(6.0));
+        assert_eq!(Volts(1.0).max(Volts(2.0)), Volts(2.0));
+        assert_eq!(Volts(1.0).min(Volts(2.0)), Volts(1.0));
+        assert_eq!(Volts(3.0).clamp(Volts(0.0), Volts(1.6)), Volts(1.6));
+        assert_eq!(Volts(-3.0).abs(), Volts(3.0));
+    }
+
+    #[test]
+    fn display_includes_suffix() {
+        assert_eq!(format!("{}", Volts(1.6)), "1.6 V");
+        assert_eq!(format!("{}", Ohms(10.0)), "10 Ω");
+    }
+}

@@ -1,0 +1,354 @@
+//! Sampled voltage waveforms.
+//!
+//! The paper's figures are Spice waveforms: the pre-charge phase diagrams of
+//! Figure 2, the floating bit-line discharge of Figure 6 and the faulty-swap
+//! trace of Figure 7. [`Waveform`] is the container those reproductions are
+//! emitted into: a time-ordered list of `(time, voltage)` samples with the
+//! handful of measurements the experiments need (value interpolation,
+//! threshold-crossing time, min/max, settling check) plus CSV/ASCII export
+//! for the `repro` binary.
+
+use crate::units::{Seconds, Volts};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One `(time, voltage)` point of a waveform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Sample time.
+    pub time: Seconds,
+    /// Node voltage at that time.
+    pub voltage: Volts,
+}
+
+/// A named, time-ordered sequence of voltage samples.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Waveform {
+    name: String,
+    samples: Vec<Sample>,
+}
+
+impl Waveform {
+    /// Creates an empty waveform with a signal name (e.g. `"BL"`, `"SB"`).
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// The signal name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the previous sample (waveforms are
+    /// strictly time-ordered).
+    pub fn push(&mut self, time: Seconds, voltage: Volts) {
+        if let Some(last) = self.samples.last() {
+            assert!(
+                time.value() >= last.time.value(),
+                "samples must be time-ordered: {} after {}",
+                time,
+                last.time
+            );
+        }
+        self.samples.push(Sample { time, voltage });
+    }
+
+    /// Builds a waveform by sampling a closure at a fixed step over
+    /// `[0, duration]` (inclusive of both ends).
+    pub fn sample_fn(
+        name: impl Into<String>,
+        duration: Seconds,
+        step: Seconds,
+        mut f: impl FnMut(Seconds) -> Volts,
+    ) -> Self {
+        assert!(step.value() > 0.0, "step must be positive");
+        let mut w = Self::new(name);
+        let mut t = 0.0;
+        while t <= duration.value() + step.value() * 0.5 {
+            let ts = Seconds(t.min(duration.value()));
+            w.push(ts, f(ts));
+            t += step.value();
+        }
+        w
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if the waveform holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Read-only access to the samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Iterates over the samples.
+    pub fn iter(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.iter()
+    }
+
+    /// Last sample, if any.
+    pub fn last(&self) -> Option<Sample> {
+        self.samples.last().copied()
+    }
+
+    /// Linearly interpolated voltage at an arbitrary time inside the sampled
+    /// span. Returns `None` outside of the span or if the waveform is empty.
+    pub fn voltage_at(&self, t: Seconds) -> Option<Volts> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let first = self.samples.first().unwrap();
+        let last = self.samples.last().unwrap();
+        if t < first.time || t > last.time {
+            return None;
+        }
+        // Find the first sample at or after t.
+        let idx = self
+            .samples
+            .partition_point(|s| s.time.value() < t.value());
+        if idx == 0 {
+            return Some(first.voltage);
+        }
+        let hi = self.samples[idx.min(self.samples.len() - 1)];
+        let lo = self.samples[idx - 1];
+        if (hi.time.value() - lo.time.value()).abs() < f64::EPSILON {
+            return Some(hi.voltage);
+        }
+        let frac = (t.value() - lo.time.value()) / (hi.time.value() - lo.time.value());
+        Some(Volts(
+            lo.voltage.value() + frac * (hi.voltage.value() - lo.voltage.value()),
+        ))
+    }
+
+    /// Time of the first crossing of `threshold` in the given direction
+    /// (`falling = true` looks for a high→low crossing), using linear
+    /// interpolation between bracketing samples.
+    pub fn first_crossing(&self, threshold: Volts, falling: bool) -> Option<Seconds> {
+        for pair in self.samples.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let crossed = if falling {
+                a.voltage >= threshold && b.voltage < threshold
+            } else {
+                a.voltage <= threshold && b.voltage > threshold
+            };
+            if crossed {
+                let dv = b.voltage.value() - a.voltage.value();
+                if dv.abs() < f64::EPSILON {
+                    return Some(b.time);
+                }
+                let frac = (threshold.value() - a.voltage.value()) / dv;
+                let dt = b.time.value() - a.time.value();
+                return Some(Seconds(a.time.value() + frac * dt));
+            }
+        }
+        None
+    }
+
+    /// Minimum voltage over the waveform.
+    pub fn min_voltage(&self) -> Option<Volts> {
+        self.samples
+            .iter()
+            .map(|s| s.voltage)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: Volts| a.min(v))))
+    }
+
+    /// Maximum voltage over the waveform.
+    pub fn max_voltage(&self) -> Option<Volts> {
+        self.samples
+            .iter()
+            .map(|s| s.voltage)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: Volts| a.max(v))))
+    }
+
+    /// Returns `true` if the tail of the waveform (its last `tail_fraction`
+    /// of samples) stays within `tolerance` of the final value — i.e. the
+    /// signal has settled.
+    pub fn is_settled(&self, tail_fraction: f64, tolerance: Volts) -> bool {
+        if self.samples.is_empty() {
+            return false;
+        }
+        let final_v = self.samples.last().unwrap().voltage;
+        let start = ((self.samples.len() as f64) * (1.0 - tail_fraction)).floor() as usize;
+        self.samples[start.min(self.samples.len() - 1)..]
+            .iter()
+            .all(|s| (s.voltage - final_v).abs() <= tolerance)
+    }
+
+    /// Renders the waveform as CSV (`time_ns,voltage_v` per line) for
+    /// external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_ns,voltage_v\n");
+        for s in &self.samples {
+            let _ = writeln!(out, "{:.4},{:.6}", s.time.to_nanoseconds(), s.voltage.value());
+        }
+        out
+    }
+
+    /// Renders a coarse ASCII plot (one row per sample bucket) used by the
+    /// `repro` binary to show figure shapes directly in a terminal.
+    pub fn to_ascii(&self, width: usize, rows: usize) -> String {
+        if self.samples.is_empty() || width == 0 || rows == 0 {
+            return String::new();
+        }
+        let vmin = self.min_voltage().unwrap().value();
+        let vmax = self.max_voltage().unwrap().value().max(vmin + 1e-12);
+        let t0 = self.samples.first().unwrap().time.value();
+        let t1 = self.samples.last().unwrap().time.value().max(t0 + 1e-18);
+        let mut out = String::new();
+        for r in 0..rows {
+            let frac = r as f64 / (rows - 1).max(1) as f64;
+            let t = t0 + frac * (t1 - t0);
+            let v = self
+                .voltage_at(Seconds(t))
+                .unwrap_or(self.samples.last().unwrap().voltage)
+                .value();
+            let col = (((v - vmin) / (vmax - vmin)) * (width.saturating_sub(1)) as f64)
+                .round() as usize;
+            let _ = write!(out, "{:>8.2} ns |", t * 1e9);
+            for c in 0..width {
+                out.push(if c == col { '*' } else { ' ' });
+            }
+            let _ = writeln!(out, "| {:.3} V", v);
+        }
+        out
+    }
+}
+
+impl FromIterator<Sample> for Waveform {
+    fn from_iter<T: IntoIterator<Item = Sample>>(iter: T) -> Self {
+        let mut w = Waveform::new("unnamed");
+        for s in iter {
+            w.push(s.time, s.voltage);
+        }
+        w
+    }
+}
+
+impl Extend<Sample> for Waveform {
+    fn extend<T: IntoIterator<Item = Sample>>(&mut self, iter: T) {
+        for s in iter {
+            self.push(s.time, s.voltage);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        // 0 V to 1.6 V over 8 ns in 1 ns steps.
+        Waveform::sample_fn(
+            "ramp",
+            Seconds::from_nanoseconds(8.0),
+            Seconds::from_nanoseconds(1.0),
+            |t| Volts(t.to_nanoseconds() * 0.2),
+        )
+    }
+
+    #[test]
+    fn sample_fn_covers_both_ends() {
+        let w = ramp();
+        assert_eq!(w.len(), 9);
+        assert_eq!(w.samples()[0].voltage, Volts(0.0));
+        assert!((w.last().unwrap().voltage.value() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_between_samples() {
+        let w = ramp();
+        let v = w.voltage_at(Seconds::from_nanoseconds(2.5)).unwrap();
+        assert!((v.value() - 0.5).abs() < 1e-12);
+        assert!(w.voltage_at(Seconds::from_nanoseconds(9.0)).is_none());
+        assert!(w.voltage_at(Seconds(-1.0)).is_none());
+    }
+
+    #[test]
+    fn rising_crossing_found() {
+        let w = ramp();
+        let t = w.first_crossing(Volts(0.8), false).unwrap();
+        assert!((t.to_nanoseconds() - 4.0).abs() < 1e-9);
+        assert!(w.first_crossing(Volts(0.8), true).is_none());
+    }
+
+    #[test]
+    fn falling_crossing_found() {
+        let w = Waveform::sample_fn(
+            "fall",
+            Seconds::from_nanoseconds(10.0),
+            Seconds::from_nanoseconds(1.0),
+            |t| Volts(1.6 - 0.16 * t.to_nanoseconds()),
+        );
+        let t = w.first_crossing(Volts(0.8), true).unwrap();
+        assert!((t.to_nanoseconds() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_and_settled() {
+        let w = ramp();
+        assert_eq!(w.min_voltage().unwrap(), Volts(0.0));
+        assert!((w.max_voltage().unwrap().value() - 1.6).abs() < 1e-12);
+        assert!(!w.is_settled(0.5, Volts(0.01)));
+
+        let flat = Waveform::sample_fn(
+            "flat",
+            Seconds::from_nanoseconds(5.0),
+            Seconds::from_nanoseconds(1.0),
+            |_| Volts(1.6),
+        );
+        assert!(flat.is_settled(0.5, Volts(0.001)));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_push_panics() {
+        let mut w = Waveform::new("x");
+        w.push(Seconds::from_nanoseconds(2.0), Volts(1.0));
+        w.push(Seconds::from_nanoseconds(1.0), Volts(1.0));
+    }
+
+    #[test]
+    fn csv_and_ascii_render() {
+        let w = ramp();
+        let csv = w.to_csv();
+        assert!(csv.starts_with("time_ns,voltage_v"));
+        assert_eq!(csv.lines().count(), 10);
+        let art = w.to_ascii(20, 5);
+        assert_eq!(art.lines().count(), 5);
+        assert!(art.contains('*'));
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let samples = vec![
+            Sample {
+                time: Seconds(0.0),
+                voltage: Volts(0.0),
+            },
+            Sample {
+                time: Seconds(1e-9),
+                voltage: Volts(1.0),
+            },
+        ];
+        let mut w: Waveform = samples.clone().into_iter().collect();
+        assert_eq!(w.len(), 2);
+        w.extend(vec![Sample {
+            time: Seconds(2e-9),
+            voltage: Volts(1.5),
+        }]);
+        assert_eq!(w.len(), 3);
+    }
+}

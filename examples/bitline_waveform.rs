@@ -1,0 +1,91 @@
+//! Figure 6 / Figure 7 scenario: floating bit-line discharge and the faulty
+//! swap at a row transition.
+//!
+//! The example reproduces the paper's Spice experiment of Figure 5/6 with
+//! the `transient` solver (a cell discharging a floating bit line over ≈ 9
+//! clock cycles), then runs the cycle-accurate simulator across a row
+//! transition twice — once without the restore cycle (the cell of the next
+//! row is corrupted) and once with it (the data survives).
+//!
+//! ```text
+//! cargo run --release --example bitline_waveform
+//! ```
+
+use sram_test_power::lp_precharge::prelude::*;
+use sram_test_power::march_test::library;
+use sram_test_power::sram_model::config::{ArrayOrganization, SramConfig};
+use sram_test_power::sram_model::error::SramError;
+use sram_test_power::transient::prelude::*;
+
+fn main() -> Result<(), SramError> {
+    let technology = sram_test_power::sram_model::config::TechnologyParams::default_013um();
+
+    // --- Figure 6: floating bit line discharged by a selected cell -------
+    println!("== floating bit-line discharge (Figure 6) ==");
+    let clock = technology.clock_period;
+    let per_cycle = technology.floating_discharge_per_cycle();
+    let mut waveform = Waveform::new("BL (floating, cell stores 0)");
+    let mut v = technology.vdd;
+    for cycle in 0..12u32 {
+        waveform.push(Seconds(clock.value() * f64::from(cycle)), v);
+        v = (v - per_cycle).max(Volts::ZERO);
+    }
+    println!("{}", waveform.to_ascii(48, 12));
+    let crossing = waveform
+        .first_crossing(technology.logic_threshold, true)
+        .map(|t| t.value() / clock.value())
+        .unwrap_or(f64::NAN);
+    println!(
+        "BL crosses the logic threshold after ~{crossing:.1} cycles; full discharge in ~{:.1} cycles (paper: \"nearly nine clock cycles\")",
+        technology.floating_discharge_cycles()
+    );
+
+    // The same scenario with the netlist solver: a 256 fF bit line, the
+    // cell's pull-down path, and the word line as a switch.
+    let mut netlist = Netlist::new();
+    let gnd = netlist.add_source("GND", Volts::ZERO);
+    let bl = netlist.add_node("BL", technology.bitline_capacitance, technology.vdd);
+    let wl = netlist.add_switch("WL", true);
+    // Effective pull-down resistance chosen to match the cell read current
+    // at VDD.
+    let r_cell = technology.vdd.value() / technology.cell_read_current.value();
+    netlist.add_gated_resistor(bl, gnd, Ohms(r_cell), wl);
+    let mut solver = TransientSolver::new(netlist);
+    let result = solver.run(SolverConfig::for_duration(Seconds(clock.value() * 12.0)));
+    println!(
+        "netlist solver: BL after 12 cycles = {:.2} V (RC model of the same path)",
+        result.final_voltage(bl).value()
+    );
+    println!();
+
+    // --- Figure 7: the faulty swap and its fix ---------------------------
+    println!("== faulty swap at the row transition (Figure 7) ==");
+    let config = SramConfig::builder()
+        .organization(ArrayOrganization::new(16, 32)?)
+        .build()?;
+
+    // Without the row-transition restore: corrupted cells appear.
+    let broken = TestSession::new(config)
+        .with_options(LpOptions {
+            row_transition_restore: false,
+            ..LpOptions::default()
+        })
+        .run_with_background(&library::march_c_minus(), OperatingMode::LowPowerTest, true)?;
+    println!(
+        "without the restore cycle: {} faulty swaps, {} read mismatches",
+        broken.faulty_swaps, broken.read_mismatches
+    );
+
+    // With the paper's fix: none.
+    let fixed = TestSession::new(config)
+        .run_with_background(&library::march_c_minus(), OperatingMode::LowPowerTest, true)?;
+    println!(
+        "with the restore cycle:    {} faulty swaps, {} read mismatches",
+        fixed.faulty_swaps, fixed.read_mismatches
+    );
+    println!(
+        "stressed cells per cycle in low-power mode (alpha): {:.1}",
+        fixed.stress.stressed_cells_per_cycle()
+    );
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! SoC-integration scenario: how much test power does the technique save
+//! across the memory shapes found in an embedded design?
+//!
+//! The paper motivates the work with the ITRS projection that memories
+//! dominate SoC area. An integrator deciding whether to adopt the modified
+//! pre-charge control wants to know the saving for each macro shape in the
+//! design and for word-oriented organisations. This example sweeps array
+//! organisations and word widths with the analytic model (instant) and
+//! cross-checks two points with the cycle-accurate simulator.
+//!
+//! ```text
+//! cargo run --release --example embedded_memory_sweep
+//! ```
+
+use sram_test_power::lp_precharge::prelude::*;
+use sram_test_power::march_test::library;
+use sram_test_power::power_model::analytic::AnalyticPowerModel;
+use sram_test_power::power_model::calibration::CalibratedParameters;
+use sram_test_power::sram_model::config::{ArrayOrganization, SramConfig, TechnologyParams};
+use sram_test_power::sram_model::error::SramError;
+
+fn main() -> Result<(), SramError> {
+    let technology = TechnologyParams::default_013um();
+    let test = library::march_c_minus();
+
+    println!("analytic PRR for March C- across array organisations (bit-oriented):");
+    println!("{:>10} {:>10} {:>10}", "#rows", "#cols", "PRR");
+    for &(rows, cols) in &[
+        (64u32, 64u32),
+        (128, 128),
+        (256, 256),
+        (512, 256),
+        (512, 512),
+        (256, 1024),
+        (512, 1024),
+    ] {
+        let organization = ArrayOrganization::new(rows, cols)?;
+        let model =
+            AnalyticPowerModel::new(CalibratedParameters::derive(&technology, &organization));
+        println!(
+            "{:>10} {:>10} {:>9.1}%",
+            rows,
+            cols,
+            model.power_reduction_ratio(&test, &organization) * 100.0
+        );
+    }
+
+    println!();
+    println!("word-oriented extension on the 512x512 array (future work of the paper):");
+    println!("{:>12} {:>10}", "word width", "PRR");
+    let organization = ArrayOrganization::paper_512x512();
+    let parameters = CalibratedParameters::derive(&technology, &organization);
+    for width in [1u32, 4, 8, 16, 32] {
+        let extension = WordOrientedExtension::new(parameters, width);
+        println!(
+            "{:>12} {:>9.1}%",
+            width,
+            extension.power_reduction_ratio(&test, &organization) * 100.0
+        );
+    }
+
+    println!();
+    println!("cycle-accurate cross-check (smaller arrays, March C-):");
+    for &(rows, cols) in &[(32u32, 64u32), (32, 128)] {
+        let config = SramConfig::builder()
+            .organization(ArrayOrganization::new(rows, cols)?)
+            .build()?;
+        let record = TestSession::new(config).compare(&test)?;
+        let model = AnalyticPowerModel::new(CalibratedParameters::derive(
+            &technology,
+            config.organization(),
+        ));
+        println!(
+            "  {rows:>4} x {cols:<4}  simulated {:>5.1}%   analytic {:>5.1}%",
+            record.prr_percent(),
+            model.power_reduction_ratio(&test, config.organization()) * 100.0
+        );
+    }
+
+    println!();
+    println!("hardware overhead of the modified control logic:");
+    let controller = ModifiedPrechargeController::new(512);
+    println!(
+        "  {} transistors total ({} per column), {:.2}% of the cell-array transistors",
+        controller.total_transistors(),
+        PrechargeControlElement::new().transistor_count(),
+        controller.area_overhead_fraction(512) * 100.0
+    );
+    let timing = TimingImpact::with_defaults(&technology);
+    println!(
+        "  added pre-charge path delay: {:.1} ps ({:.3}% of the clock period) — negligible: {}",
+        timing.added_delay.to_picoseconds(),
+        timing.cycle_fraction * 100.0,
+        timing.is_negligible()
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: run one March test in both modes and print the power saving.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sram_test_power::lp_precharge::prelude::*;
+use sram_test_power::march_test::library;
+use sram_test_power::sram_model::config::{ArrayOrganization, SramConfig};
+use sram_test_power::sram_model::error::SramError;
+
+fn main() -> Result<(), SramError> {
+    // A 64×64 array keeps the example instant even in debug builds; switch
+    // to `SramConfig::paper_default()` for the paper's 512×512 experiment.
+    let config = SramConfig::builder()
+        .organization(ArrayOrganization::new(64, 64)?)
+        .build()?;
+
+    let session = TestSession::new(config);
+    let test = library::march_c_minus();
+
+    println!("algorithm: {test}");
+    println!(
+        "array: {} x {} cells, {:.1} ns cycle, {:.1} V",
+        config.organization().rows(),
+        config.organization().cols(),
+        config.technology().clock_period.to_nanoseconds(),
+        config.technology().vdd.value()
+    );
+
+    let functional = session.run(&test, OperatingMode::Functional)?;
+    let low_power = session.run(&test, OperatingMode::LowPowerTest)?;
+
+    println!();
+    println!("functional mode:");
+    println!(
+        "  {} cycles, {:.3} mW average, pre-charge share {:.1} %",
+        functional.report.cycles,
+        functional.report.average_power.to_milliwatts(),
+        functional.report.precharge_fraction * 100.0
+    );
+    println!("low-power test mode:");
+    println!(
+        "  {} cycles, {:.3} mW average, pre-charge share {:.1} %",
+        low_power.report.cycles,
+        low_power.report.average_power.to_milliwatts(),
+        low_power.report.precharge_fraction * 100.0
+    );
+    println!(
+        "  faulty swaps: {}, read mismatches: {}",
+        low_power.faulty_swaps, low_power.read_mismatches
+    );
+
+    let record = session.compare(&test)?;
+    println!();
+    println!("power reduction ratio (PRR): {:.1} %", record.prr_percent());
+    println!();
+    println!("low-power mode energy breakdown:");
+    println!("{}", low_power.breakdown);
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Reproduce the paper's Table 1: PRR for the five March algorithms.
+//!
+//! By default the survey runs on a 128×128 array so it completes quickly
+//! even in a debug build. Pass `--paper` to use the full 512×512
+//! configuration of the paper (use `--release` for that one):
+//!
+//! ```text
+//! cargo run --release --example table1_survey -- --paper
+//! ```
+
+use sram_test_power::lp_precharge::report::{paper_table1_reference, reproduce_table1};
+use sram_test_power::power_model::report::format_table1;
+use sram_test_power::sram_model::config::{ArrayOrganization, SramConfig};
+use sram_test_power::sram_model::error::SramError;
+
+fn main() -> Result<(), SramError> {
+    let full = std::env::args().any(|a| a == "--paper");
+    let config = if full {
+        SramConfig::paper_default()
+    } else {
+        SramConfig::builder()
+            .organization(ArrayOrganization::new(128, 128)?)
+            .build()?
+    };
+
+    println!(
+        "Table 1 reproduction on a {}x{} array ({})",
+        config.organization().rows(),
+        config.organization().cols(),
+        if full {
+            "the paper's configuration"
+        } else {
+            "reduced size; pass --paper for 512x512"
+        }
+    );
+    println!();
+
+    let rows = reproduce_table1(&config)?;
+    println!("{}", format_table1(&rows));
+
+    println!("paper reference values:");
+    for (name, prr) in paper_table1_reference() {
+        println!("  {name:<10} {prr:.1} %");
+    }
+    if !full {
+        println!();
+        println!(
+            "note: the PRR grows with the number of columns (the savings scale with\n\
+             #col - 2); the ~50 % figures of the paper correspond to the 512-column array."
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! # sram-test-power
+//!
+//! A full reproduction of *"Minimizing Test Power in SRAM through Reduction
+//! of Pre-charge Activity"* (Dilillo, Rosinger, Al-Hashimi, Girard —
+//! DATE 2006) as a Rust workspace.
+//!
+//! The facade crate re-exports the five member crates so applications can
+//! depend on a single package:
+//!
+//! * [`transient`] — the first-order analog substrate (RC decay, charge
+//!   sharing, a small netlist solver) used in place of Spice;
+//! * [`sram_model`] — the cycle-accurate 512×512 SRAM array simulator
+//!   (cells, bit lines, pre-charge circuits, decoders, sense amplifiers);
+//! * [`march_test`] — the March test engine (algorithm library, address
+//!   orders, fault models, fault simulation and coverage);
+//! * [`power_model`] — power metering, per-source breakdown and the
+//!   paper's analytic `P_F`/`P_LPT`/`PRR` model;
+//! * [`lp_precharge`] — the paper's contribution: the modified pre-charge
+//!   control logic, the word-line-after-word-line low-power schedule, the
+//!   test-session engine and the verification harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sram_test_power::lp_precharge::prelude::*;
+//! use sram_test_power::march_test::library;
+//! use sram_test_power::sram_model::config::SramConfig;
+//!
+//! // Use a small array so the doctest is fast; the paper's experiments use
+//! // the 512×512 default (`SramConfig::paper_default()`).
+//! let session = TestSession::new(SramConfig::small_for_tests(16, 32)?);
+//! let record = session.compare(&library::march_c_minus())?;
+//! println!(
+//!     "March C-: functional {:.3} mW, low-power {:.3} mW, PRR {:.1} %",
+//!     record.functional.average_power.to_milliwatts(),
+//!     record.low_power.average_power.to_milliwatts(),
+//!     record.prr_percent()
+//! );
+//! assert!(record.prr > 0.0);
+//! # Ok::<(), sram_test_power::sram_model::error::SramError>(())
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lp_precharge;
+pub use march_test;
+pub use power_model;
+pub use sram_model;
+pub use transient;
+
+/// The five March algorithms of the paper's Table 1, re-exported for
+/// convenience.
+pub fn table1_algorithms() -> Vec<march_test::algorithm::MarchTest> {
+    march_test::library::table1_algorithms()
+}
+
+/// The paper's experimental memory configuration: a 512×512 bit-oriented
+/// array at the calibrated 0.13 µm / 1.6 V / 3 ns operating point.
+pub fn paper_configuration() -> sram_model::config::SramConfig {
+    sram_model::config::SramConfig::paper_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_reexports_are_consistent() {
+        assert_eq!(table1_algorithms().len(), 5);
+        let config = paper_configuration();
+        assert_eq!(config.organization().rows(), 512);
+        assert_eq!(config.organization().cols(), 512);
+        assert_eq!(config.technology().vdd, transient::units::Volts(1.6));
+    }
+}

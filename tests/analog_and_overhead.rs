@@ -1,0 +1,146 @@
+//! Cross-crate checks of the analog substrate and the hardware-overhead
+//! claims (experiments E3 and E7).
+
+use sram_test_power::lp_precharge::control_logic::{
+    ControlInputs, ModifiedPrechargeController, PrechargeControlElement,
+};
+use sram_test_power::lp_precharge::timing::TimingImpact;
+use sram_test_power::sram_model::bitline::BitLinePair;
+use sram_test_power::sram_model::config::TechnologyParams;
+use sram_test_power::transient::prelude::*;
+
+#[test]
+fn floating_bitline_discharge_takes_about_nine_cycles_in_both_models() {
+    let technology = TechnologyParams::default_013um();
+
+    // Behavioural model (constant-current discharge used by the array).
+    let mut pair = BitLinePair::precharged(technology.vdd);
+    let mut behavioural_cycles = 0;
+    while pair.bl().value() > 0.05 && behavioural_cycles < 50 {
+        pair.float_discharge_by_cell(false, &technology);
+        behavioural_cycles += 1;
+    }
+    assert!(
+        (8..=11).contains(&behavioural_cycles),
+        "behavioural model took {behavioural_cycles} cycles"
+    );
+
+    // Netlist model: same capacitance discharged through a resistance that
+    // matches the cell read current at VDD; the time to fall below the
+    // logic threshold must land in the same handful of cycles.
+    let mut netlist = Netlist::new();
+    let gnd = netlist.add_source("GND", Volts::ZERO);
+    let bl = netlist.add_node("BL", technology.bitline_capacitance, technology.vdd);
+    let wl = netlist.add_switch("WL", true);
+    let r_cell = technology.vdd.value() / technology.cell_read_current.value();
+    netlist.add_gated_resistor(bl, gnd, Ohms(r_cell), wl);
+    let mut solver = TransientSolver::new(netlist);
+    let result = solver.run(SolverConfig::for_duration(Seconds(
+        technology.clock_period.value() * 40.0,
+    )));
+    let waveform = result.waveform(bl).unwrap();
+    let crossing = waveform
+        .first_crossing(technology.logic_threshold, true)
+        .expect("the bit line must cross the threshold");
+    let cycles = crossing.value() / technology.clock_period.value();
+    assert!(
+        (1.0..15.0).contains(&cycles),
+        "netlist model crossed the threshold after {cycles:.1} cycles"
+    );
+}
+
+#[test]
+fn charge_sharing_predicts_the_faulty_swap_exactly_when_the_bitline_is_low() {
+    let technology = TechnologyParams::default_013um();
+    let threshold = technology.logic_threshold;
+    // Bit line fully discharged: the cell node is dragged below threshold.
+    assert!(transient::charge_share::node_flips(
+        technology.cell_node_capacitance,
+        technology.vdd,
+        technology.bitline_capacitance,
+        Volts::ZERO,
+        threshold
+    ));
+    // Bit line restored to VDD: no swap.
+    assert!(!transient::charge_share::node_flips(
+        technology.cell_node_capacitance,
+        technology.vdd,
+        technology.bitline_capacitance,
+        technology.vdd,
+        threshold
+    ));
+    // Bit line only partially discharged (still above threshold): no swap —
+    // this is why only a handful of recently de-selected columns matter.
+    assert!(!transient::charge_share::node_flips(
+        technology.cell_node_capacitance,
+        technology.vdd,
+        technology.bitline_capacitance,
+        Volts(1.0),
+        threshold
+    ));
+}
+
+#[test]
+fn control_logic_overhead_is_ten_transistors_per_column_and_negligible_delay() {
+    let element = PrechargeControlElement::new();
+    assert_eq!(element.transistor_count(), 10);
+
+    let controller = ModifiedPrechargeController::new(512);
+    assert_eq!(controller.total_transistors(), 5_120);
+    assert!(controller.area_overhead_fraction(512) < 0.005);
+
+    let timing = TimingImpact::with_defaults(&TechnologyParams::default_013um());
+    assert!(timing.is_negligible());
+    assert!(timing.added_delay.to_picoseconds() < 50.0);
+}
+
+#[test]
+fn control_element_truth_table_selects_exactly_two_columns_in_lp_mode() {
+    let element = PrechargeControlElement::new();
+    // Exhaustive check of the published behaviour over all input
+    // combinations.
+    for lp_test in [false, true] {
+        for pr in [false, true] {
+            for cs_prev in [false, true] {
+                for cs_own in [false, true] {
+                    let out = element.evaluate(ControlInputs {
+                        lp_test,
+                        pr,
+                        cs_prev,
+                        cs_own,
+                    });
+                    let expected = if cs_own {
+                        pr
+                    } else if lp_test {
+                        !cs_prev
+                    } else {
+                        pr
+                    };
+                    assert_eq!(out, expected);
+                }
+            }
+        }
+    }
+    let mut controller = ModifiedPrechargeController::new(16);
+    controller.set_lp_test(true);
+    for selected in 0..15u32 {
+        assert_eq!(controller.enabled_columns(selected), vec![selected, selected + 1]);
+    }
+    assert_eq!(controller.enabled_columns(15), vec![15]);
+}
+
+#[test]
+fn lp_mode_energy_per_cycle_tracks_the_restoration_physics() {
+    // A written column restored by its pre-charge circuit costs C·Vdd² on
+    // the driven line; the same quantity appears both in the analytic
+    // helper and in a direct RcCharge computation.
+    let technology = TechnologyParams::default_013um();
+    let direct = technology.full_bitline_restore_energy();
+    let rc = RcCharge::new(
+        technology.precharge_resistance,
+        technology.bitline_capacitance,
+        Volts::ZERO,
+        technology.vdd,
+    );
+    assert!((direct.value() - rc.supply_energy().value()).abs() / direct.value() < 1e-9);
+}

@@ -1,0 +1,135 @@
+//! Functional-equivalence properties of the low-power test mode.
+//!
+//! The paper's technique must be invisible to the March test: every read
+//! returns the expected value, no cell is corrupted, and the result holds
+//! for any data background and any array shape. These properties are
+//! exercised with `proptest` over randomised configurations, together with
+//! the negative control showing that dropping the row-transition restore
+//! breaks them.
+
+use proptest::prelude::*;
+
+use sram_test_power::lp_precharge::prelude::*;
+use sram_test_power::march_test::library;
+use sram_test_power::sram_model::config::{ArrayOrganization, SramConfig};
+
+fn session(rows: u32, cols: u32) -> TestSession {
+    TestSession::new(
+        SramConfig::builder()
+            .organization(ArrayOrganization::new(rows, cols).unwrap())
+            .build()
+            .unwrap(),
+    )
+}
+
+#[test]
+fn low_power_march_c_minus_is_functionally_correct() {
+    let outcome = session(8, 32)
+        .run(&library::march_c_minus(), OperatingMode::LowPowerTest)
+        .unwrap();
+    assert!(outcome.is_functionally_correct());
+    assert_eq!(outcome.faulty_swaps, 0);
+    assert_eq!(outcome.read_mismatches, 0);
+}
+
+#[test]
+fn disabling_the_restore_cycle_corrupts_cells() {
+    let outcome = session(8, 32)
+        .with_options(LpOptions {
+            row_transition_restore: false,
+            ..LpOptions::default()
+        })
+        .run_with_background(&library::march_c_minus(), OperatingMode::LowPowerTest, true)
+        .unwrap();
+    assert!(outcome.faulty_swaps > 0, "the Figure 7 hazard must appear");
+}
+
+#[test]
+fn full_verification_suite_passes_for_mats_plus_and_march_sr() {
+    let config = SramConfig::builder()
+        .organization(ArrayOrganization::new(8, 32).unwrap())
+        .build()
+        .unwrap();
+    for test in [library::mats_plus(), library::march_sr()] {
+        let report =
+            sram_test_power::lp_precharge::verification::verify_technique(&config, &test).unwrap();
+        assert!(report.all_checks_passed(), "{}: {report:?}", test.name());
+    }
+}
+
+#[test]
+fn stress_is_reduced_by_two_orders_of_magnitude_on_wide_arrays() {
+    let session = session(4, 256);
+    let functional = session
+        .run(&library::mats_plus(), OperatingMode::Functional)
+        .unwrap();
+    let low_power = session
+        .run(&library::mats_plus(), OperatingMode::LowPowerTest)
+        .unwrap();
+    // Functional mode stresses #cols − 1 cells per cycle; the low-power mode
+    // stresses one full cell plus the handful of still-discharging ones.
+    assert!(functional.stress.stressed_cells_per_cycle() > 200.0);
+    assert!(low_power.stress.stressed_cells_per_cycle() < 15.0);
+}
+
+#[test]
+fn very_narrow_arrays_may_not_benefit_but_stay_correct() {
+    // The savings scale with (#cols − 2) while the low-power mode adds the
+    // next-column recharge and the row-transition restores, so on a very
+    // narrow array the technique can cost slightly more than it saves. It
+    // must still be functionally correct.
+    let outcome = session(4, 4)
+        .run(&library::mats_plus(), OperatingMode::LowPowerTest)
+        .unwrap();
+    assert!(outcome.is_functionally_correct());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any array shape wide enough for the savings to dominate the
+    /// fixed overheads, and any uniform data background, the low-power
+    /// schedule of MATS+ is functionally equivalent to the functional-mode
+    /// test and consumes less energy.
+    #[test]
+    fn low_power_mode_is_correct_and_cheaper_for_any_shape(
+        rows in 2u32..10,
+        cols in 24u32..64,
+        background in any::<bool>(),
+    ) {
+        let session = session(rows, cols);
+        let test = library::mats_plus();
+        let functional = session
+            .run_with_background(&test, OperatingMode::Functional, background)
+            .unwrap();
+        let low_power = session
+            .run_with_background(&test, OperatingMode::LowPowerTest, background)
+            .unwrap();
+        prop_assert!(low_power.is_functionally_correct());
+        prop_assert!(functional.is_functionally_correct());
+        prop_assert!(low_power.report.total_energy < functional.report.total_energy);
+        prop_assert_eq!(low_power.report.cycles, functional.report.cycles);
+    }
+
+    /// The measured PRR always lies strictly between 0 and 1 and never
+    /// exceeds the share of power the pre-charge activity had in the
+    /// functional run.
+    #[test]
+    fn prr_is_bounded_by_the_functional_precharge_share(
+        rows in 2u32..8,
+        cols in 24u32..64,
+    ) {
+        let session = session(rows, cols);
+        let test = library::mats_plus();
+        let functional = session.run(&test, OperatingMode::Functional).unwrap();
+        let record = session.compare(&test).unwrap();
+        prop_assert!(record.prr > 0.0);
+        prop_assert!(record.prr < 1.0);
+        prop_assert!(
+            record.prr <= functional.report.precharge_fraction + 1e-9,
+            "PRR {} cannot exceed the pre-charge share {}",
+            record.prr,
+            functional.report.precharge_fraction
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Integration test for the headline result (Table 1 of the paper).
+//!
+//! The full 512×512 cycle-accurate reproduction lives in the `repro`
+//! binary and the Criterion benches (it takes seconds in release mode);
+//! here the analytic model carries the 512-column claims while the
+//! cycle-accurate engine is cross-checked on a smaller array where a debug
+//! build stays fast.
+
+use sram_test_power::lp_precharge::prelude::*;
+use sram_test_power::lp_precharge::report::{paper_table1_reference, table1_row};
+use sram_test_power::march_test::library;
+use sram_test_power::power_model::analytic::AnalyticPowerModel;
+use sram_test_power::power_model::calibration::CalibratedParameters;
+use sram_test_power::sram_model::config::{ArrayOrganization, SramConfig, TechnologyParams};
+
+#[test]
+fn analytic_prr_matches_the_paper_band_on_the_512x512_array() {
+    let organization = ArrayOrganization::paper_512x512();
+    let model = AnalyticPowerModel::new(CalibratedParameters::derive(
+        &TechnologyParams::default_013um(),
+        &organization,
+    ));
+    for (name, paper_prr) in paper_table1_reference() {
+        let test = library::table1_algorithms()
+            .into_iter()
+            .find(|t| t.name() == name)
+            .expect("table 1 algorithm present in the library");
+        let prr = model.power_reduction_ratio(&test, &organization) * 100.0;
+        assert!(
+            (prr - paper_prr).abs() < 4.0,
+            "{name}: analytic PRR {prr:.1}% vs paper {paper_prr:.1}%"
+        );
+    }
+}
+
+#[test]
+fn simulated_and_analytic_prr_agree_on_a_medium_array() {
+    // 32×64 keeps the debug-build runtime reasonable while still giving the
+    // pre-charge savings a visible share of the total power.
+    let config = SramConfig::builder()
+        .organization(ArrayOrganization::new(32, 64).unwrap())
+        .build()
+        .unwrap();
+    for test in [library::mats_plus(), library::march_c_minus()] {
+        let row = table1_row(&config, &test).unwrap();
+        assert!(
+            row.prr_simulated_percent > 0.0,
+            "{}: the low-power mode must save power",
+            test.name()
+        );
+        assert!(
+            (row.prr_simulated_percent - row.prr_analytic_percent).abs() < 5.0,
+            "{}: simulated {:.1}% and analytic {:.1}% should agree",
+            test.name(),
+            row.prr_simulated_percent,
+            row.prr_analytic_percent
+        );
+    }
+}
+
+#[test]
+fn prr_grows_with_the_number_of_columns() {
+    let test = library::march_c_minus();
+    let technology = TechnologyParams::default_013um();
+    let mut last = 0.0;
+    for cols in [64u32, 128, 256, 512] {
+        let organization = ArrayOrganization::new(64, cols).unwrap();
+        let model =
+            AnalyticPowerModel::new(CalibratedParameters::derive(&technology, &organization));
+        let prr = model.power_reduction_ratio(&test, &organization);
+        assert!(
+            prr > last,
+            "PRR must grow with the column count (cols={cols}: {prr})"
+        );
+        last = prr;
+    }
+}
+
+#[test]
+fn functional_power_exceeds_low_power_for_every_table1_algorithm() {
+    let config = SramConfig::builder()
+        .organization(ArrayOrganization::new(16, 32).unwrap())
+        .build()
+        .unwrap();
+    let session = TestSession::new(config);
+    for test in library::table1_algorithms() {
+        let record = session.compare(&test).unwrap();
+        assert!(
+            record.functional.average_power > record.low_power.average_power,
+            "{}: functional {:?} vs low-power {:?}",
+            test.name(),
+            record.functional.average_power,
+            record.low_power.average_power
+        );
+        assert!(record.prr > 0.0 && record.prr < 1.0);
+    }
+}
+
+#[test]
+fn workload_statistics_match_table1() {
+    let expected = [
+        ("March C-", 6, 10, 5, 5),
+        ("March SS", 6, 22, 13, 9),
+        ("MATS+", 3, 5, 2, 3),
+        ("March SR", 6, 14, 8, 6),
+        ("March G", 7, 23, 10, 13),
+    ];
+    let algorithms = library::table1_algorithms();
+    assert_eq!(algorithms.len(), expected.len());
+    for (test, (name, elements, ops, reads, writes)) in algorithms.iter().zip(expected) {
+        assert_eq!(test.name(), name);
+        assert_eq!(test.element_count(), elements);
+        assert_eq!(test.operation_count(), ops);
+        assert_eq!(test.read_count(), reads);
+        assert_eq!(test.write_count(), writes);
+    }
+}
