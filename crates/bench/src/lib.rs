@@ -9,13 +9,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
+pub mod throughput;
+
 
 use lp_precharge::prelude::*;
 use lp_precharge::report::reproduce_table1;
 use march_test::address_order::{AddressOrder, ColumnMajor, LinearOrder, WordLineAfterWordLine};
 use march_test::algorithm::MarchTest;
-use march_test::coverage::evaluate_coverage;
+use march_test::coverage::{evaluate_coverage_with, SweepOptions};
 use march_test::dof::verify_order_independence;
 use march_test::faults::static_fault_list;
 use march_test::library;
@@ -49,7 +50,7 @@ pub fn table1(config: &SramConfig) -> Result<Vec<Table1Row>, SramError> {
 
 /// One row of the Figure 2 reproduction: the pre-charge state of the
 /// selected and an unselected column in each half of the clock cycle.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Fig2Phase {
     /// Which half of the clock cycle the row describes.
     pub phase: &'static str,
@@ -132,7 +133,7 @@ pub fn fig2_phases() -> Vec<Fig2Phase> {
 /// Experiment E3 — Figure 6: the floating bit-line discharge waveform (one
 /// sample per clock cycle) and the number of cycles to cross the logic
 /// threshold / reach ground.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig6Data {
     /// The BL voltage, one sample per clock cycle.
     pub waveform: Waveform,
@@ -168,7 +169,7 @@ pub fn fig6_discharge(technology: &TechnologyParams) -> Fig6Data {
 
 /// Experiment E4 — Figure 7: faulty swaps with and without the
 /// row-transition restore cycle.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Fig7Data {
     /// Faulty swaps observed when the restore cycle is disabled.
     pub swaps_without_restore: u64,
@@ -214,6 +215,9 @@ pub fn power_breakdowns(
 
 /// Experiment E6 — the degree-of-freedom check: `(algorithm, guaranteed
 /// coverage preserved, coverage under the paper's order)`.
+///
+/// Runs on the march crate's throughput kernel: shared walks, early-exit
+/// detection and a parallel fault sweep ([`SweepOptions::fast`]).
 pub fn dof_summary(organization: &ArrayOrganization) -> Vec<(String, bool, f64)> {
     let faults = static_fault_list(organization);
     let orders: Vec<&dyn AddressOrder> =
@@ -222,8 +226,14 @@ pub fn dof_summary(organization: &ArrayOrganization) -> Vec<(String, bool, f64)>
         .iter()
         .map(|test| {
             let report = verify_order_independence(test, &orders, organization, &faults);
-            let coverage =
-                evaluate_coverage(test, &WordLineAfterWordLine, organization, &faults).coverage();
+            let coverage = evaluate_coverage_with(
+                test,
+                &WordLineAfterWordLine,
+                organization,
+                &faults,
+                SweepOptions::fast(),
+            )
+            .coverage();
             (
                 test.name().to_string(),
                 report.guaranteed_coverage_preserved(),
@@ -235,7 +245,7 @@ pub fn dof_summary(organization: &ArrayOrganization) -> Vec<(String, bool, f64)>
 
 /// Experiment E7 — hardware overhead and timing impact of the modified
 /// control logic.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OverheadData {
     /// Transistors added per column.
     pub transistors_per_column: u32,

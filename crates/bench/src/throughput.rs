@@ -1,0 +1,305 @@
+//! Fault-simulation throughput measurement.
+//!
+//! The paper's coverage and degree-of-freedom experiments are exhaustive
+//! fault sweeps; this module measures how many fault simulations per
+//! second the march kernel sustains and compares it against a frozen
+//! replica of the original (pre-kernel) implementation, so the speedup is
+//! tracked as a number instead of a claim. The `fault_sim_bench` binary
+//! writes the result to `BENCH_fault_sim.json`.
+//!
+//! The baseline below deliberately preserves the seed's hot-path
+//! structure: one fresh memory allocation per fault, address sequences
+//! re-materialised per element via `AddressOrder::sequence`, every walk
+//! run to completion, strictly serial. The kernel path shares one
+//! precomputed [`MarchWalk`] per algorithm, reuses scratch memories,
+//! stops at the first mismatch and (in the parallel variant) fans the
+//! fault list out across threads.
+
+use std::time::Instant;
+
+use march_test::address_order::AddressOrder;
+use march_test::algorithm::MarchTest;
+use march_test::coverage::{evaluate_coverage_on_walk, CoverageReport, SweepOptions};
+use march_test::executor::{MarchWalk, Mismatch};
+use march_test::fault_sim::{DetectionMode, FaultSimOutcome};
+use march_test::faults::{FaultFactory, FaultyMemory};
+use march_test::library;
+use march_test::memory::{GoodMemory, MemoryModel};
+use march_test::parallel::max_threads;
+use sram_model::config::ArrayOrganization;
+
+/// The seed's March executor, frozen for comparison: re-allocates the
+/// address sequence of every element and always runs the walk to the end.
+fn baseline_run_march(
+    test: &MarchTest,
+    order: &dyn AddressOrder,
+    organization: &ArrayOrganization,
+    memory: &mut dyn MemoryModel,
+) -> Vec<Mismatch> {
+    let mut mismatches = Vec::new();
+    for (element_index, element) in test.elements().iter().enumerate() {
+        let addresses = order.sequence(organization, element.direction());
+        for &address in &addresses {
+            for &op in element.ops() {
+                if let Some(value) = op.write_value() {
+                    memory.write(address, value);
+                } else {
+                    let expected = op.expected_value().expect("reads have expectations");
+                    let observed = memory.read(address);
+                    if observed != expected {
+                        mismatches.push(Mismatch {
+                            element: element_index,
+                            address,
+                            expected,
+                            observed,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    mismatches
+}
+
+/// The seed's coverage sweep, frozen for comparison: one fresh memory and
+/// one full executor run per fault, strictly serial.
+pub fn baseline_evaluate_coverage(
+    test: &MarchTest,
+    order: &dyn AddressOrder,
+    organization: &ArrayOrganization,
+    faults: &[FaultFactory],
+) -> CoverageReport {
+    let outcomes = faults
+        .iter()
+        .map(|factory| {
+            let fault = factory();
+            let fault_name = fault.name();
+            let fault_kind = fault.kind();
+            let mut memory =
+                FaultyMemory::new(GoodMemory::filled(organization.capacity(), false), fault);
+            let mismatches = baseline_run_march(test, order, organization, &mut memory);
+            FaultSimOutcome {
+                fault_name,
+                fault_kind,
+                test_name: test.name().to_string(),
+                order_name: order.name().to_string(),
+                detected: !mismatches.is_empty(),
+                mismatches: mismatches.len(),
+            }
+        })
+        .collect();
+    CoverageReport::new(test.name(), order.name(), outcomes)
+}
+
+/// Seconds and derived rate of one timed sweep variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepTiming {
+    /// Wall-clock seconds for all passes of the variant.
+    pub seconds: f64,
+    /// Fault simulations per second.
+    pub faults_per_sec: f64,
+}
+
+/// The full throughput comparison for one array organization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSimThroughput {
+    /// Array rows.
+    pub rows: u32,
+    /// Array columns.
+    pub cols: u32,
+    /// Names of the algorithms swept (the paper's Table 1 set).
+    pub algorithms: Vec<String>,
+    /// Number of faults in the standard list for this organization.
+    pub fault_count: usize,
+    /// Fault simulations per timed pass (`algorithms × fault_count`).
+    pub simulations_per_pass: usize,
+    /// Timed passes per variant.
+    pub passes: usize,
+    /// Worker threads available to the parallel variant.
+    pub threads: usize,
+    /// The frozen seed-style sweep.
+    pub baseline: SweepTiming,
+    /// Shared-walk + packed-memory + early-exit kernel, serial.
+    pub kernel_serial: SweepTiming,
+    /// The same kernel fanned out across threads.
+    pub kernel_parallel: SweepTiming,
+}
+
+impl FaultSimThroughput {
+    /// Throughput gain of the serial kernel over the baseline.
+    pub fn speedup_serial(&self) -> f64 {
+        self.kernel_serial.faults_per_sec / self.baseline.faults_per_sec
+    }
+
+    /// Throughput gain of the parallel kernel over the baseline.
+    pub fn speedup_parallel(&self) -> f64 {
+        self.kernel_parallel.faults_per_sec / self.baseline.faults_per_sec
+    }
+
+    /// Renders the result as a JSON object (the workspace is offline and
+    /// carries no serde, so the few fields are formatted by hand).
+    pub fn to_json(&self) -> String {
+        let algorithms = self
+            .algorithms
+            .iter()
+            .map(|name| format!("\"{name}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\n  \"benchmark\": \"fault_sim_sweep\",\n  \"rows\": {},\n  \"cols\": {},\n  \
+             \"algorithms\": [{algorithms}],\n  \"fault_count\": {},\n  \
+             \"simulations_per_pass\": {},\n  \"passes\": {},\n  \"threads\": {},\n  \
+             \"baseline_faults_per_sec\": {:.1},\n  \"kernel_serial_faults_per_sec\": {:.1},\n  \
+             \"kernel_parallel_faults_per_sec\": {:.1},\n  \"speedup_serial\": {:.2},\n  \
+             \"speedup_parallel\": {:.2}\n}}\n",
+            self.rows,
+            self.cols,
+            self.fault_count,
+            self.simulations_per_pass,
+            self.passes,
+            self.threads,
+            self.baseline.faults_per_sec,
+            self.kernel_serial.faults_per_sec,
+            self.kernel_parallel.faults_per_sec,
+            self.speedup_serial(),
+            self.speedup_parallel(),
+        )
+    }
+}
+
+fn time_passes(passes: usize, simulations: usize, mut sweep: impl FnMut()) -> SweepTiming {
+    // One warm-up pass keeps lazy page faults and branch-predictor state
+    // out of the measurement.
+    sweep();
+    let start = Instant::now();
+    for _ in 0..passes {
+        sweep();
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    SweepTiming {
+        seconds,
+        faults_per_sec: (passes * simulations) as f64 / seconds,
+    }
+}
+
+/// Measures baseline vs. kernel throughput for the standard fault list ×
+/// Table 1 algorithms on a `rows` × `cols` array, running `passes` timed
+/// passes per variant.
+///
+/// Before timing, the three variants' coverage reports are checked to
+/// detect exactly the same fault sets — a benchmark of diverging sweeps
+/// would be meaningless.
+///
+/// # Panics
+///
+/// Panics if `rows * cols` is not a valid organization or the variants
+/// disagree on any detected-fault set.
+pub fn fault_sim_throughput(rows: u32, cols: u32, passes: usize) -> FaultSimThroughput {
+    let organization = ArrayOrganization::new(rows, cols).expect("valid organization");
+    let order = march_test::address_order::WordLineAfterWordLine;
+    let faults = march_test::faults::standard_fault_list(&organization);
+    let tests = library::table1_algorithms();
+    let walks: Vec<MarchWalk> = tests
+        .iter()
+        .map(|test| MarchWalk::new(test, &order, &organization))
+        .collect();
+
+    let serial_options = SweepOptions {
+        background: false,
+        mode: DetectionMode::FirstMismatch,
+        parallel: false,
+    };
+    let parallel_options = SweepOptions::fast();
+
+    // Equivalence gate: every variant must detect the same fault sets.
+    for (test, walk) in tests.iter().zip(&walks) {
+        let expected = baseline_evaluate_coverage(test, &order, &organization, &faults);
+        let serial = evaluate_coverage_on_walk(walk, &faults, serial_options);
+        let parallel = evaluate_coverage_on_walk(walk, &faults, parallel_options);
+        assert_eq!(
+            expected.detected_fault_names(),
+            serial.detected_fault_names(),
+            "{}: serial kernel diverged from the baseline",
+            test.name()
+        );
+        assert_eq!(
+            serial, parallel,
+            "{}: parallel sweep diverged from the serial one",
+            test.name()
+        );
+    }
+
+    let simulations = tests.len() * faults.len();
+    let baseline = time_passes(passes, simulations, || {
+        for test in &tests {
+            std::hint::black_box(baseline_evaluate_coverage(
+                test,
+                &order,
+                &organization,
+                &faults,
+            ));
+        }
+    });
+    let kernel_serial = time_passes(passes, simulations, || {
+        for walk in &walks {
+            std::hint::black_box(evaluate_coverage_on_walk(walk, &faults, serial_options));
+        }
+    });
+    let kernel_parallel = time_passes(passes, simulations, || {
+        for walk in &walks {
+            std::hint::black_box(evaluate_coverage_on_walk(walk, &faults, parallel_options));
+        }
+    });
+
+    FaultSimThroughput {
+        rows,
+        cols,
+        algorithms: tests.iter().map(|t| t.name().to_string()).collect(),
+        fault_count: faults.len(),
+        simulations_per_pass: simulations,
+        passes,
+        threads: max_threads(),
+        baseline,
+        kernel_serial,
+        kernel_parallel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use march_test::address_order::WordLineAfterWordLine;
+    use march_test::coverage::evaluate_coverage;
+    use march_test::faults::standard_fault_list;
+
+    #[test]
+    fn baseline_sweep_matches_the_kernel_sweep_exactly() {
+        let organization = ArrayOrganization::new(4, 8).unwrap();
+        let faults = standard_fault_list(&organization);
+        for test in library::table1_algorithms() {
+            let baseline =
+                baseline_evaluate_coverage(&test, &WordLineAfterWordLine, &organization, &faults);
+            let kernel =
+                evaluate_coverage(&test, &WordLineAfterWordLine, &organization, &faults);
+            // Full-fidelity kernel mode reproduces even the mismatch counts.
+            assert_eq!(baseline, kernel, "{}", test.name());
+        }
+    }
+
+    #[test]
+    fn throughput_experiment_runs_and_reports_consistent_numbers() {
+        let result = fault_sim_throughput(4, 8, 1);
+        assert_eq!(result.algorithms.len(), 5);
+        assert_eq!(
+            result.simulations_per_pass,
+            result.algorithms.len() * result.fault_count
+        );
+        assert!(result.baseline.faults_per_sec > 0.0);
+        assert!(result.kernel_serial.faults_per_sec > 0.0);
+        assert!(result.kernel_parallel.faults_per_sec > 0.0);
+        let json = result.to_json();
+        assert!(json.contains("\"benchmark\": \"fault_sim_sweep\""));
+        assert!(json.contains("\"speedup_serial\""));
+        assert!(json.contains("March C-"));
+    }
+}

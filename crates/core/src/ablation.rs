@@ -14,7 +14,6 @@
 //! * without the **row-transition restore** the energy is marginally lower
 //!   but cells of the next row are corrupted (the Figure 7 hazard).
 
-use serde::{Deserialize, Serialize};
 use sram_model::config::SramConfig;
 use sram_model::error::SramError;
 
@@ -26,7 +25,7 @@ use crate::mode::OperatingMode;
 use crate::scheduler::LpOptions;
 
 /// Result of running the low-power schedule with one set of options.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AblationPoint {
     /// Number of look-ahead columns kept pre-charged.
     pub lookahead_columns: u32,

@@ -19,7 +19,6 @@
 //! column is not fed back to the first column: the row-transition restore
 //! cycle makes column 0 ready instead.
 
-use serde::{Deserialize, Serialize};
 
 /// Transistors per control element (two transmission gates, one inverter,
 /// one NAND gate), as stated in the paper.
@@ -29,7 +28,7 @@ pub const TRANSISTORS_PER_ELEMENT: u32 = 10;
 pub const TRANSISTORS_PER_CELL: u32 = 6;
 
 /// The input signals of one column's control element.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ControlInputs {
     /// Global low-power-test mode select.
     pub lp_test: bool,
@@ -44,7 +43,7 @@ pub struct ControlInputs {
 }
 
 /// One column's modified pre-charge control element.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PrechargeControlElement;
 
 impl PrechargeControlElement {
@@ -84,7 +83,7 @@ impl PrechargeControlElement {
 }
 
 /// The per-array collection of control elements.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModifiedPrechargeController {
     columns: u32,
     lp_test: bool,

@@ -7,7 +7,6 @@
 //! feeds the per-cycle energies into a [`PowerMeter`] and reports the
 //! run-level measurements the paper's Table 1 is built from.
 
-use serde::{Deserialize, Serialize};
 use sram_model::config::SramConfig;
 use sram_model::controller::MemoryController;
 use sram_model::error::SramError;
@@ -24,7 +23,7 @@ use crate::mode::OperatingMode;
 use crate::scheduler::{LowPowerSchedule, LpOptions};
 
 /// Everything measured while running one March test in one operating mode.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionOutcome {
     /// The operating mode of the run.
     pub mode: OperatingMode,

@@ -1,11 +1,10 @@
 //! Operating modes of the modified SRAM.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The two operating modes offered by the modified pre-charge control
 /// circuitry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OperatingMode {
     /// Normal operation: every column's pre-charge circuit is always
     /// active, because the next access is unpredictable.

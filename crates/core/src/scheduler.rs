@@ -17,22 +17,24 @@
 //!
 //! [`LowPowerSchedule`] is a lazy iterator: a full 512×512 March G run is
 //! about six million cycles, so commands are produced on demand rather
-//! than materialised.
+//! than materialised. The address ordering comes from the march crate's
+//! shared [`AddressPlan`]: the ⇑ permutation is computed once per schedule
+//! and serves every element in both directions by index arithmetic,
+//! instead of one materialised `Vec<Address>` per element.
 
-use serde::{Deserialize, Serialize};
-use sram_model::address::Address;
 use sram_model::config::ArrayOrganization;
 use sram_model::operation::{CycleCommand, MemOperation};
 
-use march_test::address_order::{AddressOrder, WordLineAfterWordLine};
 use march_test::algorithm::MarchTest;
+use march_test::element::AddressDirection;
+use march_test::executor::AddressPlan;
 use march_test::operation::MarchOp;
 
 use crate::mode::OperatingMode;
 
 /// Tuning knobs of the low-power schedule (the paper's choices are the
 /// defaults; the alternatives exist for the ablation experiments).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LpOptions {
     /// Number of upcoming columns to keep pre-charged in addition to the
     /// selected one. The paper uses 1 (the "column that immediately
@@ -55,7 +57,7 @@ impl Default for LpOptions {
 
 /// One scheduled clock cycle: the command to execute plus the value any
 /// read is expected to return.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduledCycle {
     /// The memory-controller command.
     pub command: CycleCommand,
@@ -73,7 +75,8 @@ pub struct LowPowerSchedule {
     mode: OperatingMode,
     options: LpOptions,
     organization: ArrayOrganization,
-    elements: Vec<(usize, Vec<Address>, Vec<MarchOp>)>,
+    plan: AddressPlan,
+    elements: Vec<(AddressDirection, Vec<MarchOp>)>,
     element_cursor: usize,
     address_cursor: usize,
     op_cursor: usize,
@@ -93,23 +96,20 @@ impl LowPowerSchedule {
         mode: OperatingMode,
         options: LpOptions,
     ) -> Self {
-        let order = WordLineAfterWordLine;
+        let plan = AddressPlan::new(
+            &march_test::address_order::WordLineAfterWordLine,
+            &organization,
+        );
         let elements = test
             .elements()
             .iter()
-            .enumerate()
-            .map(|(index, element)| {
-                (
-                    index,
-                    order.sequence(&organization, element.direction()),
-                    element.ops().to_vec(),
-                )
-            })
+            .map(|element| (element.direction(), element.ops().to_vec()))
             .collect();
         Self {
             mode,
             options,
             organization,
+            plan,
             elements,
             element_cursor: 0,
             address_cursor: 0,
@@ -119,10 +119,12 @@ impl LowPowerSchedule {
 
     /// Total number of cycles the schedule will produce.
     pub fn len(&self) -> u64 {
-        self.elements
+        let ops: u64 = self
+            .elements
             .iter()
-            .map(|(_, addrs, ops)| addrs.len() as u64 * ops.len() as u64)
-            .sum()
+            .map(|(_, ops)| ops.len() as u64)
+            .sum();
+        ops * self.plan.len() as u64
     }
 
     /// Returns `true` if the schedule produces no cycles.
@@ -141,8 +143,12 @@ impl LowPowerSchedule {
     }
 
     fn build_cycle(&self) -> ScheduledCycle {
-        let (element_index, addresses, ops) = &self.elements[self.element_cursor];
-        let address = addresses[self.address_cursor];
+        let (direction, ops) = &self.elements[self.element_cursor];
+        let element_index = self.element_cursor;
+        let address = self
+            .plan
+            .at(*direction, self.address_cursor)
+            .expect("cursor within plan");
         let op = ops[self.op_cursor];
         let mem_op = match op {
             MarchOp::W0 => MemOperation::Write(false),
@@ -155,7 +161,7 @@ impl LowPowerSchedule {
             return ScheduledCycle {
                 command: CycleCommand::functional(address, mem_op),
                 expected_read,
-                element: *element_index,
+                element: element_index,
                 is_row_transition_restore: false,
             };
         }
@@ -163,7 +169,7 @@ impl LowPowerSchedule {
         let row = address.row(&self.organization);
         let col = address.col(&self.organization).value();
         let last_op_on_address = self.op_cursor == ops.len() - 1;
-        let next_address = addresses.get(self.address_cursor + 1).copied();
+        let next_address = self.plan.at(*direction, self.address_cursor + 1);
         let next_in_same_row =
             next_address.map(|a| a.row(&self.organization) == row).unwrap_or(false);
 
@@ -174,7 +180,7 @@ impl LowPowerSchedule {
             return ScheduledCycle {
                 command: CycleCommand::low_power_restore_all(address, mem_op),
                 expected_read,
-                element: *element_index,
+                element: element_index,
                 is_row_transition_restore: true,
             };
         }
@@ -184,7 +190,7 @@ impl LowPowerSchedule {
         // restore cycle takes over).
         let mut columns = vec![col];
         for ahead in 1..=self.options.lookahead_columns as usize {
-            if let Some(a) = addresses.get(self.address_cursor + ahead) {
+            if let Some(a) = self.plan.at(*direction, self.address_cursor + ahead) {
                 if a.row(&self.organization) == row {
                     let c = a.col(&self.organization).value();
                     if !columns.contains(&c) {
@@ -196,14 +202,14 @@ impl LowPowerSchedule {
         ScheduledCycle {
             command: CycleCommand::low_power(address, mem_op, columns),
             expected_read,
-            element: *element_index,
+            element: element_index,
             is_row_transition_restore: false,
         }
     }
 
     fn advance(&mut self) {
-        let ops_len = self.elements[self.element_cursor].2.len();
-        let addr_len = self.elements[self.element_cursor].1.len();
+        let ops_len = self.elements[self.element_cursor].1.len();
+        let addr_len = self.plan.len();
         self.op_cursor += 1;
         if self.op_cursor == ops_len {
             self.op_cursor = 0;

@@ -8,12 +8,11 @@
 //! transmission-gate resistance times the pre-charge driver input
 //! capacitance, compared against the clock period.
 
-use serde::{Deserialize, Serialize};
 use sram_model::config::TechnologyParams;
 use transient::units::{Farads, Ohms, Seconds};
 
 /// Electrical assumptions for the added control element.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ControlElementTiming {
     /// ON resistance of one transmission gate.
     pub transmission_gate_resistance: Ohms,
@@ -34,7 +33,7 @@ impl Default for ControlElementTiming {
 }
 
 /// The computed delay impact.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingImpact {
     /// Extra propagation delay added to the `Pr_j` path.
     pub added_delay: Seconds,

@@ -8,7 +8,6 @@
 //! three checks, plus the negative control that *demonstrates* the faulty
 //! swap when the row-transition restore is disabled.
 
-use serde::{Deserialize, Serialize};
 use sram_model::config::SramConfig;
 use sram_model::error::SramError;
 
@@ -22,7 +21,7 @@ use crate::mode::OperatingMode;
 use crate::scheduler::LpOptions;
 
 /// Outcome of the functional-equivalence checks for one March test.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VerificationReport {
     /// Name of the March test verified.
     pub test_name: String,

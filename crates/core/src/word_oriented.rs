@@ -9,7 +9,6 @@
 //! `w` columns of the next word, so the per-cycle saving becomes
 //! `(#col − 2·w) · P_A` instead of `(#col − 2) · P_A`.
 
-use serde::{Deserialize, Serialize};
 use sram_model::config::ArrayOrganization;
 use transient::units::Joules;
 
@@ -17,7 +16,7 @@ use march_test::algorithm::MarchTest;
 use power_model::calibration::CalibratedParameters;
 
 /// The analytic model extended to `word_width`-bit words.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WordOrientedExtension {
     parameters: CalibratedParameters,
     word_width: u32,

@@ -8,13 +8,11 @@
 //! column to be accessed predictable and lets the pre-charge of every other
 //! column be switched off.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use sram_model::address::{Address, ColIndex, RowIndex};
 use sram_model::config::ArrayOrganization;
 
 use crate::element::AddressDirection;
+use crate::rng::SplitMix64;
 
 /// An address ordering over a memory array.
 ///
@@ -151,8 +149,7 @@ impl AddressOrder for PseudoRandomOrder {
     fn ascending(&self, organization: &ArrayOrganization) -> Vec<Address> {
         let mut addresses: Vec<Address> =
             (0..organization.capacity()).map(Address::new).collect();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        addresses.shuffle(&mut rng);
+        SplitMix64::new(self.seed).shuffle(&mut addresses);
         addresses
     }
 }

@@ -8,11 +8,10 @@
 
 use crate::element::MarchElement;
 use crate::operation::MarchOp;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A complete March algorithm.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MarchTest {
     name: String,
     elements: Vec<MarchElement>,

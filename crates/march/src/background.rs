@@ -8,7 +8,6 @@
 //! (the row-transition restore works for any stored pattern), so the
 //! verification harness sweeps the backgrounds defined here.
 
-use serde::{Deserialize, Serialize};
 use sram_model::address::Address;
 use sram_model::config::ArrayOrganization;
 use std::fmt;
@@ -16,7 +15,7 @@ use std::fmt;
 use crate::memory::GoodMemory;
 
 /// A classic data background pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataBackground {
     /// Every cell holds the same value (`false` = all zeros).
     Solid(bool),

@@ -1,35 +1,93 @@
 //! Fault-coverage evaluation over a fault list.
+//!
+//! [`evaluate_coverage`] is the sweep driver on top of the executor
+//! kernel: it precomputes one [`MarchWalk`] per `(test, order,
+//! organization)`, reuses one scratch memory per worker across the whole
+//! fault list, and — via [`SweepOptions`] — optionally stops each
+//! simulation at the first mismatch and fans the list out across threads.
+//! Parallel sweeps produce **identical** reports to serial ones: outcomes
+//! are kept in fault-list order regardless of scheduling.
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 use sram_model::config::ArrayOrganization;
 
 use crate::address_order::AddressOrder;
 use crate::algorithm::MarchTest;
-use crate::fault_sim::{simulate_fault, FaultSimOutcome};
+use crate::executor::MarchWalk;
+use crate::fault_sim::{simulate_fault_on_walk, DetectionMode, FaultSimOutcome};
 use crate::faults::FaultFactory;
+use crate::memory::GoodMemory;
+use crate::parallel::{max_threads, par_chunk_map};
+
+/// Tuning knobs of a coverage sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepOptions {
+    /// Initial value of every cell before each simulation.
+    pub background: bool,
+    /// Detail recorded per fault: [`DetectionMode::Full`] counts every
+    /// mismatch, [`DetectionMode::FirstMismatch`] stops at the first one.
+    pub mode: DetectionMode,
+    /// Fan the fault list out across threads. The outcome order (and thus
+    /// the whole report) is identical to a serial sweep.
+    pub parallel: bool,
+}
+
+impl SweepOptions {
+    /// The throughput configuration for detection-only experiments:
+    /// early-exit simulations, parallel across the fault list.
+    pub fn fast() -> Self {
+        Self {
+            background: false,
+            mode: DetectionMode::FirstMismatch,
+            parallel: true,
+        }
+    }
+}
 
 /// Coverage of a March test over a fault list.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoverageReport {
     /// Name of the March test evaluated.
     pub test_name: String,
     /// Name of the address order used.
     pub order_name: String,
     /// Per-fault outcomes, in fault-list order.
-    pub outcomes: Vec<FaultSimOutcome>,
+    outcomes: Vec<FaultSimOutcome>,
+    /// Number of detected faults, cached at construction.
+    detected: usize,
 }
 
 impl CoverageReport {
+    /// Builds a report from per-fault outcomes, caching the detection
+    /// count so the accessors below are O(1).
+    pub fn new(
+        test_name: impl Into<String>,
+        order_name: impl Into<String>,
+        outcomes: Vec<FaultSimOutcome>,
+    ) -> Self {
+        let detected = outcomes.iter().filter(|o| o.detected).count();
+        Self {
+            test_name: test_name.into(),
+            order_name: order_name.into(),
+            outcomes,
+            detected,
+        }
+    }
+
+    /// Per-fault outcomes, in fault-list order.
+    pub fn outcomes(&self) -> &[FaultSimOutcome] {
+        &self.outcomes
+    }
+
     /// Total number of faults simulated.
     pub fn total(&self) -> usize {
         self.outcomes.len()
     }
 
-    /// Number of detected faults.
+    /// Number of detected faults (cached — no rescan).
     pub fn detected(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.detected).count()
+        self.detected
     }
 
     /// Fault coverage as a fraction in `[0, 1]`.
@@ -37,19 +95,20 @@ impl CoverageReport {
         if self.outcomes.is_empty() {
             return 0.0;
         }
-        self.detected() as f64 / self.total() as f64
+        self.detected as f64 / self.total() as f64
     }
 
     /// The names of the faults this test detected (sorted), used to compare
-    /// coverage sets across address orders.
-    pub fn detected_fault_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
+    /// coverage sets across address orders. The names are borrowed from the
+    /// report — no per-name allocation.
+    pub fn detected_fault_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
             .outcomes
             .iter()
             .filter(|o| o.detected)
-            .map(|o| o.fault_name.clone())
+            .map(|o| o.fault_name.as_str())
             .collect();
-        names.sort();
+        names.sort_unstable();
         names
     }
 
@@ -67,23 +126,61 @@ impl CoverageReport {
     }
 }
 
+/// Simulates every fault in `faults` over a precomputed `walk`.
+///
+/// This is the sweep kernel: serial sweeps reuse one scratch memory for
+/// the entire list; parallel sweeps give each worker thread its own
+/// scratch memory and a contiguous chunk of the list, and reassemble the
+/// outcomes in fault-list order, so the report is identical either way.
+pub fn evaluate_coverage_on_walk(
+    walk: &MarchWalk,
+    faults: &[FaultFactory],
+    options: SweepOptions,
+) -> CoverageReport {
+    let sweep_chunk = |chunk: &[FaultFactory]| -> Vec<FaultSimOutcome> {
+        let mut scratch = GoodMemory::new(walk.capacity());
+        chunk
+            .iter()
+            .map(|factory| {
+                simulate_fault_on_walk(
+                    walk,
+                    &mut scratch,
+                    factory(),
+                    options.background,
+                    options.mode,
+                )
+            })
+            .collect()
+    };
+    let threads = if options.parallel { max_threads() } else { 1 };
+    let outcomes = par_chunk_map(faults, threads, sweep_chunk);
+    CoverageReport::new(walk.test_name(), walk.order_name(), outcomes)
+}
+
+/// Simulates every fault in `faults` under `test`/`order` with explicit
+/// sweep options, precomputing the walk once for the whole list.
+pub fn evaluate_coverage_with(
+    test: &MarchTest,
+    order: &dyn AddressOrder,
+    organization: &ArrayOrganization,
+    faults: &[FaultFactory],
+    options: SweepOptions,
+) -> CoverageReport {
+    let walk = MarchWalk::new(test, order, organization);
+    evaluate_coverage_on_walk(&walk, faults, options)
+}
+
 /// Simulates every fault in `faults` under `test`/`order` and aggregates
-/// the outcomes.
+/// the outcomes (serial, full mismatch counts — the behaviour of the
+/// original API; use [`evaluate_coverage_with`] and [`SweepOptions::fast`]
+/// for throughput sweeps).
 pub fn evaluate_coverage(
     test: &MarchTest,
     order: &dyn AddressOrder,
     organization: &ArrayOrganization,
     faults: &[FaultFactory],
 ) -> CoverageReport {
-    let outcomes = faults
-        .iter()
-        .map(|factory| simulate_fault(test, order, organization, factory()))
-        .collect();
-    CoverageReport {
-        test_name: test.name().to_string(),
-        order_name: order.name().to_string(),
-        outcomes,
-    }
+    evaluate_coverage_with(test, order, organization, faults, SweepOptions::default())
 }
 
 #[cfg(test)]
@@ -147,5 +244,84 @@ mod tests {
         assert_eq!(kind_total, report.total());
         assert!(report.coverage() > 0.0 && report.coverage() <= 1.0);
         assert_eq!(report.test_name, "March C-");
+        assert_eq!(report.outcomes().len(), report.total());
+    }
+
+    #[test]
+    fn parallel_sweep_report_is_identical_to_the_serial_one() {
+        let organization = org();
+        let faults = standard_fault_list(&organization);
+        for test in library::table1_algorithms() {
+            for mode in [DetectionMode::Full, DetectionMode::FirstMismatch] {
+                let serial = evaluate_coverage_with(
+                    &test,
+                    &WordLineAfterWordLine,
+                    &organization,
+                    &faults,
+                    SweepOptions {
+                        background: false,
+                        mode,
+                        parallel: false,
+                    },
+                );
+                let parallel = evaluate_coverage_with(
+                    &test,
+                    &WordLineAfterWordLine,
+                    &organization,
+                    &faults,
+                    SweepOptions {
+                        background: false,
+                        mode,
+                        parallel: true,
+                    },
+                );
+                // Structural equality and byte-identical debug rendering:
+                // outcome order must be the fault-list order in both.
+                assert_eq!(serial, parallel, "{} ({mode:?})", test.name());
+                assert_eq!(
+                    format!("{serial:?}"),
+                    format!("{parallel:?}"),
+                    "{} ({mode:?})",
+                    test.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_sweep_detects_exactly_the_same_faults_as_the_full_one() {
+        let organization = org();
+        let faults = standard_fault_list(&organization);
+        for test in library::table1_algorithms() {
+            let full = evaluate_coverage(&test, &WordLineAfterWordLine, &organization, &faults);
+            let fast = evaluate_coverage_with(
+                &test,
+                &WordLineAfterWordLine,
+                &organization,
+                &faults,
+                SweepOptions::fast(),
+            );
+            assert_eq!(
+                full.detected_fault_names(),
+                fast.detected_fault_names(),
+                "{}",
+                test.name()
+            );
+            assert_eq!(full.coverage(), fast.coverage(), "{}", test.name());
+        }
+    }
+
+    #[test]
+    fn empty_fault_list_yields_zero_coverage() {
+        let organization = org();
+        let report = evaluate_coverage(
+            &library::mats_plus(),
+            &WordLineAfterWordLine,
+            &organization,
+            &[],
+        );
+        assert_eq!(report.total(), 0);
+        assert_eq!(report.detected(), 0);
+        assert_eq!(report.coverage(), 0.0);
     }
 }

@@ -8,17 +8,16 @@
 //! under several address orders and verifying that exactly the same faults
 //! are detected.
 
-use serde::{Deserialize, Serialize};
 use sram_model::config::ArrayOrganization;
 
 use crate::address_order::AddressOrder;
 use crate::algorithm::MarchTest;
-use crate::coverage::{evaluate_coverage, CoverageReport};
+use crate::coverage::{evaluate_coverage_with, CoverageReport, SweepOptions};
 use crate::faults::FaultFactory;
 
 /// The six degrees of freedom of March tests, as enumerated in the memory
 /// testing literature and recalled by the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DegreeOfFreedom {
     /// DOF 1 — the ⇑ address sequence is arbitrary (⇓ is its reverse).
     AddressSequence,
@@ -76,7 +75,7 @@ impl DegreeOfFreedom {
 }
 
 /// Result of comparing coverage across several address orders.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OrderIndependenceReport {
     /// Name of the March test compared.
     pub test_name: String,
@@ -142,22 +141,41 @@ impl OrderIndependenceReport {
     }
 }
 
+/// Evaluates `test` over `faults` under each of `orders` with explicit
+/// sweep options and packages the comparison. One [`crate::executor::MarchWalk`]
+/// is precomputed per order and shared across the whole fault list.
+pub fn verify_order_independence_with(
+    test: &MarchTest,
+    orders: &[&dyn AddressOrder],
+    organization: &ArrayOrganization,
+    faults: &[FaultFactory],
+    options: SweepOptions,
+) -> OrderIndependenceReport {
+    let reports = orders
+        .iter()
+        .map(|order| evaluate_coverage_with(test, *order, organization, faults, options))
+        .collect();
+    OrderIndependenceReport {
+        test_name: test.name().to_string(),
+        reports,
+    }
+}
+
 /// Evaluates `test` over `faults` under each of `orders` and packages the
 /// comparison.
+///
+/// The degree-of-freedom experiment only needs the detected/missed bit per
+/// fault, so this uses the throughput sweep configuration
+/// ([`SweepOptions::fast`]: early-exit simulations, parallel across the
+/// fault list). Use [`verify_order_independence_with`] to control the
+/// sweep explicitly.
 pub fn verify_order_independence(
     test: &MarchTest,
     orders: &[&dyn AddressOrder],
     organization: &ArrayOrganization,
     faults: &[FaultFactory],
 ) -> OrderIndependenceReport {
-    let reports = orders
-        .iter()
-        .map(|order| evaluate_coverage(test, *order, organization, faults))
-        .collect();
-    OrderIndependenceReport {
-        test_name: test.name().to_string(),
-        reports,
-    }
+    verify_order_independence_with(test, orders, organization, faults, SweepOptions::fast())
 }
 
 #[cfg(test)]

@@ -5,11 +5,10 @@
 //! each cell before moving to the next address.
 
 use crate::operation::MarchOp;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The address direction of a March element.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AddressDirection {
     /// ⇑ — the chosen ascending order.
     Ascending,
@@ -31,7 +30,7 @@ impl fmt::Display for AddressDirection {
 }
 
 /// One March element: a direction plus the operations applied per cell.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MarchElement {
     direction: AddressDirection,
     ops: Vec<MarchOp>,

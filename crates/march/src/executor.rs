@@ -1,23 +1,39 @@
-//! March test execution.
+//! March test execution: the fault-simulation kernel.
 //!
-//! [`run_march`] applies a [`MarchTest`] to any [`MemoryModel`] under a
-//! chosen [`AddressOrder`], comparing every read against its expected value
-//! and recording mismatches. [`MarchWalk`] exposes the same traversal as a
-//! flat iterator of [`MarchStep`]s so that higher layers (the low-power
-//! test engine in the `lp-precharge` crate) can map each operation onto a
-//! memory clock cycle without re-implementing the ordering rules.
+//! The hot path of every coverage/degree-of-freedom experiment is "run one
+//! March test over one perturbed memory, thousands of times". The kernel
+//! here is built for that workload:
+//!
+//! * [`AddressPlan`] computes the ⇑ permutation of an [`AddressOrder`]
+//!   **once** and serves both directions by index arithmetic, so neither
+//!   the executor nor the low-power scheduler re-allocates address
+//!   sequences per element;
+//! * [`MarchWalk`] flattens a whole `(test, order, organization)` traversal
+//!   into a compact 8-byte-per-step array that is shared, read-only, across
+//!   every fault of a sweep (and across threads);
+//! * [`run_march_walk`] executes a walk against any [`MemoryModel`] and
+//!   reports every mismatch; [`run_march_until_detected`] is the early-exit
+//!   variant for sweeps that only need the detected/missed bit — it stops
+//!   at the first mismatching read;
+//! * [`run_march`] keeps the original convenience signature by building a
+//!   throw-away walk internally.
+//!
+//! [`MarchWalk::steps`] exposes the same traversal as an iterator of
+//! [`MarchStep`]s so that higher layers (the low-power test engine in the
+//! `lp-precharge` crate) can map each operation onto a memory clock cycle
+//! without re-implementing the ordering rules.
 
-use serde::{Deserialize, Serialize};
 use sram_model::address::Address;
 use sram_model::config::ArrayOrganization;
 
 use crate::address_order::AddressOrder;
 use crate::algorithm::MarchTest;
+use crate::element::AddressDirection;
 use crate::memory::MemoryModel;
 use crate::operation::MarchOp;
 
 /// One operation of a March test applied to one address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MarchStep {
     /// Index of the March element this step belongs to.
     pub element: usize,
@@ -38,7 +54,7 @@ pub struct MarchStep {
 
 /// A detected mismatch: a read returned something other than its expected
 /// value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Mismatch {
     /// The element in which the failing read occurred.
     pub element: usize,
@@ -51,7 +67,7 @@ pub struct Mismatch {
 }
 
 /// Result of running a March test.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MarchResult {
     /// Every read mismatch, in occurrence order.
     pub mismatches: Vec<Mismatch>,
@@ -75,82 +91,505 @@ impl MarchResult {
     }
 }
 
+/// The ⇑ permutation of an address order, computed once and indexable in
+/// both directions.
+///
+/// A March ⇓ sequence is by definition the exact reverse of ⇑, so a single
+/// materialised permutation serves every element of a test; descending
+/// positions are resolved with index arithmetic instead of a reversed
+/// copy. Both [`MarchWalk`] and the low-power scheduler in `lp-precharge`
+/// build on this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressPlan {
+    ascending: Vec<Address>,
+}
+
+impl AddressPlan {
+    /// Materialises the ⇑ permutation of `order` over `organization`.
+    pub fn new(order: &dyn AddressOrder, organization: &ArrayOrganization) -> Self {
+        Self {
+            ascending: order.ascending(organization),
+        }
+    }
+
+    /// Number of addresses in the permutation.
+    pub fn len(&self) -> usize {
+        self.ascending.len()
+    }
+
+    /// `true` when the plan covers no addresses.
+    pub fn is_empty(&self) -> bool {
+        self.ascending.is_empty()
+    }
+
+    /// The address at `position` of an element running in `direction`
+    /// (⇕ uses ⇑), or `None` past the end.
+    #[inline]
+    pub fn at(&self, direction: AddressDirection, position: usize) -> Option<Address> {
+        match direction {
+            AddressDirection::Ascending | AddressDirection::Either => {
+                self.ascending.get(position).copied()
+            }
+            AddressDirection::Descending => {
+                let len = self.ascending.len();
+                if position < len {
+                    Some(self.ascending[len - 1 - position])
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Iterates the sequence of an element running in `direction`.
+    pub fn iter(
+        &self,
+        direction: AddressDirection,
+    ) -> impl ExactSizeIterator<Item = Address> + '_ {
+        let len = self.ascending.len();
+        (0..len).map(move |pos| self.at(direction, pos).expect("position < len"))
+    }
+}
+
+/// One flattened step, packed into eight bytes: the raw address, the
+/// element index, the op index and a code byte (bits 0–1 the operation,
+/// bit 2 `last_op_on_address`, bit 3 `last_op_of_element`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PackedStep {
+    address: u32,
+    element: u16,
+    op_index: u8,
+    code: u8,
+}
+
+const OP_MASK: u8 = 0b0011;
+const READ_BIT: u8 = 0b0010;
+const VALUE_BIT: u8 = 0b0001;
+const LAST_ON_ADDRESS: u8 = 0b0100;
+const LAST_OF_ELEMENT: u8 = 0b1000;
+
+#[inline]
+fn op_code(op: MarchOp) -> u8 {
+    match op {
+        MarchOp::W0 => 0b00,
+        MarchOp::W1 => 0b01,
+        MarchOp::R0 => 0b10,
+        MarchOp::R1 => 0b11,
+    }
+}
+
+#[inline]
+fn decode_op(code: u8) -> MarchOp {
+    match code & OP_MASK {
+        0b00 => MarchOp::W0,
+        0b01 => MarchOp::W1,
+        0b10 => MarchOp::R0,
+        _ => MarchOp::R1,
+    }
+}
+
+/// A `(test, order, organization)` traversal precomputed once and shared
+/// across every fault of a sweep.
+///
+/// Construction costs one address permutation plus one flat step array
+/// (eight bytes per operation); execution afterwards is a branch-light
+/// scan — allocation-free for full walks and single-address filtered
+/// runs, one small merge buffer for multi-address faults — which is what
+/// makes million-fault sweeps tractable. The walk is immutable and
+/// `Sync`, so parallel sweeps share one instance across threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarchWalk {
+    test_name: String,
+    order_name: String,
+    capacity: u32,
+    reads: u64,
+    writes: u64,
+    steps: Vec<PackedStep>,
+    /// CSR index of the steps by address: the step indices touching address
+    /// `a` are `step_index[offset[a] .. offset[a + 1]]`, ascending. This is
+    /// what lets localised faults execute only their own slice of the walk.
+    address_offsets: Vec<u32>,
+    address_steps: Vec<u32>,
+    locality_safe: bool,
+}
+
+/// `true` when a fault-free cell can never mismatch under `test`,
+/// regardless of the pre-test background: every March element applies the
+/// same operation sequence to every cell (only the interleaving differs),
+/// so one symbolic pass over the per-cell sequence decides it. The value
+/// starts unknown (background-dependent); a read in an unknown or
+/// different state could mismatch on a good memory, which would make the
+/// locality-filtered execution diverge from the full walk.
+fn fault_free_reads_always_match(test: &MarchTest) -> bool {
+    let mut state: Option<bool> = None;
+    for element in test.elements() {
+        for &op in element.ops() {
+            if let Some(value) = op.write_value() {
+                state = Some(value);
+            } else {
+                let expected = op.expected_value().expect("reads have expectations");
+                if state != Some(expected) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+impl MarchWalk {
+    /// Precomputes the traversal of `test` over `organization` under
+    /// `order`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the test has more than `u16::MAX` elements or an element
+    /// has more than `u8::MAX` operations — far beyond any published March
+    /// algorithm — since the packed encoding reserves 16/8 bits for them.
+    pub fn new(
+        test: &MarchTest,
+        order: &dyn AddressOrder,
+        organization: &ArrayOrganization,
+    ) -> Self {
+        let plan = AddressPlan::new(order, organization);
+        let capacity = organization.capacity();
+        assert!(
+            test.element_count() <= usize::from(u16::MAX),
+            "march test has too many elements for the packed walk"
+        );
+        let mut steps =
+            Vec::with_capacity(test.operation_count() * capacity as usize);
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for (element_index, element) in test.elements().iter().enumerate() {
+            let ops = element.ops();
+            assert!(
+                ops.len() <= usize::from(u8::MAX),
+                "march element has too many operations for the packed walk"
+            );
+            let last_position = plan.len().saturating_sub(1);
+            for (position, address) in plan.iter(element.direction()).enumerate() {
+                for (op_index, &op) in ops.iter().enumerate() {
+                    if op.is_read() {
+                        reads += 1;
+                    } else {
+                        writes += 1;
+                    }
+                    let mut code = op_code(op);
+                    if op_index == ops.len() - 1 {
+                        code |= LAST_ON_ADDRESS;
+                        if position == last_position {
+                            code |= LAST_OF_ELEMENT;
+                        }
+                    }
+                    steps.push(PackedStep {
+                        address: address.value(),
+                        element: element_index as u16,
+                        op_index: op_index as u8,
+                        code,
+                    });
+                }
+            }
+        }
+        // Counting-sort CSR of step indices by address: one pass to count,
+        // one to place. `u32` step indices hold any practical walk (a
+        // 512×512 March G is ~6M steps).
+        assert!(
+            steps.len() <= u32::MAX as usize,
+            "walk too large for 32-bit step indices"
+        );
+        let mut address_offsets = vec![0u32; capacity as usize + 1];
+        for step in &steps {
+            address_offsets[step.address as usize + 1] += 1;
+        }
+        for a in 0..capacity as usize {
+            address_offsets[a + 1] += address_offsets[a];
+        }
+        let mut cursor = address_offsets.clone();
+        let mut address_steps = vec![0u32; steps.len()];
+        for (index, step) in steps.iter().enumerate() {
+            let slot = &mut cursor[step.address as usize];
+            address_steps[*slot as usize] = index as u32;
+            *slot += 1;
+        }
+        Self {
+            test_name: test.name().to_string(),
+            order_name: order.name().to_string(),
+            capacity,
+            reads,
+            writes,
+            steps,
+            address_offsets,
+            address_steps,
+            locality_safe: fault_free_reads_always_match(test),
+        }
+    }
+
+    /// `true` when the filtered fast path
+    /// ([`run_march_walk_filtered`]) is observationally equivalent to the
+    /// full walk for faults confined to their involved addresses: a
+    /// fault-free cell can never mismatch under this test, for any
+    /// background. `false` for malformed or deliberately non-initialising
+    /// tests (e.g. one that reads before any write), whose full runs
+    /// mismatch on perfectly good cells — those must run unfiltered.
+    pub fn locality_safe(&self) -> bool {
+        self.locality_safe
+    }
+
+    /// The indices (ascending) of the walk steps that touch `address`.
+    pub fn steps_touching(&self, address: Address) -> &[u32] {
+        let a = address.value() as usize;
+        assert!(a < self.capacity as usize, "address out of range");
+        let from = self.address_offsets[a] as usize;
+        let to = self.address_offsets[a + 1] as usize;
+        &self.address_steps[from..to]
+    }
+
+    /// Name of the March test the walk was built from.
+    pub fn test_name(&self) -> &str {
+        &self.test_name
+    }
+
+    /// Name of the address order the walk was built from.
+    pub fn order_name(&self) -> &str {
+        &self.order_name
+    }
+
+    /// Number of addressable cells of the organization the walk covers.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Total number of operations in the walk.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when the walk contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of read operations in the walk.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of write operations in the walk.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// The traversal as fully described [`MarchStep`]s, in execution order.
+    pub fn steps(&self) -> impl ExactSizeIterator<Item = MarchStep> + '_ {
+        self.steps.iter().map(|step| MarchStep {
+            element: usize::from(step.element),
+            op_index: usize::from(step.op_index),
+            address: Address::new(step.address),
+            op: decode_op(step.code),
+            last_op_on_address: step.code & LAST_ON_ADDRESS != 0,
+            last_op_of_element: step.code & LAST_OF_ELEMENT != 0,
+        })
+    }
+}
+
 /// Enumerates every `(element, address, operation)` step of `test` over
 /// `organization` under `order`, in execution order.
+///
+/// Convenience wrapper over [`MarchWalk::steps`]; sweeps that run many
+/// faults should build the [`MarchWalk`] once instead.
 pub fn march_walk(
     test: &MarchTest,
     order: &dyn AddressOrder,
     organization: &ArrayOrganization,
 ) -> Vec<MarchStep> {
-    let mut steps = Vec::with_capacity(
-        test.operation_count() * organization.capacity() as usize,
-    );
-    for (element_index, element) in test.elements().iter().enumerate() {
-        let addresses = order.sequence(organization, element.direction());
-        let ops = element.ops();
-        for (addr_pos, &address) in addresses.iter().enumerate() {
-            for (op_index, &op) in ops.iter().enumerate() {
-                let last_op_on_address = op_index == ops.len() - 1;
-                steps.push(MarchStep {
-                    element: element_index,
-                    op_index,
+    MarchWalk::new(test, order, organization).steps().collect()
+}
+
+/// Runs a precomputed `walk` on `memory` and reports every read mismatch.
+pub fn run_march_walk<M: MemoryModel + ?Sized>(walk: &MarchWalk, memory: &mut M) -> MarchResult {
+    let mut mismatches = Vec::new();
+    for step in &walk.steps {
+        let address = Address::new(step.address);
+        if step.code & READ_BIT == 0 {
+            memory.write(address, step.code & VALUE_BIT != 0);
+        } else {
+            let expected = step.code & VALUE_BIT != 0;
+            let observed = memory.read(address);
+            if observed != expected {
+                mismatches.push(Mismatch {
+                    element: usize::from(step.element),
                     address,
-                    op,
-                    last_op_on_address,
-                    last_op_of_element: last_op_on_address && addr_pos == addresses.len() - 1,
+                    expected,
+                    observed,
                 });
             }
         }
     }
-    steps
+    MarchResult {
+        mismatches,
+        operations: walk.reads + walk.writes,
+        reads: walk.reads,
+        writes: walk.writes,
+    }
+}
+
+/// Runs a precomputed `walk` on `memory`, stopping at the first mismatching
+/// read. Returns `true` when the walk detected a fault.
+///
+/// This is the sweep kernel for coverage and degree-of-freedom experiments,
+/// where only the detected/missed bit matters: a detected fault typically
+/// mismatches within the first elements of the test, so the early exit
+/// skips most of the remaining `O(ops × cells)` work.
+pub fn run_march_until_detected<M: MemoryModel + ?Sized>(
+    walk: &MarchWalk,
+    memory: &mut M,
+) -> bool {
+    for step in &walk.steps {
+        let address = Address::new(step.address);
+        if step.code & READ_BIT == 0 {
+            memory.write(address, step.code & VALUE_BIT != 0);
+        } else if memory.read(address) != (step.code & VALUE_BIT != 0) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The ascending, deduplicated indices of the walk steps touching any of
+/// the `involved` addresses.
+///
+/// Single-address faults (the bulk of every fault list) borrow their CSR
+/// slice directly — no allocation, no sort. Multi-address faults (the
+/// coupling pair, the decoder alias) linearly merge their already-sorted
+/// slices, deduplicating shared indices.
+enum FilteredSteps<'a> {
+    Borrowed(&'a [u32]),
+    Merged(Vec<u32>),
+}
+
+impl std::ops::Deref for FilteredSteps<'_> {
+    type Target = [u32];
+
+    fn deref(&self) -> &[u32] {
+        match self {
+            FilteredSteps::Borrowed(slice) => slice,
+            FilteredSteps::Merged(vec) => vec,
+        }
+    }
+}
+
+fn merged_step_indices<'a>(walk: &'a MarchWalk, involved: &[Address]) -> FilteredSteps<'a> {
+    match involved {
+        [] => FilteredSteps::Borrowed(&[]),
+        [address] => FilteredSteps::Borrowed(walk.steps_touching(*address)),
+        addresses => {
+            let mut slices: Vec<&[u32]> = addresses
+                .iter()
+                .map(|&address| walk.steps_touching(address))
+                .collect();
+            let mut merged = Vec::with_capacity(slices.iter().map(|s| s.len()).sum());
+            while let Some(next) = slices.iter().filter_map(|s| s.first().copied()).min() {
+                for slice in &mut slices {
+                    // Advancing every slice whose head equals the minimum
+                    // also deduplicates indices shared between addresses.
+                    if slice.first() == Some(&next) {
+                        *slice = &slice[1..];
+                    }
+                }
+                merged.push(next);
+            }
+            FilteredSteps::Merged(merged)
+        }
+    }
+}
+
+/// Runs only the steps of `walk` that touch one of the `involved`
+/// addresses, reporting every read mismatch among them.
+///
+/// This is the locality fast path of the kernel: a fault whose behaviour
+/// is confined to a few cells (see
+/// [`crate::faults::Fault::involved_addresses`]) is observationally
+/// equivalent under the full walk and under its filtered slice — skipped
+/// cells behave fault-free, and a March read of a fault-free cell always
+/// matches its expectation. Instead of `O(ops × cells)` the simulation
+/// costs `O(ops × involved)`.
+///
+/// The returned operation/read/write totals are those of the **full**
+/// walk, so the result is directly comparable (and equal, for a fault
+/// confined to `involved`) to [`run_march_walk`] on the same memory.
+pub fn run_march_walk_filtered<M: MemoryModel + ?Sized>(
+    walk: &MarchWalk,
+    memory: &mut M,
+    involved: &[Address],
+) -> MarchResult {
+    let mut mismatches = Vec::new();
+    for &index in merged_step_indices(walk, involved).iter() {
+        let step = &walk.steps[index as usize];
+        let address = Address::new(step.address);
+        if step.code & READ_BIT == 0 {
+            memory.write(address, step.code & VALUE_BIT != 0);
+        } else {
+            let expected = step.code & VALUE_BIT != 0;
+            let observed = memory.read(address);
+            if observed != expected {
+                mismatches.push(Mismatch {
+                    element: usize::from(step.element),
+                    address,
+                    expected,
+                    observed,
+                });
+            }
+        }
+    }
+    MarchResult {
+        mismatches,
+        operations: walk.reads + walk.writes,
+        reads: walk.reads,
+        writes: walk.writes,
+    }
+}
+
+/// Early-exit variant of [`run_march_walk_filtered`]: runs only the steps
+/// touching `involved` addresses and returns `true` at the first
+/// mismatching read.
+pub fn run_march_until_detected_filtered<M: MemoryModel + ?Sized>(
+    walk: &MarchWalk,
+    memory: &mut M,
+    involved: &[Address],
+) -> bool {
+    for &index in merged_step_indices(walk, involved).iter() {
+        let step = &walk.steps[index as usize];
+        let address = Address::new(step.address);
+        if step.code & READ_BIT == 0 {
+            memory.write(address, step.code & VALUE_BIT != 0);
+        } else if memory.read(address) != (step.code & VALUE_BIT != 0) {
+            return true;
+        }
+    }
+    false
 }
 
 /// Runs `test` on `memory` and reports every read mismatch.
+///
+/// Builds a throw-away [`MarchWalk`] internally; callers that simulate
+/// many faults under the same `(test, order, organization)` should build
+/// the walk once and call [`run_march_walk`].
 pub fn run_march(
     test: &MarchTest,
     order: &dyn AddressOrder,
     organization: &ArrayOrganization,
     memory: &mut dyn MemoryModel,
 ) -> MarchResult {
-    let mut result = MarchResult::default();
-    for (element_index, element) in test.elements().iter().enumerate() {
-        let addresses = order.sequence(organization, element.direction());
-        for &address in &addresses {
-            for &op in element.ops() {
-                result.operations += 1;
-                match op {
-                    MarchOp::W0 => {
-                        memory.write(address, false);
-                        result.writes += 1;
-                    }
-                    MarchOp::W1 => {
-                        memory.write(address, true);
-                        result.writes += 1;
-                    }
-                    MarchOp::R0 | MarchOp::R1 => {
-                        result.reads += 1;
-                        let expected = op.expected_value().expect("reads have expectations");
-                        let observed = memory.read(address);
-                        if observed != expected {
-                            result.mismatches.push(Mismatch {
-                                element: element_index,
-                                address,
-                                expected,
-                                observed,
-                            });
-                        }
-                    }
-                }
-            }
-        }
-    }
-    result
+    let walk = MarchWalk::new(test, order, organization);
+    run_march_walk(&walk, memory)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::address_order::{ColumnMajor, WordLineAfterWordLine};
+    use crate::address_order::{ColumnMajor, PseudoRandomOrder, WordLineAfterWordLine};
+    use crate::faults::{standard_fault_list, FaultyMemory};
     use crate::library;
     use crate::memory::GoodMemory;
 
@@ -249,5 +688,145 @@ mod tests {
         assert_eq!(last.element, 2);
         assert_eq!(last.address, Address::new(0));
         assert!(last.last_op_of_element);
+    }
+
+    #[test]
+    fn address_plan_serves_both_directions_from_one_permutation() {
+        let organization = ArrayOrganization::new(4, 8).unwrap();
+        let order = PseudoRandomOrder::new(99);
+        let plan = AddressPlan::new(&order, &organization);
+        assert_eq!(plan.len(), 32);
+        assert!(!plan.is_empty());
+        let up: Vec<Address> = plan.iter(AddressDirection::Ascending).collect();
+        let either: Vec<Address> = plan.iter(AddressDirection::Either).collect();
+        let mut down: Vec<Address> = plan.iter(AddressDirection::Descending).collect();
+        assert_eq!(up, order.ascending(&organization));
+        assert_eq!(up, either);
+        down.reverse();
+        assert_eq!(up, down, "⇓ must be the exact reverse of ⇑");
+        assert_eq!(plan.at(AddressDirection::Ascending, 32), None);
+        assert_eq!(plan.at(AddressDirection::Descending, 32), None);
+    }
+
+    #[test]
+    fn walk_based_run_equals_legacy_signature_run() {
+        let organization = org();
+        for test in library::table1_algorithms() {
+            let walk = MarchWalk::new(&test, &ColumnMajor, &organization);
+            assert_eq!(walk.test_name(), test.name());
+            assert_eq!(walk.order_name(), "column major");
+            assert_eq!(walk.capacity(), organization.capacity());
+            assert_eq!(
+                walk.len() as u64,
+                test.total_operations(u64::from(organization.capacity()))
+            );
+            let mut m1 = GoodMemory::new(organization.capacity());
+            let mut m2 = GoodMemory::new(organization.capacity());
+            let from_walk = run_march_walk(&walk, &mut m1);
+            let from_legacy = run_march(&test, &ColumnMajor, &organization, &mut m2);
+            assert_eq!(from_walk, from_legacy, "{}", test.name());
+        }
+    }
+
+    #[test]
+    fn early_exit_agrees_with_the_full_run_on_every_standard_fault() {
+        let organization = org();
+        let faults = standard_fault_list(&organization);
+        for test in library::table1_algorithms() {
+            let walk = MarchWalk::new(&test, &WordLineAfterWordLine, &organization);
+            for factory in &faults {
+                let mut full = FaultyMemory::new(
+                    GoodMemory::new(organization.capacity()),
+                    factory(),
+                );
+                let mut early = FaultyMemory::new(
+                    GoodMemory::new(organization.capacity()),
+                    factory(),
+                );
+                let full_result = run_march_walk(&walk, &mut full);
+                let early_detected = run_march_until_detected(&walk, &mut early);
+                assert_eq!(
+                    full_result.detected_fault(),
+                    early_detected,
+                    "{} / {}",
+                    test.name(),
+                    factory().name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_run_is_observationally_equivalent_to_the_full_walk() {
+        // The locality fast path must agree with the unfiltered kernel on
+        // the complete mismatch list — not just the detection bit — for
+        // every localised fault, algorithm, order and background.
+        for organization in [ArrayOrganization::new(4, 4).unwrap(), ArrayOrganization::new(3, 7).unwrap()] {
+            let faults = standard_fault_list(&organization);
+            for test in library::all_algorithms() {
+                for order in [&WordLineAfterWordLine as &dyn crate::address_order::AddressOrder, &ColumnMajor] {
+                    let walk = MarchWalk::new(&test, order, &organization);
+                    for factory in &faults {
+                        let Some(involved) = factory().involved_addresses() else {
+                            continue; // global faults have no filtered path
+                        };
+                        for background in [false, true] {
+                            let mut full_memory = FaultyMemory::new(
+                                GoodMemory::filled(organization.capacity(), background),
+                                factory(),
+                            );
+                            let mut filtered_memory = FaultyMemory::new(
+                                GoodMemory::filled(organization.capacity(), background),
+                                factory(),
+                            );
+                            let full = run_march_walk(&walk, &mut full_memory);
+                            let filtered = run_march_walk_filtered(
+                                &walk,
+                                &mut filtered_memory,
+                                &involved,
+                            );
+                            assert_eq!(
+                                full,
+                                filtered,
+                                "{} / {} / {} / background {background}",
+                                test.name(),
+                                order.name(),
+                                factory().name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steps_touching_partitions_the_walk() {
+        let organization = org();
+        let test = library::march_ss();
+        let walk = MarchWalk::new(&test, &ColumnMajor, &organization);
+        let mut seen = 0usize;
+        for raw in 0..organization.capacity() {
+            let indices = walk.steps_touching(Address::new(raw));
+            assert_eq!(indices.len(), test.operation_count());
+            assert!(indices.windows(2).all(|w| w[0] < w[1]), "ascending order");
+            for &index in indices {
+                let step = walk.steps().nth(index as usize).unwrap();
+                assert_eq!(step.address, Address::new(raw));
+            }
+            seen += indices.len();
+        }
+        assert_eq!(seen, walk.len(), "every step belongs to exactly one cell");
+    }
+
+    #[test]
+    fn walk_reports_read_write_split() {
+        let organization = org();
+        let test = library::march_c_minus();
+        let walk = MarchWalk::new(&test, &WordLineAfterWordLine, &organization);
+        let cells = u64::from(organization.capacity());
+        assert_eq!(walk.reads(), test.read_count() as u64 * cells);
+        assert_eq!(walk.writes(), test.write_count() as u64 * cells);
+        assert!(!walk.is_empty());
     }
 }

@@ -53,6 +53,12 @@ impl Fault for AddressAliasFault {
     fn read(&mut self, memory: &mut GoodMemory, address: Address) -> bool {
         memory.get(self.redirect(address))
     }
+
+    fn involved_addresses(&self) -> Option<Vec<Address>> {
+        // Accesses to `aliased` land on `target`, and reads of `target`
+        // observe the corruption — both cells' operations matter.
+        Some(vec![self.aliased, self.target])
+    }
 }
 
 #[cfg(test)]

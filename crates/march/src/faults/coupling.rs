@@ -67,6 +67,12 @@ impl Fault for CouplingInversionFault {
     fn read(&mut self, memory: &mut GoodMemory, address: Address) -> bool {
         memory.get(address)
     }
+
+    fn involved_addresses(&self) -> Option<Vec<Address>> {
+        // Aggressor writes trigger the inversion; victim accesses observe
+        // (and can overwrite) the corrupted cell.
+        Some(vec![self.aggressor, self.victim])
+    }
 }
 
 /// Idempotent coupling fault: a chosen transition on the aggressor forces
@@ -131,6 +137,10 @@ impl Fault for CouplingIdempotentFault {
     fn read(&mut self, memory: &mut GoodMemory, address: Address) -> bool {
         memory.get(address)
     }
+
+    fn involved_addresses(&self) -> Option<Vec<Address>> {
+        Some(vec![self.aggressor, self.victim])
+    }
 }
 
 /// State coupling fault: while the aggressor holds a given state, the victim
@@ -194,6 +204,14 @@ impl Fault for CouplingStateFault {
     fn read(&mut self, memory: &mut GoodMemory, address: Address) -> bool {
         self.enforce(memory);
         memory.get(address)
+    }
+
+    fn involved_addresses(&self) -> Option<Vec<Address>> {
+        // `enforce` runs on every access, but its outcome only changes
+        // when the aggressor's state changes (aggressor writes) and is
+        // only observable through the victim — both cells' operations
+        // cover every trigger and observation point.
+        Some(vec![self.aggressor, self.victim])
     }
 }
 

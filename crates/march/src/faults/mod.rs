@@ -33,7 +33,6 @@ pub use stuck_open::StuckOpenFault;
 pub use transition::TransitionFault;
 pub use write_disturb::WriteDisturbFault;
 
-use serde::{Deserialize, Serialize};
 use sram_model::address::Address;
 use sram_model::config::ArrayOrganization;
 use std::fmt;
@@ -41,7 +40,7 @@ use std::fmt;
 use crate::memory::{GoodMemory, MemoryModel};
 
 /// Broad classification of a fault model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum FaultKind {
     /// Stuck-at fault.
@@ -107,6 +106,23 @@ pub trait Fault: fmt::Debug {
     /// Performs the (possibly faulty) effect of reading `address` and
     /// returns the value observed at the memory outputs.
     fn read(&mut self, memory: &mut GoodMemory, address: Address) -> bool;
+
+    /// The addresses whose operations can trigger **or** observe this
+    /// fault, or `None` when the behaviour is global (any access may
+    /// matter, e.g. the stuck-open fault's bit-line history).
+    ///
+    /// When `Some`, the simulation kernel executes only the walk steps
+    /// touching these addresses
+    /// ([`crate::executor::run_march_walk_filtered`]): every other cell
+    /// behaves fault-free and a March read of a fault-free cell always
+    /// matches its expectation, so the filtered run is observationally
+    /// equivalent to the full one at `O(ops × involved)` instead of
+    /// `O(ops × cells)` cost. Implementations must list every address
+    /// whose read can mismatch and every address whose access can change
+    /// the fault's trigger state. The default is the conservative `None`.
+    fn involved_addresses(&self) -> Option<Vec<Address>> {
+        None
+    }
 }
 
 /// A fault-free memory wrapped with one injected fault.
@@ -154,8 +170,9 @@ impl MemoryModel for FaultyMemory {
 }
 
 /// A generator of fault instances, so coverage experiments can build fresh
-/// (stateful) fault objects for every run.
-pub type FaultFactory = Box<dyn Fn() -> Box<dyn Fault>>;
+/// (stateful) fault objects for every run. Factories are `Send + Sync` so
+/// that parallel sweeps can instantiate faults from worker threads.
+pub type FaultFactory = Box<dyn Fn() -> Box<dyn Fault> + Send + Sync>;
 
 /// Builds the standard fault list used by the coverage and
 /// degree-of-freedom experiments: every fault class instantiated at a

@@ -47,6 +47,10 @@ impl Fault for ReadDestructiveFault {
             memory.get(address)
         }
     }
+
+    fn involved_addresses(&self) -> Option<Vec<Address>> {
+        Some(vec![self.victim])
+    }
 }
 
 /// Deceptive read destructive fault: a read returns the correct value but
@@ -82,6 +86,10 @@ impl Fault for DeceptiveReadDestructiveFault {
             memory.set(address, !correct);
         }
         correct
+    }
+
+    fn involved_addresses(&self) -> Option<Vec<Address>> {
+        Some(vec![self.victim])
     }
 }
 
@@ -119,6 +127,10 @@ impl Fault for IncorrectReadFault {
         } else {
             value
         }
+    }
+
+    fn involved_addresses(&self) -> Option<Vec<Address>> {
+        Some(vec![self.victim])
     }
 }
 

@@ -58,6 +58,10 @@ impl Fault for StuckAtFault {
             memory.get(address)
         }
     }
+
+    fn involved_addresses(&self) -> Option<Vec<Address>> {
+        Some(vec![self.victim])
+    }
 }
 
 #[cfg(test)]

@@ -52,6 +52,13 @@ impl Fault for StuckOpenFault {
             value
         }
     }
+
+    fn involved_addresses(&self) -> Option<Vec<Address>> {
+        // A victim read returns the value sensed by the previous read of
+        // *any* cell, so every read updates the trigger state: the fault
+        // is global and must run the full walk.
+        None
+    }
 }
 
 #[cfg(test)]

@@ -41,6 +41,10 @@ impl Fault for WriteDisturbFault {
     fn read(&mut self, memory: &mut GoodMemory, address: Address) -> bool {
         memory.get(address)
     }
+
+    fn involved_addresses(&self) -> Option<Vec<Address>> {
+        Some(vec![self.victim])
+    }
 }
 
 #[cfg(test)]

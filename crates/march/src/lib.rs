@@ -23,6 +23,35 @@
 //!   (the paper's prerequisite) does not change fault coverage
 //!   ([`dof`]).
 //!
+//! # The fault-simulation kernel
+//!
+//! Coverage and degree-of-freedom experiments exhaustively simulate a
+//! fault list under every March test × address order × array size — an
+//! `O(faults × operations)` workload that dominates the repo's runtime.
+//! The hot path is organised as a measured kernel with four ingredients:
+//!
+//! 1. **Walk caching** ([`executor::MarchWalk`], [`executor::AddressPlan`])
+//!    — the `(test, order, organization)` traversal is flattened once into
+//!    a compact 8-byte-per-step array and shared, read-only, across every
+//!    fault of a sweep; the ⇑ address permutation is materialised once and
+//!    serves ⇓ by index arithmetic. Nothing allocates per fault.
+//! 2. **Bit-packed memory** ([`memory::GoodMemory`]) — cells live in
+//!    `u64` words (64 per word) and [`memory::GoodMemory::fill`] resets the
+//!    array with a few word stores, so one scratch allocation serves an
+//!    entire fault list.
+//! 3. **Early exit** ([`executor::run_march_until_detected`],
+//!    [`fault_sim::DetectionMode::FirstMismatch`]) — sweeps that only need
+//!    the detected/missed bit stop each simulation at the first
+//!    mismatching read instead of finishing the walk.
+//! 4. **Parallel sweeps** ([`coverage::SweepOptions`], [`parallel`]) —
+//!    the fault list fans out across scoped worker threads, one scratch
+//!    memory per worker, with outcomes reassembled in fault-list order so
+//!    parallel reports are byte-identical to serial ones.
+//!
+//! The `bench` crate's `fault_sim_throughput` benchmark measures the
+//! kernel in faults/second against a frozen replica of the original
+//! (per-fault allocating, always-full-walk, serial) implementation.
+//!
 //! # Example
 //!
 //! ```
@@ -38,6 +67,18 @@
 //! let mut memory = GoodMemory::new(organization.capacity());
 //! let result = run_march(&test, &order, &organization, &mut memory);
 //! assert!(result.passed());
+//!
+//! // Sweep a fault list with the shared-walk kernel: early-exit
+//! // detection, parallel across the list.
+//! let faults = standard_fault_list(&organization);
+//! let report = evaluate_coverage_with(
+//!     &test,
+//!     &order,
+//!     &organization,
+//!     &faults,
+//!     SweepOptions::fast(),
+//! );
+//! assert!(report.coverage() > 0.5);
 //! # Ok::<(), sram_model::error::SramError>(())
 //! ```
 #![forbid(unsafe_code)]
@@ -55,6 +96,8 @@ pub mod faults;
 pub mod library;
 pub mod memory;
 pub mod operation;
+pub mod parallel;
+pub mod rng;
 
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {
@@ -63,10 +106,18 @@ pub mod prelude {
     };
     pub use crate::algorithm::MarchTest;
     pub use crate::background::DataBackground;
-    pub use crate::coverage::{evaluate_coverage, CoverageReport};
+    pub use crate::coverage::{
+        evaluate_coverage, evaluate_coverage_on_walk, evaluate_coverage_with, CoverageReport,
+        SweepOptions,
+    };
     pub use crate::element::{AddressDirection, MarchElement};
-    pub use crate::executor::{run_march, MarchResult, MarchStep};
-    pub use crate::fault_sim::{simulate_fault, FaultSimOutcome};
+    pub use crate::executor::{
+        run_march, run_march_until_detected, run_march_walk, AddressPlan, MarchResult,
+        MarchStep, MarchWalk,
+    };
+    pub use crate::fault_sim::{
+        simulate_fault, simulate_fault_on_walk, DetectionMode, FaultSimOutcome,
+    };
     pub use crate::faults::{standard_fault_list, Fault};
     pub use crate::library;
     pub use crate::memory::{GoodMemory, MemoryModel};

@@ -7,11 +7,10 @@
 //! sequence, which is what makes the comparison-based fault detection of
 //! [`crate::executor`] possible.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One single-cell March operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MarchOp {
     /// Write `0` into the cell.
     W0,

@@ -16,7 +16,6 @@
 //! conversion to watts is a division by the common clock period and cancels
 //! in the PRR).
 
-use serde::{Deserialize, Serialize};
 use sram_model::config::ArrayOrganization;
 use transient::units::{Joules, Watts};
 
@@ -24,7 +23,7 @@ use crate::calibration::CalibratedParameters;
 use march_test::algorithm::MarchTest;
 
 /// The closed-form `P_F`/`P_LPT`/`PRR` model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnalyticPowerModel {
     parameters: CalibratedParameters,
 }

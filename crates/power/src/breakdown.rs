@@ -1,6 +1,5 @@
 //! Per-source power breakdown (the paper's Section 5 analysis).
 
-use serde::{Deserialize, Serialize};
 use sram_model::energy::CycleEnergy;
 use std::fmt;
 use transient::units::Joules;
@@ -9,7 +8,7 @@ use crate::source::PowerSource;
 
 /// One line of a breakdown: a source, its energy and its share of the
 /// total.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BreakdownEntry {
     /// The physical source.
     pub source: PowerSource,
@@ -20,7 +19,7 @@ pub struct BreakdownEntry {
 }
 
 /// A per-source decomposition of a run's energy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerBreakdown {
     entries: Vec<BreakdownEntry>,
     total: Joules,

@@ -12,13 +12,12 @@
 //! the analytic model and the simulation can be cross-checked against each
 //! other (they agree within a few percent — see `EXPERIMENTS.md`).
 
-use serde::{Deserialize, Serialize};
 use sram_model::config::{ArrayOrganization, TechnologyParams};
 use transient::units::{Joules, Seconds, Watts};
 
 /// The four calibrated parameters of the analytic model, expressed as
 /// energy per clock cycle (divide by the clock period for watts).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CalibratedParameters {
     /// Energy drawn by one pre-charge circuit replenishing one RES per
     /// cycle (`P_A`).

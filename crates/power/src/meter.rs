@@ -1,13 +1,12 @@
 //! Energy accumulation over a run.
 
-use serde::{Deserialize, Serialize};
 use sram_model::energy::CycleEnergy;
 use transient::units::{Joules, Seconds, Watts};
 
 use crate::breakdown::PowerBreakdown;
 
 /// Accumulates per-cycle energy records and reports run-level statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerMeter {
     clock_period: Seconds,
     cycles: u64,

@@ -8,12 +8,11 @@
 //! cycle. [`PeakTracker`] records the most expensive cycle of a run so the
 //! experiments can quantify that trade-off.
 
-use serde::{Deserialize, Serialize};
 use sram_model::energy::CycleEnergy;
 use transient::units::{Joules, Seconds, Watts};
 
 /// Tracks the most expensive cycle observed in a run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PeakTracker {
     clock_period: Seconds,
     peak_energy: Joules,

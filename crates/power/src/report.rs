@@ -5,12 +5,11 @@
 //! reproduction, the per-mode measurement behind it, and the formatted
 //! table renderer.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use transient::units::{Joules, Watts};
 
 /// Measurements of one March test run in one operating mode.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModeReport {
     /// Total number of clock cycles executed.
     pub cycles: u64,
@@ -25,7 +24,7 @@ pub struct ModeReport {
 }
 
 /// One row of the Table 1 reproduction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Row {
     /// Algorithm name.
     pub algorithm: String,
@@ -49,7 +48,7 @@ pub struct Table1Row {
 }
 
 /// A full PRR comparison between the two modes for one algorithm.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PrrRecord {
     /// Algorithm name.
     pub algorithm: String,
@@ -169,7 +168,7 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn display_round_trips_the_key_figures() {
         let row = Table1Row {
             algorithm: "March SS".to_string(),
             elements: 6,
@@ -180,8 +179,9 @@ mod tests {
             prr_analytic_percent: 50.5,
             prr_paper_percent: 50.0,
         };
-        let json = serde_json::to_string(&row).unwrap();
-        let back: Table1Row = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, row);
+        let line = row.to_string();
+        assert!(line.starts_with("March SS: 6 elements, 22 ops (13r/9w)"));
+        assert!(line.contains("analytic 50.5%"));
+        assert_eq!(row.clone(), row);
     }
 }

@@ -4,13 +4,12 @@
 //! [`sram_model::energy::CycleEnergy`] and the five dissipation sources the
 //! paper analyses in its experimental section.
 
-use serde::{Deserialize, Serialize};
 use sram_model::energy::CycleEnergy;
 use std::fmt;
 use transient::units::Joules;
 
 /// A physical source of test power.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PowerSource {
     /// Pre-charge circuits replenishing RES droop on unselected columns.
     PrechargeRes,

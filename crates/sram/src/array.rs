@@ -15,10 +15,9 @@ use crate::config::{ArrayOrganization, SramConfig};
 use crate::error::SramError;
 use crate::precharge::PrechargeCircuit;
 use crate::stress::StressReport;
-use serde::{Deserialize, Serialize};
 
 /// Which columns have their pre-charge circuit enabled during a cycle.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PrechargeMask {
     enabled: Vec<bool>,
 }
@@ -80,7 +79,7 @@ impl PrechargeMask {
 }
 
 /// The complete electrical state of the memory array.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SramArray {
     config: SramConfig,
     cells: Vec<SramCell>,
@@ -256,7 +255,7 @@ impl SramArray {
         for (idx, cell) in self.cells.iter_mut().enumerate() {
             let row = idx as u32 / cols;
             let col = idx as u32 % cols;
-            let v = if (row + col) % 2 == 0 { base } else { !base };
+            let v = if (row + col).is_multiple_of(2) { base } else { !base };
             cell.write(v);
         }
     }

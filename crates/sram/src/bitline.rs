@@ -14,13 +14,12 @@
 //! * a **read** develops a small differential swing which the pre-charge
 //!   circuit replenishes in the second half of the cycle.
 
-use serde::{Deserialize, Serialize};
 use transient::units::{Joules, Volts};
 
 use crate::config::TechnologyParams;
 
 /// Which of the two lines of a pair is meant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BitLineSide {
     /// The true bit line `BL`.
     Bl,
@@ -29,7 +28,7 @@ pub enum BitLineSide {
 }
 
 /// Voltage state of one column's bit-line pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BitLinePair {
     bl: Volts,
     blb: Volts,

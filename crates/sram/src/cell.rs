@@ -15,11 +15,10 @@
 //!   both the new value and the fact that it was corrupted, so verification
 //!   can distinguish a legitimate write from a destroyed bit.
 
-use serde::{Deserialize, Serialize};
 use transient::units::Volts;
 
 /// One six-transistor SRAM cell.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SramCell {
     value: bool,
     full_res_count: u64,

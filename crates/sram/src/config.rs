@@ -17,14 +17,13 @@
 //!   paper's Spice testbench includes but does not itemize).
 
 use crate::error::SramError;
-use serde::{Deserialize, Serialize};
 use transient::units::{Amps, Farads, Joules, Ohms, Seconds, Volts};
 
 /// Largest supported array side, chosen so `rows × cols` always fits `u32`.
 pub const MAX_DIMENSION: u32 = 65_536;
 
 /// Number of rows and columns of the cell array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ArrayOrganization {
     rows: u32,
     cols: u32,
@@ -87,7 +86,7 @@ impl Default for ArrayOrganization {
 /// First-order electrical and timing parameters of the memory.
 ///
 /// All defaults are documented on [`TechnologyParams::default_013um`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TechnologyParams {
     /// Supply voltage.
     pub vdd: Volts,
@@ -290,7 +289,7 @@ impl Default for TechnologyParams {
 }
 
 /// Full configuration of a simulated SRAM: organization + technology.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SramConfig {
     organization: ArrayOrganization,
     technology: TechnologyParams,

@@ -35,7 +35,6 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
 use transient::charge_share::node_flips;
 use transient::units::Volts;
 
@@ -52,7 +51,7 @@ use crate::trace::{CycleRecord, Trace};
 use crate::writedriver::WriteDriver;
 
 /// Result of executing one clock cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CycleOutcome {
     /// Value returned by a read operation (`None` for writes).
     pub read_value: Option<bool>,
@@ -237,7 +236,7 @@ impl MemoryController {
             PrechargePolicy::AllColumns => None,
             PrechargePolicy::Columns(list) => Some(list.as_slice()),
         };
-        let enabled = |col: u32| explicit.map_or(true, |list| list.contains(&col));
+        let enabled = |col: u32| explicit.is_none_or(|list| list.contains(&col));
         let enabled_count = explicit.map_or(cols, |list| {
             list.iter().filter(|&&c| c < cols).count() as u32
         });

@@ -12,11 +12,10 @@
 use crate::address::{Address, ColIndex, RowIndex};
 use crate::config::{ArrayOrganization, TechnologyParams};
 use crate::error::SramError;
-use serde::{Deserialize, Serialize};
 use transient::units::{Farads, Joules};
 
 /// Decoded physical location of an address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DecodedAddress {
     /// Word line to assert.
     pub row: RowIndex,
@@ -25,7 +24,7 @@ pub struct DecodedAddress {
 }
 
 /// Row (word-line) decoder.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RowDecoder {
     outputs: u32,
     last_row: Option<u32>,
@@ -33,7 +32,7 @@ pub struct RowDecoder {
 }
 
 /// Column-select decoder.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ColumnDecoder {
     outputs: u32,
     last_col: Option<u32>,
@@ -140,7 +139,7 @@ impl ColumnDecoder {
 }
 
 /// Convenience wrapper decoding both coordinates at once.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AddressDecoder {
     row: RowDecoder,
     col: ColumnDecoder,

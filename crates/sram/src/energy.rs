@@ -8,11 +8,10 @@
 //! restoration on the selected column, word line, sense amplifier, write
 //! driver, decoders and the lumped periphery).
 
-use serde::{Deserialize, Serialize};
 use transient::units::{Joules, Seconds, Watts};
 
 /// Energy spent during one clock cycle, broken down by physical source.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CycleEnergy {
     /// Pre-charge circuits replenishing the RES droop on unselected,
     /// pre-charged columns (the paper's `P_A` aggregated over columns).

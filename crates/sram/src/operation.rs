@@ -8,11 +8,10 @@
 //! the one-cycle row-transition restore.
 
 use crate::address::Address;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single-cell memory operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemOperation {
     /// Read the addressed cell.
     Read,
@@ -43,7 +42,7 @@ impl fmt::Display for MemOperation {
 }
 
 /// The pre-charge policy of one cycle.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PrechargePolicy {
     /// Every column's pre-charge circuit is enabled (functional mode, and
     /// the one-cycle row-transition restore of the low-power mode).
@@ -54,7 +53,7 @@ pub enum PrechargePolicy {
 }
 
 /// Everything the memory controller needs to execute one clock cycle.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CycleCommand {
     /// Cell addressed this cycle.
     pub address: Address,

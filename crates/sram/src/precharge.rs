@@ -9,11 +9,10 @@
 //! and accumulates the supply energy it has delivered, so the experiment
 //! layer can attribute pre-charge power exactly as the paper does.
 
-use serde::{Deserialize, Serialize};
 use transient::units::Joules;
 
 /// State and accounting of one column's pre-charge circuit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrechargeCircuit {
     enabled: bool,
     cycles_enabled: u64,

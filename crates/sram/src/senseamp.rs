@@ -9,11 +9,10 @@
 
 use crate::bitline::BitLinePair;
 use crate::config::TechnologyParams;
-use serde::{Deserialize, Serialize};
 use transient::units::{Joules, Volts};
 
 /// Outcome of a sense operation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SenseOutcome {
     /// The resolved bit.
     pub value: bool,
@@ -25,7 +24,7 @@ pub struct SenseOutcome {
 }
 
 /// One column-multiplexed sense amplifier.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SenseAmplifier {
     /// Minimum differential input the latch resolves deterministically.
     offset: Volts,

@@ -7,10 +7,9 @@
 //! aggregates both from the per-cell counters of the array so experiments
 //! can assert on them.
 
-use serde::{Deserialize, Serialize};
 
 /// Aggregated stress and corruption statistics over a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StressReport {
     /// Total number of full read-equivalent stresses applied to any cell.
     pub full_res_events: u64,

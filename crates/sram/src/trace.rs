@@ -8,11 +8,10 @@
 
 use crate::address::Address;
 use crate::operation::MemOperation;
-use serde::{Deserialize, Serialize};
 use transient::units::{Joules, Volts};
 
 /// One recorded cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CycleRecord {
     /// Cycle index since the trace was started.
     pub cycle: u64,
@@ -33,7 +32,7 @@ pub struct CycleRecord {
 }
 
 /// A sequence of recorded cycles plus the column being observed.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Trace {
     observed_column: Option<u32>,
     records: Vec<CycleRecord>,

@@ -7,11 +7,10 @@
 
 use crate::bitline::BitLinePair;
 use crate::config::TechnologyParams;
-use serde::{Deserialize, Serialize};
 use transient::units::Joules;
 
 /// One column-multiplexed write driver.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct WriteDriver {
     writes: u64,
     dissipated: Joules,

@@ -10,10 +10,9 @@
 //! previously driven to '0' overwrites a cell that stores '1'.
 
 use crate::units::{Farads, Joules, Volts};
-use serde::{Deserialize, Serialize};
 
 /// Result of connecting two capacitors that were at different voltages.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChargeShareOutcome {
     /// Common voltage after redistribution.
     pub final_voltage: Volts,

@@ -8,7 +8,6 @@
 //! rail-to-rail transition is the familiar `C · V_DD²` (per charge event).
 
 use crate::units::{Farads, Joules, Seconds, Volts, Watts};
-use serde::{Deserialize, Serialize};
 
 /// Energy drawn from a supply at `vdd` to pull a capacitance `c` up by
 /// `delta_v` (e.g. a pre-charge circuit restoring a bit line).
@@ -36,7 +35,7 @@ pub fn contention_energy(vdd: Volts, equivalent_resistance: f64, dt: Seconds) ->
 /// A small accumulator of named energy contributions. Useful when composing
 /// the energy of one clock cycle out of several physical events before
 /// handing a single number to the power meter.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EnergyBudget {
     entries: Vec<(String, Joules)>,
 }

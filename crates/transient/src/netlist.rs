@@ -10,10 +10,9 @@
 //! to integrate.
 
 use crate::units::{Farads, Ohms, Volts};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a node created by [`Netlist::add_node`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub(crate) usize);
 
 impl NodeId {
@@ -24,10 +23,10 @@ impl NodeId {
 }
 
 /// Identifier of a switch created by [`Netlist::add_switch`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SwitchId(pub(crate) usize);
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct NodeDef {
     pub(crate) name: String,
     pub(crate) capacitance: Farads,
@@ -36,7 +35,7 @@ pub(crate) struct NodeDef {
     pub(crate) pinned: bool,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct ResistorDef {
     pub(crate) a: NodeId,
     pub(crate) b: NodeId,
@@ -45,7 +44,7 @@ pub(crate) struct ResistorDef {
     pub(crate) gated_by: Option<SwitchId>,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct SwitchDef {
     pub(crate) name: String,
     pub(crate) closed: bool,
@@ -64,7 +63,7 @@ pub(crate) struct SwitchDef {
 /// net.add_resistor(vdd, bl, Ohms(2_000.0)); // pre-charge pull-up
 /// assert_eq!(net.node_count(), 2);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Netlist {
     pub(crate) nodes: Vec<NodeDef>,
     pub(crate) resistors: Vec<ResistorDef>,

@@ -10,11 +10,10 @@
 //! `v(t) = V₀ · e^(−t/RC)` decay modelled here.
 
 use crate::units::{Farads, Joules, Ohms, Seconds, Volts};
-use serde::{Deserialize, Serialize};
 
 /// Exponential discharge of a capacitor through a resistance towards a
 /// final voltage (ground by default).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RcDischarge {
     resistance: Ohms,
     capacitance: Farads,
@@ -107,7 +106,7 @@ impl RcDischarge {
 /// voltage, accounting for both the energy stored and the energy dissipated
 /// in the charging path (each `½·C·ΔV²` for a full charge, `C·V_DD·ΔV`
 /// drawn from the supply).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RcCharge {
     resistance: Ohms,
     capacitance: Farads,

@@ -11,11 +11,10 @@
 use crate::netlist::{Netlist, NodeId};
 use crate::units::{Joules, Seconds, Volts};
 use crate::waveform::Waveform;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Configuration of a transient run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolverConfig {
     /// Total simulated time.
     pub duration: Seconds,
@@ -40,7 +39,7 @@ impl SolverConfig {
 
 /// Result of a transient run: per-node waveforms and per-source supplied
 /// energy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransientResult {
     waveforms: BTreeMap<usize, Waveform>,
     source_energy: BTreeMap<usize, Joules>,

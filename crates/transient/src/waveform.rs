@@ -9,11 +9,10 @@
 //! for the `repro` binary.
 
 use crate::units::{Seconds, Volts};
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// One `(time, voltage)` point of a waveform.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sample {
     /// Sample time.
     pub time: Seconds,
@@ -22,7 +21,7 @@ pub struct Sample {
 }
 
 /// A named, time-ordered sequence of voltage samples.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Waveform {
     name: String,
     samples: Vec<Sample>,

@@ -3,13 +3,13 @@
 //! The paper's technique must be invisible to the March test: every read
 //! returns the expected value, no cell is corrupted, and the result holds
 //! for any data background and any array shape. These properties are
-//! exercised with `proptest` over randomised configurations, together with
-//! the negative control showing that dropping the row-transition restore
-//! breaks them.
-
-use proptest::prelude::*;
+//! exercised over seeded randomised configurations (the workspace carries
+//! its own deterministic generator instead of `proptest`, which the offline
+//! build environment cannot fetch), together with the negative control
+//! showing that dropping the row-transition restore breaks them.
 
 use sram_test_power::lp_precharge::prelude::*;
+use sram_test_power::march_test::rng::SplitMix64;
 use sram_test_power::march_test::library;
 use sram_test_power::sram_model::config::{ArrayOrganization, SramConfig};
 
@@ -84,19 +84,17 @@ fn very_narrow_arrays_may_not_benefit_but_stay_correct() {
     assert!(outcome.is_functionally_correct());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// For any array shape wide enough for the savings to dominate the
-    /// fixed overheads, and any uniform data background, the low-power
-    /// schedule of MATS+ is functionally equivalent to the functional-mode
-    /// test and consumes less energy.
-    #[test]
-    fn low_power_mode_is_correct_and_cheaper_for_any_shape(
-        rows in 2u32..10,
-        cols in 24u32..64,
-        background in any::<bool>(),
-    ) {
+/// For any array shape wide enough for the savings to dominate the fixed
+/// overheads, and any uniform data background, the low-power schedule of
+/// MATS+ is functionally equivalent to the functional-mode test and
+/// consumes less energy. Eight seeded random configurations per run.
+#[test]
+fn low_power_mode_is_correct_and_cheaper_for_any_shape() {
+    let mut rng = SplitMix64::new(0xDA7E_2006);
+    for _ in 0..8 {
+        let rows = 2 + rng.next_below(8) as u32; // 2..10
+        let cols = 24 + rng.next_below(40) as u32; // 24..64
+        let background = rng.next_bool();
         let session = session(rows, cols);
         let test = library::mats_plus();
         let functional = session
@@ -105,29 +103,34 @@ proptest! {
         let low_power = session
             .run_with_background(&test, OperatingMode::LowPowerTest, background)
             .unwrap();
-        prop_assert!(low_power.is_functionally_correct());
-        prop_assert!(functional.is_functionally_correct());
-        prop_assert!(low_power.report.total_energy < functional.report.total_energy);
-        prop_assert_eq!(low_power.report.cycles, functional.report.cycles);
+        let case = format!("rows={rows} cols={cols} background={background}");
+        assert!(low_power.is_functionally_correct(), "{case}");
+        assert!(functional.is_functionally_correct(), "{case}");
+        assert!(
+            low_power.report.total_energy < functional.report.total_energy,
+            "{case}"
+        );
+        assert_eq!(low_power.report.cycles, functional.report.cycles, "{case}");
     }
+}
 
-    /// The measured PRR always lies strictly between 0 and 1 and never
-    /// exceeds the share of power the pre-charge activity had in the
-    /// functional run.
-    #[test]
-    fn prr_is_bounded_by_the_functional_precharge_share(
-        rows in 2u32..8,
-        cols in 24u32..64,
-    ) {
+/// The measured PRR always lies strictly between 0 and 1 and never exceeds
+/// the share of power the pre-charge activity had in the functional run.
+#[test]
+fn prr_is_bounded_by_the_functional_precharge_share() {
+    let mut rng = SplitMix64::new(0x50_4152_5221); // "PRR!"
+    for _ in 0..8 {
+        let rows = 2 + rng.next_below(6) as u32; // 2..8
+        let cols = 24 + rng.next_below(40) as u32; // 24..64
         let session = session(rows, cols);
         let test = library::mats_plus();
         let functional = session.run(&test, OperatingMode::Functional).unwrap();
         let record = session.compare(&test).unwrap();
-        prop_assert!(record.prr > 0.0);
-        prop_assert!(record.prr < 1.0);
-        prop_assert!(
+        assert!(record.prr > 0.0, "rows={rows} cols={cols}");
+        assert!(record.prr < 1.0, "rows={rows} cols={cols}");
+        assert!(
             record.prr <= functional.report.precharge_fraction + 1e-9,
-            "PRR {} cannot exceed the pre-charge share {}",
+            "PRR {} cannot exceed the pre-charge share {} (rows={rows} cols={cols})",
             record.prr,
             functional.report.precharge_fraction
         );
