@@ -11,7 +11,9 @@ use sram_model::config::{ArrayOrganization, SramConfig, TechnologyParams};
 
 fn ablation_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_array_size");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     group.bench_function("analytic_sweep", |b| {
         let technology = TechnologyParams::default_013um();

@@ -10,7 +10,9 @@ fn extension_benches(c: &mut Criterion) {
     let technology = TechnologyParams::default_013um();
     let organization = ArrayOrganization::paper_512x512();
     let mut group = c.benchmark_group("ablation_extensions");
-    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
 
     group.bench_function("alpha_sensitivity", |b| {
         b.iter(|| {

@@ -14,7 +14,9 @@ use sram_model::config::ArrayOrganization;
 fn dof_benches(c: &mut Criterion) {
     let organization = ArrayOrganization::new(8, 8).expect("valid organization");
     let mut group = c.benchmark_group("dof_coverage");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     group.bench_function("order_independence_summary", |b| {
         b.iter(|| {
@@ -30,9 +32,7 @@ fn dof_benches(c: &mut Criterion) {
             BenchmarkId::new("coverage", test.name()),
             &test,
             |b, test| {
-                b.iter(|| {
-                    evaluate_coverage(test, &WordLineAfterWordLine, &organization, &faults)
-                })
+                b.iter(|| evaluate_coverage(test, &WordLineAfterWordLine, &organization, &faults))
             },
         );
     }

@@ -25,12 +25,7 @@ fn fault_sim_benches(c: &mut Criterion) {
             &test,
             |b, test| {
                 b.iter(|| {
-                    baseline_evaluate_coverage(
-                        test,
-                        &WordLineAfterWordLine,
-                        &organization,
-                        &faults,
-                    )
+                    baseline_evaluate_coverage(test, &WordLineAfterWordLine, &organization, &faults)
                 })
             },
         );

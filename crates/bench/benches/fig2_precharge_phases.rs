@@ -11,7 +11,9 @@ use sram_model::operation::{CycleCommand, MemOperation};
 
 fn fig2_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_precharge_phases");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
 
     group.bench_function("phase_diagram", |b| {
         b.iter(|| {
@@ -38,7 +40,11 @@ fn fig2_benches(c: &mut Criterion) {
         let addr = Address::from_row_col(RowIndex(0), ColIndex(0), controller.organization());
         b.iter(|| {
             controller
-                .execute(CycleCommand::low_power(addr, MemOperation::Read, vec![0, 1]))
+                .execute(CycleCommand::low_power(
+                    addr,
+                    MemOperation::Read,
+                    vec![0, 1],
+                ))
                 .expect("cycle executes")
         })
     });

@@ -11,7 +11,9 @@ use transient::prelude::*;
 fn fig6_benches(c: &mut Criterion) {
     let technology = TechnologyParams::default_013um();
     let mut group = c.benchmark_group("fig6_bitline_discharge");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
 
     group.bench_function("behavioural_waveform", |b| {
         b.iter(|| {

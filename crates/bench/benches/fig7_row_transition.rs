@@ -12,7 +12,9 @@ fn fig7_benches(c: &mut Criterion) {
         .build()
         .expect("valid configuration");
     let mut group = c.benchmark_group("fig7_row_transition");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     group.bench_function("with_and_without_restore", |b| {
         b.iter(|| {

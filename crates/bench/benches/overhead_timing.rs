@@ -10,7 +10,9 @@ use sram_model::config::TechnologyParams;
 
 fn overhead_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("overhead_timing");
-    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
 
     group.bench_function("control_element_truth_table", |b| {
         let element = PrechargeControlElement::new();

@@ -9,7 +9,9 @@ use march_test::library;
 fn breakdown_benches(c: &mut Criterion) {
     let config = bench_config();
     let mut group = c.benchmark_group("power_breakdown");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     for test in [library::mats_plus(), library::march_c_minus()] {
         group.bench_with_input(

@@ -16,7 +16,9 @@ fn table1_prr(c: &mut Criterion) {
     let config = bench_config();
     let session = TestSession::new(config);
     let mut group = c.benchmark_group("table1_prr");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for test in library::table1_algorithms() {
         group.bench_with_input(
             BenchmarkId::from_parameter(test.name()),

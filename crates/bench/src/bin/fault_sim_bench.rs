@@ -1,61 +1,72 @@
-//! Measures fault-simulation sweep throughput and writes
-//! `BENCH_fault_sim.json`.
+//! Measures fault-simulation sweep throughput across array organizations
+//! and writes `BENCH_fault_sim.json`.
 //!
 //! ```text
-//! cargo run --release -p bench --bin fault_sim_bench            # 64×64
-//! cargo run --release -p bench --bin fault_sim_bench -- --rows 128 --cols 128
-//! cargo run --release -p bench --bin fault_sim_bench -- --out custom.json
+//! cargo run --release -p bench --bin fault_sim_bench                  # 64x64 .. 512x512
+//! cargo run --release -p bench --bin fault_sim_bench -- --organization 64x64,128x128
+//! cargo run --release -p bench --bin fault_sim_bench -- --rows 16 --cols 16
+//! cargo run --release -p bench --bin fault_sim_bench -- --passes 5 --out custom.json
 //! ```
 //!
 //! The workload is the acceptance sweep of the kernel work: the standard
 //! fault list × the paper's Table 1 algorithms, compared against a frozen
-//! replica of the original per-fault-allocating serial implementation.
+//! replica of the original per-fault-allocating serial implementation,
+//! measured at every organization of the `--organization` list (the
+//! ROADMAP's 64×64 → 512×512 scaling sweep by default).
 
-use bench::throughput::fault_sim_throughput;
-
-fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
-}
+use bench::cli::{arg_value, parse_size_list};
+use bench::throughput::FaultSimSweep;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let rows: u32 = arg_value(&args, "--rows")
-        .map(|v| v.parse().expect("--rows must be an integer"))
-        .unwrap_or(64);
-    let cols: u32 = arg_value(&args, "--cols")
-        .map(|v| v.parse().expect("--cols must be an integer"))
-        .unwrap_or(64);
+    // `--rows`/`--cols` select a single organization (the pre-sweep CLI);
+    // `--organization` takes the comma list.
+    let single = match (arg_value(&args, "--rows"), arg_value(&args, "--cols")) {
+        (None, None) => None,
+        (rows, cols) => Some((
+            rows.map_or(64, |v| v.parse().expect("--rows must be an integer")),
+            cols.map_or(64, |v| v.parse().expect("--cols must be an integer")),
+        )),
+    };
+    let organizations = arg_value(&args, "--organization")
+        .map(|spec| parse_size_list(&spec))
+        .or(single.map(|size| vec![size]))
+        .unwrap_or_else(|| vec![(64, 64), (128, 128), (256, 256), (512, 512)]);
     let passes: usize = arg_value(&args, "--passes")
         .map(|v| v.parse().expect("--passes must be an integer"))
         .unwrap_or(3);
     let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_fault_sim.json".to_string());
 
-    println!("# Fault-simulation sweep throughput ({rows}x{cols}, {passes} passes per variant)");
-    let result = fault_sim_throughput(rows, cols, passes);
     println!(
-        "workload: {} algorithms x {} faults = {} simulations per pass, {} threads available",
-        result.algorithms.len(),
-        result.fault_count,
-        result.simulations_per_pass,
-        result.threads
+        "# Fault-simulation sweep throughput ({} organizations, {passes} passes per variant)",
+        organizations.len()
     );
-    println!(
-        "baseline (seed-style serial, full walks):  {:>12.1} faults/sec",
-        result.baseline.faults_per_sec
-    );
-    println!(
-        "kernel serial (shared walk + early exit):  {:>12.1} faults/sec   ({:.1}x)",
-        result.kernel_serial.faults_per_sec,
-        result.speedup_serial()
-    );
-    println!(
-        "kernel parallel (+ threaded sweep):        {:>12.1} faults/sec   ({:.1}x)",
-        result.kernel_parallel.faults_per_sec,
-        result.speedup_parallel()
-    );
+    let sweep = FaultSimSweep::measure(&organizations, passes);
+    for result in &sweep.sizes {
+        println!(
+            "{}x{}: {} algorithms x {} faults, {} threads",
+            result.rows,
+            result.cols,
+            result.algorithms.len(),
+            result.fault_count,
+            result.threads
+        );
+        println!(
+            "  baseline (seed-style serial, full walks):  {:>12.1} faults/sec",
+            result.baseline.faults_per_sec
+        );
+        println!(
+            "  kernel serial (shared walk + early exit):  {:>12.1} faults/sec   ({:.1}x)",
+            result.kernel_serial.faults_per_sec,
+            result.speedup_serial()
+        );
+        println!(
+            "  kernel parallel (+ threaded sweep):        {:>12.1} faults/sec   ({:.1}x)",
+            result.kernel_parallel.faults_per_sec,
+            result.speedup_parallel()
+        );
+    }
 
-    std::fs::write(&out, result.to_json()).expect("write benchmark JSON");
+    std::fs::write(&out, sweep.to_json()).expect("write benchmark JSON");
     println!("wrote {out}");
 }

@@ -1,0 +1,54 @@
+//! Measures power-engine throughput across array organizations and writes
+//! `BENCH_power_engine.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin power_engine_bench                 # 64x64 .. 512x512
+//! cargo run --release -p bench --bin power_engine_bench -- --sizes 64x64,512x512
+//! cargo run --release -p bench --bin power_engine_bench -- --passes 2 --out custom.json
+//! ```
+//!
+//! The workload is the paper's Table 1 reproduction: all five March
+//! algorithms, both operating modes, cycle-accurate power metering. The
+//! rebuilt engine (shared schedule plans, the row-replay kernel and the
+//! parallel per-algorithm harness) is compared against a frozen replica
+//! of the seed implementation; before any timing, every `SessionOutcome`
+//! and every Table 1 row of the two engines is asserted bit-identical.
+
+use bench::cli::{arg_value, parse_size_list};
+use bench::power_engine::power_engine_throughput;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sizes = arg_value(&args, "--sizes")
+        .map(|spec| parse_size_list(&spec))
+        .unwrap_or_else(|| vec![(64, 64), (128, 128), (256, 256), (512, 512)]);
+    let passes: usize = arg_value(&args, "--passes")
+        .map(|v| v.parse().expect("--passes must be an integer"))
+        .unwrap_or(1);
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_power_engine.json".to_string());
+
+    println!(
+        "# Power-engine throughput ({} organizations, {passes} pass(es) per variant)",
+        sizes.len()
+    );
+    let result = power_engine_throughput(&sizes, passes);
+    for size in &result.sizes {
+        println!(
+            "{}x{}: {} cycles per Table 1 pass",
+            size.rows, size.cols, size.cycles_per_pass
+        );
+        println!(
+            "  baseline (seed-style schedule + serial):   {:>12.0} cycles/sec   (Table 1 in {:.2}s)",
+            size.baseline.cycles_per_sec, size.baseline.table1_seconds
+        );
+        println!(
+            "  engine (plan + row replay + parallel):     {:>12.0} cycles/sec   (Table 1 in {:.2}s, {:.1}x)",
+            size.engine.cycles_per_sec,
+            size.engine.table1_seconds,
+            size.speedup_table1()
+        );
+    }
+
+    std::fs::write(&out, result.to_json()).expect("write benchmark JSON");
+    println!("wrote {out}");
+}

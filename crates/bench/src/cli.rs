@@ -1,0 +1,59 @@
+//! Tiny argument helpers shared by the benchmark binaries.
+
+/// The value following `flag` in `args`, if present.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses a comma-separated organization list like `64x64,128x128`.
+///
+/// # Panics
+///
+/// Panics (with a message) on malformed entries — the binaries' intended
+/// arg handling.
+pub fn parse_size_list(spec: &str) -> Vec<(u32, u32)> {
+    spec.split(',')
+        .map(|entry| {
+            let (rows, cols) = entry
+                .trim()
+                .split_once('x')
+                .unwrap_or_else(|| panic!("organization '{entry}' must look like 64x64"));
+            (
+                rows.parse().expect("rows must be an integer"),
+                cols.parse().expect("cols must be an integer"),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_value_finds_the_following_token() {
+        let args: Vec<String> = ["--passes", "3", "--out", "x.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_value(&args, "--passes").as_deref(), Some("3"));
+        assert_eq!(arg_value(&args, "--out").as_deref(), Some("x.json"));
+        assert_eq!(arg_value(&args, "--missing"), None);
+    }
+
+    #[test]
+    fn parses_size_lists() {
+        assert_eq!(
+            parse_size_list("64x64, 128x256"),
+            vec![(64, 64), (128, 256)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must look like 64x64")]
+    fn rejects_malformed_sizes() {
+        let _ = parse_size_list("64-64");
+    }
+}

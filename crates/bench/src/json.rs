@@ -1,0 +1,284 @@
+//! A minimal JSON reader for the benchmark baselines.
+//!
+//! The workspace is offline and carries no serde, and the only JSON the
+//! tooling ever reads is the well-formed output of its own benchmark
+//! writers (`BENCH_fault_sim.json`, `BENCH_power_engine.json`). This is a
+//! small recursive-descent parser over exactly the JSON subset those
+//! writers emit: objects, arrays, strings (no escapes beyond `\"` and
+//! `\\`), numbers, booleans and `null`.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Number(f64),
+    /// A string literal.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member of an object by key, or `None` for other values / missing
+    /// keys.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members
+                .iter()
+                .find(|(name, _)| name == key)
+                .map(|(_, value)| value),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(value) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(value) => Some(value),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable message (with byte offset) on malformed
+/// input.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_whitespace(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_whitespace(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", char::from(byte), *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_whitespace(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_whitespace(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(members));
+    }
+    loop {
+        skip_whitespace(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_whitespace(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_whitespace(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_whitespace(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_whitespace(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    // Bytes are collected raw and decoded once: the input is a valid
+    // `&str` and the delimiters are ASCII, so multi-byte UTF-8 sequences
+    // pass through intact.
+    let mut out = Vec::new();
+    while let Some(&byte) = bytes.get(*pos) {
+        *pos += 1;
+        match byte {
+            b'"' => {
+                return String::from_utf8(out).map_err(|e| format!("invalid UTF-8: {e}"));
+            }
+            b'\\' => match bytes.get(*pos) {
+                Some(&b'"') => {
+                    out.push(b'"');
+                    *pos += 1;
+                }
+                Some(&b'\\') => {
+                    out.push(b'\\');
+                    *pos += 1;
+                }
+                _ => return Err(format!("unsupported escape at byte {}", *pos)),
+            },
+            _ => out.push(byte),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while let Some(&byte) = bytes.get(*pos) {
+        if byte.is_ascii_digit() || matches!(byte, b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_benchmark_shape() {
+        let doc = r#"{
+  "benchmark": "power_engine",
+  "passes": 2,
+  "negative": -1.5e-3,
+  "flag": true,
+  "nothing": null,
+  "sizes": [
+    { "rows": 64, "cols": 64, "speedup": 12.5 },
+    { "rows": 512, "cols": 512, "speedup": 50.0 }
+  ]
+}"#;
+        let value = parse(doc).unwrap();
+        assert_eq!(
+            value.get("benchmark").unwrap().as_str(),
+            Some("power_engine")
+        );
+        assert_eq!(value.get("passes").unwrap().as_f64(), Some(2.0));
+        assert_eq!(value.get("negative").unwrap().as_f64(), Some(-1.5e-3));
+        assert_eq!(value.get("flag"), Some(&JsonValue::Bool(true)));
+        assert_eq!(value.get("nothing"), Some(&JsonValue::Null));
+        let sizes = value.get("sizes").unwrap().as_array().unwrap();
+        assert_eq!(sizes.len(), 2);
+        assert_eq!(sizes[1].get("speedup").unwrap().as_f64(), Some(50.0));
+        assert_eq!(sizes[0].get("missing"), None);
+    }
+
+    #[test]
+    fn non_ascii_strings_survive_round_trip() {
+        let value = parse("{\"name\": \"March ⇑⇓ — 0.13 µm\"}").unwrap();
+        assert_eq!(
+            value.get("name").unwrap().as_str(),
+            Some("March ⇑⇓ — 0.13 µm")
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{\"a\": 12x3}").is_err());
+    }
+
+    #[test]
+    fn round_trips_the_real_writers() {
+        use crate::throughput::SweepTiming;
+        let result = crate::power_engine::PowerEngineThroughput {
+            algorithms: vec!["March C-".to_string()],
+            passes: 1,
+            threads: 4,
+            sizes: vec![],
+        };
+        assert!(parse(&result.to_json()).is_ok());
+        let _ = SweepTiming {
+            seconds: 1.0,
+            faults_per_sec: 2.0,
+        };
+    }
+}

@@ -9,8 +9,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod json;
+pub mod power_engine;
+pub mod regression;
 pub mod throughput;
-
 
 use lp_precharge::prelude::*;
 use lp_precharge::report::reproduce_table1;
@@ -191,8 +194,8 @@ pub fn fig7_row_transition(config: &SramConfig) -> Result<Fig7Data, SramError> {
             ..LpOptions::default()
         })
         .run_with_background(&test, OperatingMode::LowPowerTest, true)?;
-    let with = TestSession::new(*config)
-        .run_with_background(&test, OperatingMode::LowPowerTest, true)?;
+    let with =
+        TestSession::new(*config).run_with_background(&test, OperatingMode::LowPowerTest, true)?;
     Ok(Fig7Data {
         swaps_without_restore: without.faulty_swaps,
         mismatches_without_restore: without.read_mismatches,
@@ -220,8 +223,7 @@ pub fn power_breakdowns(
 /// detection and a parallel fault sweep ([`SweepOptions::fast`]).
 pub fn dof_summary(organization: &ArrayOrganization) -> Vec<(String, bool, f64)> {
     let faults = static_fault_list(organization);
-    let orders: Vec<&dyn AddressOrder> =
-        vec![&WordLineAfterWordLine, &ColumnMajor, &LinearOrder];
+    let orders: Vec<&dyn AddressOrder> = vec![&WordLineAfterWordLine, &ColumnMajor, &LinearOrder];
     library::table1_algorithms()
         .iter()
         .map(|test| {
@@ -288,7 +290,11 @@ pub fn ablation_array_size(technology: &TechnologyParams) -> Vec<(u32, u32, f64)
         let organization = ArrayOrganization::new(rows, cols).expect("static sizes are valid");
         let model =
             AnalyticPowerModel::new(CalibratedParameters::derive(technology, &organization));
-        (rows, cols, model.power_reduction_ratio(&test, &organization))
+        (
+            rows,
+            cols,
+            model.power_reduction_ratio(&test, &organization),
+        )
     })
     .collect()
 }
@@ -296,7 +302,10 @@ pub fn ablation_array_size(technology: &TechnologyParams) -> Vec<(u32, u32, f64)
 /// Ablation A2 — sensitivity of the low-power energy to the number of
 /// still-stressed cells α (the paper bounds it to 2 < α < 10): the extra
 /// energy per cycle relative to the savings, for α in 2..=10.
-pub fn ablation_alpha(technology: &TechnologyParams, organization: &ArrayOrganization) -> Vec<(u32, f64)> {
+pub fn ablation_alpha(
+    technology: &TechnologyParams,
+    organization: &ArrayOrganization,
+) -> Vec<(u32, f64)> {
     let pa = technology.res_replenish_energy().value();
     let saved = (organization.cols() as f64 - 2.0) * pa;
     (2..=10u32)

@@ -1,0 +1,334 @@
+//! Benchmark regression gating.
+//!
+//! The CI workflow reruns the throughput benchmarks on every PR and
+//! compares the fresh numbers against the committed `BENCH_*.json`
+//! baselines; this module implements the comparison the `bench_check`
+//! binary applies.
+//!
+//! Gated metrics are selected by a schema-agnostic rule so the checker
+//! survives benchmark evolution, and they fall into two classes with
+//! separate thresholds:
+//!
+//! * fields starting with `speedup_` are **machine-relative** — kernel
+//!   vs. frozen-baseline ratios measured in the same process on the same
+//!   machine, so they transfer between the machine that committed the
+//!   baseline and the CI runner. They carry the tight gate (25 % by
+//!   default): a kernel regression shows up here first.
+//! * fields ending in `_per_sec` are **absolute** throughputs; a CI
+//!   runner of a different CPU generation can legitimately sit well
+//!   below the committed numbers, so they only gate catastrophic
+//!   collapses (50 % by default) — the "engine suddenly 10x slower"
+//!   class of failure.
+//!
+//! Fields prefixed `baseline_` are never gated: they measure the frozen
+//! seed replica, which is a reference, not a product path. Fields are
+//! compared at the top level and inside each entry of a `sizes` array,
+//! with entries matched across files by their `rows`×`cols` pair.
+
+use crate::json::{parse, JsonValue};
+
+/// The two regression thresholds of the gate (fractions of the baseline
+/// value a current measurement may drop before failing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateThresholds {
+    /// Applied to machine-relative `speedup_*` metrics.
+    pub relative: f64,
+    /// Applied to absolute `*_per_sec` metrics.
+    pub absolute: f64,
+}
+
+impl Default for GateThresholds {
+    fn default() -> Self {
+        Self {
+            relative: 0.25,
+            absolute: 0.5,
+        }
+    }
+}
+
+/// One gated metric compared between baseline and current.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Metric label, e.g. `512x512 engine_cycles_per_sec`.
+    pub metric: String,
+    /// Value in the committed baseline file.
+    pub baseline: f64,
+    /// Value in the freshly measured file.
+    pub current: f64,
+}
+
+impl Comparison {
+    /// `current / baseline` — below `1 - threshold` is a regression.
+    pub fn ratio(&self) -> f64 {
+        if self.baseline > 0.0 {
+            self.current / self.baseline
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The outcome of checking one benchmark pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionReport {
+    /// Name of the benchmark (the `benchmark` field of both files).
+    pub benchmark: String,
+    /// Every gated metric that was compared.
+    pub comparisons: Vec<Comparison>,
+    /// Human-readable failure descriptions; empty means the gate passes.
+    pub failures: Vec<String>,
+}
+
+impl RegressionReport {
+    /// `true` when no gated metric regressed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn metric_threshold(name: &str, thresholds: GateThresholds) -> Option<f64> {
+    if name.starts_with("baseline_") {
+        return None;
+    }
+    if name.starts_with("speedup_") {
+        Some(thresholds.relative)
+    } else if name.ends_with("_per_sec") {
+        Some(thresholds.absolute)
+    } else {
+        None
+    }
+}
+
+fn gated_fields(value: &JsonValue, thresholds: GateThresholds) -> Vec<(String, f64, f64)> {
+    match value {
+        JsonValue::Object(members) => members
+            .iter()
+            .filter_map(|(name, value)| {
+                let threshold = metric_threshold(name, thresholds)?;
+                value.as_f64().map(|v| (name.clone(), v, threshold))
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn size_key(entry: &JsonValue) -> Option<String> {
+    let rows = entry.get("rows")?.as_f64()?;
+    let cols = entry.get("cols")?.as_f64()?;
+    Some(format!("{}x{}", rows as u64, cols as u64))
+}
+
+fn compare_scope(
+    scope: &str,
+    baseline: &JsonValue,
+    current: &JsonValue,
+    thresholds: GateThresholds,
+    report: &mut RegressionReport,
+) {
+    for (name, baseline_value, threshold) in gated_fields(baseline, thresholds) {
+        let metric = if scope.is_empty() {
+            name.clone()
+        } else {
+            format!("{scope} {name}")
+        };
+        let Some(current_value) = current.get(&name).and_then(JsonValue::as_f64) else {
+            report
+                .failures
+                .push(format!("{metric}: missing from the current measurement"));
+            continue;
+        };
+        let comparison = Comparison {
+            metric: metric.clone(),
+            baseline: baseline_value,
+            current: current_value,
+        };
+        if comparison.ratio() < 1.0 - threshold {
+            report.failures.push(format!(
+                "{metric}: {current_value:.1} is {:.0}% below the baseline {baseline_value:.1} \
+                 (allowed drop {:.0}%)",
+                (1.0 - comparison.ratio()) * 100.0,
+                threshold * 100.0
+            ));
+        }
+        report.comparisons.push(comparison);
+    }
+}
+
+/// Compares a freshly measured benchmark JSON against its committed
+/// baseline.
+///
+/// # Errors
+///
+/// Returns a message when either document is malformed or the two files
+/// describe different benchmarks.
+pub fn check_benchmarks(
+    baseline_text: &str,
+    current_text: &str,
+    thresholds: GateThresholds,
+) -> Result<RegressionReport, String> {
+    let baseline = parse(baseline_text).map_err(|e| format!("baseline: {e}"))?;
+    let current = parse(current_text).map_err(|e| format!("current: {e}"))?;
+
+    let baseline_name = baseline
+        .get("benchmark")
+        .and_then(JsonValue::as_str)
+        .ok_or("baseline: missing \"benchmark\" field")?;
+    let current_name = current
+        .get("benchmark")
+        .and_then(JsonValue::as_str)
+        .ok_or("current: missing \"benchmark\" field")?;
+    if baseline_name != current_name {
+        return Err(format!(
+            "benchmark mismatch: baseline is \"{baseline_name}\", current is \"{current_name}\""
+        ));
+    }
+
+    let mut report = RegressionReport {
+        benchmark: baseline_name.to_string(),
+        comparisons: Vec::new(),
+        failures: Vec::new(),
+    };
+
+    compare_scope("", &baseline, &current, thresholds, &mut report);
+
+    let baseline_sizes = baseline.get("sizes").and_then(JsonValue::as_array);
+    let current_sizes = current.get("sizes").and_then(JsonValue::as_array);
+    if let Some(baseline_sizes) = baseline_sizes {
+        for entry in baseline_sizes {
+            let Some(key) = size_key(entry) else { continue };
+            let matching = current_sizes.and_then(|sizes| {
+                sizes
+                    .iter()
+                    .find(|candidate| size_key(candidate).as_deref() == Some(&key))
+            });
+            match matching {
+                Some(current_entry) => {
+                    compare_scope(&key, entry, current_entry, thresholds, &mut report);
+                }
+                None => report
+                    .failures
+                    .push(format!("{key}: size missing from the current measurement")),
+            }
+        }
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> String {
+        r#"{
+  "benchmark": "power_engine",
+  "threads": 4,
+  "sizes": [
+    { "rows": 64, "cols": 64,
+      "baseline_cycles_per_sec": 100.0, "engine_cycles_per_sec": 1000.0,
+      "speedup_table1": 10.0 },
+    { "rows": 512, "cols": 512,
+      "baseline_cycles_per_sec": 90.0, "engine_cycles_per_sec": 4000.0,
+      "speedup_table1": 44.0 }
+  ]
+}"#
+        .to_string()
+    }
+
+    #[test]
+    fn identical_files_pass() {
+        let report = check_benchmarks(&baseline(), &baseline(), GateThresholds::default()).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.benchmark, "power_engine");
+        // Two gated metrics per size; the baseline_ replica is not gated.
+        assert_eq!(report.comparisons.len(), 4);
+        assert!(report
+            .comparisons
+            .iter()
+            .all(|c| !c.metric.contains("baseline_")));
+    }
+
+    #[test]
+    fn improvements_and_small_dips_pass() {
+        let current = baseline()
+            .replace(
+                "\"engine_cycles_per_sec\": 1000.0",
+                "\"engine_cycles_per_sec\": 1500.0",
+            )
+            // A 20% absolute-throughput dip (runner variance) passes...
+            .replace(
+                "\"engine_cycles_per_sec\": 4000.0",
+                "\"engine_cycles_per_sec\": 3200.0",
+            )
+            // ...and so does a speedup dip inside the relative threshold.
+            .replace("\"speedup_table1\": 44.0", "\"speedup_table1\": 36.0");
+        let report = check_benchmarks(&baseline(), &current, GateThresholds::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn moderate_absolute_dip_is_absorbed_as_machine_variance() {
+        // A 40% drop in raw cycles/sec alone (different CPU generation)
+        // stays inside the 50% absolute allowance.
+        let current = baseline().replace(
+            "\"engine_cycles_per_sec\": 4000.0",
+            "\"engine_cycles_per_sec\": 2400.0",
+        );
+        let report = check_benchmarks(&baseline(), &current, GateThresholds::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn synthetic_degradation_fails_the_gate() {
+        // A 55% collapse of the absolute throughput at 512x512 must fail.
+        let current = baseline().replace(
+            "\"engine_cycles_per_sec\": 4000.0",
+            "\"engine_cycles_per_sec\": 1800.0",
+        );
+        let report = check_benchmarks(&baseline(), &current, GateThresholds::default()).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("512x512 engine_cycles_per_sec"));
+    }
+
+    #[test]
+    fn speedup_regression_fails_at_the_tight_threshold() {
+        // The machine-relative gate: a 30% speedup drop fails even though
+        // the same relative drop in raw throughput would pass.
+        let current = baseline().replace("\"speedup_table1\": 44.0", "\"speedup_table1\": 30.8");
+        let report = check_benchmarks(&baseline(), &current, GateThresholds::default()).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("512x512 speedup_table1"));
+    }
+
+    #[test]
+    fn slower_frozen_baseline_replica_is_not_a_regression() {
+        let current = baseline().replace(
+            "\"baseline_cycles_per_sec\": 90.0",
+            "\"baseline_cycles_per_sec\": 9.0",
+        );
+        let report = check_benchmarks(&baseline(), &current, GateThresholds::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn missing_sizes_and_metrics_fail() {
+        let current = r#"{ "benchmark": "power_engine", "sizes": [
+            { "rows": 64, "cols": 64, "engine_cycles_per_sec": 1000.0, "speedup_table1": 10.0 }
+        ] }"#;
+        let report = check_benchmarks(&baseline(), current, GateThresholds::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("512x512: size missing")));
+    }
+
+    #[test]
+    fn mismatched_benchmarks_are_rejected() {
+        let other = baseline().replace("power_engine", "fault_sim_sweep");
+        assert!(check_benchmarks(&baseline(), &other, GateThresholds::default()).is_err());
+        assert!(check_benchmarks("not json", &baseline(), GateThresholds::default()).is_err());
+    }
+}

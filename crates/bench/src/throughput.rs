@@ -136,33 +136,77 @@ impl FaultSimThroughput {
         self.kernel_parallel.faults_per_sec / self.baseline.faults_per_sec
     }
 
-    /// Renders the result as a JSON object (the workspace is offline and
-    /// carries no serde, so the few fields are formatted by hand).
-    pub fn to_json(&self) -> String {
-        let algorithms = self
-            .algorithms
-            .iter()
-            .map(|name| format!("\"{name}\""))
-            .collect::<Vec<_>>()
-            .join(", ");
+    /// Renders this organization's measurements as one entry of the
+    /// sweep's `sizes` array.
+    fn to_json_entry(&self) -> String {
         format!(
-            "{{\n  \"benchmark\": \"fault_sim_sweep\",\n  \"rows\": {},\n  \"cols\": {},\n  \
-             \"algorithms\": [{algorithms}],\n  \"fault_count\": {},\n  \
-             \"simulations_per_pass\": {},\n  \"passes\": {},\n  \"threads\": {},\n  \
-             \"baseline_faults_per_sec\": {:.1},\n  \"kernel_serial_faults_per_sec\": {:.1},\n  \
-             \"kernel_parallel_faults_per_sec\": {:.1},\n  \"speedup_serial\": {:.2},\n  \
-             \"speedup_parallel\": {:.2}\n}}\n",
+            "    {{\n      \"rows\": {},\n      \"cols\": {},\n      \"fault_count\": {},\n      \
+             \"simulations_per_pass\": {},\n      \
+             \"baseline_faults_per_sec\": {:.1},\n      \
+             \"kernel_serial_faults_per_sec\": {:.1},\n      \
+             \"kernel_parallel_faults_per_sec\": {:.1},\n      \
+             \"speedup_serial\": {:.2},\n      \"speedup_parallel\": {:.2}\n    }}",
             self.rows,
             self.cols,
             self.fault_count,
             self.simulations_per_pass,
-            self.passes,
-            self.threads,
             self.baseline.faults_per_sec,
             self.kernel_serial.faults_per_sec,
             self.kernel_parallel.faults_per_sec,
             self.speedup_serial(),
             self.speedup_parallel(),
+        )
+    }
+}
+
+/// The `--organization` sweep: one [`FaultSimThroughput`] per array size,
+/// 64×64 up to 512×512 by default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSimSweep {
+    /// One entry per organization, in sweep order.
+    pub sizes: Vec<FaultSimThroughput>,
+}
+
+impl FaultSimSweep {
+    /// Measures every `(rows, cols)` organization in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any organization is invalid or any variant diverges from
+    /// the baseline (see [`fault_sim_throughput`]).
+    pub fn measure(organizations: &[(u32, u32)], passes: usize) -> Self {
+        Self {
+            sizes: organizations
+                .iter()
+                .map(|&(rows, cols)| fault_sim_throughput(rows, cols, passes))
+                .collect(),
+        }
+    }
+
+    /// Renders the sweep as a JSON object (the workspace is offline and
+    /// carries no serde, so the fields are formatted by hand).
+    pub fn to_json(&self) -> String {
+        let first = self.sizes.first();
+        let algorithms = first
+            .map(|s| {
+                s.algorithms
+                    .iter()
+                    .map(|name| format!("\"{name}\""))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            })
+            .unwrap_or_default();
+        let entries = self
+            .sizes
+            .iter()
+            .map(FaultSimThroughput::to_json_entry)
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"benchmark\": \"fault_sim_sweep\",\n  \"algorithms\": [{algorithms}],\n  \
+             \"passes\": {},\n  \"threads\": {},\n  \"sizes\": [\n{entries}\n  ]\n}}\n",
+            first.map_or(0, |s| s.passes),
+            first.map_or(0, |s| s.threads),
         )
     }
 }
@@ -223,7 +267,8 @@ pub fn fault_sim_throughput(rows: u32, cols: u32, passes: usize) -> FaultSimThro
             test.name()
         );
         assert_eq!(
-            serial, parallel,
+            serial,
+            parallel,
             "{}: parallel sweep diverged from the serial one",
             test.name()
         );
@@ -279,8 +324,7 @@ mod tests {
         for test in library::table1_algorithms() {
             let baseline =
                 baseline_evaluate_coverage(&test, &WordLineAfterWordLine, &organization, &faults);
-            let kernel =
-                evaluate_coverage(&test, &WordLineAfterWordLine, &organization, &faults);
+            let kernel = evaluate_coverage(&test, &WordLineAfterWordLine, &organization, &faults);
             // Full-fidelity kernel mode reproduces even the mismatch counts.
             assert_eq!(baseline, kernel, "{}", test.name());
         }
@@ -288,7 +332,9 @@ mod tests {
 
     #[test]
     fn throughput_experiment_runs_and_reports_consistent_numbers() {
-        let result = fault_sim_throughput(4, 8, 1);
+        let sweep = FaultSimSweep::measure(&[(4, 8)], 1);
+        assert_eq!(sweep.sizes.len(), 1);
+        let result = &sweep.sizes[0];
         assert_eq!(result.algorithms.len(), 5);
         assert_eq!(
             result.simulations_per_pass,
@@ -297,9 +343,11 @@ mod tests {
         assert!(result.baseline.faults_per_sec > 0.0);
         assert!(result.kernel_serial.faults_per_sec > 0.0);
         assert!(result.kernel_parallel.faults_per_sec > 0.0);
-        let json = result.to_json();
+        let json = sweep.to_json();
         assert!(json.contains("\"benchmark\": \"fault_sim_sweep\""));
         assert!(json.contains("\"speedup_serial\""));
         assert!(json.contains("March C-"));
+        assert!(json.contains("\"sizes\""));
+        crate::json::parse(&json).expect("sweep JSON parses");
     }
 }

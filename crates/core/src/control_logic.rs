@@ -19,7 +19,6 @@
 //! column is not fed back to the first column: the row-transition restore
 //! cycle makes column 0 ready instead.
 
-
 /// Transistors per control element (two transmission gates, one inverter,
 /// one NAND gate), as stated in the paper.
 pub const TRANSISTORS_PER_ELEMENT: u32 = 10;
@@ -252,7 +251,10 @@ mod tests {
         // 10 transistors per column vs 512 rows × 6 transistors per cell:
         // about 0.33 % of the cell array.
         let overhead = controller.area_overhead_fraction(512);
-        assert!(overhead < 0.004, "overhead {overhead} should be below 0.4 %");
+        assert!(
+            overhead < 0.004,
+            "overhead {overhead} should be below 0.4 %"
+        );
     }
 
     #[test]

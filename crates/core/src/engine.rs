@@ -6,21 +6,55 @@
 //! produce one [`sram_model::operation::CycleCommand`] per clock cycle,
 //! feeds the per-cycle energies into a [`PowerMeter`] and reports the
 //! run-level measurements the paper's Table 1 is built from.
+//!
+//! # The row-replay kernel
+//!
+//! Simulating every one of the ~6 million cycles of a 512×512 March G run
+//! through the full analog controller is the slowest path in the
+//! workspace. The standard schedule (row-transition restore enabled,
+//! lookahead ≥ 1) makes it unnecessary: every row of an element starts
+//! from the identical state — all bit lines restored to `V_DD` by the
+//! row-transition restore cycle — and every per-cycle energy in the model
+//! depends only on the *position within the row* and the *operation*,
+//! never on the stored data (sense and write energies are
+//! deficit/constant based, decode energy depends only on whether the
+//! row/column changed, and discharge trajectories always start from
+//! `V_DD`). Rows 1..R of an element are therefore cycle-for-cycle
+//! identical, and row 0 differs only through the element-boundary decode
+//! state.
+//!
+//! [`TestSession::run`] exploits this: it *rehearses* the first two row
+//! groups of each element on the real [`MemoryController`] (priming the
+//! controller with the previous element's final restore cycle so decode
+//! boundaries are exact), records the per-cycle [`CycleEnergy`] profiles,
+//! and *replays* those profiles for the remaining rows — accumulating
+//! energy per cycle in the identical order, feeding the
+//! [`PeakTracker`] the identical per-cycle totals, and simulating cell
+//! contents with a plain bit model for the read-expectation checks. The
+//! replayed run is allocation-flat and reproduces the fully simulated
+//! [`SessionOutcome`] bit for bit (asserted by the golden tests and by
+//! the `power_engine_bench` equivalence gate), at well over an order of
+//! magnitude higher throughput. Ablation schedules that disable the
+//! restore cycle (where state genuinely leaks across rows) keep using the
+//! full cycle-by-cycle simulation.
 
 use sram_model::config::SramConfig;
 use sram_model::controller::MemoryController;
+use sram_model::energy::CycleEnergy;
 use sram_model::error::SramError;
 use sram_model::stress::StressReport;
 
 use march_test::algorithm::MarchTest;
+use march_test::element::AddressDirection;
+use march_test::operation::MarchOp;
 use power_model::breakdown::PowerBreakdown;
 use power_model::meter::PowerMeter;
 use power_model::peak::PeakTracker;
 use power_model::report::{ModeReport, PrrRecord};
-use transient::units::Watts;
+use transient::units::{Joules, Watts};
 
 use crate::mode::OperatingMode;
-use crate::scheduler::{LowPowerSchedule, LpOptions};
+use crate::scheduler::{LowPowerSchedule, LpOptions, SchedulePlan};
 
 /// Everything measured while running one March test in one operating mode.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +90,32 @@ impl SessionOutcome {
     /// functional-mode test.
     pub fn is_functionally_correct(&self) -> bool {
         self.read_mismatches == 0 && self.faulty_swaps == 0
+    }
+}
+
+/// Per-cycle measurements of one rehearsed row group: everything the
+/// replay needs to reproduce the remaining rows bit for bit.
+#[derive(Debug, Clone, Default)]
+struct RowProfile {
+    /// Per-cycle energy records, in schedule order.
+    energies: Vec<CycleEnergy>,
+    /// Per-cycle totals (precomputed for the peak tracker).
+    totals: Vec<Joules>,
+    /// Reads flagged unreliable during the row group.
+    unreliable_reads: u64,
+    /// Full read-equivalent stresses applied during the row group.
+    full_res_events: u64,
+    /// Reduced read-equivalent stresses applied during the row group.
+    reduced_res_events: u64,
+}
+
+impl RowProfile {
+    fn with_capacity(cycles: usize) -> Self {
+        Self {
+            energies: Vec::with_capacity(cycles),
+            totals: Vec::with_capacity(cycles),
+            ..Self::default()
+        }
     }
 }
 
@@ -120,16 +180,50 @@ impl TestSession {
         mode: OperatingMode,
         background: bool,
     ) -> Result<SessionOutcome, SramError> {
+        // The row-replay kernel requires the state-isolation property of
+        // the paper's schedule: with the row-transition restore and a
+        // non-empty lookahead every row starts from fully restored bit
+        // lines, so rows are cycle-identical and can be replayed. The
+        // ablation schedules that break that property (the Figure 7
+        // hazard) fall back to the full cycle-by-cycle simulation.
+        if self.options.row_transition_restore && self.options.lookahead_columns >= 1 {
+            self.run_replayed(test, mode, background)
+        } else {
+            self.run_simulated(test, mode, background)
+        }
+    }
+
+    /// Runs the full cycle-by-cycle simulation unconditionally, bypassing
+    /// the row-replay kernel. This is the reference path: the golden tests
+    /// and the `power_engine_bench` equivalence gate assert that
+    /// [`TestSession::run`] reproduces its [`SessionOutcome`] bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SramError`] from the memory model.
+    pub fn run_fully_simulated(
+        &self,
+        test: &MarchTest,
+        mode: OperatingMode,
+        background: bool,
+    ) -> Result<SessionOutcome, SramError> {
+        self.run_simulated(test, mode, background)
+    }
+
+    /// The full cycle-by-cycle simulation: every command of the schedule
+    /// is executed on the analog [`MemoryController`].
+    fn run_simulated(
+        &self,
+        test: &MarchTest,
+        mode: OperatingMode,
+        background: bool,
+    ) -> Result<SessionOutcome, SramError> {
         let mut controller = MemoryController::new(self.config);
         controller.array_mut().fill(background);
         let technology = *self.config.technology();
 
-        let schedule = LowPowerSchedule::with_options(
-            test,
-            *self.config.organization(),
-            mode,
-            self.options,
-        );
+        let schedule =
+            LowPowerSchedule::with_options(test, *self.config.organization(), mode, self.options);
 
         let mut read_mismatches = 0u64;
         let mut unreliable_reads = 0u64;
@@ -151,13 +245,7 @@ impl TestSession {
         meter.record_aggregate(controller.accumulated_energy(), controller.cycles());
 
         let breakdown = meter.breakdown();
-        let report = ModeReport {
-            cycles: meter.cycles(),
-            total_energy: meter.total_energy(),
-            energy_per_cycle: meter.energy_per_cycle(),
-            average_power: meter.average_power(),
-            precharge_fraction: breakdown.precharge_fraction(),
-        };
+        let report = ModeReport::from_meter(&meter, &breakdown);
 
         let peak_to_average = peak.peak_to_average(report.average_power);
         Ok(SessionOutcome {
@@ -167,6 +255,167 @@ impl TestSession {
             breakdown,
             stress: controller.stress_report(),
             faulty_swaps: controller.total_faulty_swaps(),
+            read_mismatches,
+            unreliable_reads,
+            peak_power: peak.peak_power(),
+            peak_to_average,
+        })
+    }
+
+    /// The row-replay kernel (see the module documentation): rehearses the
+    /// first two row groups of each element on the real controller and
+    /// replays the recorded per-cycle profiles for the remaining rows.
+    fn run_replayed(
+        &self,
+        test: &MarchTest,
+        mode: OperatingMode,
+        background: bool,
+    ) -> Result<SessionOutcome, SramError> {
+        let organization = *self.config.organization();
+        let technology = *self.config.technology();
+        let rows = organization.rows() as usize;
+        let cols = organization.cols() as usize;
+        let plan = SchedulePlan::shared(organization, self.options);
+
+        let elements: Vec<(AddressDirection, Vec<MarchOp>)> = test
+            .elements()
+            .iter()
+            .map(|element| (element.direction(), element.ops().to_vec()))
+            .collect();
+
+        // --- Rehearsal: record the first two row groups of each element.
+        // One controller carries the analog state through the run; before
+        // each element it is primed with the previous element's final
+        // restore cycle so the decode/word-line boundary state at the
+        // element start is exact, then its statistics are cleared so the
+        // profiles contain only the rehearsed rows.
+        let mut controller = MemoryController::new(self.config);
+        let mut profiles: Vec<Vec<RowProfile>> = Vec::with_capacity(elements.len());
+        let mut last_cycle: Option<(AddressDirection, MarchOp, usize)> = None;
+        for (element_index, (direction, ops)) in elements.iter().enumerate() {
+            if ops.is_empty() {
+                profiles.push(Vec::new());
+                continue;
+            }
+            if let Some((prev_direction, prev_op, prev_element)) = last_cycle.take() {
+                let prime = plan.cycle(
+                    prev_direction,
+                    plan.len() - 1,
+                    prev_op,
+                    true,
+                    mode,
+                    prev_element,
+                );
+                controller.execute(prime.command)?;
+                controller.reset_statistics();
+            }
+
+            let rehearse_rows = rows.min(2);
+            let mut element_profiles = Vec::with_capacity(rehearse_rows);
+            for row in 0..rehearse_rows {
+                let mut profile = RowProfile::with_capacity(cols * ops.len());
+                let stress_before = controller.stress_report();
+                for pos in row * cols..(row + 1) * cols {
+                    for (op_index, &op) in ops.iter().enumerate() {
+                        let cycle = plan.cycle(
+                            *direction,
+                            pos,
+                            op,
+                            op_index == ops.len() - 1,
+                            mode,
+                            element_index,
+                        );
+                        let outcome = controller.execute(cycle.command)?;
+                        profile.energies.push(outcome.energy);
+                        profile.totals.push(outcome.energy.total());
+                        if outcome.read_value.is_some() && !outcome.read_reliable {
+                            profile.unreliable_reads += 1;
+                        }
+                    }
+                }
+                let stress_after = controller.stress_report();
+                profile.full_res_events =
+                    stress_after.full_res_events - stress_before.full_res_events;
+                profile.reduced_res_events =
+                    stress_after.reduced_res_events - stress_before.reduced_res_events;
+                element_profiles.push(profile);
+            }
+            profiles.push(element_profiles);
+            last_cycle = Some((
+                *direction,
+                *ops.last().expect("non-empty ops"),
+                element_index,
+            ));
+        }
+
+        // --- Replay: accumulate the recorded profiles for every row, in
+        // the exact per-cycle order of the full simulation, while a plain
+        // bit model of the array carries the read-expectation checks.
+        let mut accumulated = CycleEnergy::new();
+        let mut peak = PeakTracker::new(technology.clock_period);
+        let mut cells = vec![background; rows * cols];
+        let mut cycles = 0u64;
+        let mut read_mismatches = 0u64;
+        let mut unreliable_reads = 0u64;
+        let mut full_res_events = 0u64;
+        let mut reduced_res_events = 0u64;
+
+        for (element_index, (direction, ops)) in elements.iter().enumerate() {
+            let element_profiles = &profiles[element_index];
+            if element_profiles.is_empty() {
+                continue;
+            }
+            for row in 0..rows {
+                let profile = if row == 0 {
+                    &element_profiles[0]
+                } else {
+                    &element_profiles[element_profiles.len() - 1]
+                };
+                for i in 0..profile.energies.len() {
+                    accumulated.accumulate(&profile.energies[i]);
+                    peak.record_total(profile.totals[i]);
+                }
+                cycles += profile.energies.len() as u64;
+                unreliable_reads += profile.unreliable_reads;
+                full_res_events += profile.full_res_events;
+                reduced_res_events += profile.reduced_res_events;
+
+                for pos in row * cols..(row + 1) * cols {
+                    let index = plan.address_at(*direction, pos).value() as usize;
+                    for &op in ops {
+                        if let Some(value) = op.write_value() {
+                            cells[index] = value;
+                        } else {
+                            let expected = op.expected_value().expect("reads expect a value");
+                            if cells[index] != expected {
+                                read_mismatches += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut meter = PowerMeter::new(technology.clock_period);
+        meter.record_aggregate(&accumulated, cycles);
+        let breakdown = meter.breakdown();
+        let report = ModeReport::from_meter(&meter, &breakdown);
+        let peak_to_average = peak.peak_to_average(report.average_power);
+        Ok(SessionOutcome {
+            mode,
+            test_name: test.name().to_string(),
+            report,
+            breakdown,
+            // The restore cycle guarantees no floating line survives a row
+            // transition, so the replayed run is corruption free — exactly
+            // like the simulated one (asserted by the golden tests).
+            stress: StressReport {
+                full_res_events,
+                reduced_res_events,
+                corrupted_cells: 0,
+                cycles,
+            },
+            faulty_swaps: 0,
             read_mismatches,
             unreliable_reads,
             peak_power: peak.peak_power(),
@@ -232,7 +481,10 @@ mod tests {
         let low_power = session
             .run(&library::march_c_minus(), OperatingMode::LowPowerTest)
             .unwrap();
-        assert!(low_power.is_functionally_correct(), "no mismatches, no swaps");
+        assert!(
+            low_power.is_functionally_correct(),
+            "no mismatches, no swaps"
+        );
         assert!(
             low_power.report.total_energy < functional.report.total_energy,
             "LP mode must consume less energy"

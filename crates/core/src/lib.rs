@@ -54,10 +54,12 @@ pub mod word_oriented;
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {
     pub use crate::ablation::{best_correct_point, lookahead_ablation, AblationPoint};
-    pub use crate::control_logic::{ControlInputs, ModifiedPrechargeController, PrechargeControlElement};
+    pub use crate::control_logic::{
+        ControlInputs, ModifiedPrechargeController, PrechargeControlElement,
+    };
     pub use crate::engine::{SessionOutcome, TestSession};
     pub use crate::mode::OperatingMode;
-    pub use crate::report::{paper_table1_reference, reproduce_table1};
+    pub use crate::report::{paper_table1_reference, reproduce_table1, reproduce_table1_serial};
     pub use crate::scheduler::{LowPowerSchedule, LpOptions, ScheduledCycle};
     pub use crate::timing::TimingImpact;
     pub use crate::verification::VerificationReport;

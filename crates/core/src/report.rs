@@ -62,12 +62,34 @@ pub fn table1_row(config: &SramConfig, test: &MarchTest) -> Result<Table1Row, Sr
 }
 
 /// Reproduces the full Table 1 (the five algorithms of the paper) on the
-/// given configuration.
+/// given configuration, fanning the per-algorithm sessions out across
+/// scoped worker threads.
+///
+/// Every row is computed by an independent session, and the fork-join
+/// helper concatenates per-chunk outputs in input order, so the result is
+/// byte-identical to [`reproduce_table1_serial`] — same rows, same order,
+/// same floating-point bits (asserted by the golden tests).
 ///
 /// # Errors
 ///
 /// Propagates any [`SramError`] from the memory model.
 pub fn reproduce_table1(config: &SramConfig) -> Result<Vec<Table1Row>, SramError> {
+    let tests = library::table1_algorithms();
+    let threads = march_test::parallel::max_threads().min(tests.len());
+    march_test::parallel::par_chunk_map(&tests, threads, |chunk| {
+        chunk.iter().map(|test| table1_row(config, test)).collect()
+    })
+    .into_iter()
+    .collect()
+}
+
+/// The strictly serial Table 1 reproduction — the reference the parallel
+/// path is compared against.
+///
+/// # Errors
+///
+/// Propagates any [`SramError`] from the memory model.
+pub fn reproduce_table1_serial(config: &SramConfig) -> Result<Vec<Table1Row>, SramError> {
     library::table1_algorithms()
         .iter()
         .map(|test| table1_row(config, test))

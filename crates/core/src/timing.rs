@@ -89,7 +89,11 @@ mod tests {
     #[test]
     fn impact_is_negligible_at_the_paper_operating_point() {
         let impact = TimingImpact::with_defaults(&TechnologyParams::default_013um());
-        assert!(impact.is_negligible(), "fraction = {}", impact.cycle_fraction);
+        assert!(
+            impact.is_negligible(),
+            "fraction = {}",
+            impact.cycle_fraction
+        );
         assert!((impact.clock_period.to_nanoseconds() - 3.0).abs() < 1e-12);
     }
 

@@ -11,7 +11,9 @@
 use sram_model::config::SramConfig;
 use sram_model::error::SramError;
 
-use march_test::address_order::{AddressOrder, ColumnMajor, PseudoRandomOrder, WordLineAfterWordLine};
+use march_test::address_order::{
+    AddressOrder, ColumnMajor, PseudoRandomOrder, WordLineAfterWordLine,
+};
 use march_test::algorithm::MarchTest;
 use march_test::dof::verify_order_independence;
 use march_test::faults::static_fault_list;
@@ -55,14 +57,16 @@ impl VerificationReport {
 /// # Errors
 ///
 /// Propagates any [`SramError`] from the memory model.
-pub fn verify_technique(config: &SramConfig, test: &MarchTest) -> Result<VerificationReport, SramError> {
+pub fn verify_technique(
+    config: &SramConfig,
+    test: &MarchTest,
+) -> Result<VerificationReport, SramError> {
     // 1. Functional equivalence across data backgrounds.
     let session = TestSession::new(*config);
     let mut functionally_equivalent = true;
     let mut alpha = 0.0;
     for background in [false, true] {
-        let outcome =
-            session.run_with_background(test, OperatingMode::LowPowerTest, background)?;
+        let outcome = session.run_with_background(test, OperatingMode::LowPowerTest, background)?;
         functionally_equivalent &= outcome.is_functionally_correct();
         alpha = outcome.stress.stressed_cells_per_cycle();
     }
@@ -84,8 +88,7 @@ pub fn verify_technique(config: &SramConfig, test: &MarchTest) -> Result<Verific
     let coverage_org = sram_model::config::ArrayOrganization::new(4, 4)?;
     let faults = static_fault_list(&coverage_org);
     let random_order = PseudoRandomOrder::new(0xD0F1);
-    let orders: Vec<&dyn AddressOrder> =
-        vec![&WordLineAfterWordLine, &ColumnMajor, &random_order];
+    let orders: Vec<&dyn AddressOrder> = vec![&WordLineAfterWordLine, &ColumnMajor, &random_order];
     let dof_report = verify_order_independence(test, &orders, &coverage_org, &faults);
     // "Preserved" means: every fault class the algorithm fully covers under
     // the reference order stays fully covered under every order. Accidental
@@ -111,8 +114,14 @@ mod tests {
     fn march_c_minus_passes_the_full_verification_suite() {
         let config = SramConfig::small_for_tests(8, 32).unwrap();
         let report = verify_technique(&config, &library::march_c_minus()).unwrap();
-        assert!(report.functionally_equivalent, "no swaps / mismatches expected");
-        assert!(report.hazard_demonstrated, "removing the restore must corrupt cells");
+        assert!(
+            report.functionally_equivalent,
+            "no swaps / mismatches expected"
+        );
+        assert!(
+            report.hazard_demonstrated,
+            "removing the restore must corrupt cells"
+        );
         assert!(report.coverage_preserved, "DOF-1 must hold");
         assert!(report.all_checks_passed());
         assert_eq!(report.test_name, "March C-");

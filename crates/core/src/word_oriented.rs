@@ -75,11 +75,7 @@ impl WordOrientedExtension {
     }
 
     /// The PRR of the word-oriented memory.
-    pub fn power_reduction_ratio(
-        &self,
-        test: &MarchTest,
-        organization: &ArrayOrganization,
-    ) -> f64 {
+    pub fn power_reduction_ratio(&self, test: &MarchTest, organization: &ArrayOrganization) -> f64 {
         let pf = self.functional_energy_per_cycle(test).value();
         if pf <= 0.0 {
             return 0.0;

@@ -218,7 +218,9 @@ mod tests {
     fn bencher_collects_samples() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("shim");
-        group.sample_size(3).measurement_time(Duration::from_secs(1));
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_secs(1));
         let mut ran = 0u32;
         group.bench_function("count", |b| b.iter(|| ran += 1));
         group.finish();

@@ -42,9 +42,7 @@ pub trait AddressOrder {
         direction: AddressDirection,
     ) -> Vec<Address> {
         match direction {
-            AddressDirection::Ascending | AddressDirection::Either => {
-                self.ascending(organization)
-            }
+            AddressDirection::Ascending | AddressDirection::Either => self.ascending(organization),
             AddressDirection::Descending => self.descending(organization),
         }
     }
@@ -147,8 +145,7 @@ impl AddressOrder for PseudoRandomOrder {
     }
 
     fn ascending(&self, organization: &ArrayOrganization) -> Vec<Address> {
-        let mut addresses: Vec<Address> =
-            (0..organization.capacity()).map(Address::new).collect();
+        let mut addresses: Vec<Address> = (0..organization.capacity()).map(Address::new).collect();
         SplitMix64::new(self.seed).shuffle(&mut addresses);
         addresses
     }
@@ -173,7 +170,11 @@ impl AddressOrder for AddressComplementOrder {
         let capacity = organization.capacity();
         // Number of address bits needed for the array.
         let bits = (capacity.max(2) as f64).log2().ceil() as u32;
-        let mask = if bits >= 32 { u32::MAX } else { (1 << bits) - 1 };
+        let mask = if bits >= 32 {
+            u32::MAX
+        } else {
+            (1 << bits) - 1
+        };
         let mut addresses = Vec::with_capacity(capacity as usize);
         let mut seen = vec![false; capacity as usize];
         for raw in 0..capacity {

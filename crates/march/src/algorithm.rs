@@ -24,7 +24,10 @@ impl MarchTest {
     ///
     /// Panics if `elements` is empty.
     pub fn new(name: impl Into<String>, elements: Vec<MarchElement>) -> Self {
-        assert!(!elements.is_empty(), "a march test must contain at least one element");
+        assert!(
+            !elements.is_empty(),
+            "a march test must contain at least one element"
+        );
         Self {
             name: name.into(),
             elements,

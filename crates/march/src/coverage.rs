@@ -221,8 +221,7 @@ mod tests {
         let organization = org();
         let faults = standard_fault_list(&organization);
         for test in library::table1_algorithms() {
-            let report =
-                evaluate_coverage(&test, &WordLineAfterWordLine, &organization, &faults);
+            let report = evaluate_coverage(&test, &WordLineAfterWordLine, &organization, &faults);
             let by_kind = report.by_kind();
             let (detected, total) = by_kind["SAF"];
             assert_eq!(detected, total, "{} must detect every SAF", test.name());

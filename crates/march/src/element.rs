@@ -44,7 +44,10 @@ impl MarchElement {
     /// Panics if `ops` is empty — an empty March element is meaningless and
     /// always indicates a construction bug.
     pub fn new(direction: AddressDirection, ops: Vec<MarchOp>) -> Self {
-        assert!(!ops.is_empty(), "a march element must contain at least one operation");
+        assert!(
+            !ops.is_empty(),
+            "a march element must contain at least one operation"
+        );
         Self { direction, ops }
     }
 

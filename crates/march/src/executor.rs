@@ -142,10 +142,7 @@ impl AddressPlan {
     }
 
     /// Iterates the sequence of an element running in `direction`.
-    pub fn iter(
-        &self,
-        direction: AddressDirection,
-    ) -> impl ExactSizeIterator<Item = Address> + '_ {
+    pub fn iter(&self, direction: AddressDirection) -> impl ExactSizeIterator<Item = Address> + '_ {
         let len = self.ascending.len();
         (0..len).map(move |pos| self.at(direction, pos).expect("position < len"))
     }
@@ -257,8 +254,7 @@ impl MarchWalk {
             test.element_count() <= usize::from(u16::MAX),
             "march test has too many elements for the packed walk"
         );
-        let mut steps =
-            Vec::with_capacity(test.operation_count() * capacity as usize);
+        let mut steps = Vec::with_capacity(test.operation_count() * capacity as usize);
         let mut reads = 0u64;
         let mut writes = 0u64;
         for (element_index, element) in test.elements().iter().enumerate() {
@@ -441,10 +437,7 @@ pub fn run_march_walk<M: MemoryModel + ?Sized>(walk: &MarchWalk, memory: &mut M)
 /// where only the detected/missed bit matters: a detected fault typically
 /// mismatches within the first elements of the test, so the early exit
 /// skips most of the remaining `O(ops × cells)` work.
-pub fn run_march_until_detected<M: MemoryModel + ?Sized>(
-    walk: &MarchWalk,
-    memory: &mut M,
-) -> bool {
+pub fn run_march_until_detected<M: MemoryModel + ?Sized>(walk: &MarchWalk, memory: &mut M) -> bool {
     for step in &walk.steps {
         let address = Address::new(step.address);
         if step.code & READ_BIT == 0 {
@@ -735,14 +728,10 @@ mod tests {
         for test in library::table1_algorithms() {
             let walk = MarchWalk::new(&test, &WordLineAfterWordLine, &organization);
             for factory in &faults {
-                let mut full = FaultyMemory::new(
-                    GoodMemory::new(organization.capacity()),
-                    factory(),
-                );
-                let mut early = FaultyMemory::new(
-                    GoodMemory::new(organization.capacity()),
-                    factory(),
-                );
+                let mut full =
+                    FaultyMemory::new(GoodMemory::new(organization.capacity()), factory());
+                let mut early =
+                    FaultyMemory::new(GoodMemory::new(organization.capacity()), factory());
                 let full_result = run_march_walk(&walk, &mut full);
                 let early_detected = run_march_until_detected(&walk, &mut early);
                 assert_eq!(
@@ -761,10 +750,16 @@ mod tests {
         // The locality fast path must agree with the unfiltered kernel on
         // the complete mismatch list — not just the detection bit — for
         // every localised fault, algorithm, order and background.
-        for organization in [ArrayOrganization::new(4, 4).unwrap(), ArrayOrganization::new(3, 7).unwrap()] {
+        for organization in [
+            ArrayOrganization::new(4, 4).unwrap(),
+            ArrayOrganization::new(3, 7).unwrap(),
+        ] {
             let faults = standard_fault_list(&organization);
             for test in library::all_algorithms() {
-                for order in [&WordLineAfterWordLine as &dyn crate::address_order::AddressOrder, &ColumnMajor] {
+                for order in [
+                    &WordLineAfterWordLine as &dyn crate::address_order::AddressOrder,
+                    &ColumnMajor,
+                ] {
                     let walk = MarchWalk::new(&test, order, &organization);
                     for factory in &faults {
                         let Some(involved) = factory().involved_addresses() else {
@@ -780,11 +775,8 @@ mod tests {
                                 factory(),
                             );
                             let full = run_march_walk(&walk, &mut full_memory);
-                            let filtered = run_march_walk_filtered(
-                                &walk,
-                                &mut filtered_memory,
-                                &involved,
-                            );
+                            let filtered =
+                                run_march_walk_filtered(&walk, &mut filtered_memory, &involved);
                             assert_eq!(
                                 full,
                                 filtered,

@@ -207,7 +207,10 @@ mod tests {
                 &organization,
                 Box::new(TransitionFault::new(Address::new(9), rising)),
             );
-            assert!(outcome.detected, "March C- must detect TF (rising={rising})");
+            assert!(
+                outcome.detected,
+                "March C- must detect TF (rising={rising})"
+            );
         }
     }
 
@@ -308,13 +311,8 @@ mod tests {
         let walk = MarchWalk::new(&test, &WordLineAfterWordLine, &organization);
         let mut scratch = GoodMemory::new(organization.capacity());
         for factory in standard_fault_list(&organization) {
-            let full = simulate_fault_on_walk(
-                &walk,
-                &mut scratch,
-                factory(),
-                false,
-                DetectionMode::Full,
-            );
+            let full =
+                simulate_fault_on_walk(&walk, &mut scratch, factory(), false, DetectionMode::Full);
             let fast = simulate_fault_on_walk(
                 &walk,
                 &mut scratch,
@@ -342,7 +340,10 @@ mod tests {
         use crate::operation::MarchOp;
 
         let organization = org();
-        let test = MarchTest::new("reads-first", vec![MarchElement::ascending(vec![MarchOp::R1])]);
+        let test = MarchTest::new(
+            "reads-first",
+            vec![MarchElement::ascending(vec![MarchOp::R1])],
+        );
         let walk = MarchWalk::new(&test, &WordLineAfterWordLine, &organization);
         assert!(!walk.locality_safe());
         let outcome = simulate_fault(
@@ -366,11 +367,7 @@ mod tests {
     #[should_panic(expected = "capacity must match")]
     fn mismatched_scratch_capacity_is_rejected() {
         let organization = org();
-        let walk = MarchWalk::new(
-            &library::mats_plus(),
-            &WordLineAfterWordLine,
-            &organization,
-        );
+        let walk = MarchWalk::new(&library::mats_plus(), &WordLineAfterWordLine, &organization);
         let mut scratch = GoodMemory::new(8);
         let _ = simulate_fault_on_walk(
             &walk,

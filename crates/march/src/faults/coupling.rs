@@ -234,12 +234,14 @@ mod tests {
 
     #[test]
     fn idempotent_coupling_forces_value() {
-        let mut fault =
-            CouplingIdempotentFault::new(Address::new(2), Address::new(3), false, true);
+        let mut fault = CouplingIdempotentFault::new(Address::new(2), Address::new(3), false, true);
         let mut memory = GoodMemory::new(4);
         memory.set(Address::new(2), true);
         fault.write(&mut memory, Address::new(2), false); // falling transition
-        assert!(fault.read(&mut memory, Address::new(3)), "victim forced to 1");
+        assert!(
+            fault.read(&mut memory, Address::new(3)),
+            "victim forced to 1"
+        );
         assert!(fault.name().starts_with("CFid"));
     }
 

@@ -199,12 +199,16 @@ pub fn standard_fault_list(organization: &ArrayOrganization) -> Vec<FaultFactory
             }));
         }
         for rising in [false, true] {
-            factories.push(Box::new(move || Box::new(TransitionFault::new(victim, rising))));
+            factories.push(Box::new(move || {
+                Box::new(TransitionFault::new(victim, rising))
+            }));
             factories.push(Box::new(move || {
                 Box::new(CouplingInversionFault::new(aggressor, victim, rising))
             }));
         }
-        factories.push(Box::new(move || Box::new(ReadDestructiveFault::new(victim))));
+        factories.push(Box::new(move || {
+            Box::new(ReadDestructiveFault::new(victim))
+        }));
         factories.push(Box::new(move || {
             Box::new(DeceptiveReadDestructiveFault::new(victim))
         }));

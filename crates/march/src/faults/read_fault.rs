@@ -1,7 +1,7 @@
 //! Read-related faults: RDF, DRDF and IRF.
 //!
 //! The read-destructive family is the subject of the paper authors' earlier
-//! work (JETTA 2005, cited as [10]): the read operation itself disturbs the
+//! work (JETTA 2005, cited as \[10\]): the read operation itself disturbs the
 //! cell. The *deceptive* variant returns the correct value while flipping
 //! the cell, which is why detecting it requires a read-after-read pattern
 //! such as the one in March SS.
@@ -143,7 +143,10 @@ mod tests {
         let mut fault = ReadDestructiveFault::new(Address::new(0));
         let mut memory = GoodMemory::new(2);
         memory.set(Address::new(0), true);
-        assert!(!fault.read(&mut memory, Address::new(0)), "wrong value returned");
+        assert!(
+            !fault.read(&mut memory, Address::new(0)),
+            "wrong value returned"
+        );
         assert!(!memory.get(Address::new(0)), "cell flipped");
         assert_eq!(fault.kind(), FaultKind::ReadDestructive);
     }
@@ -153,9 +156,15 @@ mod tests {
         let mut fault = DeceptiveReadDestructiveFault::new(Address::new(0));
         let mut memory = GoodMemory::new(2);
         memory.set(Address::new(0), true);
-        assert!(fault.read(&mut memory, Address::new(0)), "first read looks fine");
+        assert!(
+            fault.read(&mut memory, Address::new(0)),
+            "first read looks fine"
+        );
         assert!(!memory.get(Address::new(0)), "but the cell flipped");
-        assert!(!fault.read(&mut memory, Address::new(0)), "second read exposes it");
+        assert!(
+            !fault.read(&mut memory, Address::new(0)),
+            "second read exposes it"
+        );
         assert_eq!(fault.kind(), FaultKind::DeceptiveReadDestructive);
     }
 

@@ -112,8 +112,8 @@ pub mod prelude {
     };
     pub use crate::element::{AddressDirection, MarchElement};
     pub use crate::executor::{
-        run_march, run_march_until_detected, run_march_walk, AddressPlan, MarchResult,
-        MarchStep, MarchWalk,
+        run_march, run_march_until_detected, run_march_walk, AddressPlan, MarchResult, MarchStep,
+        MarchWalk,
     };
     pub use crate::fault_sim::{
         simulate_fault, simulate_fault_on_walk, DetectionMode, FaultSimOutcome,

@@ -91,6 +91,9 @@ mod tests {
         let mut sorted = values.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
-        assert_ne!(values, sorted, "a 100-element shuffle is the identity with probability 1/100!");
+        assert_ne!(
+            values, sorted,
+            "a 100-element shuffle is the identity with probability 1/100!"
+        );
     }
 }

@@ -73,11 +73,7 @@ impl AnalyticPowerModel {
     }
 
     /// `PRR = 1 − P_LPT / P_F`.
-    pub fn power_reduction_ratio(
-        &self,
-        test: &MarchTest,
-        organization: &ArrayOrganization,
-    ) -> f64 {
+    pub fn power_reduction_ratio(&self, test: &MarchTest, organization: &ArrayOrganization) -> f64 {
         let pf = self.functional_energy_per_cycle(test);
         if pf.value() <= 0.0 {
             return 0.0;
@@ -165,9 +161,7 @@ mod tests {
         let test = library::march_c_minus();
         let small = ArrayOrganization::new(512, 64).unwrap();
         let large = ArrayOrganization::new(512, 1024).unwrap();
-        assert!(
-            model.savings_per_cycle(&test, &large) > model.savings_per_cycle(&test, &small)
-        );
+        assert!(model.savings_per_cycle(&test, &large) > model.savings_per_cycle(&test, &small));
         let prr_small = model.power_reduction_ratio(&test, &small);
         let prr_large = model.power_reduction_ratio(&test, &large);
         assert!(prr_large > prr_small, "wider arrays benefit more");
@@ -218,8 +212,7 @@ mod tests {
             (model.row_transition_frequency(&one_op, &organization) - 1.0 / 512.0).abs() < 1e-12
         );
         assert!(
-            (model.row_transition_frequency(&four_op, &organization) - 1.0 / 2048.0).abs()
-                < 1e-12
+            (model.row_transition_frequency(&four_op, &organization) - 1.0 / 2048.0).abs() < 1e-12
         );
     }
 

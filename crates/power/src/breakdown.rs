@@ -23,13 +23,16 @@ pub struct BreakdownEntry {
 pub struct PowerBreakdown {
     entries: Vec<BreakdownEntry>,
     total: Joules,
+    /// Pre-charge share of the total, cached at construction so repeated
+    /// accesses never rescan the entries.
+    precharge_fraction: f64,
 }
 
 impl PowerBreakdown {
     /// Builds the breakdown of an aggregated energy record.
     pub fn from_energy(energy: &CycleEnergy) -> Self {
         let total = energy.total();
-        let entries = PowerSource::all()
+        let entries: Vec<BreakdownEntry> = PowerSource::all()
             .into_iter()
             .map(|source| {
                 let e = source.energy_of(energy);
@@ -44,7 +47,16 @@ impl PowerBreakdown {
                 }
             })
             .collect();
-        Self { entries, total }
+        let precharge_fraction = entries
+            .iter()
+            .filter(|e| e.source.is_precharge_related())
+            .map(|e| e.fraction)
+            .sum();
+        Self {
+            entries,
+            total,
+            precharge_fraction,
+        }
     }
 
     /// All entries in the fixed source order.
@@ -67,13 +79,10 @@ impl PowerBreakdown {
     }
 
     /// Fraction of the total attributable to pre-charge activity (the
-    /// quantity the paper's reference [8] puts at 70–80 % of SRAM power).
+    /// quantity the paper's reference \[8\] puts at 70–80 % of SRAM
+    /// power). Cached at construction — no rescan.
     pub fn precharge_fraction(&self) -> f64 {
-        self.entries
-            .iter()
-            .filter(|e| e.source.is_precharge_related())
-            .map(|e| e.fraction)
-            .sum()
+        self.precharge_fraction
     }
 
     /// The largest contributor.

@@ -106,12 +106,24 @@ mod tests {
     fn parameters_have_expected_magnitudes() {
         let p = derive_default();
         // PA is tens of femtojoules per cycle.
-        assert!((50.0..100.0).contains(&p.pa.to_femtojoules()), "PA = {}", p.pa);
+        assert!(
+            (50.0..100.0).contains(&p.pa.to_femtojoules()),
+            "PA = {}",
+            p.pa
+        );
         // PB is a fraction of a picojoule.
         assert!((0.1..1.0).contains(&p.pb.to_picojoules()), "PB = {}", p.pb);
         // Pr and Pw are tens of picojoules, with writes more expensive.
-        assert!((40.0..120.0).contains(&p.pr.to_picojoules()), "Pr = {}", p.pr);
-        assert!((40.0..140.0).contains(&p.pw.to_picojoules()), "Pw = {}", p.pw);
+        assert!(
+            (40.0..120.0).contains(&p.pr.to_picojoules()),
+            "Pr = {}",
+            p.pr
+        );
+        assert!(
+            (40.0..140.0).contains(&p.pw.to_picojoules()),
+            "Pw = {}",
+            p.pw
+        );
         assert!(p.pw > p.pr, "writes must cost more than reads");
     }
 
@@ -141,10 +153,8 @@ mod tests {
     #[test]
     fn smaller_arrays_have_smaller_read_energy() {
         let technology = TechnologyParams::default_013um();
-        let small = CalibratedParameters::derive(
-            &technology,
-            &ArrayOrganization::new(64, 64).unwrap(),
-        );
+        let small =
+            CalibratedParameters::derive(&technology, &ArrayOrganization::new(64, 64).unwrap());
         let large = derive_default();
         assert!(small.pr < large.pr);
         assert_eq!(small.pa, large.pa);

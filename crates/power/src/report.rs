@@ -8,6 +8,9 @@
 use std::fmt;
 use transient::units::{Joules, Watts};
 
+use crate::breakdown::PowerBreakdown;
+use crate::meter::PowerMeter;
+
 /// Measurements of one March test run in one operating mode.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModeReport {
@@ -21,6 +24,22 @@ pub struct ModeReport {
     pub average_power: Watts,
     /// Share of the energy attributable to pre-charge activity.
     pub precharge_fraction: f64,
+}
+
+impl ModeReport {
+    /// Builds the report from a finished meter and its breakdown, computing
+    /// every derived quantity exactly once (`CoverageReport`-style caching:
+    /// the fields are plain values afterwards, so repeated accesses never
+    /// re-derive them from the meter).
+    pub fn from_meter(meter: &PowerMeter, breakdown: &PowerBreakdown) -> Self {
+        Self {
+            cycles: meter.cycles(),
+            total_energy: meter.total_energy(),
+            energy_per_cycle: meter.energy_per_cycle(),
+            average_power: meter.average_power(),
+            precharge_fraction: breakdown.precharge_fraction(),
+        }
+    }
 }
 
 /// One row of the Table 1 reproduction.

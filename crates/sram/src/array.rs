@@ -255,7 +255,11 @@ impl SramArray {
         for (idx, cell) in self.cells.iter_mut().enumerate() {
             let row = idx as u32 / cols;
             let col = idx as u32 % cols;
-            let v = if (row + col).is_multiple_of(2) { base } else { !base };
+            let v = if (row + col).is_multiple_of(2) {
+                base
+            } else {
+                !base
+            };
             cell.write(v);
         }
     }
@@ -335,7 +339,10 @@ mod tests {
     #[test]
     fn cell_access_by_coordinates_and_address() {
         let mut array = small();
-        array.cell_mut(RowIndex(2), ColIndex(3)).unwrap().write(true);
+        array
+            .cell_mut(RowIndex(2), ColIndex(3))
+            .unwrap()
+            .write(true);
         let addr = Address::from_row_col(RowIndex(2), ColIndex(3), array.organization());
         assert!(array.cell_at(addr).unwrap().value());
         array.cell_at_mut(addr).unwrap().write(false);

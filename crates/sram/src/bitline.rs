@@ -102,9 +102,7 @@ impl BitLinePair {
         // Energy to discharge the low-going line from its present level.
         let discharged_from = self.side(low);
         let dissipated = Joules(
-            technology.bitline_capacitance.value()
-                * discharged_from.value().max(0.0)
-                * vdd.value(),
+            technology.bitline_capacitance.value() * discharged_from.value().max(0.0) * vdd.value(),
         ) * 0.5;
         *self.side_mut(low) = Volts::ZERO;
         *self.side_mut(high) = vdd;

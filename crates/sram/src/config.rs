@@ -57,7 +57,10 @@ impl ArrayOrganization {
 
     /// The 512×512 organization used in the paper's experiments.
     pub fn paper_512x512() -> Self {
-        Self { rows: 512, cols: 512 }
+        Self {
+            rows: 512,
+            cols: 512,
+        }
     }
 
     /// Number of rows (word lines).
@@ -220,7 +223,10 @@ impl TechnologyParams {
                 reason: "energy parameters must be non-negative",
             });
         }
-        positive("lptest_line_capacitance", self.lptest_line_capacitance.value())?;
+        positive(
+            "lptest_line_capacitance",
+            self.lptest_line_capacitance.value(),
+        )?;
         positive(
             "control_element_capacitance",
             self.control_element_capacitance.value(),
@@ -259,9 +265,7 @@ impl TechnologyParams {
     /// Energy to restore the read swing on both bit lines after a read.
     pub fn read_restore_energy(&self) -> Joules {
         Joules(
-            self.bitline_capacitance.value()
-                * self.vdd.value()
-                * self.read_bitline_swing.value(),
+            self.bitline_capacitance.value() * self.vdd.value() * self.read_bitline_swing.value(),
         )
     }
 
@@ -383,7 +387,10 @@ mod tests {
         assert!(ArrayOrganization::new(MAX_DIMENSION + 1, 4).is_err());
         let org = ArrayOrganization::new(512, 512).unwrap();
         assert_eq!(org.capacity(), 262_144);
-        assert_eq!(ArrayOrganization::default(), ArrayOrganization::paper_512x512());
+        assert_eq!(
+            ArrayOrganization::default(),
+            ArrayOrganization::paper_512x512()
+        );
     }
 
     #[test]
@@ -416,7 +423,10 @@ mod tests {
     fn bitline_dominates_cell_node() {
         let t = TechnologyParams::default_013um();
         let ratio = t.bitline_capacitance.value() / t.cell_node_capacitance.value();
-        assert!(ratio > 100.0, "need at least two orders of magnitude, got {ratio}");
+        assert!(
+            ratio > 100.0,
+            "need at least two orders of magnitude, got {ratio}"
+        );
     }
 
     #[test]

@@ -25,21 +25,23 @@
 //! the number of columns. Two bookkeeping sets make the common cycles
 //! cheap: `discharging` holds the columns whose floating bit lines are
 //! still moving, and `not_precharged` holds every column whose bit lines
-//! are away from `V_DD`. Full-array sweeps only happen when a word line
-//! rises on a new row or when an all-columns restore executes — once per
-//! row, exactly like the hardware. As a consequence the per-column
+//! are away from `V_DD`. Both are [`ColumnSet`] bit masks and are walked
+//! through one reused scratch buffer, so steady-state cycles perform no
+//! heap allocation at all — the run-level energy feed is purely
+//! incremental. Full-array sweeps only happen when a word line rises on a
+//! new row or when an all-columns restore executes — once per row,
+//! exactly like the hardware. As a consequence the per-column
 //! [`crate::precharge::PrechargeCircuit`] activity counters are only
 //! updated for cycles with an explicit column mask (the low-power mode);
 //! the all-columns functional path accounts pre-charge activity in the
 //! aggregate cycle energies instead.
-
-use std::collections::BTreeSet;
 
 use transient::charge_share::node_flips;
 use transient::units::Volts;
 
 use crate::address::{Address, ColIndex, RowIndex};
 use crate::array::SramArray;
+use crate::colset::ColumnSet;
 use crate::config::{ArrayOrganization, SramConfig, TechnologyParams};
 use crate::decoder::AddressDecoder;
 use crate::energy::CycleEnergy;
@@ -78,12 +80,16 @@ pub struct MemoryController {
     cycle: u64,
     active_row: Option<RowIndex>,
     /// Columns whose bit lines are currently away from `V_DD`.
-    not_precharged: BTreeSet<u32>,
+    not_precharged: ColumnSet,
     /// Columns whose floating bit lines are still being discharged by the
     /// active row's cell.
-    discharging: BTreeSet<u32>,
-    /// Columns enabled by the previous cycle's explicit mask.
+    discharging: ColumnSet,
+    /// Columns enabled by the previous cycle's explicit mask (storage
+    /// reused across cycles).
     prev_explicit_mask: Vec<u32>,
+    /// Reused snapshot buffer for walking the column sets while the array
+    /// is being mutated.
+    scratch_cols: Vec<u32>,
     /// Whether the previous cycle used the all-columns policy.
     prev_policy_all: bool,
     stress: StressReport,
@@ -103,6 +109,7 @@ impl MemoryController {
     /// with a data background or with injected faults).
     pub fn with_array(array: SramArray) -> Self {
         let decoder = AddressDecoder::new(array.organization());
+        let cols = array.organization().cols();
         Self {
             array,
             decoder,
@@ -110,9 +117,10 @@ impl MemoryController {
             write_driver: WriteDriver::new(),
             cycle: 0,
             active_row: None,
-            not_precharged: BTreeSet::new(),
-            discharging: BTreeSet::new(),
+            not_precharged: ColumnSet::new(cols),
+            discharging: ColumnSet::new(cols),
             prev_explicit_mask: Vec::new(),
+            scratch_cols: Vec::new(),
             prev_policy_all: true,
             stress: StressReport::new(),
             total_faulty_swaps: 0,
@@ -261,9 +269,13 @@ impl MemoryController {
                 }
             } else {
                 // Columns enabled last cycle but not this one start
-                // floating from VDD (they were restored last cycle).
-                let prev = std::mem::take(&mut self.prev_explicit_mask);
-                for col in prev {
+                // floating from VDD (they were restored last cycle). The
+                // previous mask is swapped into the scratch buffer so both
+                // vectors keep their storage.
+                self.scratch_cols.clear();
+                std::mem::swap(&mut self.scratch_cols, &mut self.prev_explicit_mask);
+                for i in 0..self.scratch_cols.len() {
+                    let col = self.scratch_cols[i];
                     if !enabled(col) {
                         self.begin_floating(col, row);
                     }
@@ -295,8 +307,8 @@ impl MemoryController {
                 energy.precharge_res += technology.res_replenish_energy();
                 let pair = self.array.bitline_mut(ColIndex(col))?;
                 energy.precharge_res += pair.restore(&technology);
-                self.not_precharged.remove(&col);
-                self.discharging.remove(&col);
+                self.not_precharged.remove(col);
+                self.discharging.remove(col);
                 self.array
                     .precharge_mut(ColIndex(col))?
                     .set_enabled_for_cycle(true);
@@ -307,9 +319,10 @@ impl MemoryController {
 
             // Floating columns still above ground keep discharging and keep
             // (weakly) stressing their cells.
-            let mut finished = Vec::new();
-            let discharging: Vec<u32> = self.discharging.iter().copied().collect();
-            for col in discharging {
+            self.scratch_cols.clear();
+            self.discharging.collect_into(&mut self.scratch_cols);
+            for i in 0..self.scratch_cols.len() {
+                let col = self.scratch_cols[i];
                 if col == selected_col.0 || enabled(col) {
                     continue;
                 }
@@ -318,11 +331,8 @@ impl MemoryController {
                 let side = pair.float_discharge_by_cell(cell_value, &technology);
                 self.stress.reduced_res_events += 1;
                 if pair.side(side) <= Volts::ZERO {
-                    finished.push(col);
+                    self.discharging.remove(col);
                 }
-            }
-            for col in finished {
-                self.discharging.remove(&col);
             }
         }
 
@@ -365,8 +375,8 @@ impl MemoryController {
         if selected_enabled {
             let pair = self.array.bitline_mut(selected_col)?;
             energy.precharge_selected = pair.restore(&technology);
-            self.not_precharged.remove(&selected_col.0);
-            self.discharging.remove(&selected_col.0);
+            self.not_precharged.remove(selected_col.0);
+            self.discharging.remove(selected_col.0);
         } else {
             // A scheduler that forgets to pre-charge the selected column
             // leaves its bit lines driven; track that.
@@ -377,8 +387,10 @@ impl MemoryController {
             // Restore every column that had drifted away from VDD (the
             // row-transition restore of the low-power mode, or simply a
             // no-op in steady functional mode).
-            let pending: Vec<u32> = self.not_precharged.iter().copied().collect();
-            for col in pending {
+            self.scratch_cols.clear();
+            self.not_precharged.collect_into(&mut self.scratch_cols);
+            for i in 0..self.scratch_cols.len() {
+                let col = self.scratch_cols[i];
                 if col == selected_col.0 {
                     continue;
                 }
@@ -401,9 +413,11 @@ impl MemoryController {
 
         // --- Bookkeeping -------------------------------------------------
         self.prev_policy_all = policy_all;
-        self.prev_explicit_mask = explicit
-            .map(|list| list.iter().copied().filter(|&c| c < cols).collect())
-            .unwrap_or_default();
+        self.prev_explicit_mask.clear();
+        if let Some(list) = explicit {
+            self.prev_explicit_mask
+                .extend(list.iter().copied().filter(|&c| c < cols));
+        }
         self.stress.cycles += 1;
         self.total_faulty_swaps += u64::from(faulty_swaps);
         self.accumulated.accumulate(&energy);
@@ -467,8 +481,10 @@ impl MemoryController {
         let bl_cap = technology.bitline_capacitance;
         let vdd = technology.vdd;
 
-        let columns: Vec<u32> = self.not_precharged.iter().copied().collect();
-        for col in columns {
+        self.scratch_cols.clear();
+        self.not_precharged.collect_into(&mut self.scratch_cols);
+        for i in 0..self.scratch_cols.len() {
+            let col = self.scratch_cols[i];
             let Ok(cell) = self.array.cell(new_row, ColIndex(col)) else {
                 continue;
             };
@@ -497,7 +513,7 @@ impl MemoryController {
                 if side > Volts::ZERO {
                     self.discharging.insert(col);
                 } else {
-                    self.discharging.remove(&col);
+                    self.discharging.remove(col);
                 }
             }
         }

@@ -49,6 +49,7 @@ pub mod address;
 pub mod array;
 pub mod bitline;
 pub mod cell;
+pub mod colset;
 pub mod config;
 pub mod controller;
 pub mod decoder;

@@ -7,7 +7,6 @@
 //! aggregates both from the per-cell counters of the array so experiments
 //! can assert on them.
 
-
 /// Aggregated stress and corruption statistics over a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StressReport {

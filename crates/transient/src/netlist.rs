@@ -81,8 +81,16 @@ impl Netlist {
     /// # Panics
     ///
     /// Panics if `capacitance` is not strictly positive.
-    pub fn add_node(&mut self, name: impl Into<String>, capacitance: Farads, initial: Volts) -> NodeId {
-        assert!(capacitance.value() > 0.0, "node capacitance must be positive");
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        capacitance: Farads,
+        initial: Volts,
+    ) -> NodeId {
+        assert!(
+            capacitance.value() > 0.0,
+            "node capacitance must be positive"
+        );
         self.nodes.push(NodeDef {
             name: name.into(),
             capacitance,
@@ -120,7 +128,13 @@ impl Netlist {
         self.push_resistor(a, b, resistance, Some(switch));
     }
 
-    fn push_resistor(&mut self, a: NodeId, b: NodeId, resistance: Ohms, gated_by: Option<SwitchId>) {
+    fn push_resistor(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        resistance: Ohms,
+        gated_by: Option<SwitchId>,
+    ) {
         assert!(resistance.value() > 0.0, "resistance must be positive");
         assert!(a.0 < self.nodes.len(), "node a out of range");
         assert!(b.0 < self.nodes.len(), "node b out of range");

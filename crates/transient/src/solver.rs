@@ -163,7 +163,10 @@ impl TransientSolver {
         let dt = config.step.unwrap_or_else(|| self.auto_step());
         assert!(dt.value() > 0.0, "step must be positive");
         let record_every = config.record_every.unwrap_or(dt);
-        assert!(record_every.value() > 0.0, "record interval must be positive");
+        assert!(
+            record_every.value() > 0.0,
+            "record interval must be positive"
+        );
 
         // Pin sources at their configured voltage (they may have been re-pinned).
         for (i, def) in self.netlist.nodes.iter().enumerate() {
@@ -257,12 +260,8 @@ mod tests {
         let mut solver = TransientSolver::new(net);
         let result = solver.run(SolverConfig::for_duration(Seconds::from_nanoseconds(5.0)));
 
-        let analytic = crate::rc::RcCharge::new(
-            Ohms(2_000.0),
-            Farads(500e-15),
-            Volts(0.0),
-            Volts(1.6),
-        );
+        let analytic =
+            crate::rc::RcCharge::new(Ohms(2_000.0), Farads(500e-15), Volts(0.0), Volts(1.6));
         let v_sim = result.final_voltage(bl).value();
         let v_ana = analytic.voltage_at(Seconds::from_nanoseconds(5.0)).value();
         assert!(
@@ -271,7 +270,9 @@ mod tests {
         );
         // Supply energy close to C*Vdd*dV.
         let e_sim = result.source_energy(vdd).value();
-        let e_ana = analytic.supply_energy_until(Seconds::from_nanoseconds(5.0)).value();
+        let e_ana = analytic
+            .supply_energy_until(Seconds::from_nanoseconds(5.0))
+            .value();
         assert!((e_sim - e_ana).abs() / e_ana < 0.05);
     }
 

@@ -408,7 +408,9 @@ mod tests {
 
     #[test]
     fn sums_min_max_clamp() {
-        let total: Joules = vec![Joules(1.0), Joules(2.0), Joules(3.0)].into_iter().sum();
+        let total: Joules = vec![Joules(1.0), Joules(2.0), Joules(3.0)]
+            .into_iter()
+            .sum();
         assert_eq!(total, Joules(6.0));
         assert_eq!(Volts(1.0).max(Volts(2.0)), Volts(2.0));
         assert_eq!(Volts(1.0).min(Volts(2.0)), Volts(1.0));

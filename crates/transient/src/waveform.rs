@@ -115,9 +115,7 @@ impl Waveform {
             return None;
         }
         // Find the first sample at or after t.
-        let idx = self
-            .samples
-            .partition_point(|s| s.time.value() < t.value());
+        let idx = self.samples.partition_point(|s| s.time.value() < t.value());
         if idx == 0 {
             return Some(first.voltage);
         }
@@ -191,7 +189,12 @@ impl Waveform {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("time_ns,voltage_v\n");
         for s in &self.samples {
-            let _ = writeln!(out, "{:.4},{:.6}", s.time.to_nanoseconds(), s.voltage.value());
+            let _ = writeln!(
+                out,
+                "{:.4},{:.6}",
+                s.time.to_nanoseconds(),
+                s.voltage.value()
+            );
         }
         out
     }
@@ -214,8 +217,8 @@ impl Waveform {
                 .voltage_at(Seconds(t))
                 .unwrap_or(self.samples.last().unwrap().voltage)
                 .value();
-            let col = (((v - vmin) / (vmax - vmin)) * (width.saturating_sub(1)) as f64)
-                .round() as usize;
+            let col =
+                (((v - vmin) / (vmax - vmin)) * (width.saturating_sub(1)) as f64).round() as usize;
             let _ = write!(out, "{:>8.2} ns |", t * 1e9);
             for c in 0..width {
                 out.push(if c == col { '*' } else { ' ' });

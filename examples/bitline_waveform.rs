@@ -77,8 +77,11 @@ fn main() -> Result<(), SramError> {
     );
 
     // With the paper's fix: none.
-    let fixed = TestSession::new(config)
-        .run_with_background(&library::march_c_minus(), OperatingMode::LowPowerTest, true)?;
+    let fixed = TestSession::new(config).run_with_background(
+        &library::march_c_minus(),
+        OperatingMode::LowPowerTest,
+        true,
+    )?;
     println!(
         "with the restore cycle:    {} faulty swaps, {} read mismatches",
         fixed.faulty_swaps, fixed.read_mismatches

@@ -124,7 +124,10 @@ fn control_element_truth_table_selects_exactly_two_columns_in_lp_mode() {
     let mut controller = ModifiedPrechargeController::new(16);
     controller.set_lp_test(true);
     for selected in 0..15u32 {
-        assert_eq!(controller.enabled_columns(selected), vec![selected, selected + 1]);
+        assert_eq!(
+            controller.enabled_columns(selected),
+            vec![selected, selected + 1]
+        );
     }
     assert_eq!(controller.enabled_columns(15), vec![15]);
 }

@@ -24,12 +24,8 @@ fn guaranteed_fault_coverage_is_preserved_across_address_orders() {
     let organization = ArrayOrganization::new(4, 8).unwrap();
     let faults = static_fault_list(&organization);
     let random = PseudoRandomOrder::new(2006);
-    let orders: Vec<&dyn AddressOrder> = vec![
-        &WordLineAfterWordLine,
-        &ColumnMajor,
-        &LinearOrder,
-        &random,
-    ];
+    let orders: Vec<&dyn AddressOrder> =
+        vec![&WordLineAfterWordLine, &ColumnMajor, &LinearOrder, &random];
     for test in library::table1_algorithms() {
         let report = verify_order_independence(&test, &orders, &organization, &faults);
         assert!(
@@ -38,9 +34,7 @@ fn guaranteed_fault_coverage_is_preserved_across_address_orders() {
             test.name()
         );
         assert!(
-            report
-                .fully_covered_kinds()
-                .contains(&"SAF".to_string()),
+            report.fully_covered_kinds().contains(&"SAF".to_string()),
             "{}: stuck-at faults must be in the guaranteed set",
             test.name()
         );
@@ -53,9 +47,12 @@ fn strong_algorithms_detect_exactly_the_same_fault_set_under_every_order() {
     // across regular address orders.
     let organization = ArrayOrganization::new(4, 8).unwrap();
     let faults = static_fault_list(&organization);
-    let orders: Vec<&dyn AddressOrder> =
-        vec![&WordLineAfterWordLine, &ColumnMajor, &LinearOrder];
-    for test in [library::march_ss(), library::march_c_minus(), library::march_g()] {
+    let orders: Vec<&dyn AddressOrder> = vec![&WordLineAfterWordLine, &ColumnMajor, &LinearOrder];
+    for test in [
+        library::march_ss(),
+        library::march_c_minus(),
+        library::march_g(),
+    ] {
         let report = verify_order_independence(&test, &orders, &organization, &faults);
         assert!(
             report.coverage_is_order_independent(),
@@ -95,14 +92,16 @@ fn table1_algorithms_detect_their_guaranteed_fault_classes() {
         let by_kind = report.by_kind();
         let (saf_detected, saf_total) = by_kind["SAF"];
         assert_eq!(
-            saf_detected, saf_total,
+            saf_detected,
+            saf_total,
             "{} must detect every SAF instance",
             test.name()
         );
         if test.name() != "MATS+" {
             let (tf_detected, tf_total) = by_kind["TF"];
             assert_eq!(
-                tf_detected, tf_total,
+                tf_detected,
+                tf_total,
                 "{} must detect every TF instance",
                 test.name()
             );
@@ -114,17 +113,18 @@ fn table1_algorithms_detect_their_guaranteed_fault_classes() {
 fn descending_sequences_are_exact_reverses_for_every_order() {
     let organization = ArrayOrganization::new(8, 8).unwrap();
     let random = PseudoRandomOrder::new(7);
-    let orders: Vec<&dyn AddressOrder> = vec![
-        &WordLineAfterWordLine,
-        &ColumnMajor,
-        &LinearOrder,
-        &random,
-    ];
+    let orders: Vec<&dyn AddressOrder> =
+        vec![&WordLineAfterWordLine, &ColumnMajor, &LinearOrder, &random];
     for order in orders {
         let up = order.ascending(&organization);
         let mut down = order.descending(&organization);
         down.reverse();
-        assert_eq!(up, down, "{}: ⇓ must be the exact reverse of ⇑", order.name());
+        assert_eq!(
+            up,
+            down,
+            "{}: ⇓ must be the exact reverse of ⇑",
+            order.name()
+        );
         assert_eq!(up.len(), organization.capacity() as usize);
     }
 }

@@ -9,8 +9,8 @@
 //! showing that dropping the row-transition restore breaks them.
 
 use sram_test_power::lp_precharge::prelude::*;
-use sram_test_power::march_test::rng::SplitMix64;
 use sram_test_power::march_test::library;
+use sram_test_power::march_test::rng::SplitMix64;
 use sram_test_power::sram_model::config::{ArrayOrganization, SramConfig};
 
 fn session(rows: u32, cols: u32) -> TestSession {
