@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bench::throughput::baseline_evaluate_coverage;
 use march_test::address_order::WordLineAfterWordLine;
-use march_test::coverage::{evaluate_coverage_on_walk, SweepOptions};
+use march_test::coverage::{evaluate_coverage_on_walk, SweepBackend, SweepOptions};
 use march_test::executor::MarchWalk;
 use march_test::fault_sim::DetectionMode;
 use march_test::faults::standard_fault_list;
@@ -41,13 +41,32 @@ fn fault_sim_benches(c: &mut Criterion) {
                             background: false,
                             mode: DetectionMode::FirstMismatch,
                             parallel: false,
+                            backend: SweepBackend::PerFault,
                         },
                     )
                 })
             },
         );
         group.bench_with_input(
-            BenchmarkId::new("kernel_parallel", test.name()),
+            BenchmarkId::new("lane_batched_serial", test.name()),
+            &walk,
+            |b, walk| {
+                b.iter(|| {
+                    evaluate_coverage_on_walk(
+                        walk,
+                        &faults,
+                        SweepOptions {
+                            background: false,
+                            mode: DetectionMode::FirstMismatch,
+                            parallel: false,
+                            backend: SweepBackend::LaneBatched,
+                        },
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lane_batched_parallel", test.name()),
             &walk,
             |b, walk| b.iter(|| evaluate_coverage_on_walk(walk, &faults, SweepOptions::fast())),
         );

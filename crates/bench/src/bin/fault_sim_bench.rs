@@ -2,17 +2,20 @@
 //! and writes `BENCH_fault_sim.json`.
 //!
 //! ```text
-//! cargo run --release -p bench --bin fault_sim_bench                  # 64x64 .. 512x512
+//! cargo run --release -p bench --bin fault_sim_bench                  # 64x64 .. 1024x1024
 //! cargo run --release -p bench --bin fault_sim_bench -- --organization 64x64,128x128
 //! cargo run --release -p bench --bin fault_sim_bench -- --rows 16 --cols 16
 //! cargo run --release -p bench --bin fault_sim_bench -- --passes 5 --out custom.json
 //! ```
 //!
 //! The workload is the acceptance sweep of the kernel work: the standard
-//! fault list × the paper's Table 1 algorithms, compared against a frozen
-//! replica of the original per-fault-allocating serial implementation,
-//! measured at every organization of the `--organization` list (the
-//! ROADMAP's 64×64 → 512×512 scaling sweep by default).
+//! fault list × the paper's Table 1 algorithms, measured per organization
+//! for the per-fault kernel (serial + parallel) and the lane-batched
+//! backend (≤64 faults per walk dispatch, serial + parallel), compared
+//! against a frozen replica of the original per-fault-allocating serial
+//! implementation up to 256×256 (`baseline_skipped` beyond — see
+//! `bench::throughput::BASELINE_CELL_CAP`). The default sweep is the
+//! ROADMAP's 64×64 → 1024×1024 scaling ladder.
 
 use bench::cli::{arg_value, parse_size_list};
 use bench::throughput::FaultSimSweep;
@@ -31,7 +34,7 @@ fn main() {
     let organizations = arg_value(&args, "--organization")
         .map(|spec| parse_size_list(&spec))
         .or(single.map(|size| vec![size]))
-        .unwrap_or_else(|| vec![(64, 64), (128, 128), (256, 256), (512, 512)]);
+        .unwrap_or_else(|| vec![(64, 64), (128, 128), (256, 256), (512, 512), (1024, 1024)]);
     let passes: usize = arg_value(&args, "--passes")
         .map(|v| v.parse().expect("--passes must be an integer"))
         .unwrap_or(3);
@@ -51,19 +54,35 @@ fn main() {
             result.fault_count,
             result.threads
         );
+        match result.baseline {
+            Some(baseline) => println!(
+                "  baseline (seed-style serial, full walks):  {:>12.1} faults/sec",
+                baseline.faults_per_sec
+            ),
+            None => println!("  baseline (seed-style serial):              skipped above 256x256"),
+        }
+        let vs_baseline = |speedup: Option<f64>| {
+            speedup.map_or_else(String::new, |s| format!("   ({s:.1}x vs baseline)"))
+        };
         println!(
-            "  baseline (seed-style serial, full walks):  {:>12.1} faults/sec",
-            result.baseline.faults_per_sec
-        );
-        println!(
-            "  kernel serial (shared walk + early exit):  {:>12.1} faults/sec   ({:.1}x)",
+            "  kernel serial (shared walk + early exit):  {:>12.1} faults/sec{}",
             result.kernel_serial.faults_per_sec,
-            result.speedup_serial()
+            vs_baseline(result.speedup_serial())
         );
         println!(
-            "  kernel parallel (+ threaded sweep):        {:>12.1} faults/sec   ({:.1}x)",
+            "  kernel parallel (+ threaded sweep):        {:>12.1} faults/sec{}",
             result.kernel_parallel.faults_per_sec,
-            result.speedup_parallel()
+            vs_baseline(result.speedup_parallel())
+        );
+        println!(
+            "  lane-batched serial (64 faults per walk):  {:>12.1} faults/sec   ({:.1}x vs kernel)",
+            result.batched.faults_per_sec,
+            result.speedup_batched_vs_kernel()
+        );
+        println!(
+            "  lane-batched parallel (cohorts on threads):{:>12.1} faults/sec   ({:.1}x vs kernel)",
+            result.batched_parallel.faults_per_sec,
+            result.speedup_batched_parallel_vs_kernel()
         );
     }
 

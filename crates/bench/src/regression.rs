@@ -21,9 +21,17 @@
 //!   class of failure.
 //!
 //! Fields prefixed `baseline_` are never gated: they measure the frozen
-//! seed replica, which is a reference, not a product path. Fields are
-//! compared at the top level and inside each entry of a `sizes` array,
-//! with entries matched across files by their `rows`×`cols` pair.
+//! seed replica, which is a reference, not a product path — that covers
+//! both its raw `baseline_faults_per_sec` throughput and the boolean
+//! `baseline_skipped` marker the fault-sim sweep writes for sizes whose
+//! replica is capped out (above 256×256). Unknown and non-numeric fields
+//! are tolerated everywhere, so schema evolution (like the lane-batched
+//! `batched_*_per_sec` / `speedup_batched_*` family) gates automatically
+//! without checker changes, and sizes whose baseline-relative metrics are
+//! absent from the *committed* file are simply not compared for them.
+//! Fields are compared at the top level and inside each entry of a
+//! `sizes` array, with entries matched across files by their
+//! `rows`×`cols` pair.
 
 use crate::json::{parse, JsonValue};
 
@@ -323,6 +331,86 @@ mod tests {
             .failures
             .iter()
             .any(|f| f.contains("512x512: size missing")));
+    }
+
+    /// A committed fault-sim baseline in the lane-batched schema: the
+    /// 64×64 entry carries the full metric set, the 1024×1024 entry has
+    /// its frozen seed replica skipped and gates only on the
+    /// machine-relative batched-vs-kernel speedups.
+    fn batched_baseline() -> String {
+        r#"{
+  "benchmark": "fault_sim_sweep",
+  "threads": 1,
+  "sizes": [
+    { "rows": 64, "cols": 64,
+      "baseline_skipped": false,
+      "baseline_faults_per_sec": 2400.0,
+      "kernel_serial_faults_per_sec": 110000.0,
+      "batched_faults_per_sec": 900000.0,
+      "speedup_serial": 45.0,
+      "speedup_batched_vs_kernel": 8.2 },
+    { "rows": 1024, "cols": 1024,
+      "baseline_skipped": true,
+      "kernel_serial_faults_per_sec": 1500.0,
+      "batched_faults_per_sec": 500000.0,
+      "speedup_batched_vs_kernel": 330.0 }
+  ]
+}"#
+        .to_string()
+    }
+
+    #[test]
+    fn batched_schema_gates_and_tolerates_baseline_skipped() {
+        let report = check_benchmarks(
+            &batched_baseline(),
+            &batched_baseline(),
+            GateThresholds::default(),
+        )
+        .unwrap();
+        assert!(report.passed());
+        // Gated: kernel + batched *_per_sec and the speedup_* family per
+        // size. Never gated: the boolean `baseline_skipped`, the frozen
+        // `baseline_faults_per_sec` replica and the rows/cols keys.
+        assert_eq!(report.comparisons.len(), 7);
+        assert!(report
+            .comparisons
+            .iter()
+            .all(|c| !c.metric.contains("baseline_")));
+    }
+
+    #[test]
+    fn synthetically_degraded_batched_metric_fails_the_gate() {
+        // A 40% collapse of the 1024x1024 batched-vs-kernel speedup —
+        // the machine-relative metric that carries the sweep's gate once
+        // the baseline replica is skipped — must fail at the 25%
+        // threshold.
+        let current = batched_baseline().replace(
+            "\"speedup_batched_vs_kernel\": 330.0",
+            "\"speedup_batched_vs_kernel\": 198.0",
+        );
+        let report =
+            check_benchmarks(&batched_baseline(), &current, GateThresholds::default()).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("1024x1024 speedup_batched_vs_kernel"));
+    }
+
+    #[test]
+    fn unknown_and_non_numeric_fields_are_tolerated() {
+        // Boolean, string and null members — plus fields absent from the
+        // committed baseline — must neither gate nor fail.
+        let current = batched_baseline()
+            .replace(
+                "\"baseline_skipped\": true,",
+                "\"baseline_skipped\": true, \"note\": \"new runner\", \"calibrated\": null,",
+            )
+            .replace(
+                "\"speedup_batched_vs_kernel\": 330.0",
+                "\"speedup_batched_vs_kernel\": 330.0, \"speedup_future_metric\": 1.0",
+            );
+        let report =
+            check_benchmarks(&batched_baseline(), &current, GateThresholds::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.failures);
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! Lane-batched multi-fault simulation: the [`FaultBatch`] planner and
+//! cohort sweep driver.
+//!
+//! The per-fault kernel ([`crate::fault_sim::simulate_fault_on_walk`])
+//! pays one walk dispatch — and one scratch-memory refill proportional to
+//! the array capacity — per injected fault. The bit-packed store already
+//! holds sixty-four cells per word, and the batched backend turns that
+//! around: sixty-four *independent* faults ride one walk by giving each
+//! bit lane of a [`LaneMemory`] its own faulty universe
+//! ([`crate::executor::run_march_lanes`]).
+//!
+//! [`FaultBatch::plan`] partitions a fault list into dispatchable
+//! [`Cohort`]s under these rules, in fault-list order:
+//!
+//! * a fault joins a lane cohort when the walk is
+//!   [`MarchWalk::locality_safe`] and the fault provides a
+//!   [`Fault::lane_form`] — its behaviour confined to the lane form's
+//!   involved addresses;
+//! * lane cohorts close at [`LaneMemory::LANES`] (64) members and their
+//!   involved-step slices are merged into one dispatch schedule by the
+//!   cohort kernel;
+//! * everything else (no lane form, or a non-locality-safe walk) becomes
+//!   a serial singleton that runs the per-fault golden path.
+//!
+//! [`sweep_batched`] executes a plan — serial or fanned out across
+//! threads with whole cohorts as the unit of work — and reassembles the
+//! outcomes in fault-list order, so batched sweeps are byte-identical to
+//! per-fault ones.
+
+use crate::executor::{run_march_lanes, MarchWalk};
+use crate::fault_sim::{simulate_fault_on_walk, DetectionMode, FaultSimOutcome};
+use crate::faults::{Fault, FaultFactory, LaneFault};
+use crate::memory::{GoodMemory, LaneMemory};
+use crate::parallel::par_chunk_flat_map;
+
+/// One unit of sweep work produced by the [`FaultBatch`] planner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cohort {
+    /// Up to [`LaneMemory::LANES`] lane-compatible faults simulated in one
+    /// walk dispatch; the values are indices into the planned fault list,
+    /// and each fault's lane is its position in the vector.
+    Lanes(Vec<usize>),
+    /// A fault that must run the per-fault path: its index in the planned
+    /// fault list.
+    Serial(usize),
+}
+
+impl Cohort {
+    /// Number of faults this cohort simulates.
+    pub fn len(&self) -> usize {
+        match self {
+            Cohort::Lanes(indices) => indices.len(),
+            Cohort::Serial(_) => 1,
+        }
+    }
+
+    /// `true` when the cohort simulates no faults (never produced by the
+    /// planner).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A fault list partitioned into ≤64-lane cohorts for one walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultBatch {
+    cohorts: Vec<Cohort>,
+    faults: usize,
+}
+
+impl FaultBatch {
+    /// Plans the cohorts of `faults` over `walk` (see the module docs for
+    /// the grouping rules). Planning instantiates one probe fault per
+    /// factory to query its lane form.
+    pub fn plan(walk: &MarchWalk, faults: &[FaultFactory]) -> Self {
+        let mut cohorts = Vec::new();
+        let mut pending: Vec<usize> = Vec::new();
+        for (index, factory) in faults.iter().enumerate() {
+            let lane_capable = walk.locality_safe() && factory().lane_form().is_some();
+            if lane_capable {
+                pending.push(index);
+                if pending.len() == LaneMemory::LANES {
+                    cohorts.push(Cohort::Lanes(std::mem::take(&mut pending)));
+                }
+            } else {
+                cohorts.push(Cohort::Serial(index));
+            }
+        }
+        if !pending.is_empty() {
+            cohorts.push(Cohort::Lanes(pending));
+        }
+        Self {
+            cohorts,
+            faults: faults.len(),
+        }
+    }
+
+    /// The planned cohorts. Lane cohorts appear in fault-list order of
+    /// their members; serial singletons are interleaved where their fault
+    /// sits in the list.
+    pub fn cohorts(&self) -> &[Cohort] {
+        &self.cohorts
+    }
+
+    /// Number of faults the plan covers.
+    pub fn fault_count(&self) -> usize {
+        self.faults
+    }
+
+    /// Number of faults that ride lane cohorts (the rest run serially).
+    pub fn lane_fault_count(&self) -> usize {
+        self.cohorts
+            .iter()
+            .map(|cohort| match cohort {
+                Cohort::Lanes(indices) => indices.len(),
+                Cohort::Serial(_) => 0,
+            })
+            .sum()
+    }
+}
+
+/// Runs one cohort of `batch`-planned work and tags each outcome with its
+/// fault-list index. `scratch` serves the serial singletons and is only
+/// allocated when the first one is met — an all-lane plan (the common
+/// case) never pays for a capacity-sized memory; lane cohorts use their
+/// own sparse [`LaneMemory`] instead.
+///
+/// # Panics
+///
+/// Panics if a pre-allocated `scratch` does not match the walk's capacity
+/// or a planned lane fault no longer provides a lane form.
+pub fn run_cohort(
+    walk: &MarchWalk,
+    faults: &[FaultFactory],
+    cohort: &Cohort,
+    scratch: &mut Option<GoodMemory>,
+    background: bool,
+    mode: DetectionMode,
+) -> Vec<(usize, FaultSimOutcome)> {
+    match cohort {
+        Cohort::Serial(index) => {
+            let scratch = scratch.get_or_insert_with(|| GoodMemory::new(walk.capacity()));
+            let outcome = simulate_fault_on_walk(walk, scratch, faults[*index](), background, mode);
+            vec![(*index, outcome)]
+        }
+        Cohort::Lanes(indices) => {
+            let instances: Vec<Box<dyn Fault>> = indices.iter().map(|&i| faults[i]()).collect();
+            let mut lanes: Vec<Box<dyn LaneFault>> = instances
+                .iter()
+                .map(|fault| {
+                    fault
+                        .lane_form()
+                        .expect("planned lane faults have lane forms")
+                })
+                .collect();
+            let detections = run_march_lanes(walk, &mut lanes, background, mode);
+            indices
+                .iter()
+                .zip(&instances)
+                .zip(detections)
+                .map(|((&index, fault), detection)| {
+                    (
+                        index,
+                        FaultSimOutcome {
+                            fault_name: fault.name(),
+                            fault_kind: fault.kind(),
+                            test_name: walk.test_name().to_string(),
+                            order_name: walk.order_name().to_string(),
+                            detected: detection.detected,
+                            mismatches: detection.mismatches,
+                        },
+                    )
+                })
+                .collect()
+        }
+    }
+}
+
+/// Simulates every fault in `faults` over `walk` through the lane-batched
+/// backend, returning outcomes in fault-list order.
+///
+/// The fault list is planned into cohorts once, the cohorts are executed
+/// — fanned out across `threads` worker threads with whole cohorts as the
+/// unit of work when `threads > 1` — and the tagged outcomes are
+/// scattered back into list order, so the result is identical to the
+/// per-fault path regardless of scheduling.
+pub fn sweep_batched(
+    walk: &MarchWalk,
+    faults: &[FaultFactory],
+    background: bool,
+    mode: DetectionMode,
+    threads: usize,
+) -> Vec<FaultSimOutcome> {
+    let plan = FaultBatch::plan(walk, faults);
+    let tagged = par_chunk_flat_map(plan.cohorts(), threads, |chunk| {
+        // One scratch memory per worker, allocated lazily by the first
+        // serial singleton of the chunk (if any).
+        let mut scratch = None;
+        chunk
+            .iter()
+            .flat_map(|cohort| run_cohort(walk, faults, cohort, &mut scratch, background, mode))
+            .collect()
+    });
+    let mut outcomes: Vec<Option<FaultSimOutcome>> = (0..faults.len()).map(|_| None).collect();
+    for (index, outcome) in tagged {
+        debug_assert!(outcomes[index].is_none(), "each fault simulated once");
+        outcomes[index] = Some(outcome);
+    }
+    outcomes
+        .into_iter()
+        .map(|outcome| outcome.expect("plan covers every fault"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address_order::WordLineAfterWordLine;
+    use crate::algorithm::MarchTest;
+    use crate::element::MarchElement;
+    use crate::faults::{standard_fault_list, StuckAtFault};
+    use crate::library;
+    use crate::operation::MarchOp;
+    use sram_model::address::Address;
+    use sram_model::config::ArrayOrganization;
+
+    fn org() -> ArrayOrganization {
+        ArrayOrganization::new(4, 4).unwrap()
+    }
+
+    fn saf_list(count: u32) -> Vec<FaultFactory> {
+        (0..count)
+            .map(|v| {
+                let factory: FaultFactory =
+                    Box::new(move || Box::new(StuckAtFault::new(Address::new(v), v % 2 == 0)));
+                factory
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plan_groups_the_standard_library_into_one_cohort() {
+        let organization = org();
+        let walk = MarchWalk::new(&library::march_ss(), &WordLineAfterWordLine, &organization);
+        let faults = standard_fault_list(&organization);
+        let plan = FaultBatch::plan(&walk, &faults);
+        // Every standard fault — including the stuck-open family — has a
+        // lane form, and the list fits into one 64-lane cohort.
+        assert_eq!(plan.fault_count(), faults.len());
+        assert_eq!(plan.lane_fault_count(), faults.len());
+        assert_eq!(plan.cohorts().len(), 1);
+        assert_eq!(plan.cohorts()[0].len(), faults.len());
+        assert!(!plan.cohorts()[0].is_empty());
+    }
+
+    #[test]
+    fn plan_splits_at_sixty_four_lanes() {
+        let organization = ArrayOrganization::new(16, 8).unwrap();
+        let walk = MarchWalk::new(&library::mats_plus(), &WordLineAfterWordLine, &organization);
+        for (count, expected) in [
+            (1usize, vec![1]),
+            (63, vec![63]),
+            (64, vec![64]),
+            (65, vec![64, 1]),
+        ] {
+            let faults = saf_list(count as u32);
+            let plan = FaultBatch::plan(&walk, &faults);
+            let sizes: Vec<usize> = plan.cohorts().iter().map(Cohort::len).collect();
+            assert_eq!(sizes, expected, "count {count}");
+        }
+    }
+
+    #[test]
+    fn non_locality_safe_walks_plan_serial_singletons() {
+        let organization = org();
+        let reads_first = MarchTest::new(
+            "reads-first",
+            vec![MarchElement::ascending(vec![MarchOp::R1])],
+        );
+        let walk = MarchWalk::new(&reads_first, &WordLineAfterWordLine, &organization);
+        assert!(!walk.locality_safe());
+        let faults = saf_list(4);
+        let plan = FaultBatch::plan(&walk, &faults);
+        assert_eq!(plan.lane_fault_count(), 0);
+        assert_eq!(plan.cohorts().len(), 4);
+        assert!(plan
+            .cohorts()
+            .iter()
+            .all(|cohort| matches!(cohort, Cohort::Serial(_))));
+        // The serial fallback still yields outcomes in list order.
+        let outcomes = sweep_batched(&walk, &faults, false, DetectionMode::Full, 1);
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(outcomes[3].fault_name, "SAF0@3");
+    }
+
+    #[test]
+    fn faults_without_a_lane_form_fall_back_to_the_serial_path() {
+        /// A fault that keeps the default `lane_form` of `None`.
+        #[derive(Debug)]
+        struct Opaque;
+        impl Fault for Opaque {
+            fn name(&self) -> String {
+                "OPAQUE".into()
+            }
+            fn kind(&self) -> crate::faults::FaultKind {
+                crate::faults::FaultKind::StuckAt
+            }
+            fn write(&mut self, memory: &mut GoodMemory, address: Address, _value: bool) {
+                memory.set(address, true);
+            }
+            fn read(&mut self, memory: &mut GoodMemory, address: Address) -> bool {
+                memory.get(address)
+            }
+        }
+        let organization = org();
+        let walk = MarchWalk::new(&library::march_ss(), &WordLineAfterWordLine, &organization);
+        let mut faults = saf_list(2);
+        faults.insert(1, Box::new(|| Box::new(Opaque)));
+        let plan = FaultBatch::plan(&walk, &faults);
+        assert_eq!(plan.lane_fault_count(), 2);
+        assert_eq!(
+            plan.cohorts().len(),
+            2,
+            "one serial singleton + one lane cohort"
+        );
+        let outcomes = sweep_batched(&walk, &faults, false, DetectionMode::FirstMismatch, 1);
+        assert_eq!(outcomes[1].fault_name, "OPAQUE");
+        assert!(outcomes[1].detected, "stuck-at-1-everything is detected");
+    }
+
+    #[test]
+    fn batched_sweep_is_identical_serial_and_parallel() {
+        let organization = org();
+        let walk = MarchWalk::new(
+            &library::march_c_minus(),
+            &WordLineAfterWordLine,
+            &organization,
+        );
+        let faults = standard_fault_list(&organization);
+        for mode in [DetectionMode::Full, DetectionMode::FirstMismatch] {
+            let serial = sweep_batched(&walk, &faults, false, mode, 1);
+            let parallel = sweep_batched(&walk, &faults, false, mode, 8);
+            assert_eq!(serial, parallel, "{mode:?}");
+        }
+    }
+}

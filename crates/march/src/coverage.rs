@@ -4,8 +4,12 @@
 //! kernel: it precomputes one [`MarchWalk`] per `(test, order,
 //! organization)`, reuses one scratch memory per worker across the whole
 //! fault list, and — via [`SweepOptions`] — optionally stops each
-//! simulation at the first mismatch and fans the list out across threads.
-//! Parallel sweeps produce **identical** reports to serial ones: outcomes
+//! simulation at the first mismatch and fans the work out across threads.
+//! By default the sweep rides the lane-batched backend
+//! ([`crate::batch`]): compatible faults are grouped into ≤64-lane
+//! cohorts that share one walk dispatch each, with the per-fault path
+//! kept as the golden reference ([`SweepBackend::PerFault`]). Both
+//! backends, serial or parallel, produce **identical** reports: outcomes
 //! are kept in fault-list order regardless of scheduling.
 
 use std::collections::BTreeMap;
@@ -14,11 +18,25 @@ use sram_model::config::ArrayOrganization;
 
 use crate::address_order::AddressOrder;
 use crate::algorithm::MarchTest;
+use crate::batch::sweep_batched;
 use crate::executor::MarchWalk;
 use crate::fault_sim::{simulate_fault_on_walk, DetectionMode, FaultSimOutcome};
 use crate::faults::FaultFactory;
 use crate::memory::GoodMemory;
 use crate::parallel::{max_threads, par_chunk_map};
+
+/// Which sweep engine simulates the fault list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepBackend {
+    /// The lane-batched backend: compatible faults grouped into ≤64-lane
+    /// cohorts, one walk dispatch per cohort, serial fallback for the
+    /// rest ([`crate::batch::FaultBatch`]). The default.
+    #[default]
+    LaneBatched,
+    /// One filtered walk per fault — the golden reference path that
+    /// batched sweeps are verified against.
+    PerFault,
+}
 
 /// Tuning knobs of a coverage sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -28,19 +46,37 @@ pub struct SweepOptions {
     /// Detail recorded per fault: [`DetectionMode::Full`] counts every
     /// mismatch, [`DetectionMode::FirstMismatch`] stops at the first one.
     pub mode: DetectionMode,
-    /// Fan the fault list out across threads. The outcome order (and thus
-    /// the whole report) is identical to a serial sweep.
+    /// Fan the work out across threads (whole cohorts per unit under the
+    /// batched backend, fault-list chunks under the per-fault one). The
+    /// outcome order (and thus the whole report) is identical to a serial
+    /// sweep.
     pub parallel: bool,
+    /// The sweep engine; [`SweepBackend::LaneBatched`] by default.
+    pub backend: SweepBackend,
 }
 
 impl SweepOptions {
     /// The throughput configuration for detection-only experiments:
-    /// early-exit simulations, parallel across the fault list.
+    /// early-exit simulations on the lane-batched backend, parallel
+    /// across the cohorts.
     pub fn fast() -> Self {
         Self {
             background: false,
             mode: DetectionMode::FirstMismatch,
             parallel: true,
+            backend: SweepBackend::LaneBatched,
+        }
+    }
+
+    /// The serial per-fault reference configuration: full mismatch
+    /// counts, no batching, no threads — the golden path batched sweeps
+    /// are tested (and benchmarked) against.
+    pub fn golden() -> Self {
+        Self {
+            background: false,
+            mode: DetectionMode::Full,
+            parallel: false,
+            backend: SweepBackend::PerFault,
         }
     }
 }
@@ -128,32 +164,44 @@ impl CoverageReport {
 
 /// Simulates every fault in `faults` over a precomputed `walk`.
 ///
-/// This is the sweep kernel: serial sweeps reuse one scratch memory for
-/// the entire list; parallel sweeps give each worker thread its own
-/// scratch memory and a contiguous chunk of the list, and reassemble the
-/// outcomes in fault-list order, so the report is identical either way.
+/// This is the sweep driver. Under the default
+/// [`SweepBackend::LaneBatched`] the list is planned into ≤64-lane
+/// cohorts that each share one walk dispatch (threads take whole cohorts
+/// when `parallel` is set). Under [`SweepBackend::PerFault`] serial
+/// sweeps reuse one scratch memory for the entire list and parallel
+/// sweeps give each worker thread its own scratch memory and a contiguous
+/// chunk of the list. Either way the outcomes are reassembled in
+/// fault-list order, so every backend/threading combination yields an
+/// identical report.
 pub fn evaluate_coverage_on_walk(
     walk: &MarchWalk,
     faults: &[FaultFactory],
     options: SweepOptions,
 ) -> CoverageReport {
-    let sweep_chunk = |chunk: &[FaultFactory]| -> Vec<FaultSimOutcome> {
-        let mut scratch = GoodMemory::new(walk.capacity());
-        chunk
-            .iter()
-            .map(|factory| {
-                simulate_fault_on_walk(
-                    walk,
-                    &mut scratch,
-                    factory(),
-                    options.background,
-                    options.mode,
-                )
-            })
-            .collect()
-    };
     let threads = if options.parallel { max_threads() } else { 1 };
-    let outcomes = par_chunk_map(faults, threads, sweep_chunk);
+    let outcomes = match options.backend {
+        SweepBackend::LaneBatched => {
+            sweep_batched(walk, faults, options.background, options.mode, threads)
+        }
+        SweepBackend::PerFault => {
+            let sweep_chunk = |chunk: &[FaultFactory]| -> Vec<FaultSimOutcome> {
+                let mut scratch = GoodMemory::new(walk.capacity());
+                chunk
+                    .iter()
+                    .map(|factory| {
+                        simulate_fault_on_walk(
+                            walk,
+                            &mut scratch,
+                            factory(),
+                            options.background,
+                            options.mode,
+                        )
+                    })
+                    .collect()
+            };
+            par_chunk_map(faults, threads, sweep_chunk)
+        }
+    };
     CoverageReport::new(walk.test_name(), walk.order_name(), outcomes)
 }
 
@@ -171,9 +219,10 @@ pub fn evaluate_coverage_with(
 }
 
 /// Simulates every fault in `faults` under `test`/`order` and aggregates
-/// the outcomes (serial, full mismatch counts — the behaviour of the
-/// original API; use [`evaluate_coverage_with`] and [`SweepOptions::fast`]
-/// for throughput sweeps).
+/// the outcomes (full mismatch counts, single-threaded, on the default
+/// lane-batched backend — report-identical to the seed API's serial
+/// per-fault sweep; use [`evaluate_coverage_with`] and
+/// [`SweepOptions::fast`] for throughput sweeps).
 pub fn evaluate_coverage(
     test: &MarchTest,
     order: &dyn AddressOrder,
@@ -247,12 +296,12 @@ mod tests {
     }
 
     #[test]
-    fn parallel_sweep_report_is_identical_to_the_serial_one() {
+    fn every_backend_and_threading_combination_yields_the_same_report() {
         let organization = org();
         let faults = standard_fault_list(&organization);
         for test in library::table1_algorithms() {
             for mode in [DetectionMode::Full, DetectionMode::FirstMismatch] {
-                let serial = evaluate_coverage_with(
+                let reference = evaluate_coverage_with(
                     &test,
                     &WordLineAfterWordLine,
                     &organization,
@@ -261,38 +310,56 @@ mod tests {
                         background: false,
                         mode,
                         parallel: false,
+                        backend: SweepBackend::PerFault,
                     },
                 );
-                let parallel = evaluate_coverage_with(
-                    &test,
-                    &WordLineAfterWordLine,
-                    &organization,
-                    &faults,
-                    SweepOptions {
-                        background: false,
-                        mode,
-                        parallel: true,
-                    },
-                );
-                // Structural equality and byte-identical debug rendering:
-                // outcome order must be the fault-list order in both.
-                assert_eq!(serial, parallel, "{} ({mode:?})", test.name());
-                assert_eq!(
-                    format!("{serial:?}"),
-                    format!("{parallel:?}"),
-                    "{} ({mode:?})",
-                    test.name()
-                );
+                for backend in [SweepBackend::PerFault, SweepBackend::LaneBatched] {
+                    for parallel in [false, true] {
+                        let other = evaluate_coverage_with(
+                            &test,
+                            &WordLineAfterWordLine,
+                            &organization,
+                            &faults,
+                            SweepOptions {
+                                background: false,
+                                mode,
+                                parallel,
+                                backend,
+                            },
+                        );
+                        // Structural equality and byte-identical debug
+                        // rendering: outcome order must be the fault-list
+                        // order in every combination.
+                        assert_eq!(
+                            reference,
+                            other,
+                            "{} ({mode:?}, {backend:?}, parallel={parallel})",
+                            test.name()
+                        );
+                        assert_eq!(
+                            format!("{reference:?}"),
+                            format!("{other:?}"),
+                            "{} ({mode:?}, {backend:?}, parallel={parallel})",
+                            test.name()
+                        );
+                    }
+                }
             }
         }
     }
 
     #[test]
-    fn fast_sweep_detects_exactly_the_same_faults_as_the_full_one() {
+    fn fast_sweep_detects_exactly_the_same_faults_as_the_golden_one() {
         let organization = org();
         let faults = standard_fault_list(&organization);
         for test in library::table1_algorithms() {
-            let full = evaluate_coverage(&test, &WordLineAfterWordLine, &organization, &faults);
+            let full = evaluate_coverage_with(
+                &test,
+                &WordLineAfterWordLine,
+                &organization,
+                &faults,
+                SweepOptions::golden(),
+            );
             let fast = evaluate_coverage_with(
                 &test,
                 &WordLineAfterWordLine,

@@ -29,7 +29,9 @@ use sram_model::config::ArrayOrganization;
 use crate::address_order::AddressOrder;
 use crate::algorithm::MarchTest;
 use crate::element::AddressDirection;
-use crate::memory::MemoryModel;
+use crate::fault_sim::DetectionMode;
+use crate::faults::LaneFault;
+use crate::memory::{LaneMemory, MemoryModel};
 use crate::operation::MarchOp;
 
 /// One operation of a March test applied to one address.
@@ -150,7 +152,8 @@ impl AddressPlan {
 
 /// One flattened step, packed into eight bytes: the raw address, the
 /// element index, the op index and a code byte (bits 0–1 the operation,
-/// bit 2 `last_op_on_address`, bit 3 `last_op_of_element`).
+/// bit 2 `last_op_on_address`, bit 3 `last_op_of_element`, bit 4 the
+/// sensed-before value — see [`SENSED_BEFORE`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct PackedStep {
     address: u32,
@@ -164,6 +167,16 @@ const READ_BIT: u8 = 0b0010;
 const VALUE_BIT: u8 = 0b0001;
 const LAST_ON_ADDRESS: u8 = 0b0100;
 const LAST_OF_ELEMENT: u8 = 0b1000;
+/// For read steps: the value a fault-free-elsewhere sense amplifier holds
+/// *before* this read, i.e. the expected value of the most recent earlier
+/// read at an address **different from this step's address** (`0` when no
+/// such read exists, matching the initial sense-amplifier state of
+/// [`crate::faults::StuckOpenFault`]). Stamped at walk-build time, this is
+/// what lets the history-dependent stuck-open fault ride the lane-batched
+/// kernel without replaying the full walk: in a locality-safe walk every
+/// non-victim read returns its expected value, so the victim's bit-line
+/// history is a pure function of the walk and can be precomputed.
+const SENSED_BEFORE: u8 = 0b1_0000;
 
 #[inline]
 fn op_code(op: MarchOp) -> u8 {
@@ -257,6 +270,12 @@ impl MarchWalk {
         let mut steps = Vec::with_capacity(test.operation_count() * capacity as usize);
         let mut reads = 0u64;
         let mut writes = 0u64;
+        // Sense-amplifier history for the SENSED_BEFORE stamp: the most
+        // recent read (address, expected value) and the expected value of
+        // the most recent read at a *different* address than that one.
+        // Writes leave the sensed value untouched.
+        let mut last_read: Option<(u32, bool)> = None;
+        let mut prior_distinct = false;
         for (element_index, element) in test.elements().iter().enumerate() {
             let ops = element.ops();
             assert!(
@@ -266,12 +285,29 @@ impl MarchWalk {
             let last_position = plan.len().saturating_sub(1);
             for (position, address) in plan.iter(element.direction()).enumerate() {
                 for (op_index, &op) in ops.iter().enumerate() {
+                    let mut code = op_code(op);
                     if op.is_read() {
                         reads += 1;
+                        let sensed = match last_read {
+                            Some((last_address, _)) if last_address == address.value() => {
+                                prior_distinct
+                            }
+                            Some((_, last_value)) => last_value,
+                            None => false,
+                        };
+                        if sensed {
+                            code |= SENSED_BEFORE;
+                        }
+                        if let Some((last_address, last_value)) = last_read {
+                            if last_address != address.value() {
+                                prior_distinct = last_value;
+                            }
+                        }
+                        let expected = op.expected_value().expect("reads have expectations");
+                        last_read = Some((address.value(), expected));
                     } else {
                         writes += 1;
                     }
-                    let mut code = op_code(op);
                     if op_index == ops.len() - 1 {
                         code |= LAST_ON_ADDRESS;
                         if position == last_position {
@@ -449,15 +485,20 @@ pub fn run_march_until_detected<M: MemoryModel + ?Sized>(walk: &MarchWalk, memor
     false
 }
 
-/// The ascending, deduplicated indices of the walk steps touching any of
-/// the `involved` addresses.
+/// The ascending, deduplicated indices of the walk steps touching a set of
+/// involved addresses — the involved-step schedule shared by the per-fault
+/// filtered runners and the lane-batched cohort kernel.
 ///
 /// Single-address faults (the bulk of every fault list) borrow their CSR
-/// slice directly — no allocation, no sort. Multi-address faults (the
-/// coupling pair, the decoder alias) linearly merge their already-sorted
-/// slices, deduplicating shared indices.
-enum FilteredSteps<'a> {
+/// slice directly — no allocation, no sort. Multi-address sets (the
+/// coupling pair, the decoder alias, a whole cohort's merged union)
+/// linearly merge their already-sorted slices, deduplicating shared
+/// indices. Produced by [`merged_step_indices`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilteredSteps<'a> {
+    /// A CSR slice borrowed straight from the walk (zero or one address).
     Borrowed(&'a [u32]),
+    /// The merged schedule of several addresses' slices.
     Merged(Vec<u32>),
 }
 
@@ -472,7 +513,20 @@ impl std::ops::Deref for FilteredSteps<'_> {
     }
 }
 
-fn merged_step_indices<'a>(walk: &'a MarchWalk, involved: &[Address]) -> FilteredSteps<'a> {
+/// Builds the involved-step schedule of `involved` over `walk`: every walk
+/// step index touching at least one of the addresses, ascending, each
+/// index exactly once.
+///
+/// This is the single source of the involved-step filtering used by both
+/// the per-fault fast path ([`run_march_walk_filtered`],
+/// [`run_march_until_detected_filtered`]) and the lane-batched cohort
+/// kernel ([`run_march_lanes`]), which dispatches the merged union of a
+/// whole cohort's involved sets in one pass.
+///
+/// # Panics
+///
+/// Panics if an involved address is outside the walk's capacity.
+pub fn merged_step_indices<'a>(walk: &'a MarchWalk, involved: &[Address]) -> FilteredSteps<'a> {
     match involved {
         [] => FilteredSteps::Borrowed(&[]),
         [address] => FilteredSteps::Borrowed(walk.steps_touching(*address)),
@@ -495,6 +549,166 @@ fn merged_step_indices<'a>(walk: &'a MarchWalk, involved: &[Address]) -> Filtere
             FilteredSteps::Merged(merged)
         }
     }
+}
+
+/// Per-lane outcome of a batched cohort run ([`run_march_lanes`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LaneDetection {
+    /// Whether at least one read mismatched in this lane.
+    pub detected: bool,
+    /// Number of mismatching reads observed in this lane (capped at `1`
+    /// under [`DetectionMode::FirstMismatch`]).
+    pub mismatches: usize,
+    /// The first mismatching read of this lane, when any — identical to
+    /// the first entry of the serial per-fault [`MarchResult::mismatches`]
+    /// list for the same fault.
+    pub first_mismatch: Option<Mismatch>,
+}
+
+#[inline]
+fn lane_mask(lanes: usize) -> u64 {
+    if lanes >= LaneMemory::LANES {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+/// Runs up to sixty-four faults through one walk scan, one bit lane each —
+/// the lane-batched sweep kernel.
+///
+/// Each element of `lanes` owns the bit lane of its position in the slice:
+/// a sparse [`LaneMemory`] over the cohort's merged involved addresses is
+/// filled to `background`, the merged involved-step schedule
+/// ([`merged_step_indices`]) is dispatched once, and at every step the
+/// lanes whose fault involves the step's address run their faulty form
+/// while all remaining lanes take the fault-free whole-word `u64`
+/// operation. Read steps compare all lanes at once: the observed word is
+/// XORed against the splatted expected value and the resulting mismatch
+/// mask updates per-lane detection state; under
+/// [`DetectionMode::FirstMismatch`] the scan stops as soon as the
+/// undetected-lane mask has zero bits left.
+///
+/// Per lane, the outcome (detected/escaped, mismatch count, first
+/// mismatching read) is identical to running that fault alone through the
+/// serial per-fault path: lanes are fully independent universes, and in a
+/// locality-safe walk the steps outside a fault's involved set can neither
+/// mismatch nor influence its cells.
+///
+/// # Panics
+///
+/// Panics if `lanes` is empty or longer than [`LaneMemory::LANES`], if
+/// `walk` is not [`MarchWalk::locality_safe`] (such walks must run the
+/// unfiltered per-fault path), or if a lane involves no addresses.
+pub fn run_march_lanes(
+    walk: &MarchWalk,
+    lanes: &mut [Box<dyn LaneFault>],
+    background: bool,
+    mode: DetectionMode,
+) -> Vec<LaneDetection> {
+    assert!(
+        !lanes.is_empty() && lanes.len() <= LaneMemory::LANES,
+        "a cohort holds 1..=64 lanes"
+    );
+    assert!(
+        walk.locality_safe(),
+        "lane batching requires a locality-safe walk"
+    );
+    let involved: Vec<Vec<Address>> = lanes.iter().map(|lane| lane.involved()).collect();
+    let mut union: Vec<Address> = involved.iter().flatten().copied().collect();
+    union.sort_unstable();
+    union.dedup();
+    // Owner table, aligned with the sorted union: which lanes' faults
+    // involve each address, as both a mask (for the whole-word ops) and a
+    // list (for the per-lane faulty dispatch).
+    let mut owned_masks = vec![0u64; union.len()];
+    let mut owner_lanes: Vec<Vec<u8>> = vec![Vec::new(); union.len()];
+    for (lane, addresses) in involved.iter().enumerate() {
+        assert!(
+            !addresses.is_empty(),
+            "lane {lane} fault involves no addresses"
+        );
+        for address in addresses {
+            let slot = union
+                .binary_search(address)
+                .expect("union covers all lanes");
+            if owned_masks[slot] & (1u64 << lane) == 0 {
+                owned_masks[slot] |= 1u64 << lane;
+                owner_lanes[slot].push(lane as u8);
+            }
+        }
+    }
+    let mut memory = LaneMemory::new(walk.capacity(), &union);
+    memory.fill(background);
+    let active = lane_mask(lanes.len());
+    let mut detected = 0u64;
+    let mut results = vec![LaneDetection::default(); lanes.len()];
+    let merged = merged_step_indices(walk, &union);
+    for &index in merged.iter() {
+        let step = &walk.steps[index as usize];
+        let address = Address::new(step.address);
+        let slot = union
+            .binary_search(&address)
+            .expect("merged steps stay inside the union");
+        if step.code & READ_BIT == 0 {
+            let value = step.code & VALUE_BIT != 0;
+            for &lane in &owner_lanes[slot] {
+                lanes[usize::from(lane)].lane_write(&mut memory, u32::from(lane), address, value);
+            }
+            memory.write_word(address, value, owned_masks[slot]);
+        } else {
+            let expected = step.code & VALUE_BIT != 0;
+            let sensed_before = step.code & SENSED_BEFORE != 0;
+            let mut observed = memory.word(address);
+            for &lane in &owner_lanes[slot] {
+                let bit = lanes[usize::from(lane)].lane_read(
+                    &mut memory,
+                    u32::from(lane),
+                    address,
+                    sensed_before,
+                );
+                observed = (observed & !(1u64 << lane)) | (u64::from(bit) << lane);
+            }
+            let expected_word = if expected { u64::MAX } else { 0 };
+            let miss = (observed ^ expected_word) & active;
+            if miss != 0 {
+                let mut fresh = miss & !detected;
+                while fresh != 0 {
+                    let lane = fresh.trailing_zeros() as usize;
+                    results[lane].first_mismatch = Some(Mismatch {
+                        element: usize::from(step.element),
+                        address,
+                        expected,
+                        observed: observed >> lane & 1 == 1,
+                    });
+                    fresh &= fresh - 1;
+                }
+                detected |= miss;
+                match mode {
+                    DetectionMode::Full => {
+                        let mut each = miss;
+                        while each != 0 {
+                            let lane = each.trailing_zeros() as usize;
+                            results[lane].mismatches += 1;
+                            each &= each - 1;
+                        }
+                    }
+                    DetectionMode::FirstMismatch => {
+                        if (active & !detected).count_ones() == 0 {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (lane, result) in results.iter_mut().enumerate() {
+        result.detected = detected >> lane & 1 == 1;
+        if mode == DetectionMode::FirstMismatch {
+            result.mismatches = usize::from(result.detected);
+        }
+    }
+    results
 }
 
 /// Runs only the steps of `walk` that touch one of the `involved`
@@ -809,6 +1023,78 @@ mod tests {
             seen += indices.len();
         }
         assert_eq!(seen, walk.len(), "every step belongs to exactly one cell");
+    }
+
+    #[test]
+    fn merged_step_indices_is_the_shared_involved_step_schedule() {
+        let organization = org();
+        let test = library::march_ss();
+        let walk = MarchWalk::new(&test, &ColumnMajor, &organization);
+        // Empty set: empty borrowed schedule.
+        assert!(merged_step_indices(&walk, &[]).is_empty());
+        // Single address: the CSR slice itself, borrowed.
+        let single = merged_step_indices(&walk, &[Address::new(5)]);
+        assert!(matches!(single, FilteredSteps::Borrowed(_)));
+        assert_eq!(&*single, walk.steps_touching(Address::new(5)));
+        // Several addresses (duplicates included): ascending, deduplicated
+        // union of their slices.
+        let involved = [Address::new(5), Address::new(2), Address::new(5)];
+        let merged = merged_step_indices(&walk, &involved);
+        assert!(matches!(merged, FilteredSteps::Merged(_)));
+        let mut expected: Vec<u32> = walk
+            .steps_touching(Address::new(2))
+            .iter()
+            .chain(walk.steps_touching(Address::new(5)))
+            .copied()
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(&*merged, expected.as_slice());
+        // The whole array merges back into every step exactly once.
+        let all: Vec<Address> = (0..organization.capacity()).map(Address::new).collect();
+        let complete = merged_step_indices(&walk, &all);
+        assert_eq!(complete.len(), walk.len());
+        assert!(complete.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sensed_before_stamp_tracks_the_latest_distinct_read() {
+        use crate::element::MarchElement;
+
+        // One cell-pair walk with back-to-back reads: ⇑(w0); ⇑(r0,r0,w1,r1)
+        // over two cells. The stamp of a read must be the expected value of
+        // the latest earlier read at a *different* address (0 when none) —
+        // exactly the bit-line history a stuck-open victim observes.
+        let organization = ArrayOrganization::new(1, 2).unwrap();
+        let test = MarchTest::new(
+            "rr",
+            vec![
+                MarchElement::ascending(vec![MarchOp::W0]),
+                MarchElement::ascending(vec![MarchOp::R0, MarchOp::R0, MarchOp::W1, MarchOp::R1]),
+            ],
+        );
+        let walk = MarchWalk::new(&test, &WordLineAfterWordLine, &organization);
+        let sensed: Vec<Option<bool>> = walk
+            .steps
+            .iter()
+            .map(|step| (step.code & READ_BIT != 0).then_some(step.code & SENSED_BEFORE != 0))
+            .collect();
+        assert_eq!(
+            sensed,
+            vec![
+                None,        // w0 @0
+                None,        // w0 @1
+                Some(false), // r0 @0 — no earlier read at all
+                Some(false), // r0 @0 — earlier reads only at @0 itself
+                None,        // w1 @0
+                Some(false), // r1 @0 — still no read at a different address
+                Some(true),  // r0 @1 — latest distinct read is r1 @0, expecting 1
+                Some(true),  // r0 @1 — @1's own reads don't refresh the history
+                None,        // w1 @1
+                Some(true),  // r1 @1 — latest distinct read is still r1 @0
+            ],
+            "sensed-before stamps"
+        );
     }
 
     #[test]

@@ -10,7 +10,13 @@
 //! [`simulate_fault_on_walk`] with a reused scratch [`GoodMemory`]: the
 //! walk is shared read-only across the whole fault list (and across
 //! threads) and the scratch memory is refilled instead of reallocated,
-//! so the per-fault cost is exactly one kernel scan.
+//! so the per-fault cost is exactly one kernel scan. Library-scale sweeps
+//! go one step further through the lane-batched backend
+//! ([`crate::batch`]), which amortises a single walk dispatch over up to
+//! sixty-four faults and falls back to this per-fault path — the golden
+//! reference — for faults it cannot batch. The involved-step schedule
+//! both paths filter by is built by one shared helper,
+//! [`crate::executor::merged_step_indices`].
 
 use sram_model::config::ArrayOrganization;
 

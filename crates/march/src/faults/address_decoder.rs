@@ -2,8 +2,8 @@
 
 use sram_model::address::Address;
 
-use super::{Fault, FaultKind};
-use crate::memory::GoodMemory;
+use super::{Fault, FaultKind, LaneFault};
+use crate::memory::{GoodMemory, LaneMemory};
 
 /// Address aliasing fault: accesses to one address are routed to another
 /// cell (the classic "no cell accessed / wrong cell accessed" decoder
@@ -58,6 +58,30 @@ impl Fault for AddressAliasFault {
         // Accesses to `aliased` land on `target`, and reads of `target`
         // observe the corruption — both cells' operations matter.
         Some(vec![self.aliased, self.target])
+    }
+
+    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
+        Some(Box::new(*self))
+    }
+}
+
+impl LaneFault for AddressAliasFault {
+    fn involved(&self) -> Vec<Address> {
+        vec![self.aliased, self.target]
+    }
+
+    fn lane_write(&mut self, memory: &mut LaneMemory, lane: u32, address: Address, value: bool) {
+        memory.set_lane(self.redirect(address), lane, value);
+    }
+
+    fn lane_read(
+        &mut self,
+        memory: &mut LaneMemory,
+        lane: u32,
+        address: Address,
+        _sensed_before: bool,
+    ) -> bool {
+        memory.get_lane(self.redirect(address), lane)
     }
 }
 

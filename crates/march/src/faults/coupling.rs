@@ -2,8 +2,8 @@
 
 use sram_model::address::Address;
 
-use super::{Fault, FaultKind};
-use crate::memory::GoodMemory;
+use super::{Fault, FaultKind, LaneFault};
+use crate::memory::{GoodMemory, LaneMemory};
 
 /// Inversion coupling fault: a chosen transition written into the aggressor
 /// cell inverts the victim cell.
@@ -73,6 +73,44 @@ impl Fault for CouplingInversionFault {
         // (and can overwrite) the corrupted cell.
         Some(vec![self.aggressor, self.victim])
     }
+
+    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
+        Some(Box::new(*self))
+    }
+}
+
+impl LaneFault for CouplingInversionFault {
+    fn involved(&self) -> Vec<Address> {
+        vec![self.aggressor, self.victim]
+    }
+
+    fn lane_write(&mut self, memory: &mut LaneMemory, lane: u32, address: Address, value: bool) {
+        if address == self.aggressor {
+            let before = memory.get_lane(address, lane);
+            memory.set_lane(address, lane, value);
+            let triggered = if self.rising {
+                !before && value
+            } else {
+                before && !value
+            };
+            if triggered {
+                let v = memory.get_lane(self.victim, lane);
+                memory.set_lane(self.victim, lane, !v);
+            }
+        } else {
+            memory.set_lane(address, lane, value);
+        }
+    }
+
+    fn lane_read(
+        &mut self,
+        memory: &mut LaneMemory,
+        lane: u32,
+        address: Address,
+        _sensed_before: bool,
+    ) -> bool {
+        memory.get_lane(address, lane)
+    }
 }
 
 /// Idempotent coupling fault: a chosen transition on the aggressor forces
@@ -140,6 +178,43 @@ impl Fault for CouplingIdempotentFault {
 
     fn involved_addresses(&self) -> Option<Vec<Address>> {
         Some(vec![self.aggressor, self.victim])
+    }
+
+    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
+        Some(Box::new(*self))
+    }
+}
+
+impl LaneFault for CouplingIdempotentFault {
+    fn involved(&self) -> Vec<Address> {
+        vec![self.aggressor, self.victim]
+    }
+
+    fn lane_write(&mut self, memory: &mut LaneMemory, lane: u32, address: Address, value: bool) {
+        if address == self.aggressor {
+            let before = memory.get_lane(address, lane);
+            memory.set_lane(address, lane, value);
+            let triggered = if self.rising {
+                !before && value
+            } else {
+                before && !value
+            };
+            if triggered {
+                memory.set_lane(self.victim, lane, self.forced_value);
+            }
+        } else {
+            memory.set_lane(address, lane, value);
+        }
+    }
+
+    fn lane_read(
+        &mut self,
+        memory: &mut LaneMemory,
+        lane: u32,
+        address: Address,
+        _sensed_before: bool,
+    ) -> bool {
+        memory.get_lane(address, lane)
     }
 }
 
@@ -212,6 +287,40 @@ impl Fault for CouplingStateFault {
         // only observable through the victim — both cells' operations
         // cover every trigger and observation point.
         Some(vec![self.aggressor, self.victim])
+    }
+
+    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
+        Some(Box::new(*self))
+    }
+}
+
+impl CouplingStateFault {
+    fn enforce_lane(&self, memory: &mut LaneMemory, lane: u32) {
+        if memory.get_lane(self.aggressor, lane) == self.aggressor_state {
+            memory.set_lane(self.victim, lane, self.forced_value);
+        }
+    }
+}
+
+impl LaneFault for CouplingStateFault {
+    fn involved(&self) -> Vec<Address> {
+        vec![self.aggressor, self.victim]
+    }
+
+    fn lane_write(&mut self, memory: &mut LaneMemory, lane: u32, address: Address, value: bool) {
+        memory.set_lane(address, lane, value);
+        self.enforce_lane(memory, lane);
+    }
+
+    fn lane_read(
+        &mut self,
+        memory: &mut LaneMemory,
+        lane: u32,
+        address: Address,
+        _sensed_before: bool,
+    ) -> bool {
+        self.enforce_lane(memory, lane);
+        memory.get_lane(address, lane)
     }
 }
 

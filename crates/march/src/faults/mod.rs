@@ -37,7 +37,7 @@ use sram_model::address::Address;
 use sram_model::config::ArrayOrganization;
 use std::fmt;
 
-use crate::memory::{GoodMemory, MemoryModel};
+use crate::memory::{GoodMemory, LaneMemory, MemoryModel};
 
 /// Broad classification of a fault model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -123,6 +123,55 @@ pub trait Fault: fmt::Debug {
     fn involved_addresses(&self) -> Option<Vec<Address>> {
         None
     }
+
+    /// The lane-masked injection form of this fault for the batched
+    /// multi-fault backend ([`crate::batch`]), or `None` when the fault
+    /// can only run the per-fault path. The returned object must reproduce
+    /// this fault's behaviour exactly, confined to one bit lane of a
+    /// [`LaneMemory`]. The default is the conservative `None`, which makes
+    /// the [`crate::batch::FaultBatch`] planner fall back to a serial
+    /// singleton cohort.
+    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
+        None
+    }
+}
+
+/// The lane-masked form of a fault: the same faulty behaviour as its
+/// [`Fault`], expressed over a single bit lane of a [`LaneMemory`] so that
+/// up to [`LaneMemory::LANES`] independent faults can share one walk scan
+/// ([`crate::executor::run_march_lanes`]).
+///
+/// Implementations must confine every access to the addresses returned by
+/// [`LaneFault::involved`] and to their own lane: the batched kernel
+/// routes exactly the steps touching those addresses through these
+/// methods, and serves every other lane with fault-free whole-word
+/// operations.
+pub trait LaneFault: fmt::Debug {
+    /// The addresses whose walk steps must be dispatched through this
+    /// lane's faulty form — every address whose read can mismatch and
+    /// every address whose access can change the fault's trigger state.
+    /// Must be non-empty; unlike [`Fault::involved_addresses`] there is no
+    /// `None` escape hatch, because a lane form *is* the claim that the
+    /// fault's behaviour is confined to these addresses (the stuck-open
+    /// fault achieves that through the precomputed sensed-before stamp).
+    fn involved(&self) -> Vec<Address>;
+
+    /// Performs the faulty effect of writing `value` at `address` in lane
+    /// `lane`.
+    fn lane_write(&mut self, memory: &mut LaneMemory, lane: u32, address: Address, value: bool);
+
+    /// Performs the faulty effect of reading `address` in lane `lane` and
+    /// returns the observed value. `sensed_before` is the value the sense
+    /// amplifier holds before this step in a universe where every other
+    /// cell is fault-free, precomputed per walk step at build time — only
+    /// history-dependent faults (the stuck-open fault) consume it.
+    fn lane_read(
+        &mut self,
+        memory: &mut LaneMemory,
+        lane: u32,
+        address: Address,
+        sensed_before: bool,
+    ) -> bool;
 }
 
 /// A fault-free memory wrapped with one injected fault.

@@ -8,8 +8,8 @@
 
 use sram_model::address::Address;
 
-use super::{Fault, FaultKind};
-use crate::memory::GoodMemory;
+use super::{Fault, FaultKind, LaneFault};
+use crate::memory::{GoodMemory, LaneMemory};
 
 /// Read destructive fault: a read flips the cell and returns the flipped
 /// (wrong) value.
@@ -51,6 +51,36 @@ impl Fault for ReadDestructiveFault {
     fn involved_addresses(&self) -> Option<Vec<Address>> {
         Some(vec![self.victim])
     }
+
+    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
+        Some(Box::new(*self))
+    }
+}
+
+impl LaneFault for ReadDestructiveFault {
+    fn involved(&self) -> Vec<Address> {
+        vec![self.victim]
+    }
+
+    fn lane_write(&mut self, memory: &mut LaneMemory, lane: u32, address: Address, value: bool) {
+        memory.set_lane(address, lane, value);
+    }
+
+    fn lane_read(
+        &mut self,
+        memory: &mut LaneMemory,
+        lane: u32,
+        address: Address,
+        _sensed_before: bool,
+    ) -> bool {
+        if address == self.victim {
+            let flipped = !memory.get_lane(address, lane);
+            memory.set_lane(address, lane, flipped);
+            flipped
+        } else {
+            memory.get_lane(address, lane)
+        }
+    }
 }
 
 /// Deceptive read destructive fault: a read returns the correct value but
@@ -90,6 +120,34 @@ impl Fault for DeceptiveReadDestructiveFault {
 
     fn involved_addresses(&self) -> Option<Vec<Address>> {
         Some(vec![self.victim])
+    }
+
+    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
+        Some(Box::new(*self))
+    }
+}
+
+impl LaneFault for DeceptiveReadDestructiveFault {
+    fn involved(&self) -> Vec<Address> {
+        vec![self.victim]
+    }
+
+    fn lane_write(&mut self, memory: &mut LaneMemory, lane: u32, address: Address, value: bool) {
+        memory.set_lane(address, lane, value);
+    }
+
+    fn lane_read(
+        &mut self,
+        memory: &mut LaneMemory,
+        lane: u32,
+        address: Address,
+        _sensed_before: bool,
+    ) -> bool {
+        let correct = memory.get_lane(address, lane);
+        if address == self.victim {
+            memory.set_lane(address, lane, !correct);
+        }
+        correct
     }
 }
 
@@ -131,6 +189,35 @@ impl Fault for IncorrectReadFault {
 
     fn involved_addresses(&self) -> Option<Vec<Address>> {
         Some(vec![self.victim])
+    }
+
+    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
+        Some(Box::new(*self))
+    }
+}
+
+impl LaneFault for IncorrectReadFault {
+    fn involved(&self) -> Vec<Address> {
+        vec![self.victim]
+    }
+
+    fn lane_write(&mut self, memory: &mut LaneMemory, lane: u32, address: Address, value: bool) {
+        memory.set_lane(address, lane, value);
+    }
+
+    fn lane_read(
+        &mut self,
+        memory: &mut LaneMemory,
+        lane: u32,
+        address: Address,
+        _sensed_before: bool,
+    ) -> bool {
+        let value = memory.get_lane(address, lane);
+        if address == self.victim {
+            !value
+        } else {
+            value
+        }
     }
 }
 

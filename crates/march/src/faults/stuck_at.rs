@@ -2,8 +2,8 @@
 
 use sram_model::address::Address;
 
-use super::{Fault, FaultKind};
-use crate::memory::GoodMemory;
+use super::{Fault, FaultKind, LaneFault};
+use crate::memory::{GoodMemory, LaneMemory};
 
 /// A cell permanently stuck at a fixed value: writes of the opposite value
 /// have no effect and reads always return the stuck value.
@@ -61,6 +61,40 @@ impl Fault for StuckAtFault {
 
     fn involved_addresses(&self) -> Option<Vec<Address>> {
         Some(vec![self.victim])
+    }
+
+    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
+        Some(Box::new(*self))
+    }
+}
+
+impl LaneFault for StuckAtFault {
+    fn involved(&self) -> Vec<Address> {
+        vec![self.victim]
+    }
+
+    fn lane_write(&mut self, memory: &mut LaneMemory, lane: u32, address: Address, value: bool) {
+        let stored = if address == self.victim {
+            self.stuck_value
+        } else {
+            value
+        };
+        memory.set_lane(address, lane, stored);
+    }
+
+    fn lane_read(
+        &mut self,
+        memory: &mut LaneMemory,
+        lane: u32,
+        address: Address,
+        _sensed_before: bool,
+    ) -> bool {
+        if address == self.victim {
+            memory.set_lane(address, lane, self.stuck_value);
+            self.stuck_value
+        } else {
+            memory.get_lane(address, lane)
+        }
     }
 }
 

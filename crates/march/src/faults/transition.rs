@@ -2,8 +2,8 @@
 
 use sram_model::address::Address;
 
-use super::{Fault, FaultKind};
-use crate::memory::GoodMemory;
+use super::{Fault, FaultKind, LaneFault};
+use crate::memory::{GoodMemory, LaneMemory};
 
 /// A cell that fails one of its transitions: an *up* transition fault never
 /// goes from `0` to `1`; a *down* transition fault never goes from `1` to
@@ -55,6 +55,41 @@ impl Fault for TransitionFault {
 
     fn involved_addresses(&self) -> Option<Vec<Address>> {
         Some(vec![self.victim])
+    }
+
+    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
+        Some(Box::new(*self))
+    }
+}
+
+impl LaneFault for TransitionFault {
+    fn involved(&self) -> Vec<Address> {
+        vec![self.victim]
+    }
+
+    fn lane_write(&mut self, memory: &mut LaneMemory, lane: u32, address: Address, value: bool) {
+        if address == self.victim {
+            let current = memory.get_lane(address, lane);
+            let failing = if self.up_fails {
+                !current && value
+            } else {
+                current && !value
+            };
+            if failing {
+                return; // The transition does not happen.
+            }
+        }
+        memory.set_lane(address, lane, value);
+    }
+
+    fn lane_read(
+        &mut self,
+        memory: &mut LaneMemory,
+        lane: u32,
+        address: Address,
+        _sensed_before: bool,
+    ) -> bool {
+        memory.get_lane(address, lane)
     }
 }
 

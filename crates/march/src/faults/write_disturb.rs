@@ -2,8 +2,8 @@
 
 use sram_model::address::Address;
 
-use super::{Fault, FaultKind};
-use crate::memory::GoodMemory;
+use super::{Fault, FaultKind, LaneFault};
+use crate::memory::{GoodMemory, LaneMemory};
 
 /// Write disturb fault: a *non-transition* write (writing the value the
 /// cell already holds) flips the cell. Transition writes behave normally.
@@ -44,6 +44,34 @@ impl Fault for WriteDisturbFault {
 
     fn involved_addresses(&self) -> Option<Vec<Address>> {
         Some(vec![self.victim])
+    }
+
+    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
+        Some(Box::new(*self))
+    }
+}
+
+impl LaneFault for WriteDisturbFault {
+    fn involved(&self) -> Vec<Address> {
+        vec![self.victim]
+    }
+
+    fn lane_write(&mut self, memory: &mut LaneMemory, lane: u32, address: Address, value: bool) {
+        if address == self.victim && memory.get_lane(address, lane) == value {
+            memory.set_lane(address, lane, !value);
+        } else {
+            memory.set_lane(address, lane, value);
+        }
+    }
+
+    fn lane_read(
+        &mut self,
+        memory: &mut LaneMemory,
+        lane: u32,
+        address: Address,
+        _sensed_before: bool,
+    ) -> bool {
+        memory.get_lane(address, lane)
     }
 }
 

@@ -28,7 +28,7 @@
 //! Coverage and degree-of-freedom experiments exhaustively simulate a
 //! fault list under every March test × address order × array size — an
 //! `O(faults × operations)` workload that dominates the repo's runtime.
-//! The hot path is organised as a measured kernel with four ingredients:
+//! The hot path is organised as a measured kernel with five ingredients:
 //!
 //! 1. **Walk caching** ([`executor::MarchWalk`], [`executor::AddressPlan`])
 //!    — the `(test, order, organization)` traversal is flattened once into
@@ -44,13 +44,21 @@
 //!    the detected/missed bit stop each simulation at the first
 //!    mismatching read instead of finishing the walk.
 //! 4. **Parallel sweeps** ([`coverage::SweepOptions`], [`parallel`]) —
-//!    the fault list fans out across scoped worker threads, one scratch
+//!    the sweep work fans out across scoped worker threads, one scratch
 //!    memory per worker, with outcomes reassembled in fault-list order so
 //!    parallel reports are byte-identical to serial ones.
+//! 5. **Lane batching** ([`batch::FaultBatch`], [`memory::LaneMemory`],
+//!    [`executor::run_march_lanes`]) — up to sixty-four independent
+//!    faults ride *one* walk dispatch, each owning a bit lane of a
+//!    sparse lane-parallel store whose fills and compares stay whole-word
+//!    `u64` operations; detection is lane-wise with mask popcounts
+//!    driving the per-lane early exit. Coverage sweeps ride this backend
+//!    by default and keep the per-fault path as the golden reference.
 //!
 //! The `bench` crate's `fault_sim_throughput` benchmark measures the
 //! kernel in faults/second against a frozen replica of the original
-//! (per-fault allocating, always-full-walk, serial) implementation.
+//! (per-fault allocating, always-full-walk, serial) implementation, and
+//! the batched backend against the per-fault kernel.
 //!
 //! # Example
 //!
@@ -87,6 +95,7 @@
 pub mod address_order;
 pub mod algorithm;
 pub mod background;
+pub mod batch;
 pub mod coverage;
 pub mod dof;
 pub mod element;
@@ -106,9 +115,10 @@ pub mod prelude {
     };
     pub use crate::algorithm::MarchTest;
     pub use crate::background::DataBackground;
+    pub use crate::batch::{Cohort, FaultBatch};
     pub use crate::coverage::{
         evaluate_coverage, evaluate_coverage_on_walk, evaluate_coverage_with, CoverageReport,
-        SweepOptions,
+        SweepBackend, SweepOptions,
     };
     pub use crate::element::{AddressDirection, MarchElement};
     pub use crate::executor::{
@@ -118,8 +128,8 @@ pub mod prelude {
     pub use crate::fault_sim::{
         simulate_fault, simulate_fault_on_walk, DetectionMode, FaultSimOutcome,
     };
-    pub use crate::faults::{standard_fault_list, Fault};
+    pub use crate::faults::{standard_fault_list, Fault, LaneFault};
     pub use crate::library;
-    pub use crate::memory::{GoodMemory, MemoryModel};
+    pub use crate::memory::{GoodMemory, LaneMemory, MemoryModel};
     pub use crate::operation::MarchOp;
 }

@@ -134,6 +134,133 @@ impl MemoryModel for GoodMemory {
     }
 }
 
+/// A lane-parallel memory: up to [`LaneMemory::LANES`] independent faulty
+/// universes of the same cell array share one store, one bit lane each.
+///
+/// Where [`GoodMemory`] packs sixty-four *cells* into each `u64` word,
+/// `LaneMemory` packs sixty-four *universes* of one cell: the word stored
+/// for an address holds that cell's value in every lane, so a fill or a
+/// read-compare against an expected value covers all lanes in a single
+/// `u64` operation. This is the substrate of the batched multi-fault
+/// kernel ([`crate::executor::run_march_lanes`]): each lane carries one
+/// injected fault, and sixty-four faults ride one walk.
+///
+/// The store is sparse over the array: only the addresses the simulated
+/// cohort involves are tracked, because the batched kernel never
+/// dispatches steps outside them. A cohort therefore costs
+/// `O(involved addresses)` memory and fill time regardless of the array
+/// capacity — crucial once sweeps reach 1024×1024.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneMemory {
+    capacity: u32,
+    /// Tracked addresses, ascending and deduplicated.
+    addresses: Vec<u32>,
+    /// One word per tracked address; bit `l` is the cell value in lane `l`.
+    words: Vec<u64>,
+}
+
+impl LaneMemory {
+    /// Number of independent universes a `LaneMemory` word carries.
+    pub const LANES: usize = u64::BITS as usize;
+
+    /// Creates a memory of `capacity` cells tracking only `involved`
+    /// addresses (in any order, duplicates allowed), all cells `0` in all
+    /// lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an involved address is outside `0..capacity`.
+    pub fn new(capacity: u32, involved: &[Address]) -> Self {
+        let mut addresses: Vec<u32> = involved.iter().map(|a| a.value()).collect();
+        addresses.sort_unstable();
+        addresses.dedup();
+        if let Some(&last) = addresses.last() {
+            assert!(last < capacity, "involved address out of range");
+        }
+        let words = vec![0u64; addresses.len()];
+        Self {
+            capacity,
+            addresses,
+            words,
+        }
+    }
+
+    /// Number of addressable cells of the array this memory models.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Number of tracked addresses.
+    pub fn tracked(&self) -> usize {
+        self.addresses.len()
+    }
+
+    /// Resets every tracked cell to `value` in every lane — a handful of
+    /// word stores, the batched analogue of [`GoodMemory::fill`].
+    pub fn fill(&mut self, value: bool) {
+        self.words.fill(if value { u64::MAX } else { 0 });
+    }
+
+    #[inline]
+    fn slot(&self, address: Address) -> usize {
+        self.addresses
+            .binary_search(&address.value())
+            .unwrap_or_else(|_| panic!("address {address} is not tracked by this lane memory"))
+    }
+
+    /// All lanes' values of the cell at `address` (bit `l` = lane `l`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address` is not tracked.
+    #[inline]
+    pub fn word(&self, address: Address) -> u64 {
+        self.words[self.slot(address)]
+    }
+
+    /// The cell value at `address` in lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address` is not tracked or `lane` is out of range.
+    #[inline]
+    pub fn get_lane(&self, address: Address, lane: u32) -> bool {
+        assert!((lane as usize) < Self::LANES, "lane out of range");
+        self.words[self.slot(address)] >> lane & 1 == 1
+    }
+
+    /// Sets the cell at `address` to `value` in lane `lane` only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address` is not tracked or `lane` is out of range.
+    #[inline]
+    pub fn set_lane(&mut self, address: Address, lane: u32, value: bool) {
+        assert!((lane as usize) < Self::LANES, "lane out of range");
+        let slot = self.slot(address);
+        if value {
+            self.words[slot] |= 1u64 << lane;
+        } else {
+            self.words[slot] &= !(1u64 << lane);
+        }
+    }
+
+    /// Writes `value` into the cell at `address` in every lane *except*
+    /// those set in `skip_lanes` — the fault-free whole-word write of the
+    /// batched kernel, with the lanes owned by a fault at this address
+    /// kept for their own faulty writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address` is not tracked.
+    #[inline]
+    pub fn write_word(&mut self, address: Address, value: bool, skip_lanes: u64) {
+        let slot = self.slot(address);
+        let splat = if value { u64::MAX } else { 0 };
+        self.words[slot] = (self.words[slot] & skip_lanes) | (splat & !skip_lanes);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +310,50 @@ mod tests {
             m.fill(false);
             assert_eq!(m, GoodMemory::new(capacity));
         }
+    }
+
+    #[test]
+    fn lane_memory_tracks_only_involved_addresses() {
+        let involved = [Address::new(9), Address::new(2), Address::new(2)];
+        let mut m = LaneMemory::new(1024 * 1024, &involved);
+        assert_eq!(m.capacity(), 1024 * 1024);
+        assert_eq!(m.tracked(), 2, "duplicates collapse");
+        assert_eq!(m.word(Address::new(2)), 0);
+        m.set_lane(Address::new(2), 5, true);
+        assert!(m.get_lane(Address::new(2), 5));
+        assert!(!m.get_lane(Address::new(2), 4));
+        assert_eq!(m.word(Address::new(2)), 1 << 5);
+        m.fill(true);
+        assert_eq!(m.word(Address::new(9)), u64::MAX);
+        m.fill(false);
+        assert_eq!(m.word(Address::new(9)), 0);
+    }
+
+    #[test]
+    fn lane_memory_whole_word_write_skips_owned_lanes() {
+        let a = Address::new(3);
+        let mut m = LaneMemory::new(8, &[a]);
+        m.set_lane(a, 0, true);
+        m.set_lane(a, 7, true);
+        // Write 0 everywhere except lanes 0 and 7.
+        m.write_word(a, false, (1 << 0) | (1 << 7));
+        assert_eq!(m.word(a), (1 << 0) | (1 << 7));
+        // Write 1 everywhere except lane 0.
+        m.write_word(a, true, 1 << 0);
+        assert_eq!(m.word(a), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "not tracked")]
+    fn lane_memory_rejects_untracked_addresses() {
+        let m = LaneMemory::new(8, &[Address::new(1)]);
+        let _ = m.word(Address::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lane_memory_rejects_out_of_range_involved() {
+        let _ = LaneMemory::new(4, &[Address::new(4)]);
     }
 
     /// Plain `Vec<bool>` memory — the seed implementation, kept as the

@@ -41,11 +41,28 @@ where
     R: Send,
     F: Fn(&[T]) -> Vec<R> + Sync,
 {
+    let results = par_chunk_flat_map(items, threads, map_chunk);
+    assert_eq!(results.len(), items.len(), "map_chunk must be 1:1");
+    results
+}
+
+/// Like [`par_chunk_map`], but each chunk may produce any number of
+/// outputs: the per-chunk output vectors are concatenated **in input
+/// order** without the 1:1 requirement.
+///
+/// This is the fan-out primitive of the lane-batched fault sweeps, where
+/// the work items are fault *cohorts* rather than single faults: one
+/// cohort of up to sixty-four faults yields one outcome per member, so a
+/// chunk's output length is the sum of its cohorts' sizes.
+pub fn par_chunk_flat_map<T, R, F>(items: &[T], threads: usize, map_chunk: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R> + Sync,
+{
     let workers = threads.clamp(1, items.len().max(1));
     if workers <= 1 {
-        let out = map_chunk(items);
-        assert_eq!(out.len(), items.len(), "map_chunk must be 1:1");
-        return out;
+        return map_chunk(items);
     }
     let chunk_size = items.len().div_ceil(workers);
     thread::scope(|scope| {
@@ -58,7 +75,6 @@ where
             let part = handle.join().expect("sweep worker panicked");
             results.extend(part);
         }
-        assert_eq!(results.len(), items.len(), "map_chunk must be 1:1");
         results
     })
 }
@@ -94,5 +110,25 @@ mod tests {
     #[should_panic(expected = "1:1")]
     fn lossy_map_chunk_is_rejected() {
         let _ = par_chunk_map(&[1, 2, 3], 1, |_| Vec::<u32>::new());
+    }
+
+    #[test]
+    fn flat_map_concatenates_variable_length_outputs_in_input_order() {
+        // Each item expands to `item` copies of itself, like a cohort
+        // expanding to one outcome per member fault.
+        let items: Vec<u32> = vec![3, 0, 1, 4, 2];
+        let expected: Vec<u32> = items
+            .iter()
+            .flat_map(|&x| std::iter::repeat_n(x, x as usize))
+            .collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = par_chunk_flat_map(&items, threads, |chunk| {
+                chunk
+                    .iter()
+                    .flat_map(|&x| std::iter::repeat_n(x, x as usize))
+                    .collect()
+            });
+            assert_eq!(out, expected, "threads = {threads}");
+        }
     }
 }
