@@ -6,6 +6,8 @@
 //! cargo run --release -p bench --bin fault_sim_bench -- --organization 64x64,128x128
 //! cargo run --release -p bench --bin fault_sim_bench -- --rows 16 --cols 16
 //! cargo run --release -p bench --bin fault_sim_bench -- --passes 5 --out custom.json
+//! cargo run --release -p bench --bin fault_sim_bench -- --dense-size 512x512 --dense-faults 50000
+//! cargo run --release -p bench --bin fault_sim_bench -- --no-dense
 //! ```
 //!
 //! The workload is the acceptance sweep of the kernel work: the standard
@@ -15,7 +17,10 @@
 //! against a frozen replica of the original per-fault-allocating serial
 //! implementation up to 256×256 (`baseline_skipped` beyond — see
 //! `bench::throughput::BASELINE_CELL_CAP`). The default sweep is the
-//! ROADMAP's 64×64 → 1024×1024 scaling ladder.
+//! ROADMAP's 64×64 → 1024×1024 scaling ladder, followed by the dense
+//! section: a generated ≥100k-fault population vs. the standard list at
+//! 1024×1024 and the address-aware packer vs. the greedy planner on an
+//! overlap-heavy population (skip with `--no-dense`).
 
 use bench::cli::{arg_value, parse_size_list};
 use bench::throughput::FaultSimSweep;
@@ -39,12 +44,23 @@ fn main() {
         .map(|v| v.parse().expect("--passes must be an integer"))
         .unwrap_or(3);
     let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_fault_sim.json".to_string());
+    let dense = if args.iter().any(|a| a == "--no-dense") {
+        None
+    } else {
+        let (dense_rows, dense_cols) = arg_value(&args, "--dense-size")
+            .map(|spec| parse_size_list(&spec)[0])
+            .unwrap_or((1024, 1024));
+        let dense_faults: usize = arg_value(&args, "--dense-faults")
+            .map(|v| v.parse().expect("--dense-faults must be an integer"))
+            .unwrap_or(100_000);
+        Some((dense_rows, dense_cols, dense_faults))
+    };
 
     println!(
         "# Fault-simulation sweep throughput ({} organizations, {passes} passes per variant)",
         organizations.len()
     );
-    let sweep = FaultSimSweep::measure(&organizations, passes);
+    let sweep = FaultSimSweep::measure_with_dense(&organizations, passes, dense);
     for result in &sweep.sizes {
         println!(
             "{}x{}: {} algorithms x {} faults, {} threads",
@@ -83,6 +99,35 @@ fn main() {
             "  lane-batched parallel (cohorts on threads):{:>12.1} faults/sec   ({:.1}x vs kernel)",
             result.batched_parallel.faults_per_sec,
             result.speedup_batched_parallel_vs_kernel()
+        );
+    }
+
+    if let Some(section) = &sweep.dense {
+        println!(
+            "dense section at {}x{} ({}):",
+            section.rows, section.cols, section.algorithm
+        );
+        println!(
+            "  standard list ({} faults, batched serial): {:>12.1} faults/sec",
+            section.standard_fault_count, section.standard.faults_per_sec
+        );
+        println!(
+            "  {} ({} faults, batched serial):   {:>12.1} faults/sec   ({:.2}x vs standard)",
+            section.population,
+            section.fault_count,
+            section.dense.faults_per_sec,
+            section.speedup_dense_vs_standard()
+        );
+        println!(
+            "  dense parallel ({} worker threads):        {:>12.1} faults/sec",
+            section.threads, section.dense_parallel.faults_per_sec
+        );
+        println!(
+            "  packer vs greedy ({} overlap-heavy faults): {} vs {} merged steps ({:.2}x smaller)",
+            section.packer.fault_count,
+            section.packer.packed_schedule_steps,
+            section.packer.greedy_schedule_steps,
+            section.packer.speedup_packed_schedule()
         );
     }
 

@@ -2,7 +2,7 @@
 //! `BENCH_power_engine.json`.
 //!
 //! ```text
-//! cargo run --release -p bench --bin power_engine_bench                 # 64x64 .. 512x512
+//! cargo run --release -p bench --bin power_engine_bench                 # 64x64 .. 1024x1024
 //! cargo run --release -p bench --bin power_engine_bench -- --sizes 64x64,512x512
 //! cargo run --release -p bench --bin power_engine_bench -- --passes 2 --out custom.json
 //! ```
@@ -11,8 +11,11 @@
 //! algorithms, both operating modes, cycle-accurate power metering. The
 //! rebuilt engine (shared schedule plans, the row-replay kernel and the
 //! parallel per-algorithm harness) is compared against a frozen replica
-//! of the seed implementation; before any timing, every `SessionOutcome`
-//! and every Table 1 row of the two engines is asserted bit-identical.
+//! of the seed implementation up to 256×256 (`baseline_skipped` beyond —
+//! see `bench::power_engine::BASELINE_CELL_CAP`); before any timing, the
+//! row-replay kernel is asserted bit-identical to the full simulation at
+//! every size, and to the seed replica wherever the replica still runs.
+//! The default sweep is the ROADMAP's 64×64 → 1024×1024 scaling ladder.
 
 use bench::cli::{arg_value, parse_size_list};
 use bench::power_engine::power_engine_throughput;
@@ -21,7 +24,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sizes = arg_value(&args, "--sizes")
         .map(|spec| parse_size_list(&spec))
-        .unwrap_or_else(|| vec![(64, 64), (128, 128), (256, 256), (512, 512)]);
+        .unwrap_or_else(|| vec![(64, 64), (128, 128), (256, 256), (512, 512), (1024, 1024)]);
     let passes: usize = arg_value(&args, "--passes")
         .map(|v| v.parse().expect("--passes must be an integer"))
         .unwrap_or(1);
@@ -37,15 +40,30 @@ fn main() {
             "{}x{}: {} cycles per Table 1 pass",
             size.rows, size.cols, size.cycles_per_pass
         );
+        match size.baseline {
+            Some(baseline) => println!(
+                "  baseline (seed-style schedule + serial):   {:>12.0} cycles/sec   (Table 1 in {:.2}s)",
+                baseline.cycles_per_sec, baseline.table1_seconds
+            ),
+            None => println!(
+                "  baseline (seed-style schedule + serial):   skipped above 256x256"
+            ),
+        }
+        let speedup = size
+            .speedup_table1()
+            .map_or_else(String::new, |s| format!(", {s:.1}x"));
         println!(
-            "  baseline (seed-style schedule + serial):   {:>12.0} cycles/sec   (Table 1 in {:.2}s)",
-            size.baseline.cycles_per_sec, size.baseline.table1_seconds
+            "  engine (plan + row replay + parallel):     {:>12.0} cycles/sec   (Table 1 in {:.2}s{speedup})",
+            size.engine.cycles_per_sec, size.engine.table1_seconds,
         );
         println!(
-            "  engine (plan + row replay + parallel):     {:>12.0} cycles/sec   (Table 1 in {:.2}s, {:.1}x)",
-            size.engine.cycles_per_sec,
-            size.engine.table1_seconds,
-            size.speedup_table1()
+            "  simulated (cycle-by-cycle, serial):        {:>12.0} cycles/sec",
+            size.simulated.cycles_per_sec
+        );
+        println!(
+            "  replay kernel (serial):                    {:>12.0} cycles/sec   ({:.1}x vs simulated)",
+            size.replay_serial.cycles_per_sec,
+            size.speedup_replay_vs_simulated()
         );
     }
 

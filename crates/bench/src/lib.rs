@@ -15,6 +15,15 @@ pub mod power_engine;
 pub mod regression;
 pub mod throughput;
 
+/// Largest cell count (rows × cols) at which the frozen seed-style
+/// baseline replicas are still measured: 256×256. Beyond it the
+/// reference loops would dominate the sweeps' wall time, so larger
+/// entries set `baseline_skipped`, omit the baseline-relative metrics
+/// and gate on machine-relative current-code ratios instead
+/// (`speedup_batched_vs_kernel` / `speedup_replay_vs_simulated`). Shared
+/// by both benchmarks so their skip semantics can never desynchronize.
+pub const BASELINE_CELL_CAP: u32 = 256 * 256;
+
 use lp_precharge::prelude::*;
 use lp_precharge::report::reproduce_table1;
 use march_test::address_order::{AddressOrder, ColumnMajor, LinearOrder, WordLineAfterWordLine};

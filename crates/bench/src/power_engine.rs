@@ -18,6 +18,16 @@
 //! engine's (and the parallel Table 1 to the serial one) — a benchmark of
 //! diverging engines would be meaningless.
 //!
+//! Mirroring the fault-sim sweep, the frozen seed replica is *capped* at
+//! [`BASELINE_CELL_CAP`] cells (256×256): beyond that its serial
+//! cycle-by-cycle loop would dominate the sweep's wall time, so larger
+//! sizes record `baseline_skipped`, omit the baseline-relative metrics
+//! and gate on `speedup_replay_vs_simulated` — the row-replay kernel
+//! against the full simulation ([`TestSession::run_fully_simulated`]),
+//! both serial, both current code, measured in the same process so the
+//! ratio transfers across runner hardware. That is what makes the
+//! 1024×1024 sweep entry affordable.
+//!
 //! [`SchedulePlan`]: lp_precharge::scheduler::SchedulePlan
 
 use std::time::Instant;
@@ -183,13 +193,15 @@ pub fn baseline_table1(config: &SramConfig) -> Result<Vec<Table1Row>, SramError>
         .collect()
 }
 
+pub use crate::BASELINE_CELL_CAP;
+
 /// Seconds and derived rate of one timed variant.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineTiming {
     /// Simulated clock cycles per second.
     pub cycles_per_sec: f64,
-    /// Wall-clock seconds of one full Table 1 reproduction (averaged
-    /// over the timed passes).
+    /// Wall-clock seconds of one full Table 1 pass (averaged over the
+    /// timed passes): all five algorithms in both operating modes.
     pub table1_seconds: f64,
 }
 
@@ -202,21 +214,48 @@ pub struct PowerEngineSize {
     pub cols: u32,
     /// Clock cycles in one full Table 1 pass (all algorithms, both modes).
     pub cycles_per_pass: u64,
-    /// The frozen seed-style engine.
-    pub baseline: EngineTiming,
+    /// The frozen seed-style engine; `None` above [`BASELINE_CELL_CAP`]
+    /// cells, where the reference loop is skipped.
+    pub baseline: Option<EngineTiming>,
     /// The rebuilt engine (schedule plan + row replay + parallel rows).
     pub engine: EngineTiming,
+    /// The row-replay kernel run serially (one session per algorithm and
+    /// mode through [`TestSession::run`]), the numerator of the
+    /// machine-relative gate metric.
+    pub replay_serial: EngineTiming,
+    /// The full cycle-by-cycle simulation run serially
+    /// ([`TestSession::run_fully_simulated`]) — the golden reference
+    /// path, current code, measured at every size.
+    pub simulated: EngineTiming,
 }
 
 impl PowerEngineSize {
-    /// Throughput gain of the rebuilt engine in simulated cycles/second.
-    pub fn speedup_cycles(&self) -> f64 {
-        self.engine.cycles_per_sec / self.baseline.cycles_per_sec
+    /// `true` when the frozen seed-style baseline was skipped for this
+    /// size (above [`BASELINE_CELL_CAP`] cells).
+    pub fn baseline_skipped(&self) -> bool {
+        self.baseline.is_none()
     }
 
-    /// Wall-time gain of one full Table 1 reproduction.
-    pub fn speedup_table1(&self) -> f64 {
-        self.baseline.table1_seconds / self.engine.table1_seconds
+    /// Throughput gain of the rebuilt engine in simulated cycles/second,
+    /// when the baseline replica was measured.
+    pub fn speedup_cycles(&self) -> Option<f64> {
+        self.baseline
+            .map(|baseline| self.engine.cycles_per_sec / baseline.cycles_per_sec)
+    }
+
+    /// Wall-time gain of one full Table 1 reproduction, when the baseline
+    /// replica was measured.
+    pub fn speedup_table1(&self) -> Option<f64> {
+        self.baseline
+            .map(|baseline| baseline.table1_seconds / self.engine.table1_seconds)
+    }
+
+    /// Throughput gain of the serial row-replay kernel over the serial
+    /// full simulation — the machine-relative metric measured at every
+    /// size (including the ones whose seed replica is skipped), the
+    /// analogue of the fault-sim sweep's `speedup_batched_vs_kernel`.
+    pub fn speedup_replay_vs_simulated(&self) -> f64 {
+        self.replay_serial.cycles_per_sec / self.simulated.cycles_per_sec
     }
 }
 
@@ -247,25 +286,49 @@ impl PowerEngineThroughput {
             .sizes
             .iter()
             .map(|s| {
-                format!(
-                    "    {{\n      \"rows\": {},\n      \"cols\": {},\n      \
-                     \"cycles_per_pass\": {},\n      \
-                     \"baseline_cycles_per_sec\": {:.1},\n      \
-                     \"engine_cycles_per_sec\": {:.1},\n      \
-                     \"baseline_table1_seconds\": {:.4},\n      \
-                     \"engine_table1_seconds\": {:.4},\n      \
-                     \"speedup_cycles\": {:.2},\n      \
-                     \"speedup_table1\": {:.2}\n    }}",
-                    s.rows,
-                    s.cols,
-                    s.cycles_per_pass,
-                    s.baseline.cycles_per_sec,
-                    s.engine.cycles_per_sec,
-                    s.baseline.table1_seconds,
-                    s.engine.table1_seconds,
-                    s.speedup_cycles(),
-                    s.speedup_table1(),
-                )
+                let mut fields = vec![
+                    format!("\"rows\": {}", s.rows),
+                    format!("\"cols\": {}", s.cols),
+                    format!("\"cycles_per_pass\": {}", s.cycles_per_pass),
+                    format!("\"baseline_skipped\": {}", s.baseline_skipped()),
+                ];
+                if let Some(baseline) = s.baseline {
+                    fields.push(format!(
+                        "\"baseline_cycles_per_sec\": {:.1}",
+                        baseline.cycles_per_sec
+                    ));
+                    fields.push(format!(
+                        "\"baseline_table1_seconds\": {:.4}",
+                        baseline.table1_seconds
+                    ));
+                }
+                fields.push(format!(
+                    "\"engine_cycles_per_sec\": {:.1}",
+                    s.engine.cycles_per_sec
+                ));
+                fields.push(format!(
+                    "\"engine_table1_seconds\": {:.4}",
+                    s.engine.table1_seconds
+                ));
+                fields.push(format!(
+                    "\"replay_serial_cycles_per_sec\": {:.1}",
+                    s.replay_serial.cycles_per_sec
+                ));
+                fields.push(format!(
+                    "\"simulated_cycles_per_sec\": {:.1}",
+                    s.simulated.cycles_per_sec
+                ));
+                if let Some(speedup) = s.speedup_cycles() {
+                    fields.push(format!("\"speedup_cycles\": {speedup:.2}"));
+                }
+                if let Some(speedup) = s.speedup_table1() {
+                    fields.push(format!("\"speedup_table1\": {speedup:.2}"));
+                }
+                fields.push(format!(
+                    "\"speedup_replay_vs_simulated\": {:.2}",
+                    s.speedup_replay_vs_simulated()
+                ));
+                format!("    {{\n      {}\n    }}", fields.join(",\n      "))
             })
             .collect::<Vec<_>>()
             .join(",\n");
@@ -284,27 +347,43 @@ fn config_for(rows: u32, cols: u32) -> SramConfig {
         .expect("default technology is valid")
 }
 
-/// Asserts the rebuilt engine reproduces the frozen baseline bit for bit
-/// on `config`: every `SessionOutcome` of every algorithm and mode, and
-/// the parallel Table 1 against the serial one.
+/// Asserts the engine paths reproduce each other bit for bit on
+/// `config`: the row-replay kernel against the full simulation for every
+/// algorithm and mode (always), every `SessionOutcome` against the frozen
+/// seed baseline (up to [`BASELINE_CELL_CAP`] cells — beyond that the
+/// replica is too slow to even verify), and the parallel Table 1 against
+/// the serial one.
 ///
 /// # Panics
 ///
 /// Panics on any divergence — the benchmark numbers would be meaningless.
 pub fn assert_engine_equivalence(config: &SramConfig) {
+    let measure_baseline = config.organization().capacity() <= BASELINE_CELL_CAP;
     let session = TestSession::new(*config);
     for test in library::table1_algorithms() {
         for mode in [OperatingMode::Functional, OperatingMode::LowPowerTest] {
-            let baseline =
-                baseline_run_session(config, &test, mode).expect("baseline session runs");
             let rebuilt = session.run(&test, mode).expect("rebuilt session runs");
+            let simulated = session
+                .run_fully_simulated(&test, mode, false)
+                .expect("simulated session runs");
             assert_eq!(
-                baseline,
+                simulated,
                 rebuilt,
-                "{} {:?}: rebuilt engine diverged from the seed baseline",
+                "{} {:?}: row-replay kernel diverged from the full simulation",
                 test.name(),
                 mode
             );
+            if measure_baseline {
+                let baseline =
+                    baseline_run_session(config, &test, mode).expect("baseline session runs");
+                assert_eq!(
+                    baseline,
+                    rebuilt,
+                    "{} {:?}: rebuilt engine diverged from the seed baseline",
+                    test.name(),
+                    mode
+                );
+            }
         }
     }
     let parallel = reproduce_table1(config).expect("parallel table 1 runs");
@@ -313,6 +392,22 @@ pub fn assert_engine_equivalence(config: &SramConfig) {
         parallel, serial,
         "parallel Table 1 rows diverged from the serial path"
     );
+}
+
+/// One serial pass of all Table 1 algorithms in both modes through
+/// `session`, on the row-replay kernel (`simulated == false`) or the full
+/// cycle-by-cycle simulation (`simulated == true`).
+fn serial_sessions_pass(session: &TestSession, simulated: bool) {
+    for test in library::table1_algorithms() {
+        for mode in [OperatingMode::Functional, OperatingMode::LowPowerTest] {
+            let outcome = if simulated {
+                session.run_fully_simulated(&test, mode, false)
+            } else {
+                session.run(&test, mode)
+            };
+            std::hint::black_box(outcome.expect("session runs"));
+        }
+    }
 }
 
 fn time_table1(passes: usize, mut run: impl FnMut()) -> f64 {
@@ -325,6 +420,7 @@ fn time_table1(passes: usize, mut run: impl FnMut()) -> f64 {
 }
 
 /// Measures baseline vs. rebuilt engine throughput on one organization.
+/// The frozen seed replica is skipped above [`BASELINE_CELL_CAP`] cells.
 ///
 /// # Panics
 ///
@@ -338,26 +434,31 @@ pub fn power_engine_size(rows: u32, cols: u32, passes: usize) -> PowerEngineSize
         .iter()
         .map(|test| 2 * test.total_operations(u64::from(organization.capacity())))
         .sum();
+    let timing = |seconds: f64| EngineTiming {
+        cycles_per_sec: cycles_per_pass as f64 / seconds,
+        table1_seconds: seconds,
+    };
 
-    let baseline_table1_seconds = time_table1(passes, || {
-        std::hint::black_box(baseline_table1(&config).expect("baseline table 1"));
+    let baseline = (organization.capacity() <= BASELINE_CELL_CAP).then(|| {
+        timing(time_table1(passes, || {
+            std::hint::black_box(baseline_table1(&config).expect("baseline table 1"));
+        }))
     });
     let engine_table1_seconds = time_table1(passes, || {
         std::hint::black_box(reproduce_table1(&config).expect("rebuilt table 1"));
     });
+    let session = TestSession::new(config);
+    let replay_serial_seconds = time_table1(passes, || serial_sessions_pass(&session, false));
+    let simulated_seconds = time_table1(passes, || serial_sessions_pass(&session, true));
 
     PowerEngineSize {
         rows,
         cols,
         cycles_per_pass,
-        baseline: EngineTiming {
-            cycles_per_sec: cycles_per_pass as f64 / baseline_table1_seconds,
-            table1_seconds: baseline_table1_seconds,
-        },
-        engine: EngineTiming {
-            cycles_per_sec: cycles_per_pass as f64 / engine_table1_seconds,
-            table1_seconds: engine_table1_seconds,
-        },
+        baseline,
+        engine: timing(engine_table1_seconds),
+        replay_serial: timing(replay_serial_seconds),
+        simulated: timing(simulated_seconds),
     }
 }
 
@@ -399,11 +500,57 @@ mod tests {
         assert_eq!(result.sizes.len(), 1);
         let size = &result.sizes[0];
         assert_eq!(size.cycles_per_pass, 2 * 74 * 32);
-        assert!(size.baseline.cycles_per_sec > 0.0);
+        assert!(!size.baseline_skipped(), "4x8 is far below the cap");
+        assert!(size.baseline.unwrap().cycles_per_sec > 0.0);
         assert!(size.engine.cycles_per_sec > 0.0);
+        assert!(size.replay_serial.cycles_per_sec > 0.0);
+        assert!(size.simulated.cycles_per_sec > 0.0);
+        assert!(size.speedup_cycles().is_some());
+        assert!(size.speedup_replay_vs_simulated() > 0.0);
         let json = result.to_json();
         assert!(json.contains("\"benchmark\": \"power_engine\""));
+        assert!(json.contains("\"baseline_skipped\": false"));
         assert!(json.contains("\"speedup_table1\""));
+        assert!(json.contains("\"speedup_replay_vs_simulated\""));
         assert!(json.contains("March C-"));
+    }
+
+    #[test]
+    fn skipped_baseline_omits_relative_metrics_from_the_json() {
+        // Rendering is checked on a hand-built entry: actually measuring
+        // a >256x256 array is the (timed) benchmark binary's job, not a
+        // unit test's.
+        let timing = |seconds: f64| EngineTiming {
+            cycles_per_sec: 1000.0 / seconds,
+            table1_seconds: seconds,
+        };
+        let result = PowerEngineThroughput {
+            algorithms: vec!["March C-".into()],
+            passes: 1,
+            threads: 1,
+            sizes: vec![PowerEngineSize {
+                rows: 1024,
+                cols: 1024,
+                cycles_per_pass: 1000,
+                baseline: None,
+                engine: timing(0.5),
+                replay_serial: timing(1.0),
+                simulated: timing(20.0),
+            }],
+        };
+        let size = &result.sizes[0];
+        assert!(size.baseline_skipped());
+        assert_eq!(size.speedup_cycles(), None);
+        assert_eq!(size.speedup_table1(), None);
+        assert!((size.speedup_replay_vs_simulated() - 20.0).abs() < 1e-9);
+        let json = result.to_json();
+        assert!(json.contains("\"baseline_skipped\": true"));
+        assert!(!json.contains("\"baseline_cycles_per_sec\""));
+        assert!(!json.contains("\"speedup_cycles\""));
+        assert!(!json.contains("\"speedup_table1\""));
+        assert!(json.contains("\"speedup_replay_vs_simulated\": 20.00"));
+        assert!(json.contains("\"replay_serial_cycles_per_sec\""));
+        assert!(json.contains("\"simulated_cycles_per_sec\""));
+        crate::json::parse(&json).expect("sweep JSON parses");
     }
 }

@@ -23,15 +23,22 @@
 //! Fields prefixed `baseline_` are never gated: they measure the frozen
 //! seed replica, which is a reference, not a product path — that covers
 //! both its raw `baseline_faults_per_sec` throughput and the boolean
-//! `baseline_skipped` marker the fault-sim sweep writes for sizes whose
-//! replica is capped out (above 256×256). Unknown and non-numeric fields
-//! are tolerated everywhere, so schema evolution (like the lane-batched
-//! `batched_*_per_sec` / `speedup_batched_*` family) gates automatically
-//! without checker changes, and sizes whose baseline-relative metrics are
-//! absent from the *committed* file are simply not compared for them.
-//! Fields are compared at the top level and inside each entry of a
-//! `sizes` array, with entries matched across files by their
-//! `rows`×`cols` pair.
+//! `baseline_skipped` marker the sweeps write for sizes whose replica is
+//! capped out (above 256×256). Unknown and non-numeric fields are
+//! tolerated everywhere, so schema evolution (like the lane-batched
+//! `batched_*_per_sec` / `speedup_batched_*` family, or the power
+//! engine's `speedup_replay_vs_simulated`) gates automatically without
+//! checker changes, and sizes whose baseline-relative metrics are absent
+//! from the *committed* file are simply not compared for them.
+//!
+//! The comparison walks the whole document tree: numeric fields are
+//! gated at every level, object-valued members (the fault-sim sweep's
+//! `dense` section and its nested `packer` comparison) recurse with a
+//! scoped metric label, and array entries are matched across files by
+//! their `rows`×`cols` pair when they carry one (`sizes`) or by position
+//! otherwise. A nested section or entry that carries gated metrics in
+//! the committed baseline but is missing from the current measurement
+//! fails the gate — dropping the dense sweep must not silently pass CI.
 
 use crate::json::{parse, JsonValue};
 
@@ -126,6 +133,30 @@ fn size_key(entry: &JsonValue) -> Option<String> {
     Some(format!("{}x{}", rows as u64, cols as u64))
 }
 
+fn join_scope(scope: &str, child: &str) -> String {
+    if scope.is_empty() {
+        child.to_string()
+    } else {
+        format!("{scope} {child}")
+    }
+}
+
+/// `true` when `value` (recursively) carries at least one gated numeric
+/// metric — the test for whether a section missing from the current
+/// measurement is a gate failure or just an optional annotation.
+fn has_gated_fields(value: &JsonValue, thresholds: GateThresholds) -> bool {
+    match value {
+        JsonValue::Object(members) => members.iter().any(|(name, value)| {
+            (metric_threshold(name, thresholds).is_some() && value.as_f64().is_some())
+                || has_gated_fields(value, thresholds)
+        }),
+        JsonValue::Array(entries) => entries
+            .iter()
+            .any(|entry| has_gated_fields(entry, thresholds)),
+        _ => false,
+    }
+}
+
 fn compare_scope(
     scope: &str,
     baseline: &JsonValue,
@@ -134,11 +165,7 @@ fn compare_scope(
     report: &mut RegressionReport,
 ) {
     for (name, baseline_value, threshold) in gated_fields(baseline, thresholds) {
-        let metric = if scope.is_empty() {
-            name.clone()
-        } else {
-            format!("{scope} {name}")
-        };
+        let metric = join_scope(scope, &name);
         let Some(current_value) = current.get(&name).and_then(JsonValue::as_f64) else {
             report
                 .failures
@@ -159,6 +186,84 @@ fn compare_scope(
             ));
         }
         report.comparisons.push(comparison);
+    }
+}
+
+/// Recursive comparison of one document subtree: gated numeric fields at
+/// this level, then object-valued members (nested sections) and arrays
+/// of `rows`×`cols`-keyed entries.
+fn compare_tree(
+    scope: &str,
+    baseline: &JsonValue,
+    current: &JsonValue,
+    thresholds: GateThresholds,
+    report: &mut RegressionReport,
+) {
+    compare_scope(scope, baseline, current, thresholds, report);
+    let JsonValue::Object(members) = baseline else {
+        return;
+    };
+    for (name, value) in members {
+        match value {
+            JsonValue::Object(_) => {
+                let child = join_scope(scope, name);
+                match current.get(name) {
+                    Some(current_value @ JsonValue::Object(_)) => {
+                        compare_tree(&child, value, current_value, thresholds, report);
+                    }
+                    _ => {
+                        if has_gated_fields(value, thresholds) {
+                            report.failures.push(format!(
+                                "{child}: section missing from the current measurement"
+                            ));
+                        }
+                    }
+                }
+            }
+            JsonValue::Array(entries) => {
+                let current_entries = current.get(name).and_then(JsonValue::as_array);
+                for (position, entry) in entries.iter().enumerate() {
+                    // Sized entries match across files by their
+                    // rows×cols key; anything else matches by position,
+                    // so gated metrics inside un-keyed arrays are still
+                    // compared (and their absence still fails) instead
+                    // of being skipped.
+                    match size_key(entry) {
+                        Some(key) => {
+                            let child = join_scope(scope, &key);
+                            let matching = current_entries.and_then(|candidates| {
+                                candidates
+                                    .iter()
+                                    .find(|candidate| size_key(candidate).as_deref() == Some(&key))
+                            });
+                            match matching {
+                                Some(current_entry) => {
+                                    compare_tree(&child, entry, current_entry, thresholds, report);
+                                }
+                                None => report.failures.push(format!(
+                                    "{child}: size missing from the current measurement"
+                                )),
+                            }
+                        }
+                        None => {
+                            let child = join_scope(scope, &format!("{name}[{position}]"));
+                            match current_entries.and_then(|candidates| candidates.get(position)) {
+                                Some(current_entry) => {
+                                    compare_tree(&child, entry, current_entry, thresholds, report);
+                                }
+                                None if has_gated_fields(entry, thresholds) => {
+                                    report.failures.push(format!(
+                                        "{child}: entry missing from the current measurement"
+                                    ));
+                                }
+                                None => {}
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
     }
 }
 
@@ -197,28 +302,7 @@ pub fn check_benchmarks(
         failures: Vec::new(),
     };
 
-    compare_scope("", &baseline, &current, thresholds, &mut report);
-
-    let baseline_sizes = baseline.get("sizes").and_then(JsonValue::as_array);
-    let current_sizes = current.get("sizes").and_then(JsonValue::as_array);
-    if let Some(baseline_sizes) = baseline_sizes {
-        for entry in baseline_sizes {
-            let Some(key) = size_key(entry) else { continue };
-            let matching = current_sizes.and_then(|sizes| {
-                sizes
-                    .iter()
-                    .find(|candidate| size_key(candidate).as_deref() == Some(&key))
-            });
-            match matching {
-                Some(current_entry) => {
-                    compare_scope(&key, entry, current_entry, thresholds, &mut report);
-                }
-                None => report
-                    .failures
-                    .push(format!("{key}: size missing from the current measurement")),
-            }
-        }
-    }
+    compare_tree("", &baseline, &current, thresholds, &mut report);
 
     Ok(report)
 }
@@ -411,6 +495,174 @@ mod tests {
         let report =
             check_benchmarks(&batched_baseline(), &current, GateThresholds::default()).unwrap();
         assert!(report.passed(), "{:?}", report.failures);
+    }
+
+    /// A committed fault-sim baseline carrying the dense-population
+    /// section: generated-vs-standard throughput plus the nested packer
+    /// comparison.
+    fn dense_baseline() -> String {
+        r#"{
+  "benchmark": "fault_sim_sweep",
+  "threads": 1,
+  "sizes": [
+    { "rows": 64, "cols": 64,
+      "baseline_skipped": false,
+      "kernel_serial_faults_per_sec": 110000.0,
+      "batched_faults_per_sec": 900000.0,
+      "speedup_batched_vs_kernel": 8.2 }
+  ],
+  "dense": {
+    "rows": 1024, "cols": 1024,
+    "algorithm": "March SS",
+    "population": "dense-100032",
+    "fault_count": 100032,
+    "standard_batched_faults_per_sec": 1300000.0,
+    "dense_batched_faults_per_sec": 1170000.0,
+    "speedup_dense_vs_standard": 0.9,
+    "packer": {
+      "fault_count": 12500,
+      "greedy_schedule_steps": 5000000,
+      "packed_schedule_steps": 1250000,
+      "speedup_packed_schedule": 4.0
+    }
+  }
+}"#
+        .to_string()
+    }
+
+    #[test]
+    fn dense_section_gates_and_identical_files_pass() {
+        let report = check_benchmarks(
+            &dense_baseline(),
+            &dense_baseline(),
+            GateThresholds::default(),
+        )
+        .unwrap();
+        assert!(report.passed(), "{:?}", report.failures);
+        // Gated: 3 per-size metrics + 3 dense throughput/ratio metrics +
+        // the nested packer ratio. Raw step counts carry no gate suffix.
+        assert_eq!(report.comparisons.len(), 7);
+        assert!(report
+            .comparisons
+            .iter()
+            .any(|c| c.metric == "dense speedup_dense_vs_standard"));
+        assert!(report
+            .comparisons
+            .iter()
+            .any(|c| c.metric == "dense packer speedup_packed_schedule"));
+        assert!(!report
+            .comparisons
+            .iter()
+            .any(|c| c.metric.contains("schedule_steps")));
+    }
+
+    #[test]
+    fn synthetically_degraded_dense_throughput_fails_the_gate() {
+        // The dense-vs-standard ratio collapsing from 0.9 to 0.6 (a 33%
+        // drop) must fail the 25% machine-relative gate.
+        let current = dense_baseline().replace(
+            "\"speedup_dense_vs_standard\": 0.9",
+            "\"speedup_dense_vs_standard\": 0.6",
+        );
+        let report =
+            check_benchmarks(&dense_baseline(), &current, GateThresholds::default()).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("dense speedup_dense_vs_standard"));
+    }
+
+    #[test]
+    fn synthetically_degraded_packer_ratio_fails_the_gate() {
+        // The packer's schedule shrink falling from 4.0x to 2.5x means
+        // cohort packing regressed — gated inside the nested section.
+        let current = dense_baseline().replace(
+            "\"speedup_packed_schedule\": 4.0",
+            "\"speedup_packed_schedule\": 2.5",
+        );
+        let report =
+            check_benchmarks(&dense_baseline(), &current, GateThresholds::default()).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("dense packer speedup_packed_schedule"));
+    }
+
+    #[test]
+    fn raw_schedule_step_counts_are_not_gated() {
+        // The absolute step counts may move freely (population resizing);
+        // only the ratio is gated.
+        let current = dense_baseline()
+            .replace(
+                "\"greedy_schedule_steps\": 5000000",
+                "\"greedy_schedule_steps\": 9000000",
+            )
+            .replace(
+                "\"packed_schedule_steps\": 1250000",
+                "\"packed_schedule_steps\": 2250000",
+            );
+        let report =
+            check_benchmarks(&dense_baseline(), &current, GateThresholds::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn missing_dense_section_fails_the_gate() {
+        let current = r#"{
+  "benchmark": "fault_sim_sweep",
+  "sizes": [
+    { "rows": 64, "cols": 64,
+      "baseline_skipped": false,
+      "kernel_serial_faults_per_sec": 110000.0,
+      "batched_faults_per_sec": 900000.0,
+      "speedup_batched_vs_kernel": 8.2 }
+  ]
+}"#;
+        let report =
+            check_benchmarks(&dense_baseline(), current, GateThresholds::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("dense: section missing")));
+    }
+
+    #[test]
+    fn unknown_nested_sections_without_gated_fields_are_tolerated() {
+        // A committed annotation object (no gated metrics inside) absent
+        // from the current run must not fail; unknown nested objects in
+        // the current run are ignored entirely.
+        let baseline = dense_baseline().replace(
+            "\"dense\": {",
+            "\"notes\": { \"runner\": \"ci\", \"cores\": 4 },\n  \"dense\": {",
+        );
+        let report =
+            check_benchmarks(&baseline, &dense_baseline(), GateThresholds::default()).unwrap();
+        assert!(report.passed(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn unkeyed_arrays_with_gated_metrics_are_compared_by_position() {
+        // Gated metrics inside arrays without rows/cols keys must still
+        // gate (matched positionally) — and a degraded value must fail.
+        let baseline = r#"{ "benchmark": "x", "runs": [
+            { "label": "warm", "speedup_run": 4.0 },
+            { "label": "cold", "speedup_run": 2.0 }
+        ] }"#;
+        let report = check_benchmarks(baseline, baseline, GateThresholds::default()).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.comparisons.len(), 2);
+        assert!(report.comparisons[1].metric.contains("runs[1]"));
+        let degraded = baseline.replace("\"speedup_run\": 2.0", "\"speedup_run\": 1.0");
+        let report = check_benchmarks(baseline, &degraded, GateThresholds::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("runs[1] speedup_run"));
+        // Dropping the array entirely must also fail, not pass silently.
+        let missing = r#"{ "benchmark": "x" }"#;
+        let report = check_benchmarks(baseline, missing, GateThresholds::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("runs[0]: entry missing")));
     }
 
     #[test]

@@ -23,25 +23,36 @@
 //! the sweep's wall time, so larger sizes record `baseline_skipped` and
 //! gate only on the batched-vs-kernel speedup — which is what makes the
 //! 1024×1024 sweep entries affordable.
+//!
+//! Besides the per-size ladder, [`dense_sweep`] measures the
+//! dense-population section: a generated ≥100k-fault population
+//! ([`march_test::faultgen::FaultGen`]) against the 48-fault standard
+//! list on the same 1024×1024 walk, plus the address-aware packer's
+//! merged-schedule steps against the list-order greedy baseline on an
+//! overlap-heavy population. Both ratios are machine-relative and carry
+//! the tight CI gate.
 
 use std::time::Instant;
 
 use march_test::address_order::AddressOrder;
 use march_test::algorithm::MarchTest;
+use march_test::batch::{CohortPlanner, FaultBatch};
 use march_test::coverage::{evaluate_coverage_on_walk, CoverageReport, SweepBackend, SweepOptions};
 use march_test::executor::{MarchWalk, Mismatch};
 use march_test::fault_sim::{DetectionMode, FaultSimOutcome};
+use march_test::faultgen::FaultGen;
 use march_test::faults::{FaultFactory, FaultyMemory};
 use march_test::library;
 use march_test::memory::{GoodMemory, MemoryModel};
 use march_test::parallel::max_threads;
 use sram_model::config::ArrayOrganization;
 
-/// Largest cell count (rows × cols) at which the frozen seed-style
-/// baseline replica is still measured: 256×256. Beyond it the reference
-/// loop would dominate the sweep's wall time, so those entries set
-/// `baseline_skipped` and omit the baseline-relative metrics.
-pub const BASELINE_CELL_CAP: u32 = 256 * 256;
+/// Seed of the committed dense benchmark populations: fixed so the
+/// generated workload — and therefore the committed throughput numbers —
+/// is identical on every runner.
+pub const DENSE_POPULATION_SEED: u64 = 0x2006_DA7E;
+
+pub use crate::BASELINE_CELL_CAP;
 
 /// The seed's March executor, frozen for comparison: re-allocates the
 /// address sequence of every element and always runs the walk to the end.
@@ -242,28 +253,297 @@ impl FaultSimThroughput {
     }
 }
 
+/// The packer half of the dense section: total merged-schedule steps the
+/// two cohort planners dispatch for the same overlap-heavy population.
+/// Deterministic (no timing involved), so the ratio transfers across
+/// machines exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackerComparison {
+    /// Faults in the overlap-heavy comparison population.
+    pub fault_count: usize,
+    /// Total merged-schedule steps under the list-order greedy planner.
+    pub greedy_schedule_steps: u64,
+    /// Total merged-schedule steps under the address-aware packer.
+    pub packed_schedule_steps: u64,
+}
+
+impl PackerComparison {
+    /// Schedule shrink factor of the address-aware packer over the greedy
+    /// baseline (`≥ 1` by the packer's pick-best construction).
+    pub fn speedup_packed_schedule(&self) -> f64 {
+        self.greedy_schedule_steps as f64 / self.packed_schedule_steps as f64
+    }
+}
+
+/// The dense-population section of the fault-sim benchmark: generated
+/// populations at scale versus the 48-fault standard list, plus the
+/// packer-vs-greedy schedule comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseSweepSection {
+    /// Array rows.
+    pub rows: u32,
+    /// Array columns.
+    pub cols: u32,
+    /// The single algorithm the section sweeps (dense timing is
+    /// per-walk, so one representative algorithm keeps it affordable).
+    pub algorithm: String,
+    /// Name of the generated population profile.
+    pub population: String,
+    /// Faults in the generated population.
+    pub fault_count: usize,
+    /// Faults in the standard comparison list.
+    pub standard_fault_count: usize,
+    /// Worker threads available to the parallel variant.
+    pub threads: usize,
+    /// The standard list through the batched backend, serial.
+    pub standard: SweepTiming,
+    /// The generated population through the batched backend
+    /// (address-aware packer), serial.
+    pub dense: SweepTiming,
+    /// The generated population with threads taking whole cohorts.
+    pub dense_parallel: SweepTiming,
+    /// The packer-vs-greedy schedule comparison on an overlap-heavy
+    /// population.
+    pub packer: PackerComparison,
+}
+
+impl DenseSweepSection {
+    /// Dense-population throughput relative to the standard list on the
+    /// same walk — the machine-relative metric guarding the acceptance
+    /// claim that generated populations sweep within 25 % of the
+    /// standard-list rate.
+    pub fn speedup_dense_vs_standard(&self) -> f64 {
+        self.dense.faults_per_sec / self.standard.faults_per_sec
+    }
+
+    /// Renders the section as the `dense` member of the sweep JSON.
+    fn to_json_entry(&self) -> String {
+        let packer = [
+            format!("\"fault_count\": {}", self.packer.fault_count),
+            format!(
+                "\"greedy_schedule_steps\": {}",
+                self.packer.greedy_schedule_steps
+            ),
+            format!(
+                "\"packed_schedule_steps\": {}",
+                self.packer.packed_schedule_steps
+            ),
+            format!(
+                "\"speedup_packed_schedule\": {:.2}",
+                self.packer.speedup_packed_schedule()
+            ),
+        ];
+        let fields = vec![
+            format!("\"rows\": {}", self.rows),
+            format!("\"cols\": {}", self.cols),
+            format!("\"algorithm\": \"{}\"", self.algorithm),
+            format!("\"population\": \"{}\"", self.population),
+            format!("\"fault_count\": {}", self.fault_count),
+            format!("\"standard_fault_count\": {}", self.standard_fault_count),
+            format!("\"threads\": {}", self.threads),
+            format!(
+                "\"standard_batched_faults_per_sec\": {:.1}",
+                self.standard.faults_per_sec
+            ),
+            format!(
+                "\"dense_batched_faults_per_sec\": {:.1}",
+                self.dense.faults_per_sec
+            ),
+            format!(
+                "\"dense_batched_parallel_faults_per_sec\": {:.1}",
+                self.dense_parallel.faults_per_sec
+            ),
+            format!(
+                "\"speedup_dense_vs_standard\": {:.3}",
+                self.speedup_dense_vs_standard()
+            ),
+            format!("\"packer\": {{\n      {}\n    }}", packer.join(",\n      ")),
+        ];
+        format!("  {{\n    {}\n  }}", fields.join(",\n    "))
+    }
+}
+
+/// Measures the dense-population section on a `rows` × `cols` array with
+/// a generated population of (at least) `fault_count` faults.
+///
+/// The generated population rides the batched backend only — the
+/// per-fault golden path at 1024×1024 would take minutes per pass — so
+/// correctness is gated in two layers before timing: the address-aware
+/// and list-order planners (serial and parallel) must produce identical
+/// reports on the *full* population, and a scaled-down replica of the
+/// profile must match the per-fault golden path exactly on a small array
+/// (the randomized differential harness in `crates/march` covers the
+/// remaining space seed by seed).
+///
+/// # Panics
+///
+/// Panics if the organization is invalid or any equivalence gate fails.
+pub fn dense_sweep(rows: u32, cols: u32, fault_count: usize, passes: usize) -> DenseSweepSection {
+    let organization = ArrayOrganization::new(rows, cols).expect("valid organization");
+    let order = march_test::address_order::WordLineAfterWordLine;
+    let test = library::march_ss();
+    let walk = MarchWalk::new(&test, &order, &organization);
+    let standard = march_test::faults::standard_fault_list(&organization);
+    let population = FaultGen::new(organization, DENSE_POPULATION_SEED).dense_profile(fault_count);
+
+    let serial_options = SweepOptions {
+        background: false,
+        mode: DetectionMode::FirstMismatch,
+        parallel: false,
+        backend: SweepBackend::LaneBatched,
+    };
+    let greedy_options = SweepOptions {
+        backend: SweepBackend::LaneBatchedListOrder,
+        ..serial_options
+    };
+    let parallel_options = SweepOptions {
+        parallel: true,
+        ..serial_options
+    };
+
+    // Equivalence gates (see the function docs), scoped so their
+    // reports drop before anything is timed: a 100k-outcome report held
+    // across the timing loops (tens of MB of small heap objects) pushes
+    // every subsequent sweep's allocations into fresh arena space and
+    // measurably slows the dense passes.
+    {
+        let packed_report = evaluate_coverage_on_walk(&walk, &population, serial_options);
+        for options in [greedy_options, parallel_options] {
+            let other = evaluate_coverage_on_walk(&walk, &population, options);
+            assert_eq!(
+                packed_report, other,
+                "dense sweep variants diverged ({options:?})"
+            );
+        }
+    }
+    {
+        let small = ArrayOrganization::new(64, 64).expect("valid organization");
+        let small_walk = MarchWalk::new(&test, &order, &small);
+        let small_population =
+            FaultGen::new(small, DENSE_POPULATION_SEED).dense_profile(fault_count.min(2_000));
+        let golden = evaluate_coverage_on_walk(
+            &small_walk,
+            &small_population,
+            SweepOptions {
+                backend: SweepBackend::PerFault,
+                ..serial_options
+            },
+        );
+        for backend in [
+            SweepBackend::LaneBatched,
+            SweepBackend::LaneBatchedListOrder,
+        ] {
+            let batched = evaluate_coverage_on_walk(
+                &small_walk,
+                &small_population,
+                SweepOptions {
+                    backend,
+                    ..serial_options
+                },
+            );
+            assert_eq!(
+                golden, batched,
+                "dense profile diverged from the golden path at 64x64 ({backend:?})"
+            );
+        }
+    }
+
+    let standard_timing = time_passes(passes, standard.len(), || {
+        std::hint::black_box(evaluate_coverage_on_walk(&walk, &standard, serial_options));
+    });
+    let dense_timing = time_passes(passes, population.len(), || {
+        std::hint::black_box(evaluate_coverage_on_walk(
+            &walk,
+            &population,
+            serial_options,
+        ));
+    });
+    let dense_parallel_timing = time_passes(passes, population.len(), || {
+        std::hint::black_box(evaluate_coverage_on_walk(
+            &walk,
+            &population,
+            parallel_options,
+        ));
+    });
+
+    // The packer comparison runs on an overlap-heavy shuffled population:
+    // many faults per victim, scattered through the list — the shape that
+    // exposes list-order grouping.
+    let mut gen = FaultGen::new(organization, DENSE_POPULATION_SEED ^ 0xFACC);
+    let mut overlap = gen.overlapping_clusters((fault_count / 64).max(8), 2, 1);
+    gen.shuffle(&mut overlap);
+    let greedy_plan = FaultBatch::plan_with(&walk, &overlap, CohortPlanner::ListOrderGreedy);
+    let packed_plan = FaultBatch::plan_with(&walk, &overlap, CohortPlanner::AddressAware);
+    let packer = PackerComparison {
+        fault_count: overlap.len(),
+        greedy_schedule_steps: greedy_plan.merged_schedule_steps(),
+        packed_schedule_steps: packed_plan.merged_schedule_steps(),
+    };
+
+    DenseSweepSection {
+        rows,
+        cols,
+        algorithm: test.name().to_string(),
+        population: population.name.clone(),
+        fault_count: population.len(),
+        standard_fault_count: standard.len(),
+        threads: max_threads(),
+        standard: standard_timing,
+        dense: dense_timing,
+        dense_parallel: dense_parallel_timing,
+        packer,
+    }
+}
+
 /// The `--organization` sweep: one [`FaultSimThroughput`] per array size,
 /// 64×64 up to 1024×1024 by default (the frozen baseline replica runs up
-/// to 256×256; larger entries gate on the batched-vs-kernel speedup).
+/// to 256×256; larger entries gate on the batched-vs-kernel speedup),
+/// plus the optional dense-population section.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultSimSweep {
     /// One entry per organization, in sweep order.
     pub sizes: Vec<FaultSimThroughput>,
+    /// The dense-population section, when measured.
+    pub dense: Option<DenseSweepSection>,
 }
 
 impl FaultSimSweep {
-    /// Measures every `(rows, cols)` organization in order.
+    /// Measures every `(rows, cols)` organization in order, without the
+    /// dense section.
     ///
     /// # Panics
     ///
     /// Panics if any organization is invalid or any variant diverges from
     /// the baseline (see [`fault_sim_throughput`]).
     pub fn measure(organizations: &[(u32, u32)], passes: usize) -> Self {
+        Self::measure_with_dense(organizations, passes, None)
+    }
+
+    /// Measures the size sweep and, when `dense` carries
+    /// `(rows, cols, fault_count)`, the dense-population section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any organization is invalid or any equivalence gate
+    /// fails (see [`fault_sim_throughput`] and [`dense_sweep`]).
+    pub fn measure_with_dense(
+        organizations: &[(u32, u32)],
+        passes: usize,
+        dense: Option<(u32, u32, usize)>,
+    ) -> Self {
+        // The dense section runs first, on a pristine heap: the size
+        // ladder cycles gigabytes of walk arrays, and the fragmented
+        // address space it leaves behind measurably slows the
+        // large-working-set dense sweep (the compact standard list is
+        // unaffected, which would skew the gated ratio).
+        let dense =
+            dense.map(|(rows, cols, fault_count)| dense_sweep(rows, cols, fault_count, passes));
         Self {
             sizes: organizations
                 .iter()
                 .map(|&(rows, cols)| fault_sim_throughput(rows, cols, passes))
                 .collect(),
+            dense,
         }
     }
 
@@ -286,9 +566,14 @@ impl FaultSimSweep {
             .map(FaultSimThroughput::to_json_entry)
             .collect::<Vec<_>>()
             .join(",\n");
+        let dense = self
+            .dense
+            .as_ref()
+            .map(|section| format!(",\n  \"dense\":\n{}", section.to_json_entry()))
+            .unwrap_or_default();
         format!(
             "{{\n  \"benchmark\": \"fault_sim_sweep\",\n  \"algorithms\": [{algorithms}],\n  \
-             \"passes\": {},\n  \"threads\": {},\n  \"sizes\": [\n{entries}\n  ]\n}}\n",
+             \"passes\": {},\n  \"threads\": {},\n  \"sizes\": [\n{entries}\n  ]{dense}\n}}\n",
             first.map_or(0, |s| s.passes),
             first.map_or(0, |s| s.threads),
         )
@@ -489,6 +774,50 @@ mod tests {
         assert!(json.contains("\"speedup_batched_vs_kernel\""));
         assert!(json.contains("March C-"));
         assert!(json.contains("\"sizes\""));
+        crate::json::parse(&json).expect("sweep JSON parses");
+    }
+
+    #[test]
+    fn dense_section_measures_generated_population_and_packer() {
+        // A scaled-down dense section: the structure and JSON schema are
+        // what matter here, the 1024x1024/100k acceptance numbers live in
+        // the committed BENCH_fault_sim.json.
+        let section = dense_sweep(32, 32, 600, 1);
+        assert_eq!(section.algorithm, "March SS");
+        assert!(section.fault_count >= 600);
+        assert_eq!(section.standard_fault_count, 48);
+        assert!(section.population.starts_with("dense-"));
+        assert!(section.standard.faults_per_sec > 0.0);
+        assert!(section.dense.faults_per_sec > 0.0);
+        assert!(section.dense_parallel.faults_per_sec > 0.0);
+        assert!(section.speedup_dense_vs_standard() > 0.0);
+        assert!(
+            section.packer.speedup_packed_schedule() >= 1.0,
+            "the packer is never worse than greedy"
+        );
+        assert!(section.packer.packed_schedule_steps > 0);
+        let sweep = FaultSimSweep {
+            sizes: vec![],
+            dense: Some(section),
+        };
+        let json = sweep.to_json();
+        assert!(json.contains("\"dense\":"));
+        assert!(json.contains("\"threads\""));
+        assert!(json.contains("\"dense_batched_faults_per_sec\""));
+        assert!(json.contains("\"standard_batched_faults_per_sec\""));
+        assert!(json.contains("\"speedup_dense_vs_standard\""));
+        assert!(json.contains("\"packer\": {"));
+        assert!(json.contains("\"greedy_schedule_steps\""));
+        assert!(json.contains("\"speedup_packed_schedule\""));
+        crate::json::parse(&json).expect("sweep JSON parses");
+    }
+
+    #[test]
+    fn sweep_json_omits_the_dense_section_when_not_measured() {
+        let sweep = FaultSimSweep::measure(&[(4, 8)], 1);
+        assert!(sweep.dense.is_none());
+        let json = sweep.to_json();
+        assert!(!json.contains("\"dense\""));
         crate::json::parse(&json).expect("sweep JSON parses");
     }
 

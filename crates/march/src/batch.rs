@@ -9,8 +9,8 @@
 //! bit lane of a [`LaneMemory`] its own faulty universe
 //! ([`crate::executor::run_march_lanes`]).
 //!
-//! [`FaultBatch::plan`] partitions a fault list into dispatchable
-//! [`Cohort`]s under these rules, in fault-list order:
+//! [`FaultBatch::plan_with`] partitions a fault list into dispatchable
+//! [`Cohort`]s under these rules:
 //!
 //! * a fault joins a lane cohort when the walk is
 //!   [`MarchWalk::locality_safe`] and the fault provides a
@@ -22,16 +22,33 @@
 //! * everything else (no lane form, or a non-locality-safe walk) becomes
 //!   a serial singleton that runs the per-fault golden path.
 //!
-//! [`sweep_batched`] executes a plan — serial or fanned out across
-//! threads with whole cohorts as the unit of work — and reassembles the
-//! outcomes in fault-list order, so batched sweeps are byte-identical to
-//! per-fault ones.
+//! *Which* faults share a cohort is the [`CohortPlanner`]'s choice, and
+//! it decides how much walk each cohort dispatches: a cohort's schedule
+//! is the union of its members' involved-step slices, so packing faults
+//! that **share addresses** into the same cohort shrinks the union. The
+//! default [`CohortPlanner::AddressAware`] packer clusters by involved
+//! addresses (and never plans a worse total schedule than list order —
+//! it keeps whichever grouping dispatches fewer steps);
+//! [`CohortPlanner::ListOrderGreedy`] is the PR 3 baseline, kept for
+//! comparison benchmarks. On the 48-fault standard list the two coincide
+//! (one cohort either way); on dense generated populations
+//! ([`crate::faultgen`]) the address-aware packing is what keeps the
+//! merged schedules — and thus the sweep cost — proportional to the
+//! population's address footprint instead of its shuffle order.
+//!
+//! Cohort membership never changes *results*: lanes are independent
+//! universes and [`sweep_batched`] reassembles outcomes in fault-list
+//! order, so batched sweeps are byte-identical to per-fault ones under
+//! every planner (the randomized differential harness in
+//! `tests/dense_population_differential.rs` proves it seed by seed).
+
+use sram_model::address::Address;
 
 use crate::executor::{run_march_lanes, MarchWalk};
 use crate::fault_sim::{simulate_fault_on_walk, DetectionMode, FaultSimOutcome};
 use crate::faults::{Fault, FaultFactory, LaneFault};
 use crate::memory::{GoodMemory, LaneMemory};
-use crate::parallel::par_chunk_flat_map;
+use crate::parallel::par_chunk_flat_map_balanced;
 
 /// One unit of sweep work produced by the [`FaultBatch`] planner.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,45 +78,266 @@ impl Cohort {
     }
 }
 
+/// The cohort-grouping strategy of a [`FaultBatch`] plan.
+///
+/// Every planner obeys the hard rules (lane-capable faults only, cohorts
+/// close at [`LaneMemory::LANES`] members, each fault in exactly one
+/// cohort); they differ only in *which* lane-capable faults share a
+/// dispatch, which decides each cohort's merged-schedule size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CohortPlanner {
+    /// Lane-capable faults are chunked in fault-list order — the PR 3
+    /// baseline the address-aware packer is measured against.
+    ListOrderGreedy,
+    /// Lane-capable faults are sorted by their involved-address
+    /// signature before chunking, so faults sharing victims (or sitting
+    /// on the same cells) land in the same cohort and their involved-step
+    /// slices deduplicate inside the union. The packer then keeps
+    /// whichever grouping — clustered or list-order — yields the smaller
+    /// total merged schedule, so it is never worse than the greedy
+    /// baseline. The default.
+    #[default]
+    AddressAware,
+}
+
 /// A fault list partitioned into ≤64-lane cohorts for one walk.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultBatch {
     cohorts: Vec<Cohort>,
     faults: usize,
+    planner: CohortPlanner,
+    schedule_steps: u64,
+}
+
+/// Total walk steps the union of the given involved sets dispatches:
+/// per-address step counts summed over the deduplicated union.
+fn union_schedule_steps(walk: &MarchWalk, sets: &[&[Address]]) -> u64 {
+    let mut union: Vec<Address> = sets.iter().flat_map(|set| set.iter().copied()).collect();
+    union.sort_unstable();
+    union.dedup();
+    union
+        .iter()
+        .map(|&address| walk.steps_touching(address).len() as u64)
+        .sum()
+}
+
+/// One probed fault: the instance, its lane form (when the walk admits
+/// one) and the lane form's sorted involved addresses, each paired with
+/// its walk step count. Probing happens in fault-list order, once, and
+/// serves both planning and the serial sweep — re-instantiating 100k
+/// faults per phase (and re-reading the walk's cold CSR offsets per
+/// grouping evaluation) is measurable at dense-population scale.
+struct Probe {
+    /// `None` once a serial singleton consumed the instance (its outcome
+    /// is then parked, name included, so the probe is never read again).
+    fault: Option<Box<dyn Fault>>,
+    lane: Option<Box<dyn LaneFault>>,
+    /// `(address, steps touching it)`, ascending by address.
+    involved: Vec<(u32, u32)>,
+}
+
+/// Sequentially probes every factory of `faults` over `walk`.
+fn probe_faults(walk: &MarchWalk, faults: &[FaultFactory]) -> Vec<Probe> {
+    let locality_safe = walk.locality_safe();
+    faults
+        .iter()
+        .map(|factory| {
+            let fault = factory();
+            let lane = if locality_safe {
+                fault.lane_form()
+            } else {
+                None
+            };
+            let mut addresses = lane
+                .as_ref()
+                .map(|lane| lane.involved())
+                .unwrap_or_default();
+            addresses.sort_unstable();
+            addresses.dedup();
+            let involved = addresses
+                .into_iter()
+                .map(|address| (address.value(), walk.steps_touching(address).len() as u32))
+                .collect();
+            Probe {
+                fault: Some(fault),
+                lane,
+                involved,
+            }
+        })
+        .collect()
 }
 
 impl FaultBatch {
-    /// Plans the cohorts of `faults` over `walk` (see the module docs for
-    /// the grouping rules). Planning instantiates one probe fault per
-    /// factory to query its lane form.
+    /// Plans the cohorts of `faults` over `walk` with the default
+    /// [`CohortPlanner::AddressAware`] packer. Planning instantiates one
+    /// probe fault per factory to query its lane form and involved
+    /// addresses.
     pub fn plan(walk: &MarchWalk, faults: &[FaultFactory]) -> Self {
-        let mut cohorts = Vec::new();
-        let mut pending: Vec<usize> = Vec::new();
-        for (index, factory) in faults.iter().enumerate() {
-            let lane_capable = walk.locality_safe() && factory().lane_form().is_some();
-            if lane_capable {
-                pending.push(index);
-                if pending.len() == LaneMemory::LANES {
-                    cohorts.push(Cohort::Lanes(std::mem::take(&mut pending)));
-                }
+        Self::plan_with(walk, faults, CohortPlanner::default())
+    }
+
+    /// Plans the cohorts of `faults` over `walk` under an explicit
+    /// `planner` (see the module docs for the grouping rules).
+    pub fn plan_with(walk: &MarchWalk, faults: &[FaultFactory], planner: CohortPlanner) -> Self {
+        Self::plan_probed(walk, &probe_faults(walk, faults), planner)
+    }
+
+    /// Plans from already-probed faults — the shared core of
+    /// [`FaultBatch::plan_with`] and the serial sweep, which probes once
+    /// and reuses the instances for execution.
+    fn plan_probed(walk: &MarchWalk, probes: &[Probe], planner: CohortPlanner) -> Self {
+        let locality_safe = walk.locality_safe();
+        let mut lane_indices: Vec<usize> = Vec::new();
+        let mut involved: Vec<&[(u32, u32)]> = Vec::new();
+        let mut serial: Vec<usize> = Vec::new();
+        let mut serial_steps = 0u64;
+        for (index, probe) in probes.iter().enumerate() {
+            // A lane form whose involved set alone exceeds the kernel's
+            // address budget can never share (or even fill) a cohort the
+            // kernel would accept — it runs the per-fault path instead.
+            if probe.lane.is_some()
+                && probe.involved.len() <= crate::executor::COHORT_ADDRESS_BUDGET
+            {
+                lane_indices.push(index);
+                involved.push(&probe.involved);
             } else {
-                cohorts.push(Cohort::Serial(index));
+                let fault = probe.fault.as_ref().expect("fresh probes hold their fault");
+                serial_steps += match fault.involved_addresses().filter(|_| locality_safe) {
+                    Some(addresses) => union_schedule_steps(walk, &[&addresses]),
+                    None => walk.len() as u64,
+                };
+                serial.push(index);
             }
         }
-        if !pending.is_empty() {
-            cohorts.push(Cohort::Lanes(pending));
-        }
+
+        // A grouping is a partition of positions into `lane_indices`;
+        // its cost is the total merged schedule its cohorts dispatch,
+        // computed from the probe-cached per-address step counts (no
+        // walk lookups) with one scratch buffer for the unions.
+        let mut scratch: Vec<(u32, u32)> = Vec::new();
+        let mut grouping_steps = |grouping: &[Vec<usize>]| -> u64 {
+            grouping
+                .iter()
+                .map(|members| {
+                    scratch.clear();
+                    for &position in members {
+                        scratch.extend_from_slice(involved[position]);
+                    }
+                    scratch.sort_unstable();
+                    scratch.dedup_by_key(|entry| entry.0);
+                    scratch
+                        .iter()
+                        .map(|&(_, steps)| u64::from(steps))
+                        .sum::<u64>()
+                })
+                .sum()
+        };
+        // Cohorts close at 64 lanes or when their summed involved sets
+        // (an upper bound on the union size) would exceed the kernel's
+        // address budget — today's ≤2-address faults never trigger the
+        // latter, but the planner must not hand the kernel a cohort it
+        // would reject.
+        let chunked = |positions: &[usize]| -> Vec<Vec<usize>> {
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            let mut pending: Vec<usize> = Vec::new();
+            let mut pending_addresses = 0usize;
+            for &position in positions {
+                let addresses = involved[position].len();
+                if !pending.is_empty()
+                    && (pending.len() == LaneMemory::LANES
+                        || pending_addresses + addresses > crate::executor::COHORT_ADDRESS_BUDGET)
+                {
+                    groups.push(std::mem::take(&mut pending));
+                    pending_addresses = 0;
+                }
+                pending.push(position);
+                pending_addresses += addresses;
+            }
+            if !pending.is_empty() {
+                groups.push(pending);
+            }
+            groups
+        };
+
+        let list_order: Vec<usize> = (0..lane_indices.len()).collect();
+        let greedy = chunked(&list_order);
+        let greedy_steps = grouping_steps(&greedy);
+        let (grouping, lane_steps) = match planner {
+            CohortPlanner::ListOrderGreedy => (greedy, greedy_steps),
+            CohortPlanner::AddressAware => {
+                // Cluster by involved-address signature: faults on the
+                // same cells sort adjacently (ties broken by list
+                // position for determinism), so chunking the sorted
+                // order packs overlapping faults into shared cohorts.
+                // The signature is packed into one u64 (first two
+                // involved addresses — involved sets rarely exceed two)
+                // so sorting a 100k-fault population compares integers
+                // instead of chasing `Vec<Address>` allocations.
+                let mut keyed: Vec<(u64, u32)> = involved
+                    .iter()
+                    .enumerate()
+                    .map(|(position, set)| {
+                        let first = set.first().map_or(u32::MAX, |entry| entry.0);
+                        let second = set.get(1).map_or(u32::MAX, |entry| entry.0);
+                        (u64::from(first) << 32 | u64::from(second), position as u32)
+                    })
+                    .collect();
+                keyed.sort_unstable();
+                let clustered: Vec<usize> = keyed
+                    .into_iter()
+                    .map(|(_, position)| position as usize)
+                    .collect();
+                drop(list_order);
+                let packed = chunked(&clustered);
+                let packed_steps = grouping_steps(&packed);
+                // Keep whichever grouping dispatches less walk: the
+                // packer is never worse than the greedy baseline.
+                if packed_steps <= greedy_steps {
+                    (packed, packed_steps)
+                } else {
+                    (greedy, greedy_steps)
+                }
+            }
+        };
+
+        let mut cohorts: Vec<Cohort> = grouping
+            .into_iter()
+            .map(|members| {
+                Cohort::Lanes(
+                    members
+                        .into_iter()
+                        .map(|position| lane_indices[position])
+                        .collect(),
+                )
+            })
+            .collect();
+        cohorts.extend(serial.into_iter().map(Cohort::Serial));
         Self {
             cohorts,
-            faults: faults.len(),
+            faults: probes.len(),
+            planner,
+            schedule_steps: lane_steps + serial_steps,
         }
     }
 
-    /// The planned cohorts. Lane cohorts appear in fault-list order of
-    /// their members; serial singletons are interleaved where their fault
-    /// sits in the list.
+    /// The planned cohorts: lane cohorts first (in the planner's packing
+    /// order), then the serial singletons in fault-list order.
     pub fn cohorts(&self) -> &[Cohort] {
         &self.cohorts
+    }
+
+    /// The planner that produced this plan.
+    pub fn planner(&self) -> CohortPlanner {
+        self.planner
+    }
+
+    /// Total walk steps the plan dispatches: each lane cohort's merged
+    /// (deduplicated) involved-step schedule plus each serial singleton's
+    /// filtered slice — the metric the address-aware packer minimises,
+    /// and the `speedup_packed_schedule` ratio the dense benchmark
+    /// tracks against the greedy baseline.
+    pub fn merged_schedule_steps(&self) -> u64 {
+        self.schedule_steps
     }
 
     /// Number of faults the plan covers.
@@ -119,71 +357,9 @@ impl FaultBatch {
     }
 }
 
-/// Runs one cohort of `batch`-planned work and tags each outcome with its
-/// fault-list index. `scratch` serves the serial singletons and is only
-/// allocated when the first one is met — an all-lane plan (the common
-/// case) never pays for a capacity-sized memory; lane cohorts use their
-/// own sparse [`LaneMemory`] instead.
-///
-/// # Panics
-///
-/// Panics if a pre-allocated `scratch` does not match the walk's capacity
-/// or a planned lane fault no longer provides a lane form.
-pub fn run_cohort(
-    walk: &MarchWalk,
-    faults: &[FaultFactory],
-    cohort: &Cohort,
-    scratch: &mut Option<GoodMemory>,
-    background: bool,
-    mode: DetectionMode,
-) -> Vec<(usize, FaultSimOutcome)> {
-    match cohort {
-        Cohort::Serial(index) => {
-            let scratch = scratch.get_or_insert_with(|| GoodMemory::new(walk.capacity()));
-            let outcome = simulate_fault_on_walk(walk, scratch, faults[*index](), background, mode);
-            vec![(*index, outcome)]
-        }
-        Cohort::Lanes(indices) => {
-            let instances: Vec<Box<dyn Fault>> = indices.iter().map(|&i| faults[i]()).collect();
-            let mut lanes: Vec<Box<dyn LaneFault>> = instances
-                .iter()
-                .map(|fault| {
-                    fault
-                        .lane_form()
-                        .expect("planned lane faults have lane forms")
-                })
-                .collect();
-            let detections = run_march_lanes(walk, &mut lanes, background, mode);
-            indices
-                .iter()
-                .zip(&instances)
-                .zip(detections)
-                .map(|((&index, fault), detection)| {
-                    (
-                        index,
-                        FaultSimOutcome {
-                            fault_name: fault.name(),
-                            fault_kind: fault.kind(),
-                            test_name: walk.test_name().to_string(),
-                            order_name: walk.order_name().to_string(),
-                            detected: detection.detected,
-                            mismatches: detection.mismatches,
-                        },
-                    )
-                })
-                .collect()
-        }
-    }
-}
-
 /// Simulates every fault in `faults` over `walk` through the lane-batched
-/// backend, returning outcomes in fault-list order.
-///
-/// The fault list is planned into cohorts once, the cohorts are executed
-/// — fanned out across `threads` worker threads with whole cohorts as the
-/// unit of work when `threads > 1` — and the tagged outcomes are
-/// scattered back into list order, so the result is identical to the
-/// per-fault path regardless of scheduling.
+/// backend with the default [`CohortPlanner::AddressAware`] packer,
+/// returning outcomes in fault-list order. See [`sweep_batched_with`].
 pub fn sweep_batched(
     walk: &MarchWalk,
     faults: &[FaultFactory],
@@ -191,24 +367,177 @@ pub fn sweep_batched(
     mode: DetectionMode,
     threads: usize,
 ) -> Vec<FaultSimOutcome> {
-    let plan = FaultBatch::plan(walk, faults);
-    let tagged = par_chunk_flat_map(plan.cohorts(), threads, |chunk| {
-        // One scratch memory per worker, allocated lazily by the first
-        // serial singleton of the chunk (if any).
-        let mut scratch = None;
-        chunk
+    sweep_batched_with(
+        walk,
+        faults,
+        background,
+        mode,
+        threads,
+        CohortPlanner::default(),
+    )
+}
+
+/// Simulates every fault in `faults` over `walk` through the lane-batched
+/// backend under an explicit cohort `planner`, returning outcomes in
+/// fault-list order.
+///
+/// Every fault is probed exactly once, in fault-list order; the plan is
+/// built from the probes and the cohorts execute off the probed
+/// instances — serially, or fanned out across `threads` worker threads
+/// with whole cohorts as the unit of work, load-balanced because
+/// generated populations produce cohorts of very uneven cost. Only two
+/// flat detection arrays take scattered writes; outcomes are assembled
+/// in one sequential list-order pass, so the result is identical to the
+/// per-fault path regardless of scheduling or planner. (Dense
+/// populations make the naive structure — instantiate per phase, scatter
+/// full outcome structs — measurably memory-bound.)
+pub fn sweep_batched_with(
+    walk: &MarchWalk,
+    faults: &[FaultFactory],
+    background: bool,
+    mode: DetectionMode,
+    threads: usize,
+    planner: CohortPlanner,
+) -> Vec<FaultSimOutcome> {
+    let mut probes = probe_faults(walk, faults);
+    let plan = FaultBatch::plan_probed(walk, &probes, planner);
+    let mut detected = vec![false; probes.len()];
+    let mut mismatches = vec![0usize; probes.len()];
+    // Serial singletons are rare; their ready-made outcomes park here,
+    // in ascending fault order (the planner appends them in list order,
+    // and the parallel fan-out preserves input order).
+    let mut singleton: Vec<(usize, FaultSimOutcome)> = Vec::new();
+    if threads <= 1 {
+        let mut scratch: Option<GoodMemory> = None;
+        for cohort in plan.cohorts() {
+            match cohort {
+                Cohort::Serial(index) => {
+                    let scratch = scratch.get_or_insert_with(|| GoodMemory::new(walk.capacity()));
+                    let fault = probes[*index].fault.take().expect("probe holds its fault");
+                    singleton.push((
+                        *index,
+                        simulate_fault_on_walk(walk, scratch, fault, background, mode),
+                    ));
+                }
+                Cohort::Lanes(indices) => {
+                    let mut lanes = take_lane_forms(&mut probes, indices);
+                    let detections = run_march_lanes(walk, &mut lanes, background, mode);
+                    for (&index, detection) in indices.iter().zip(&detections) {
+                        detected[index] = detection.detected;
+                        mismatches[index] = detection.mismatches;
+                    }
+                }
+            }
+        }
+    } else {
+        // Workers consume the probed lane forms through per-cohort
+        // mutexes (each locked exactly once), so the parallel path pays
+        // the same single probe pass as the serial one; singletons
+        // re-instantiate from their `Sync` factories inside the worker.
+        enum Work<'a> {
+            Lanes {
+                indices: &'a [usize],
+                lanes: Vec<Box<dyn LaneFault>>,
+            },
+            Serial(usize),
+        }
+        enum Record {
+            Lane { detected: bool, mismatches: usize },
+            Singleton(FaultSimOutcome),
+        }
+        let work: Vec<std::sync::Mutex<Work>> = plan
+            .cohorts()
             .iter()
-            .flat_map(|cohort| run_cohort(walk, faults, cohort, &mut scratch, background, mode))
-            .collect()
-    });
-    let mut outcomes: Vec<Option<FaultSimOutcome>> = (0..faults.len()).map(|_| None).collect();
-    for (index, outcome) in tagged {
-        debug_assert!(outcomes[index].is_none(), "each fault simulated once");
-        outcomes[index] = Some(outcome);
+            .map(|cohort| {
+                std::sync::Mutex::new(match cohort {
+                    Cohort::Lanes(indices) => Work::Lanes {
+                        indices,
+                        lanes: take_lane_forms(&mut probes, indices),
+                    },
+                    Cohort::Serial(index) => Work::Serial(*index),
+                })
+            })
+            .collect();
+        let tagged = par_chunk_flat_map_balanced(&work, threads, |chunk| {
+            let mut scratch: Option<GoodMemory> = None;
+            let mut records = Vec::new();
+            for item in chunk {
+                let mut item = item.lock().expect("cohort work poisoned");
+                match &mut *item {
+                    Work::Lanes { indices, lanes } => {
+                        let detections = run_march_lanes(walk, lanes, background, mode);
+                        records.extend(indices.iter().zip(detections).map(
+                            |(&index, detection)| {
+                                (
+                                    index,
+                                    Record::Lane {
+                                        detected: detection.detected,
+                                        mismatches: detection.mismatches,
+                                    },
+                                )
+                            },
+                        ));
+                    }
+                    Work::Serial(index) => {
+                        let scratch =
+                            scratch.get_or_insert_with(|| GoodMemory::new(walk.capacity()));
+                        let outcome = simulate_fault_on_walk(
+                            walk,
+                            scratch,
+                            faults[*index](),
+                            background,
+                            mode,
+                        );
+                        records.push((*index, Record::Singleton(outcome)));
+                    }
+                }
+            }
+            records
+        });
+        for (index, record) in tagged {
+            match record {
+                Record::Lane {
+                    detected: hit,
+                    mismatches: count,
+                } => {
+                    detected[index] = hit;
+                    mismatches[index] = count;
+                }
+                Record::Singleton(outcome) => singleton.push((index, outcome)),
+            }
+        }
     }
-    outcomes
-        .into_iter()
-        .map(|outcome| outcome.expect("plan covers every fault"))
+    let mut singletons = singleton.into_iter().peekable();
+    probes
+        .iter()
+        .enumerate()
+        .map(|(index, probe)| {
+            if singletons.peek().is_some_and(|(i, _)| *i == index) {
+                return singletons.next().expect("peeked").1;
+            }
+            let fault = probe.fault.as_ref().expect("lane probes keep their fault");
+            FaultSimOutcome {
+                fault_name: fault.name(),
+                fault_kind: fault.kind(),
+                test_name: walk.test_name().to_string(),
+                order_name: walk.order_name().to_string(),
+                detected: detected[index],
+                mismatches: mismatches[index],
+            }
+        })
+        .collect()
+}
+
+/// Moves the lane forms of a cohort's members out of their probes.
+fn take_lane_forms(probes: &mut [Probe], indices: &[usize]) -> Vec<Box<dyn LaneFault>> {
+    indices
+        .iter()
+        .map(|&index| {
+            probes[index]
+                .lane
+                .take()
+                .expect("planned lane faults have lane forms")
+        })
         .collect()
 }
 
@@ -325,6 +654,131 @@ mod tests {
         );
         let outcomes = sweep_batched(&walk, &faults, false, DetectionMode::FirstMismatch, 1);
         assert_eq!(outcomes[1].fault_name, "OPAQUE");
+        assert!(outcomes[1].detected, "stuck-at-1-everything is detected");
+    }
+
+    #[test]
+    fn address_aware_packing_clusters_shared_victims_and_never_loses_to_greedy() {
+        use crate::faultgen::FaultGen;
+
+        let organization = ArrayOrganization::new(16, 16).unwrap();
+        let walk = MarchWalk::new(&library::march_ss(), &WordLineAfterWordLine, &organization);
+        // Overlap-heavy and shuffled: the worst case for list-order
+        // grouping, the best for address clustering.
+        let mut gen = FaultGen::new(organization, 0xC0_FFEE);
+        let mut faults = gen.overlapping_clusters(40, 2, 1);
+        gen.shuffle(&mut faults);
+        let greedy = FaultBatch::plan_with(&walk, &faults, CohortPlanner::ListOrderGreedy);
+        let packed = FaultBatch::plan_with(&walk, &faults, CohortPlanner::AddressAware);
+        assert_eq!(greedy.planner(), CohortPlanner::ListOrderGreedy);
+        assert_eq!(packed.planner(), CohortPlanner::AddressAware);
+        assert_eq!(packed.fault_count(), greedy.fault_count());
+        assert_eq!(packed.lane_fault_count(), greedy.lane_fault_count());
+        assert!(
+            packed.merged_schedule_steps() < greedy.merged_schedule_steps(),
+            "packed {} must beat greedy {} on an overlap-heavy shuffle",
+            packed.merged_schedule_steps(),
+            greedy.merged_schedule_steps()
+        );
+        // Same results either way, in fault-list order.
+        for mode in [DetectionMode::Full, DetectionMode::FirstMismatch] {
+            let a = sweep_batched_with(&walk, &faults, false, mode, 1, CohortPlanner::AddressAware);
+            let b = sweep_batched_with(
+                &walk,
+                &faults,
+                false,
+                mode,
+                1,
+                CohortPlanner::ListOrderGreedy,
+            );
+            assert_eq!(a, b, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn schedule_steps_count_the_planned_dispatch_exactly() {
+        // Two SAFs on the same victim + one on another cell: one cohort,
+        // union of two addresses.
+        let organization = org();
+        let walk = MarchWalk::new(&library::mats_plus(), &WordLineAfterWordLine, &organization);
+        let victim_steps = walk.steps_touching(Address::new(3)).len() as u64;
+        let other_steps = walk.steps_touching(Address::new(7)).len() as u64;
+        let faults: Vec<FaultFactory> = vec![
+            Box::new(|| Box::new(StuckAtFault::new(Address::new(3), false))),
+            Box::new(|| Box::new(StuckAtFault::new(Address::new(3), true))),
+            Box::new(|| Box::new(StuckAtFault::new(Address::new(7), true))),
+        ];
+        let plan = FaultBatch::plan(&walk, &faults);
+        assert_eq!(plan.cohorts().len(), 1);
+        assert_eq!(plan.merged_schedule_steps(), victim_steps + other_steps);
+    }
+
+    #[test]
+    fn lane_forms_exceeding_the_address_budget_fall_back_to_the_serial_path() {
+        use crate::executor::COHORT_ADDRESS_BUDGET;
+        use crate::memory::LaneMemory;
+
+        /// A fault whose lane form claims more involved addresses than
+        /// one cohort may span — the planner must not hand it to the
+        /// kernel as a lane cohort.
+        #[derive(Debug, Clone, Copy)]
+        struct WideFault;
+        impl Fault for WideFault {
+            fn name(&self) -> String {
+                "WIDE".into()
+            }
+            fn kind(&self) -> crate::faults::FaultKind {
+                crate::faults::FaultKind::StuckAt
+            }
+            fn write(&mut self, memory: &mut GoodMemory, address: Address, _value: bool) {
+                memory.set(address, true);
+            }
+            fn read(&mut self, memory: &mut GoodMemory, address: Address) -> bool {
+                memory.get(address)
+            }
+            fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
+                Some(Box::new(*self))
+            }
+        }
+        impl LaneFault for WideFault {
+            fn involved(&self) -> Vec<Address> {
+                (0..COHORT_ADDRESS_BUDGET as u32 + 1)
+                    .map(Address::new)
+                    .collect()
+            }
+            fn lane_write(
+                &mut self,
+                memory: &mut LaneMemory,
+                lane: u32,
+                address: Address,
+                _value: bool,
+            ) {
+                memory.set_lane(address, lane, true);
+            }
+            fn lane_read(
+                &mut self,
+                memory: &mut LaneMemory,
+                lane: u32,
+                address: Address,
+                _sensed: bool,
+            ) -> bool {
+                memory.get_lane(address, lane)
+            }
+        }
+        let organization = ArrayOrganization::new(32, 16).unwrap();
+        let walk = MarchWalk::new(&library::mats_plus(), &WordLineAfterWordLine, &organization);
+        let mut faults = saf_list(2);
+        faults.insert(1, Box::new(|| Box::new(WideFault)));
+        let plan = FaultBatch::plan(&walk, &faults);
+        assert_eq!(plan.lane_fault_count(), 2, "the wide fault runs serially");
+        assert!(plan
+            .cohorts()
+            .iter()
+            .any(|cohort| matches!(cohort, Cohort::Serial(1))));
+        // The sweep still completes (through the per-fault path) and
+        // keeps fault-list order.
+        let outcomes = sweep_batched(&walk, &faults, false, DetectionMode::Full, 1);
+        assert_eq!(outcomes[1].fault_name, "WIDE");
         assert!(outcomes[1].detected, "stuck-at-1-everything is detected");
     }
 

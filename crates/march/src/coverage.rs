@@ -18,7 +18,7 @@ use sram_model::config::ArrayOrganization;
 
 use crate::address_order::AddressOrder;
 use crate::algorithm::MarchTest;
-use crate::batch::sweep_batched;
+use crate::batch::{sweep_batched_with, CohortPlanner};
 use crate::executor::MarchWalk;
 use crate::fault_sim::{simulate_fault_on_walk, DetectionMode, FaultSimOutcome};
 use crate::faults::FaultFactory;
@@ -29,10 +29,17 @@ use crate::parallel::{max_threads, par_chunk_map};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SweepBackend {
     /// The lane-batched backend: compatible faults grouped into ≤64-lane
-    /// cohorts, one walk dispatch per cohort, serial fallback for the
-    /// rest ([`crate::batch::FaultBatch`]). The default.
+    /// cohorts by the address-aware packer
+    /// ([`CohortPlanner::AddressAware`]), one walk dispatch per cohort,
+    /// serial fallback for the rest ([`crate::batch::FaultBatch`]). The
+    /// default.
     #[default]
     LaneBatched,
+    /// The lane-batched backend with the list-order greedy planner
+    /// ([`CohortPlanner::ListOrderGreedy`]) — the packing baseline dense
+    /// benchmarks compare against. Results are identical to
+    /// [`SweepBackend::LaneBatched`]; only the cohort schedules differ.
+    LaneBatchedListOrder,
     /// One filtered walk per fault — the golden reference path that
     /// batched sweeps are verified against.
     PerFault,
@@ -180,8 +187,19 @@ pub fn evaluate_coverage_on_walk(
 ) -> CoverageReport {
     let threads = if options.parallel { max_threads() } else { 1 };
     let outcomes = match options.backend {
-        SweepBackend::LaneBatched => {
-            sweep_batched(walk, faults, options.background, options.mode, threads)
+        SweepBackend::LaneBatched | SweepBackend::LaneBatchedListOrder => {
+            let planner = match options.backend {
+                SweepBackend::LaneBatchedListOrder => CohortPlanner::ListOrderGreedy,
+                _ => CohortPlanner::AddressAware,
+            };
+            sweep_batched_with(
+                walk,
+                faults,
+                options.background,
+                options.mode,
+                threads,
+                planner,
+            )
         }
         SweepBackend::PerFault => {
             let sweep_chunk = |chunk: &[FaultFactory]| -> Vec<FaultSimOutcome> {
@@ -313,7 +331,11 @@ mod tests {
                         backend: SweepBackend::PerFault,
                     },
                 );
-                for backend in [SweepBackend::PerFault, SweepBackend::LaneBatched] {
+                for backend in [
+                    SweepBackend::PerFault,
+                    SweepBackend::LaneBatched,
+                    SweepBackend::LaneBatchedListOrder,
+                ] {
                     for parallel in [false, true] {
                         let other = evaluate_coverage_with(
                             &test,
@@ -374,6 +396,47 @@ mod tests {
                 test.name()
             );
             assert_eq!(full.coverage(), fast.coverage(), "{}", test.name());
+        }
+    }
+
+    #[test]
+    fn generated_populations_flow_through_every_backend_identically() {
+        use crate::faultgen::FaultGen;
+
+        // A dense generated population (mixed kinds, shuffled) must sweep
+        // through the batched backends exactly like the per-fault golden
+        // path — the report is the contract, whatever the fault source.
+        let organization = ArrayOrganization::new(8, 8).unwrap();
+        let population = FaultGen::new(organization, 0xD15E).dense_profile(300);
+        assert!(population.len() >= 300);
+        let golden = evaluate_coverage_with(
+            &library::march_ss(),
+            &WordLineAfterWordLine,
+            &organization,
+            &population,
+            SweepOptions::golden(),
+        );
+        assert_eq!(golden.total(), population.len());
+        assert!(golden.coverage() > 0.0);
+        for backend in [
+            SweepBackend::LaneBatched,
+            SweepBackend::LaneBatchedListOrder,
+        ] {
+            for parallel in [false, true] {
+                let batched = evaluate_coverage_with(
+                    &library::march_ss(),
+                    &WordLineAfterWordLine,
+                    &organization,
+                    &population,
+                    SweepOptions {
+                        background: false,
+                        mode: DetectionMode::Full,
+                        parallel,
+                        backend,
+                    },
+                );
+                assert_eq!(golden, batched, "{backend:?} parallel={parallel}");
+            }
         }
     }
 

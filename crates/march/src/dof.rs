@@ -194,6 +194,35 @@ mod tests {
     }
 
     #[test]
+    fn dof1_holds_on_generated_per_row_and_per_column_populations() {
+        use crate::address_order::PseudoRandomOrder;
+        use crate::faultgen::FaultGen;
+
+        // Single-cell SAF/TF detection depends only on the per-cell
+        // operation sequence, so the exact detected set must survive any
+        // address order — now verified on a generated population covering
+        // every row and column instead of the three standard victims.
+        let organization = ArrayOrganization::new(8, 8).unwrap();
+        let mut gen = FaultGen::new(organization, 4);
+        let mut faults = gen.stuck_at_per_row(2);
+        faults.extend(gen.transitions_per_column(2));
+        gen.shuffle(&mut faults);
+        let random = PseudoRandomOrder::new(9);
+        let orders: Vec<&dyn AddressOrder> =
+            vec![&WordLineAfterWordLine, &ColumnMajor, &LinearOrder, &random];
+        for test in [library::march_c_minus(), library::march_ss()] {
+            let report = verify_order_independence(&test, &orders, &organization, &faults);
+            assert!(
+                report.coverage_is_order_independent(),
+                "{} coverage changed with the address order on a generated population",
+                test.name()
+            );
+            assert_eq!(report.reports[0].total(), faults.len());
+            assert!(report.coverage() > 0.9, "{}", test.name());
+        }
+    }
+
+    #[test]
     fn dof1_coverage_is_identical_across_orders_for_table1_tests() {
         let organization = ArrayOrganization::new(4, 4).unwrap();
         let faults = standard_fault_list(&organization);

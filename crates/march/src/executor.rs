@@ -220,6 +220,14 @@ pub struct MarchWalk {
     /// what lets localised faults execute only their own slice of the walk.
     address_offsets: Vec<u32>,
     address_steps: Vec<u32>,
+    /// Per-CSR-entry step payload, aligned with `address_steps`: the
+    /// element (bits 16–31), op index (bits 8–15) and code byte (bits
+    /// 0–7) of each step, laid out address-major. The cohort kernel reads
+    /// these slices *sequentially* instead of chasing `address_steps`
+    /// indices into the execution-ordered `steps` array — on megabit
+    /// walks (hundreds of MB of steps) those scattered loads are cache
+    /// misses that would otherwise dominate dense sweeps.
+    address_codes: Vec<u32>,
     locality_safe: bool,
 }
 
@@ -339,10 +347,14 @@ impl MarchWalk {
         }
         let mut cursor = address_offsets.clone();
         let mut address_steps = vec![0u32; steps.len()];
+        let mut address_codes = vec![0u32; steps.len()];
         for (index, step) in steps.iter().enumerate() {
-            let slot = &mut cursor[step.address as usize];
-            address_steps[*slot as usize] = index as u32;
-            *slot += 1;
+            let slot = cursor[step.address as usize] as usize;
+            address_steps[slot] = index as u32;
+            address_codes[slot] = u32::from(step.element) << 16
+                | u32::from(step.op_index) << 8
+                | u32::from(step.code);
+            cursor[step.address as usize] += 1;
         }
         Self {
             test_name: test.name().to_string(),
@@ -353,6 +365,7 @@ impl MarchWalk {
             steps,
             address_offsets,
             address_steps,
+            address_codes,
             locality_safe: fault_free_reads_always_match(test),
         }
     }
@@ -375,6 +388,21 @@ impl MarchWalk {
         let from = self.address_offsets[a] as usize;
         let to = self.address_offsets[a + 1] as usize;
         &self.address_steps[from..to]
+    }
+
+    /// The packed payloads of the steps touching `address`, aligned
+    /// entry-for-entry with [`MarchWalk::steps_touching`]: element in
+    /// bits 16–31, op index in bits 8–15, code byte (operation, last-on-
+    /// address/of-element flags and the sensed-before stamp) in bits 0–7.
+    /// Reading these contiguous slices is how the cohort kernel builds
+    /// dispatch schedules without scattered loads into the
+    /// execution-ordered step array.
+    pub fn step_payloads_touching(&self, address: Address) -> &[u32] {
+        let a = address.value() as usize;
+        assert!(a < self.capacity as usize, "address out of range");
+        let from = self.address_offsets[a] as usize;
+        let to = self.address_offsets[a + 1] as usize;
+        &self.address_codes[from..to]
     }
 
     /// Name of the March test the walk was built from.
@@ -531,21 +559,18 @@ pub fn merged_step_indices<'a>(walk: &'a MarchWalk, involved: &[Address]) -> Fil
         [] => FilteredSteps::Borrowed(&[]),
         [address] => FilteredSteps::Borrowed(walk.steps_touching(*address)),
         addresses => {
-            let mut slices: Vec<&[u32]> = addresses
+            // Every walk step touches exactly one address, so distinct
+            // addresses contribute disjoint slices and a gather-and-sort
+            // builds the union in `O(E log E)` — the old head-minimum
+            // scan was `O(E × addresses)`, which dominated dense cohorts
+            // whose unions span dozens of addresses. The dedup only
+            // collapses duplicate addresses in `involved`.
+            let mut merged: Vec<u32> = addresses
                 .iter()
-                .map(|&address| walk.steps_touching(address))
+                .flat_map(|&address| walk.steps_touching(address).iter().copied())
                 .collect();
-            let mut merged = Vec::with_capacity(slices.iter().map(|s| s.len()).sum());
-            while let Some(next) = slices.iter().filter_map(|s| s.first().copied()).min() {
-                for slice in &mut slices {
-                    // Advancing every slice whose head equals the minimum
-                    // also deduplicates indices shared between addresses.
-                    if slice.first() == Some(&next) {
-                        *slice = &slice[1..];
-                    }
-                }
-                merged.push(next);
-            }
+            merged.sort_unstable();
+            merged.dedup();
             FilteredSteps::Merged(merged)
         }
     }
@@ -565,6 +590,14 @@ pub struct LaneDetection {
     pub first_mismatch: Option<Mismatch>,
 }
 
+/// Largest number of distinct addresses one lane cohort may involve: the
+/// packed schedule entry of [`run_march_lanes`] keeps the union slot in
+/// eight bits. [`crate::batch::FaultBatch`] closes cohorts before their
+/// summed involved sets can exceed this, so the limit only binds custom
+/// callers assembling cohorts by hand (today's fault models involve at
+/// most two addresses each — 64 lanes stay well under half the budget).
+pub const COHORT_ADDRESS_BUDGET: usize = 256;
+
 #[inline]
 fn lane_mask(lanes: usize) -> u64 {
     if lanes >= LaneMemory::LANES {
@@ -579,8 +612,9 @@ fn lane_mask(lanes: usize) -> u64 {
 ///
 /// Each element of `lanes` owns the bit lane of its position in the slice:
 /// a sparse [`LaneMemory`] over the cohort's merged involved addresses is
-/// filled to `background`, the merged involved-step schedule
-/// ([`merged_step_indices`]) is dispatched once, and at every step the
+/// filled to `background`, the merged involved-step schedule (the same
+/// union [`merged_step_indices`] describes, gathered here with
+/// pre-resolved union slots) is dispatched once, and at every step the
 /// lanes whose fault involves the step's address run their faulty form
 /// while all remaining lanes take the fault-free whole-word `u64`
 /// operation. Read steps compare all lanes at once: the observed word is
@@ -599,7 +633,9 @@ fn lane_mask(lanes: usize) -> u64 {
 ///
 /// Panics if `lanes` is empty or longer than [`LaneMemory::LANES`], if
 /// `walk` is not [`MarchWalk::locality_safe`] (such walks must run the
-/// unfiltered per-fault path), or if a lane involves no addresses.
+/// unfiltered per-fault path), if a lane involves no addresses, or if
+/// the cohort's union spans more than [`COHORT_ADDRESS_BUDGET`] distinct
+/// addresses.
 pub fn run_march_lanes(
     walk: &MarchWalk,
     lanes: &mut [Box<dyn LaneFault>],
@@ -618,11 +654,15 @@ pub fn run_march_lanes(
     let mut union: Vec<Address> = involved.iter().flatten().copied().collect();
     union.sort_unstable();
     union.dedup();
-    // Owner table, aligned with the sorted union: which lanes' faults
-    // involve each address, as both a mask (for the whole-word ops) and a
-    // list (for the per-lane faulty dispatch).
+    assert!(
+        union.len() <= COHORT_ADDRESS_BUDGET,
+        "a cohort may involve at most {COHORT_ADDRESS_BUDGET} distinct addresses \
+         (the planner enforces this for its own plans)"
+    );
+    // Owner masks, aligned with the sorted union: which lanes' faults
+    // involve each address. The whole-word ops skip these lanes and the
+    // per-lane faulty dispatch iterates them straight off the mask bits.
     let mut owned_masks = vec![0u64; union.len()];
-    let mut owner_lanes: Vec<Vec<u8>> = vec![Vec::new(); union.len()];
     for (lane, addresses) in involved.iter().enumerate() {
         assert!(
             !addresses.is_empty(),
@@ -632,10 +672,7 @@ pub fn run_march_lanes(
             let slot = union
                 .binary_search(address)
                 .expect("union covers all lanes");
-            if owned_masks[slot] & (1u64 << lane) == 0 {
-                owned_masks[slot] |= 1u64 << lane;
-                owner_lanes[slot].push(lane as u8);
-            }
+            owned_masks[slot] |= 1u64 << lane;
         }
     }
     let mut memory = LaneMemory::new(walk.capacity(), &union);
@@ -643,31 +680,58 @@ pub fn run_march_lanes(
     let active = lane_mask(lanes.len());
     let mut detected = 0u64;
     let mut results = vec![LaneDetection::default(); lanes.len()];
-    let merged = merged_step_indices(walk, &union);
-    for &index in merged.iter() {
-        let step = &walk.steps[index as usize];
-        let address = Address::new(step.address);
-        let slot = union
-            .binary_search(&address)
-            .expect("merged steps stay inside the union");
-        if step.code & READ_BIT == 0 {
-            let value = step.code & VALUE_BIT != 0;
-            for &lane in &owner_lanes[slot] {
-                lanes[usize::from(lane)].lane_write(&mut memory, u32::from(lane), address, value);
+    // The cohort's dispatch schedule: every walk step touching a union
+    // address, ascending, pre-tagged with its union slot and packed
+    // payload. Each step touches exactly one address, so the per-address
+    // CSR slices are disjoint and a gather-and-sort replaces both a
+    // head-minimum merge and a per-step binary search over the union;
+    // carrying the payload keeps the dispatch loop entirely off the
+    // execution-ordered step array, whose scattered megabit-walk loads
+    // would otherwise be one cache miss per step. Each entry packs into
+    // one `u64` — step index (32) | element (16) | slot (8) | code (8) —
+    // so ordering the schedule is a plain integer sort and step indices
+    // are unique, making the order total.
+    let mut schedule: Vec<u64> = Vec::with_capacity(
+        union
+            .iter()
+            .map(|&address| walk.steps_touching(address).len())
+            .sum(),
+    );
+    for (slot, &address) in union.iter().enumerate() {
+        let indices = walk.steps_touching(address);
+        let payloads = walk.step_payloads_touching(address);
+        schedule.extend(indices.iter().zip(payloads).map(|(&index, &payload)| {
+            u64::from(index) << 32
+                | u64::from(payload & 0xFFFF_0000)
+                | (slot as u64) << 8
+                | u64::from(payload & 0xFF)
+        }));
+    }
+    schedule.sort_unstable();
+    for &entry in &schedule {
+        let code = entry as u8;
+        let element = (entry >> 16) as u16;
+        let slot = (entry >> 8) as u8 as usize;
+        let address = union[slot];
+        if code & READ_BIT == 0 {
+            let value = code & VALUE_BIT != 0;
+            let mut owners = owned_masks[slot];
+            while owners != 0 {
+                let lane = owners.trailing_zeros();
+                lanes[lane as usize].lane_write(&mut memory, lane, address, value);
+                owners &= owners - 1;
             }
-            memory.write_word(address, value, owned_masks[slot]);
+            memory.write_word_at(slot, value, owned_masks[slot]);
         } else {
-            let expected = step.code & VALUE_BIT != 0;
-            let sensed_before = step.code & SENSED_BEFORE != 0;
-            let mut observed = memory.word(address);
-            for &lane in &owner_lanes[slot] {
-                let bit = lanes[usize::from(lane)].lane_read(
-                    &mut memory,
-                    u32::from(lane),
-                    address,
-                    sensed_before,
-                );
+            let expected = code & VALUE_BIT != 0;
+            let sensed_before = code & SENSED_BEFORE != 0;
+            let mut observed = memory.word_at(slot);
+            let mut owners = owned_masks[slot];
+            while owners != 0 {
+                let lane = owners.trailing_zeros();
+                let bit = lanes[lane as usize].lane_read(&mut memory, lane, address, sensed_before);
                 observed = (observed & !(1u64 << lane)) | (u64::from(bit) << lane);
+                owners &= owners - 1;
             }
             let expected_word = if expected { u64::MAX } else { 0 };
             let miss = (observed ^ expected_word) & active;
@@ -676,7 +740,7 @@ pub fn run_march_lanes(
                 while fresh != 0 {
                     let lane = fresh.trailing_zeros() as usize;
                     results[lane].first_mismatch = Some(Mismatch {
-                        element: usize::from(step.element),
+                        element: usize::from(element),
                         address,
                         expected,
                         observed: observed >> lane & 1 == 1,
@@ -1014,11 +1078,21 @@ mod tests {
         let mut seen = 0usize;
         for raw in 0..organization.capacity() {
             let indices = walk.steps_touching(Address::new(raw));
+            let payloads = walk.step_payloads_touching(Address::new(raw));
             assert_eq!(indices.len(), test.operation_count());
+            assert_eq!(payloads.len(), indices.len(), "payloads align with indices");
             assert!(indices.windows(2).all(|w| w[0] < w[1]), "ascending order");
-            for &index in indices {
+            for (&index, &payload) in indices.iter().zip(payloads) {
                 let step = walk.steps().nth(index as usize).unwrap();
                 assert_eq!(step.address, Address::new(raw));
+                // The packed payload must reproduce the step exactly.
+                assert_eq!((payload >> 16) as usize, step.element);
+                assert_eq!((payload >> 8 & 0xFF) as usize, step.op_index);
+                assert_eq!(decode_op(payload as u8), step.op);
+                assert_eq!(
+                    payload as u8 & LAST_ON_ADDRESS != 0,
+                    step.last_op_on_address
+                );
             }
             seen += indices.len();
         }

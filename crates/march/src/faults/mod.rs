@@ -145,8 +145,10 @@ pub trait Fault: fmt::Debug {
 /// [`LaneFault::involved`] and to their own lane: the batched kernel
 /// routes exactly the steps touching those addresses through these
 /// methods, and serves every other lane with fault-free whole-word
-/// operations.
-pub trait LaneFault: fmt::Debug {
+/// operations. Lane forms are `Send` so parallel sweeps can hand whole
+/// cohorts of probed lane forms to worker threads instead of
+/// re-instantiating every fault per worker.
+pub trait LaneFault: fmt::Debug + Send {
     /// The addresses whose walk steps must be dispatched through this
     /// lane's faulty form — every address whose read can mismatch and
     /// every address whose access can change the fault's trigger state.

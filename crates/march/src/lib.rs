@@ -54,6 +54,13 @@
 //!    `u64` operations; detection is lane-wise with mask popcounts
 //!    driving the per-lane early exit. Coverage sweeps ride this backend
 //!    by default and keep the per-fault path as the golden reference.
+//! 6. **Address-aware cohort packing** ([`batch::CohortPlanner`]) —
+//!    cohorts are packed so faults sharing involved addresses land in the
+//!    same walk dispatch, shrinking each cohort's merged step schedule on
+//!    the dense populations synthesized by [`faultgen::FaultGen`]
+//!    (per-row/per-column victims, neighbourhood coupling sets, mixed
+//!    profiles of 100k+ faults); the list-order greedy planner is kept as
+//!    the measured baseline.
 //!
 //! The `bench` crate's `fault_sim_throughput` benchmark measures the
 //! kernel in faults/second against a frozen replica of the original
@@ -101,6 +108,7 @@ pub mod dof;
 pub mod element;
 pub mod executor;
 pub mod fault_sim;
+pub mod faultgen;
 pub mod faults;
 pub mod library;
 pub mod memory;
@@ -115,7 +123,7 @@ pub mod prelude {
     };
     pub use crate::algorithm::MarchTest;
     pub use crate::background::DataBackground;
-    pub use crate::batch::{Cohort, FaultBatch};
+    pub use crate::batch::{Cohort, CohortPlanner, FaultBatch};
     pub use crate::coverage::{
         evaluate_coverage, evaluate_coverage_on_walk, evaluate_coverage_with, CoverageReport,
         SweepBackend, SweepOptions,
@@ -128,6 +136,7 @@ pub mod prelude {
     pub use crate::fault_sim::{
         simulate_fault, simulate_fault_on_walk, DetectionMode, FaultSimOutcome,
     };
+    pub use crate::faultgen::{FaultGen, FaultPopulation};
     pub use crate::faults::{standard_fault_list, Fault, LaneFault};
     pub use crate::library;
     pub use crate::memory::{GoodMemory, LaneMemory, MemoryModel};

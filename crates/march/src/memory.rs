@@ -157,6 +157,22 @@ pub struct LaneMemory {
     addresses: Vec<u32>,
     /// One word per tracked address; bit `l` is the cell value in lane `l`.
     words: Vec<u64>,
+    /// Open-addressed address→slot index: each non-zero entry packs
+    /// `(address + 1) << 32 | slot`. Every read/write of the batched
+    /// kernel — including each lane fault's own cell accesses — resolves
+    /// a slot, so the lookup is O(1) with one expected probe instead of a
+    /// binary search over the union (whose dependent loads dominated
+    /// dense cohorts).
+    index: Vec<u64>,
+    /// Bit mask of the power-of-two index size.
+    index_mask: usize,
+}
+
+#[inline]
+fn index_hash(address: u32) -> usize {
+    // Fibonacci multiplicative hash: adjacent addresses (the common
+    // cluster shape) scatter across the table.
+    address.wrapping_mul(0x9E37_79B9) as usize
 }
 
 impl LaneMemory {
@@ -178,10 +194,23 @@ impl LaneMemory {
             assert!(last < capacity, "involved address out of range");
         }
         let words = vec![0u64; addresses.len()];
+        // Load factor ≤ 0.5 keeps expected probes at ~1.
+        let index_size = (addresses.len() * 2).next_power_of_two().max(4);
+        let index_mask = index_size - 1;
+        let mut index = vec![0u64; index_size];
+        for (slot, &address) in addresses.iter().enumerate() {
+            let mut probe = index_hash(address) & index_mask;
+            while index[probe] != 0 {
+                probe = (probe + 1) & index_mask;
+            }
+            index[probe] = (u64::from(address) + 1) << 32 | slot as u64;
+        }
         Self {
             capacity,
             addresses,
             words,
+            index,
+            index_mask,
         }
     }
 
@@ -203,9 +232,56 @@ impl LaneMemory {
 
     #[inline]
     fn slot(&self, address: Address) -> usize {
-        self.addresses
-            .binary_search(&address.value())
-            .unwrap_or_else(|_| panic!("address {address} is not tracked by this lane memory"))
+        let key = u64::from(address.value()) + 1;
+        let mut probe = index_hash(address.value()) & self.index_mask;
+        loop {
+            let entry = self.index[probe];
+            if entry >> 32 == key {
+                return entry as u32 as usize;
+            }
+            assert!(
+                entry != 0,
+                "address {address} is not tracked by this lane memory"
+            );
+            probe = (probe + 1) & self.index_mask;
+        }
+    }
+
+    /// The union slot of `address` (its rank among the tracked
+    /// addresses), for callers that dispatch many operations on the same
+    /// cell and want to resolve it once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address` is not tracked.
+    #[inline]
+    pub fn slot_of(&self, address: Address) -> usize {
+        self.slot(address)
+    }
+
+    /// All lanes' values of the cell at union slot `slot` — the
+    /// slot-direct form of [`LaneMemory::word`] used by the batched
+    /// kernel, whose schedule already carries resolved slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[inline]
+    pub fn word_at(&self, slot: usize) -> u64 {
+        self.words[slot]
+    }
+
+    /// Slot-direct form of [`LaneMemory::write_word`]: writes `value`
+    /// into every lane except those set in `skip_lanes` at union slot
+    /// `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[inline]
+    pub fn write_word_at(&mut self, slot: usize, value: bool, skip_lanes: u64) {
+        let splat = if value { u64::MAX } else { 0 };
+        self.words[slot] = (self.words[slot] & skip_lanes) | (splat & !skip_lanes);
     }
 
     /// All lanes' values of the cell at `address` (bit `l` = lane `l`).
@@ -255,9 +331,7 @@ impl LaneMemory {
     /// Panics if `address` is not tracked.
     #[inline]
     pub fn write_word(&mut self, address: Address, value: bool, skip_lanes: u64) {
-        let slot = self.slot(address);
-        let splat = if value { u64::MAX } else { 0 };
-        self.words[slot] = (self.words[slot] & skip_lanes) | (splat & !skip_lanes);
+        self.write_word_at(self.slot(address), value, skip_lanes);
     }
 }
 
@@ -341,6 +415,32 @@ mod tests {
         // Write 1 everywhere except lane 0.
         m.write_word(a, true, 1 << 0);
         assert_eq!(m.word(a), u64::MAX);
+    }
+
+    #[test]
+    fn lane_memory_slot_lookup_matches_sorted_rank_on_large_unions() {
+        // The open-addressed index must agree with the sorted-rank
+        // contract for clustered and scattered address sets alike.
+        let mut rng = SplitMix64::new(0x51_07);
+        for tracked in [1usize, 2, 7, 64, 191, 500] {
+            let involved: Vec<Address> = (0..tracked)
+                .map(|_| Address::new(rng.next_below(1 << 20) as u32))
+                .collect();
+            let mut memory = LaneMemory::new(1 << 20, &involved);
+            let mut sorted: Vec<u32> = involved.iter().map(|a| a.value()).collect();
+            sorted.sort_unstable();
+            sorted.dedup();
+            for (rank, &address) in sorted.iter().enumerate() {
+                assert_eq!(memory.slot_of(Address::new(address)), rank);
+            }
+            // Slot-direct accessors agree with the address-based ones.
+            let probe = Address::new(sorted[tracked / 2]);
+            let slot = memory.slot_of(probe);
+            memory.set_lane(probe, 11, true);
+            assert_eq!(memory.word_at(slot), memory.word(probe));
+            memory.write_word_at(slot, true, 1 << 11);
+            assert_eq!(memory.word(probe), u64::MAX);
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! percent of work stealing here and keeps the code free of `unsafe`).
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::thread;
 
 /// Number of worker threads a sweep may use: the machine's available
@@ -79,6 +81,61 @@ where
     })
 }
 
+/// Chunk oversubscription factor of [`par_chunk_flat_map_balanced`]: the
+/// item list is split into up to this many chunks per worker, so workers
+/// that draw cheap chunks claim more instead of idling.
+const CHUNKS_PER_WORKER: usize = 8;
+
+/// Like [`par_chunk_flat_map`], but with dynamic load balancing: the
+/// items are split into more chunks than workers and a shared cursor
+/// hands chunks to whichever worker frees up first. Output order is
+/// still **input order** — per-chunk outputs are written into indexed
+/// slots and concatenated in chunk order at the end.
+///
+/// This is the fan-out primitive for generated fault populations, whose
+/// cohorts have very uneven costs (64-lane cohorts that early-exit at
+/// different depths, interleaved with serial singletons): a static
+/// one-chunk-per-worker split can leave most workers idle behind one
+/// expensive chunk, which never happens to the near-uniform standard
+/// list.
+///
+/// # Panics
+///
+/// Panics if a worker panics (the panic is propagated by the scope).
+pub fn par_chunk_flat_map_balanced<T, R, F>(items: &[T], threads: usize, map_chunk: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R> + Sync,
+{
+    let workers = threads.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        return map_chunk(items);
+    }
+    let chunk_count = (workers * CHUNKS_PER_WORKER).min(items.len());
+    let chunk_size = items.len().div_ceil(chunk_count);
+    let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Vec<R>>> = chunks.iter().map(|_| Mutex::new(Vec::new())).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let claim = next.fetch_add(1, Ordering::Relaxed);
+                let Some(chunk) = chunks.get(claim) else {
+                    break;
+                };
+                let out = map_chunk(chunk);
+                *slots[claim].lock().expect("result slot poisoned") = out;
+            });
+        }
+    });
+    let mut results = Vec::with_capacity(items.len());
+    for slot in slots {
+        results.extend(slot.into_inner().expect("result slot poisoned"));
+    }
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +167,35 @@ mod tests {
     #[should_panic(expected = "1:1")]
     fn lossy_map_chunk_is_rejected() {
         let _ = par_chunk_map(&[1, 2, 3], 1, |_| Vec::<u32>::new());
+    }
+
+    #[test]
+    fn balanced_flat_map_preserves_input_order_under_any_thread_count() {
+        // Items of wildly different cost (cohort-like expansion) must
+        // still concatenate in input order regardless of which worker
+        // claimed which chunk.
+        let items: Vec<u32> = (0..517).map(|i| i % 97).collect();
+        let expected: Vec<u32> = items
+            .iter()
+            .flat_map(|&x| std::iter::repeat_n(x, (x % 3) as usize))
+            .collect();
+        for threads in [1, 2, 3, 8, 64, 1000] {
+            let out = par_chunk_flat_map_balanced(&items, threads, |chunk| {
+                chunk
+                    .iter()
+                    .flat_map(|&x| std::iter::repeat_n(x, (x % 3) as usize))
+                    .collect()
+            });
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn balanced_flat_map_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u8> = par_chunk_flat_map_balanced(&[] as &[u8], 8, |chunk| chunk.to_vec());
+        assert!(empty.is_empty());
+        let one = par_chunk_flat_map_balanced(&[7u8], 8, |chunk| chunk.to_vec());
+        assert_eq!(one, vec![7]);
     }
 
     #[test]
