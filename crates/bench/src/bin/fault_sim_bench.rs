@@ -123,6 +123,16 @@ fn main() {
             section.threads, section.dense_parallel.faults_per_sec
         );
         println!(
+            "  dense shuffled (packed-order execution):   {:>12.1} faults/sec   ({:.2}x vs ordered)",
+            section.dense_shuffled.faults_per_sec,
+            section.speedup_shuffled_vs_ordered()
+        );
+        println!(
+            "  boxed dispatch (escape-hatch ablation):    {:>12.1} faults/sec   (enum {:.2}x faster)",
+            section.boxed.faults_per_sec,
+            section.speedup_enum_vs_boxed()
+        );
+        println!(
             "  packer vs greedy ({} overlap-heavy faults): {} vs {} merged steps ({:.2}x smaller)",
             section.packer.fault_count,
             section.packer.packed_schedule_steps,

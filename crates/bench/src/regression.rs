@@ -518,7 +518,11 @@ mod tests {
     "fault_count": 100032,
     "standard_batched_faults_per_sec": 1300000.0,
     "dense_batched_faults_per_sec": 1170000.0,
+    "dense_shuffled_batched_faults_per_sec": 1120000.0,
+    "boxed_dispatch_batched_faults_per_sec": 700000.0,
     "speedup_dense_vs_standard": 0.9,
+    "speedup_shuffled_vs_ordered": 0.96,
+    "speedup_enum_vs_boxed": 1.67,
     "packer": {
       "fault_count": 12500,
       "greedy_schedule_steps": 5000000,
@@ -539,13 +543,21 @@ mod tests {
         )
         .unwrap();
         assert!(report.passed(), "{:?}", report.failures);
-        // Gated: 3 per-size metrics + 3 dense throughput/ratio metrics +
+        // Gated: 3 per-size metrics + 7 dense throughput/ratio metrics +
         // the nested packer ratio. Raw step counts carry no gate suffix.
-        assert_eq!(report.comparisons.len(), 7);
+        assert_eq!(report.comparisons.len(), 11);
         assert!(report
             .comparisons
             .iter()
             .any(|c| c.metric == "dense speedup_dense_vs_standard"));
+        assert!(report
+            .comparisons
+            .iter()
+            .any(|c| c.metric == "dense speedup_shuffled_vs_ordered"));
+        assert!(report
+            .comparisons
+            .iter()
+            .any(|c| c.metric == "dense speedup_enum_vs_boxed"));
         assert!(report
             .comparisons
             .iter()
@@ -569,6 +581,37 @@ mod tests {
         assert!(!report.passed());
         assert_eq!(report.failures.len(), 1);
         assert!(report.failures[0].contains("dense speedup_dense_vs_standard"));
+    }
+
+    #[test]
+    fn synthetically_degraded_shuffled_order_ratio_fails_the_gate() {
+        // The shuffled-vs-ordered ratio collapsing from 0.96 back to the
+        // pre-packed-order ~0.67 (a 30% drop) must fail the 25% gate —
+        // that is the regression the metric exists to catch.
+        let current = dense_baseline().replace(
+            "\"speedup_shuffled_vs_ordered\": 0.96",
+            "\"speedup_shuffled_vs_ordered\": 0.67",
+        );
+        let report =
+            check_benchmarks(&dense_baseline(), &current, GateThresholds::default()).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("dense speedup_shuffled_vs_ordered"));
+    }
+
+    #[test]
+    fn synthetically_degraded_enum_dispatch_ratio_fails_the_gate() {
+        // Devirtualization regressing (enum no faster than boxed) must
+        // fail: 1.67 -> 1.0 is a 40% drop against the 25% threshold.
+        let current = dense_baseline().replace(
+            "\"speedup_enum_vs_boxed\": 1.67",
+            "\"speedup_enum_vs_boxed\": 1.0",
+        );
+        let report =
+            check_benchmarks(&dense_baseline(), &current, GateThresholds::default()).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("dense speedup_enum_vs_boxed"));
     }
 
     #[test]

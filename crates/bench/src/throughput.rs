@@ -29,8 +29,15 @@
 //! ([`march_test::faultgen::FaultGen`]) against the 48-fault standard
 //! list on the same 1024×1024 walk, plus the address-aware packer's
 //! merged-schedule steps against the list-order greedy baseline on an
-//! overlap-heavy population. Both ratios are machine-relative and carry
-//! the tight CI gate.
+//! overlap-heavy population. The section also times two execution-model
+//! ablations on the same population: a **shuffled copy**
+//! (`speedup_shuffled_vs_ordered` — packed-order execution with the
+//! streaming probe/outcome permutation should make population order
+//! free) and a **boxed-dispatch replica** whose faults hide their inline
+//! [`LaneFaultKind`](march_test::faults::LaneFaultKind) and ride the
+//! `Box<dyn LaneFault>` escape hatch (`speedup_enum_vs_boxed` — what
+//! devirtualizing the lane hot path buys). All ratios are
+//! machine-relative and carry the tight CI gate.
 
 use std::time::Instant;
 
@@ -41,16 +48,56 @@ use march_test::coverage::{evaluate_coverage_on_walk, CoverageReport, SweepBacke
 use march_test::executor::{MarchWalk, Mismatch};
 use march_test::fault_sim::{DetectionMode, FaultSimOutcome};
 use march_test::faultgen::FaultGen;
-use march_test::faults::{FaultFactory, FaultyMemory};
+use march_test::faults::{Fault, FaultFactory, FaultyMemory, LaneFault};
 use march_test::library;
 use march_test::memory::{GoodMemory, MemoryModel};
 use march_test::parallel::max_threads;
+use march_test::rng::SplitMix64;
+use sram_model::address::Address;
 use sram_model::config::ArrayOrganization;
 
 /// Seed of the committed dense benchmark populations: fixed so the
 /// generated workload — and therefore the committed throughput numbers —
 /// is identical on every runner.
 pub const DENSE_POPULATION_SEED: u64 = 0x2006_DA7E;
+
+/// Seed of the dense section's shuffled-permutation ablation: the
+/// shuffled copy is the *same* population as the ordered one, reordered
+/// by this fixed permutation, so the measured ratio isolates population
+/// order from workload content.
+pub const DENSE_SHUFFLE_SEED: u64 = 0x005A_FF1E;
+
+/// Delegating wrapper that hides its inner fault's inline
+/// [`march_test::faults::LaneFaultKind`] and exposes only the boxed
+/// [`Fault::lane_form`] — the external-fault escape hatch, instantiated
+/// here as a measured ablation. A population wrapped in this rides
+/// `Cohort::BoxedLanes` (virtual dispatch, one heap allocation per lane
+/// form) through the *same* kernel as the inline enum cohorts, so the
+/// `speedup_enum_vs_boxed` ratio isolates exactly what devirtualization
+/// buys.
+#[derive(Debug)]
+struct BoxedDispatch(Box<dyn Fault>);
+
+impl Fault for BoxedDispatch {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn kind(&self) -> march_test::faults::FaultKind {
+        self.0.kind()
+    }
+    fn write(&mut self, memory: &mut GoodMemory, address: Address, value: bool) {
+        self.0.write(memory, address, value);
+    }
+    fn read(&mut self, memory: &mut GoodMemory, address: Address) -> bool {
+        self.0.read(memory, address)
+    }
+    fn involved_addresses(&self) -> Option<Vec<Address>> {
+        self.0.involved_addresses()
+    }
+    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
+        self.0.lane_form()
+    }
+}
 
 pub use crate::BASELINE_CELL_CAP;
 
@@ -302,6 +349,13 @@ pub struct DenseSweepSection {
     pub dense: SweepTiming,
     /// The generated population with threads taking whole cohorts.
     pub dense_parallel: SweepTiming,
+    /// The same population in a fixed shuffled order
+    /// ([`DENSE_SHUFFLE_SEED`]), serial — the packed-order execution
+    /// ablation.
+    pub dense_shuffled: SweepTiming,
+    /// The same population forced through the boxed `Box<dyn LaneFault>`
+    /// escape hatch, serial — the devirtualization ablation.
+    pub boxed: SweepTiming,
     /// The packer-vs-greedy schedule comparison on an overlap-heavy
     /// population.
     pub packer: PackerComparison,
@@ -314,6 +368,24 @@ impl DenseSweepSection {
     /// standard-list rate.
     pub fn speedup_dense_vs_standard(&self) -> f64 {
         self.dense.faults_per_sec / self.standard.faults_per_sec
+    }
+
+    /// Shuffled-population throughput relative to the generation-ordered
+    /// copy of the same population — machine-relative. Packed-order
+    /// execution with the streaming probe/outcome permutation should keep
+    /// this near `1.0` (the pre-permutation backend sat around `0.67`);
+    /// the committed value is gated so scattered-access regressions fail
+    /// CI.
+    pub fn speedup_shuffled_vs_ordered(&self) -> f64 {
+        self.dense_shuffled.faults_per_sec / self.dense.faults_per_sec
+    }
+
+    /// Inline-enum-dispatch throughput relative to the boxed
+    /// `Box<dyn LaneFault>` escape hatch on the same population —
+    /// machine-relative, `> 1.0` is the devirtualization win the refactor
+    /// exists for.
+    pub fn speedup_enum_vs_boxed(&self) -> f64 {
+        self.dense.faults_per_sec / self.boxed.faults_per_sec
     }
 
     /// Renders the section as the `dense` member of the sweep JSON.
@@ -354,8 +426,24 @@ impl DenseSweepSection {
                 self.dense_parallel.faults_per_sec
             ),
             format!(
+                "\"dense_shuffled_batched_faults_per_sec\": {:.1}",
+                self.dense_shuffled.faults_per_sec
+            ),
+            format!(
+                "\"boxed_dispatch_batched_faults_per_sec\": {:.1}",
+                self.boxed.faults_per_sec
+            ),
+            format!(
                 "\"speedup_dense_vs_standard\": {:.3}",
                 self.speedup_dense_vs_standard()
+            ),
+            format!(
+                "\"speedup_shuffled_vs_ordered\": {:.3}",
+                self.speedup_shuffled_vs_ordered()
+            ),
+            format!(
+                "\"speedup_enum_vs_boxed\": {:.3}",
+                self.speedup_enum_vs_boxed()
             ),
             format!("\"packer\": {{\n      {}\n    }}", packer.join(",\n      ")),
         ];
@@ -386,6 +474,36 @@ pub fn dense_sweep(rows: u32, cols: u32, fault_count: usize, passes: usize) -> D
     let standard = march_test::faults::standard_fault_list(&organization);
     let population = FaultGen::new(organization, DENSE_POPULATION_SEED).dense_profile(fault_count);
 
+    // The shuffled ablation: the same population (FaultGen is
+    // deterministic in (organization, seed, profile)), reordered by a
+    // fixed permutation the equivalence gate below can invert.
+    let mut perm: Vec<usize> = (0..population.len()).collect();
+    SplitMix64::new(DENSE_SHUFFLE_SEED).shuffle(&mut perm);
+    let mut slots: Vec<Option<FaultFactory>> = FaultGen::new(organization, DENSE_POPULATION_SEED)
+        .dense_profile(fault_count)
+        .factories
+        .into_iter()
+        .map(Some)
+        .collect();
+    let shuffled: Vec<FaultFactory> = perm
+        .iter()
+        .map(|&index| slots[index].take().expect("perm is a permutation"))
+        .collect();
+    drop(slots);
+
+    // The boxed-dispatch ablation: the same population, every fault
+    // wrapped so only the Box<dyn LaneFault> escape hatch is visible.
+    let boxed: Vec<FaultFactory> = FaultGen::new(organization, DENSE_POPULATION_SEED)
+        .dense_profile(fault_count)
+        .factories
+        .into_iter()
+        .map(|factory| {
+            let wrapped: FaultFactory =
+                Box::new(move || Box::new(BoxedDispatch(factory())) as Box<dyn Fault>);
+            wrapped
+        })
+        .collect();
+
     let serial_options = SweepOptions {
         background: false,
         mode: DetectionMode::FirstMismatch,
@@ -413,6 +531,26 @@ pub fn dense_sweep(rows: u32, cols: u32, fault_count: usize, passes: usize) -> D
             assert_eq!(
                 packed_report, other,
                 "dense sweep variants diverged ({options:?})"
+            );
+        }
+        // The boxed-dispatch replica must reproduce the inline-enum
+        // report outcome for outcome (the wrapper delegates names, so
+        // reports are comparable directly)…
+        let boxed_report = evaluate_coverage_on_walk(&walk, &boxed, serial_options);
+        assert_eq!(
+            packed_report.outcomes(),
+            boxed_report.outcomes(),
+            "boxed-dispatch sweep diverged from the inline-enum sweep"
+        );
+        // …and the shuffled copy must be exactly the ordered report seen
+        // through the permutation.
+        let shuffled_report = evaluate_coverage_on_walk(&walk, &shuffled, serial_options);
+        assert_eq!(shuffled_report.total(), packed_report.total());
+        for (position, outcome) in shuffled_report.outcomes().iter().enumerate() {
+            assert_eq!(
+                outcome,
+                &packed_report.outcomes()[perm[position]],
+                "shuffled sweep diverged from the ordered one at position {position}"
             );
         }
     }
@@ -448,23 +586,54 @@ pub fn dense_sweep(rows: u32, cols: u32, fault_count: usize, passes: usize) -> D
         }
     }
 
+    // The standard list keeps its own tight timing loop: its 48-fault
+    // pass is effectively cache-resident there, which is the deliberately
+    // harsh yardstick `speedup_dense_vs_standard` has gated since the
+    // metric was introduced (inside a rotation it would time cold caches
+    // left behind by the 100k-fault variants instead).
     let standard_timing = time_passes(passes, standard.len(), || {
         std::hint::black_box(evaluate_coverage_on_walk(&walk, &standard, serial_options));
     });
-    let dense_timing = time_passes(passes, population.len(), || {
-        std::hint::black_box(evaluate_coverage_on_walk(
-            &walk,
-            &population,
-            serial_options,
-        ));
-    });
-    let dense_parallel_timing = time_passes(passes, population.len(), || {
-        std::hint::black_box(evaluate_coverage_on_walk(
-            &walk,
-            &population,
-            parallel_options,
-        ));
-    });
+    // The four dense-scale variants are timed in one interleaved rotation
+    // (see `time_rotation`): the committed dense metrics are ratios
+    // between them, and disjoint timing windows would let a burst of
+    // runner interference corrupt a ratio that no engine change caused.
+    let timings = time_rotation(
+        passes,
+        &mut [
+            (population.len(), &mut || {
+                std::hint::black_box(evaluate_coverage_on_walk(
+                    &walk,
+                    &population,
+                    serial_options,
+                ));
+            }),
+            (population.len(), &mut || {
+                std::hint::black_box(evaluate_coverage_on_walk(
+                    &walk,
+                    &population,
+                    parallel_options,
+                ));
+            }),
+            (shuffled.len(), &mut || {
+                std::hint::black_box(evaluate_coverage_on_walk(&walk, &shuffled, serial_options));
+            }),
+            (boxed.len(), &mut || {
+                std::hint::black_box(evaluate_coverage_on_walk(&walk, &boxed, serial_options));
+            }),
+        ],
+    );
+    let [dense_timing, dense_parallel_timing, dense_shuffled_timing, boxed_timing] =
+        timings.as_slice()
+    else {
+        unreachable!("rotation returns one timing per variant");
+    };
+    let (dense_timing, dense_parallel_timing, dense_shuffled_timing, boxed_timing) = (
+        *dense_timing,
+        *dense_parallel_timing,
+        *dense_shuffled_timing,
+        *boxed_timing,
+    );
 
     // The packer comparison runs on an overlap-heavy shuffled population:
     // many faults per victim, scattered through the list — the shape that
@@ -491,6 +660,8 @@ pub fn dense_sweep(rows: u32, cols: u32, fault_count: usize, passes: usize) -> D
         standard: standard_timing,
         dense: dense_timing,
         dense_parallel: dense_parallel_timing,
+        dense_shuffled: dense_shuffled_timing,
+        boxed: boxed_timing,
         packer,
     }
 }
@@ -580,13 +751,14 @@ impl FaultSimSweep {
     }
 }
 
+/// Fast variants (the batched backend finishes a whole pass in well
+/// under a millisecond) would be noise-dominated by a fixed pass count,
+/// so pass groups repeat until at least this much wall time has
+/// accumulated per variant — the committed speedup metrics stay stable
+/// enough for the 25% CI gate.
+const MIN_TIMING_SECONDS: f64 = 2.0;
+
 fn time_passes(passes: usize, simulations: usize, mut sweep: impl FnMut()) -> SweepTiming {
-    // Fast variants (the batched backend finishes a whole pass in well
-    // under a millisecond) would be noise-dominated by a fixed pass
-    // count, so pass groups repeat until at least this much wall time has
-    // accumulated — the committed speedup metrics stay stable enough for
-    // the 25% CI gate.
-    const MIN_SECONDS: f64 = 1.0;
     // One warm-up pass keeps lazy page faults and branch-predictor state
     // out of the measurement.
     sweep();
@@ -597,7 +769,7 @@ fn time_passes(passes: usize, simulations: usize, mut sweep: impl FnMut()) -> Sw
             sweep();
         }
         executed += passes;
-        if start.elapsed().as_secs_f64() >= MIN_SECONDS {
+        if start.elapsed().as_secs_f64() >= MIN_TIMING_SECONDS {
             break;
         }
     }
@@ -606,6 +778,49 @@ fn time_passes(passes: usize, simulations: usize, mut sweep: impl FnMut()) -> Sw
         seconds,
         faults_per_sec: (executed * simulations) as f64 / seconds,
     }
+}
+
+/// Times several sweep variants in rotation inside **one** measurement
+/// span: every round runs one pass of each variant, separately clocked,
+/// until each variant has accumulated [`MIN_TIMING_SECONDS`].
+///
+/// The dense section's committed metrics are *ratios between variants*
+/// (`speedup_dense_vs_standard`, `speedup_shuffled_vs_ordered`,
+/// `speedup_enum_vs_boxed`). Measured in disjoint windows — as
+/// [`time_passes`] would — a burst of runner interference (CPU steal on
+/// shared CI hardware) lands in one variant's window and corrupts the
+/// ratio even though neither engine changed. Interleaving spreads any
+/// such burst across all variants near-equally, so the ratios cancel the
+/// common-mode noise and only genuine engine regressions move them.
+fn time_rotation(passes: usize, variants: &mut [(usize, &mut dyn FnMut())]) -> Vec<SweepTiming> {
+    for (_, sweep) in variants.iter_mut() {
+        sweep(); // Warm-up, as in `time_passes`.
+    }
+    let mut executed = 0usize;
+    let mut seconds = vec![0.0f64; variants.len()];
+    loop {
+        for _ in 0..passes {
+            for (slot, (_, sweep)) in variants.iter_mut().enumerate() {
+                let clock = Instant::now();
+                sweep();
+                seconds[slot] += clock.elapsed().as_secs_f64();
+            }
+        }
+        executed += passes;
+        // Every variant must reach the floor: stopping on *total* wall
+        // time would let one slow variant starve the others' windows.
+        if seconds.iter().all(|&s| s >= MIN_TIMING_SECONDS) {
+            break;
+        }
+    }
+    variants
+        .iter()
+        .zip(&seconds)
+        .map(|(&(simulations, _), &elapsed)| SweepTiming {
+            seconds: elapsed,
+            faults_per_sec: (executed * simulations) as f64 / elapsed,
+        })
+        .collect()
 }
 
 /// Measures baseline vs. per-fault-kernel vs. lane-batched throughput for
@@ -790,7 +1005,11 @@ mod tests {
         assert!(section.standard.faults_per_sec > 0.0);
         assert!(section.dense.faults_per_sec > 0.0);
         assert!(section.dense_parallel.faults_per_sec > 0.0);
+        assert!(section.dense_shuffled.faults_per_sec > 0.0);
+        assert!(section.boxed.faults_per_sec > 0.0);
         assert!(section.speedup_dense_vs_standard() > 0.0);
+        assert!(section.speedup_shuffled_vs_ordered() > 0.0);
+        assert!(section.speedup_enum_vs_boxed() > 0.0);
         assert!(
             section.packer.speedup_packed_schedule() >= 1.0,
             "the packer is never worse than greedy"
@@ -806,6 +1025,10 @@ mod tests {
         assert!(json.contains("\"dense_batched_faults_per_sec\""));
         assert!(json.contains("\"standard_batched_faults_per_sec\""));
         assert!(json.contains("\"speedup_dense_vs_standard\""));
+        assert!(json.contains("\"dense_shuffled_batched_faults_per_sec\""));
+        assert!(json.contains("\"boxed_dispatch_batched_faults_per_sec\""));
+        assert!(json.contains("\"speedup_shuffled_vs_ordered\""));
+        assert!(json.contains("\"speedup_enum_vs_boxed\""));
         assert!(json.contains("\"packer\": {"));
         assert!(json.contains("\"greedy_schedule_steps\""));
         assert!(json.contains("\"speedup_packed_schedule\""));

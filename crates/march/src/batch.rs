@@ -9,54 +9,103 @@
 //! bit lane of a [`LaneMemory`] its own faulty universe
 //! ([`crate::executor::run_march_lanes`]).
 //!
-//! [`FaultBatch::plan_with`] partitions a fault list into dispatchable
-//! [`Cohort`]s under these rules:
+//! # Cohort lifecycle
 //!
-//! * a fault joins a lane cohort when the walk is
-//!   [`MarchWalk::locality_safe`] and the fault provides a
-//!   [`Fault::lane_form`] — its behaviour confined to the lane form's
-//!   involved addresses;
-//! * lane cohorts close at [`LaneMemory::LANES`] (64) members and their
-//!   involved-step slices are merged into one dispatch schedule by the
-//!   cohort kernel;
-//! * everything else (no lane form, or a non-locality-safe walk) becomes
-//!   a serial singleton that runs the per-fault golden path.
+//! Every sweep runs the same five stages, in order; sequential passes are
+//! marked `→`, the only permuted hop `⇢`:
+//!
+//! ```text
+//!  fault list (factories, list order)
+//!      │  probe: one instantiation per factory → lane kind (inline
+//!      │         LaneFaultKind) | boxed lane form | neither, plus the
+//!      ▼         involved addresses with their walk step counts
+//!  probes (list order)
+//!      │  plan: classify into lane / boxed / serial candidates, then
+//!      │        group the lane candidates (CohortPlanner) into ≤64-lane
+//!      ▼        cohorts closed at the kernel's address budget
+//!  cohorts: Lanes(…) …, BoxedLanes(…) …, Serial(…) …
+//!      │  pack: concatenate the lane cohorts' members into one
+//!      ⇢        contiguous Vec<LaneFaultKind> — **packed order**, the
+//!      │        kernel's native order — recording the fault→packed-slot
+//!      ▼        inverse permutation as it goes
+//!  packed lane array + per-cohort (start, len) ranges
+//!      │  execute: one run_march_lanes dispatch per cohort over its
+//!      │           slice of the packed array; detections land in
+//!      ▼           packed-order flat arrays (sequential writes)
+//!  packed detections  +  parked outcomes (boxed/serial, rare)
+//!      │  scatter: one list-order assembly pass reads each fault's
+//!      │           detection through the inverse permutation and its
+//!      ▼           name/kind from the sequential probe array
+//!  outcomes (fault-list order — byte-identical to the per-fault path)
+//! ```
+//!
+//! Shuffled populations therefore cost exactly one permutation hop (the
+//! pack stage's 16-byte `Copy` moves and the assembly's indexed reads)
+//! instead of scattering every probe access and every outcome write, which
+//! is what used to make address-scattered populations sweep ~1.5× slower
+//! than generation-ordered ones.
+//!
+//! # Planning rules
+//!
+//! [`FaultBatch::plan_with`] partitions a fault list into dispatchable
+//! [`Cohort`]s:
+//!
+//! * a fault joins an **enum lane cohort** ([`Cohort::Lanes`]) when the
+//!   walk is [`MarchWalk::locality_safe`] and the fault provides a
+//!   [`Fault::lane_kind`] — its lane form stored inline, dispatched by a
+//!   match on plain data with no per-owner pointer chase;
+//! * a fault with no inline kind but a boxed [`Fault::lane_form`] (the
+//!   extensibility escape hatch for external fault types) joins a
+//!   **boxed cohort** ([`Cohort::BoxedLanes`]), which runs the same
+//!   generic kernel through virtual dispatch;
+//! * lane cohorts close at [`LaneMemory::LANES`] (64) members or at the
+//!   kernel's [`crate::executor::COHORT_ADDRESS_BUDGET`];
+//! * everything else (no lane form at all, an over-budget involved set,
+//!   or a non-locality-safe walk) becomes a serial singleton that runs
+//!   the per-fault golden path.
 //!
 //! *Which* faults share a cohort is the [`CohortPlanner`]'s choice, and
 //! it decides how much walk each cohort dispatches: a cohort's schedule
 //! is the union of its members' involved-step slices, so packing faults
 //! that **share addresses** into the same cohort shrinks the union. The
 //! default [`CohortPlanner::AddressAware`] packer clusters by involved
-//! addresses (and never plans a worse total schedule than list order —
-//! it keeps whichever grouping dispatches fewer steps);
-//! [`CohortPlanner::ListOrderGreedy`] is the PR 3 baseline, kept for
-//! comparison benchmarks. On the 48-fault standard list the two coincide
-//! (one cohort either way); on dense generated populations
-//! ([`crate::faultgen`]) the address-aware packing is what keeps the
-//! merged schedules — and thus the sweep cost — proportional to the
-//! population's address footprint instead of its shuffle order.
+//! addresses (kind-homogeneous within an address group, which keeps the
+//! kernel's per-owner match running the same arm in long runs) and never
+//! plans a worse total schedule than list order — it keeps whichever
+//! grouping dispatches fewer steps; [`CohortPlanner::ListOrderGreedy`] is
+//! the PR 3 baseline, kept for comparison benchmarks. Because the
+//! address-signature clustering is insensitive to the input order, a
+//! shuffled copy of a population packs into cohorts with identical
+//! merged schedules (up to cohort order) as the generation-ordered
+//! original.
 //!
 //! Cohort membership never changes *results*: lanes are independent
 //! universes and [`sweep_batched`] reassembles outcomes in fault-list
 //! order, so batched sweeps are byte-identical to per-fault ones under
 //! every planner (the randomized differential harness in
-//! `tests/dense_population_differential.rs` proves it seed by seed).
+//! `tests/dense_population_differential.rs` proves it seed by seed,
+//! including shuffled-permutation seeds).
 
 use sram_model::address::Address;
 
 use crate::executor::{run_march_lanes, MarchWalk};
 use crate::fault_sim::{simulate_fault_on_walk, DetectionMode, FaultSimOutcome};
-use crate::faults::{Fault, FaultFactory, LaneFault};
+use crate::faults::{Fault, FaultFactory, FaultKind, LaneFault, LaneFaultKind};
 use crate::memory::{GoodMemory, LaneMemory};
 use crate::parallel::par_chunk_flat_map_balanced;
 
 /// One unit of sweep work produced by the [`FaultBatch`] planner.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Cohort {
-    /// Up to [`LaneMemory::LANES`] lane-compatible faults simulated in one
-    /// walk dispatch; the values are indices into the planned fault list,
-    /// and each fault's lane is its position in the vector.
+    /// Up to [`LaneMemory::LANES`] lane-compatible faults with inline
+    /// [`LaneFaultKind`] forms, simulated in one walk dispatch off the
+    /// packed cohort array; the values are indices into the planned fault
+    /// list, and each fault's lane is its position in the vector.
     Lanes(Vec<usize>),
+    /// Up to [`LaneMemory::LANES`] faults whose lane form is only
+    /// available boxed ([`Fault::lane_form`] — the external-fault escape
+    /// hatch); same kernel, virtual dispatch.
+    BoxedLanes(Vec<usize>),
     /// A fault that must run the per-fault path: its index in the planned
     /// fault list.
     Serial(usize),
@@ -66,7 +115,7 @@ impl Cohort {
     /// Number of faults this cohort simulates.
     pub fn len(&self) -> usize {
         match self {
-            Cohort::Lanes(indices) => indices.len(),
+            Cohort::Lanes(indices) | Cohort::BoxedLanes(indices) => indices.len(),
             Cohort::Serial(_) => 1,
         }
     }
@@ -89,13 +138,18 @@ pub enum CohortPlanner {
     /// Lane-capable faults are chunked in fault-list order — the PR 3
     /// baseline the address-aware packer is measured against.
     ListOrderGreedy,
-    /// Lane-capable faults are sorted by their involved-address
-    /// signature before chunking, so faults sharing victims (or sitting
-    /// on the same cells) land in the same cohort and their involved-step
-    /// slices deduplicate inside the union. The packer then keeps
-    /// whichever grouping — clustered or list-order — yields the smaller
-    /// total merged schedule, so it is never worse than the greedy
-    /// baseline. The default.
+    /// Lane-capable faults are sorted by their **victim-major**
+    /// involved-address signature (the cell the fault is observed at
+    /// leads the key, so a victim's single-cell models and its coupling
+    /// pairs cluster together; fault kind is the tie-break, so cohorts
+    /// also come out kind-homogeneous) before chunking: faults sharing
+    /// victims land in the same cohort and their involved-step slices
+    /// deduplicate inside the union. The packer then keeps whichever
+    /// grouping — clustered or list-order — yields the smaller total
+    /// merged schedule, so it is never worse than the greedy baseline.
+    /// The signature sort does not depend on list positions (beyond
+    /// final tie-breaking), which is what makes packed schedules
+    /// invariant under population shuffles. The default.
     #[default]
     AddressAware,
 }
@@ -121,50 +175,223 @@ fn union_schedule_steps(walk: &MarchWalk, sets: &[&[Address]]) -> u64 {
         .sum()
 }
 
-/// One probed fault: the instance, its lane form (when the walk admits
-/// one) and the lane form's sorted involved addresses, each paired with
-/// its walk step count. Probing happens in fault-list order, once, and
-/// serves both planning and the serial sweep — re-instantiating 100k
-/// faults per phase (and re-reading the walk's cold CSR offsets per
-/// grouping evaluation) is measurable at dense-population scale.
-struct Probe {
-    /// `None` once a serial singleton consumed the instance (its outcome
-    /// is then parked, name included, so the probe is never read again).
-    fault: Option<Box<dyn Fault>>,
-    lane: Option<Box<dyn LaneFault>>,
-    /// `(address, steps touching it)`, ascending by address.
-    involved: Vec<(u32, u32)>,
+/// Probed faults in struct-of-arrays layout: the instances, the inline
+/// lane kinds (when the walk admits them), the boxed escape-hatch lane
+/// forms (only probed when there is no kind) and a CSR of the sorted
+/// involved addresses, each paired with its walk step count.
+///
+/// Probing happens in fault-list order, once, and serves planning,
+/// packing and outcome assembly — re-instantiating 100k faults per phase
+/// (and re-reading the walk's cold CSR offsets per grouping evaluation)
+/// is measurable at dense-population scale. The arrays are deliberately
+/// *dense* (16 bytes per kind, 8 bytes per involved entry, no per-fault
+/// heap spill): the packer visits them in clustered order and the pack
+/// stage gathers through the packing permutation, and on shuffled
+/// populations those permuted passes are what the sweep's throughput
+/// hinges on.
+struct ProbeSet {
+    /// `None` once a boxed cohort or serial singleton consumed the
+    /// instance (its outcome is then parked, name included, so the slot
+    /// is never read again).
+    faults: Vec<Option<Box<dyn Fault>>>,
+    /// The inline lane forms — `Copy`, so the pack stage moves them into
+    /// the packed cohort array without touching the heap.
+    kinds: Vec<Option<LaneFaultKind>>,
+    /// The boxed escape-hatch lane forms, probed only when the kind is
+    /// `None`.
+    boxed: Vec<Option<Box<dyn LaneFault>>>,
+    /// `(address, steps touching it)` involved entries, ascending by
+    /// address within each fault, concatenated in fault-list order.
+    entries: Vec<(u32, u32)>,
+    /// CSR offsets into `entries`: fault `i` owns
+    /// `entries[offsets[i]..offsets[i + 1]]`.
+    offsets: Vec<u32>,
+    /// Clustering signature of each *kind-capable* fault (`0` otherwise):
+    /// the semantic primary address — the victim, the cell the fault is
+    /// observed at, which is the **last** entry of the model's
+    /// [`LaneFaultKind::involved`] order — in the high half, the
+    /// secondary address (or `u32::MAX` for single-cell faults) in the
+    /// low half. Keying on the victim keeps a victim's single-cell
+    /// models and its coupling pairs adjacent under the address-aware
+    /// sort, matching the locality a generation-ordered qualification
+    /// flow emits; a min-address key would strand half the pairs under
+    /// their aggressors.
+    sigs: Vec<u64>,
+}
+
+impl ProbeSet {
+    fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The involved `(address, steps)` entries of fault `index`.
+    fn involved(&self, index: usize) -> &[(u32, u32)] {
+        &self.entries[self.offsets[index] as usize..self.offsets[index + 1] as usize]
+    }
+}
+
+/// Sorts, deduplicates and step-annotates an involved address set into
+/// the probe CSR.
+fn push_involved_steps(walk: &MarchWalk, addresses: &[Address], entries: &mut Vec<(u32, u32)>) {
+    let start = entries.len();
+    entries.extend(addresses.iter().map(|a| (a.value(), 0)));
+    entries[start..].sort_unstable_by_key(|entry| entry.0);
+    // Deduplicate the freshly pushed tail only (never across the CSR
+    // boundary into the previous fault's entries).
+    let mut write = start;
+    for read in start..entries.len() {
+        if write == start || entries[write - 1].0 != entries[read].0 {
+            entries[write] = entries[read];
+            write += 1;
+        }
+    }
+    entries.truncate(write);
+    for entry in &mut entries[start..] {
+        entry.1 = walk.steps_touching(Address::new(entry.0)).len() as u32;
+    }
 }
 
 /// Sequentially probes every factory of `faults` over `walk`.
-fn probe_faults(walk: &MarchWalk, faults: &[FaultFactory]) -> Vec<Probe> {
+fn probe_faults(walk: &MarchWalk, faults: &[FaultFactory]) -> ProbeSet {
     let locality_safe = walk.locality_safe();
-    faults
-        .iter()
-        .map(|factory| {
-            let fault = factory();
-            let lane = if locality_safe {
-                fault.lane_form()
-            } else {
-                None
-            };
-            let mut addresses = lane
-                .as_ref()
-                .map(|lane| lane.involved())
-                .unwrap_or_default();
-            addresses.sort_unstable();
-            addresses.dedup();
-            let involved = addresses
-                .into_iter()
-                .map(|address| (address.value(), walk.steps_touching(address).len() as u32))
-                .collect();
-            Probe {
-                fault: Some(fault),
-                lane,
-                involved,
+    let mut probes = ProbeSet {
+        faults: Vec::with_capacity(faults.len()),
+        kinds: Vec::with_capacity(faults.len()),
+        boxed: Vec::with_capacity(faults.len()),
+        entries: Vec::with_capacity(faults.len()),
+        offsets: Vec::with_capacity(faults.len() + 1),
+        sigs: Vec::with_capacity(faults.len()),
+    };
+    probes.offsets.push(0);
+    for factory in faults {
+        let fault = factory();
+        let (kind, boxed) = if locality_safe {
+            match fault.lane_kind() {
+                Some(kind) => (Some(kind), None),
+                None => (None, fault.lane_form()),
             }
-        })
-        .collect()
+        } else {
+            (None, None)
+        };
+        let mut sig = 0u64;
+        match (&kind, &boxed) {
+            (Some(kind), _) => {
+                let involved = kind.involved();
+                sig = match *involved {
+                    [only] => u64::from(only.value()) << 32 | u64::from(u32::MAX),
+                    [secondary, victim] => {
+                        u64::from(victim.value()) << 32 | u64::from(secondary.value())
+                    }
+                    _ => unreachable!("enum lane kinds involve one or two cells"),
+                };
+                push_involved_steps(walk, &involved, &mut probes.entries);
+            }
+            (None, Some(form)) => push_involved_steps(walk, &form.involved(), &mut probes.entries),
+            _ => {}
+        }
+        probes.offsets.push(probes.entries.len() as u32);
+        probes.faults.push(Some(fault));
+        probes.kinds.push(kind);
+        probes.boxed.push(boxed);
+        probes.sigs.push(sig);
+    }
+    probes
+}
+
+/// Sentinel of the fault→packed-slot inverse permutation: the fault does
+/// not ride an enum lane cohort (boxed or serial — its outcome parks
+/// instead).
+const UNPACKED: u32 = u32::MAX;
+
+/// One clustered-sort entry of the address-aware packer: the victim-major
+/// signature, kind rank and fault index form the sort key, and the entry
+/// also carries everything the post-sort pass needs — per-address step
+/// counts for the union cost, the inline lane form for direct packed
+/// emission — so that pass never touches the permuted probe tables.
+#[derive(Debug, Clone, Copy)]
+struct ClusterKey {
+    sig: u64,
+    rank: u8,
+    index: u32,
+    steps: (u32, u32),
+    kind: LaneFaultKind,
+}
+
+/// The pack-stage output when the planner could emit it directly from
+/// its clustered pass: the contiguous lane-form array in packed
+/// (execution) order, the fault→packed-slot inverse permutation and the
+/// per-cohort `(start, len)` ranges. Producing this inside the planner
+/// means a shuffled population pays exactly one permuted store per fault
+/// (the `of_fault` write) for the whole instantiation side.
+struct PackedLanes {
+    lanes: Vec<LaneFaultKind>,
+    of_fault: Vec<u32>,
+    ranges: Vec<(u32, u32)>,
+}
+
+/// Sorts, deduplicates and sums a cohort union accumulated in `scratch`,
+/// clearing it for the next cohort.
+fn close_union(scratch: &mut Vec<(u32, u32)>) -> u64 {
+    scratch.sort_unstable();
+    scratch.dedup_by_key(|entry| entry.0);
+    let steps = scratch.iter().map(|&(_, s)| u64::from(s)).sum();
+    scratch.clear();
+    steps
+}
+
+/// Chunks `positions` (indices into `involved`) into cohorts — closing at
+/// 64 lanes or when the summed involved sets (an upper bound on the union
+/// size) would exceed the kernel's address budget; today's ≤2-address
+/// faults never trigger the latter, but the planner must not hand the
+/// kernel a cohort it would reject — and computes the grouping's total
+/// merged-schedule steps in the same pass, so a clustered evaluation
+/// visits the (possibly permuted) involved slices exactly once.
+fn chunk_and_cost(
+    involved: &[&[(u32, u32)]],
+    positions: &[usize],
+    scratch: &mut Vec<(u32, u32)>,
+) -> (Vec<Vec<usize>>, u64) {
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut pending: Vec<usize> = Vec::new();
+    let mut total = 0u64;
+    scratch.clear();
+    for &position in positions {
+        let set = involved[position];
+        if !pending.is_empty()
+            && (pending.len() == LaneMemory::LANES
+                || scratch.len() + set.len() > crate::executor::COHORT_ADDRESS_BUDGET)
+        {
+            total += close_union(scratch);
+            groups.push(std::mem::take(&mut pending));
+        }
+        pending.push(position);
+        scratch.extend_from_slice(set);
+    }
+    if !pending.is_empty() {
+        total += close_union(scratch);
+        groups.push(pending);
+    }
+    (groups, total)
+}
+
+/// Stable, order-invariant rank of a fault kind for the address-aware
+/// tie-break (clusters same-kind faults adjacently inside an address
+/// group so the kernel's owner-dispatch match runs the same arm in long
+/// runs).
+fn kind_rank(kind: FaultKind) -> u8 {
+    match kind {
+        FaultKind::StuckAt => 0,
+        FaultKind::Transition => 1,
+        FaultKind::CouplingInversion => 2,
+        FaultKind::CouplingIdempotent => 3,
+        FaultKind::CouplingState => 4,
+        FaultKind::ReadDestructive => 5,
+        FaultKind::DeceptiveReadDestructive => 6,
+        FaultKind::IncorrectRead => 7,
+        FaultKind::StuckOpen => 8,
+        FaultKind::WriteDisturb => 9,
+        FaultKind::AddressDecoder => 10,
+    }
 }
 
 impl FaultBatch {
@@ -179,29 +406,56 @@ impl FaultBatch {
     /// Plans the cohorts of `faults` over `walk` under an explicit
     /// `planner` (see the module docs for the grouping rules).
     pub fn plan_with(walk: &MarchWalk, faults: &[FaultFactory], planner: CohortPlanner) -> Self {
-        Self::plan_probed(walk, &probe_faults(walk, faults), planner)
+        Self::plan_probed(walk, &probe_faults(walk, faults), planner, false).0
     }
 
     /// Plans from already-probed faults — the shared core of
-    /// [`FaultBatch::plan_with`] and the serial sweep, which probes once
-    /// and reuses the instances for execution.
-    fn plan_probed(walk: &MarchWalk, probes: &[Probe], planner: CohortPlanner) -> Self {
+    /// [`FaultBatch::plan_with`] and the sweep driver, which probes once
+    /// and reuses the instances for packing and execution. With
+    /// `want_packed`, the address-aware clustered pass also emits the
+    /// packed lane array directly (see [`PackedLanes`]) — the kinds are
+    /// already in hand there, in packed order, so the sweep skips a
+    /// separate permuted gather; `None` comes back when the greedy
+    /// grouping won (or was requested) and the sweep must pack by
+    /// gathering.
+    fn plan_probed(
+        walk: &MarchWalk,
+        probes: &ProbeSet,
+        planner: CohortPlanner,
+        want_packed: bool,
+    ) -> (Self, Option<PackedLanes>) {
         let locality_safe = walk.locality_safe();
-        let mut lane_indices: Vec<usize> = Vec::new();
+        // Candidate indices are kept as `u32` (half the bytes of `usize`)
+        // because cohort assembly below gathers them in the planner's
+        // clustered order — a permuted pass on shuffled populations.
+        let mut lane_indices: Vec<u32> = Vec::new();
+        let mut lane_kinds: Vec<u8> = Vec::new();
+        let mut lane_kind_values: Vec<LaneFaultKind> = Vec::new();
+        let mut lane_sigs: Vec<u64> = Vec::new();
         let mut involved: Vec<&[(u32, u32)]> = Vec::new();
+        let mut boxed_indices: Vec<u32> = Vec::new();
+        let mut boxed_involved: Vec<&[(u32, u32)]> = Vec::new();
         let mut serial: Vec<usize> = Vec::new();
         let mut serial_steps = 0u64;
-        for (index, probe) in probes.iter().enumerate() {
+        for index in 0..probes.len() {
+            let set = probes.involved(index);
             // A lane form whose involved set alone exceeds the kernel's
             // address budget can never share (or even fill) a cohort the
             // kernel would accept — it runs the per-fault path instead.
-            if probe.lane.is_some()
-                && probe.involved.len() <= crate::executor::COHORT_ADDRESS_BUDGET
-            {
-                lane_indices.push(index);
-                involved.push(&probe.involved);
+            let within_budget = set.len() <= crate::executor::COHORT_ADDRESS_BUDGET;
+            if let Some(kind) = probes.kinds[index].filter(|_| within_budget) {
+                lane_indices.push(index as u32);
+                lane_kinds.push(kind_rank(kind.kind()));
+                lane_kind_values.push(kind);
+                lane_sigs.push(probes.sigs[index]);
+                involved.push(set);
+            } else if probes.boxed[index].is_some() && within_budget {
+                boxed_indices.push(index as u32);
+                boxed_involved.push(set);
             } else {
-                let fault = probe.fault.as_ref().expect("fresh probes hold their fault");
+                let fault = probes.faults[index]
+                    .as_ref()
+                    .expect("fresh probes hold their fault");
                 serial_steps += match fault.involved_addresses().filter(|_| locality_safe) {
                     Some(addresses) => union_schedule_steps(walk, &[&addresses]),
                     None => walk.len() as u64,
@@ -210,118 +464,170 @@ impl FaultBatch {
             }
         }
 
-        // A grouping is a partition of positions into `lane_indices`;
-        // its cost is the total merged schedule its cohorts dispatch,
-        // computed from the probe-cached per-address step counts (no
-        // walk lookups) with one scratch buffer for the unions.
         let mut scratch: Vec<(u32, u32)> = Vec::new();
-        let mut grouping_steps = |grouping: &[Vec<usize>]| -> u64 {
-            grouping
-                .iter()
-                .map(|members| {
-                    scratch.clear();
-                    for &position in members {
-                        scratch.extend_from_slice(involved[position]);
-                    }
-                    scratch.sort_unstable();
-                    scratch.dedup_by_key(|entry| entry.0);
-                    scratch
-                        .iter()
-                        .map(|&(_, steps)| u64::from(steps))
-                        .sum::<u64>()
-                })
-                .sum()
-        };
-        // Cohorts close at 64 lanes or when their summed involved sets
-        // (an upper bound on the union size) would exceed the kernel's
-        // address budget — today's ≤2-address faults never trigger the
-        // latter, but the planner must not hand the kernel a cohort it
-        // would reject.
-        let chunked = |positions: &[usize]| -> Vec<Vec<usize>> {
-            let mut groups: Vec<Vec<usize>> = Vec::new();
-            let mut pending: Vec<usize> = Vec::new();
-            let mut pending_addresses = 0usize;
-            for &position in positions {
-                let addresses = involved[position].len();
-                if !pending.is_empty()
-                    && (pending.len() == LaneMemory::LANES
-                        || pending_addresses + addresses > crate::executor::COHORT_ADDRESS_BUDGET)
-                {
-                    groups.push(std::mem::take(&mut pending));
-                    pending_addresses = 0;
-                }
-                pending.push(position);
-                pending_addresses += addresses;
-            }
-            if !pending.is_empty() {
-                groups.push(pending);
-            }
-            groups
-        };
-
         let list_order: Vec<usize> = (0..lane_indices.len()).collect();
-        let greedy = chunked(&list_order);
-        let greedy_steps = grouping_steps(&greedy);
-        let (grouping, lane_steps) = match planner {
-            CohortPlanner::ListOrderGreedy => (greedy, greedy_steps),
+        let (greedy, greedy_steps) = chunk_and_cost(&involved, &list_order, &mut scratch);
+        // Greedy groups hold candidate positions; resolve them to fault
+        // indices (a sequential pass — greedy positions are in candidate
+        // order).
+        let greedy_to_indices = |groups: Vec<Vec<usize>>| -> Vec<Vec<usize>> {
+            groups
+                .into_iter()
+                .map(|members| {
+                    members
+                        .into_iter()
+                        .map(|position| lane_indices[position] as usize)
+                        .collect()
+                })
+                .collect()
+        };
+        let mut packed_lanes: Option<PackedLanes> = None;
+        let (lane_groups, lane_steps) = match planner {
+            CohortPlanner::ListOrderGreedy => (greedy_to_indices(greedy), greedy_steps),
             CohortPlanner::AddressAware => {
-                // Cluster by involved-address signature: faults on the
-                // same cells sort adjacently (ties broken by list
-                // position for determinism), so chunking the sorted
-                // order packs overlapping faults into shared cohorts.
-                // The signature is packed into one u64 (first two
-                // involved addresses — involved sets rarely exceed two)
-                // so sorting a 100k-fault population compares integers
-                // instead of chasing `Vec<Address>` allocations.
-                let mut keyed: Vec<(u64, u32)> = involved
+                // Cluster by the victim-major involved-address signature
+                // (see `ProbeSet::sigs`): a victim's single-cell models
+                // and its coupling pairs sort adjacently (kind rank,
+                // then fault index, break the remaining ties
+                // deterministically — candidate positions are ascending
+                // in fault index, so the two tie-breaks order
+                // identically), and chunking the sorted order packs
+                // overlapping faults into shared cohorts. Each key also
+                // carries the fault index, the lane form and the
+                // per-address step counts, so after the sort the
+                // chunk-and-cost pass below builds fault-index cohorts
+                // (and, on request, the packed lane array) from the keys
+                // *sequentially*: on a shuffled 100k population it never
+                // chases the permuted `involved` slices (or the
+                // candidate-index table) at all.
+                let mut keyed: Vec<ClusterKey> = involved
                     .iter()
                     .enumerate()
                     .map(|(position, set)| {
-                        let first = set.first().map_or(u32::MAX, |entry| entry.0);
-                        let second = set.get(1).map_or(u32::MAX, |entry| entry.0);
-                        (u64::from(first) << 32 | u64::from(second), position as u32)
+                        debug_assert!(set.len() <= 2, "enum lane kinds involve at most two cells");
+                        let sig = lane_sigs[position];
+                        // Step counts in the signature's (primary,
+                        // secondary) order — `set` is sorted by address,
+                        // the signature by semantic role.
+                        let primary = (sig >> 32) as u32;
+                        let steps = if set.len() == 1 {
+                            (set[0].1, 0)
+                        } else if set[0].0 == primary {
+                            (set[0].1, set[1].1)
+                        } else {
+                            (set[1].1, set[0].1)
+                        };
+                        ClusterKey {
+                            sig,
+                            rank: lane_kinds[position],
+                            index: lane_indices[position],
+                            steps,
+                            kind: lane_kind_values[position],
+                        }
                     })
                     .collect();
-                keyed.sort_unstable();
-                let clustered: Vec<usize> = keyed
-                    .into_iter()
-                    .map(|(_, position)| position as usize)
-                    .collect();
-                drop(list_order);
-                let packed = chunked(&clustered);
-                let packed_steps = grouping_steps(&packed);
+                keyed.sort_unstable_by_key(|key| (key.sig, key.rank, key.index));
+                let mut packed: Vec<Vec<usize>> = Vec::new();
+                let mut pending: Vec<usize> = Vec::new();
+                let mut packed_steps = 0u64;
+                // The clustered order *is* packed execution order, so
+                // when the caller wants the packed array this single
+                // sequential pass emits it — lane forms in order, the
+                // inverse permutation as the one scattered store.
+                let mut emitted = want_packed.then(|| PackedLanes {
+                    lanes: Vec::with_capacity(keyed.len()),
+                    of_fault: vec![UNPACKED; probes.len()],
+                    ranges: Vec::new(),
+                });
+                scratch.clear();
+                for &ClusterKey {
+                    sig,
+                    index,
+                    steps,
+                    kind,
+                    ..
+                } in &keyed
+                {
+                    // A second address of `u32::MAX` marks a one-cell
+                    // involved set (real addresses are `< capacity`).
+                    let len = if sig as u32 == u32::MAX { 1 } else { 2 };
+                    if !pending.is_empty()
+                        && (pending.len() == LaneMemory::LANES
+                            || scratch.len() + len > crate::executor::COHORT_ADDRESS_BUDGET)
+                    {
+                        packed_steps += close_union(&mut scratch);
+                        packed.push(std::mem::take(&mut pending));
+                    }
+                    pending.push(index as usize);
+                    if let Some(emitted) = &mut emitted {
+                        emitted.of_fault[index as usize] = emitted.lanes.len() as u32;
+                        emitted.lanes.push(kind);
+                    }
+                    scratch.push(((sig >> 32) as u32, steps.0));
+                    if len == 2 {
+                        scratch.push((sig as u32, steps.1));
+                    }
+                }
+                if !pending.is_empty() {
+                    packed_steps += close_union(&mut scratch);
+                    packed.push(pending);
+                }
                 // Keep whichever grouping dispatches less walk: the
                 // packer is never worse than the greedy baseline.
                 if packed_steps <= greedy_steps {
+                    if let Some(emitted) = &mut emitted {
+                        let mut start = 0u32;
+                        emitted.ranges = packed
+                            .iter()
+                            .map(|members| {
+                                let range = (start, members.len() as u32);
+                                start += members.len() as u32;
+                                range
+                            })
+                            .collect();
+                    }
+                    packed_lanes = emitted;
                     (packed, packed_steps)
                 } else {
-                    (greedy, greedy_steps)
+                    // The greedy grouping won: the emitted clustered pack
+                    // does not match it, so the sweep falls back to
+                    // gather-packing off the cohort lists.
+                    (greedy_to_indices(greedy), greedy_steps)
                 }
             }
         };
 
-        let mut cohorts: Vec<Cohort> = grouping
-            .into_iter()
-            .map(|members| {
-                Cohort::Lanes(
-                    members
-                        .into_iter()
-                        .map(|position| lane_indices[position])
-                        .collect(),
-                )
-            })
-            .collect();
+        // Boxed escape-hatch cohorts are grouped in list order — external
+        // fault types are rare by construction, so they take the simple
+        // grouping under either planner.
+        let boxed_positions: Vec<usize> = (0..boxed_indices.len()).collect();
+        let (boxed_groups, boxed_steps) =
+            chunk_and_cost(&boxed_involved, &boxed_positions, &mut scratch);
+
+        let mut cohorts: Vec<Cohort> = lane_groups.into_iter().map(Cohort::Lanes).collect();
+        cohorts.extend(boxed_groups.into_iter().map(|members| {
+            Cohort::BoxedLanes(
+                members
+                    .into_iter()
+                    .map(|position| boxed_indices[position] as usize)
+                    .collect(),
+            )
+        }));
         cohorts.extend(serial.into_iter().map(Cohort::Serial));
-        Self {
-            cohorts,
-            faults: probes.len(),
-            planner,
-            schedule_steps: lane_steps + serial_steps,
-        }
+        (
+            Self {
+                cohorts,
+                faults: probes.len(),
+                planner,
+                schedule_steps: lane_steps + boxed_steps + serial_steps,
+            },
+            packed_lanes,
+        )
     }
 
-    /// The planned cohorts: lane cohorts first (in the planner's packing
-    /// order), then the serial singletons in fault-list order.
+    /// The planned cohorts: enum lane cohorts first (in the planner's
+    /// packing order), then boxed escape-hatch cohorts, then the serial
+    /// singletons in fault-list order.
     pub fn cohorts(&self) -> &[Cohort] {
         &self.cohorts
     }
@@ -345,12 +651,13 @@ impl FaultBatch {
         self.faults
     }
 
-    /// Number of faults that ride lane cohorts (the rest run serially).
+    /// Number of faults that ride lane cohorts — inline enum or boxed
+    /// escape hatch (the rest run serially).
     pub fn lane_fault_count(&self) -> usize {
         self.cohorts
             .iter()
             .map(|cohort| match cohort {
-                Cohort::Lanes(indices) => indices.len(),
+                Cohort::Lanes(indices) | Cohort::BoxedLanes(indices) => indices.len(),
                 Cohort::Serial(_) => 0,
             })
             .sum()
@@ -377,20 +684,48 @@ pub fn sweep_batched(
     )
 }
 
+/// A ready-made outcome parked during execution (boxed cohorts, serial
+/// singletons), keyed by fault index for the final list-order assembly.
+type Parked = (usize, FaultSimOutcome);
+
+fn park_lane_outcome(
+    walk: &MarchWalk,
+    fault: &dyn Fault,
+    detected: bool,
+    mismatches: usize,
+) -> FaultSimOutcome {
+    FaultSimOutcome {
+        fault_name: fault.name(),
+        fault_kind: fault.kind(),
+        test_name: walk.test_name().to_string(),
+        order_name: walk.order_name().to_string(),
+        detected,
+        mismatches,
+    }
+}
+
 /// Simulates every fault in `faults` over `walk` through the lane-batched
 /// backend under an explicit cohort `planner`, returning outcomes in
 /// fault-list order.
 ///
-/// Every fault is probed exactly once, in fault-list order; the plan is
-/// built from the probes and the cohorts execute off the probed
-/// instances — serially, or fanned out across `threads` worker threads
-/// with whole cohorts as the unit of work, load-balanced because
-/// generated populations produce cohorts of very uneven cost. Only two
-/// flat detection arrays take scattered writes; outcomes are assembled
-/// in one sequential list-order pass, so the result is identical to the
-/// per-fault path regardless of scheduling or planner. (Dense
-/// populations make the naive structure — instantiate per phase, scatter
-/// full outcome structs — measurably memory-bound.)
+/// Execution follows the packed-order lifecycle described in the module
+/// docs: every fault is probed exactly once, in fault-list order; the
+/// plan is built from the probes; the lane cohorts' inline (`Copy`)
+/// forms are packed into one contiguous array in execution order while
+/// the fault→packed-slot inverse permutation is recorded; the cohorts
+/// execute off packed slices — serially, or fanned out across `threads`
+/// worker threads with whole cohorts as the unit of work, load-balanced
+/// because generated populations produce cohorts of very uneven cost.
+/// Detections land in packed-order flat arrays (sequential writes), and
+/// one final pass assembles outcomes in list order through the inverse
+/// permutation, so the result is identical to the per-fault path
+/// regardless of population order, scheduling or planner.
+///
+/// The parallel path holds no locks on the hot path: workers copy each
+/// cohort's inline lane forms (16 bytes apiece) out of the shared packed
+/// array instead of taking mutex-guarded ownership of boxed forms, and
+/// the rare boxed/serial stragglers re-instantiate from the `Sync`
+/// factories inside the worker.
 pub fn sweep_batched_with(
     walk: &MarchWalk,
     faults: &[FaultFactory],
@@ -400,81 +735,178 @@ pub fn sweep_batched_with(
     planner: CohortPlanner,
 ) -> Vec<FaultSimOutcome> {
     let mut probes = probe_faults(walk, faults);
-    let plan = FaultBatch::plan_probed(walk, &probes, planner);
-    let mut detected = vec![false; probes.len()];
-    let mut mismatches = vec![0usize; probes.len()];
-    // Serial singletons are rare; their ready-made outcomes park here,
-    // in ascending fault order (the planner appends them in list order,
-    // and the parallel fan-out preserves input order).
-    let mut singleton: Vec<(usize, FaultSimOutcome)> = Vec::new();
+    let (plan, packed) = FaultBatch::plan_probed(walk, &probes, planner, true);
+
+    // Pack stage: concatenate the lane cohorts' members into the kernel's
+    // native execution order. The address-aware planner usually emitted
+    // the packed array straight out of its clustered pass (one permuted
+    // store per fault, everything else sequential); when it could not
+    // (greedy grouping won, or was requested), one streaming pass over
+    // the cohort lists gathers each member's inline (`Copy`) lane form
+    // from the dense kind array and records the inverse permutation —
+    // two independent accesses per fault that pipeline across iterations.
+    let PackedLanes {
+        lanes: mut packed_lanes,
+        of_fault: packed_of_fault,
+        ranges: lane_ranges,
+    } = packed.unwrap_or_else(|| {
+        let mut emitted = PackedLanes {
+            lanes: Vec::with_capacity(plan.lane_fault_count()),
+            of_fault: vec![UNPACKED; probes.len()],
+            ranges: Vec::new(),
+        };
+        for cohort in plan.cohorts() {
+            if let Cohort::Lanes(indices) = cohort {
+                emitted
+                    .ranges
+                    .push((emitted.lanes.len() as u32, indices.len() as u32));
+                for &index in indices {
+                    emitted.of_fault[index] = emitted.lanes.len() as u32;
+                    emitted
+                        .lanes
+                        .push(probes.kinds[index].expect("planned lane faults have kinds"));
+                }
+            }
+        }
+        emitted
+    });
+
+    // Per-packed-slot mismatch counts: the kernel's detection flag is
+    // exactly `mismatches > 0` (a lane is detected iff at least one of
+    // its reads mismatched), so one dense `u32` array carries the whole
+    // outcome and the assembly pass gathers four bytes per fault.
+    let mut counts_packed = vec![0u32; packed_lanes.len()];
+    let mut parked: Vec<Parked> = Vec::new();
+
     if threads <= 1 {
         let mut scratch: Option<GoodMemory> = None;
+        let mut lane_cursor = 0usize;
         for cohort in plan.cohorts() {
             match cohort {
+                Cohort::Lanes(_) => {
+                    let (start, len) = lane_ranges[lane_cursor];
+                    lane_cursor += 1;
+                    let (start, len) = (start as usize, len as usize);
+                    let detections = run_march_lanes(
+                        walk,
+                        &mut packed_lanes[start..start + len],
+                        background,
+                        mode,
+                    );
+                    for (offset, detection) in detections.iter().enumerate() {
+                        counts_packed[start + offset] = detection.mismatches as u32;
+                    }
+                }
+                Cohort::BoxedLanes(indices) => {
+                    let mut lanes: Vec<Box<dyn LaneFault>> = indices
+                        .iter()
+                        .map(|&index| {
+                            probes.boxed[index]
+                                .take()
+                                .expect("planned boxed faults have lane forms")
+                        })
+                        .collect();
+                    let detections = run_march_lanes(walk, &mut lanes, background, mode);
+                    for (&index, detection) in indices.iter().zip(&detections) {
+                        let fault = probes.faults[index].take().expect("probe holds its fault");
+                        parked.push((
+                            index,
+                            park_lane_outcome(
+                                walk,
+                                fault.as_ref(),
+                                detection.detected,
+                                detection.mismatches,
+                            ),
+                        ));
+                    }
+                }
                 Cohort::Serial(index) => {
                     let scratch = scratch.get_or_insert_with(|| GoodMemory::new(walk.capacity()));
-                    let fault = probes[*index].fault.take().expect("probe holds its fault");
-                    singleton.push((
+                    let fault = probes.faults[*index].take().expect("probe holds its fault");
+                    parked.push((
                         *index,
                         simulate_fault_on_walk(walk, scratch, fault, background, mode),
                     ));
                 }
-                Cohort::Lanes(indices) => {
-                    let mut lanes = take_lane_forms(&mut probes, indices);
-                    let detections = run_march_lanes(walk, &mut lanes, background, mode);
-                    for (&index, detection) in indices.iter().zip(&detections) {
-                        detected[index] = detection.detected;
-                        mismatches[index] = detection.mismatches;
-                    }
-                }
             }
         }
     } else {
-        // Workers consume the probed lane forms through per-cohort
-        // mutexes (each locked exactly once), so the parallel path pays
-        // the same single probe pass as the serial one; singletons
-        // re-instantiate from their `Sync` factories inside the worker.
+        // Lock-free fan-out: enum cohorts are read-only slices of the
+        // packed array, and each worker copies the (Copy, 16-byte) lane
+        // forms of a claimed cohort into its own buffer before running
+        // the kernel — ownership by copy, no mutexes. Boxed cohorts and
+        // serial singletons re-instantiate from their `Sync` factories
+        // inside the worker (both are rare by construction).
         enum Work<'a> {
             Lanes {
-                indices: &'a [usize],
-                lanes: Vec<Box<dyn LaneFault>>,
+                start: usize,
+                lanes: &'a [LaneFaultKind],
             },
+            Boxed(&'a [usize]),
             Serial(usize),
         }
         enum Record {
-            Lane { detected: bool, mismatches: usize },
-            Singleton(FaultSimOutcome),
+            Lane { position: usize, mismatches: u32 },
+            Parked(Parked),
         }
-        let work: Vec<std::sync::Mutex<Work>> = plan
-            .cohorts()
-            .iter()
-            .map(|cohort| {
-                std::sync::Mutex::new(match cohort {
-                    Cohort::Lanes(indices) => Work::Lanes {
-                        indices,
-                        lanes: take_lane_forms(&mut probes, indices),
-                    },
-                    Cohort::Serial(index) => Work::Serial(*index),
-                })
-            })
-            .collect();
+        let mut work: Vec<Work> = Vec::with_capacity(plan.cohorts().len());
+        let mut lane_cursor = 0usize;
+        for cohort in plan.cohorts() {
+            match cohort {
+                Cohort::Lanes(_) => {
+                    let (start, len) = lane_ranges[lane_cursor];
+                    lane_cursor += 1;
+                    let (start, len) = (start as usize, len as usize);
+                    work.push(Work::Lanes {
+                        start,
+                        lanes: &packed_lanes[start..start + len],
+                    });
+                }
+                Cohort::BoxedLanes(indices) => work.push(Work::Boxed(indices)),
+                Cohort::Serial(index) => work.push(Work::Serial(*index)),
+            }
+        }
         let tagged = par_chunk_flat_map_balanced(&work, threads, |chunk| {
             let mut scratch: Option<GoodMemory> = None;
+            let mut local: Vec<LaneFaultKind> = Vec::new();
             let mut records = Vec::new();
             for item in chunk {
-                let mut item = item.lock().expect("cohort work poisoned");
-                match &mut *item {
-                    Work::Lanes { indices, lanes } => {
-                        let detections = run_march_lanes(walk, lanes, background, mode);
-                        records.extend(indices.iter().zip(detections).map(
-                            |(&index, detection)| {
-                                (
+                match item {
+                    Work::Lanes { start, lanes } => {
+                        local.clear();
+                        local.extend_from_slice(lanes);
+                        let detections = run_march_lanes(walk, &mut local, background, mode);
+                        records.extend(detections.into_iter().enumerate().map(
+                            |(offset, detection)| Record::Lane {
+                                position: start + offset,
+                                mismatches: detection.mismatches as u32,
+                            },
+                        ));
+                    }
+                    Work::Boxed(indices) => {
+                        let mut lanes = Vec::with_capacity(indices.len());
+                        let mut instances = Vec::with_capacity(indices.len());
+                        for &index in *indices {
+                            let fault = faults[index]();
+                            lanes.push(
+                                fault
+                                    .lane_form()
+                                    .expect("planned boxed faults have lane forms"),
+                            );
+                            instances.push(fault);
+                        }
+                        let detections = run_march_lanes(walk, &mut lanes, background, mode);
+                        records.extend(indices.iter().zip(instances).zip(detections).map(
+                            |((&index, fault), detection)| {
+                                Record::Parked((
                                     index,
-                                    Record::Lane {
-                                        detected: detection.detected,
-                                        mismatches: detection.mismatches,
-                                    },
-                                )
+                                    park_lane_outcome(
+                                        walk,
+                                        fault.as_ref(),
+                                        detection.detected,
+                                        detection.mismatches,
+                                    ),
+                                ))
                             },
                         ));
                     }
@@ -488,55 +920,40 @@ pub fn sweep_batched_with(
                             background,
                             mode,
                         );
-                        records.push((*index, Record::Singleton(outcome)));
+                        records.push(Record::Parked((*index, outcome)));
                     }
                 }
             }
             records
         });
-        for (index, record) in tagged {
+        for record in tagged {
             match record {
                 Record::Lane {
-                    detected: hit,
-                    mismatches: count,
-                } => {
-                    detected[index] = hit;
-                    mismatches[index] = count;
-                }
-                Record::Singleton(outcome) => singleton.push((index, outcome)),
+                    position,
+                    mismatches,
+                } => counts_packed[position] = mismatches,
+                Record::Parked(entry) => parked.push(entry),
             }
         }
     }
-    let mut singletons = singleton.into_iter().peekable();
-    probes
-        .iter()
-        .enumerate()
-        .map(|(index, probe)| {
-            if singletons.peek().is_some_and(|(i, _)| *i == index) {
-                return singletons.next().expect("peeked").1;
-            }
-            let fault = probe.fault.as_ref().expect("lane probes keep their fault");
-            FaultSimOutcome {
-                fault_name: fault.name(),
-                fault_kind: fault.kind(),
-                test_name: walk.test_name().to_string(),
-                order_name: walk.order_name().to_string(),
-                detected: detected[index],
-                mismatches: mismatches[index],
-            }
-        })
-        .collect()
-}
 
-/// Moves the lane forms of a cohort's members out of their probes.
-fn take_lane_forms(probes: &mut [Probe], indices: &[usize]) -> Vec<Box<dyn LaneFault>> {
-    indices
-        .iter()
-        .map(|&index| {
-            probes[index]
-                .lane
-                .take()
-                .expect("planned lane faults have lane forms")
+    // Scatter stage: one list-order pass; lane outcomes are read through
+    // the inverse permutation, parked (boxed/serial) outcomes merge in by
+    // index.
+    parked.sort_unstable_by_key(|(index, _)| *index);
+    let mut parked = parked.into_iter().peekable();
+    (0..probes.len())
+        .map(|index| {
+            if parked.peek().is_some_and(|(i, _)| *i == index) {
+                return parked.next().expect("peeked").1;
+            }
+            let position = packed_of_fault[index];
+            debug_assert_ne!(position, UNPACKED, "non-parked faults ride lane cohorts");
+            let fault = probes.faults[index]
+                .as_ref()
+                .expect("lane probes keep their fault");
+            let count = counts_packed[position as usize];
+            park_lane_outcome(walk, fault.as_ref(), count > 0, count as usize)
         })
         .collect()
 }
@@ -567,19 +984,47 @@ mod tests {
             .collect()
     }
 
+    /// A delegating wrapper that hides its inner fault's inline lane kind
+    /// and only exposes the boxed lane form — the external-fault escape
+    /// hatch, as a test double.
+    #[derive(Debug)]
+    struct BoxedOnly(Box<dyn Fault>);
+
+    impl Fault for BoxedOnly {
+        fn name(&self) -> String {
+            self.0.name()
+        }
+        fn kind(&self) -> crate::faults::FaultKind {
+            self.0.kind()
+        }
+        fn write(&mut self, memory: &mut GoodMemory, address: Address, value: bool) {
+            self.0.write(memory, address, value);
+        }
+        fn read(&mut self, memory: &mut GoodMemory, address: Address) -> bool {
+            self.0.read(memory, address)
+        }
+        fn involved_addresses(&self) -> Option<Vec<Address>> {
+            self.0.involved_addresses()
+        }
+        fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
+            self.0.lane_form()
+        }
+    }
+
     #[test]
     fn plan_groups_the_standard_library_into_one_cohort() {
         let organization = org();
         let walk = MarchWalk::new(&library::march_ss(), &WordLineAfterWordLine, &organization);
         let faults = standard_fault_list(&organization);
         let plan = FaultBatch::plan(&walk, &faults);
-        // Every standard fault — including the stuck-open family — has a
-        // lane form, and the list fits into one 64-lane cohort.
+        // Every standard fault — including the stuck-open family — has an
+        // inline lane kind, and the list fits into one 64-lane cohort.
         assert_eq!(plan.fault_count(), faults.len());
         assert_eq!(plan.lane_fault_count(), faults.len());
         assert_eq!(plan.cohorts().len(), 1);
         assert_eq!(plan.cohorts()[0].len(), faults.len());
         assert!(!plan.cohorts()[0].is_empty());
+        assert!(matches!(plan.cohorts()[0], Cohort::Lanes(_)));
     }
 
     #[test]
@@ -624,7 +1069,8 @@ mod tests {
 
     #[test]
     fn faults_without_a_lane_form_fall_back_to_the_serial_path() {
-        /// A fault that keeps the default `lane_form` of `None`.
+        /// A fault that keeps the default `lane_kind`/`lane_form` of
+        /// `None`.
         #[derive(Debug)]
         struct Opaque;
         impl Fault for Opaque {
@@ -655,6 +1101,37 @@ mod tests {
         let outcomes = sweep_batched(&walk, &faults, false, DetectionMode::FirstMismatch, 1);
         assert_eq!(outcomes[1].fault_name, "OPAQUE");
         assert!(outcomes[1].detected, "stuck-at-1-everything is detected");
+    }
+
+    #[test]
+    fn boxed_escape_hatch_faults_ride_boxed_cohorts_with_identical_results() {
+        // Faults that only expose the boxed lane form (external types)
+        // batch into `Cohort::BoxedLanes` and produce outcomes identical
+        // to the same faults riding inline enum cohorts — serial and
+        // parallel.
+        let organization = ArrayOrganization::new(8, 8).unwrap();
+        let walk = MarchWalk::new(&library::march_ss(), &WordLineAfterWordLine, &organization);
+        let inline: Vec<FaultFactory> = standard_fault_list(&organization);
+        let boxed: Vec<FaultFactory> = standard_fault_list(&organization)
+            .into_iter()
+            .map(|factory| {
+                let wrapped: FaultFactory = Box::new(move || Box::new(BoxedOnly(factory())));
+                wrapped
+            })
+            .collect();
+        let plan = FaultBatch::plan(&walk, &boxed);
+        assert_eq!(plan.lane_fault_count(), boxed.len());
+        assert!(plan
+            .cohorts()
+            .iter()
+            .all(|cohort| matches!(cohort, Cohort::BoxedLanes(_))));
+        for mode in [DetectionMode::Full, DetectionMode::FirstMismatch] {
+            let reference = sweep_batched(&walk, &inline, false, mode, 1);
+            for threads in [1, 4] {
+                let via_boxed = sweep_batched(&walk, &boxed, false, mode, threads);
+                assert_eq!(reference, via_boxed, "{mode:?} threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -30,9 +30,11 @@ use crate::parallel::{max_threads, par_chunk_map};
 pub enum SweepBackend {
     /// The lane-batched backend: compatible faults grouped into ≤64-lane
     /// cohorts by the address-aware packer
-    /// ([`CohortPlanner::AddressAware`]), one walk dispatch per cohort,
-    /// serial fallback for the rest ([`crate::batch::FaultBatch`]). The
-    /// default.
+    /// ([`CohortPlanner::AddressAware`]), lane forms stored inline as
+    /// [`crate::faults::LaneFaultKind`] enum values executed in packed
+    /// order (match dispatch, no per-owner pointer chase), one walk
+    /// dispatch per cohort, serial fallback for the rest
+    /// ([`crate::batch::FaultBatch`]). The default.
     #[default]
     LaneBatched,
     /// The lane-batched backend with the list-order greedy planner

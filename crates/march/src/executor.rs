@@ -610,6 +610,14 @@ fn lane_mask(lanes: usize) -> u64 {
 /// Runs up to sixty-four faults through one walk scan, one bit lane each —
 /// the lane-batched sweep kernel.
 ///
+/// The kernel is generic over the lane representation: cohorts of the
+/// crate's own fault models pass `&mut [LaneFaultKind]` — lane forms
+/// stored inline, every faulty dispatch a monomorphized match on plain
+/// enum data with no per-owner pointer chase — while the external-fault
+/// escape hatch passes `&mut [Box<dyn LaneFault>]` and pays virtual
+/// dispatch. Both instantiations run the identical algorithm, so their
+/// results are interchangeable.
+///
 /// Each element of `lanes` owns the bit lane of its position in the slice:
 /// a sparse [`LaneMemory`] over the cohort's merged involved addresses is
 /// filled to `background`, the merged involved-step schedule (the same
@@ -629,6 +637,8 @@ fn lane_mask(lanes: usize) -> u64 {
 /// locality-safe walk the steps outside a fault's involved set can neither
 /// mismatch nor influence its cells.
 ///
+/// [`LaneFaultKind`]: crate::faults::LaneFaultKind
+///
 /// # Panics
 ///
 /// Panics if `lanes` is empty or longer than [`LaneMemory::LANES`], if
@@ -636,9 +646,9 @@ fn lane_mask(lanes: usize) -> u64 {
 /// unfiltered per-fault path), if a lane involves no addresses, or if
 /// the cohort's union spans more than [`COHORT_ADDRESS_BUDGET`] distinct
 /// addresses.
-pub fn run_march_lanes(
+pub fn run_march_lanes<L: LaneFault>(
     walk: &MarchWalk,
-    lanes: &mut [Box<dyn LaneFault>],
+    lanes: &mut [L],
     background: bool,
     mode: DetectionMode,
 ) -> Vec<LaneDetection> {
@@ -675,7 +685,7 @@ pub fn run_march_lanes(
             owned_masks[slot] |= 1u64 << lane;
         }
     }
-    let mut memory = LaneMemory::new(walk.capacity(), &union);
+    let mut memory = LaneMemory::from_sorted(walk.capacity(), &union);
     memory.fill(background);
     let active = lane_mask(lanes.len());
     let mut detected = 0u64;

@@ -2,7 +2,7 @@
 
 use sram_model::address::Address;
 
-use super::{Fault, FaultKind, LaneFault};
+use super::{Fault, FaultKind, InvolvedAddresses, LaneFault, LaneFaultKind};
 use crate::memory::{GoodMemory, LaneMemory};
 
 /// Address aliasing fault: accesses to one address are routed to another
@@ -60,8 +60,14 @@ impl Fault for AddressAliasFault {
         Some(vec![self.aliased, self.target])
     }
 
-    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
-        Some(Box::new(*self))
+    fn lane_kind(&self) -> Option<LaneFaultKind> {
+        Some(LaneFaultKind::AddressDecoder(*self))
+    }
+}
+
+impl AddressAliasFault {
+    pub(crate) fn lane_involved(&self) -> InvolvedAddresses {
+        InvolvedAddresses::two(self.aliased, self.target)
     }
 }
 

@@ -2,7 +2,7 @@
 
 use sram_model::address::Address;
 
-use super::{Fault, FaultKind, LaneFault};
+use super::{Fault, FaultKind, InvolvedAddresses, LaneFault, LaneFaultKind};
 use crate::memory::{GoodMemory, LaneMemory};
 
 /// Inversion coupling fault: a chosen transition written into the aggressor
@@ -74,8 +74,14 @@ impl Fault for CouplingInversionFault {
         Some(vec![self.aggressor, self.victim])
     }
 
-    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
-        Some(Box::new(*self))
+    fn lane_kind(&self) -> Option<LaneFaultKind> {
+        Some(LaneFaultKind::CouplingInversion(*self))
+    }
+}
+
+impl CouplingInversionFault {
+    pub(crate) fn lane_involved(&self) -> InvolvedAddresses {
+        InvolvedAddresses::two(self.aggressor, self.victim)
     }
 }
 
@@ -180,8 +186,14 @@ impl Fault for CouplingIdempotentFault {
         Some(vec![self.aggressor, self.victim])
     }
 
-    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
-        Some(Box::new(*self))
+    fn lane_kind(&self) -> Option<LaneFaultKind> {
+        Some(LaneFaultKind::CouplingIdempotent(*self))
+    }
+}
+
+impl CouplingIdempotentFault {
+    pub(crate) fn lane_involved(&self) -> InvolvedAddresses {
+        InvolvedAddresses::two(self.aggressor, self.victim)
     }
 }
 
@@ -289,12 +301,16 @@ impl Fault for CouplingStateFault {
         Some(vec![self.aggressor, self.victim])
     }
 
-    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
-        Some(Box::new(*self))
+    fn lane_kind(&self) -> Option<LaneFaultKind> {
+        Some(LaneFaultKind::CouplingState(*self))
     }
 }
 
 impl CouplingStateFault {
+    pub(crate) fn lane_involved(&self) -> InvolvedAddresses {
+        InvolvedAddresses::two(self.aggressor, self.victim)
+    }
+
     fn enforce_lane(&self, memory: &mut LaneMemory, lane: u32) {
         if memory.get_lane(self.aggressor, lane) == self.aggressor_state {
             memory.set_lane(self.victim, lane, self.forced_value);

@@ -124,15 +124,266 @@ pub trait Fault: fmt::Debug {
         None
     }
 
-    /// The lane-masked injection form of this fault for the batched
+    /// The inline lane-masked form of this fault for the batched
     /// multi-fault backend ([`crate::batch`]), or `None` when the fault
-    /// can only run the per-fault path. The returned object must reproduce
-    /// this fault's behaviour exactly, confined to one bit lane of a
-    /// [`LaneMemory`]. The default is the conservative `None`, which makes
-    /// the [`crate::batch::FaultBatch`] planner fall back to a serial
-    /// singleton cohort.
-    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
+    /// has no [`LaneFaultKind`] variant. Every fault model of this crate
+    /// returns its variant; the cohort kernel then dispatches it by a
+    /// match on plain enum data — no per-owner pointer chase. The default
+    /// is the conservative `None`, which makes the
+    /// [`crate::batch::FaultBatch`] planner try [`Fault::lane_form`] and
+    /// finally fall back to a serial singleton cohort.
+    fn lane_kind(&self) -> Option<LaneFaultKind> {
         None
+    }
+
+    /// The boxed lane-masked injection form of this fault — the
+    /// extensibility escape hatch for *external* fault types that cannot
+    /// add a [`LaneFaultKind`] variant. The returned object must
+    /// reproduce this fault's behaviour exactly, confined to one bit lane
+    /// of a [`LaneMemory`]; the planner batches such faults into separate
+    /// boxed cohorts that run the same (generic) kernel through virtual
+    /// dispatch. The default derives the form from [`Fault::lane_kind`],
+    /// so in-crate models need not implement it; a fault with neither
+    /// runs the per-fault path.
+    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
+        self.lane_kind()
+            .map(|kind| Box::new(kind) as Box<dyn LaneFault>)
+    }
+}
+
+/// The lane-masked form of one of the crate's own fault models, stored
+/// **inline** — the devirtualized counterpart of `Box<dyn LaneFault>`.
+///
+/// Cohorts of the batched backend hold `Vec<LaneFaultKind>` instead of
+/// `Vec<Box<dyn LaneFault>>`, so the kernel's per-owner dispatch is a
+/// match on plain enum data sitting contiguously in the cohort array: no
+/// heap allocation per fault, no vtable pointer chase per step. The enum
+/// is `Copy` and intentionally small (a unit test pins
+/// `size_of::<LaneFaultKind>() <= 32`) so packed cohort arrays stay
+/// cache-dense; external fault types that cannot appear here use the
+/// boxed [`Fault::lane_form`] escape hatch instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LaneFaultKind {
+    /// Stuck-at fault.
+    StuckAt(StuckAtFault),
+    /// Transition fault.
+    Transition(TransitionFault),
+    /// Inversion coupling fault.
+    CouplingInversion(CouplingInversionFault),
+    /// Idempotent coupling fault.
+    CouplingIdempotent(CouplingIdempotentFault),
+    /// State coupling fault.
+    CouplingState(CouplingStateFault),
+    /// Read destructive fault.
+    ReadDestructive(ReadDestructiveFault),
+    /// Deceptive read destructive fault.
+    DeceptiveReadDestructive(DeceptiveReadDestructiveFault),
+    /// Incorrect read fault.
+    IncorrectRead(IncorrectReadFault),
+    /// Stuck-open fault (history served by the walk's sensed-before
+    /// stamp).
+    StuckOpen(StuckOpenFault),
+    /// Write disturb fault.
+    WriteDisturb(WriteDisturbFault),
+    /// Address-decoder aliasing fault.
+    AddressDecoder(AddressAliasFault),
+}
+
+/// The involved addresses of a [`LaneFaultKind`], held inline: every
+/// in-crate lane model involves one or two cells, so the set fits a fixed
+/// two-slot array and probing a 100k-fault population allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvolvedAddresses {
+    addresses: [Address; 2],
+    len: u8,
+}
+
+impl InvolvedAddresses {
+    /// A single-cell involved set.
+    pub fn one(address: Address) -> Self {
+        Self {
+            addresses: [address, address],
+            len: 1,
+        }
+    }
+
+    /// A two-cell involved set.
+    pub fn two(first: Address, second: Address) -> Self {
+        Self {
+            addresses: [first, second],
+            len: 2,
+        }
+    }
+
+    /// The involved addresses as a slice.
+    pub fn as_slice(&self) -> &[Address] {
+        &self.addresses[..usize::from(self.len)]
+    }
+}
+
+impl std::ops::Deref for InvolvedAddresses {
+    type Target = [Address];
+
+    fn deref(&self) -> &[Address] {
+        self.as_slice()
+    }
+}
+
+impl LaneFaultKind {
+    /// The fault class of the wrapped model.
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            LaneFaultKind::StuckAt(_) => FaultKind::StuckAt,
+            LaneFaultKind::Transition(_) => FaultKind::Transition,
+            LaneFaultKind::CouplingInversion(_) => FaultKind::CouplingInversion,
+            LaneFaultKind::CouplingIdempotent(_) => FaultKind::CouplingIdempotent,
+            LaneFaultKind::CouplingState(_) => FaultKind::CouplingState,
+            LaneFaultKind::ReadDestructive(_) => FaultKind::ReadDestructive,
+            LaneFaultKind::DeceptiveReadDestructive(_) => FaultKind::DeceptiveReadDestructive,
+            LaneFaultKind::IncorrectRead(_) => FaultKind::IncorrectRead,
+            LaneFaultKind::StuckOpen(_) => FaultKind::StuckOpen,
+            LaneFaultKind::WriteDisturb(_) => FaultKind::WriteDisturb,
+            LaneFaultKind::AddressDecoder(_) => FaultKind::AddressDecoder,
+        }
+    }
+
+    /// The involved addresses of the wrapped model, inline (see
+    /// [`LaneFault::involved`] for the contract) — no allocation.
+    pub fn involved(&self) -> InvolvedAddresses {
+        match self {
+            LaneFaultKind::StuckAt(fault) => fault.lane_involved(),
+            LaneFaultKind::Transition(fault) => fault.lane_involved(),
+            LaneFaultKind::CouplingInversion(fault) => fault.lane_involved(),
+            LaneFaultKind::CouplingIdempotent(fault) => fault.lane_involved(),
+            LaneFaultKind::CouplingState(fault) => fault.lane_involved(),
+            LaneFaultKind::ReadDestructive(fault) => fault.lane_involved(),
+            LaneFaultKind::DeceptiveReadDestructive(fault) => fault.lane_involved(),
+            LaneFaultKind::IncorrectRead(fault) => fault.lane_involved(),
+            LaneFaultKind::StuckOpen(fault) => fault.lane_involved(),
+            LaneFaultKind::WriteDisturb(fault) => fault.lane_involved(),
+            LaneFaultKind::AddressDecoder(fault) => fault.lane_involved(),
+        }
+    }
+
+    /// Performs the faulty effect of writing `value` at `address` in lane
+    /// `lane` — a statically dispatched match over the concrete models.
+    #[inline]
+    pub fn lane_write(
+        &mut self,
+        memory: &mut LaneMemory,
+        lane: u32,
+        address: Address,
+        value: bool,
+    ) {
+        match self {
+            LaneFaultKind::StuckAt(fault) => fault.lane_write(memory, lane, address, value),
+            LaneFaultKind::Transition(fault) => fault.lane_write(memory, lane, address, value),
+            LaneFaultKind::CouplingInversion(fault) => {
+                fault.lane_write(memory, lane, address, value)
+            }
+            LaneFaultKind::CouplingIdempotent(fault) => {
+                fault.lane_write(memory, lane, address, value)
+            }
+            LaneFaultKind::CouplingState(fault) => fault.lane_write(memory, lane, address, value),
+            LaneFaultKind::ReadDestructive(fault) => fault.lane_write(memory, lane, address, value),
+            LaneFaultKind::DeceptiveReadDestructive(fault) => {
+                fault.lane_write(memory, lane, address, value)
+            }
+            LaneFaultKind::IncorrectRead(fault) => fault.lane_write(memory, lane, address, value),
+            LaneFaultKind::StuckOpen(fault) => fault.lane_write(memory, lane, address, value),
+            LaneFaultKind::WriteDisturb(fault) => fault.lane_write(memory, lane, address, value),
+            LaneFaultKind::AddressDecoder(fault) => fault.lane_write(memory, lane, address, value),
+        }
+    }
+
+    /// Performs the faulty effect of reading `address` in lane `lane` —
+    /// a statically dispatched match over the concrete models.
+    #[inline]
+    pub fn lane_read(
+        &mut self,
+        memory: &mut LaneMemory,
+        lane: u32,
+        address: Address,
+        sensed_before: bool,
+    ) -> bool {
+        match self {
+            LaneFaultKind::StuckAt(fault) => fault.lane_read(memory, lane, address, sensed_before),
+            LaneFaultKind::Transition(fault) => {
+                fault.lane_read(memory, lane, address, sensed_before)
+            }
+            LaneFaultKind::CouplingInversion(fault) => {
+                fault.lane_read(memory, lane, address, sensed_before)
+            }
+            LaneFaultKind::CouplingIdempotent(fault) => {
+                fault.lane_read(memory, lane, address, sensed_before)
+            }
+            LaneFaultKind::CouplingState(fault) => {
+                fault.lane_read(memory, lane, address, sensed_before)
+            }
+            LaneFaultKind::ReadDestructive(fault) => {
+                fault.lane_read(memory, lane, address, sensed_before)
+            }
+            LaneFaultKind::DeceptiveReadDestructive(fault) => {
+                fault.lane_read(memory, lane, address, sensed_before)
+            }
+            LaneFaultKind::IncorrectRead(fault) => {
+                fault.lane_read(memory, lane, address, sensed_before)
+            }
+            LaneFaultKind::StuckOpen(fault) => {
+                fault.lane_read(memory, lane, address, sensed_before)
+            }
+            LaneFaultKind::WriteDisturb(fault) => {
+                fault.lane_read(memory, lane, address, sensed_before)
+            }
+            LaneFaultKind::AddressDecoder(fault) => {
+                fault.lane_read(memory, lane, address, sensed_before)
+            }
+        }
+    }
+}
+
+/// The enum participates in every [`LaneFault`] API (the generic cohort
+/// kernel, hand-assembled cohorts in tests) with its match dispatch.
+impl LaneFault for LaneFaultKind {
+    fn involved(&self) -> Vec<Address> {
+        LaneFaultKind::involved(self).to_vec()
+    }
+
+    fn lane_write(&mut self, memory: &mut LaneMemory, lane: u32, address: Address, value: bool) {
+        LaneFaultKind::lane_write(self, memory, lane, address, value);
+    }
+
+    fn lane_read(
+        &mut self,
+        memory: &mut LaneMemory,
+        lane: u32,
+        address: Address,
+        sensed_before: bool,
+    ) -> bool {
+        LaneFaultKind::lane_read(self, memory, lane, address, sensed_before)
+    }
+}
+
+/// Boxed lane forms (the external-fault escape hatch) flow through the
+/// same generic kernel as inline enum cohorts.
+impl LaneFault for Box<dyn LaneFault> {
+    fn involved(&self) -> Vec<Address> {
+        (**self).involved()
+    }
+
+    fn lane_write(&mut self, memory: &mut LaneMemory, lane: u32, address: Address, value: bool) {
+        (**self).lane_write(memory, lane, address, value);
+    }
+
+    fn lane_read(
+        &mut self,
+        memory: &mut LaneMemory,
+        lane: u32,
+        address: Address,
+        sensed_before: bool,
+    ) -> bool {
+        (**self).lane_read(memory, lane, address, sensed_before)
     }
 }
 
@@ -326,6 +577,53 @@ mod tests {
         assert!(!list.is_empty());
         assert!(list.iter().all(|f| f().kind() != FaultKind::StuckOpen));
         assert!(list.len() < standard_fault_list(&organization).len());
+    }
+
+    #[test]
+    fn lane_fault_kind_stays_copy_and_small() {
+        // Cohort arrays store lane forms inline; a variant that bloats the
+        // enum would silently fatten every packed cohort, so the size is
+        // pinned. The `Copy` bound is what lets packed sweeps move lane
+        // forms into execution order without boxing or locking.
+        fn assert_copy<T: Copy + Send>() {}
+        assert_copy::<LaneFaultKind>();
+        assert!(
+            std::mem::size_of::<LaneFaultKind>() <= 32,
+            "LaneFaultKind grew to {} bytes — keep cohort arrays dense",
+            std::mem::size_of::<LaneFaultKind>()
+        );
+    }
+
+    #[test]
+    fn every_standard_fault_has_an_inline_lane_kind() {
+        let organization = ArrayOrganization::new(4, 4).unwrap();
+        for factory in standard_fault_list(&organization) {
+            let fault = factory();
+            let kind = fault
+                .lane_kind()
+                .unwrap_or_else(|| panic!("{} has no lane kind", fault.name()));
+            assert_eq!(kind.kind(), fault.kind(), "{}", fault.name());
+            // The derived boxed form (the escape hatch) and the inline
+            // involved set agree with the trait contract.
+            let boxed = fault.lane_form().expect("derived from lane_kind");
+            assert_eq!(
+                LaneFault::involved(&boxed),
+                LaneFaultKind::involved(&kind).to_vec(),
+                "{}",
+                fault.name()
+            );
+            assert!(!kind.involved().is_empty(), "{}", fault.name());
+            assert!(kind.involved().len() <= 2, "{}", fault.name());
+        }
+    }
+
+    #[test]
+    fn involved_addresses_inline_set_exposes_its_slice() {
+        let one = InvolvedAddresses::one(Address::new(7));
+        assert_eq!(one.as_slice(), &[Address::new(7)]);
+        let two = InvolvedAddresses::two(Address::new(1), Address::new(9));
+        assert_eq!(&*two, &[Address::new(1), Address::new(9)]);
+        assert_eq!(two.len(), 2);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use sram_model::address::Address;
 
-use super::{Fault, FaultKind, LaneFault};
+use super::{Fault, FaultKind, InvolvedAddresses, LaneFault, LaneFaultKind};
 use crate::memory::{GoodMemory, LaneMemory};
 
 /// Read destructive fault: a read flips the cell and returns the flipped
@@ -52,8 +52,14 @@ impl Fault for ReadDestructiveFault {
         Some(vec![self.victim])
     }
 
-    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
-        Some(Box::new(*self))
+    fn lane_kind(&self) -> Option<LaneFaultKind> {
+        Some(LaneFaultKind::ReadDestructive(*self))
+    }
+}
+
+impl ReadDestructiveFault {
+    pub(crate) fn lane_involved(&self) -> InvolvedAddresses {
+        InvolvedAddresses::one(self.victim)
     }
 }
 
@@ -122,8 +128,14 @@ impl Fault for DeceptiveReadDestructiveFault {
         Some(vec![self.victim])
     }
 
-    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
-        Some(Box::new(*self))
+    fn lane_kind(&self) -> Option<LaneFaultKind> {
+        Some(LaneFaultKind::DeceptiveReadDestructive(*self))
+    }
+}
+
+impl DeceptiveReadDestructiveFault {
+    pub(crate) fn lane_involved(&self) -> InvolvedAddresses {
+        InvolvedAddresses::one(self.victim)
     }
 }
 
@@ -191,8 +203,14 @@ impl Fault for IncorrectReadFault {
         Some(vec![self.victim])
     }
 
-    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
-        Some(Box::new(*self))
+    fn lane_kind(&self) -> Option<LaneFaultKind> {
+        Some(LaneFaultKind::IncorrectRead(*self))
+    }
+}
+
+impl IncorrectReadFault {
+    pub(crate) fn lane_involved(&self) -> InvolvedAddresses {
+        InvolvedAddresses::one(self.victim)
     }
 }
 

@@ -2,7 +2,7 @@
 
 use sram_model::address::Address;
 
-use super::{Fault, FaultKind, LaneFault};
+use super::{Fault, FaultKind, InvolvedAddresses, LaneFault, LaneFaultKind};
 use crate::memory::{GoodMemory, LaneMemory};
 
 /// A cell permanently stuck at a fixed value: writes of the opposite value
@@ -63,8 +63,14 @@ impl Fault for StuckAtFault {
         Some(vec![self.victim])
     }
 
-    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
-        Some(Box::new(*self))
+    fn lane_kind(&self) -> Option<LaneFaultKind> {
+        Some(LaneFaultKind::StuckAt(*self))
+    }
+}
+
+impl StuckAtFault {
+    pub(crate) fn lane_involved(&self) -> InvolvedAddresses {
+        InvolvedAddresses::one(self.victim)
     }
 }
 

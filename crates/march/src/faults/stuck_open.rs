@@ -2,7 +2,7 @@
 
 use sram_model::address::Address;
 
-use super::{Fault, FaultKind, LaneFault};
+use super::{Fault, FaultKind, InvolvedAddresses, LaneFault, LaneFaultKind};
 use crate::memory::{GoodMemory, LaneMemory};
 
 /// Stuck-open fault: the cell cannot be accessed at all (e.g. a broken
@@ -60,8 +60,14 @@ impl Fault for StuckOpenFault {
         None
     }
 
-    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
-        Some(Box::new(*self))
+    fn lane_kind(&self) -> Option<LaneFaultKind> {
+        Some(LaneFaultKind::StuckOpen(*self))
+    }
+}
+
+impl StuckOpenFault {
+    pub(crate) fn lane_involved(&self) -> InvolvedAddresses {
+        InvolvedAddresses::one(self.victim)
     }
 }
 

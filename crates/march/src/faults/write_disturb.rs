@@ -2,7 +2,7 @@
 
 use sram_model::address::Address;
 
-use super::{Fault, FaultKind, LaneFault};
+use super::{Fault, FaultKind, InvolvedAddresses, LaneFault, LaneFaultKind};
 use crate::memory::{GoodMemory, LaneMemory};
 
 /// Write disturb fault: a *non-transition* write (writing the value the
@@ -46,8 +46,14 @@ impl Fault for WriteDisturbFault {
         Some(vec![self.victim])
     }
 
-    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
-        Some(Box::new(*self))
+    fn lane_kind(&self) -> Option<LaneFaultKind> {
+        Some(LaneFaultKind::WriteDisturb(*self))
+    }
+}
+
+impl WriteDisturbFault {
+    pub(crate) fn lane_involved(&self) -> InvolvedAddresses {
+        InvolvedAddresses::one(self.victim)
     }
 }
 

@@ -52,8 +52,16 @@
 //!    faults ride *one* walk dispatch, each owning a bit lane of a
 //!    sparse lane-parallel store whose fills and compares stay whole-word
 //!    `u64` operations; detection is lane-wise with mask popcounts
-//!    driving the per-lane early exit. Coverage sweeps ride this backend
-//!    by default and keep the per-fault path as the golden reference.
+//!    driving the per-lane early exit. Lane forms are stored **inline**
+//!    as [`faults::LaneFaultKind`] enum values (cohorts are
+//!    `Vec<LaneFaultKind>`, dispatched by a monomorphized match — no
+//!    per-owner `Box<dyn …>` pointer chase; the boxed
+//!    [`faults::Fault::lane_form`] survives as the extensibility escape
+//!    hatch for external fault types), and sweeps execute in **packed
+//!    order** with one streaming permutation for probes and outcomes, so
+//!    shuffled populations sweep at generation-ordered speed. Coverage
+//!    sweeps ride this backend by default and keep the per-fault path as
+//!    the golden reference.
 //! 6. **Address-aware cohort packing** ([`batch::CohortPlanner`]) —
 //!    cohorts are packed so faults sharing involved addresses land in the
 //!    same walk dispatch, shrinking each cohort's merged step schedule on
@@ -137,7 +145,7 @@ pub mod prelude {
         simulate_fault, simulate_fault_on_walk, DetectionMode, FaultSimOutcome,
     };
     pub use crate::faultgen::{FaultGen, FaultPopulation};
-    pub use crate::faults::{standard_fault_list, Fault, LaneFault};
+    pub use crate::faults::{standard_fault_list, Fault, LaneFault, LaneFaultKind};
     pub use crate::library;
     pub use crate::memory::{GoodMemory, LaneMemory, MemoryModel};
     pub use crate::operation::MarchOp;

@@ -190,6 +190,26 @@ impl LaneMemory {
         let mut addresses: Vec<u32> = involved.iter().map(|a| a.value()).collect();
         addresses.sort_unstable();
         addresses.dedup();
+        Self::from_sorted_raw(capacity, addresses)
+    }
+
+    /// Like [`LaneMemory::new`], but for an `involved` set that is already
+    /// sorted and deduplicated — the cohort kernel holds exactly that
+    /// union and skips the redundant re-sort on every cohort dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an involved address is outside `0..capacity` or the set
+    /// is not strictly ascending.
+    pub fn from_sorted(capacity: u32, involved: &[Address]) -> Self {
+        assert!(
+            involved.windows(2).all(|pair| pair[0] < pair[1]),
+            "involved addresses must be strictly ascending"
+        );
+        Self::from_sorted_raw(capacity, involved.iter().map(|a| a.value()).collect())
+    }
+
+    fn from_sorted_raw(capacity: u32, addresses: Vec<u32>) -> Self {
         if let Some(&last) = addresses.last() {
             assert!(last < capacity, "involved address out of range");
         }
@@ -441,6 +461,20 @@ mod tests {
             memory.write_word_at(slot, true, 1 << 11);
             assert_eq!(memory.word(probe), u64::MAX);
         }
+    }
+
+    #[test]
+    fn from_sorted_matches_the_sorting_constructor() {
+        let involved = [Address::new(2), Address::new(9), Address::new(40)];
+        let via_new = LaneMemory::new(64, &involved);
+        let via_sorted = LaneMemory::from_sorted(64, &involved);
+        assert_eq!(via_new, via_sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn from_sorted_rejects_unsorted_sets() {
+        let _ = LaneMemory::from_sorted(8, &[Address::new(3), Address::new(1)]);
     }
 
     #[test]

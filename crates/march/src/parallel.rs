@@ -13,7 +13,7 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::OnceLock;
 use std::thread;
 
 /// Number of worker threads a sweep may use: the machine's available
@@ -90,7 +90,8 @@ const CHUNKS_PER_WORKER: usize = 8;
 /// items are split into more chunks than workers and a shared cursor
 /// hands chunks to whichever worker frees up first. Output order is
 /// still **input order** — per-chunk outputs are written into indexed
-/// slots and concatenated in chunk order at the end.
+/// write-once slots ([`OnceLock`], no mutex anywhere in the fan-out) and
+/// concatenated in chunk order at the end.
 ///
 /// This is the fan-out primitive for generated fault populations, whose
 /// cohorts have very uneven costs (64-lane cohorts that early-exit at
@@ -105,7 +106,7 @@ const CHUNKS_PER_WORKER: usize = 8;
 pub fn par_chunk_flat_map_balanced<T, R, F>(items: &[T], threads: usize, map_chunk: F) -> Vec<R>
 where
     T: Sync,
-    R: Send,
+    R: Send + Sync,
     F: Fn(&[T]) -> Vec<R> + Sync,
 {
     let workers = threads.clamp(1, items.len().max(1));
@@ -116,7 +117,10 @@ where
     let chunk_size = items.len().div_ceil(chunk_count);
     let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Vec<R>>> = chunks.iter().map(|_| Mutex::new(Vec::new())).collect();
+    // Each chunk's output slot is written exactly once, by the worker
+    // that claimed the chunk off the cursor — `OnceLock::set` is a plain
+    // atomic publish, so the whole fan-out is lock-free.
+    let slots: Vec<OnceLock<Vec<R>>> = chunks.iter().map(|_| OnceLock::new()).collect();
     thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -125,13 +129,15 @@ where
                     break;
                 };
                 let out = map_chunk(chunk);
-                *slots[claim].lock().expect("result slot poisoned") = out;
+                slots[claim]
+                    .set(out)
+                    .unwrap_or_else(|_| unreachable!("chunk claimed twice"));
             });
         }
     });
     let mut results = Vec::with_capacity(items.len());
     for slot in slots {
-        results.extend(slot.into_inner().expect("result slot poisoned"));
+        results.extend(slot.into_inner().expect("claimed chunks publish results"));
     }
     results
 }

@@ -217,6 +217,156 @@ fn randomized_populations_are_bit_identical_between_batched_and_golden() {
     }
 }
 
+/// The multiset of per-lane-cohort involved-address unions of a plan —
+/// the cohort "schedule" modulo cohort order. Two plans with equal union
+/// multisets dispatch identical merged step schedules, whichever faults
+/// happen to occupy which lane.
+fn cohort_union_multiset(plan: &FaultBatch, faults: &[FaultFactory]) -> Vec<Vec<u32>> {
+    let mut unions: Vec<Vec<u32>> = plan
+        .cohorts()
+        .iter()
+        .filter_map(|cohort| {
+            let Cohort::Lanes(indices) = cohort else {
+                return None;
+            };
+            let mut union: Vec<u32> = indices
+                .iter()
+                .flat_map(|&index| {
+                    faults[index]()
+                        .lane_kind()
+                        .expect("planned lane faults have kinds")
+                        .involved()
+                        .iter()
+                        .map(|address| address.value())
+                        .collect::<Vec<u32>>()
+                })
+                .collect();
+            union.sort_unstable();
+            union.dedup();
+            Some(union)
+        })
+        .collect();
+    unions.sort();
+    unions
+}
+
+/// Shuffled-permutation seeds: a generation-ordered population and a
+/// shuffled copy of the *same* population must produce identical
+/// per-fault outcomes (outcome `p` of the shuffled sweep equals outcome
+/// `perm[p]` of the ordered one, bit for bit) and the address-aware
+/// packer must plan identical packed schedules up to cohort order —
+/// shuffling is exactly one permutation, never extra work.
+#[test]
+fn shuffled_permutations_match_generation_order_bit_identically() {
+    for round in 0..12u64 {
+        let seed = 0x5AFF_1E00_0000_0000u64 | round;
+        let mut rng = SplitMix64::new(seed);
+        let rows = 4 + rng.next_below(13) as u32;
+        let cols = 4 + rng.next_below(13) as u32;
+        let organization = ArrayOrganization::new(rows, cols).expect("valid organization");
+        let population_seed = rng.next_u64();
+        let profile = rng.next_below(2);
+        let size = 40 + rng.next_below(260) as usize;
+        // Two bit-identical copies of the same population: FaultGen is
+        // deterministic in (organization, seed, profile).
+        let make = || {
+            let mut gen = FaultGen::new(organization, population_seed);
+            match profile {
+                0 => gen.mixed(size),
+                _ => gen.overlapping_clusters(size / 11 + 1, 2, 1),
+            }
+        };
+        let ordered = make();
+        let mut slots: Vec<Option<FaultFactory>> = make().into_iter().map(Some).collect();
+        let mut perm: Vec<usize> = (0..ordered.len()).collect();
+        rng.shuffle(&mut perm);
+        let shuffled: Vec<FaultFactory> = perm
+            .iter()
+            .map(|&index| slots[index].take().expect("perm is a permutation"))
+            .collect();
+
+        let tests = library::all_algorithms();
+        let test = tests[rng.next_below(tests.len() as u64) as usize].clone();
+        let background = rng.next_bool();
+        let tag = format!(
+            "seed {seed:#x} ({} faults on {rows}x{cols}, {}, profile {profile}, \
+             background {background})",
+            ordered.len(),
+            test.name(),
+        );
+
+        // Identical packed schedules up to cohort order: the clustered
+        // sort keys on involved-address signatures, not list positions,
+        // so the shuffled copy plans the same union multiset and the
+        // same total dispatch.
+        let walk = MarchWalk::new(&test, &WordLineAfterWordLine, &organization);
+        let plan_ordered = FaultBatch::plan_with(&walk, &ordered, CohortPlanner::AddressAware);
+        let plan_shuffled = FaultBatch::plan_with(&walk, &shuffled, CohortPlanner::AddressAware);
+        assert_eq!(
+            plan_ordered.merged_schedule_steps(),
+            plan_shuffled.merged_schedule_steps(),
+            "{tag}: shuffling must not change the packed dispatch total"
+        );
+        assert_eq!(
+            cohort_union_multiset(&plan_ordered, &ordered),
+            cohort_union_multiset(&plan_shuffled, &shuffled),
+            "{tag}: packed schedules must be identical up to cohort order"
+        );
+
+        // Identical per-fault outcomes, bit for bit, through every
+        // batched configuration — and against the per-fault golden path.
+        for mode in [DetectionMode::Full, DetectionMode::FirstMismatch] {
+            let options = |backend, parallel| SweepOptions {
+                background,
+                mode,
+                parallel,
+                backend,
+            };
+            let golden = evaluate_coverage_with(
+                &test,
+                &WordLineAfterWordLine,
+                &organization,
+                &ordered,
+                options(SweepBackend::PerFault, false),
+            );
+            for parallel in [false, true] {
+                let ordered_report = evaluate_coverage_with(
+                    &test,
+                    &WordLineAfterWordLine,
+                    &organization,
+                    &ordered,
+                    options(SweepBackend::LaneBatched, parallel),
+                );
+                assert_eq!(
+                    golden, ordered_report,
+                    "{tag} [{mode:?}, parallel={parallel}]"
+                );
+                let shuffled_report = evaluate_coverage_with(
+                    &test,
+                    &WordLineAfterWordLine,
+                    &organization,
+                    &shuffled,
+                    options(SweepBackend::LaneBatched, parallel),
+                );
+                assert_eq!(
+                    shuffled_report.total(),
+                    ordered_report.total(),
+                    "{tag} [{mode:?}, parallel={parallel}]"
+                );
+                for (position, outcome) in shuffled_report.outcomes().iter().enumerate() {
+                    assert_eq!(
+                        outcome,
+                        &ordered_report.outcomes()[perm[position]],
+                        "{tag} [{mode:?}, parallel={parallel}]: shuffled outcome {position} \
+                         must equal ordered outcome {}",
+                        perm[position]
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Degenerate-shape seeds: the smallest arrays and populations, where
 /// cohort planning edge cases (single fault, single lane, capacity 4)
 /// live.

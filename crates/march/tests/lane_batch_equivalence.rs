@@ -132,6 +132,51 @@ fn lane_detections_report_the_same_first_mismatch_as_the_full_walk() {
     }
 }
 
+/// The devirtualized kernel instantiation (`&mut [LaneFaultKind]`, match
+/// dispatch on inline enum data) must produce detections bit-identical to
+/// the boxed instantiation (`&mut [Box<dyn LaneFault>]`, the external
+/// escape hatch) for the same cohort — the two are the same algorithm
+/// monomorphized twice.
+#[test]
+fn enum_cohorts_and_boxed_cohorts_report_identical_detections() {
+    use march_test::faults::LaneFaultKind;
+
+    for organization in organizations() {
+        let faults = standard_fault_list(&organization);
+        for test in library::table1_algorithms() {
+            let walk = MarchWalk::new(&test, &WordLineAfterWordLine, &organization);
+            for background in [false, true] {
+                for mode in [DetectionMode::Full, DetectionMode::FirstMismatch] {
+                    let mut inline: Vec<LaneFaultKind> = faults
+                        .iter()
+                        .map(|factory| {
+                            factory()
+                                .lane_kind()
+                                .expect("standard faults have lane kinds")
+                        })
+                        .collect();
+                    let mut boxed: Vec<_> = faults
+                        .iter()
+                        .map(|factory| {
+                            factory()
+                                .lane_form()
+                                .expect("standard faults have lane forms")
+                        })
+                        .collect();
+                    let via_enum = run_march_lanes(&walk, &mut inline, background, mode);
+                    let via_boxed = run_march_lanes(&walk, &mut boxed, background, mode);
+                    assert_eq!(
+                        via_enum,
+                        via_boxed,
+                        "{} / background {background} / {mode:?}",
+                        test.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
 fn mixed_fault_list(organization: &ArrayOrganization, count: usize) -> Vec<FaultFactory> {
     let capacity = organization.capacity();
     assert!(count as u32 <= capacity, "one victim per fault");

@@ -64,7 +64,7 @@ fn every_fault_lands_in_exactly_one_lane_and_cohorts_cap_at_sixty_four() {
                 let mut seen: Vec<usize> = Vec::with_capacity(faults.len());
                 for cohort in plan.cohorts() {
                     match cohort {
-                        Cohort::Lanes(indices) => {
+                        Cohort::Lanes(indices) | Cohort::BoxedLanes(indices) => {
                             assert!(
                                 indices.len() <= LaneMemory::LANES,
                                 "seed {seed:#x} [{planner:?}]: cohort of {} lanes",
