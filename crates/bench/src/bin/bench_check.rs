@@ -15,6 +15,10 @@
 //! machines differ in raw speed, so only collapses are failures there).
 //! Every comparison is printed, so the CI log doubles as a throughput
 //! report.
+//!
+//! Exit codes: `0` when every pair passes, `1` when a gated metric
+//! regressed, `2` for a malformed command line, `3` when a benchmark
+//! file cannot be read.
 
 use bench::regression::{check_benchmarks, GateThresholds};
 
@@ -62,9 +66,9 @@ fn main() {
     let mut failed = false;
     for (baseline_path, current_path) in &pairs {
         let baseline = std::fs::read_to_string(baseline_path)
-            .unwrap_or_else(|e| die(&format!("read {baseline_path}: {e}")));
+            .unwrap_or_else(|e| die_io(&format!("read {baseline_path}: {e}")));
         let current = std::fs::read_to_string(current_path)
-            .unwrap_or_else(|e| die(&format!("read {current_path}: {e}")));
+            .unwrap_or_else(|e| die_io(&format!("read {current_path}: {e}")));
         let report = check_benchmarks(&baseline, &current, thresholds)
             .unwrap_or_else(|e| die(&format!("{baseline_path} vs {current_path}: {e}")));
 
@@ -104,4 +108,9 @@ fn main() {
 fn die(message: &str) -> ! {
     eprintln!("bench_check: {message}");
     std::process::exit(2);
+}
+
+fn die_io(message: &str) -> ! {
+    eprintln!("bench_check: {message}");
+    std::process::exit(3);
 }

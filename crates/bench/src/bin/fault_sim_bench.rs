@@ -7,7 +7,7 @@
 //! cargo run --release -p bench --bin fault_sim_bench -- --rows 16 --cols 16
 //! cargo run --release -p bench --bin fault_sim_bench -- --passes 5 --out custom.json
 //! cargo run --release -p bench --bin fault_sim_bench -- --dense-size 512x512 --dense-faults 50000
-//! cargo run --release -p bench --bin fault_sim_bench -- --no-dense
+//! cargo run --release -p bench --bin fault_sim_bench -- --no-dense --no-campaign
 //! ```
 //!
 //! The workload is the acceptance sweep of the kernel work: the standard
@@ -18,49 +18,67 @@
 //! implementation up to 256×256 (`baseline_skipped` beyond — see
 //! `bench::throughput::BASELINE_CELL_CAP`). The default sweep is the
 //! ROADMAP's 64×64 → 1024×1024 scaling ladder, followed by the dense
-//! section: a generated ≥100k-fault population vs. the standard list at
+//! section — a generated ≥100k-fault population vs. the standard list at
 //! 1024×1024 and the address-aware packer vs. the greedy planner on an
-//! overlap-heavy population (skip with `--no-dense`).
+//! overlap-heavy population (skip with `--no-dense`) — and the campaign
+//! section, the crash-safe campaign runner's jobs/sec against a direct
+//! per-job loop (skip with `--no-campaign`).
+//!
+//! Exit codes: `0` on success, `2` for a malformed command line, `3` when
+//! the output file cannot be written.
 
-use bench::cli::{arg_value, parse_size_list};
+use std::process::ExitCode;
+
+use bench::cli::{arg_value, parse_flag, parse_size_list, CliError};
 use bench::throughput::FaultSimSweep;
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(error) => {
+            eprintln!("fault_sim_bench: {error}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, CliError> {
     // `--rows`/`--cols` select a single organization (the pre-sweep CLI);
     // `--organization` takes the comma list.
-    let single = match (arg_value(&args, "--rows"), arg_value(&args, "--cols")) {
+    let single = match (arg_value(args, "--rows"), arg_value(args, "--cols")) {
         (None, None) => None,
-        (rows, cols) => Some((
-            rows.map_or(64, |v| v.parse().expect("--rows must be an integer")),
-            cols.map_or(64, |v| v.parse().expect("--cols must be an integer")),
+        _ => Some((
+            parse_flag(args, "--rows", 64u32)?,
+            parse_flag(args, "--cols", 64u32)?,
         )),
     };
-    let organizations = arg_value(&args, "--organization")
-        .map(|spec| parse_size_list(&spec))
-        .or(single.map(|size| vec![size]))
-        .unwrap_or_else(|| vec![(64, 64), (128, 128), (256, 256), (512, 512), (1024, 1024)]);
-    let passes: usize = arg_value(&args, "--passes")
-        .map(|v| v.parse().expect("--passes must be an integer"))
-        .unwrap_or(3);
-    let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_fault_sim.json".to_string());
+    let organizations = match arg_value(args, "--organization") {
+        Some(spec) => parse_size_list(&spec, "--organization")?,
+        None => single.map_or_else(
+            || vec![(64, 64), (128, 128), (256, 256), (512, 512), (1024, 1024)],
+            |size| vec![size],
+        ),
+    };
+    let passes: usize = parse_flag(args, "--passes", 3)?;
+    let out = arg_value(args, "--out").unwrap_or_else(|| "BENCH_fault_sim.json".to_string());
     let dense = if args.iter().any(|a| a == "--no-dense") {
         None
     } else {
-        let (dense_rows, dense_cols) = arg_value(&args, "--dense-size")
-            .map(|spec| parse_size_list(&spec)[0])
-            .unwrap_or((1024, 1024));
-        let dense_faults: usize = arg_value(&args, "--dense-faults")
-            .map(|v| v.parse().expect("--dense-faults must be an integer"))
-            .unwrap_or(100_000);
+        let (dense_rows, dense_cols) = match arg_value(args, "--dense-size") {
+            Some(spec) => parse_size_list(&spec, "--dense-size")?[0],
+            None => (1024, 1024),
+        };
+        let dense_faults: usize = parse_flag(args, "--dense-faults", 100_000)?;
         Some((dense_rows, dense_cols, dense_faults))
     };
+    let campaign = !args.iter().any(|a| a == "--no-campaign");
 
     println!(
         "# Fault-simulation sweep throughput ({} organizations, {passes} passes per variant)",
         organizations.len()
     );
-    let sweep = FaultSimSweep::measure_with_dense(&organizations, passes, dense);
+    let sweep = FaultSimSweep::measure_full(&organizations, passes, dense, campaign);
     for result in &sweep.sizes {
         println!(
             "{}x{}: {} algorithms x {} faults, {} threads",
@@ -141,6 +159,27 @@ fn main() {
         );
     }
 
-    std::fs::write(&out, sweep.to_json()).expect("write benchmark JSON");
+    if let Some(section) = &sweep.campaign {
+        println!("campaign section ({} jobs):", section.jobs);
+        println!(
+            "  direct per-job loop (no journal):          {:>12.1} jobs/sec",
+            section.direct_jobs_per_sec
+        );
+        println!(
+            "  journaled campaign (1 thread):             {:>12.1} jobs/sec   ({:.2}x vs direct)",
+            section.campaign_jobs_per_sec,
+            section.speedup_campaign_vs_direct()
+        );
+        println!(
+            "  journaled campaign ({} worker threads):     {:>12.1} jobs/sec",
+            section.threads, section.campaign_parallel_jobs_per_sec
+        );
+    }
+
+    if let Err(error) = std::fs::write(&out, sweep.to_json()) {
+        eprintln!("fault_sim_bench: cannot write {out}: {error}");
+        return Ok(ExitCode::from(3));
+    }
     println!("wrote {out}");
+    Ok(ExitCode::SUCCESS)
 }

@@ -16,19 +16,33 @@
 //! row-replay kernel is asserted bit-identical to the full simulation at
 //! every size, and to the seed replica wherever the replica still runs.
 //! The default sweep is the ROADMAP's 64×64 → 1024×1024 scaling ladder.
+//!
+//! Exit codes: `0` on success, `2` for a malformed command line, `3` when
+//! the output file cannot be written.
 
-use bench::cli::{arg_value, parse_size_list};
+use std::process::ExitCode;
+
+use bench::cli::{arg_value, parse_flag, parse_size_list, CliError};
 use bench::power_engine::power_engine_throughput;
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let sizes = arg_value(&args, "--sizes")
-        .map(|spec| parse_size_list(&spec))
-        .unwrap_or_else(|| vec![(64, 64), (128, 128), (256, 256), (512, 512), (1024, 1024)]);
-    let passes: usize = arg_value(&args, "--passes")
-        .map(|v| v.parse().expect("--passes must be an integer"))
-        .unwrap_or(1);
-    let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_power_engine.json".to_string());
+    match run(&args) {
+        Ok(code) => code,
+        Err(error) => {
+            eprintln!("power_engine_bench: {error}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, CliError> {
+    let sizes = match arg_value(args, "--sizes") {
+        Some(spec) => parse_size_list(&spec, "--sizes")?,
+        None => vec![(64, 64), (128, 128), (256, 256), (512, 512), (1024, 1024)],
+    };
+    let passes: usize = parse_flag(args, "--passes", 1)?;
+    let out = arg_value(args, "--out").unwrap_or_else(|| "BENCH_power_engine.json".to_string());
 
     println!(
         "# Power-engine throughput ({} organizations, {passes} pass(es) per variant)",
@@ -67,6 +81,10 @@ fn main() {
         );
     }
 
-    std::fs::write(&out, result.to_json()).expect("write benchmark JSON");
+    if let Err(error) = std::fs::write(&out, result.to_json()) {
+        eprintln!("power_engine_bench: cannot write {out}: {error}");
+        return Ok(ExitCode::from(3));
+    }
     println!("wrote {out}");
+    Ok(ExitCode::SUCCESS)
 }

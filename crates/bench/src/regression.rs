@@ -668,6 +668,105 @@ mod tests {
             .any(|f| f.contains("dense: section missing")));
     }
 
+    /// A committed fault-sim baseline carrying the campaign-runner
+    /// overhead section.
+    fn campaign_baseline() -> String {
+        r#"{
+  "benchmark": "fault_sim_sweep",
+  "threads": 4,
+  "sizes": [
+    { "rows": 64, "cols": 64,
+      "kernel_serial_faults_per_sec": 110000.0,
+      "batched_faults_per_sec": 900000.0,
+      "speedup_batched_vs_kernel": 8.2 }
+  ],
+  "campaign": {
+    "jobs": 20,
+    "threads": 4,
+    "direct_jobs_per_sec": 120.0,
+    "campaign_jobs_per_sec": 114.0,
+    "campaign_parallel_jobs_per_sec": 390.0,
+    "speedup_campaign_vs_direct": 0.95
+  }
+}"#
+        .to_string()
+    }
+
+    #[test]
+    fn campaign_section_gates_and_identical_files_pass() {
+        let report = check_benchmarks(
+            &campaign_baseline(),
+            &campaign_baseline(),
+            GateThresholds::default(),
+        )
+        .unwrap();
+        assert!(report.passed(), "{:?}", report.failures);
+        // Gated: 3 per-size metrics + the campaign section's three
+        // jobs/sec rates and its overhead ratio. `jobs`/`threads` counts
+        // carry no gate suffix.
+        assert_eq!(report.comparisons.len(), 7);
+        assert!(report
+            .comparisons
+            .iter()
+            .any(|c| c.metric == "campaign speedup_campaign_vs_direct"));
+        assert!(report
+            .comparisons
+            .iter()
+            .any(|c| c.metric == "campaign campaign_jobs_per_sec"));
+    }
+
+    #[test]
+    fn regressed_campaign_overhead_ratio_fails_the_gate() {
+        // Crash-safety overhead ballooning (the journaled campaign
+        // dropping to 60% of the direct loop) must fail the 25%
+        // machine-relative gate — that is the regression the section
+        // exists to catch.
+        let current = campaign_baseline().replace(
+            "\"speedup_campaign_vs_direct\": 0.95",
+            "\"speedup_campaign_vs_direct\": 0.6",
+        );
+        let report =
+            check_benchmarks(&campaign_baseline(), &current, GateThresholds::default()).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("campaign speedup_campaign_vs_direct"));
+    }
+
+    #[test]
+    fn collapsed_campaign_throughput_fails_the_absolute_gate() {
+        // A 60% collapse of the parallel campaign rate (a worker pool
+        // that stopped scaling) exceeds the 50% absolute allowance.
+        let current = campaign_baseline().replace(
+            "\"campaign_parallel_jobs_per_sec\": 390.0",
+            "\"campaign_parallel_jobs_per_sec\": 156.0",
+        );
+        let report =
+            check_benchmarks(&campaign_baseline(), &current, GateThresholds::default()).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("campaign campaign_parallel_jobs_per_sec"));
+    }
+
+    #[test]
+    fn missing_campaign_section_fails_the_gate() {
+        let current = r#"{
+  "benchmark": "fault_sim_sweep",
+  "sizes": [
+    { "rows": 64, "cols": 64,
+      "kernel_serial_faults_per_sec": 110000.0,
+      "batched_faults_per_sec": 900000.0,
+      "speedup_batched_vs_kernel": 8.2 }
+  ]
+}"#;
+        let report =
+            check_benchmarks(&campaign_baseline(), current, GateThresholds::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("campaign: section missing")));
+    }
+
     #[test]
     fn unknown_nested_sections_without_gated_fields_are_tolerated() {
         // A committed annotation object (no gated metrics inside) absent

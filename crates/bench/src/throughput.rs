@@ -666,6 +666,175 @@ pub fn dense_sweep(rows: u32, cols: u32, fault_count: usize, passes: usize) -> D
     }
 }
 
+/// The campaign-runner overhead section: the same fixed job list timed
+/// three ways.
+///
+/// * **direct** — [`campaign::run_job`] in a plain loop: the raw per-job
+///   path, no journal, no worker pool. The overhead-free reference.
+/// * **campaign (1 thread)** — [`campaign::run_campaign`] end to end:
+///   journal creation, per-job append + flush, export assembly. The
+///   ratio against direct (`speedup_campaign_vs_direct`) is
+///   machine-relative and carries the tight CI gate: crash-safety is
+///   supposed to cost file appends, not throughput.
+/// * **campaign (max threads)** — the same campaign with the worker pool
+///   fanned across cores; gated only as an absolute rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignBenchSection {
+    /// Jobs in the fixed benchmark plan.
+    pub jobs: usize,
+    /// Worker threads available to the parallel variant.
+    pub threads: usize,
+    /// Jobs per second through the direct `run_job` loop.
+    pub direct_jobs_per_sec: f64,
+    /// Jobs per second through a single-threaded journaled campaign.
+    pub campaign_jobs_per_sec: f64,
+    /// Jobs per second through a max-thread journaled campaign.
+    pub campaign_parallel_jobs_per_sec: f64,
+}
+
+impl CampaignBenchSection {
+    /// Single-threaded campaign throughput relative to the direct loop —
+    /// machine-relative; near `1.0` means the journal and worker pool are
+    /// effectively free at per-job granularity.
+    pub fn speedup_campaign_vs_direct(&self) -> f64 {
+        self.campaign_jobs_per_sec / self.direct_jobs_per_sec
+    }
+
+    /// Renders the section as the `campaign` member of the sweep JSON.
+    fn to_json_entry(&self) -> String {
+        let fields = [
+            format!("\"jobs\": {}", self.jobs),
+            format!("\"threads\": {}", self.threads),
+            format!("\"direct_jobs_per_sec\": {:.1}", self.direct_jobs_per_sec),
+            format!(
+                "\"campaign_jobs_per_sec\": {:.1}",
+                self.campaign_jobs_per_sec
+            ),
+            format!(
+                "\"campaign_parallel_jobs_per_sec\": {:.1}",
+                self.campaign_parallel_jobs_per_sec
+            ),
+            format!(
+                "\"speedup_campaign_vs_direct\": {:.3}",
+                self.speedup_campaign_vs_direct()
+            ),
+        ];
+        format!("  {{\n    {}\n  }}", fields.join(",\n    "))
+    }
+}
+
+/// The fixed campaign benchmark plan: 64×64, four seeds × the paper's
+/// Table 1 algorithms, word-line order, a generated mixed population big
+/// enough that each job is sweep-dominated (so the gated ratio measures
+/// journal overhead against real work, not against nothing).
+fn campaign_bench_plan() -> campaign::CampaignPlan {
+    let algorithms: Vec<String> = library::table1_algorithms()
+        .iter()
+        .map(|test| test.name().to_string())
+        .collect();
+    campaign::CampaignPlan::cross(
+        64,
+        64,
+        &[1, 2, 3, 4],
+        &algorithms,
+        &["word line after word line".to_string()],
+        &[false],
+        SweepBackend::LaneBatched,
+        campaign::PopulationSpec::Mixed { count: 2048 },
+    )
+}
+
+/// Measures the campaign-runner overhead section.
+///
+/// Before any timing, the single-threaded campaign's export digests are
+/// asserted identical to the direct loop's — the same determinism
+/// contract the fault-injection suite pins, re-checked here so the bench
+/// never times two variants that silently diverged.
+///
+/// # Panics
+///
+/// Panics if any job fails, any campaign run errors, or the campaign
+/// export diverges from the direct results.
+pub fn campaign_bench(passes: usize) -> CampaignBenchSection {
+    use campaign::{run_campaign, run_job, CampaignOptions, FaultInjector, Shard};
+
+    let plan = campaign_bench_plan();
+    let journal =
+        std::env::temp_dir().join(format!("campaign-bench-{}.journal", std::process::id()));
+    let options = |threads: usize| CampaignOptions {
+        threads,
+        resume: false,
+        ..CampaignOptions::default()
+    };
+
+    // Equivalence gate: the journaled campaign must reproduce the direct
+    // loop job for job.
+    let direct: Vec<_> = plan
+        .jobs
+        .iter()
+        .map(|spec| run_job(spec).expect("direct job"))
+        .collect();
+    let summary = run_campaign(
+        &plan,
+        Shard::whole(),
+        &journal,
+        &options(1),
+        &FaultInjector::none(),
+    )
+    .expect("campaign run");
+    assert!(
+        summary.poisoned.is_empty(),
+        "benchmark jobs must not poison"
+    );
+    for (outcome, reference) in summary.export.outcomes.iter().zip(&direct) {
+        assert_eq!(
+            outcome.result, *reference,
+            "campaign job {} diverged from the direct loop",
+            outcome.job
+        );
+    }
+
+    // The gated metric is the campaign-vs-direct *ratio*, so the
+    // variants rotate inside one measurement span (see [`time_rotation`])
+    // — a burst of runner interference lands on all three near-equally
+    // instead of corrupting whichever disjoint window it hits.
+    let jobs = plan.len();
+    let run = |threads: usize| {
+        run_campaign(
+            &plan,
+            Shard::whole(),
+            &journal,
+            &options(threads),
+            &FaultInjector::none(),
+        )
+        .expect("campaign run");
+    };
+    let mut direct_pass = || {
+        for spec in &plan.jobs {
+            run_job(spec).expect("direct job");
+        }
+    };
+    let mut serial_pass = || run(1);
+    let mut parallel_pass = || run(max_threads());
+    let timings = time_rotation(
+        passes,
+        &mut [
+            (jobs, &mut direct_pass),
+            (jobs, &mut serial_pass),
+            (jobs, &mut parallel_pass),
+        ],
+    );
+    std::fs::remove_file(&journal).ok();
+
+    CampaignBenchSection {
+        jobs,
+        threads: max_threads(),
+        direct_jobs_per_sec: timings[0].faults_per_sec,
+        campaign_jobs_per_sec: timings[1].faults_per_sec,
+        campaign_parallel_jobs_per_sec: timings[2].faults_per_sec,
+    }
+}
+
 /// The `--organization` sweep: one [`FaultSimThroughput`] per array size,
 /// 64×64 up to 1024×1024 by default (the frozen baseline replica runs up
 /// to 256×256; larger entries gate on the batched-vs-kernel speedup),
@@ -676,6 +845,8 @@ pub struct FaultSimSweep {
     pub sizes: Vec<FaultSimThroughput>,
     /// The dense-population section, when measured.
     pub dense: Option<DenseSweepSection>,
+    /// The campaign-runner overhead section, when measured.
+    pub campaign: Option<CampaignBenchSection>,
 }
 
 impl FaultSimSweep {
@@ -702,6 +873,23 @@ impl FaultSimSweep {
         passes: usize,
         dense: Option<(u32, u32, usize)>,
     ) -> Self {
+        Self::measure_full(organizations, passes, dense, false)
+    }
+
+    /// Measures the size sweep plus the optional dense and
+    /// campaign-overhead sections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any organization is invalid or any equivalence gate
+    /// fails (see [`fault_sim_throughput`], [`dense_sweep`] and
+    /// [`campaign_bench`]).
+    pub fn measure_full(
+        organizations: &[(u32, u32)],
+        passes: usize,
+        dense: Option<(u32, u32, usize)>,
+        campaign: bool,
+    ) -> Self {
         // The dense section runs first, on a pristine heap: the size
         // ladder cycles gigabytes of walk arrays, and the fragmented
         // address space it leaves behind measurably slows the
@@ -709,12 +897,17 @@ impl FaultSimSweep {
         // unaffected, which would skew the gated ratio).
         let dense =
             dense.map(|(rows, cols, fault_count)| dense_sweep(rows, cols, fault_count, passes));
+        // The campaign section's gated metric is a ratio between two
+        // variants timed back to back, so heap state cancels; it runs
+        // second, still ahead of the allocation-heavy size ladder.
+        let campaign = campaign.then(|| campaign_bench(passes));
         Self {
             sizes: organizations
                 .iter()
                 .map(|&(rows, cols)| fault_sim_throughput(rows, cols, passes))
                 .collect(),
             dense,
+            campaign,
         }
     }
 
@@ -742,9 +935,14 @@ impl FaultSimSweep {
             .as_ref()
             .map(|section| format!(",\n  \"dense\":\n{}", section.to_json_entry()))
             .unwrap_or_default();
+        let campaign = self
+            .campaign
+            .as_ref()
+            .map(|section| format!(",\n  \"campaign\":\n{}", section.to_json_entry()))
+            .unwrap_or_default();
         format!(
             "{{\n  \"benchmark\": \"fault_sim_sweep\",\n  \"algorithms\": [{algorithms}],\n  \
-             \"passes\": {},\n  \"threads\": {},\n  \"sizes\": [\n{entries}\n  ]{dense}\n}}\n",
+             \"passes\": {},\n  \"threads\": {},\n  \"sizes\": [\n{entries}\n  ]{dense}{campaign}\n}}\n",
             first.map_or(0, |s| s.passes),
             first.map_or(0, |s| s.threads),
         )
@@ -1018,6 +1216,7 @@ mod tests {
         let sweep = FaultSimSweep {
             sizes: vec![],
             dense: Some(section),
+            campaign: None,
         };
         let json = sweep.to_json();
         assert!(json.contains("\"dense\":"));
@@ -1039,9 +1238,42 @@ mod tests {
     fn sweep_json_omits_the_dense_section_when_not_measured() {
         let sweep = FaultSimSweep::measure(&[(4, 8)], 1);
         assert!(sweep.dense.is_none());
+        assert!(sweep.campaign.is_none());
         let json = sweep.to_json();
         assert!(!json.contains("\"dense\""));
+        assert!(!json.contains("\"campaign\""));
         crate::json::parse(&json).expect("sweep JSON parses");
+    }
+
+    #[test]
+    fn campaign_section_renders_its_gated_fields() {
+        let section = CampaignBenchSection {
+            jobs: 20,
+            threads: 4,
+            direct_jobs_per_sec: 100.0,
+            campaign_jobs_per_sec: 95.0,
+            campaign_parallel_jobs_per_sec: 310.0,
+        };
+        assert!((section.speedup_campaign_vs_direct() - 0.95).abs() < 1e-12);
+        let sweep = FaultSimSweep {
+            sizes: vec![],
+            dense: None,
+            campaign: Some(section),
+        };
+        let json = sweep.to_json();
+        assert!(json.contains("\"campaign\":"));
+        assert!(json.contains("\"direct_jobs_per_sec\": 100.0"));
+        assert!(json.contains("\"campaign_jobs_per_sec\": 95.0"));
+        assert!(json.contains("\"campaign_parallel_jobs_per_sec\": 310.0"));
+        assert!(json.contains("\"speedup_campaign_vs_direct\": 0.950"));
+        crate::json::parse(&json).expect("sweep JSON parses");
+    }
+
+    #[test]
+    fn campaign_bench_plan_is_fixed_and_valid() {
+        let plan = campaign_bench_plan();
+        assert_eq!(plan.len(), 20, "4 seeds x the Table 1 five");
+        plan.validate().expect("the benchmark plan must be valid");
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Typed campaign failures.
+//!
+//! Everything that can stop a campaign — a malformed plan, an unreadable
+//! journal, a digest disagreement between the journal on disk and the plan
+//! being resumed — is a [`CampaignError`] variant with enough context to
+//! act on. Errors are `Clone + PartialEq` (I/O errors are carried as
+//! rendered strings) so tests can assert on exact failure shapes and the
+//! CLI can map variants onto distinct exit codes.
+
+/// A campaign-level failure: the run could not start, could not continue,
+/// or found its on-disk state inconsistent with the plan.
+///
+/// Per-*job* failures (a panicking fault model, a rejected population
+/// spec) are **not** errors of this type: they are journaled, retried and
+/// eventually quarantined as poison without stopping the campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The plan holds no jobs (or the shard owns none of them).
+    EmptyPlan,
+    /// A job specification failed validation before execution.
+    InvalidJob {
+        /// Index of the offending job in the plan.
+        job: u32,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An I/O operation on the journal or export failed.
+    Io {
+        /// What was being done, e.g. `"create journal"`.
+        context: String,
+        /// The rendered `std::io::Error`.
+        error: String,
+    },
+    /// The journal (or an export) is structurally corrupt beyond the
+    /// recoverable torn-tail case: bad header magic, impossible record
+    /// length, or two completed records for one job that disagree.
+    Corrupt {
+        /// Byte offset of the offending structure.
+        offset: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The journal being resumed was written by a different plan: its
+    /// header digest does not match the plan digest.
+    PlanMismatch {
+        /// Digest of the plan being resumed.
+        expected: u64,
+        /// Digest found in the journal header.
+        found: u64,
+    },
+    /// A deterministic fault injection aborted the run (simulated crash).
+    /// Only the [`crate::faultpoint`] harness produces this variant.
+    Injected {
+        /// Name of the injection point that fired.
+        point: String,
+    },
+    /// Exports could not be merged: overlapping shards, missing jobs, or
+    /// mismatched plans.
+    MergeConflict {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl CampaignError {
+    /// Wraps an I/O error with its context.
+    pub fn io(context: impl Into<String>, error: &std::io::Error) -> Self {
+        Self::Io {
+            context: context.into(),
+            error: error.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyPlan => write!(f, "the campaign plan holds no jobs for this shard"),
+            Self::InvalidJob { job, reason } => write!(f, "job {job} is invalid: {reason}"),
+            Self::Io { context, error } => write!(f, "{context}: {error}"),
+            Self::Corrupt { offset, reason } => {
+                write!(f, "corrupt journal at byte {offset}: {reason}")
+            }
+            Self::PlanMismatch { expected, found } => write!(
+                f,
+                "journal belongs to a different plan (digest {found:#018x}, expected {expected:#018x})"
+            ),
+            Self::Injected { point } => write!(f, "fault injection aborted the run at {point}"),
+            Self::MergeConflict { reason } => write!(f, "cannot merge exports: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_actionable_messages() {
+        let io = CampaignError::io(
+            "create journal",
+            &std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        );
+        assert!(io.to_string().contains("create journal"));
+        let mismatch = CampaignError::PlanMismatch {
+            expected: 0x1,
+            found: 0x2,
+        };
+        assert!(mismatch.to_string().contains("different plan"));
+        assert_eq!(mismatch.clone(), mismatch);
+    }
+}

@@ -1,0 +1,289 @@
+//! Deterministic fault injection — the harness that *proves* crash
+//! safety.
+//!
+//! A [`FaultInjector`] carries a list of [`Injection`]s, each naming one
+//! failure mode at one deterministic point (a job index, an attempt
+//! number, a journal record ordinal). The runner and journal consult the
+//! injector at the matching points; with [`FaultInjector::none`] every
+//! check is a no-op, so production campaigns pay one branch per site.
+//!
+//! The injected failures are *real*: a worker kill is a genuine panic
+//! unwinding out of the job closure, a lane-model panic detonates inside
+//! `run_march_lanes` via a wrapped [`LaneFault`], a torn write leaves a
+//! genuinely half-written record on disk. The differential tests then
+//! assert that resuming after each of them reproduces the uninterrupted
+//! campaign byte for byte.
+
+use march_test::faults::{Fault, FaultFactory, FaultKind, LaneFault};
+use march_test::memory::{GoodMemory, LaneMemory};
+use sram_model::address::Address;
+
+/// One deterministic failure to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injection {
+    /// Panic at the start of `job` for its first `attempts` attempts —
+    /// a worker dying mid-job. With `attempts >= max_attempts` this is
+    /// the poison-exhaustion scenario.
+    KillWorker {
+        /// Plan index of the job to kill.
+        job: u32,
+        /// How many attempts die before the job is allowed to succeed.
+        attempts: u8,
+    },
+    /// Panic *inside the lane-batched kernel* while sweeping `job`, for
+    /// its first `attempts` attempts: the job's fault models are wrapped
+    /// so the first lane read detonates.
+    LaneModelPanic {
+        /// Plan index of the job whose models detonate.
+        job: u32,
+        /// How many attempts detonate before the job is allowed to
+        /// succeed.
+        attempts: u8,
+    },
+    /// Write only the first half of journal record ordinal `record`
+    /// (0-based count of records appended across the campaign), then
+    /// abort the run — a crash mid-`write(2)`.
+    TornJournalWrite {
+        /// Ordinal of the record to tear.
+        record: u64,
+    },
+    /// Flip one bit of byte `byte` of journal record ordinal `record` as
+    /// it is written, then abort the run — tail corruption that the
+    /// checksum must catch on resume.
+    FlipJournalByte {
+        /// Ordinal of the record to corrupt.
+        record: u64,
+        /// Byte offset within the record (0..63) to flip.
+        byte: usize,
+    },
+    /// Abort the run after `count` journal records have been appended —
+    /// a clean SIGKILL between two jobs.
+    AbortAfterRecords {
+        /// Number of records after which the run stops.
+        count: u64,
+    },
+}
+
+/// What the journal should do with the record it is about to write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalAction {
+    /// Write the record normally.
+    Normal,
+    /// Write only the first half, then abort the run.
+    Torn,
+    /// Flip one bit of the given byte, write the full record, then abort
+    /// the run.
+    Flip(usize),
+}
+
+/// A set of armed injections, consulted at each failure point.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    injections: Vec<Injection>,
+}
+
+impl FaultInjector {
+    /// No injections: every check is a no-op.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Arms `injections`.
+    pub fn new(injections: Vec<Injection>) -> Self {
+        Self { injections }
+    }
+
+    /// Panics — killing the calling worker's current job — when a
+    /// [`Injection::KillWorker`] matches `(job, attempt)`. Called at the
+    /// top of job execution, inside the runner's `catch_unwind`.
+    pub fn check_worker_kill(&self, job: u32, attempt: u8) {
+        for injection in &self.injections {
+            if let Injection::KillWorker {
+                job: target,
+                attempts,
+            } = injection
+            {
+                if *target == job && attempt <= *attempts {
+                    panic!("faultpoint: worker killed on job {job} attempt {attempt}");
+                }
+            }
+        }
+    }
+
+    /// `true` when a [`Injection::LaneModelPanic`] matches `(job,
+    /// attempt)` and the job's fault models should be wrapped to
+    /// detonate.
+    pub fn lane_panic_armed(&self, job: u32, attempt: u8) -> bool {
+        self.injections.iter().any(|injection| {
+            matches!(injection, Injection::LaneModelPanic { job: target, attempts }
+                if *target == job && attempt <= *attempts)
+        })
+    }
+
+    /// The journal's directive for record ordinal `record`.
+    pub fn journal_action(&self, record: u64) -> JournalAction {
+        for injection in &self.injections {
+            match injection {
+                Injection::TornJournalWrite { record: target } if *target == record => {
+                    return JournalAction::Torn;
+                }
+                Injection::FlipJournalByte {
+                    record: target,
+                    byte,
+                } if *target == record => {
+                    return JournalAction::Flip(*byte);
+                }
+                _ => {}
+            }
+        }
+        JournalAction::Normal
+    }
+
+    /// `true` when the run should abort after `records_written` records
+    /// ([`Injection::AbortAfterRecords`]).
+    pub fn should_abort(&self, records_written: u64) -> bool {
+        self.injections.iter().any(|injection| {
+            matches!(injection, Injection::AbortAfterRecords { count }
+                if records_written >= *count)
+        })
+    }
+}
+
+/// Wraps every factory so the produced faults detonate in the lane
+/// kernel: the wrapped fault behaves identically until its first lane
+/// read, which panics. Used by the runner when
+/// [`FaultInjector::lane_panic_armed`] fires.
+pub fn detonate_factories(factories: Vec<FaultFactory>) -> Vec<FaultFactory> {
+    factories
+        .into_iter()
+        .map(|factory| -> FaultFactory {
+            Box::new(move || Box::new(DetonatingFault { inner: factory() }))
+        })
+        .collect()
+}
+
+/// A fault whose lane form panics on its first lane read.
+#[derive(Debug)]
+struct DetonatingFault {
+    inner: Box<dyn Fault>,
+}
+
+impl Fault for DetonatingFault {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn kind(&self) -> FaultKind {
+        self.inner.kind()
+    }
+
+    fn write(&mut self, memory: &mut GoodMemory, address: Address, value: bool) {
+        self.inner.write(memory, address, value);
+    }
+
+    fn read(&mut self, _memory: &mut GoodMemory, address: Address) -> bool {
+        panic!("faultpoint: fault model panicked reading {address:?}");
+    }
+
+    fn involved_addresses(&self) -> Option<Vec<Address>> {
+        self.inner.involved_addresses()
+    }
+
+    fn lane_form(&self) -> Option<Box<dyn LaneFault>> {
+        self.inner
+            .lane_form()
+            .map(|inner| Box::new(DetonatingLaneFault { inner }) as Box<dyn LaneFault>)
+    }
+}
+
+/// The lane form of [`DetonatingFault`]: panics inside
+/// `run_march_lanes` at the first read touching its lane.
+#[derive(Debug)]
+struct DetonatingLaneFault {
+    inner: Box<dyn LaneFault>,
+}
+
+impl LaneFault for DetonatingLaneFault {
+    fn involved(&self) -> Vec<Address> {
+        self.inner.involved()
+    }
+
+    fn lane_write(&mut self, memory: &mut LaneMemory, lane: u32, address: Address, value: bool) {
+        self.inner.lane_write(memory, lane, address, value);
+    }
+
+    fn lane_read(
+        &mut self,
+        _memory: &mut LaneMemory,
+        lane: u32,
+        address: Address,
+        _sensed_before: bool,
+    ) -> bool {
+        panic!("faultpoint: lane model panicked on lane {lane} at {address:?}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injections_match_only_their_own_coordinates() {
+        let injector = FaultInjector::new(vec![
+            Injection::KillWorker {
+                job: 3,
+                attempts: 2,
+            },
+            Injection::LaneModelPanic {
+                job: 5,
+                attempts: 1,
+            },
+            Injection::TornJournalWrite { record: 7 },
+            Injection::FlipJournalByte {
+                record: 9,
+                byte: 60,
+            },
+            Injection::AbortAfterRecords { count: 11 },
+        ]);
+        // Worker kill: attempts 1 and 2 die, attempt 3 survives; other
+        // jobs are untouched.
+        assert!(std::panic::catch_unwind(|| injector.check_worker_kill(3, 1)).is_err());
+        assert!(std::panic::catch_unwind(|| injector.check_worker_kill(3, 2)).is_err());
+        assert!(std::panic::catch_unwind(|| injector.check_worker_kill(3, 3)).is_ok());
+        assert!(std::panic::catch_unwind(|| injector.check_worker_kill(4, 1)).is_ok());
+        // Lane panic arming.
+        assert!(injector.lane_panic_armed(5, 1));
+        assert!(!injector.lane_panic_armed(5, 2));
+        assert!(!injector.lane_panic_armed(6, 1));
+        // Journal directives.
+        assert_eq!(injector.journal_action(7), JournalAction::Torn);
+        assert_eq!(injector.journal_action(9), JournalAction::Flip(60));
+        assert_eq!(injector.journal_action(8), JournalAction::Normal);
+        // Abort threshold.
+        assert!(!injector.should_abort(10));
+        assert!(injector.should_abort(11));
+        assert!(injector.should_abort(12));
+        // The empty injector never fires.
+        let none = FaultInjector::none();
+        assert!(std::panic::catch_unwind(|| none.check_worker_kill(0, 1)).is_ok());
+        assert_eq!(none.journal_action(0), JournalAction::Normal);
+        assert!(!none.should_abort(u64::MAX));
+    }
+
+    #[test]
+    fn detonating_factories_panic_in_the_fault_model_read_path() {
+        use march_test::faults::StuckAtFault;
+        let factories: Vec<FaultFactory> = vec![Box::new(|| {
+            Box::new(StuckAtFault::new(Address::new(0), true))
+        })];
+        let wrapped = detonate_factories(factories);
+        let mut fault = wrapped[0]();
+        assert_eq!(fault.kind(), FaultKind::StuckAt);
+        assert!(fault.lane_form().is_some(), "lane form must be preserved");
+        let mut memory = GoodMemory::new(8);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fault.read(&mut memory, Address::new(0))
+        }));
+        assert!(caught.is_err(), "wrapped read must panic");
+    }
+}

@@ -1,0 +1,499 @@
+//! The append-only campaign journal.
+//!
+//! Fixed-width binary records, one per job attempt outcome, each carrying
+//! its own FNV-1a checksum — no serde, no variable-length framing, so a
+//! reader can always tell a whole record from a torn one by arithmetic
+//! alone. See `crates/campaign/README.md` for the wire layout.
+//!
+//! Crash-safety contract:
+//!
+//! * **Appends are atomic-or-torn.** A record is 64 bytes; a crash leaves
+//!   either the whole record or a prefix of it. Replay
+//!   ([`Journal::open_resume`]) verifies magic + checksum per record and
+//!   **truncates** the file at the first record that fails either test —
+//!   a torn or corrupted tail costs at most the jobs it described, never
+//!   the journal.
+//! * **The header pins the plan.** The plan digest is written at create
+//!   time; resume refuses a journal whose digest disagrees
+//!   ([`CampaignError::PlanMismatch`]) instead of silently mixing results
+//!   from two different plans.
+//! * **Duplicates are benign, disagreements are not.** Replaying two
+//!   identical completed records for one job keeps the first; two
+//!   *different* results for one job means the journal lies and replay
+//!   fails with [`CampaignError::Corrupt`].
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use march_test::rng::Fnv1a;
+
+use crate::error::CampaignError;
+use crate::faultpoint::{FaultInjector, JournalAction};
+
+/// Journal header magic: `b"SRAMCAMP"`.
+pub const JOURNAL_MAGIC: [u8; 8] = *b"SRAMCAMP";
+/// Journal format version.
+pub const JOURNAL_VERSION: u32 = 1;
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 32;
+/// Record length in bytes.
+pub const RECORD_LEN: usize = 64;
+/// Record magic (little-endian `b"CJR1"`).
+pub const RECORD_MAGIC: u32 = u32::from_le_bytes(*b"CJR1");
+/// Bytes of a record covered by the checksum (everything before it).
+const CHECKSUM_AT: usize = RECORD_LEN - 8;
+/// Capacity of the failure-message payload field.
+const MESSAGE_CAP: usize = CHECKSUM_AT - 12;
+
+/// The deterministic result of one completed job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobResult {
+    /// Faults detected by the sweep.
+    pub detected: u32,
+    /// Faults in the population.
+    pub total: u32,
+    /// Total mismatching reads across the sweep.
+    pub mismatches: u64,
+    /// [`march_test::coverage::CoverageReport::digest`] of the report.
+    pub digest: u64,
+}
+
+/// One journal record: the outcome of one attempt at one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// The job finished; its result is final.
+    Completed {
+        /// Plan index of the job.
+        job: u32,
+        /// Attempt number (1-based) that succeeded.
+        attempt: u8,
+        /// The sweep result.
+        result: JobResult,
+    },
+    /// One attempt failed (panic or rejected configuration); the job may
+    /// be retried.
+    Failed {
+        /// Plan index of the job.
+        job: u32,
+        /// Attempt number (1-based) that failed.
+        attempt: u8,
+        /// The panic payload or error message (truncated to fit).
+        message: String,
+    },
+    /// The job exhausted its attempts and is quarantined.
+    Poisoned {
+        /// Plan index of the job.
+        job: u32,
+        /// The final attempt number.
+        attempt: u8,
+        /// The last failure message (truncated to fit).
+        message: String,
+    },
+}
+
+impl JournalRecord {
+    /// Plan index of the job this record describes.
+    pub fn job(&self) -> u32 {
+        match self {
+            Self::Completed { job, .. } | Self::Failed { job, .. } | Self::Poisoned { job, .. } => {
+                *job
+            }
+        }
+    }
+
+    fn kind_byte(&self) -> u8 {
+        match self {
+            Self::Completed { .. } => 1,
+            Self::Failed { .. } => 2,
+            Self::Poisoned { .. } => 3,
+        }
+    }
+
+    /// Encodes the record into its 64-byte wire form.
+    pub fn encode(&self) -> [u8; RECORD_LEN] {
+        let mut bytes = [0u8; RECORD_LEN];
+        bytes[0..4].copy_from_slice(&RECORD_MAGIC.to_le_bytes());
+        bytes[4] = self.kind_byte();
+        let (attempt, job) = match self {
+            Self::Completed { job, attempt, .. }
+            | Self::Failed { job, attempt, .. }
+            | Self::Poisoned { job, attempt, .. } => (*attempt, *job),
+        };
+        bytes[5] = attempt;
+        // bytes 6..8: flags, reserved as zero.
+        bytes[8..12].copy_from_slice(&job.to_le_bytes());
+        match self {
+            Self::Completed { result, .. } => {
+                bytes[12..16].copy_from_slice(&result.detected.to_le_bytes());
+                bytes[16..20].copy_from_slice(&result.total.to_le_bytes());
+                bytes[20..28].copy_from_slice(&result.mismatches.to_le_bytes());
+                bytes[28..36].copy_from_slice(&result.digest.to_le_bytes());
+            }
+            Self::Failed { message, .. } | Self::Poisoned { message, .. } => {
+                let truncated = truncate_to_char_boundary(message, MESSAGE_CAP);
+                bytes[12..12 + truncated.len()].copy_from_slice(truncated.as_bytes());
+            }
+        }
+        let checksum = Fnv1a::hash(&bytes[..CHECKSUM_AT]);
+        bytes[CHECKSUM_AT..].copy_from_slice(&checksum.to_le_bytes());
+        bytes
+    }
+
+    /// Decodes a 64-byte record, returning `None` when the magic, the
+    /// checksum or the kind byte is wrong — the "treat as torn tail"
+    /// signal for replay.
+    pub fn decode(bytes: &[u8; RECORD_LEN]) -> Option<Self> {
+        if u32::from_le_bytes(bytes[0..4].try_into().unwrap()) != RECORD_MAGIC {
+            return None;
+        }
+        let stored = u64::from_le_bytes(bytes[CHECKSUM_AT..].try_into().unwrap());
+        if Fnv1a::hash(&bytes[..CHECKSUM_AT]) != stored {
+            return None;
+        }
+        let attempt = bytes[5];
+        let job = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        match bytes[4] {
+            1 => Some(Self::Completed {
+                job,
+                attempt,
+                result: JobResult {
+                    detected: u32::from_le_bytes(bytes[12..16].try_into().unwrap()),
+                    total: u32::from_le_bytes(bytes[16..20].try_into().unwrap()),
+                    mismatches: u64::from_le_bytes(bytes[20..28].try_into().unwrap()),
+                    digest: u64::from_le_bytes(bytes[28..36].try_into().unwrap()),
+                },
+            }),
+            kind @ (2 | 3) => {
+                let payload = &bytes[12..CHECKSUM_AT];
+                let len = payload
+                    .iter()
+                    .position(|&b| b == 0)
+                    .unwrap_or(payload.len());
+                let message = String::from_utf8_lossy(&payload[..len]).into_owned();
+                Some(if kind == 2 {
+                    Self::Failed {
+                        job,
+                        attempt,
+                        message,
+                    }
+                } else {
+                    Self::Poisoned {
+                        job,
+                        attempt,
+                        message,
+                    }
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Truncates `message` to at most `cap` bytes on a char boundary.
+fn truncate_to_char_boundary(message: &str, cap: usize) -> &str {
+    if message.len() <= cap {
+        return message;
+    }
+    let mut end = cap;
+    while !message.is_char_boundary(end) {
+        end -= 1;
+    }
+    &message[..end]
+}
+
+/// What replaying a journal established about past progress.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Replay {
+    /// Final results of completed jobs.
+    pub completed: BTreeMap<u32, JobResult>,
+    /// Attempts already burned per still-incomplete job, with the last
+    /// failure message.
+    pub failed_attempts: BTreeMap<u32, (u8, String)>,
+    /// Jobs already quarantined, with their final failure message.
+    pub poisoned: BTreeMap<u32, String>,
+    /// Whole records successfully replayed.
+    pub records: u64,
+    /// Bytes discarded from the torn/corrupt tail (0 for a clean file).
+    pub truncated_bytes: u64,
+}
+
+/// An open campaign journal: an append handle plus the replayed state.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    records_written: u64,
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path` (truncating any existing file)
+    /// and writes its header.
+    pub fn create(path: &Path, job_count: u32, plan_digest: u64) -> Result<Self, CampaignError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|error| CampaignError::io(format!("create journal {path:?}"), &error))?;
+        let mut header = [0u8; HEADER_LEN];
+        header[0..8].copy_from_slice(&JOURNAL_MAGIC);
+        header[8..12].copy_from_slice(&JOURNAL_VERSION.to_le_bytes());
+        header[12..16].copy_from_slice(&(RECORD_LEN as u32).to_le_bytes());
+        header[16..20].copy_from_slice(&job_count.to_le_bytes());
+        // bytes 20..24 reserved.
+        header[24..32].copy_from_slice(&plan_digest.to_le_bytes());
+        file.write_all(&header)
+            .and_then(|()| file.flush())
+            .map_err(|error| CampaignError::io("write journal header", &error))?;
+        Ok(Self {
+            file,
+            records_written: 0,
+        })
+    }
+
+    /// Opens an existing journal for resume: validates the header against
+    /// the plan, replays every whole valid record, and truncates the file
+    /// at the first torn or corrupt one.
+    pub fn open_resume(
+        path: &Path,
+        job_count: u32,
+        plan_digest: u64,
+    ) -> Result<(Self, Replay), CampaignError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|error| CampaignError::io(format!("open journal {path:?}"), &error))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|error| CampaignError::io("read journal", &error))?;
+        if bytes.len() < HEADER_LEN {
+            return Err(CampaignError::Corrupt {
+                offset: 0,
+                reason: format!("header needs {HEADER_LEN} bytes, file has {}", bytes.len()),
+            });
+        }
+        if bytes[0..8] != JOURNAL_MAGIC {
+            return Err(CampaignError::Corrupt {
+                offset: 0,
+                reason: "bad journal magic".to_string(),
+            });
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != JOURNAL_VERSION {
+            return Err(CampaignError::Corrupt {
+                offset: 8,
+                reason: format!("unsupported journal version {version}"),
+            });
+        }
+        let record_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        if record_len as usize != RECORD_LEN {
+            return Err(CampaignError::Corrupt {
+                offset: 12,
+                reason: format!("unsupported record length {record_len}"),
+            });
+        }
+        let header_jobs = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+        let header_digest = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+        if header_digest != plan_digest || header_jobs != job_count {
+            return Err(CampaignError::PlanMismatch {
+                expected: plan_digest,
+                found: header_digest,
+            });
+        }
+
+        let mut replay = Replay::default();
+        let mut offset = HEADER_LEN;
+        while offset + RECORD_LEN <= bytes.len() {
+            let chunk: &[u8; RECORD_LEN] = bytes[offset..offset + RECORD_LEN].try_into().unwrap();
+            let Some(record) = JournalRecord::decode(chunk) else {
+                break; // torn or corrupt: truncate here, discard the rest
+            };
+            Self::replay_record(&mut replay, record, offset as u64)?;
+            replay.records += 1;
+            offset += RECORD_LEN;
+        }
+        replay.truncated_bytes = (bytes.len() - offset) as u64;
+        file.set_len(offset as u64)
+            .and_then(|_| file.seek(SeekFrom::Start(offset as u64)))
+            .map_err(|error| CampaignError::io("truncate journal tail", &error))?;
+        Ok((
+            Self {
+                file,
+                records_written: replay.records,
+            },
+            replay,
+        ))
+    }
+
+    /// Folds one replayed record into the progress state.
+    fn replay_record(
+        replay: &mut Replay,
+        record: JournalRecord,
+        offset: u64,
+    ) -> Result<(), CampaignError> {
+        match record {
+            JournalRecord::Completed { job, result, .. } => {
+                if let Some(existing) = replay.completed.get(&job) {
+                    if *existing != result {
+                        return Err(CampaignError::Corrupt {
+                            offset,
+                            reason: format!(
+                                "job {job} has two completed records with different results"
+                            ),
+                        });
+                    }
+                    // Identical duplicate (re-dispatched then resumed
+                    // twice): first record wins, nothing to do.
+                } else {
+                    replay.completed.insert(job, result);
+                    replay.failed_attempts.remove(&job);
+                }
+            }
+            JournalRecord::Failed {
+                job,
+                attempt,
+                message,
+            } => {
+                if !replay.completed.contains_key(&job) {
+                    let entry = replay
+                        .failed_attempts
+                        .entry(job)
+                        .or_insert((0, String::new()));
+                    entry.0 = entry.0.max(attempt);
+                    entry.1 = message;
+                }
+            }
+            JournalRecord::Poisoned { job, message, .. } => {
+                replay.poisoned.insert(job, message);
+                replay.failed_attempts.remove(&job);
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of records appended (including replayed ones).
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+
+    /// Appends one record, honouring the injector's directive for this
+    /// record ordinal: a torn write stores only the first half and
+    /// aborts; a byte flip corrupts the stored copy and aborts — both
+    /// simulate dying mid-append with the in-memory state lost.
+    pub fn append(
+        &mut self,
+        record: &JournalRecord,
+        injector: &FaultInjector,
+    ) -> Result<(), CampaignError> {
+        let mut bytes = record.encode();
+        let ordinal = self.records_written;
+        match injector.journal_action(ordinal) {
+            JournalAction::Normal => {
+                self.file
+                    .write_all(&bytes)
+                    .and_then(|()| self.file.flush())
+                    .map_err(|error| CampaignError::io("append journal record", &error))?;
+                self.records_written += 1;
+                Ok(())
+            }
+            JournalAction::Torn => {
+                self.file
+                    .write_all(&bytes[..RECORD_LEN / 2])
+                    .and_then(|()| self.file.flush())
+                    .map_err(|error| CampaignError::io("append journal record", &error))?;
+                Err(CampaignError::Injected {
+                    point: format!("torn journal write at record {ordinal}"),
+                })
+            }
+            JournalAction::Flip(byte) => {
+                let index = byte.min(RECORD_LEN - 1);
+                bytes[index] ^= 0x01;
+                self.file
+                    .write_all(&bytes)
+                    .and_then(|()| self.file.flush())
+                    .map_err(|error| CampaignError::io("append journal record", &error))?;
+                Err(CampaignError::Injected {
+                    point: format!("flipped byte {index} of record {ordinal}"),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(seed: u64) -> JobResult {
+        JobResult {
+            detected: seed as u32,
+            total: seed as u32 + 10,
+            mismatches: seed * 3,
+            digest: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_the_wire_form() {
+        let records = [
+            JournalRecord::Completed {
+                job: 7,
+                attempt: 2,
+                result: result(42),
+            },
+            JournalRecord::Failed {
+                job: 3,
+                attempt: 1,
+                message: "sweep panicked: boom".to_string(),
+            },
+            JournalRecord::Poisoned {
+                job: 9,
+                attempt: 3,
+                message: "faultpoint: worker killed".to_string(),
+            },
+        ];
+        for record in &records {
+            let bytes = record.encode();
+            assert_eq!(bytes.len(), RECORD_LEN);
+            assert_eq!(JournalRecord::decode(&bytes).as_ref(), Some(record));
+        }
+    }
+
+    #[test]
+    fn long_and_multibyte_messages_truncate_safely() {
+        let long = "é".repeat(200);
+        let record = JournalRecord::Failed {
+            job: 0,
+            attempt: 1,
+            message: long.clone(),
+        };
+        let decoded = JournalRecord::decode(&record.encode()).expect("valid record");
+        let JournalRecord::Failed { message, .. } = decoded else {
+            panic!("kind must survive");
+        };
+        assert!(message.len() <= MESSAGE_CAP);
+        assert!(long.starts_with(&message));
+    }
+
+    #[test]
+    fn any_flipped_bit_invalidates_the_record() {
+        let record = JournalRecord::Completed {
+            job: 1,
+            attempt: 1,
+            result: result(5),
+        };
+        let clean = record.encode();
+        for byte in [0, 4, 5, 8, 12, 30, CHECKSUM_AT, RECORD_LEN - 1] {
+            let mut corrupt = clean;
+            corrupt[byte] ^= 0x10;
+            assert_eq!(
+                JournalRecord::decode(&corrupt),
+                None,
+                "flip at byte {byte} must be caught"
+            );
+        }
+    }
+}

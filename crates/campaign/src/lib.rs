@@ -1,0 +1,56 @@
+//! Crash-safe campaign runner for March fault-simulation sweeps.
+//!
+//! The ROADMAP's "millions of devices" story needs sweeps that run for
+//! hours across processes and machines — which is only useful if the
+//! layer *survives*: worker panics, SIGKILL mid-run, torn journal writes,
+//! corrupted tail records. This crate is that layer, built
+//! robustness-first on top of the `march-test` kernel:
+//!
+//! * [`spec`] — campaign plans: ordered job lists
+//!   (`organization × seed × algorithm × order × background × backend ×
+//!   population`), digest-pinned so a resumed journal can prove it
+//!   belongs to the plan being run, validated up-front so a typo fails in
+//!   milliseconds instead of poisoning jobs one retry at a time.
+//! * [`shard`] — round-robin shard planning: `index/count` splits one
+//!   plan across independent processes, each with its own journal and
+//!   partial export; [`output::merge_exports`] recombines them.
+//! * [`runner`] — the panic-isolated worker pool: every job attempt runs
+//!   inside `catch_unwind`, failures are journaled and retried with
+//!   bounded backoff, and jobs that exhaust their attempts are
+//!   quarantined as *poison* with the panic payload recorded.
+//! * [`journal`] — the append-only binary journal: fixed-width 64-byte
+//!   records, per-record FNV-1a checksum, no serde (the build is
+//!   offline). Resume replays the journal, truncates any torn or corrupt
+//!   tail, skips completed jobs and re-dispatches the rest.
+//! * [`output`] — deterministic exports: per-job results sorted by plan
+//!   index with a whole-file digest, byte-identical across thread counts
+//!   and interrupt/resume cycles.
+//! * [`faultpoint`] — the deterministic fault-injection harness that
+//!   *proves* the above: worker kills, lane-model panics inside the
+//!   batched kernel, torn journal writes, flipped bytes and
+//!   abort-after-N-records, each at exact (job, attempt) or record
+//!   coordinates. The integration tests interrupt a campaign at every
+//!   injection point, resume it, and require the export to match the
+//!   uninterrupted run byte for byte.
+//!
+//! The `campaign_run` binary drives all of this from the command line;
+//! see `crates/campaign/README.md` for the journal wire format, resume
+//! semantics and the poison-quarantine policy.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod faultpoint;
+pub mod journal;
+pub mod output;
+pub mod runner;
+pub mod shard;
+pub mod spec;
+
+pub use error::CampaignError;
+pub use faultpoint::{FaultInjector, Injection};
+pub use journal::{JobResult, Journal, JournalRecord, Replay};
+pub use output::{merge_exports, Export, JobOutcome, JobStatus};
+pub use runner::{run_campaign, run_job, CampaignOptions, CampaignSummary};
+pub use shard::Shard;
+pub use spec::{CampaignPlan, JobSpec, PopulationSpec};

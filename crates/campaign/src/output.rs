@@ -1,0 +1,283 @@
+//! Deterministic campaign exports.
+//!
+//! An export is the campaign's *answer*: one fixed-width record per job,
+//! sorted by job index, plus a trailing digest over the whole byte
+//! stream. Because each job's result is deterministic and the records are
+//! emitted in plan order, the export is **byte-identical** across thread
+//! counts and across interrupt/resume cycles — which is exactly what the
+//! differential tests and the CI kill-and-resume smoke job compare.
+//!
+//! Sharded campaigns produce one partial export each;
+//! [`merge_exports`] recombines them, refusing overlaps, gaps and
+//! cross-plan mixes.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use march_test::rng::Fnv1a;
+
+use crate::error::CampaignError;
+use crate::journal::JobResult;
+
+/// Export header magic: `b"SRAMCOUT"`.
+pub const EXPORT_MAGIC: [u8; 8] = *b"SRAMCOUT";
+/// Export format version.
+pub const EXPORT_VERSION: u32 = 1;
+/// Export header length in bytes.
+pub const EXPORT_HEADER_LEN: usize = 32;
+/// Export record length in bytes.
+pub const EXPORT_RECORD_LEN: usize = 32;
+
+/// Terminal status of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The job completed with a result.
+    Completed,
+    /// The job exhausted its attempts and was quarantined.
+    Poisoned,
+}
+
+/// One job's line in the export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// Plan index of the job.
+    pub job: u32,
+    /// Whether the job completed or was poisoned.
+    pub status: JobStatus,
+    /// The result for completed jobs; all-zero for poisoned ones (so the
+    /// export stays deterministic regardless of *how* a job failed).
+    pub result: JobResult,
+}
+
+/// A decoded export: the plan identity plus per-job outcomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Export {
+    /// Digest of the plan the outcomes belong to.
+    pub plan_digest: u64,
+    /// Total jobs in the plan (not just in this shard's export).
+    pub total_jobs: u32,
+    /// The outcomes, sorted by job index.
+    pub outcomes: Vec<JobOutcome>,
+}
+
+impl Export {
+    /// Builds an export, sorting outcomes by job index.
+    pub fn new(plan_digest: u64, total_jobs: u32, mut outcomes: Vec<JobOutcome>) -> Self {
+        outcomes.sort_by_key(|outcome| outcome.job);
+        Self {
+            plan_digest,
+            total_jobs,
+            outcomes,
+        }
+    }
+
+    /// Encodes the export into its byte form (header, sorted records,
+    /// trailing digest).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut bytes =
+            Vec::with_capacity(EXPORT_HEADER_LEN + self.outcomes.len() * EXPORT_RECORD_LEN + 8);
+        bytes.extend_from_slice(&EXPORT_MAGIC);
+        bytes.extend_from_slice(&EXPORT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(self.outcomes.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&self.total_jobs.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 4]); // reserved
+        bytes.extend_from_slice(&self.plan_digest.to_le_bytes());
+        debug_assert_eq!(bytes.len(), EXPORT_HEADER_LEN);
+        for outcome in &self.outcomes {
+            bytes.extend_from_slice(&outcome.job.to_le_bytes());
+            bytes.push(match outcome.status {
+                JobStatus::Completed => 1,
+                JobStatus::Poisoned => 3,
+            });
+            bytes.extend_from_slice(&[0u8; 3]); // pad
+            bytes.extend_from_slice(&outcome.result.detected.to_le_bytes());
+            bytes.extend_from_slice(&outcome.result.total.to_le_bytes());
+            bytes.extend_from_slice(&outcome.result.mismatches.to_le_bytes());
+            bytes.extend_from_slice(&outcome.result.digest.to_le_bytes());
+        }
+        let digest = Fnv1a::hash(&bytes);
+        bytes.extend_from_slice(&digest.to_le_bytes());
+        bytes
+    }
+
+    /// Decodes an export, verifying the magic, version and trailing
+    /// digest.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CampaignError> {
+        if bytes.len() < EXPORT_HEADER_LEN + 8 {
+            return Err(CampaignError::Corrupt {
+                offset: 0,
+                reason: format!("export too short ({} bytes)", bytes.len()),
+            });
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+        if Fnv1a::hash(body) != stored {
+            return Err(CampaignError::Corrupt {
+                offset: body.len() as u64,
+                reason: "export digest mismatch".to_string(),
+            });
+        }
+        if body[0..8] != EXPORT_MAGIC {
+            return Err(CampaignError::Corrupt {
+                offset: 0,
+                reason: "bad export magic".to_string(),
+            });
+        }
+        let version = u32::from_le_bytes(body[8..12].try_into().unwrap());
+        if version != EXPORT_VERSION {
+            return Err(CampaignError::Corrupt {
+                offset: 8,
+                reason: format!("unsupported export version {version}"),
+            });
+        }
+        let count = u32::from_le_bytes(body[12..16].try_into().unwrap()) as usize;
+        let total_jobs = u32::from_le_bytes(body[16..20].try_into().unwrap());
+        let plan_digest = u64::from_le_bytes(body[24..32].try_into().unwrap());
+        if body.len() != EXPORT_HEADER_LEN + count * EXPORT_RECORD_LEN {
+            return Err(CampaignError::Corrupt {
+                offset: 12,
+                reason: format!("export length does not match {count} records"),
+            });
+        }
+        let mut outcomes = Vec::with_capacity(count);
+        for index in 0..count {
+            let at = EXPORT_HEADER_LEN + index * EXPORT_RECORD_LEN;
+            let record = &body[at..at + EXPORT_RECORD_LEN];
+            let status = match record[4] {
+                1 => JobStatus::Completed,
+                3 => JobStatus::Poisoned,
+                other => {
+                    return Err(CampaignError::Corrupt {
+                        offset: at as u64 + 4,
+                        reason: format!("unknown job status {other}"),
+                    });
+                }
+            };
+            outcomes.push(JobOutcome {
+                job: u32::from_le_bytes(record[0..4].try_into().unwrap()),
+                status,
+                result: JobResult {
+                    detected: u32::from_le_bytes(record[8..12].try_into().unwrap()),
+                    total: u32::from_le_bytes(record[12..16].try_into().unwrap()),
+                    mismatches: u64::from_le_bytes(record[16..24].try_into().unwrap()),
+                    digest: u64::from_le_bytes(record[24..32].try_into().unwrap()),
+                },
+            });
+        }
+        Ok(Self {
+            plan_digest,
+            total_jobs,
+            outcomes,
+        })
+    }
+
+    /// Writes the export to `path`.
+    pub fn write(&self, path: &Path) -> Result<(), CampaignError> {
+        std::fs::write(path, self.to_bytes())
+            .map_err(|error| CampaignError::io(format!("write export {path:?}"), &error))
+    }
+
+    /// Reads an export from `path`.
+    pub fn read(path: &Path) -> Result<Self, CampaignError> {
+        let bytes = std::fs::read(path)
+            .map_err(|error| CampaignError::io(format!("read export {path:?}"), &error))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// Merges shard exports into one full export covering every job exactly
+/// once. Refuses mixed plans, duplicate jobs and missing jobs.
+pub fn merge_exports(parts: &[Export]) -> Result<Export, CampaignError> {
+    let Some(first) = parts.first() else {
+        return Err(CampaignError::MergeConflict {
+            reason: "no exports to merge".to_string(),
+        });
+    };
+    let mut merged: BTreeMap<u32, JobOutcome> = BTreeMap::new();
+    for part in parts {
+        if part.plan_digest != first.plan_digest || part.total_jobs != first.total_jobs {
+            return Err(CampaignError::MergeConflict {
+                reason: "exports belong to different plans".to_string(),
+            });
+        }
+        for outcome in &part.outcomes {
+            if merged.insert(outcome.job, *outcome).is_some() {
+                return Err(CampaignError::MergeConflict {
+                    reason: format!("job {} appears in two exports", outcome.job),
+                });
+            }
+        }
+    }
+    if merged.len() != first.total_jobs as usize {
+        return Err(CampaignError::MergeConflict {
+            reason: format!(
+                "merged exports cover {} of {} jobs",
+                merged.len(),
+                first.total_jobs
+            ),
+        });
+    }
+    Ok(Export::new(
+        first.plan_digest,
+        first.total_jobs,
+        merged.into_values().collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(job: u32) -> JobOutcome {
+        JobOutcome {
+            job,
+            status: JobStatus::Completed,
+            result: JobResult {
+                detected: job,
+                total: job + 5,
+                mismatches: u64::from(job) * 7,
+                digest: u64::from(job).wrapping_mul(0xABCD),
+            },
+        }
+    }
+
+    #[test]
+    fn exports_round_trip_and_sort_by_job() {
+        let export = Export::new(0xFEED, 3, vec![outcome(2), outcome(0), outcome(1)]);
+        assert_eq!(export.outcomes[0].job, 0);
+        let decoded = Export::from_bytes(&export.to_bytes()).expect("round trip");
+        assert_eq!(decoded, export);
+    }
+
+    #[test]
+    fn corrupt_exports_are_rejected() {
+        let export = Export::new(0xFEED, 1, vec![outcome(0)]);
+        let mut bytes = export.to_bytes();
+        bytes[EXPORT_HEADER_LEN + 9] ^= 1;
+        match Export::from_bytes(&bytes) {
+            Err(CampaignError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("digest"));
+            }
+            other => panic!("expected digest mismatch, got {other:?}"),
+        }
+        assert!(Export::from_bytes(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn merge_requires_exactly_one_record_per_job() {
+        let a = Export::new(1, 4, vec![outcome(0), outcome(2)]);
+        let b = Export::new(1, 4, vec![outcome(1), outcome(3)]);
+        let merged = merge_exports(&[a.clone(), b.clone()]).expect("disjoint shards merge");
+        assert_eq!(merged.outcomes.len(), 4);
+        assert_eq!(
+            merged.to_bytes(),
+            Export::new(1, 4, (0..4).map(outcome).collect()).to_bytes()
+        );
+        // Overlap, gap, plan mix and the empty list are all conflicts.
+        assert!(merge_exports(&[a.clone(), a.clone()]).is_err());
+        assert!(merge_exports(std::slice::from_ref(&a)).is_err());
+        let other_plan = Export::new(2, 4, vec![outcome(1), outcome(3)]);
+        assert!(merge_exports(&[a, other_plan]).is_err());
+        assert!(merge_exports(&[]).is_err());
+    }
+}

@@ -1,0 +1,391 @@
+//! The panic-isolated campaign worker pool.
+//!
+//! [`run_campaign`] drains a shard's job queue across scoped worker
+//! threads. Each job executes inside `catch_unwind`, so a panicking fault
+//! model (or an injected worker kill) costs *one attempt at one job* —
+//! the worker survives, journals a failure record, re-enqueues the job
+//! with bounded backoff, and quarantines it as poison after
+//! [`CampaignOptions::max_attempts`] attempts with the panic payload
+//! recorded.
+//!
+//! Determinism contract: a job's result depends only on its
+//! [`crate::spec::JobSpec`] — never on scheduling — and the export is
+//! assembled from per-job results sorted by plan index. An interrupted
+//! and resumed campaign therefore produces an export byte-identical to an
+//! uninterrupted one, at any thread count; the fault-injection tests pin
+//! exactly that.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Duration;
+
+use march_test::address_order::order_by_name;
+use march_test::coverage::{evaluate_coverage_caught, panic_message, SweepOptions};
+use march_test::fault_sim::DetectionMode;
+use march_test::library::algorithm_by_name;
+use march_test::parallel::max_threads;
+use sram_model::config::ArrayOrganization;
+
+use crate::error::CampaignError;
+use crate::faultpoint::{detonate_factories, FaultInjector};
+use crate::journal::{JobResult, Journal, JournalRecord, Replay};
+use crate::output::{Export, JobOutcome, JobStatus};
+use crate::shard::Shard;
+use crate::spec::{CampaignPlan, JobSpec};
+
+/// Tuning knobs of a campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Worker threads draining the job queue.
+    pub threads: usize,
+    /// Attempts per job before it is quarantined as poison (≥ 1).
+    pub max_attempts: u8,
+    /// Base retry backoff: attempt `n + 1` waits `backoff × n` before
+    /// re-executing (bounded by `max_attempts`).
+    pub backoff: Duration,
+    /// Resume from an existing journal instead of starting fresh. A
+    /// missing journal file falls back to a fresh start.
+    pub resume: bool,
+    /// Debug: sleep this long at the start of every job (lets the CI
+    /// smoke test kill a campaign reliably mid-run). Does not affect
+    /// results.
+    pub job_delay: Duration,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        Self {
+            threads: max_threads(),
+            max_attempts: 3,
+            backoff: Duration::from_millis(10),
+            resume: false,
+            job_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// What a campaign run did and produced.
+#[derive(Debug, Clone)]
+pub struct CampaignSummary {
+    /// The deterministic per-job outcomes (every owned job, sorted).
+    pub export: Export,
+    /// Jobs executed to completion by *this* invocation.
+    pub executed: usize,
+    /// Jobs skipped because the resumed journal already completed them.
+    pub skipped: usize,
+    /// Retry attempts dispatched by this invocation.
+    pub retries: usize,
+    /// Quarantined jobs (plan indices), from this run and the journal.
+    pub poisoned: Vec<u32>,
+}
+
+/// Runs (or resumes) one shard of a campaign, journaling per-job results
+/// to `journal_path`.
+///
+/// Fails fast on an invalid plan, an unreadable or mismatched journal, or
+/// an injected abort; per-job failures are retried and quarantined, not
+/// returned as errors.
+pub fn run_campaign(
+    plan: &CampaignPlan,
+    shard: Shard,
+    journal_path: &Path,
+    options: &CampaignOptions,
+    injector: &FaultInjector,
+) -> Result<CampaignSummary, CampaignError> {
+    plan.validate()?;
+    let owned = shard.jobs(plan.len() as u32);
+    if owned.is_empty() {
+        return Err(CampaignError::EmptyPlan);
+    }
+    let digest = plan.digest();
+    let (mut journal, replay) = if options.resume && journal_path.exists() {
+        Journal::open_resume(journal_path, plan.len() as u32, digest)?
+    } else {
+        (
+            Journal::create(journal_path, plan.len() as u32, digest)?,
+            Replay::default(),
+        )
+    };
+
+    let results = replay.completed;
+    let mut poisoned = replay.poisoned;
+    let skipped = results.len();
+    let mut pending = VecDeque::new();
+    for &job in &owned {
+        if results.contains_key(&job) || poisoned.contains_key(&job) {
+            continue;
+        }
+        let (used, last_message) = replay
+            .failed_attempts
+            .get(&job)
+            .cloned()
+            .unwrap_or((0, String::new()));
+        if used >= options.max_attempts {
+            // The journal burned every attempt but died before writing
+            // the poison record: quarantine now.
+            journal.append(
+                &JournalRecord::Poisoned {
+                    job,
+                    attempt: used,
+                    message: last_message.clone(),
+                },
+                injector,
+            )?;
+            poisoned.insert(job, last_message);
+        } else {
+            pending.push_back((job, used + 1));
+        }
+    }
+
+    let shared = Shared {
+        queue: Mutex::new(pending),
+        journal: Mutex::new(journal),
+        results: Mutex::new(results),
+        poisoned: Mutex::new(poisoned),
+        in_flight: AtomicUsize::new(0),
+        abort: Mutex::new(None),
+        abort_flag: AtomicBool::new(false),
+        executed: AtomicUsize::new(0),
+        retries: AtomicUsize::new(0),
+    };
+    let workers = options
+        .threads
+        .clamp(1, shared.queue.lock().expect("queue lock").len().max(1));
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| worker_loop(plan, options, injector, &shared));
+        }
+    });
+    if let Some(error) = shared.abort.lock().expect("abort lock").take() {
+        return Err(error);
+    }
+
+    let results = shared.results.into_inner().expect("results lock");
+    let poisoned = shared.poisoned.into_inner().expect("poisoned lock");
+    let outcomes = owned
+        .iter()
+        .map(|&job| {
+            if let Some(result) = results.get(&job) {
+                Ok(JobOutcome {
+                    job,
+                    status: JobStatus::Completed,
+                    result: *result,
+                })
+            } else if poisoned.contains_key(&job) {
+                Ok(JobOutcome {
+                    job,
+                    status: JobStatus::Poisoned,
+                    // All-zero result: the export must not depend on
+                    // which attempt's message happened to be last.
+                    result: JobResult {
+                        detected: 0,
+                        total: 0,
+                        mismatches: 0,
+                        digest: 0,
+                    },
+                })
+            } else {
+                Err(CampaignError::Corrupt {
+                    offset: 0,
+                    reason: format!("job {job} finished the run unaccounted"),
+                })
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(CampaignSummary {
+        export: Export::new(digest, plan.len() as u32, outcomes),
+        executed: shared.executed.load(Ordering::Relaxed),
+        skipped,
+        retries: shared.retries.load(Ordering::Relaxed),
+        poisoned: poisoned.keys().copied().collect(),
+    })
+}
+
+/// State shared by the worker pool.
+struct Shared {
+    queue: Mutex<VecDeque<(u32, u8)>>,
+    journal: Mutex<Journal>,
+    results: Mutex<BTreeMap<u32, JobResult>>,
+    poisoned: Mutex<BTreeMap<u32, String>>,
+    in_flight: AtomicUsize,
+    abort: Mutex<Option<CampaignError>>,
+    abort_flag: AtomicBool,
+    executed: AtomicUsize,
+    retries: AtomicUsize,
+}
+
+/// One worker: drain the queue until it is empty *and* nothing is in
+/// flight (an in-flight job may fail and re-enqueue itself).
+fn worker_loop(
+    plan: &CampaignPlan,
+    options: &CampaignOptions,
+    injector: &FaultInjector,
+    shared: &Shared,
+) {
+    loop {
+        if shared.abort_flag.load(Ordering::SeqCst) {
+            return;
+        }
+        let next = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            let next = queue.pop_front();
+            if next.is_some() {
+                shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            }
+            next
+        };
+        let Some((job, attempt)) = next else {
+            if shared.in_flight.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            thread::sleep(Duration::from_millis(1));
+            continue;
+        };
+        if attempt > 1 {
+            // Bounded backoff: linear in the attempt number, capped by
+            // max_attempts.
+            thread::sleep(options.backoff * u32::from(attempt - 1));
+        }
+        let spec = &plan.jobs[job as usize];
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            execute_job(spec, job, attempt, options.job_delay, injector)
+        }));
+        // A panic anywhere in the job — fault model, kernel, injected
+        // worker kill — collapses to a failure message; the worker
+        // itself survives.
+        let outcome: Result<JobResult, String> = match outcome {
+            Ok(Ok(result)) => Ok(result),
+            Ok(Err(message)) => Err(message),
+            Err(payload) => Err(panic_message(&*payload)),
+        };
+        let appended = {
+            let mut journal = shared.journal.lock().expect("journal lock");
+            let record = match &outcome {
+                Ok(result) => JournalRecord::Completed {
+                    job,
+                    attempt,
+                    result: *result,
+                },
+                Err(message) if attempt < options.max_attempts => JournalRecord::Failed {
+                    job,
+                    attempt,
+                    message: message.clone(),
+                },
+                Err(message) => JournalRecord::Poisoned {
+                    job,
+                    attempt,
+                    message: message.clone(),
+                },
+            };
+            journal.append(&record, injector).and_then(|()| {
+                if injector.should_abort(journal.records_written()) {
+                    Err(CampaignError::Injected {
+                        point: format!("abort after {} records", journal.records_written()),
+                    })
+                } else {
+                    Ok(())
+                }
+            })
+        };
+        match appended {
+            Ok(()) => match outcome {
+                Ok(result) => {
+                    shared
+                        .results
+                        .lock()
+                        .expect("results lock")
+                        .insert(job, result);
+                    shared.executed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(message) => {
+                    if attempt < options.max_attempts {
+                        shared.retries.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .queue
+                            .lock()
+                            .expect("queue lock")
+                            .push_back((job, attempt + 1));
+                    } else {
+                        shared
+                            .poisoned
+                            .lock()
+                            .expect("poisoned lock")
+                            .insert(job, message);
+                    }
+                }
+            },
+            Err(error) => {
+                // Injected crash (or real I/O failure): stop the
+                // campaign without recording the in-memory outcome —
+                // exactly what dying mid-append loses.
+                let mut abort = shared.abort.lock().expect("abort lock");
+                if abort.is_none() {
+                    *abort = Some(error);
+                }
+                shared.abort_flag.store(true, Ordering::SeqCst);
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+        }
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Executes one job directly — no journal, no worker pool, no retries.
+///
+/// This is the raw per-job path the campaign machinery wraps; the bench
+/// harness times it as the overhead-free baseline the campaign's jobs/sec
+/// is gated against.
+///
+/// # Errors
+///
+/// Returns the same failure message a campaign worker would journal.
+pub fn run_job(spec: &JobSpec) -> Result<JobResult, String> {
+    execute_job(spec, 0, 1, Duration::ZERO, &FaultInjector::none())
+}
+
+/// Executes one job attempt: resolve the spec, build the population,
+/// sweep, digest. Returns a message (for the journal) on any failure;
+/// panics escape to the worker's `catch_unwind`.
+fn execute_job(
+    spec: &JobSpec,
+    job: u32,
+    attempt: u8,
+    job_delay: Duration,
+    injector: &FaultInjector,
+) -> Result<JobResult, String> {
+    injector.check_worker_kill(job, attempt);
+    if !job_delay.is_zero() {
+        thread::sleep(job_delay);
+    }
+    let organization =
+        ArrayOrganization::new(spec.rows, spec.cols).map_err(|error| error.to_string())?;
+    let test = algorithm_by_name(&spec.algorithm)
+        .ok_or_else(|| format!("unknown algorithm \"{}\"", spec.algorithm))?;
+    let order = order_by_name(&spec.order, spec.seed)
+        .ok_or_else(|| format!("unknown address order \"{}\"", spec.order))?;
+    let mut factories = spec.population.build(&organization, spec.seed)?;
+    if injector.lane_panic_armed(job, attempt) {
+        factories = detonate_factories(factories);
+    }
+    let sweep = SweepOptions {
+        background: spec.background,
+        mode: DetectionMode::Full,
+        // Campaign parallelism is across jobs; each sweep stays serial so
+        // worker threads do not oversubscribe the machine.
+        parallel: false,
+        backend: spec.backend,
+    };
+    let report = evaluate_coverage_caught(&test, order.as_ref(), &organization, &factories, sweep)
+        .map_err(|panic| panic.to_string())?;
+    Ok(JobResult {
+        detected: report.detected() as u32,
+        total: report.total() as u32,
+        mismatches: report.total_mismatches(),
+        digest: report.digest(),
+    })
+}

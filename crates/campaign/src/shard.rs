@@ -1,0 +1,102 @@
+//! Shard planning: splitting one plan across independent campaign
+//! processes.
+//!
+//! A [`Shard`] is `index/count`: shard `i` of `n` owns every job whose
+//! plan index is congruent to `i` modulo `n`. Round-robin assignment
+//! keeps shards balanced under the cross-product plan shapes
+//! ([`crate::spec::CampaignPlan::cross`]), where neighbouring jobs have
+//! similar cost. Each shard writes its own journal and partial export;
+//! [`crate::output::merge_exports`] recombines them.
+
+use crate::error::CampaignError;
+
+/// One shard of a campaign: `index` of `count`, both 0-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's index, `0..count`.
+    pub index: u32,
+    /// Total number of shards.
+    pub count: u32,
+}
+
+impl Shard {
+    /// The whole campaign in one shard.
+    pub fn whole() -> Self {
+        Self { index: 0, count: 1 }
+    }
+
+    /// Builds a shard, rejecting `count == 0` and `index >= count`.
+    pub fn new(index: u32, count: u32) -> Result<Self, CampaignError> {
+        if count == 0 || index >= count {
+            return Err(CampaignError::InvalidJob {
+                job: 0,
+                reason: format!("shard {index}/{count} is out of range (0-based index < count)"),
+            });
+        }
+        Ok(Self { index, count })
+    }
+
+    /// Parses `"index/count"`, e.g. `"0/3"`.
+    pub fn parse(spec: &str) -> Result<Self, CampaignError> {
+        let invalid = || CampaignError::InvalidJob {
+            job: 0,
+            reason: format!("cannot parse shard \"{spec}\" (expected index/count, e.g. 0/3)"),
+        };
+        let (index, count) = spec.split_once('/').ok_or_else(invalid)?;
+        let index: u32 = index.parse().map_err(|_| invalid())?;
+        let count: u32 = count.parse().map_err(|_| invalid())?;
+        Self::new(index, count)
+    }
+
+    /// `true` when this shard owns plan job `job`.
+    pub fn owns(&self, job: u32) -> bool {
+        job % self.count == self.index
+    }
+
+    /// The plan job indices this shard owns, in order, for a plan of
+    /// `total_jobs`.
+    pub fn jobs(&self, total_jobs: u32) -> Vec<u32> {
+        (self.index..total_jobs)
+            .step_by(self.count as usize)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_partition_the_plan_exactly() {
+        let total = 11u32;
+        let shards = [
+            Shard::new(0, 3).unwrap(),
+            Shard::new(1, 3).unwrap(),
+            Shard::new(2, 3).unwrap(),
+        ];
+        let mut seen = vec![0u32; total as usize];
+        for shard in &shards {
+            for job in shard.jobs(total) {
+                assert!(shard.owns(job));
+                seen[job as usize] += 1;
+            }
+        }
+        assert!(
+            seen.iter().all(|&n| n == 1),
+            "each job in exactly one shard"
+        );
+        // Balanced to within one job.
+        let sizes: Vec<usize> = shards.iter().map(|s| s.jobs(total).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), total as usize);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn parse_accepts_valid_and_rejects_malformed_specs() {
+        assert_eq!(Shard::parse("0/1").unwrap(), Shard::whole());
+        assert_eq!(Shard::parse("2/5").unwrap(), Shard::new(2, 5).unwrap());
+        for bad in ["", "3", "1/0", "5/5", "a/b", "1/2/3", "-1/2"] {
+            assert!(Shard::parse(bad).is_err(), "\"{bad}\" must be rejected");
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Journal corruption recovery, tested at the file level: mangle the
+//! bytes on disk the way real crashes and bit rot do, then prove that
+//! resume recovers exactly the surviving prefix.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use campaign::journal::{JobResult, Journal, JournalRecord, HEADER_LEN, RECORD_LEN};
+use campaign::{CampaignError, FaultInjector};
+
+fn temp_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "campaign-journal-{tag}-{}-{unique}.bin",
+        std::process::id()
+    ))
+}
+
+fn result(seed: u64) -> JobResult {
+    JobResult {
+        detected: seed as u32,
+        total: seed as u32 + 100,
+        mismatches: seed * 11,
+        digest: seed.wrapping_mul(0x517C_C1B7_2722_0A95),
+    }
+}
+
+/// Writes a journal with `jobs` completed records and returns its path.
+fn journal_with(tag: &str, jobs: u32, plan_digest: u64) -> PathBuf {
+    let path = temp_path(tag);
+    let mut journal = Journal::create(&path, jobs, plan_digest).expect("create");
+    for job in 0..jobs {
+        journal
+            .append(
+                &JournalRecord::Completed {
+                    job,
+                    attempt: 1,
+                    result: result(u64::from(job)),
+                },
+                &FaultInjector::none(),
+            )
+            .expect("append");
+    }
+    path
+}
+
+#[test]
+fn truncated_tail_record_is_dropped_and_the_prefix_survives() {
+    let path = journal_with("truncate", 5, 0xABC);
+    // Chop the last record mid-way: a crash during write(2).
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - RECORD_LEN / 2 - 8]).unwrap();
+    let (journal, replay) = Journal::open_resume(&path, 5, 0xABC).expect("resume");
+    assert_eq!(replay.records, 4, "four whole records survive");
+    assert_eq!(replay.completed.len(), 4);
+    assert!(!replay.completed.contains_key(&4), "the torn job is lost");
+    assert!(replay.truncated_bytes > 0);
+    assert_eq!(journal.records_written(), 4);
+    // The file itself was truncated to a clean record boundary.
+    let len = std::fs::metadata(&path).unwrap().len();
+    assert_eq!(len as usize, HEADER_LEN + 4 * RECORD_LEN);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bit_flipped_checksum_invalidates_only_the_corrupt_suffix() {
+    let path = journal_with("bitflip", 6, 0xABC);
+    // Flip one bit inside record 3's checksum field.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let at = HEADER_LEN + 3 * RECORD_LEN + (RECORD_LEN - 2);
+    bytes[at] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    let (_, replay) = Journal::open_resume(&path, 6, 0xABC).expect("resume");
+    assert_eq!(
+        replay.completed.len(),
+        3,
+        "records 0..3 survive; 3.. are discarded with the corruption"
+    );
+    assert_eq!(replay.truncated_bytes, 3 * RECORD_LEN as u64);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn identical_duplicate_records_replay_once() {
+    let path = temp_path("dup");
+    let mut journal = Journal::create(&path, 2, 0xD0).expect("create");
+    let record = JournalRecord::Completed {
+        job: 0,
+        attempt: 1,
+        result: result(9),
+    };
+    // The same completed record journaled twice — a job re-dispatched
+    // right before a crash, then finished again after a resume.
+    journal.append(&record, &FaultInjector::none()).unwrap();
+    journal.append(&record, &FaultInjector::none()).unwrap();
+    let (_, replay) = Journal::open_resume(&path, 2, 0xD0).expect("resume");
+    assert_eq!(replay.records, 2);
+    assert_eq!(replay.completed.len(), 1);
+    assert_eq!(replay.completed[&0], result(9));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn conflicting_duplicate_records_fail_the_resume() {
+    let path = temp_path("conflict");
+    let mut journal = Journal::create(&path, 2, 0xD0).expect("create");
+    journal
+        .append(
+            &JournalRecord::Completed {
+                job: 0,
+                attempt: 1,
+                result: result(9),
+            },
+            &FaultInjector::none(),
+        )
+        .unwrap();
+    journal
+        .append(
+            &JournalRecord::Completed {
+                job: 0,
+                attempt: 2,
+                result: result(10), // different result: the journal lies
+            },
+            &FaultInjector::none(),
+        )
+        .unwrap();
+    match Journal::open_resume(&path, 2, 0xD0) {
+        Err(CampaignError::Corrupt { reason, .. }) => {
+            assert!(reason.contains("two completed records"));
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn failed_records_accumulate_attempts_until_a_completion() {
+    let path = temp_path("attempts");
+    let mut journal = Journal::create(&path, 3, 0xE0).expect("create");
+    let none = FaultInjector::none();
+    for (job, attempt, message) in [(0, 1, "boom"), (0, 2, "boom again"), (1, 1, "once")] {
+        journal
+            .append(
+                &JournalRecord::Failed {
+                    job,
+                    attempt,
+                    message: message.to_string(),
+                },
+                &none,
+            )
+            .unwrap();
+    }
+    journal
+        .append(
+            &JournalRecord::Completed {
+                job: 1,
+                attempt: 2,
+                result: result(7),
+            },
+            &none,
+        )
+        .unwrap();
+    let (_, replay) = Journal::open_resume(&path, 3, 0xE0).expect("resume");
+    assert_eq!(replay.failed_attempts[&0], (2, "boom again".to_string()));
+    assert!(
+        !replay.failed_attempts.contains_key(&1),
+        "completion clears the failure tally"
+    );
+    assert_eq!(replay.completed[&1], result(7));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_refuses_a_journal_from_a_different_plan() {
+    let path = journal_with("planmix", 4, 0x1111);
+    match Journal::open_resume(&path, 4, 0x2222) {
+        Err(CampaignError::PlanMismatch { expected, found }) => {
+            assert_eq!(expected, 0x2222);
+            assert_eq!(found, 0x1111);
+        }
+        other => panic!("expected PlanMismatch, got {other:?}"),
+    }
+    // A different job count is a plan mismatch too.
+    assert!(Journal::open_resume(&path, 5, 0x1111).is_err());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn mangled_headers_are_rejected_not_misread() {
+    let path = journal_with("header", 2, 0xF0);
+    let clean = std::fs::read(&path).unwrap();
+    // Bad magic.
+    let mut bad_magic = clean.clone();
+    bad_magic[0] ^= 0xFF;
+    std::fs::write(&path, &bad_magic).unwrap();
+    assert!(matches!(
+        Journal::open_resume(&path, 2, 0xF0),
+        Err(CampaignError::Corrupt { .. })
+    ));
+    // Unsupported version.
+    let mut bad_version = clean.clone();
+    bad_version[8] = 0x7F;
+    std::fs::write(&path, &bad_version).unwrap();
+    assert!(matches!(
+        Journal::open_resume(&path, 2, 0xF0),
+        Err(CampaignError::Corrupt { .. })
+    ));
+    // Header shorter than HEADER_LEN.
+    std::fs::write(&path, &clean[..HEADER_LEN - 7]).unwrap();
+    assert!(matches!(
+        Journal::open_resume(&path, 2, 0xF0),
+        Err(CampaignError::Corrupt { .. })
+    ));
+    std::fs::remove_file(&path).ok();
+}

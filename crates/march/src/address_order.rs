@@ -193,6 +193,22 @@ impl AddressOrder for AddressComplementOrder {
     }
 }
 
+/// Looks an address order up by its [`AddressOrder::name`] string — the
+/// job-level entry point campaign queues and CLIs resolve order fields
+/// through. `seed` only matters for `"pseudo-random"`, which is the one
+/// parameterised order; the rest ignore it. Returns `None` for unknown
+/// names.
+pub fn order_by_name(name: &str, seed: u64) -> Option<Box<dyn AddressOrder + Send + Sync>> {
+    match name {
+        "word line after word line" => Some(Box::new(WordLineAfterWordLine)),
+        "column major" => Some(Box::new(ColumnMajor)),
+        "linear" => Some(Box::new(LinearOrder)),
+        "pseudo-random" => Some(Box::new(PseudoRandomOrder::new(seed))),
+        "address complement" => Some(Box::new(AddressComplementOrder)),
+        _ => None,
+    }
+}
+
 /// Checks that an order is a valid ⇑ sequence for `organization`: every
 /// address occurs exactly once.
 pub fn is_valid_permutation(order: &dyn AddressOrder, organization: &ArrayOrganization) -> bool {
@@ -312,6 +328,31 @@ mod tests {
         // Also valid when the capacity is not a power of two times itself.
         let odd = ArrayOrganization::new(3, 5).unwrap();
         assert!(is_valid_permutation(&AddressComplementOrder, &odd));
+    }
+
+    #[test]
+    fn orders_resolve_by_name() {
+        let organization = org();
+        for name in [
+            "word line after word line",
+            "column major",
+            "linear",
+            "pseudo-random",
+            "address complement",
+        ] {
+            let order = order_by_name(name, 7).expect("every published order name resolves");
+            assert_eq!(order.name(), name);
+            assert!(is_valid_permutation(order.as_ref(), &organization));
+        }
+        // The seed only changes the pseudo-random order.
+        let a = order_by_name("pseudo-random", 1)
+            .unwrap()
+            .ascending(&organization);
+        let b = order_by_name("pseudo-random", 2)
+            .unwrap()
+            .ascending(&organization);
+        assert_ne!(a, b);
+        assert!(order_by_name("zigzag", 0).is_none());
     }
 
     #[test]

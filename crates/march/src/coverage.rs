@@ -24,6 +24,7 @@ use crate::fault_sim::{simulate_fault_on_walk, DetectionMode, FaultSimOutcome};
 use crate::faults::FaultFactory;
 use crate::memory::GoodMemory;
 use crate::parallel::{max_threads, par_chunk_map};
+use crate::rng::Fnv1a;
 
 /// Which sweep engine simulates the fault list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -157,6 +158,33 @@ impl CoverageReport {
         names
     }
 
+    /// Total read mismatches across every outcome.
+    pub fn total_mismatches(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.mismatches as u64).sum()
+    }
+
+    /// A stable 64-bit digest of the whole report: test and order names
+    /// plus every outcome's name, kind, detection bit and mismatch count,
+    /// absorbed in fault-list order through [`Fnv1a`]. Two reports are
+    /// digest-equal exactly when they would compare equal, so campaign
+    /// journals can record (and later verify) a fixed-width fingerprint
+    /// instead of megabytes of outcomes.
+    pub fn digest(&self) -> u64 {
+        let mut hasher = Fnv1a::new();
+        hasher.write(self.test_name.as_bytes());
+        hasher.write_u8(0xFF);
+        hasher.write(self.order_name.as_bytes());
+        hasher.write_u8(0xFF);
+        for outcome in &self.outcomes {
+            hasher.write(outcome.fault_name.as_bytes());
+            hasher.write_u8(0xFE);
+            hasher.write(outcome.fault_kind.to_string().as_bytes());
+            hasher.write_u8(u8::from(outcome.detected));
+            hasher.write_u64(outcome.mismatches as u64);
+        }
+        hasher.finish()
+    }
+
     /// Per-fault-kind `(detected, total)` counts.
     pub fn by_kind(&self) -> BTreeMap<String, (usize, usize)> {
         let mut map: BTreeMap<String, (usize, usize)> = BTreeMap::new();
@@ -250,6 +278,63 @@ pub fn evaluate_coverage(
     faults: &[FaultFactory],
 ) -> CoverageReport {
     evaluate_coverage_with(test, order, organization, faults, SweepOptions::default())
+}
+
+/// A panic captured by the panic-safe sweep wrappers: the payload rendered
+/// as a string, so callers can journal, retry or quarantine the job
+/// without the panic unwinding through their worker pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepPanic {
+    /// The panic payload (`&str`/`String` payloads verbatim, anything else
+    /// as a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for SweepPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sweep panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for SweepPanic {}
+
+/// Renders a caught panic payload as a string: `&str` and `String`
+/// payloads verbatim (the overwhelmingly common case — `panic!` with a
+/// message), anything else as a placeholder.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The panic-safe job-level sweep entry point: like
+/// [`evaluate_coverage_with`], but a panic anywhere inside the sweep — a
+/// misbehaving fault model, a lane form violating its involved-address
+/// contract, an assertion in the kernel — is caught and returned as a
+/// [`SweepPanic`] instead of unwinding into the caller. This is what lets
+/// a campaign worker pool treat a panicking fault model as *one failed
+/// job* rather than a dead campaign.
+///
+/// The sweep mutates only state it owns (scratch memories, outcome
+/// buffers), so a caught panic leaves no observable inconsistency behind;
+/// `AssertUnwindSafe` is sound here.
+pub fn evaluate_coverage_caught(
+    test: &MarchTest,
+    order: &dyn AddressOrder,
+    organization: &ArrayOrganization,
+    faults: &[FaultFactory],
+    options: SweepOptions,
+) -> Result<CoverageReport, SweepPanic> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        evaluate_coverage_with(test, order, organization, faults, options)
+    }))
+    .map_err(|payload| SweepPanic {
+        message: panic_message(&*payload),
+    })
 }
 
 #[cfg(test)]
@@ -440,6 +525,105 @@ mod tests {
                 assert_eq!(golden, batched, "{backend:?} parallel={parallel}");
             }
         }
+    }
+
+    #[test]
+    fn report_digest_is_stable_and_discriminating() {
+        let organization = org();
+        let faults = standard_fault_list(&organization);
+        let a = evaluate_coverage(
+            &library::march_ss(),
+            &WordLineAfterWordLine,
+            &organization,
+            &faults,
+        );
+        let b = evaluate_coverage(
+            &library::march_ss(),
+            &WordLineAfterWordLine,
+            &organization,
+            &faults,
+        );
+        // Equal reports digest equally; a different algorithm (different
+        // outcomes and test name) must diverge.
+        assert_eq!(a.digest(), b.digest());
+        let other = evaluate_coverage(
+            &library::mats_plus(),
+            &WordLineAfterWordLine,
+            &organization,
+            &faults,
+        );
+        assert_ne!(a.digest(), other.digest());
+        assert_eq!(
+            a.total_mismatches(),
+            a.outcomes()
+                .iter()
+                .map(|o| o.mismatches as u64)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn caught_sweep_returns_the_report_on_success() {
+        let organization = org();
+        let faults = standard_fault_list(&organization);
+        let direct = evaluate_coverage(
+            &library::march_ss(),
+            &WordLineAfterWordLine,
+            &organization,
+            &faults,
+        );
+        let caught = evaluate_coverage_caught(
+            &library::march_ss(),
+            &WordLineAfterWordLine,
+            &organization,
+            &faults,
+            SweepOptions::default(),
+        )
+        .expect("healthy sweep must not panic");
+        assert_eq!(direct, caught);
+    }
+
+    #[test]
+    fn caught_sweep_reports_a_panicking_fault_model_as_an_error() {
+        use crate::faults::{Fault, FaultKind};
+        use sram_model::address::Address;
+
+        // A fault model that panics on its first read: the wrapper must
+        // catch it and surface the payload message.
+        #[derive(Debug)]
+        struct ExplodingFault;
+        impl Fault for ExplodingFault {
+            fn name(&self) -> String {
+                "EXPLODE@0".to_string()
+            }
+            fn kind(&self) -> FaultKind {
+                FaultKind::StuckAt
+            }
+            fn write(&mut self, _memory: &mut GoodMemory, _address: Address, _value: bool) {}
+            fn read(&mut self, _memory: &mut GoodMemory, _address: Address) -> bool {
+                panic!("faultpoint: exploding fault model")
+            }
+            fn involved_addresses(&self) -> Option<Vec<Address>> {
+                Some(vec![Address::new(0)])
+            }
+        }
+
+        let organization = org();
+        let faults: Vec<crate::faults::FaultFactory> =
+            vec![Box::new(|| Box::new(ExplodingFault) as Box<dyn Fault>)];
+        let error = evaluate_coverage_caught(
+            &library::mats_plus(),
+            &WordLineAfterWordLine,
+            &organization,
+            &faults,
+            SweepOptions::golden(),
+        )
+        .expect_err("the exploding model must surface as SweepPanic");
+        assert!(
+            error.message.contains("exploding fault model"),
+            "payload lost: {error}"
+        );
+        assert!(error.to_string().starts_with("sweep panicked:"));
     }
 
     #[test]

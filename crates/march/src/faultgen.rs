@@ -42,6 +42,60 @@ use crate::faults::{
 };
 use crate::rng::SplitMix64;
 
+/// A rejected fault-population configuration.
+///
+/// The `try_*` generators return these instead of panicking, so job-level
+/// callers (the campaign runner, CLIs) can turn a bad job spec into a
+/// recorded failure rather than a dead worker. The panicking generators
+/// remain for test/bench code that has already validated its inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultGenError {
+    /// More victims requested per row than the array has columns.
+    VictimsExceedColumns {
+        /// Victims requested per row.
+        requested: u32,
+        /// Columns available.
+        cols: u32,
+    },
+    /// More victims requested per column than the array has rows.
+    VictimsExceedRows {
+        /// Victims requested per column.
+        requested: u32,
+        /// Rows available.
+        rows: u32,
+    },
+    /// A two-cell fault profile was requested on an array with fewer than
+    /// two cells.
+    ArrayTooSmallForPairs {
+        /// Capacity of the offending array.
+        capacity: u32,
+    },
+    /// The requested profile would generate no faults at all.
+    EmptyPopulation,
+}
+
+impl std::fmt::Display for FaultGenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::VictimsExceedColumns { requested, cols } => write!(
+                f,
+                "cannot place {requested} distinct victims in a {cols}-column row"
+            ),
+            Self::VictimsExceedRows { requested, rows } => write!(
+                f,
+                "cannot place {requested} distinct victims in a {rows}-row column"
+            ),
+            Self::ArrayTooSmallForPairs { capacity } => write!(
+                f,
+                "two-cell faults need at least two addresses, array holds {capacity}"
+            ),
+            Self::EmptyPopulation => write!(f, "the requested profile would generate no faults"),
+        }
+    }
+}
+
+impl std::error::Error for FaultGenError {}
+
 /// A named, generated fault list: the output of one [`FaultGen`] profile.
 ///
 /// Dereferences to `[FaultFactory]`, so a population drops into every API
@@ -160,9 +214,29 @@ impl FaultGen {
     ///
     /// # Panics
     ///
-    /// Panics if `victims_per_row` exceeds the column count.
+    /// Panics if `victims_per_row` exceeds the column count; see
+    /// [`FaultGen::try_stuck_at_per_row`] for the fallible form.
     pub fn stuck_at_per_row(&mut self, victims_per_row: u32) -> Vec<FaultFactory> {
+        match self.try_stuck_at_per_row(victims_per_row) {
+            Ok(factories) => factories,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// Fallible [`FaultGen::stuck_at_per_row`]: rejects a quota that does
+    /// not fit in a row instead of panicking. A quota of zero is valid and
+    /// yields an empty contribution (blended profiles rely on that).
+    pub fn try_stuck_at_per_row(
+        &mut self,
+        victims_per_row: u32,
+    ) -> Result<Vec<FaultFactory>, FaultGenError> {
         let (rows, cols) = (self.organization.rows(), self.organization.cols());
+        if victims_per_row > cols {
+            return Err(FaultGenError::VictimsExceedColumns {
+                requested: victims_per_row,
+                cols,
+            });
+        }
         let mut scratch = Vec::new();
         let mut factories: Vec<FaultFactory> =
             Vec::with_capacity((rows * victims_per_row) as usize);
@@ -173,7 +247,7 @@ impl FaultGen {
                 factories.push(Box::new(move || Box::new(StuckAtFault::new(victim, value))));
             }
         }
-        factories
+        Ok(factories)
     }
 
     /// Per-column transition victims: for every column of the array,
@@ -182,9 +256,29 @@ impl FaultGen {
     ///
     /// # Panics
     ///
-    /// Panics if `victims_per_column` exceeds the row count.
+    /// Panics if `victims_per_column` exceeds the row count; see
+    /// [`FaultGen::try_transitions_per_column`] for the fallible form.
     pub fn transitions_per_column(&mut self, victims_per_column: u32) -> Vec<FaultFactory> {
+        match self.try_transitions_per_column(victims_per_column) {
+            Ok(factories) => factories,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// Fallible [`FaultGen::transitions_per_column`]: rejects a quota that
+    /// does not fit in a column instead of panicking. A quota of zero is
+    /// valid and yields an empty contribution.
+    pub fn try_transitions_per_column(
+        &mut self,
+        victims_per_column: u32,
+    ) -> Result<Vec<FaultFactory>, FaultGenError> {
         let (rows, cols) = (self.organization.rows(), self.organization.cols());
+        if victims_per_column > rows {
+            return Err(FaultGenError::VictimsExceedRows {
+                requested: victims_per_column,
+                rows,
+            });
+        }
         let mut scratch = Vec::new();
         let mut factories: Vec<FaultFactory> =
             Vec::with_capacity((cols * victims_per_column) as usize);
@@ -197,7 +291,7 @@ impl FaultGen {
                 }));
             }
         }
-        factories
+        Ok(factories)
     }
 
     /// A random aggressor within Manhattan distance `radius` of `victim`
@@ -257,19 +351,40 @@ impl FaultGen {
     ///
     /// # Panics
     ///
-    /// Panics if the array holds fewer than two cells.
+    /// Panics if the array holds fewer than two cells; see
+    /// [`FaultGen::try_neighbourhood_coupling`] for the fallible form.
     pub fn neighbourhood_coupling(&mut self, pairs: usize, radius: u32) -> Vec<FaultFactory> {
-        assert!(
-            self.organization.capacity() >= 2,
-            "coupling pairs need at least two cells"
-        );
-        (0..pairs)
+        match self.try_neighbourhood_coupling(pairs, radius) {
+            Ok(factories) => factories,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// Fallible [`FaultGen::neighbourhood_coupling`]: rejects one-cell
+    /// arrays (which cannot host an aggressor/victim pair) instead of
+    /// panicking.
+    pub fn try_neighbourhood_coupling(
+        &mut self,
+        pairs: usize,
+        radius: u32,
+    ) -> Result<Vec<FaultFactory>, FaultGenError> {
+        self.require_pair_capacity()?;
+        Ok((0..pairs)
             .map(|_| {
                 let victim = self.any_address();
                 let aggressor = self.neighbour_of(victim, radius);
                 self.coupling_between(aggressor, victim)
             })
-            .collect()
+            .collect())
+    }
+
+    /// Errors unless the array can host a two-cell fault.
+    fn require_pair_capacity(&self) -> Result<(), FaultGenError> {
+        let capacity = self.organization.capacity();
+        if capacity < 2 {
+            return Err(FaultGenError::ArrayTooSmallForPairs { capacity });
+        }
+        Ok(())
     }
 
     /// One uniformly random fault of any class at random addresses — the
@@ -315,6 +430,18 @@ impl FaultGen {
         (0..count).map(|_| self.any_fault()).collect()
     }
 
+    /// Fallible [`FaultGen::mixed`]: rejects one-cell arrays (the mix
+    /// includes two-cell classes) and a zero count (which would be an
+    /// empty population) instead of panicking or silently sweeping
+    /// nothing.
+    pub fn try_mixed(&mut self, count: usize) -> Result<Vec<FaultFactory>, FaultGenError> {
+        self.require_pair_capacity()?;
+        if count == 0 {
+            return Err(FaultGenError::EmptyPopulation);
+        }
+        Ok(self.mixed(count))
+    }
+
     /// Number of single-cell fault models [`FaultGen::overlapping_clusters`]
     /// instantiates per victim (both SAF polarities, both TF directions,
     /// RDF, DRDF, IRF, WDF, SOF).
@@ -330,17 +457,29 @@ impl FaultGen {
     ///
     /// # Panics
     ///
-    /// Panics if the array holds fewer than two cells.
+    /// Panics if the array holds fewer than two cells; see
+    /// [`FaultGen::try_overlapping_clusters`] for the fallible form.
     pub fn overlapping_clusters(
         &mut self,
         clusters: usize,
         pairs_per_cluster: usize,
         radius: u32,
     ) -> Vec<FaultFactory> {
-        assert!(
-            self.organization.capacity() >= 2,
-            "coupling pairs need at least two cells"
-        );
+        match self.try_overlapping_clusters(clusters, pairs_per_cluster, radius) {
+            Ok(factories) => factories,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// Fallible [`FaultGen::overlapping_clusters`]: rejects one-cell
+    /// arrays instead of panicking.
+    pub fn try_overlapping_clusters(
+        &mut self,
+        clusters: usize,
+        pairs_per_cluster: usize,
+        radius: u32,
+    ) -> Result<Vec<FaultFactory>, FaultGenError> {
+        self.require_pair_capacity()?;
         let mut factories: Vec<FaultFactory> =
             Vec::with_capacity(clusters * (Self::MODELS_PER_VICTIM + pairs_per_cluster));
         for _ in 0..clusters {
@@ -365,7 +504,7 @@ impl FaultGen {
                 factories.push(self.coupling_between(aggressor, victim));
             }
         }
-        factories
+        Ok(factories)
     }
 
     /// Shuffles `factories` in place with this generator's stream —
@@ -388,7 +527,26 @@ impl FaultGen {
     /// The population is returned in generation order (clustered, the
     /// way a qualification flow would emit it); callers stress-testing
     /// the cohort packer should [`FaultGen::shuffle`] it themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics on one-cell arrays and on a zero target; see
+    /// [`FaultGen::try_dense_profile`] for the fallible form.
     pub fn dense_profile(&mut self, target: usize) -> FaultPopulation {
+        match self.try_dense_profile(target) {
+            Ok(population) => population,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// Fallible [`FaultGen::dense_profile`]: rejects one-cell arrays (the
+    /// blend includes coupling pairs) and a zero target (an empty
+    /// population) instead of panicking.
+    pub fn try_dense_profile(&mut self, target: usize) -> Result<FaultPopulation, FaultGenError> {
+        self.require_pair_capacity()?;
+        if target == 0 {
+            return Err(FaultGenError::EmptyPopulation);
+        }
         let (rows, cols) = (
             u64::from(self.organization.rows()),
             u64::from(self.organization.cols()),
@@ -406,7 +564,10 @@ impl FaultGen {
         factories.extend(self.neighbourhood_coupling(target * 2 / 100, 2));
         let mixed = target.saturating_sub(factories.len());
         factories.extend(self.mixed(mixed));
-        FaultPopulation::new(format!("dense-{}", factories.len()), factories)
+        Ok(FaultPopulation::new(
+            format!("dense-{}", factories.len()),
+            factories,
+        ))
     }
 }
 
@@ -564,6 +725,76 @@ mod tests {
             gen.overlapping_clusters(1, 1, 1)
         }));
         assert!(result.is_err(), "one-cell arrays cannot host clusters");
+    }
+
+    /// Extracts the error from a `try_*` result (the success payload is a
+    /// factory list, which has no `Debug` impl for `unwrap_err`).
+    fn rejection<T>(result: Result<T, FaultGenError>) -> FaultGenError {
+        match result {
+            Err(error) => error,
+            Ok(_) => panic!("expected the configuration to be rejected"),
+        }
+    }
+
+    #[test]
+    fn try_generators_reject_each_invalid_input_without_panicking() {
+        // Per-row quota wider than a row.
+        let mut gen = FaultGen::new(org(4, 4), 1);
+        assert_eq!(
+            rejection(gen.try_stuck_at_per_row(5)),
+            FaultGenError::VictimsExceedColumns {
+                requested: 5,
+                cols: 4
+            }
+        );
+        // Per-column quota taller than a column.
+        assert_eq!(
+            rejection(gen.try_transitions_per_column(5)),
+            FaultGenError::VictimsExceedRows {
+                requested: 5,
+                rows: 4
+            }
+        );
+        // Zero faults requested: an empty population is a configuration
+        // error, not a successful no-op sweep.
+        assert_eq!(rejection(gen.try_mixed(0)), FaultGenError::EmptyPopulation);
+        assert_eq!(
+            rejection(gen.try_dense_profile(0)),
+            FaultGenError::EmptyPopulation
+        );
+        // One-cell arrays cannot host any of the pair-bearing profiles.
+        let mut tiny = FaultGen::new(org(1, 1), 1);
+        for error in [
+            rejection(tiny.try_neighbourhood_coupling(1, 1)),
+            rejection(tiny.try_overlapping_clusters(1, 1, 1)),
+            rejection(tiny.try_mixed(4)),
+            rejection(tiny.try_dense_profile(10)),
+        ] {
+            assert_eq!(error, FaultGenError::ArrayTooSmallForPairs { capacity: 1 });
+        }
+        // Every error renders a human-readable message for job records.
+        assert!(
+            FaultGenError::EmptyPopulation
+                .to_string()
+                .contains("no faults"),
+            "errors must carry a readable message"
+        );
+    }
+
+    #[test]
+    fn try_generators_match_their_panicking_twins_on_valid_input() {
+        let organization = org(8, 8);
+        let a = FaultGen::new(organization, 6).try_mixed(64).unwrap();
+        let b = FaultGen::new(organization, 6).mixed(64);
+        assert_eq!(a.len(), b.len());
+        for (fa, fb) in a.iter().zip(&b) {
+            assert_eq!(fa().name(), fb().name());
+        }
+        // Zero quotas stay valid for the blended-profile contributors.
+        let mut gen = FaultGen::new(organization, 6);
+        assert!(gen.try_stuck_at_per_row(0).unwrap().is_empty());
+        assert!(gen.try_transitions_per_column(0).unwrap().is_empty());
+        assert!(gen.try_neighbourhood_coupling(0, 1).unwrap().is_empty());
     }
 
     #[test]

@@ -127,14 +127,15 @@ pub mod rng;
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {
     pub use crate::address_order::{
-        AddressOrder, ColumnMajor, PseudoRandomOrder, WordLineAfterWordLine,
+        order_by_name, AddressOrder, ColumnMajor, PseudoRandomOrder, WordLineAfterWordLine,
     };
     pub use crate::algorithm::MarchTest;
     pub use crate::background::DataBackground;
     pub use crate::batch::{Cohort, CohortPlanner, FaultBatch};
     pub use crate::coverage::{
-        evaluate_coverage, evaluate_coverage_on_walk, evaluate_coverage_with, CoverageReport,
-        SweepBackend, SweepOptions,
+        evaluate_coverage, evaluate_coverage_caught, evaluate_coverage_on_walk,
+        evaluate_coverage_with, panic_message, CoverageReport, SweepBackend, SweepOptions,
+        SweepPanic,
     };
     pub use crate::element::{AddressDirection, MarchElement};
     pub use crate::executor::{
@@ -144,9 +145,11 @@ pub mod prelude {
     pub use crate::fault_sim::{
         simulate_fault, simulate_fault_on_walk, DetectionMode, FaultSimOutcome,
     };
-    pub use crate::faultgen::{FaultGen, FaultPopulation};
+    pub use crate::faultgen::{FaultGen, FaultGenError, FaultPopulation};
     pub use crate::faults::{standard_fault_list, Fault, LaneFault, LaneFaultKind};
     pub use crate::library;
+    pub use crate::library::algorithm_by_name;
     pub use crate::memory::{GoodMemory, LaneMemory, MemoryModel};
     pub use crate::operation::MarchOp;
+    pub use crate::rng::{Fnv1a, SplitMix64};
 }

@@ -234,6 +234,16 @@ pub fn all_algorithms() -> Vec<MarchTest> {
     ]
 }
 
+/// Looks an algorithm up by its published name (`"March SS"`, `"MATS+"`,
+/// …) — the job-level entry point campaign queues and CLIs resolve
+/// algorithm fields through. Returns `None` for unknown names; the valid
+/// names are exactly those of [`all_algorithms`].
+pub fn algorithm_by_name(name: &str) -> Option<MarchTest> {
+    all_algorithms()
+        .into_iter()
+        .find(|test| test.name() == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +293,17 @@ mod tests {
                 test.name()
             );
         }
+    }
+
+    #[test]
+    fn algorithms_resolve_by_name() {
+        for test in all_algorithms() {
+            let found = algorithm_by_name(test.name()).expect("every library name resolves");
+            assert_eq!(found.name(), test.name());
+            assert_eq!(found.operation_count(), test.operation_count());
+        }
+        assert!(algorithm_by_name("March Nope").is_none());
+        assert!(algorithm_by_name("").is_none());
     }
 
     #[test]

@@ -52,6 +52,74 @@ impl SplitMix64 {
     }
 }
 
+/// Streaming FNV-1a 64-bit hash.
+///
+/// The campaign layer journals fixed-width binary records and gates
+/// resumed runs on digest equality; like [`SplitMix64`], this hash exists
+/// locally because the workspace is dependency-free, and it is *stable*:
+/// the same byte stream produces the same digest on every platform and in
+/// every future version, which is what lets committed journals and
+/// exported campaign outputs be compared byte for byte across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    /// The FNV-1a 64-bit offset basis.
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    /// The FNV-1a 64-bit prime.
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Self {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Absorbs `bytes` into the digest.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.state ^= u64::from(byte);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+
+    /// Absorbs a `u32` in little-endian byte order.
+    pub fn write_u32(&mut self, value: u32) {
+        self.write(&value.to_le_bytes());
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, value: u8) {
+        self.write(&[value]);
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// One-shot digest of `bytes`.
+    pub fn hash(bytes: &[u8]) -> u64 {
+        let mut hasher = Self::new();
+        hasher.write(bytes);
+        hasher.finish()
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +163,31 @@ mod tests {
             values, sorted,
             "a 100-element shuffle is the identity with probability 1/100!"
         );
+    }
+
+    #[test]
+    fn fnv1a_matches_the_published_test_vectors() {
+        // Reference digests from the FNV specification (draft-eastlake):
+        // the empty string hashes to the offset basis, "a" and "foobar"
+        // to the published 64-bit FNV-1a values.
+        assert_eq!(Fnv1a::hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv1a::hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv1a::hash(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv1a_streaming_equals_one_shot() {
+        let mut streaming = Fnv1a::new();
+        streaming.write(b"cam");
+        streaming.write_u8(b'p');
+        streaming.write(b"aign");
+        assert_eq!(streaming.finish(), Fnv1a::hash(b"campaign"));
+        let mut words = Fnv1a::new();
+        words.write_u32(0xDEAD_BEEF);
+        words.write_u64(0x0123_4567_89AB_CDEF);
+        let mut bytes = Fnv1a::new();
+        bytes.write(&0xDEAD_BEEFu32.to_le_bytes());
+        bytes.write(&0x0123_4567_89AB_CDEFu64.to_le_bytes());
+        assert_eq!(words.finish(), bytes.finish());
     }
 }
