@@ -7,7 +7,7 @@
 //! cargo run --release -p bench --bin fault_sim_bench -- --rows 16 --cols 16
 //! cargo run --release -p bench --bin fault_sim_bench -- --passes 5 --out custom.json
 //! cargo run --release -p bench --bin fault_sim_bench -- --dense-size 512x512 --dense-faults 50000
-//! cargo run --release -p bench --bin fault_sim_bench -- --no-dense --no-campaign
+//! cargo run --release -p bench --bin fault_sim_bench -- --no-dense --no-campaign --no-scheduler
 //! ```
 //!
 //! The workload is the acceptance sweep of the kernel work: the standard
@@ -22,7 +22,10 @@
 //! 1024×1024 and the address-aware packer vs. the greedy planner on an
 //! overlap-heavy population (skip with `--no-dense`) — and the campaign
 //! section, the crash-safe campaign runner's jobs/sec against a direct
-//! per-job loop (skip with `--no-campaign`).
+//! per-job loop (skip with `--no-campaign`), and the scheduler section,
+//! interned `OutcomeCode` report assembly against the classic
+//! three-strings-per-fault `CoverageReport` (skip with
+//! `--no-scheduler`).
 //!
 //! Exit codes: `0` on success, `2` for a malformed command line, `3` when
 //! the output file cannot be written.
@@ -73,12 +76,13 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
         Some((dense_rows, dense_cols, dense_faults))
     };
     let campaign = !args.iter().any(|a| a == "--no-campaign");
+    let scheduler = !args.iter().any(|a| a == "--no-scheduler");
 
     println!(
         "# Fault-simulation sweep throughput ({} organizations, {passes} passes per variant)",
         organizations.len()
     );
-    let sweep = FaultSimSweep::measure_full(&organizations, passes, dense, campaign);
+    let sweep = FaultSimSweep::measure_full(&organizations, passes, dense, campaign, scheduler);
     for result in &sweep.sizes {
         println!(
             "{}x{}: {} algorithms x {} faults, {} threads",
@@ -173,6 +177,22 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
         println!(
             "  journaled campaign ({} worker threads):     {:>12.1} jobs/sec",
             section.threads, section.campaign_parallel_jobs_per_sec
+        );
+    }
+
+    if let Some(section) = &sweep.scheduler {
+        println!(
+            "scheduler section ({} outcomes per pass):",
+            section.outcomes
+        );
+        println!(
+            "  strings assembly (3 strings per outcome):  {:>12.1} outcomes/sec",
+            section.strings_outcomes_per_sec
+        );
+        println!(
+            "  interned assembly (16-byte codes):         {:>12.1} outcomes/sec   ({:.2}x vs strings)",
+            section.interned_outcomes_per_sec,
+            section.speedup_interned_vs_strings()
         );
     }
 

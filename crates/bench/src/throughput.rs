@@ -44,11 +44,15 @@ use std::time::Instant;
 use march_test::address_order::AddressOrder;
 use march_test::algorithm::MarchTest;
 use march_test::batch::{CohortPlanner, FaultBatch};
-use march_test::coverage::{evaluate_coverage_on_walk, CoverageReport, SweepBackend, SweepOptions};
+use march_test::coverage::{
+    evaluate_coverage_interned_on_walk, evaluate_coverage_on_walk, CoverageReport, SweepBackend,
+    SweepOptions,
+};
 use march_test::executor::{MarchWalk, Mismatch};
 use march_test::fault_sim::{DetectionMode, FaultSimOutcome};
 use march_test::faultgen::FaultGen;
 use march_test::faults::{Fault, FaultFactory, FaultyMemory, LaneFault};
+use march_test::intern::{InternedSweep, NameTable, OutcomeCode};
 use march_test::library;
 use march_test::memory::{GoodMemory, MemoryModel};
 use march_test::parallel::max_threads;
@@ -835,6 +839,167 @@ pub fn campaign_bench(passes: usize) -> CampaignBenchSection {
     }
 }
 
+/// The unified-scheduler section: outcome assembly for the *same* sweep
+/// results timed two ways.
+///
+/// * **strings** — the classic [`CoverageReport`] shape: three heap
+///   strings per fault (the instance name plus fresh copies of the test
+///   and order names) in a fat [`FaultSimOutcome`] struct.
+/// * **interned** — the scheduler-era [`InternedSweep`] shape: one
+///   instance-name string pushed into a shared [`NameTable`] and a
+///   16-byte [`OutcomeCode`] per fault.
+///
+/// Both passes assemble (and drop) a full report from identical
+/// pre-swept per-fault results, so the gated
+/// `speedup_interned_vs_strings` ratio isolates exactly what the interned
+/// report type buys the scheduler's hot outcome path — the sweeps
+/// themselves are identical by construction (asserted digest-for-digest
+/// before timing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerBenchSection {
+    /// Worker threads the unified pool would run with on this machine.
+    pub workers: usize,
+    /// Outcomes assembled per pass.
+    pub outcomes: usize,
+    /// Outcomes per second through the three-strings `CoverageReport`
+    /// assembly.
+    pub strings_outcomes_per_sec: f64,
+    /// Outcomes per second through the interned `OutcomeCode` assembly.
+    pub interned_outcomes_per_sec: f64,
+}
+
+impl SchedulerBenchSection {
+    /// Interned assembly throughput relative to the strings assembly —
+    /// machine-relative, carried in the committed JSON and gated by CI.
+    pub fn speedup_interned_vs_strings(&self) -> f64 {
+        self.interned_outcomes_per_sec / self.strings_outcomes_per_sec
+    }
+
+    /// Renders the section as the `scheduler` member of the sweep JSON.
+    fn to_json_entry(&self) -> String {
+        let fields = [
+            format!("\"workers\": {}", self.workers),
+            format!("\"outcomes\": {}", self.outcomes),
+            format!(
+                "\"strings_outcomes_per_sec\": {:.1}",
+                self.strings_outcomes_per_sec
+            ),
+            format!(
+                "\"interned_outcomes_per_sec\": {:.1}",
+                self.interned_outcomes_per_sec
+            ),
+            format!(
+                "\"speedup_interned_vs_strings\": {:.3}",
+                self.speedup_interned_vs_strings()
+            ),
+        ];
+        format!("  {{\n    {}\n  }}", fields.join(",\n    "))
+    }
+}
+
+/// Measures the unified-scheduler section.
+///
+/// One sweep runs up front through each report path; the interned
+/// report's digest and materialized form are asserted identical to the
+/// classic report's (the same bit-identity contract the campaign journal
+/// relies on). The timed passes then rebuild each report shape from the
+/// pre-instantiated faults and pre-swept results in one interleaved
+/// rotation (`time_rotation`, the dense section's scheme), so the
+/// committed ratio times outcome assembly and nothing else.
+///
+/// # Panics
+///
+/// Panics if the interned sweep diverges from the classic one.
+pub fn scheduler_bench(passes: usize) -> SchedulerBenchSection {
+    let organization = ArrayOrganization::new(64, 64).expect("valid organization");
+    let test = library::march_ss();
+    let order = march_test::address_order::WordLineAfterWordLine;
+    let walk = MarchWalk::new(&test, &order, &organization);
+    let population = FaultGen::new(organization, DENSE_POPULATION_SEED).dense_profile(50_000);
+    let options = SweepOptions {
+        background: false,
+        mode: DetectionMode::FirstMismatch,
+        parallel: false,
+        backend: SweepBackend::LaneBatched,
+    };
+
+    // Equivalence gate: the interned path must be indistinguishable from
+    // the classic one before either assembly shape is worth timing.
+    let interned = evaluate_coverage_interned_on_walk(&walk, &population, options);
+    {
+        let classic = evaluate_coverage_on_walk(&walk, &population, options);
+        assert_eq!(
+            interned.digest(),
+            classic.digest(),
+            "interned sweep digest diverged from the classic report"
+        );
+        assert_eq!(
+            interned.materialize(),
+            classic,
+            "interned sweep materialized into a different report"
+        );
+    }
+
+    // Pre-instantiate the fault boxes and pair them with their swept
+    // results: the timed passes measure pure outcome assembly.
+    let faults: Vec<Box<dyn Fault>> = population.iter().map(|factory| factory()).collect();
+    let results: Vec<(bool, u32)> = interned
+        .codes()
+        .iter()
+        .map(|code| (code.detected, code.mismatches))
+        .collect();
+    drop(interned);
+    let test_name = walk.test_name();
+    let order_name = walk.order_name();
+
+    let outcomes = faults.len();
+    let mut strings_pass = || {
+        let assembled: Vec<FaultSimOutcome> = faults
+            .iter()
+            .zip(&results)
+            .map(|(fault, &(detected, mismatches))| FaultSimOutcome {
+                fault_name: fault.name(),
+                fault_kind: fault.kind(),
+                test_name: test_name.to_string(),
+                order_name: order_name.to_string(),
+                detected,
+                mismatches: mismatches as usize,
+            })
+            .collect();
+        std::hint::black_box(CoverageReport::new(test_name, order_name, assembled));
+    };
+    let mut interned_pass = || {
+        let mut names = NameTable::new();
+        let test_id = names.intern(test_name);
+        let order_id = names.intern(order_name);
+        let codes: Vec<OutcomeCode> = faults
+            .iter()
+            .zip(&results)
+            .map(|(fault, &(detected, mismatches))| OutcomeCode {
+                name: names.push(fault.name()),
+                kind: fault.kind(),
+                detected,
+                mismatches,
+            })
+            .collect();
+        std::hint::black_box(InternedSweep::new(test_id, order_id, names, codes));
+    };
+    let timings = time_rotation(
+        passes,
+        &mut [
+            (outcomes, &mut strings_pass),
+            (outcomes, &mut interned_pass),
+        ],
+    );
+
+    SchedulerBenchSection {
+        workers: max_threads(),
+        outcomes,
+        strings_outcomes_per_sec: timings[0].faults_per_sec,
+        interned_outcomes_per_sec: timings[1].faults_per_sec,
+    }
+}
+
 /// The `--organization` sweep: one [`FaultSimThroughput`] per array size,
 /// 64×64 up to 1024×1024 by default (the frozen baseline replica runs up
 /// to 256×256; larger entries gate on the batched-vs-kernel speedup),
@@ -847,6 +1012,9 @@ pub struct FaultSimSweep {
     pub dense: Option<DenseSweepSection>,
     /// The campaign-runner overhead section, when measured.
     pub campaign: Option<CampaignBenchSection>,
+    /// The unified-scheduler (interned outcome assembly) section, when
+    /// measured.
+    pub scheduler: Option<SchedulerBenchSection>,
 }
 
 impl FaultSimSweep {
@@ -873,22 +1041,23 @@ impl FaultSimSweep {
         passes: usize,
         dense: Option<(u32, u32, usize)>,
     ) -> Self {
-        Self::measure_full(organizations, passes, dense, false)
+        Self::measure_full(organizations, passes, dense, false, false)
     }
 
-    /// Measures the size sweep plus the optional dense and
-    /// campaign-overhead sections.
+    /// Measures the size sweep plus the optional dense, campaign-overhead
+    /// and scheduler sections.
     ///
     /// # Panics
     ///
     /// Panics if any organization is invalid or any equivalence gate
-    /// fails (see [`fault_sim_throughput`], [`dense_sweep`] and
-    /// [`campaign_bench`]).
+    /// fails (see [`fault_sim_throughput`], [`dense_sweep`],
+    /// [`campaign_bench`] and [`scheduler_bench`]).
     pub fn measure_full(
         organizations: &[(u32, u32)],
         passes: usize,
         dense: Option<(u32, u32, usize)>,
         campaign: bool,
+        scheduler: bool,
     ) -> Self {
         // The dense section runs first, on a pristine heap: the size
         // ladder cycles gigabytes of walk arrays, and the fragmented
@@ -897,10 +1066,12 @@ impl FaultSimSweep {
         // unaffected, which would skew the gated ratio).
         let dense =
             dense.map(|(rows, cols, fault_count)| dense_sweep(rows, cols, fault_count, passes));
-        // The campaign section's gated metric is a ratio between two
-        // variants timed back to back, so heap state cancels; it runs
-        // second, still ahead of the allocation-heavy size ladder.
+        // The campaign and scheduler sections' gated metrics are ratios
+        // between variants timed back to back, so heap state cancels;
+        // they run second, still ahead of the allocation-heavy size
+        // ladder.
         let campaign = campaign.then(|| campaign_bench(passes));
+        let scheduler = scheduler.then(|| scheduler_bench(passes));
         Self {
             sizes: organizations
                 .iter()
@@ -908,6 +1079,7 @@ impl FaultSimSweep {
                 .collect(),
             dense,
             campaign,
+            scheduler,
         }
     }
 
@@ -940,9 +1112,14 @@ impl FaultSimSweep {
             .as_ref()
             .map(|section| format!(",\n  \"campaign\":\n{}", section.to_json_entry()))
             .unwrap_or_default();
+        let scheduler = self
+            .scheduler
+            .as_ref()
+            .map(|section| format!(",\n  \"scheduler\":\n{}", section.to_json_entry()))
+            .unwrap_or_default();
         format!(
             "{{\n  \"benchmark\": \"fault_sim_sweep\",\n  \"algorithms\": [{algorithms}],\n  \
-             \"passes\": {},\n  \"threads\": {},\n  \"sizes\": [\n{entries}\n  ]{dense}{campaign}\n}}\n",
+             \"passes\": {},\n  \"threads\": {},\n  \"sizes\": [\n{entries}\n  ]{dense}{campaign}{scheduler}\n}}\n",
             first.map_or(0, |s| s.passes),
             first.map_or(0, |s| s.threads),
         )
@@ -1217,6 +1394,7 @@ mod tests {
             sizes: vec![],
             dense: Some(section),
             campaign: None,
+            scheduler: None,
         };
         let json = sweep.to_json();
         assert!(json.contains("\"dense\":"));
@@ -1239,9 +1417,36 @@ mod tests {
         let sweep = FaultSimSweep::measure(&[(4, 8)], 1);
         assert!(sweep.dense.is_none());
         assert!(sweep.campaign.is_none());
+        assert!(sweep.scheduler.is_none());
         let json = sweep.to_json();
         assert!(!json.contains("\"dense\""));
         assert!(!json.contains("\"campaign\""));
+        assert!(!json.contains("\"scheduler\""));
+        crate::json::parse(&json).expect("sweep JSON parses");
+    }
+
+    #[test]
+    fn scheduler_section_renders_its_gated_fields() {
+        let section = SchedulerBenchSection {
+            workers: 4,
+            outcomes: 50_000,
+            strings_outcomes_per_sec: 1_000_000.0,
+            interned_outcomes_per_sec: 2_000_000.0,
+        };
+        assert!((section.speedup_interned_vs_strings() - 2.0).abs() < 1e-12);
+        let sweep = FaultSimSweep {
+            sizes: vec![],
+            dense: None,
+            campaign: None,
+            scheduler: Some(section),
+        };
+        let json = sweep.to_json();
+        assert!(json.contains("\"scheduler\":"));
+        assert!(json.contains("\"workers\": 4"));
+        assert!(json.contains("\"outcomes\": 50000"));
+        assert!(json.contains("\"strings_outcomes_per_sec\": 1000000.0"));
+        assert!(json.contains("\"interned_outcomes_per_sec\": 2000000.0"));
+        assert!(json.contains("\"speedup_interned_vs_strings\": 2.000"));
         crate::json::parse(&json).expect("sweep JSON parses");
     }
 
@@ -1259,6 +1464,7 @@ mod tests {
             sizes: vec![],
             dense: None,
             campaign: Some(section),
+            scheduler: None,
         };
         let json = sweep.to_json();
         assert!(json.contains("\"campaign\":"));

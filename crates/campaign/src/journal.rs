@@ -297,7 +297,11 @@ impl Journal {
         }
         let header_jobs = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
         let header_digest = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
-        if header_digest != plan_digest || header_jobs != job_count {
+        // A zero job count can never have been written by `create` (plans
+        // validate as non-empty), so it is a forged or zeroed header even
+        // when the digest happens to collide — reject it outright rather
+        // than resuming against a plan the journal never described.
+        if header_digest != plan_digest || header_jobs != job_count || header_jobs == 0 {
             return Err(CampaignError::PlanMismatch {
                 expected: plan_digest,
                 found: header_digest,

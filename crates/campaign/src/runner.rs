@@ -1,12 +1,16 @@
 //! The panic-isolated campaign worker pool.
 //!
-//! [`run_campaign`] drains a shard's job queue across scoped worker
-//! threads. Each job executes inside `catch_unwind`, so a panicking fault
-//! model (or an injected worker kill) costs *one attempt at one job* —
-//! the worker survives, journals a failure record, re-enqueues the job
-//! with bounded backoff, and quarantines it as poison after
-//! [`CampaignOptions::max_attempts`] attempts with the panic payload
-//! recorded.
+//! [`run_campaign`] drains a shard's job queue through the workspace's
+//! unified scheduler ([`sched::run_pool`]): the retry queue acts as an
+//! open-ended producer that wraps each pending attempt in a
+//! [`sched::WorkItem::campaign_job`] and answers [`sched::Poll::Pending`]
+//! while attempts are in flight elsewhere (an in-flight job may fail and
+//! re-enqueue itself). Each job executes inside `catch_unwind`, so a
+//! panicking fault model (or an injected worker kill) costs *one attempt
+//! at one job* — the worker survives, journals a failure record,
+//! re-enqueues the job with bounded backoff, and quarantines it as poison
+//! after [`CampaignOptions::max_attempts`] attempts with the panic
+//! payload recorded.
 //!
 //! Determinism contract: a job's result depends only on its
 //! [`crate::spec::JobSpec`] — never on scheduling — and the export is
@@ -24,10 +28,11 @@ use std::thread;
 use std::time::Duration;
 
 use march_test::address_order::order_by_name;
-use march_test::coverage::{evaluate_coverage_caught, panic_message, SweepOptions};
+use march_test::coverage::{evaluate_coverage_interned_caught, panic_message, SweepOptions};
 use march_test::fault_sim::DetectionMode;
 use march_test::library::algorithm_by_name;
 use march_test::parallel::max_threads;
+use sched::{run_pool, Poll, WorkItem};
 use sram_model::config::ArrayOrganization;
 
 use crate::error::CampaignError;
@@ -155,10 +160,8 @@ pub fn run_campaign(
     let workers = options
         .threads
         .clamp(1, shared.queue.lock().expect("queue lock").len().max(1));
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| worker_loop(plan, options, injector, &shared));
-        }
+    run_pool(workers, |_| {
+        poll_campaign_item(plan, options, injector, &shared)
     });
     if let Some(error) = shared.abort.lock().expect("abort lock").take() {
         return Err(error);
@@ -218,120 +221,132 @@ struct Shared {
     retries: AtomicUsize,
 }
 
-/// One worker: drain the queue until it is empty *and* nothing is in
-/// flight (an in-flight job may fail and re-enqueue itself).
-fn worker_loop(
+/// The campaign's [`sched::run_pool`] producer: pop the next pending
+/// attempt and wrap it as a [`WorkItem::campaign_job`], answer
+/// [`Poll::Pending`] while the queue is empty but attempts are in flight
+/// (an in-flight job may fail and re-enqueue itself), and [`Poll::Done`]
+/// once the queue is drained or the campaign aborted.
+fn poll_campaign_item<'a>(
+    plan: &'a CampaignPlan,
+    options: &'a CampaignOptions,
+    injector: &'a FaultInjector,
+    shared: &'a Shared,
+) -> Poll<'a> {
+    if shared.abort_flag.load(Ordering::SeqCst) {
+        return Poll::Done;
+    }
+    let next = {
+        let mut queue = shared.queue.lock().expect("queue lock");
+        let next = queue.pop_front();
+        if next.is_some() {
+            shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        }
+        next
+    };
+    match next {
+        Some((job, attempt)) => Poll::Item(WorkItem::campaign_job(move |_scratch| {
+            run_attempt(plan, options, injector, shared, job, attempt);
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        })),
+        None if shared.in_flight.load(Ordering::SeqCst) > 0 => Poll::Pending,
+        None => Poll::Done,
+    }
+}
+
+/// One journaled attempt at one job: backoff, panic-isolated execution,
+/// journal append, then completion / retry re-enqueue / poison
+/// quarantine / abort bookkeeping.
+fn run_attempt(
     plan: &CampaignPlan,
     options: &CampaignOptions,
     injector: &FaultInjector,
     shared: &Shared,
+    job: u32,
+    attempt: u8,
 ) {
-    loop {
-        if shared.abort_flag.load(Ordering::SeqCst) {
-            return;
-        }
-        let next = {
-            let mut queue = shared.queue.lock().expect("queue lock");
-            let next = queue.pop_front();
-            if next.is_some() {
-                shared.in_flight.fetch_add(1, Ordering::SeqCst);
-            }
-            next
-        };
-        let Some((job, attempt)) = next else {
-            if shared.in_flight.load(Ordering::SeqCst) == 0 {
-                return;
-            }
-            thread::sleep(Duration::from_millis(1));
-            continue;
-        };
-        if attempt > 1 {
-            // Bounded backoff: linear in the attempt number, capped by
-            // max_attempts.
-            thread::sleep(options.backoff * u32::from(attempt - 1));
-        }
-        let spec = &plan.jobs[job as usize];
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            execute_job(spec, job, attempt, options.job_delay, injector)
-        }));
-        // A panic anywhere in the job — fault model, kernel, injected
-        // worker kill — collapses to a failure message; the worker
-        // itself survives.
-        let outcome: Result<JobResult, String> = match outcome {
-            Ok(Ok(result)) => Ok(result),
-            Ok(Err(message)) => Err(message),
-            Err(payload) => Err(panic_message(&*payload)),
-        };
-        let appended = {
-            let mut journal = shared.journal.lock().expect("journal lock");
-            let record = match &outcome {
-                Ok(result) => JournalRecord::Completed {
-                    job,
-                    attempt,
-                    result: *result,
-                },
-                Err(message) if attempt < options.max_attempts => JournalRecord::Failed {
-                    job,
-                    attempt,
-                    message: message.clone(),
-                },
-                Err(message) => JournalRecord::Poisoned {
-                    job,
-                    attempt,
-                    message: message.clone(),
-                },
-            };
-            journal.append(&record, injector).and_then(|()| {
-                if injector.should_abort(journal.records_written()) {
-                    Err(CampaignError::Injected {
-                        point: format!("abort after {} records", journal.records_written()),
-                    })
-                } else {
-                    Ok(())
-                }
-            })
-        };
-        match appended {
-            Ok(()) => match outcome {
-                Ok(result) => {
-                    shared
-                        .results
-                        .lock()
-                        .expect("results lock")
-                        .insert(job, result);
-                    shared.executed.fetch_add(1, Ordering::Relaxed);
-                }
-                Err(message) => {
-                    if attempt < options.max_attempts {
-                        shared.retries.fetch_add(1, Ordering::Relaxed);
-                        shared
-                            .queue
-                            .lock()
-                            .expect("queue lock")
-                            .push_back((job, attempt + 1));
-                    } else {
-                        shared
-                            .poisoned
-                            .lock()
-                            .expect("poisoned lock")
-                            .insert(job, message);
-                    }
-                }
+    if attempt > 1 {
+        // Bounded backoff: linear in the attempt number, capped by
+        // max_attempts.
+        thread::sleep(options.backoff * u32::from(attempt - 1));
+    }
+    let spec = &plan.jobs[job as usize];
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        execute_job(spec, job, attempt, options.job_delay, injector)
+    }));
+    // A panic anywhere in the job — fault model, kernel, injected
+    // worker kill — collapses to a failure message; the worker
+    // itself survives.
+    let outcome: Result<JobResult, String> = match outcome {
+        Ok(Ok(result)) => Ok(result),
+        Ok(Err(message)) => Err(message),
+        Err(payload) => Err(panic_message(&*payload)),
+    };
+    let appended = {
+        let mut journal = shared.journal.lock().expect("journal lock");
+        let record = match &outcome {
+            Ok(result) => JournalRecord::Completed {
+                job,
+                attempt,
+                result: *result,
             },
-            Err(error) => {
-                // Injected crash (or real I/O failure): stop the
-                // campaign without recording the in-memory outcome —
-                // exactly what dying mid-append loses.
-                let mut abort = shared.abort.lock().expect("abort lock");
-                if abort.is_none() {
-                    *abort = Some(error);
-                }
-                shared.abort_flag.store(true, Ordering::SeqCst);
-                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-                return;
+            Err(message) if attempt < options.max_attempts => JournalRecord::Failed {
+                job,
+                attempt,
+                message: message.clone(),
+            },
+            Err(message) => JournalRecord::Poisoned {
+                job,
+                attempt,
+                message: message.clone(),
+            },
+        };
+        journal.append(&record, injector).and_then(|()| {
+            if injector.should_abort(journal.records_written()) {
+                Err(CampaignError::Injected {
+                    point: format!("abort after {} records", journal.records_written()),
+                })
+            } else {
+                Ok(())
             }
+        })
+    };
+    match appended {
+        Ok(()) => match outcome {
+            Ok(result) => {
+                shared
+                    .results
+                    .lock()
+                    .expect("results lock")
+                    .insert(job, result);
+                shared.executed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(message) => {
+                if attempt < options.max_attempts {
+                    shared.retries.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .queue
+                        .lock()
+                        .expect("queue lock")
+                        .push_back((job, attempt + 1));
+                } else {
+                    shared
+                        .poisoned
+                        .lock()
+                        .expect("poisoned lock")
+                        .insert(job, message);
+                }
+            }
+        },
+        Err(error) => {
+            // Injected crash (or real I/O failure): stop the
+            // campaign without recording the in-memory outcome —
+            // exactly what dying mid-append loses.
+            let mut abort = shared.abort.lock().expect("abort lock");
+            if abort.is_none() {
+                *abort = Some(error);
+            }
+            shared.abort_flag.store(true, Ordering::SeqCst);
         }
-        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -380,8 +395,12 @@ fn execute_job(
         parallel: false,
         backend: spec.backend,
     };
-    let report = evaluate_coverage_caught(&test, order.as_ref(), &organization, &factories, sweep)
-        .map_err(|panic| panic.to_string())?;
+    // The interned sweep: same kernel, same digest bit-for-bit, but one
+    // name string per fault instead of three fat outcome strings — the
+    // journal only ever wants the counts and the fingerprint.
+    let report =
+        evaluate_coverage_interned_caught(&test, order.as_ref(), &organization, &factories, sweep)
+            .map_err(|panic| panic.to_string())?;
     Ok(JobResult {
         detected: report.detected() as u32,
         total: report.total() as u32,

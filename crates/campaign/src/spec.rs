@@ -45,6 +45,28 @@ pub enum PopulationSpec {
 
 impl PopulationSpec {
     /// Parses `"standard"`, `"mixed:N"` or `"dense:N"`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use campaign::PopulationSpec;
+    ///
+    /// assert_eq!(PopulationSpec::parse("standard"), Some(PopulationSpec::Standard));
+    /// assert_eq!(
+    ///     PopulationSpec::parse("mixed:600"),
+    ///     Some(PopulationSpec::Mixed { count: 600 }),
+    /// );
+    /// assert_eq!(
+    ///     PopulationSpec::parse("dense:100000"),
+    ///     Some(PopulationSpec::Dense { target: 100_000 }),
+    /// );
+    /// // Unknown profiles and malformed counts are rejected, and
+    /// // `render` is the exact inverse of `parse`.
+    /// assert_eq!(PopulationSpec::parse("sparse:7"), None);
+    /// assert_eq!(PopulationSpec::parse("mixed:many"), None);
+    /// let spec = PopulationSpec::parse("mixed:600").unwrap();
+    /// assert_eq!(spec.render(), "mixed:600");
+    /// ```
     pub fn parse(spec: &str) -> Option<Self> {
         if spec == "standard" {
             return Some(Self::Standard);
@@ -88,6 +110,31 @@ impl PopulationSpec {
 }
 
 /// One campaign job: everything one sweep needs, by value.
+///
+/// # Examples
+///
+/// ```
+/// use campaign::{JobSpec, PopulationSpec};
+/// use march_test::coverage::SweepBackend;
+///
+/// let job = JobSpec {
+///     rows: 64,
+///     cols: 64,
+///     seed: 1,
+///     algorithm: "March C-".to_string(),
+///     order: "word line after word line".to_string(),
+///     background: false,
+///     backend: SweepBackend::LaneBatched,
+///     population: PopulationSpec::Mixed { count: 600 },
+/// };
+/// assert!(job.validate().is_ok());
+///
+/// // Validation resolves names up-front, so a typo fails the plan in
+/// // milliseconds instead of poisoning jobs one retry at a time.
+/// let mut typo = job.clone();
+/// typo.algorithm = "March Nope".to_string();
+/// assert!(typo.validate().unwrap_err().contains("unknown algorithm"));
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobSpec {
     /// Word lines of the array.

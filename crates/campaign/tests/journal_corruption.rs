@@ -214,3 +214,26 @@ fn mangled_headers_are_rejected_not_misread() {
     ));
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn zeroed_job_count_header_is_rejected_even_when_the_digest_matches() {
+    // A zeroed job-count field (a crash mid-header-write, or a file
+    // zero-filled by a failing disk) must not resume — even if the caller
+    // also asks for zero jobs and the digest happens to line up, because
+    // `create` can never have written such a header.
+    let path = journal_with("zero-jobs", 2, 0xF0);
+    let mut zeroed = std::fs::read(&path).unwrap();
+    zeroed[16..20].fill(0);
+    std::fs::write(&path, &zeroed).unwrap();
+    assert!(matches!(
+        Journal::open_resume(&path, 2, 0xF0),
+        Err(CampaignError::PlanMismatch { .. })
+    ));
+    // The pathological caller-side echo: asking to resume 0 jobs against
+    // the zeroed header still refuses.
+    assert!(matches!(
+        Journal::open_resume(&path, 0, 0xF0),
+        Err(CampaignError::PlanMismatch { .. })
+    ));
+    std::fs::remove_file(&path).ok();
+}

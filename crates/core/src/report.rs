@@ -62,13 +62,14 @@ pub fn table1_row(config: &SramConfig, test: &MarchTest) -> Result<Table1Row, Sr
 }
 
 /// Reproduces the full Table 1 (the five algorithms of the paper) on the
-/// given configuration, fanning the per-algorithm sessions out across
-/// scoped worker threads.
+/// given configuration, fanning the per-algorithm sessions out through
+/// the workspace's [`sched`] worker pool as
+/// [`PowerSession`](sched::WorkKind::PowerSession) work items.
 ///
-/// Every row is computed by an independent session, and the fork-join
-/// helper concatenates per-chunk outputs in input order, so the result is
-/// byte-identical to [`reproduce_table1_serial`] — same rows, same order,
-/// same floating-point bits (asserted by the golden tests).
+/// Every row is computed by an independent session, and the pool's
+/// chunked fan-out concatenates per-chunk outputs in input order, so the
+/// result is byte-identical to [`reproduce_table1_serial`] — same rows,
+/// same order, same floating-point bits (asserted by the golden tests).
 ///
 /// # Errors
 ///
@@ -76,11 +77,15 @@ pub fn table1_row(config: &SramConfig, test: &MarchTest) -> Result<Table1Row, Sr
 pub fn reproduce_table1(config: &SramConfig) -> Result<Vec<Table1Row>, SramError> {
     let tests = library::table1_algorithms();
     let threads = march_test::parallel::max_threads().min(tests.len());
-    march_test::parallel::par_chunk_map(&tests, threads, |chunk| {
-        chunk.iter().map(|test| table1_row(config, test)).collect()
-    })
-    .into_iter()
-    .collect()
+    let rows = sched::map_chunks(
+        sched::WorkKind::PowerSession,
+        &tests,
+        threads,
+        threads,
+        |chunk, _scratch| chunk.iter().map(|test| table1_row(config, test)).collect(),
+    );
+    assert_eq!(rows.len(), tests.len(), "one row per algorithm");
+    rows.into_iter().collect()
 }
 
 /// The strictly serial Table 1 reproduction — the reference the parallel

@@ -88,11 +88,11 @@
 
 use sram_model::address::Address;
 
-use crate::executor::{run_march_lanes, MarchWalk};
-use crate::fault_sim::{simulate_fault_on_walk, DetectionMode, FaultSimOutcome};
+use crate::executor::{run_march_lanes_scratch, LaneScratch, MarchWalk};
+use crate::fault_sim::{simulate_fault_counts_on_walk, DetectionMode, FaultSimOutcome};
 use crate::faults::{Fault, FaultFactory, FaultKind, LaneFault, LaneFaultKind};
 use crate::memory::{GoodMemory, LaneMemory};
-use crate::parallel::par_chunk_flat_map_balanced;
+use crate::parallel::par_chunk_flat_map_balanced_scratch;
 
 /// One unit of sweep work produced by the [`FaultBatch`] planner.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -405,6 +405,36 @@ impl FaultBatch {
 
     /// Plans the cohorts of `faults` over `walk` under an explicit
     /// `planner` (see the module docs for the grouping rules).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use march_test::batch::{CohortPlanner, FaultBatch};
+    /// use march_test::executor::MarchWalk;
+    /// use march_test::faults::standard_fault_list;
+    /// use march_test::prelude::WordLineAfterWordLine;
+    /// use march_test::library;
+    /// use sram_model::config::ArrayOrganization;
+    ///
+    /// let organization = ArrayOrganization::new(8, 8)?;
+    /// let walk = MarchWalk::new(
+    ///     &library::march_ss(),
+    ///     &WordLineAfterWordLine,
+    ///     &organization,
+    /// );
+    /// let faults = standard_fault_list(&organization);
+    ///
+    /// let greedy = FaultBatch::plan_with(&walk, &faults, CohortPlanner::ListOrderGreedy);
+    /// let packed = FaultBatch::plan_with(&walk, &faults, CohortPlanner::AddressAware);
+    ///
+    /// // Both plans cover every fault; the address-aware packer keeps
+    /// // whichever grouping dispatches fewer merged walk steps, so it is
+    /// // never worse than the list-order baseline.
+    /// assert_eq!(greedy.fault_count(), faults.len());
+    /// assert_eq!(packed.fault_count(), faults.len());
+    /// assert!(packed.merged_schedule_steps() <= greedy.merged_schedule_steps());
+    /// # Ok::<(), sram_model::error::SramError>(())
+    /// ```
     pub fn plan_with(walk: &MarchWalk, faults: &[FaultFactory], planner: CohortPlanner) -> Self {
         Self::plan_probed(walk, &probe_faults(walk, faults), planner, false).0
     }
@@ -684,10 +714,6 @@ pub fn sweep_batched(
     )
 }
 
-/// A ready-made outcome parked during execution (boxed cohorts, serial
-/// singletons), keyed by fault index for the final list-order assembly.
-type Parked = (usize, FaultSimOutcome);
-
 fn park_lane_outcome(
     walk: &MarchWalk,
     fault: &dyn Fault,
@@ -734,6 +760,41 @@ pub fn sweep_batched_with(
     threads: usize,
     planner: CohortPlanner,
 ) -> Vec<FaultSimOutcome> {
+    sweep_batched_assemble(
+        walk,
+        faults,
+        background,
+        mode,
+        threads,
+        planner,
+        &|fault, detected, mismatches| park_lane_outcome(walk, fault, detected, mismatches),
+    )
+}
+
+/// [`sweep_batched_with`], generic over the per-fault outcome assembly:
+/// `assemble(fault, detected, mismatches)` renders each fault's result
+/// into whatever report entry the caller wants — the full string-bearing
+/// [`FaultSimOutcome`] ([`sweep_batched_with`] itself), or the interned
+/// [`OutcomeCode`](crate::intern::OutcomeCode) form that skips the
+/// three-strings-per-fault allocation
+/// ([`crate::coverage::evaluate_coverage_interned`]).
+///
+/// `assemble` runs once per fault, in no guaranteed order (workers call
+/// it for their own cohorts), but the returned vector is always in
+/// fault-list order. It must be a pure function of its arguments.
+pub fn sweep_batched_assemble<O, A>(
+    walk: &MarchWalk,
+    faults: &[FaultFactory],
+    background: bool,
+    mode: DetectionMode,
+    threads: usize,
+    planner: CohortPlanner,
+    assemble: &A,
+) -> Vec<O>
+where
+    O: Send + Sync,
+    A: Fn(&dyn Fault, bool, usize) -> O + Sync,
+{
     let mut probes = probe_faults(walk, faults);
     let (plan, packed) = FaultBatch::plan_probed(walk, &probes, planner, true);
 
@@ -776,10 +837,14 @@ pub fn sweep_batched_with(
     // its reads mismatched), so one dense `u32` array carries the whole
     // outcome and the assembly pass gathers four bytes per fault.
     let mut counts_packed = vec![0u32; packed_lanes.len()];
-    let mut parked: Vec<Parked> = Vec::new();
+    let mut parked: Vec<(usize, O)> = Vec::new();
 
     if threads <= 1 {
         let mut scratch: Option<GoodMemory> = None;
+        // One set of kernel dispatch buffers serves every cohort of the
+        // sweep — the serial analogue of the per-worker scratch reuse of
+        // the parallel path below.
+        let mut lane_scratch = LaneScratch::new();
         let mut lane_cursor = 0usize;
         for cohort in plan.cohorts() {
             match cohort {
@@ -787,11 +852,12 @@ pub fn sweep_batched_with(
                     let (start, len) = lane_ranges[lane_cursor];
                     lane_cursor += 1;
                     let (start, len) = (start as usize, len as usize);
-                    let detections = run_march_lanes(
+                    let detections = run_march_lanes_scratch(
                         walk,
                         &mut packed_lanes[start..start + len],
                         background,
                         mode,
+                        &mut lane_scratch,
                     );
                     for (offset, detection) in detections.iter().enumerate() {
                         counts_packed[start + offset] = detection.mismatches as u32;
@@ -806,27 +872,27 @@ pub fn sweep_batched_with(
                                 .expect("planned boxed faults have lane forms")
                         })
                         .collect();
-                    let detections = run_march_lanes(walk, &mut lanes, background, mode);
-                    for (&index, detection) in indices.iter().zip(&detections) {
+                    let detections = run_march_lanes_scratch(
+                        walk,
+                        &mut lanes,
+                        background,
+                        mode,
+                        &mut lane_scratch,
+                    );
+                    for (&index, detection) in indices.iter().zip(detections) {
                         let fault = probes.faults[index].take().expect("probe holds its fault");
                         parked.push((
                             index,
-                            park_lane_outcome(
-                                walk,
-                                fault.as_ref(),
-                                detection.detected,
-                                detection.mismatches,
-                            ),
+                            assemble(fault.as_ref(), detection.detected, detection.mismatches),
                         ));
                     }
                 }
                 Cohort::Serial(index) => {
                     let scratch = scratch.get_or_insert_with(|| GoodMemory::new(walk.capacity()));
                     let fault = probes.faults[*index].take().expect("probe holds its fault");
-                    parked.push((
-                        *index,
-                        simulate_fault_on_walk(walk, scratch, fault, background, mode),
-                    ));
+                    let (fault, detected, mismatches) =
+                        simulate_fault_counts_on_walk(walk, scratch, fault, background, mode);
+                    parked.push((*index, assemble(fault.as_ref(), detected, mismatches)));
                 }
             }
         }
@@ -845,9 +911,9 @@ pub fn sweep_batched_with(
             Boxed(&'a [usize]),
             Serial(usize),
         }
-        enum Record {
+        enum Record<O> {
             Lane { position: usize, mismatches: u32 },
-            Parked(Parked),
+            Parked((usize, O)),
         }
         let mut work: Vec<Work> = Vec::with_capacity(plan.cohorts().len());
         let mut lane_cursor = 0usize;
@@ -866,22 +932,32 @@ pub fn sweep_batched_with(
                 Cohort::Serial(index) => work.push(Work::Serial(*index)),
             }
         }
-        let tagged = par_chunk_flat_map_balanced(&work, threads, |chunk| {
+        let tagged = par_chunk_flat_map_balanced_scratch(&work, threads, |chunk, worker| {
             let mut scratch: Option<GoodMemory> = None;
             let mut local: Vec<LaneFaultKind> = Vec::new();
-            let mut records = Vec::new();
+            let mut records: Vec<Record<O>> = Vec::new();
+            // The kernel dispatch buffers live in the claiming worker's
+            // pool scratch, so every chunk the worker claims — across the
+            // whole sweep — reuses one set of allocations.
+            let lane_scratch: &mut LaneScratch = worker.get_or_insert_with(LaneScratch::new);
             for item in chunk {
                 match item {
                     Work::Lanes { start, lanes } => {
                         local.clear();
                         local.extend_from_slice(lanes);
-                        let detections = run_march_lanes(walk, &mut local, background, mode);
-                        records.extend(detections.into_iter().enumerate().map(
-                            |(offset, detection)| Record::Lane {
+                        let detections = run_march_lanes_scratch(
+                            walk,
+                            &mut local,
+                            background,
+                            mode,
+                            lane_scratch,
+                        );
+                        records.extend(detections.iter().enumerate().map(|(offset, detection)| {
+                            Record::Lane {
                                 position: start + offset,
                                 mismatches: detection.mismatches as u32,
-                            },
-                        ));
+                            }
+                        }));
                     }
                     Work::Boxed(indices) => {
                         let mut lanes = Vec::with_capacity(indices.len());
@@ -895,13 +971,18 @@ pub fn sweep_batched_with(
                             );
                             instances.push(fault);
                         }
-                        let detections = run_march_lanes(walk, &mut lanes, background, mode);
+                        let detections = run_march_lanes_scratch(
+                            walk,
+                            &mut lanes,
+                            background,
+                            mode,
+                            lane_scratch,
+                        );
                         records.extend(indices.iter().zip(instances).zip(detections).map(
                             |((&index, fault), detection)| {
                                 Record::Parked((
                                     index,
-                                    park_lane_outcome(
-                                        walk,
+                                    assemble(
                                         fault.as_ref(),
                                         detection.detected,
                                         detection.mismatches,
@@ -913,14 +994,17 @@ pub fn sweep_batched_with(
                     Work::Serial(index) => {
                         let scratch =
                             scratch.get_or_insert_with(|| GoodMemory::new(walk.capacity()));
-                        let outcome = simulate_fault_on_walk(
+                        let (fault, detected, mismatches) = simulate_fault_counts_on_walk(
                             walk,
                             scratch,
                             faults[*index](),
                             background,
                             mode,
                         );
-                        records.push(Record::Parked((*index, outcome)));
+                        records.push(Record::Parked((
+                            *index,
+                            assemble(fault.as_ref(), detected, mismatches),
+                        )));
                     }
                 }
             }
@@ -953,7 +1037,7 @@ pub fn sweep_batched_with(
                 .as_ref()
                 .expect("lane probes keep their fault");
             let count = counts_packed[position as usize];
-            park_lane_outcome(walk, fault.as_ref(), count > 0, count as usize)
+            assemble(fault.as_ref(), count > 0, count as usize)
         })
         .collect()
 }

@@ -18,10 +18,13 @@ use sram_model::config::ArrayOrganization;
 
 use crate::address_order::AddressOrder;
 use crate::algorithm::MarchTest;
-use crate::batch::{sweep_batched_with, CohortPlanner};
+use crate::batch::{sweep_batched_assemble, sweep_batched_with, CohortPlanner};
 use crate::executor::MarchWalk;
-use crate::fault_sim::{simulate_fault_on_walk, DetectionMode, FaultSimOutcome};
-use crate::faults::FaultFactory;
+use crate::fault_sim::{
+    simulate_fault_counts_on_walk, simulate_fault_on_walk, DetectionMode, FaultSimOutcome,
+};
+use crate::faults::{FaultFactory, FaultKind};
+use crate::intern::{InternedSweep, NameTable, OutcomeCode};
 use crate::memory::GoodMemory;
 use crate::parallel::{max_threads, par_chunk_map};
 use crate::rng::Fnv1a;
@@ -337,6 +340,116 @@ pub fn evaluate_coverage_caught(
     })
 }
 
+/// Per-fault result carried between the sweep workers and the final
+/// intern pass: the rendered instance name plus the raw counts. One
+/// string per fault — the test/order copies of the classic path are
+/// gone, and the name moves into the [`NameTable`] without reallocating.
+type RawOutcome = (String, FaultKind, bool, usize);
+
+/// Folds sweep-ordered raw outcomes into an [`InternedSweep`]: one
+/// serial pass pushing each name into the table and compressing the
+/// counts into 16-byte [`OutcomeCode`]s.
+fn intern_outcomes(walk: &MarchWalk, raw: Vec<RawOutcome>) -> InternedSweep {
+    let mut names = NameTable::new();
+    let test = names.intern(walk.test_name());
+    let order = names.intern(walk.order_name());
+    let codes = raw
+        .into_iter()
+        .map(|(name, kind, detected, mismatches)| OutcomeCode {
+            name: names.push(name),
+            kind,
+            detected,
+            mismatches: u32::try_from(mismatches).expect("mismatch counts fit u32"),
+        })
+        .collect();
+    InternedSweep::new(test, order, names, codes)
+}
+
+/// The interned twin of [`evaluate_coverage_on_walk`]: the same kernel,
+/// planner and threading, but outcomes assemble into an
+/// [`InternedSweep`] — one name string per fault instead of three, and a
+/// 16-byte code instead of a fat outcome struct. The result's
+/// [`digest`](InternedSweep::digest) is bit-identical to the classic
+/// report's, and [`materialize`](InternedSweep::materialize) recovers
+/// the classic report exactly.
+pub fn evaluate_coverage_interned_on_walk(
+    walk: &MarchWalk,
+    faults: &[FaultFactory],
+    options: SweepOptions,
+) -> InternedSweep {
+    let threads = if options.parallel { max_threads() } else { 1 };
+    let raw: Vec<RawOutcome> = match options.backend {
+        SweepBackend::LaneBatched | SweepBackend::LaneBatchedListOrder => {
+            let planner = match options.backend {
+                SweepBackend::LaneBatchedListOrder => CohortPlanner::ListOrderGreedy,
+                _ => CohortPlanner::AddressAware,
+            };
+            sweep_batched_assemble(
+                walk,
+                faults,
+                options.background,
+                options.mode,
+                threads,
+                planner,
+                &|fault, detected, mismatches| (fault.name(), fault.kind(), detected, mismatches),
+            )
+        }
+        SweepBackend::PerFault => {
+            let sweep_chunk = |chunk: &[FaultFactory]| -> Vec<RawOutcome> {
+                let mut scratch = GoodMemory::new(walk.capacity());
+                chunk
+                    .iter()
+                    .map(|factory| {
+                        let (fault, detected, mismatches) = simulate_fault_counts_on_walk(
+                            walk,
+                            &mut scratch,
+                            factory(),
+                            options.background,
+                            options.mode,
+                        );
+                        (fault.name(), fault.kind(), detected, mismatches)
+                    })
+                    .collect()
+            };
+            par_chunk_map(faults, threads, sweep_chunk)
+        }
+    };
+    intern_outcomes(walk, raw)
+}
+
+/// The interned twin of [`evaluate_coverage_with`]: precomputes the walk
+/// once and sweeps into an [`InternedSweep`].
+pub fn evaluate_coverage_interned(
+    test: &MarchTest,
+    order: &dyn AddressOrder,
+    organization: &ArrayOrganization,
+    faults: &[FaultFactory],
+    options: SweepOptions,
+) -> InternedSweep {
+    let walk = MarchWalk::new(test, order, organization);
+    evaluate_coverage_interned_on_walk(&walk, faults, options)
+}
+
+/// The panic-safe interned sweep — the [`InternedSweep`] counterpart of
+/// [`evaluate_coverage_caught`], with the same unwind-safety argument:
+/// the sweep mutates only state it owns, so a caught panic leaves no
+/// observable inconsistency behind. This is the entry point campaign
+/// workers use.
+pub fn evaluate_coverage_interned_caught(
+    test: &MarchTest,
+    order: &dyn AddressOrder,
+    organization: &ArrayOrganization,
+    faults: &[FaultFactory],
+    options: SweepOptions,
+) -> Result<InternedSweep, SweepPanic> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        evaluate_coverage_interned(test, order, organization, faults, options)
+    }))
+    .map_err(|payload| SweepPanic {
+        message: panic_message(&*payload),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,6 +568,82 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn interned_sweep_matches_the_string_path_across_every_combination() {
+        let organization = org();
+        let faults = standard_fault_list(&organization);
+        for test in library::table1_algorithms() {
+            for mode in [DetectionMode::Full, DetectionMode::FirstMismatch] {
+                for backend in [
+                    SweepBackend::PerFault,
+                    SweepBackend::LaneBatched,
+                    SweepBackend::LaneBatchedListOrder,
+                ] {
+                    for parallel in [false, true] {
+                        let options = SweepOptions {
+                            background: false,
+                            mode,
+                            parallel,
+                            backend,
+                        };
+                        let classic = evaluate_coverage_with(
+                            &test,
+                            &WordLineAfterWordLine,
+                            &organization,
+                            &faults,
+                            options,
+                        );
+                        let interned = evaluate_coverage_interned(
+                            &test,
+                            &WordLineAfterWordLine,
+                            &organization,
+                            &faults,
+                            options,
+                        );
+                        let context = format!(
+                            "{} ({mode:?}, {backend:?}, parallel={parallel})",
+                            test.name()
+                        );
+                        assert_eq!(interned.digest(), classic.digest(), "{context}");
+                        assert_eq!(interned.materialize(), classic, "{context}");
+                        assert_eq!(interned.detected(), classic.detected(), "{context}");
+                        assert_eq!(interned.total(), classic.total(), "{context}");
+                        assert_eq!(
+                            interned.total_mismatches(),
+                            classic.total_mismatches(),
+                            "{context}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interned_caught_sweep_agrees_with_the_classic_caught_sweep() {
+        let organization = org();
+        let faults = standard_fault_list(&organization);
+        let test = library::march_ss();
+        let classic = evaluate_coverage_caught(
+            &test,
+            &WordLineAfterWordLine,
+            &organization,
+            &faults,
+            SweepOptions::fast(),
+        )
+        .expect("classic sweep completes");
+        let interned = evaluate_coverage_interned_caught(
+            &test,
+            &WordLineAfterWordLine,
+            &organization,
+            &faults,
+            SweepOptions::fast(),
+        )
+        .expect("interned sweep completes");
+        assert_eq!(interned.digest(), classic.digest());
+        assert_eq!(interned.materialize(), classic);
     }
 
     #[test]

@@ -652,6 +652,77 @@ pub fn run_march_lanes<L: LaneFault>(
     background: bool,
     mode: DetectionMode,
 ) -> Vec<LaneDetection> {
+    let mut scratch = LaneScratch::new();
+    run_march_lanes_scratch(walk, lanes, background, mode, &mut scratch);
+    scratch.results
+}
+
+/// Reusable dispatch buffers of the lane-batched kernel.
+///
+/// One cohort dispatch needs half a dozen transient arrays — the gathered
+/// involved sets, the sorted union, per-slot ownership masks, the sparse
+/// [`LaneMemory`], the packed step schedule and the per-lane results.
+/// Allocating them per cohort is pure overhead once a sweep runs tens of
+/// thousands of cohorts, so [`run_march_lanes_scratch`] takes them from
+/// this scratch instead: every buffer is cleared and regrown in place, and
+/// a scratch reused across cohorts only allocates when a cohort is larger
+/// than any before it. Sweeps keep one `LaneScratch` per worker inside the
+/// pool's [`WorkerScratch`](crate::parallel::WorkerScratch).
+///
+/// A `LaneScratch` carries no cohort state between runs — reusing one is
+/// observationally identical to constructing a fresh one per call (the
+/// one-shot [`run_march_lanes`] does exactly that).
+#[derive(Debug, Default)]
+pub struct LaneScratch {
+    /// Flat gather of all lanes' involved addresses; lane `l` owns
+    /// `involved[involved_ends[l - 1]..involved_ends[l]]` (from `0` for
+    /// the first lane).
+    involved: Vec<Address>,
+    /// Per-lane end offsets into `involved`.
+    involved_ends: Vec<u32>,
+    /// The cohort's sorted, deduplicated involved-address union.
+    union: Vec<Address>,
+    /// Per-union-slot mask of the lanes whose fault involves the address.
+    owned_masks: Vec<u64>,
+    /// The sparse lane store, retargeted per cohort via
+    /// [`LaneMemory::reset_sorted`]. `None` until the first run.
+    memory: Option<LaneMemory>,
+    /// Packed dispatch schedule (see [`run_march_lanes`]'s entry layout).
+    schedule: Vec<u64>,
+    /// Per-lane outcomes of the most recent run.
+    results: Vec<LaneDetection>,
+}
+
+impl LaneScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-lane outcomes of the most recent [`run_march_lanes_scratch`]
+    /// call through this scratch (empty before the first).
+    pub fn results(&self) -> &[LaneDetection] {
+        &self.results
+    }
+}
+
+/// [`run_march_lanes`] with caller-owned dispatch buffers: identical
+/// algorithm, identical per-lane outcomes, but every transient array
+/// lives in `scratch` so consecutive cohorts on one worker reuse their
+/// allocations. Returns the per-lane detections as a borrow of
+/// `scratch` (also available as [`LaneScratch::results`] until the next
+/// run).
+///
+/// # Panics
+///
+/// Exactly as [`run_march_lanes`].
+pub fn run_march_lanes_scratch<'s, L: LaneFault>(
+    walk: &MarchWalk,
+    lanes: &mut [L],
+    background: bool,
+    mode: DetectionMode,
+    scratch: &'s mut LaneScratch,
+) -> &'s [LaneDetection] {
     assert!(
         !lanes.is_empty() && lanes.len() <= LaneMemory::LANES,
         "a cohort holds 1..=64 lanes"
@@ -660,10 +731,17 @@ pub fn run_march_lanes<L: LaneFault>(
         walk.locality_safe(),
         "lane batching requires a locality-safe walk"
     );
-    let involved: Vec<Vec<Address>> = lanes.iter().map(|lane| lane.involved()).collect();
-    let mut union: Vec<Address> = involved.iter().flatten().copied().collect();
-    union.sort_unstable();
-    union.dedup();
+    scratch.involved.clear();
+    scratch.involved_ends.clear();
+    for lane in lanes.iter() {
+        lane.involved_into(&mut scratch.involved);
+        scratch.involved_ends.push(scratch.involved.len() as u32);
+    }
+    scratch.union.clear();
+    scratch.union.extend_from_slice(&scratch.involved);
+    scratch.union.sort_unstable();
+    scratch.union.dedup();
+    let union = &scratch.union;
     assert!(
         union.len() <= COHORT_ADDRESS_BUDGET,
         "a cohort may involve at most {COHORT_ADDRESS_BUDGET} distinct addresses \
@@ -672,8 +750,12 @@ pub fn run_march_lanes<L: LaneFault>(
     // Owner masks, aligned with the sorted union: which lanes' faults
     // involve each address. The whole-word ops skip these lanes and the
     // per-lane faulty dispatch iterates them straight off the mask bits.
-    let mut owned_masks = vec![0u64; union.len()];
-    for (lane, addresses) in involved.iter().enumerate() {
+    scratch.owned_masks.clear();
+    scratch.owned_masks.resize(union.len(), 0);
+    let mut start = 0usize;
+    for (lane, &end) in scratch.involved_ends.iter().enumerate() {
+        let addresses = &scratch.involved[start..end as usize];
+        start = end as usize;
         assert!(
             !addresses.is_empty(),
             "lane {lane} fault involves no addresses"
@@ -682,14 +764,21 @@ pub fn run_march_lanes<L: LaneFault>(
             let slot = union
                 .binary_search(address)
                 .expect("union covers all lanes");
-            owned_masks[slot] |= 1u64 << lane;
+            scratch.owned_masks[slot] |= 1u64 << lane;
         }
     }
-    let mut memory = LaneMemory::from_sorted(walk.capacity(), &union);
+    match &mut scratch.memory {
+        Some(memory) => memory.reset_sorted(walk.capacity(), union),
+        slot @ None => *slot = Some(LaneMemory::from_sorted(walk.capacity(), union)),
+    }
+    let memory = scratch.memory.as_mut().expect("just initialised");
     memory.fill(background);
     let active = lane_mask(lanes.len());
     let mut detected = 0u64;
-    let mut results = vec![LaneDetection::default(); lanes.len()];
+    scratch.results.clear();
+    scratch
+        .results
+        .resize(lanes.len(), LaneDetection::default());
     // The cohort's dispatch schedule: every walk step touching a union
     // address, ascending, pre-tagged with its union slot and packed
     // payload. Each step touches exactly one address, so the per-address
@@ -701,7 +790,8 @@ pub fn run_march_lanes<L: LaneFault>(
     // one `u64` — step index (32) | element (16) | slot (8) | code (8) —
     // so ordering the schedule is a plain integer sort and step indices
     // are unique, making the order total.
-    let mut schedule: Vec<u64> = Vec::with_capacity(
+    scratch.schedule.clear();
+    scratch.schedule.reserve(
         union
             .iter()
             .map(|&address| walk.steps_touching(address).len())
@@ -710,36 +800,38 @@ pub fn run_march_lanes<L: LaneFault>(
     for (slot, &address) in union.iter().enumerate() {
         let indices = walk.steps_touching(address);
         let payloads = walk.step_payloads_touching(address);
-        schedule.extend(indices.iter().zip(payloads).map(|(&index, &payload)| {
-            u64::from(index) << 32
-                | u64::from(payload & 0xFFFF_0000)
-                | (slot as u64) << 8
-                | u64::from(payload & 0xFF)
-        }));
+        scratch
+            .schedule
+            .extend(indices.iter().zip(payloads).map(|(&index, &payload)| {
+                u64::from(index) << 32
+                    | u64::from(payload & 0xFFFF_0000)
+                    | (slot as u64) << 8
+                    | u64::from(payload & 0xFF)
+            }));
     }
-    schedule.sort_unstable();
-    for &entry in &schedule {
+    scratch.schedule.sort_unstable();
+    for &entry in &scratch.schedule {
         let code = entry as u8;
         let element = (entry >> 16) as u16;
         let slot = (entry >> 8) as u8 as usize;
         let address = union[slot];
         if code & READ_BIT == 0 {
             let value = code & VALUE_BIT != 0;
-            let mut owners = owned_masks[slot];
+            let mut owners = scratch.owned_masks[slot];
             while owners != 0 {
                 let lane = owners.trailing_zeros();
-                lanes[lane as usize].lane_write(&mut memory, lane, address, value);
+                lanes[lane as usize].lane_write(memory, lane, address, value);
                 owners &= owners - 1;
             }
-            memory.write_word_at(slot, value, owned_masks[slot]);
+            memory.write_word_at(slot, value, scratch.owned_masks[slot]);
         } else {
             let expected = code & VALUE_BIT != 0;
             let sensed_before = code & SENSED_BEFORE != 0;
             let mut observed = memory.word_at(slot);
-            let mut owners = owned_masks[slot];
+            let mut owners = scratch.owned_masks[slot];
             while owners != 0 {
                 let lane = owners.trailing_zeros();
-                let bit = lanes[lane as usize].lane_read(&mut memory, lane, address, sensed_before);
+                let bit = lanes[lane as usize].lane_read(memory, lane, address, sensed_before);
                 observed = (observed & !(1u64 << lane)) | (u64::from(bit) << lane);
                 owners &= owners - 1;
             }
@@ -749,7 +841,7 @@ pub fn run_march_lanes<L: LaneFault>(
                 let mut fresh = miss & !detected;
                 while fresh != 0 {
                     let lane = fresh.trailing_zeros() as usize;
-                    results[lane].first_mismatch = Some(Mismatch {
+                    scratch.results[lane].first_mismatch = Some(Mismatch {
                         element: usize::from(element),
                         address,
                         expected,
@@ -763,7 +855,7 @@ pub fn run_march_lanes<L: LaneFault>(
                         let mut each = miss;
                         while each != 0 {
                             let lane = each.trailing_zeros() as usize;
-                            results[lane].mismatches += 1;
+                            scratch.results[lane].mismatches += 1;
                             each &= each - 1;
                         }
                     }
@@ -776,13 +868,13 @@ pub fn run_march_lanes<L: LaneFault>(
             }
         }
     }
-    for (lane, result) in results.iter_mut().enumerate() {
+    for (lane, result) in scratch.results.iter_mut().enumerate() {
         result.detected = detected >> lane & 1 == 1;
         if mode == DetectionMode::FirstMismatch {
             result.mismatches = usize::from(result.detected);
         }
     }
-    results
+    &scratch.results
 }
 
 /// Runs only the steps of `walk` that touch one of the `involved`

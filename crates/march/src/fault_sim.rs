@@ -96,13 +96,39 @@ pub fn simulate_fault_on_walk(
     background: bool,
     mode: DetectionMode,
 ) -> FaultSimOutcome {
+    let fault_name = fault.name();
+    let fault_kind = fault.kind();
+    let (_, detected, mismatches) =
+        simulate_fault_counts_on_walk(walk, scratch, fault, background, mode);
+    FaultSimOutcome {
+        fault_name,
+        fault_kind,
+        test_name: walk.test_name().to_string(),
+        order_name: walk.order_name().to_string(),
+        detected,
+        mismatches,
+    }
+}
+
+/// The assembly-free core of [`simulate_fault_on_walk`]: runs the same
+/// simulation but reports only the detection bit and mismatch count,
+/// handing the fault instance back so the caller can render names however
+/// it wants (full [`FaultSimOutcome`] strings, or an interned
+/// [`OutcomeCode`](crate::intern::OutcomeCode)). The outcome-type sweeps
+/// ([`crate::batch::sweep_batched_assemble`]) build on this so the hot
+/// path never allocates per-fault name strings it may not need.
+pub fn simulate_fault_counts_on_walk(
+    walk: &MarchWalk,
+    scratch: &mut GoodMemory,
+    fault: Box<dyn Fault>,
+    background: bool,
+    mode: DetectionMode,
+) -> (Box<dyn Fault>, bool, usize) {
     assert_eq!(
         scratch.capacity(),
         walk.capacity(),
         "scratch memory capacity must match the walk"
     );
-    let fault_name = fault.name();
-    let fault_kind = fault.kind();
     // Localised faults (the common case) only need the walk steps that
     // touch their involved cells; global faults — and walks of tests whose
     // fault-free reads are not guaranteed to match (non-initialising
@@ -135,14 +161,7 @@ pub fn simulate_fault_on_walk(
             (detected, usize::from(detected))
         }
     };
-    FaultSimOutcome {
-        fault_name,
-        fault_kind,
-        test_name: walk.test_name().to_string(),
-        order_name: walk.order_name().to_string(),
-        detected,
-        mismatches,
-    }
+    (memory.fault, detected, mismatches)
 }
 
 /// Runs `test` over a memory containing exactly one injected fault. The

@@ -528,6 +528,27 @@ impl FaultGen {
     /// way a qualification flow would emit it); callers stress-testing
     /// the cohort packer should [`FaultGen::shuffle`] it themselves.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use march_test::faultgen::FaultGen;
+    /// use sram_model::config::ArrayOrganization;
+    ///
+    /// let organization = ArrayOrganization::new(16, 16)?;
+    /// let population = FaultGen::new(organization, 0x2006).dense_profile(500);
+    ///
+    /// // The blend reaches the target (the mixed remainder tops it up)
+    /// // and names itself after its final size.
+    /// assert!(population.len() >= 500);
+    /// assert_eq!(population.name, format!("dense-{}", population.len()));
+    ///
+    /// // Same organization + seed, same population: generation is
+    /// // deterministic, which is what lets benches commit their numbers.
+    /// let again = FaultGen::new(organization, 0x2006).dense_profile(500);
+    /// assert_eq!(population.len(), again.len());
+    /// # Ok::<(), sram_model::error::SramError>(())
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics on one-cell arrays and on a zero target; see

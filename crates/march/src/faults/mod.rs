@@ -350,6 +350,12 @@ impl LaneFault for LaneFaultKind {
         LaneFaultKind::involved(self).to_vec()
     }
 
+    fn involved_into(&self, out: &mut Vec<Address>) {
+        // The inline set never allocates, so the scratch-reusing kernel
+        // gathers enum cohorts' involved addresses allocation-free.
+        out.extend_from_slice(&LaneFaultKind::involved(self));
+    }
+
     fn lane_write(&mut self, memory: &mut LaneMemory, lane: u32, address: Address, value: bool) {
         LaneFaultKind::lane_write(self, memory, lane, address, value);
     }
@@ -370,6 +376,10 @@ impl LaneFault for LaneFaultKind {
 impl LaneFault for Box<dyn LaneFault> {
     fn involved(&self) -> Vec<Address> {
         (**self).involved()
+    }
+
+    fn involved_into(&self, out: &mut Vec<Address>) {
+        (**self).involved_into(out);
     }
 
     fn lane_write(&mut self, memory: &mut LaneMemory, lane: u32, address: Address, value: bool) {
@@ -408,6 +418,16 @@ pub trait LaneFault: fmt::Debug + Send {
     /// fault's behaviour is confined to these addresses (the stuck-open
     /// fault achieves that through the precomputed sensed-before stamp).
     fn involved(&self) -> Vec<Address>;
+
+    /// Appends the [`LaneFault::involved`] set to `out` without clearing
+    /// it — the allocation-free gather used by the scratch-reusing cohort
+    /// kernel ([`crate::executor::run_march_lanes_scratch`]). The default
+    /// delegates to [`LaneFault::involved`]; in-crate lane forms override
+    /// it with their inline sets. Must append exactly the addresses
+    /// `involved()` would return, in the same order.
+    fn involved_into(&self, out: &mut Vec<Address>) {
+        out.extend(self.involved());
+    }
 
     /// Performs the faulty effect of writing `value` at `address` in lane
     /// `lane`.

@@ -118,6 +118,7 @@ pub mod executor;
 pub mod fault_sim;
 pub mod faultgen;
 pub mod faults;
+pub mod intern;
 pub mod library;
 pub mod memory;
 pub mod operation;

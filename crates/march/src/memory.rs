@@ -210,28 +210,66 @@ impl LaneMemory {
     }
 
     fn from_sorted_raw(capacity: u32, addresses: Vec<u32>) -> Self {
+        let mut memory = Self {
+            capacity: 0,
+            addresses,
+            words: Vec::new(),
+            index: Vec::new(),
+            index_mask: 0,
+        };
+        let tracked = std::mem::take(&mut memory.addresses);
+        memory.rebuild(capacity, tracked);
+        memory
+    }
+
+    /// Retargets this memory at a new `capacity` and tracked set without
+    /// discarding its backing stores: the address, word and index vectors
+    /// are truncated and regrown in place, so a scratch `LaneMemory`
+    /// reused across cohorts only allocates when a cohort needs more room
+    /// than any before it. All cells come back `0` in all lanes, exactly
+    /// as from [`LaneMemory::from_sorted`].
+    ///
+    /// `involved` must be strictly ascending (sorted and deduplicated),
+    /// like [`LaneMemory::from_sorted`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an involved address is outside `0..capacity` or the set
+    /// is not strictly ascending.
+    pub fn reset_sorted(&mut self, capacity: u32, involved: &[Address]) {
+        assert!(
+            involved.windows(2).all(|pair| pair[0] < pair[1]),
+            "involved addresses must be strictly ascending"
+        );
+        let mut tracked = std::mem::take(&mut self.addresses);
+        tracked.clear();
+        tracked.extend(involved.iter().map(|a| a.value()));
+        self.rebuild(capacity, tracked);
+    }
+
+    /// Shared body of the constructors and [`LaneMemory::reset_sorted`]:
+    /// installs an already sorted/deduplicated tracked set, resizing the
+    /// word store and rebuilding the open-addressed index in place.
+    fn rebuild(&mut self, capacity: u32, addresses: Vec<u32>) {
         if let Some(&last) = addresses.last() {
             assert!(last < capacity, "involved address out of range");
         }
-        let words = vec![0u64; addresses.len()];
+        self.capacity = capacity;
+        self.words.clear();
+        self.words.resize(addresses.len(), 0);
         // Load factor ≤ 0.5 keeps expected probes at ~1.
         let index_size = (addresses.len() * 2).next_power_of_two().max(4);
-        let index_mask = index_size - 1;
-        let mut index = vec![0u64; index_size];
+        self.index_mask = index_size - 1;
+        self.index.clear();
+        self.index.resize(index_size, 0);
         for (slot, &address) in addresses.iter().enumerate() {
-            let mut probe = index_hash(address) & index_mask;
-            while index[probe] != 0 {
-                probe = (probe + 1) & index_mask;
+            let mut probe = index_hash(address) & self.index_mask;
+            while self.index[probe] != 0 {
+                probe = (probe + 1) & self.index_mask;
             }
-            index[probe] = (u64::from(address) + 1) << 32 | slot as u64;
+            self.index[probe] = (u64::from(address) + 1) << 32 | slot as u64;
         }
-        Self {
-            capacity,
-            addresses,
-            words,
-            index,
-            index_mask,
-        }
+        self.addresses = addresses;
     }
 
     /// Number of addressable cells of the array this memory models.
@@ -461,6 +499,37 @@ mod tests {
             memory.write_word_at(slot, true, 1 << 11);
             assert_eq!(memory.word(probe), u64::MAX);
         }
+    }
+
+    #[test]
+    fn reset_sorted_is_indistinguishable_from_a_fresh_construction() {
+        // A reused memory must behave exactly like a freshly built one,
+        // whether the new cohort is larger, smaller, or differently
+        // shaped than the previous tenant — and leak no old state.
+        let mut rng = SplitMix64::new(0x0002_E5E7);
+        let mut reused = LaneMemory::new(4, &[Address::new(1)]);
+        reused.fill(true);
+        for tracked in [3usize, 500, 7, 64, 1, 191] {
+            let involved: Vec<Address> = (0..tracked)
+                .map(|_| Address::new(rng.next_below(1 << 20) as u32))
+                .collect();
+            let mut sorted: Vec<u32> = involved.iter().map(|a| a.value()).collect();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let sorted: Vec<Address> = sorted.into_iter().map(Address::new).collect();
+            reused.reset_sorted(1 << 20, &sorted);
+            let fresh = LaneMemory::from_sorted(1 << 20, &sorted);
+            assert_eq!(reused, fresh, "tracked {tracked}");
+            // Dirty the reused store so the next round must clean it.
+            reused.fill(true);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn reset_sorted_rejects_unsorted_sets() {
+        let mut m = LaneMemory::new(8, &[Address::new(1)]);
+        m.reset_sorted(8, &[Address::new(3), Address::new(1)]);
     }
 
     #[test]

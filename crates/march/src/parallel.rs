@@ -1,20 +1,24 @@
 //! Deterministic fork-join parallelism for fault sweeps.
 //!
 //! The build environment cannot fetch `rayon`, so the parallel coverage
-//! and degree-of-freedom sweeps use this small scoped-thread fork-join
-//! helper instead. It deliberately mirrors the property that makes
-//! `rayon`'s ordered collects safe to use in experiments: **the output
-//! order is the input order**, regardless of how the work was scheduled,
-//! so parallel sweeps produce byte-identical reports to serial ones.
+//! and degree-of-freedom sweeps use the workspace's [`sched`] worker pool
+//! through these order-preserving wrappers. They keep the property that
+//! makes `rayon`'s ordered collects safe to use in experiments: **the
+//! output order is the input order**, regardless of how the work was
+//! scheduled, so parallel sweeps produce byte-identical reports to serial
+//! ones.
 //!
-//! Work is split into one contiguous chunk per worker (fault simulations
-//! in a sweep have similar cost, so static partitioning is within a few
-//! percent of work stealing here and keeps the code free of `unsafe`).
+//! Every fan-out below reaches the pool as [`sched::WorkKind::FaultSweep`]
+//! work items; each pool worker owns a [`WorkerScratch`] for its whole
+//! lifetime, which the `_scratch` variants expose to the chunk closure so
+//! the lane-batched hot path can reuse its dispatch buffers across chunks
+//! instead of reallocating per cohort.
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
 use std::thread;
+
+use sched::WorkKind;
+pub use sched::WorkerScratch;
 
 /// Number of worker threads a sweep may use: the machine's available
 /// parallelism, or `1` when it cannot be queried.
@@ -24,7 +28,7 @@ pub fn max_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Maps contiguous chunks of `items` across worker threads and
+/// Maps contiguous chunks of `items` across the worker pool and
 /// concatenates the per-chunk outputs **in input order**.
 ///
 /// `map_chunk` is called once per chunk and must return one output per
@@ -40,7 +44,7 @@ pub fn max_threads() -> usize {
 pub fn par_chunk_map<T, R, F>(items: &[T], threads: usize, map_chunk: F) -> Vec<R>
 where
     T: Sync,
-    R: Send,
+    R: Send + Sync,
     F: Fn(&[T]) -> Vec<R> + Sync,
 {
     let results = par_chunk_flat_map(items, threads, map_chunk);
@@ -52,46 +56,31 @@ where
 /// outputs: the per-chunk output vectors are concatenated **in input
 /// order** without the 1:1 requirement.
 ///
-/// This is the fan-out primitive of the lane-batched fault sweeps, where
-/// the work items are fault *cohorts* rather than single faults: one
-/// cohort of up to sixty-four faults yields one outcome per member, so a
-/// chunk's output length is the sum of its cohorts' sizes.
+/// The items are split into one contiguous chunk per worker — fault
+/// simulations in the standard list have near-uniform cost, so static
+/// partitioning is within a few percent of stealing here.
 pub fn par_chunk_flat_map<T, R, F>(items: &[T], threads: usize, map_chunk: F) -> Vec<R>
 where
     T: Sync,
-    R: Send,
+    R: Send + Sync,
     F: Fn(&[T]) -> Vec<R> + Sync,
 {
     let workers = threads.clamp(1, items.len().max(1));
-    if workers <= 1 {
-        return map_chunk(items);
-    }
-    let chunk_size = items.len().div_ceil(workers);
-    thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk_size)
-            .map(|chunk| scope.spawn(|| map_chunk(chunk)))
-            .collect();
-        let mut results = Vec::with_capacity(items.len());
-        for handle in handles {
-            let part = handle.join().expect("sweep worker panicked");
-            results.extend(part);
-        }
-        results
+    sched::map_chunks(WorkKind::FaultSweep, items, workers, workers, |chunk, _| {
+        map_chunk(chunk)
     })
 }
 
 /// Chunk oversubscription factor of [`par_chunk_flat_map_balanced`]: the
 /// item list is split into up to this many chunks per worker, so workers
-/// that draw cheap chunks claim more instead of idling.
+/// that draw cheap chunks claim (steal) more instead of idling.
 const CHUNKS_PER_WORKER: usize = 8;
 
 /// Like [`par_chunk_flat_map`], but with dynamic load balancing: the
-/// items are split into more chunks than workers and a shared cursor
-/// hands chunks to whichever worker frees up first. Output order is
-/// still **input order** — per-chunk outputs are written into indexed
-/// write-once slots ([`OnceLock`], no mutex anywhere in the fan-out) and
-/// concatenated in chunk order at the end.
+/// items are split into more chunks than workers and the pool's shared
+/// cursor hands chunks to whichever worker frees up first. Output order
+/// is still **input order** — per-chunk outputs are written into indexed
+/// write-once slots and concatenated in chunk order at the end.
 ///
 /// This is the fan-out primitive for generated fault populations, whose
 /// cohorts have very uneven costs (64-lane cohorts that early-exit at
@@ -102,44 +91,37 @@ const CHUNKS_PER_WORKER: usize = 8;
 ///
 /// # Panics
 ///
-/// Panics if a worker panics (the panic is propagated by the scope).
+/// Panics if a worker panics (the panic is propagated by the pool).
 pub fn par_chunk_flat_map_balanced<T, R, F>(items: &[T], threads: usize, map_chunk: F) -> Vec<R>
 where
     T: Sync,
     R: Send + Sync,
     F: Fn(&[T]) -> Vec<R> + Sync,
 {
+    par_chunk_flat_map_balanced_scratch(items, threads, |chunk, _| map_chunk(chunk))
+}
+
+/// [`par_chunk_flat_map_balanced`] with access to the claiming worker's
+/// [`WorkerScratch`]: the lane-batched sweep keeps its dispatch buffers
+/// (lane memory backing stores, merged schedules, ownership masks) in the
+/// scratch so consecutive chunks on one worker reuse the allocations.
+///
+/// # Panics
+///
+/// Panics if a worker panics (the panic is propagated by the pool).
+pub fn par_chunk_flat_map_balanced_scratch<T, R, F>(
+    items: &[T],
+    threads: usize,
+    map_chunk: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(&[T], &mut WorkerScratch) -> Vec<R> + Sync,
+{
     let workers = threads.clamp(1, items.len().max(1));
-    if workers <= 1 {
-        return map_chunk(items);
-    }
-    let chunk_count = (workers * CHUNKS_PER_WORKER).min(items.len());
-    let chunk_size = items.len().div_ceil(chunk_count);
-    let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
-    let next = AtomicUsize::new(0);
-    // Each chunk's output slot is written exactly once, by the worker
-    // that claimed the chunk off the cursor — `OnceLock::set` is a plain
-    // atomic publish, so the whole fan-out is lock-free.
-    let slots: Vec<OnceLock<Vec<R>>> = chunks.iter().map(|_| OnceLock::new()).collect();
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let claim = next.fetch_add(1, Ordering::Relaxed);
-                let Some(chunk) = chunks.get(claim) else {
-                    break;
-                };
-                let out = map_chunk(chunk);
-                slots[claim]
-                    .set(out)
-                    .unwrap_or_else(|_| unreachable!("chunk claimed twice"));
-            });
-        }
-    });
-    let mut results = Vec::with_capacity(items.len());
-    for slot in slots {
-        results.extend(slot.into_inner().expect("claimed chunks publish results"));
-    }
-    results
+    let chunk_count = (workers * CHUNKS_PER_WORKER).min(items.len().max(1));
+    sched::map_chunks(WorkKind::FaultSweep, items, workers, chunk_count, map_chunk)
 }
 
 #[cfg(test)]
@@ -222,5 +204,19 @@ mod tests {
             });
             assert_eq!(out, expected, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn scratch_variant_reuses_worker_state_across_chunks() {
+        // With one worker every chunk lands on the same scratch, so an
+        // allocation made by the first chunk is visible to all of them.
+        let items: Vec<u32> = (0..64).collect();
+        let out = par_chunk_flat_map_balanced_scratch(&items, 1, |chunk, scratch| {
+            let buffer: &mut Vec<u32> = scratch.get_or_insert_with(Vec::new);
+            buffer.extend_from_slice(chunk);
+            vec![buffer.len() as u32]
+        });
+        // One worker degenerates to a single whole-slice chunk.
+        assert_eq!(out, vec![64]);
     }
 }

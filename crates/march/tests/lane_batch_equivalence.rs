@@ -261,3 +261,53 @@ fn dof_experiment_rides_the_batched_backend_unchanged() {
         assert!(report.guaranteed_coverage_preserved());
     }
 }
+
+/// A `LaneScratch` reused across cohorts of different shapes (different
+/// sizes, unions, algorithms, backgrounds) must leave no trace between
+/// runs: every scratch dispatch reports detections identical to a fresh
+/// one-shot `run_march_lanes` call on the same cohort.
+#[test]
+fn scratch_reuse_across_cohorts_matches_fresh_dispatches() {
+    use march_test::executor::{run_march_lanes_scratch, LaneScratch};
+    use march_test::faults::LaneFaultKind;
+
+    let mut scratch = LaneScratch::new();
+    for organization in organizations() {
+        for (test, count) in [
+            (library::march_ss(), 64usize),
+            (library::mats_plus(), 1),
+            (library::march_c_minus(), 9),
+        ] {
+            let count = count.min(organization.capacity() as usize);
+            let walk = MarchWalk::new(&test, &WordLineAfterWordLine, &organization);
+            let faults = mixed_fault_list(&organization, count);
+            for background in [false, true] {
+                for mode in [DetectionMode::Full, DetectionMode::FirstMismatch] {
+                    let lane_kinds = || -> Vec<LaneFaultKind> {
+                        faults
+                            .iter()
+                            .map(|factory| {
+                                factory().lane_kind().expect("mixed faults have lane kinds")
+                            })
+                            .collect()
+                    };
+                    let fresh = run_march_lanes(&walk, &mut lane_kinds(), background, mode);
+                    let reused = run_march_lanes_scratch(
+                        &walk,
+                        &mut lane_kinds(),
+                        background,
+                        mode,
+                        &mut scratch,
+                    );
+                    assert_eq!(
+                        fresh,
+                        reused,
+                        "{} / {count} faults / background {background} / {mode:?}",
+                        test.name()
+                    );
+                    assert_eq!(scratch.results(), fresh.as_slice());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! One worker pool for every run type in the workspace.
+//!
+//! The fault-simulation engine, the Table 1 power reproduction and the
+//! crash-safe campaign runner used to fan work out through three separate
+//! ad-hoc mechanisms. This crate replaces them with a single batch
+//! scheduler built from three pieces:
+//!
+//! * [`WorkItem`] — the unit of work: one enum unifying the three run
+//!   types (fault sweeps, power sessions, campaign jobs) behind one
+//!   [`WorkItem::execute`] dispatch;
+//! * [`WorkerScratch`] — reusable per-worker storage, keyed by type, so
+//!   hot paths (lane memories, schedule vectors, bookkeeping sets) stop
+//!   allocating per dispatch;
+//! * [`run_pool`] / [`map_chunks`] — the pool itself: workers pull items
+//!   off a shared cursor (batch fan-outs) or an open-ended producer
+//!   (campaign queues), each with a scratch that lives as long as the
+//!   worker.
+//!
+//! The crate is dependency-free and sits at the bottom of the workspace
+//! graph: `march-test` builds its order-preserving sweep primitives on
+//! [`map_chunks`], `lp-precharge` fans Table 1 power sessions through the
+//! same pool, and `campaign` drives its journaled retry queue through
+//! [`run_pool`]. See `docs/ARCHITECTURE.md` at the repository root for
+//! the full data-flow picture.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod item;
+mod pool;
+mod scratch;
+
+pub use item::{Task, WorkItem, WorkKind};
+pub use pool::{map_chunks, run_pool, Poll, PoolStats};
+pub use scratch::WorkerScratch;

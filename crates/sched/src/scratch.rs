@@ -1,0 +1,120 @@
+//! Per-worker scratch storage.
+//!
+//! Every pool worker owns one [`WorkerScratch`] for its whole lifetime.
+//! Work items of any kind pull their typed scratch state out of it with
+//! [`WorkerScratch::get_or_insert_with`]: the first item of a given type
+//! on a worker allocates the scratch, every later item on the same worker
+//! reuses it. This is what makes the cohort hot path allocation-flat —
+//! the lane memory backing stores, schedule vectors and bookkeeping
+//! buffers live here between dispatches instead of being reallocated per
+//! dispatch.
+//!
+//! The map is keyed by [`TypeId`], so independent subsystems (the fault
+//! sweep's lane scratch, a power session's waveform buffers) can share
+//! one worker without coordinating key names.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+
+/// Reusable per-worker storage: one slot per scratch *type*.
+///
+/// # Examples
+///
+/// ```
+/// use sched::WorkerScratch;
+///
+/// struct SweepBuffers {
+///     schedule: Vec<u64>,
+/// }
+///
+/// let mut scratch = WorkerScratch::new();
+/// // First use allocates…
+/// let buffers = scratch.get_or_insert_with(|| SweepBuffers { schedule: Vec::new() });
+/// buffers.schedule.extend([1, 2, 3]);
+/// // …later dispatches on the same worker reuse the same allocation.
+/// let buffers = scratch.get_or_insert_with(|| SweepBuffers { schedule: Vec::new() });
+/// assert_eq!(buffers.schedule, [1, 2, 3]);
+/// ```
+#[derive(Default)]
+pub struct WorkerScratch {
+    slots: HashMap<TypeId, Box<dyn Any + Send>>,
+}
+
+impl WorkerScratch {
+    /// Creates an empty scratch map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the worker's scratch value of type `T`, creating it with
+    /// `init` on first use. Callers are responsible for resetting any
+    /// state they cannot tolerate from a previous dispatch — the point is
+    /// that the *allocations* (vector capacities, hash tables) survive.
+    pub fn get_or_insert_with<T, F>(&mut self, init: F) -> &mut T
+    where
+        T: Any + Send,
+        F: FnOnce() -> T,
+    {
+        self.slots
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(init()))
+            .downcast_mut::<T>()
+            .expect("slot is keyed by its own TypeId")
+    }
+
+    /// Returns the scratch value of type `T` if one was created.
+    pub fn get_mut<T: Any + Send>(&mut self) -> Option<&mut T> {
+        self.slots
+            .get_mut(&TypeId::of::<T>())
+            .and_then(|slot| slot.downcast_mut::<T>())
+    }
+
+    /// Number of distinct scratch types this worker holds.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no scratch value has been created yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+impl std::fmt::Debug for WorkerScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerScratch")
+            .field("types", &self.slots.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_types_get_distinct_slots() {
+        let mut scratch = WorkerScratch::new();
+        assert!(scratch.is_empty());
+        *scratch.get_or_insert_with(|| 0u64) += 7;
+        scratch.get_or_insert_with(String::new).push('x');
+        assert_eq!(scratch.len(), 2);
+        assert_eq!(*scratch.get_or_insert_with(|| 0u64), 7);
+        assert_eq!(scratch.get_or_insert_with(String::new), "x");
+        assert_eq!(scratch.get_mut::<u64>(), Some(&mut 7));
+        assert_eq!(scratch.get_mut::<u32>(), None);
+    }
+
+    #[test]
+    fn init_runs_only_on_first_use() {
+        let mut scratch = WorkerScratch::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            scratch.get_or_insert_with(|| {
+                calls += 1;
+                vec![0u8; 16]
+            });
+        }
+        assert_eq!(calls, 1);
+    }
+}

@@ -12,6 +12,29 @@
 
 /// A set of `u32` column indices below a fixed bound, backed by a bit
 /// mask.
+///
+/// # Examples
+///
+/// ```
+/// use sram_model::colset::ColumnSet;
+///
+/// let mut set = ColumnSet::new(512);
+/// assert!(set.insert(300));
+/// assert!(set.insert(5));
+/// assert!(!set.insert(300), "second insert reports already-present");
+/// assert!(set.contains(5) && !set.contains(6));
+///
+/// // Iteration snapshots into a caller-owned scratch buffer, in
+/// // ascending order — the order-sensitive energy accumulations of the
+/// // controller depend on it.
+/// let mut scratch = Vec::new();
+/// set.collect_into(&mut scratch);
+/// assert_eq!(scratch, vec![5, 300]);
+///
+/// // `clear` keeps the storage, so steady-state use never allocates.
+/// set.clear();
+/// assert!(set.is_empty());
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColumnSet {
     words: Vec<u64>,

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Offline markdown link check over the repo's documentation: the root
+# README, docs/*.md and every crate README. Each relative link target
+# must exist on disk, and each `#anchor` must match a heading of its
+# target file (GitHub's heading-to-anchor slug rule). External links
+# (http/https/mailto) are skipped — CI has no business depending on the
+# network to validate in-repo docs.
+#
+# Usage: tools/check_doc_links.sh
+# Exit:  0 when every link resolves, 1 otherwise (broken links listed).
+set -u
+cd "$(dirname "$0")/.."
+
+errors=$(mktemp)
+trap 'rm -f "$errors"' EXIT
+
+# GitHub's slug rule: lowercase, strip everything but alphanumerics,
+# spaces, hyphens and underscores, then turn spaces into hyphens.
+slug() {
+    printf '%s\n' "$1" |
+        tr '[:upper:]' '[:lower:]' |
+        sed -e 's/[^a-z0-9 _-]//g' -e 's/ /-/g'
+}
+
+# Every heading of a markdown file, as anchor slugs, one per line.
+anchors_of() {
+    grep -E '^#{1,6} ' "$1" | sed -E 's/^#+ +//' | while IFS= read -r heading; do
+        slug "$heading"
+    done
+}
+
+check_file() {
+    file=$1
+    dir=$(dirname "$file")
+    # Inline links only: `[text](target)`. Reference-style `[name]`
+    # brackets (rustdoc idiom in module-doc excerpts) have no target to
+    # resolve and are left alone.
+    grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//' |
+        while IFS= read -r target; do
+            case "$target" in
+            http://* | https://* | mailto:*) continue ;;
+            esac
+            path=${target%%#*}
+            anchor=""
+            case "$target" in
+            *'#'*) anchor=${target#*#} ;;
+            esac
+            if [ -n "$path" ]; then
+                resolved="$dir/$path"
+                if [ ! -e "$resolved" ]; then
+                    echo "$file: broken link ($target): no such path $resolved" >>"$errors"
+                    continue
+                fi
+                link_target=$resolved
+            else
+                link_target=$file
+            fi
+            if [ -n "$anchor" ]; then
+                case "$link_target" in
+                *.md)
+                    if ! anchors_of "$link_target" | grep -qxF "$anchor"; then
+                        echo "$file: broken anchor ($target): #$anchor is not a heading of $link_target" >>"$errors"
+                    fi
+                    ;;
+                esac
+            fi
+        done
+}
+
+checked=0
+for file in README.md docs/*.md crates/*/README.md; do
+    [ -f "$file" ] || continue
+    check_file "$file"
+    checked=$((checked + 1))
+done
+
+if [ -s "$errors" ]; then
+    echo "doc link check FAILED:" >&2
+    cat "$errors" >&2
+    exit 1
+fi
+echo "doc link check passed ($checked files)"
