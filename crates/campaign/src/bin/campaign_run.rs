@@ -25,7 +25,7 @@ use std::time::Duration;
 
 use campaign::runner::{run_campaign, CampaignOptions};
 use campaign::spec::{CampaignPlan, PopulationSpec};
-use campaign::{FaultInjector, Shard};
+use campaign::{FaultInjector, Injection, Shard};
 use march_test::coverage::SweepBackend;
 use march_test::library::table1_algorithms;
 
@@ -60,8 +60,13 @@ const USAGE: &str = "usage: campaign_run --journal PATH [options]
   --backoff-ms N        base retry backoff in ms (default 10)
   --job-delay-ms N      debug: sleep per job, for kill-timing tests
   --export PATH         write the deterministic binary export
+  --heartbeat PATH      write a heartbeat sidecar after each journaled job
   --resume              resume from the journal (fresh start if missing)
-  --list                print the plan and exit";
+  --list                print the plan and exit
+debug fault injections (for the supervisor test harness):
+  --abort-after-records N      abort once N records are journaled (exit 3)
+  --stall-heartbeat-after N    stop heartbeating after N jobs, keep working
+  --wedge-after N              hang forever once N jobs are done";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -143,8 +148,12 @@ fn run(args: &[String]) -> Result<ExitCode, UsageError> {
                 "--backoff-ms",
                 "--job-delay-ms",
                 "--export",
+                "--heartbeat",
                 "--resume",
                 "--list",
+                "--abort-after-records",
+                "--stall-heartbeat-after",
+                "--wedge-after",
             ];
             if !known.contains(&arg.as_str()) {
                 return Err(UsageError::new(arg, "unknown flag"));
@@ -217,7 +226,31 @@ fn run(args: &[String]) -> Result<ExitCode, UsageError> {
         backoff: Duration::from_millis(parse_arg(args, "--backoff-ms", 10u64)?),
         resume: arg_present(args, "--resume"),
         job_delay: Duration::from_millis(parse_arg(args, "--job-delay-ms", 0u64)?),
+        heartbeat: arg_value(args, "--heartbeat").map(PathBuf::from),
     };
+
+    // Debug injections for the supervisor harness: deterministic crash,
+    // silent-heartbeat and wedge behaviours, each armed by a flag.
+    let mut injections = Vec::new();
+    if let Some(count) = arg_value(args, "--abort-after-records") {
+        let count = count
+            .parse()
+            .map_err(|_| UsageError::new("--abort-after-records", "cannot parse count"))?;
+        injections.push(Injection::AbortAfterRecords { count });
+    }
+    if let Some(after_jobs) = arg_value(args, "--stall-heartbeat-after") {
+        let after_jobs = after_jobs
+            .parse()
+            .map_err(|_| UsageError::new("--stall-heartbeat-after", "cannot parse count"))?;
+        injections.push(Injection::StallHeartbeat { after_jobs });
+    }
+    if let Some(after_jobs) = arg_value(args, "--wedge-after") {
+        let after_jobs = after_jobs
+            .parse()
+            .map_err(|_| UsageError::new("--wedge-after", "cannot parse count"))?;
+        injections.push(Injection::WedgeProcess { after_jobs });
+    }
+    let injector = FaultInjector::new(injections);
 
     let plan = CampaignPlan::cross(
         rows,
@@ -261,7 +294,7 @@ fn run(args: &[String]) -> Result<ExitCode, UsageError> {
     );
     let export_path = arg_value(args, "--export").map(PathBuf::from);
 
-    match run_campaign(&plan, shard, &journal, &options, &FaultInjector::none()) {
+    match run_campaign(&plan, shard, &journal, &options, &injector) {
         Ok(summary) => {
             if let Some(path) = &export_path {
                 if let Err(error) = summary.export.write(path) {

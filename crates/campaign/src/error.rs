@@ -48,6 +48,20 @@ pub enum CampaignError {
         /// Digest found in the journal header.
         found: u64,
     },
+    /// The journal is advisory-locked by another live process: two
+    /// campaigns can never resume the same shard journal concurrently.
+    Locked {
+        /// Path of the locked journal.
+        path: String,
+    },
+    /// The shard supervisor could not continue orchestrating: a child
+    /// failed to spawn, a child reported a usage error (its command line
+    /// is wrong and restarting cannot fix it), or a completed shard's
+    /// export is unreadable.
+    Supervisor {
+        /// Human-readable reason, naming the shard where one is at fault.
+        reason: String,
+    },
     /// A deterministic fault injection aborted the run (simulated crash).
     /// Only the [`crate::faultpoint`] harness produces this variant.
     Injected {
@@ -85,6 +99,11 @@ impl std::fmt::Display for CampaignError {
                 f,
                 "journal belongs to a different plan (digest {found:#018x}, expected {expected:#018x})"
             ),
+            Self::Locked { path } => write!(
+                f,
+                "journal {path} is locked by another live campaign process"
+            ),
+            Self::Supervisor { reason } => write!(f, "supervisor cannot continue: {reason}"),
             Self::Injected { point } => write!(f, "fault injection aborted the run at {point}"),
             Self::MergeConflict { reason } => write!(f, "cannot merge exports: {reason}"),
         }
@@ -110,5 +129,14 @@ mod tests {
         };
         assert!(mismatch.to_string().contains("different plan"));
         assert_eq!(mismatch.clone(), mismatch);
+        let locked = CampaignError::Locked {
+            path: "/tmp/shard-0.journal".to_string(),
+        };
+        assert!(locked.to_string().contains("/tmp/shard-0.journal"));
+        assert!(locked.to_string().contains("another live campaign"));
+        let supervisor = CampaignError::Supervisor {
+            reason: "shard 2 exited with a usage error".to_string(),
+        };
+        assert!(supervisor.to_string().contains("shard 2"));
     }
 }

@@ -62,6 +62,22 @@ pub enum Injection {
         /// Number of records after which the run stops.
         count: u64,
     },
+    /// Stop writing heartbeats once `after_jobs` job attempts have been
+    /// journaled, while continuing to execute jobs — a shard whose
+    /// sidecar channel died but whose work did not. A supervisor that
+    /// also watches journal growth must *not* restart such a shard.
+    StallHeartbeat {
+        /// Journaled attempts after which the heartbeat goes silent.
+        after_jobs: u64,
+    },
+    /// Stop making any progress once `after_jobs` job attempts have been
+    /// journaled: workers park forever instead of polling the next job,
+    /// with no heartbeat and no journal growth — a genuinely wedged
+    /// child that only an external kill can recover.
+    WedgeProcess {
+        /// Journaled attempts after which the process wedges.
+        after_jobs: u64,
+    },
 }
 
 /// What the journal should do with the record it is about to write.
@@ -146,6 +162,133 @@ impl FaultInjector {
             matches!(injection, Injection::AbortAfterRecords { count }
                 if records_written >= *count)
         })
+    }
+
+    /// `true` when the heartbeat should go silent at `jobs_done`
+    /// journaled attempts ([`Injection::StallHeartbeat`]).
+    pub fn heartbeat_stalled(&self, jobs_done: u64) -> bool {
+        self.injections.iter().any(|injection| {
+            matches!(injection, Injection::StallHeartbeat { after_jobs }
+                if jobs_done > *after_jobs)
+        })
+    }
+
+    /// `true` when the process should wedge — park every worker forever —
+    /// at `jobs_done` journaled attempts ([`Injection::WedgeProcess`]).
+    pub fn wedge_armed(&self, jobs_done: u64) -> bool {
+        self.injections.iter().any(|injection| {
+            matches!(injection, Injection::WedgeProcess { after_jobs }
+                if jobs_done >= *after_jobs)
+        })
+    }
+}
+
+/// One process-level failure for the supervisor to inject into a
+/// supervised campaign. Unlike [`Injection`]s (which the runner carries
+/// in-process), these describe what the *supervisor* does to its
+/// children, or which debug flags it arms a child with at launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessInjection {
+    /// SIGKILL shard `shard`'s child process once its heartbeat reaches
+    /// `after_beats` beats — a worker box dying mid-campaign. Fires at
+    /// most once.
+    KillChild {
+        /// Shard whose child dies.
+        shard: u32,
+        /// Heartbeat count at (or past) which the kill fires.
+        after_beats: u64,
+    },
+}
+
+/// The supervisor's armed process-level injections: deterministic child
+/// kills, plus per-shard debug flags appended to child command lines.
+/// `first_launch` flags are dropped on restart (a transient fault the
+/// recovery run does not replay); `every_launch` flags persist (a shard
+/// that can never succeed, for restart-budget exhaustion tests).
+#[derive(Debug, Default)]
+pub struct ProcessInjector {
+    kills: Vec<(ProcessInjection, std::cell::Cell<bool>)>,
+    first_launch: Vec<(u32, Vec<String>)>,
+    every_launch: Vec<(u32, Vec<String>)>,
+}
+
+impl ProcessInjector {
+    /// No process injections: every check is a no-op.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Arms `kills`.
+    pub fn new(kills: Vec<ProcessInjection>) -> Self {
+        Self {
+            kills: kills
+                .into_iter()
+                .map(|kill| (kill, std::cell::Cell::new(false)))
+                .collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Appends `args` to shard `shard`'s command line on its *first*
+    /// launch only — restarts drop them.
+    pub fn with_first_launch_args(mut self, shard: u32, args: &[&str]) -> Self {
+        self.first_launch
+            .push((shard, args.iter().map(|a| a.to_string()).collect()));
+        self
+    }
+
+    /// Appends `args` to shard `shard`'s command line on *every* launch,
+    /// restarts included.
+    pub fn with_every_launch_args(mut self, shard: u32, args: &[&str]) -> Self {
+        self.every_launch
+            .push((shard, args.iter().map(|a| a.to_string()).collect()));
+        self
+    }
+
+    /// `true` exactly once per armed [`ProcessInjection::KillChild`]
+    /// whose `(shard, after_beats)` threshold `beats` has reached — the
+    /// supervisor then SIGKILLs the child.
+    pub fn kill_due(&self, shard: u32, beats: u64) -> bool {
+        for (kill, consumed) in &self.kills {
+            let ProcessInjection::KillChild {
+                shard: target,
+                after_beats,
+            } = kill;
+            if *target == shard && beats >= *after_beats && !consumed.get() {
+                consumed.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Armed kills that have not fired yet — the harness asserts this
+    /// reaches zero, so an injection that never fired fails the test
+    /// instead of silently weakening it.
+    pub fn unfired_kills(&self) -> usize {
+        self.kills
+            .iter()
+            .filter(|(_, consumed)| !consumed.get())
+            .count()
+    }
+
+    /// The debug flags to append to shard `shard`'s command line for
+    /// launch number `launch` (0 = first launch).
+    pub fn child_args(&self, shard: u32, launch: u32) -> Vec<String> {
+        let mut args = Vec::new();
+        if launch == 0 {
+            for (target, extra) in &self.first_launch {
+                if *target == shard {
+                    args.extend(extra.iter().cloned());
+                }
+            }
+        }
+        for (target, extra) in &self.every_launch {
+            if *target == shard {
+                args.extend(extra.iter().cloned());
+            }
+        }
+        args
     }
 }
 
@@ -268,6 +411,61 @@ mod tests {
         assert!(std::panic::catch_unwind(|| none.check_worker_kill(0, 1)).is_ok());
         assert_eq!(none.journal_action(0), JournalAction::Normal);
         assert!(!none.should_abort(u64::MAX));
+    }
+
+    #[test]
+    fn stall_and_wedge_injections_trip_at_their_job_thresholds() {
+        let injector = FaultInjector::new(vec![
+            Injection::StallHeartbeat { after_jobs: 2 },
+            Injection::WedgeProcess { after_jobs: 4 },
+        ]);
+        // Jobs 1 and 2 still beat; job 3 onward is silent.
+        assert!(!injector.heartbeat_stalled(1));
+        assert!(!injector.heartbeat_stalled(2));
+        assert!(injector.heartbeat_stalled(3));
+        // The process wedges once 4 attempts are journaled.
+        assert!(!injector.wedge_armed(3));
+        assert!(injector.wedge_armed(4));
+        assert!(injector.wedge_armed(5));
+        let none = FaultInjector::none();
+        assert!(!none.heartbeat_stalled(u64::MAX));
+        assert!(!none.wedge_armed(u64::MAX));
+    }
+
+    #[test]
+    fn process_injector_kills_once_and_scopes_child_args_by_launch() {
+        let injector = ProcessInjector::new(vec![
+            ProcessInjection::KillChild {
+                shard: 1,
+                after_beats: 3,
+            },
+            ProcessInjection::KillChild {
+                shard: 1,
+                after_beats: 5,
+            },
+        ])
+        .with_first_launch_args(0, &["--wedge-after", "1"])
+        .with_every_launch_args(2, &["--abort-after-records", "2"]);
+        assert_eq!(injector.unfired_kills(), 2);
+        // Below threshold: nothing fires.
+        assert!(!injector.kill_due(1, 2));
+        assert!(!injector.kill_due(0, 100));
+        // At threshold: fires exactly once; the second armed kill waits
+        // for its own threshold.
+        assert!(injector.kill_due(1, 3));
+        assert!(!injector.kill_due(1, 3));
+        assert_eq!(injector.unfired_kills(), 1);
+        assert!(injector.kill_due(1, 7));
+        assert_eq!(injector.unfired_kills(), 0);
+        // First-launch args vanish on restart; every-launch args persist.
+        assert_eq!(injector.child_args(0, 0), vec!["--wedge-after", "1"]);
+        assert!(injector.child_args(0, 1).is_empty());
+        assert_eq!(
+            injector.child_args(2, 4),
+            vec!["--abort-after-records", "2"]
+        );
+        assert!(injector.child_args(1, 0).is_empty());
+        assert!(ProcessInjector::none().child_args(0, 0).is_empty());
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Per-shard heartbeat sidecar files — the liveness half of the
+//! supervision protocol.
+//!
+//! A shard runner writes its heartbeat file when the campaign starts and
+//! again after every journal append ("between jobs"), so a supervisor
+//! polling the file can tell a *working* child from a *wedged* one
+//! without any IPC channel: if neither the heartbeat nor the journal has
+//! advanced within the stall timeout, the child is making no progress
+//! and can be killed and restarted.
+//!
+//! The wire form is one ASCII line, `CHB1 <beats> <records>\n`, where
+//! `beats` is a monotonically increasing counter and `records` is the
+//! journal's record count at the time of the beat. Each beat is written
+//! to a sibling temp file and `rename(2)`d into place, so a reader never
+//! observes a torn heartbeat — it sees the old beat or the new one.
+//! A missing or unparsable file reads as "no heartbeat yet"
+//! ([`read_heartbeat`] returns `None`); the supervisor treats that the
+//! same as a stalled one once the timeout passes.
+
+use std::path::{Path, PathBuf};
+
+use crate::error::CampaignError;
+
+/// Magic token opening every heartbeat line.
+pub const HEARTBEAT_MAGIC: &str = "CHB1";
+
+/// What a supervisor learns from one read of a heartbeat file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeartbeatSnapshot {
+    /// Monotonic beat counter (1 is the campaign-start beat).
+    pub beats: u64,
+    /// Journal records written as of this beat.
+    pub records: u64,
+}
+
+/// The runner's side of the protocol: owns the sidecar path and the
+/// beat counter.
+#[derive(Debug)]
+pub struct HeartbeatWriter {
+    path: PathBuf,
+    tmp: PathBuf,
+    beats: u64,
+}
+
+impl HeartbeatWriter {
+    /// Creates the writer and emits the campaign-start beat (beat 1), so
+    /// a supervisor sees liveness before the first job completes.
+    pub fn create(path: &Path) -> Result<Self, CampaignError> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let mut writer = Self {
+            path: path.to_path_buf(),
+            tmp: PathBuf::from(tmp),
+            beats: 0,
+        };
+        writer.beat(0)?;
+        Ok(writer)
+    }
+
+    /// Emits one beat carrying the journal's current record count. The
+    /// beat is written to a temp file and renamed into place, so readers
+    /// never see a torn line.
+    pub fn beat(&mut self, records: u64) -> Result<(), CampaignError> {
+        self.beats += 1;
+        let line = format!("{HEARTBEAT_MAGIC} {} {records}\n", self.beats);
+        std::fs::write(&self.tmp, line.as_bytes()).map_err(|error| {
+            CampaignError::io(format!("write heartbeat {:?}", self.tmp), &error)
+        })?;
+        std::fs::rename(&self.tmp, &self.path).map_err(|error| {
+            CampaignError::io(format!("publish heartbeat {:?}", self.path), &error)
+        })
+    }
+
+    /// Beats emitted so far.
+    pub fn beats(&self) -> u64 {
+        self.beats
+    }
+}
+
+/// Reads a heartbeat file; `None` when the file is missing or does not
+/// parse (a child that has not started, or a truncated write by a
+/// foreign tool — both read as "no heartbeat").
+pub fn read_heartbeat(path: &Path) -> Option<HeartbeatSnapshot> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut fields = text.split_ascii_whitespace();
+    if fields.next() != Some(HEARTBEAT_MAGIC) {
+        return None;
+    }
+    let beats: u64 = fields.next()?.parse().ok()?;
+    let records: u64 = fields.next()?.parse().ok()?;
+    if fields.next().is_some() {
+        return None;
+    }
+    Some(HeartbeatSnapshot { beats, records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "campaign-hb-{tag}-{}-{unique}.hb",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn beats_round_trip_and_count_monotonically() {
+        let path = temp_path("roundtrip");
+        let mut writer = HeartbeatWriter::create(&path).expect("create");
+        assert_eq!(
+            read_heartbeat(&path),
+            Some(HeartbeatSnapshot {
+                beats: 1,
+                records: 0
+            }),
+            "create emits the campaign-start beat"
+        );
+        writer.beat(3).expect("beat");
+        writer.beat(7).expect("beat");
+        assert_eq!(
+            read_heartbeat(&path),
+            Some(HeartbeatSnapshot {
+                beats: 3,
+                records: 7
+            })
+        );
+        assert_eq!(writer.beats(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_and_mangled_heartbeats_read_as_none() {
+        let path = temp_path("mangled");
+        assert_eq!(read_heartbeat(&path), None, "missing file");
+        for bad in ["", "CHB1", "CHB1 x 2\n", "NOPE 1 2\n", "CHB1 1 2 3\n"] {
+            std::fs::write(&path, bad).unwrap();
+            assert_eq!(read_heartbeat(&path), None, "{bad:?} must not parse");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

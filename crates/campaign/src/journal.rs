@@ -21,9 +21,20 @@
 //!   identical completed records for one job keeps the first; two
 //!   *different* results for one job means the journal lies and replay
 //!   fails with [`CampaignError::Corrupt`].
+//! * **Appends are durable before they count.** Every append is
+//!   `fsync`ed before the runner acts on it (marks the job done,
+//!   re-enqueues, quarantines), and `create` syncs the parent directory
+//!   so the journal's own directory entry survives power loss — an
+//!   OS-level crash can tear the last record but never drop an acked
+//!   checkpoint.
+//! * **One process per journal.** `create` and `open_resume` take an
+//!   exclusive advisory lock (`flock`-style, released automatically on
+//!   process death, SIGKILL included) and fail with
+//!   [`CampaignError::Locked`] while another live process holds it — two
+//!   campaigns can never resume the same shard journal concurrently.
 
 use std::collections::BTreeMap;
-use std::fs::{File, OpenOptions};
+use std::fs::{File, OpenOptions, TryLockError};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
@@ -191,6 +202,57 @@ impl JournalRecord {
     }
 }
 
+/// `fsync`s the parent directory of `path`, making the file's directory
+/// entry durable. Without this, a power loss right after `create` can
+/// leave a synced file that no directory names.
+fn sync_parent_dir(path: &Path) -> Result<(), CampaignError> {
+    let parent = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent,
+        // A bare file name lives in the CWD; "." always exists.
+        _ => Path::new("."),
+    };
+    File::open(parent)
+        .and_then(|dir| dir.sync_all())
+        .map_err(|error| CampaignError::io(format!("fsync journal directory {parent:?}"), &error))
+}
+
+/// The durability-ordering checkpoints the journal passes through, in
+/// the order they must happen. Recorded (under `cfg(test)`) into a
+/// thread-local log so the flush-ordering test can pin that data hits
+/// the file before the file is synced, and the file is synced before
+/// the directory entry is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(not(test), allow(dead_code))]
+enum SyncPoint {
+    /// Header bytes handed to the kernel.
+    HeaderWritten,
+    /// Record bytes handed to the kernel.
+    RecordWritten,
+    /// File contents `fsync`ed.
+    FileSynced,
+    /// Parent directory entry `fsync`ed.
+    DirSynced,
+}
+
+#[cfg(test)]
+thread_local! {
+    static SYNC_LOG: std::cell::RefCell<Vec<SyncPoint>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Notes that the journal just passed `point` (test builds only).
+fn sync_point(point: SyncPoint) {
+    #[cfg(test)]
+    SYNC_LOG.with(|log| log.borrow_mut().push(point));
+    #[cfg(not(test))]
+    let _ = point;
+}
+
+/// Drains the recorded sync checkpoints (test builds only).
+#[cfg(test)]
+fn take_sync_log() -> Vec<SyncPoint> {
+    SYNC_LOG.with(|log| std::mem::take(&mut *log.borrow_mut()))
+}
+
 /// Truncates `message` to at most `cap` bytes on a char boundary.
 fn truncate_to_char_boundary(message: &str, cap: usize) -> &str {
     if message.len() <= cap {
@@ -227,16 +289,40 @@ pub struct Journal {
 }
 
 impl Journal {
-    /// Creates a fresh journal at `path` (truncating any existing file)
-    /// and writes its header.
-    pub fn create(path: &Path, job_count: u32, plan_digest: u64) -> Result<Self, CampaignError> {
-        let mut file = OpenOptions::new()
+    /// Opens `path` (creating it if asked) and takes the exclusive
+    /// advisory lock, failing with [`CampaignError::Locked`] while
+    /// another live process holds it. The lock belongs to the open file
+    /// and is released by the OS on *any* process exit, SIGKILL
+    /// included — a dead shard never wedges its own restart.
+    fn open_locked(path: &Path, create: bool) -> Result<File, CampaignError> {
+        let file = OpenOptions::new()
             .read(true)
             .write(true)
-            .create(true)
-            .truncate(true)
+            .create(create)
             .open(path)
-            .map_err(|error| CampaignError::io(format!("create journal {path:?}"), &error))?;
+            .map_err(|error| CampaignError::io(format!("open journal {path:?}"), &error))?;
+        match file.try_lock() {
+            Ok(()) => Ok(file),
+            Err(TryLockError::WouldBlock) => Err(CampaignError::Locked {
+                path: path.display().to_string(),
+            }),
+            Err(TryLockError::Error(error)) => {
+                Err(CampaignError::io(format!("lock journal {path:?}"), &error))
+            }
+        }
+    }
+
+    /// Creates a fresh journal at `path` (truncating any existing file
+    /// once the advisory lock is held) and writes its header durably:
+    /// header bytes, then `fsync` of the file, then `fsync` of the
+    /// parent directory so the journal's directory entry itself survives
+    /// power loss.
+    pub fn create(path: &Path, job_count: u32, plan_digest: u64) -> Result<Self, CampaignError> {
+        let mut file = Self::open_locked(path, true)?;
+        // Truncate only after the lock is ours: racing `create` calls
+        // must not wipe a live journal they then fail to lock.
+        file.set_len(0)
+            .map_err(|error| CampaignError::io("truncate journal for create", &error))?;
         let mut header = [0u8; HEADER_LEN];
         header[0..8].copy_from_slice(&JOURNAL_MAGIC);
         header[8..12].copy_from_slice(&JOURNAL_VERSION.to_le_bytes());
@@ -245,8 +331,13 @@ impl Journal {
         // bytes 20..24 reserved.
         header[24..32].copy_from_slice(&plan_digest.to_le_bytes());
         file.write_all(&header)
-            .and_then(|()| file.flush())
             .map_err(|error| CampaignError::io("write journal header", &error))?;
+        sync_point(SyncPoint::HeaderWritten);
+        file.sync_all()
+            .map_err(|error| CampaignError::io("fsync journal header", &error))?;
+        sync_point(SyncPoint::FileSynced);
+        sync_parent_dir(path)?;
+        sync_point(SyncPoint::DirSynced);
         Ok(Self {
             file,
             records_written: 0,
@@ -261,11 +352,7 @@ impl Journal {
         job_count: u32,
         plan_digest: u64,
     ) -> Result<(Self, Replay), CampaignError> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(path)
-            .map_err(|error| CampaignError::io(format!("open journal {path:?}"), &error))?;
+        let mut file = Self::open_locked(path, false)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)
             .map_err(|error| CampaignError::io("read journal", &error))?;
@@ -387,6 +474,12 @@ impl Journal {
     /// record ordinal: a torn write stores only the first half and
     /// aborts; a byte flip corrupts the stored copy and aborts — both
     /// simulate dying mid-append with the in-memory state lost.
+    ///
+    /// A normal append is `fsync`ed (`sync_data`) before it returns, so
+    /// by the time the runner acts on the record — marks the job done,
+    /// re-enqueues it, quarantines it — the checkpoint is on the
+    /// platter, not in the page cache: OS-level power loss can tear the
+    /// record being written but never drop an acked one.
     pub fn append(
         &mut self,
         record: &JournalRecord,
@@ -398,8 +491,12 @@ impl Journal {
             JournalAction::Normal => {
                 self.file
                     .write_all(&bytes)
-                    .and_then(|()| self.file.flush())
                     .map_err(|error| CampaignError::io("append journal record", &error))?;
+                sync_point(SyncPoint::RecordWritten);
+                self.file
+                    .sync_data()
+                    .map_err(|error| CampaignError::io("fsync journal record", &error))?;
+                sync_point(SyncPoint::FileSynced);
                 self.records_written += 1;
                 Ok(())
             }
@@ -480,6 +577,89 @@ mod tests {
         };
         assert!(message.len() <= MESSAGE_CAP);
         assert!(long.starts_with(&message));
+    }
+
+    fn temp_journal(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "campaign-unit-{tag}-{}-{unique}.journal",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn create_and_append_sync_in_durability_order() {
+        use crate::faultpoint::FaultInjector;
+        let path = temp_journal("sync-order");
+        let _ = take_sync_log();
+        let mut journal = Journal::create(&path, 2, 0xF00D).expect("create");
+        // Create: header reaches the kernel, then the file is fsynced,
+        // then the directory entry — never the other way around.
+        assert_eq!(
+            take_sync_log(),
+            vec![
+                SyncPoint::HeaderWritten,
+                SyncPoint::FileSynced,
+                SyncPoint::DirSynced,
+            ],
+            "create must sync file contents before the directory entry"
+        );
+        // Each append fsyncs after the write and before returning Ok, so
+        // an acked checkpoint is durable by the time the runner acts on
+        // it.
+        for job in 0..2 {
+            journal
+                .append(
+                    &JournalRecord::Completed {
+                        job,
+                        attempt: 1,
+                        result: result(u64::from(job)),
+                    },
+                    &FaultInjector::none(),
+                )
+                .expect("append");
+            assert_eq!(
+                take_sync_log(),
+                vec![SyncPoint::RecordWritten, SyncPoint::FileSynced],
+                "append {job} must fsync the record before acking it"
+            );
+        }
+        drop(journal);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn second_process_cannot_open_a_locked_journal() {
+        use crate::error::CampaignError;
+        let path = temp_journal("locked");
+        let journal = Journal::create(&path, 3, 0xBEEF).expect("create");
+        // The advisory lock belongs to the open file, so a second open —
+        // same process or not — conflicts exactly like a second process
+        // would.
+        match Journal::open_resume(&path, 3, 0xBEEF) {
+            Err(CampaignError::Locked { path: locked }) => {
+                assert!(locked.contains("campaign-unit-locked"));
+            }
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        // A racing `create` is refused too, without truncating the live
+        // journal.
+        assert!(matches!(
+            Journal::create(&path, 3, 0xBEEF),
+            Err(CampaignError::Locked { .. })
+        ));
+        let len = std::fs::metadata(&path).expect("metadata").len();
+        assert_eq!(
+            len as usize, HEADER_LEN,
+            "the losing create must not have wiped the journal"
+        );
+        // Dropping the holder releases the lock; resume then succeeds.
+        drop(journal);
+        let (_, replay) = Journal::open_resume(&path, 3, 0xBEEF).expect("resume after release");
+        assert_eq!(replay.records, 0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -41,16 +41,23 @@
 
 pub mod error;
 pub mod faultpoint;
+pub mod heartbeat;
 pub mod journal;
 pub mod output;
 pub mod runner;
 pub mod shard;
 pub mod spec;
+pub mod supervise;
 
 pub use error::CampaignError;
-pub use faultpoint::{FaultInjector, Injection};
+pub use faultpoint::{FaultInjector, Injection, ProcessInjection, ProcessInjector};
+pub use heartbeat::{read_heartbeat, HeartbeatSnapshot, HeartbeatWriter};
 pub use journal::{JobResult, Journal, JournalRecord, Replay};
-pub use output::{merge_exports, Export, JobOutcome, JobStatus};
+pub use output::{
+    merge_exports, merge_shard_exports, merge_shard_exports_partial, Export, JobOutcome, JobStatus,
+    PartialMerge, ShardExport,
+};
 pub use runner::{run_campaign, run_job, CampaignOptions, CampaignSummary};
 pub use shard::Shard;
 pub use spec::{CampaignPlan, JobSpec, PopulationSpec};
+pub use supervise::{supervise, ShardCommand, ShardFate, SupervisorOptions, SupervisorReport};

@@ -12,7 +12,7 @@
 //! cross-plan mixes.
 
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use march_test::rng::Fnv1a;
 
@@ -185,43 +185,145 @@ impl Export {
     }
 }
 
-/// Merges shard exports into one full export covering every job exactly
-/// once. Refuses mixed plans, duplicate jobs and missing jobs.
-pub fn merge_exports(parts: &[Export]) -> Result<Export, CampaignError> {
+/// One shard's export together with where it came from, so merge
+/// conflicts can name the offending shard and file instead of an
+/// anonymous "two exports".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardExport {
+    /// Shard index the export belongs to.
+    pub shard: u32,
+    /// File the export was read from (or will be attributed to).
+    pub path: PathBuf,
+    /// The decoded export.
+    pub export: Export,
+}
+
+impl ShardExport {
+    /// Reads and decodes shard `shard`'s export from `path`.
+    pub fn read(shard: u32, path: &Path) -> Result<Self, CampaignError> {
+        Ok(Self {
+            shard,
+            path: path.to_path_buf(),
+            export: Export::read(path)?,
+        })
+    }
+
+    /// How this part is named in merge errors and manifests.
+    fn label(&self) -> String {
+        format!("shard {} ({})", self.shard, self.path.display())
+    }
+}
+
+/// A merge over a *subset* of a plan's shards: whatever outcomes the
+/// present shards cover, plus the jobs no present shard owned — the
+/// degraded-mode result a supervisor emits when a shard exhausted its
+/// restart budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialMerge {
+    /// The merged export over the present outcomes (sorted by job).
+    pub export: Export,
+    /// Plan job indices no present export covered, in order. Empty when
+    /// the merge is actually complete.
+    pub missing_jobs: Vec<u32>,
+}
+
+/// The merge core: combines labelled parts, refusing mixed plans and
+/// overlapping jobs with errors that name the offending parts. Gaps are
+/// reported, not rejected — callers decide whether partial coverage is
+/// an error ([`merge_shard_exports`]) or a degraded result
+/// ([`merge_shard_exports_partial`]).
+fn merge_labeled(parts: &[ShardExport]) -> Result<PartialMerge, CampaignError> {
     let Some(first) = parts.first() else {
         return Err(CampaignError::MergeConflict {
             reason: "no exports to merge".to_string(),
         });
     };
-    let mut merged: BTreeMap<u32, JobOutcome> = BTreeMap::new();
-    for part in parts {
-        if part.plan_digest != first.plan_digest || part.total_jobs != first.total_jobs {
+    let mut merged: BTreeMap<u32, (JobOutcome, usize)> = BTreeMap::new();
+    for (index, part) in parts.iter().enumerate() {
+        if part.export.plan_digest != first.export.plan_digest
+            || part.export.total_jobs != first.export.total_jobs
+        {
             return Err(CampaignError::MergeConflict {
-                reason: "exports belong to different plans".to_string(),
+                reason: format!(
+                    "{} belongs to a different plan than {} (digest {:#018x} vs {:#018x}, {} vs {} jobs)",
+                    part.label(),
+                    first.label(),
+                    part.export.plan_digest,
+                    first.export.plan_digest,
+                    part.export.total_jobs,
+                    first.export.total_jobs,
+                ),
             });
         }
-        for outcome in &part.outcomes {
-            if merged.insert(outcome.job, *outcome).is_some() {
+        for outcome in &part.export.outcomes {
+            if let Some((_, owner)) = merged.insert(outcome.job, (*outcome, index)) {
                 return Err(CampaignError::MergeConflict {
-                    reason: format!("job {} appears in two exports", outcome.job),
+                    reason: format!(
+                        "job {} appears in both {} and {}",
+                        outcome.job,
+                        parts[owner].label(),
+                        part.label(),
+                    ),
                 });
             }
         }
     }
-    if merged.len() != first.total_jobs as usize {
+    let missing_jobs: Vec<u32> = (0..first.export.total_jobs)
+        .filter(|job| !merged.contains_key(job))
+        .collect();
+    Ok(PartialMerge {
+        export: Export::new(
+            first.export.plan_digest,
+            first.export.total_jobs,
+            merged.into_values().map(|(outcome, _)| outcome).collect(),
+        ),
+        missing_jobs,
+    })
+}
+
+/// Merges shard exports into one full export covering every job exactly
+/// once. Refuses mixed plans, duplicate jobs and missing jobs, naming
+/// the offending shard and file.
+pub fn merge_shard_exports(parts: &[ShardExport]) -> Result<Export, CampaignError> {
+    let merged = merge_labeled(parts)?;
+    if let Some(&job) = merged.missing_jobs.first() {
         return Err(CampaignError::MergeConflict {
             reason: format!(
-                "merged exports cover {} of {} jobs",
-                merged.len(),
-                first.total_jobs
+                "merged exports cover {} of {} jobs (job {} missing, no part owns it)",
+                merged.export.outcomes.len(),
+                merged.export.total_jobs,
+                job,
             ),
         });
     }
-    Ok(Export::new(
-        first.plan_digest,
-        first.total_jobs,
-        merged.into_values().collect(),
-    ))
+    Ok(merged.export)
+}
+
+/// Merges whatever shard exports survived into a [`PartialMerge`]:
+/// overlaps and plan mixes are still conflicts, but jobs no present
+/// shard covered are *reported*, not rejected. A later run of the
+/// missing shards produces exports that [`merge_shard_exports`] can
+/// recombine with this partial export into the full answer.
+pub fn merge_shard_exports_partial(parts: &[ShardExport]) -> Result<PartialMerge, CampaignError> {
+    merge_labeled(parts)
+}
+
+/// Merges anonymous shard exports into one full export covering every
+/// job exactly once. Refuses mixed plans, duplicate jobs and missing
+/// jobs; parts are named positionally (`shard 0 (<part 0>)`, …) — use
+/// [`merge_shard_exports`] when real shard indices and file paths are
+/// known.
+pub fn merge_exports(parts: &[Export]) -> Result<Export, CampaignError> {
+    let labeled: Vec<ShardExport> = parts
+        .iter()
+        .enumerate()
+        .map(|(index, export)| ShardExport {
+            shard: index as u32,
+            path: PathBuf::from(format!("<part {index}>")),
+            export: export.clone(),
+        })
+        .collect();
+    merge_shard_exports(&labeled)
 }
 
 #[cfg(test)]
@@ -279,5 +381,92 @@ mod tests {
         let other_plan = Export::new(2, 4, vec![outcome(1), outcome(3)]);
         assert!(merge_exports(&[a, other_plan]).is_err());
         assert!(merge_exports(&[]).is_err());
+    }
+
+    fn shard_export(shard: u32, path: &str, export: Export) -> ShardExport {
+        ShardExport {
+            shard,
+            path: PathBuf::from(path),
+            export,
+        }
+    }
+
+    #[test]
+    fn merge_conflicts_name_the_offending_shard_and_path() {
+        let a = shard_export(
+            0,
+            "/runs/shard-0.bin",
+            Export::new(1, 4, vec![outcome(0), outcome(2)]),
+        );
+        let overlapping = shard_export(2, "/runs/shard-2.bin", Export::new(1, 4, vec![outcome(2)]));
+        match merge_shard_exports(&[a.clone(), overlapping]) {
+            Err(CampaignError::MergeConflict { reason }) => assert_eq!(
+                reason,
+                "job 2 appears in both shard 0 (/runs/shard-0.bin) and shard 2 (/runs/shard-2.bin)"
+            ),
+            other => panic!("expected a named overlap conflict, got {other:?}"),
+        }
+        let foreign = shard_export(1, "/runs/shard-1.bin", Export::new(9, 4, vec![outcome(1)]));
+        match merge_shard_exports(&[a.clone(), foreign]) {
+            Err(CampaignError::MergeConflict { reason }) => {
+                assert!(
+                    reason.starts_with(
+                        "shard 1 (/runs/shard-1.bin) belongs to a different plan than shard 0 (/runs/shard-0.bin)"
+                    ),
+                    "unexpected plan-mix message: {reason}"
+                );
+            }
+            other => panic!("expected a named plan-mix conflict, got {other:?}"),
+        }
+        match merge_shard_exports(std::slice::from_ref(&a)) {
+            Err(CampaignError::MergeConflict { reason }) => assert_eq!(
+                reason,
+                "merged exports cover 2 of 4 jobs (job 1 missing, no part owns it)"
+            ),
+            other => panic!("expected a named gap conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_merge_reports_gaps_and_recombines_with_the_late_shard() {
+        // Shards 0 and 2 of 3 survived; shard 1 (jobs 1 and 4) is missing.
+        let survivors = [
+            shard_export(
+                0,
+                "/runs/shard-0.bin",
+                Export::new(7, 6, vec![outcome(0), outcome(3)]),
+            ),
+            shard_export(
+                2,
+                "/runs/shard-2.bin",
+                Export::new(7, 6, vec![outcome(2), outcome(5)]),
+            ),
+        ];
+        let partial = merge_shard_exports_partial(&survivors).expect("gaps are not conflicts");
+        assert_eq!(partial.missing_jobs, vec![1, 4]);
+        assert_eq!(partial.export.outcomes.len(), 4);
+        assert_eq!(partial.export.total_jobs, 6);
+        // A later manual run of the missing shard closes the gap: the
+        // partial export plus the late shard merge into the full answer.
+        let late = shard_export(
+            1,
+            "/runs/shard-1.bin",
+            Export::new(7, 6, vec![outcome(1), outcome(4)]),
+        );
+        let full = merge_shard_exports(&[
+            shard_export(u32::MAX, "/runs/partial.bin", partial.export),
+            late,
+        ])
+        .expect("partial + late shard must merge cleanly");
+        assert_eq!(
+            full.to_bytes(),
+            Export::new(7, 6, (0..6).map(outcome).collect()).to_bytes()
+        );
+        // Overlap is still a conflict even in partial mode.
+        let dup = [
+            shard_export(0, "/runs/a.bin", Export::new(7, 6, vec![outcome(0)])),
+            shard_export(1, "/runs/b.bin", Export::new(7, 6, vec![outcome(0)])),
+        ];
+        assert!(merge_shard_exports_partial(&dup).is_err());
     }
 }

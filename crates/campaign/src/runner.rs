@@ -21,8 +21,8 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 use std::time::Duration;
@@ -37,6 +37,7 @@ use sram_model::config::ArrayOrganization;
 
 use crate::error::CampaignError;
 use crate::faultpoint::{detonate_factories, FaultInjector};
+use crate::heartbeat::HeartbeatWriter;
 use crate::journal::{JobResult, Journal, JournalRecord, Replay};
 use crate::output::{Export, JobOutcome, JobStatus};
 use crate::shard::Shard;
@@ -59,6 +60,11 @@ pub struct CampaignOptions {
     /// smoke test kill a campaign reliably mid-run). Does not affect
     /// results.
     pub job_delay: Duration,
+    /// Heartbeat sidecar file for a supervising process: written at
+    /// campaign start and after every journal append
+    /// ([`crate::heartbeat`]). `None` (the default) skips heartbeats
+    /// entirely — unsupervised campaigns pay nothing.
+    pub heartbeat: Option<PathBuf>,
 }
 
 impl Default for CampaignOptions {
@@ -69,6 +75,7 @@ impl Default for CampaignOptions {
             backoff: Duration::from_millis(10),
             resume: false,
             job_delay: Duration::ZERO,
+            heartbeat: None,
         }
     }
 }
@@ -146,11 +153,19 @@ pub fn run_campaign(
         }
     }
 
+    // The campaign-start beat goes out before any worker spawns, so a
+    // supervisor sees liveness while the first (possibly slow) job runs.
+    let heartbeat = match &options.heartbeat {
+        Some(path) => Some(Mutex::new(HeartbeatWriter::create(path)?)),
+        None => None,
+    };
     let shared = Shared {
         queue: Mutex::new(pending),
         journal: Mutex::new(journal),
         results: Mutex::new(results),
         poisoned: Mutex::new(poisoned),
+        heartbeat,
+        jobs_done: AtomicU64::new(0),
         in_flight: AtomicUsize::new(0),
         abort: Mutex::new(None),
         abort_flag: AtomicBool::new(false),
@@ -214,6 +229,10 @@ struct Shared {
     journal: Mutex<Journal>,
     results: Mutex<BTreeMap<u32, JobResult>>,
     poisoned: Mutex<BTreeMap<u32, String>>,
+    heartbeat: Option<Mutex<HeartbeatWriter>>,
+    /// Job attempts journaled so far — the clock the heartbeat-stall and
+    /// wedge injections run on.
+    jobs_done: AtomicU64,
     in_flight: AtomicUsize,
     abort: Mutex<Option<CampaignError>>,
     abort_flag: AtomicBool,
@@ -234,6 +253,15 @@ fn poll_campaign_item<'a>(
 ) -> Poll<'a> {
     if shared.abort_flag.load(Ordering::SeqCst) {
         return Poll::Done;
+    }
+    if injector.wedge_armed(shared.jobs_done.load(Ordering::SeqCst)) {
+        // Injected wedge: the process stays alive but stops making
+        // progress — no heartbeat, no journal growth, workers parked.
+        // Only an external SIGKILL (the supervisor's stall timeout)
+        // recovers a child in this state.
+        loop {
+            thread::sleep(Duration::from_millis(25));
+        }
     }
     let next = {
         let mut queue = shared.queue.lock().expect("queue lock");
@@ -301,6 +329,18 @@ fn run_attempt(
             },
         };
         journal.append(&record, injector).and_then(|()| {
+            // Beat between jobs, while the journal lock still pins the
+            // record count the beat reports. The stall injection
+            // silences the beat without touching the work.
+            let jobs_done = shared.jobs_done.fetch_add(1, Ordering::SeqCst) + 1;
+            if let Some(heartbeat) = &shared.heartbeat {
+                if !injector.heartbeat_stalled(jobs_done) {
+                    heartbeat
+                        .lock()
+                        .expect("heartbeat lock")
+                        .beat(journal.records_written())?;
+                }
+            }
             if injector.should_abort(journal.records_written()) {
                 Err(CampaignError::Injected {
                     point: format!("abort after {} records", journal.records_written()),

@@ -1,0 +1,764 @@
+//! The cross-process shard supervisor: the reliability boundary above
+//! `campaign_run`.
+//!
+//! PR 6 made a *single* campaign process crash-safe; this module owns
+//! the multi-process half. [`supervise`] spawns one `campaign_run
+//! --shard k/N` child per shard, watches each child's liveness through
+//! its heartbeat sidecar ([`crate::heartbeat`]) *and* its journal's
+//! growth, and restarts a dead or wedged shard with `--resume` under
+//! bounded exponential backoff. Because every child is itself
+//! crash-safe, the supervisor's only jobs are *detection* and
+//! *policy* — correctness of the restarted work is the journal's
+//! problem, already proven byte-identical by the PR 6 harness.
+//!
+//! The child exit-code contract drives the policy:
+//!
+//! * `0` — the shard completed; its export is final.
+//! * `2` — usage error: the child command line is wrong, restarting
+//!   cannot fix it, the whole campaign aborts
+//!   ([`CampaignError::Supervisor`]).
+//! * `4` — the shard completed but quarantined poisoned jobs; recorded,
+//!   **not** retried (the shard's own retry budget already ran out).
+//! * `3`, any other code, or death by signal — retryable: the shard
+//!   restarts with `--resume` after `backoff_base × 2^restarts`
+//!   (capped), until [`SupervisorOptions::restart_budget`] restarts are
+//!   burned.
+//!
+//! A shard that exhausts its restart budget is **quarantined** while
+//! the rest run to completion — graceful degradation instead of a
+//! stalled sweep. The supervisor then merges whatever shard exports
+//! exist into a *partial* export
+//! ([`crate::output::merge_shard_exports_partial`]) and writes a
+//! manifest naming the missing shards and jobs, so a later manual
+//! re-run of just those shards can be merged into the full answer.
+//! With every shard complete, the merge is total and byte-identical to
+//! an unsharded single-process run — the e2e kill-storm harness pins
+//! exactly that.
+//!
+//! Liveness: a child counts as *making progress* while its heartbeat
+//! count or its journal length keeps changing. A heartbeat that goes
+//! silent while the journal still grows is tolerated (the sidecar
+//! channel died, the work did not); when **both** stop for longer than
+//! [`SupervisorOptions::stall_timeout`], the child is wedged — it is
+//! SIGKILLed and the restart policy takes over. Restarting always
+//! passes `--resume`: a missing journal is a fresh start, so the first
+//! launch needs no special case, and re-running a crashed *supervisor*
+//! resumes every shard instead of restarting the campaign.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+use crate::error::CampaignError;
+use crate::faultpoint::ProcessInjector;
+use crate::heartbeat::read_heartbeat;
+use crate::output::{
+    merge_shard_exports, merge_shard_exports_partial, JobStatus, PartialMerge, ShardExport,
+};
+
+/// How the supervisor launches one shard: the `campaign_run` binary and
+/// the plan flags every shard shares (`--organization`, `--seeds`,
+/// `--population`, `--threads`, …).
+///
+/// The supervisor owns the per-shard flags — `--journal`, `--export`,
+/// `--heartbeat`, `--shard` and `--resume` — and refuses plan args that
+/// try to set them.
+#[derive(Debug, Clone)]
+pub struct ShardCommand {
+    /// Path of the `campaign_run` binary.
+    pub program: PathBuf,
+    /// Plan flags shared by every shard.
+    pub plan_args: Vec<String>,
+}
+
+impl ShardCommand {
+    /// Builds a shard command.
+    pub fn new(program: impl Into<PathBuf>, plan_args: &[&str]) -> Self {
+        Self {
+            program: program.into(),
+            plan_args: plan_args.iter().map(|arg| arg.to_string()).collect(),
+        }
+    }
+
+    /// The flags the supervisor reserves for itself.
+    const RESERVED: [&'static str; 5] = [
+        "--journal",
+        "--export",
+        "--heartbeat",
+        "--shard",
+        "--resume",
+    ];
+
+    fn validate(&self) -> Result<(), CampaignError> {
+        for arg in &self.plan_args {
+            if Self::RESERVED.contains(&arg.as_str()) {
+                return Err(CampaignError::Supervisor {
+                    reason: format!(
+                        "plan args must not set {arg}: the supervisor owns the per-shard flags"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Supervision policy knobs.
+#[derive(Debug, Clone)]
+pub struct SupervisorOptions {
+    /// Number of shard processes (`N` in `--shard k/N`).
+    pub shards: u32,
+    /// Directory holding every per-shard journal, export and heartbeat.
+    pub dir: PathBuf,
+    /// Where the merged (possibly partial) export is written.
+    pub merged_export: PathBuf,
+    /// Where the manifest is written.
+    pub manifest: PathBuf,
+    /// Restarts each shard may burn before it is quarantined.
+    pub restart_budget: u32,
+    /// First restart delay; restart `r` waits `backoff_base × 2^(r-1)`.
+    pub backoff_base: Duration,
+    /// Upper bound on the backoff delay.
+    pub backoff_cap: Duration,
+    /// How often the supervisor polls children and sidecars.
+    pub poll_interval: Duration,
+    /// How long a child may make no progress (no heartbeat change *and*
+    /// no journal growth) before it is declared wedged and SIGKILLed.
+    pub stall_timeout: Duration,
+}
+
+impl SupervisorOptions {
+    /// Defaults rooted in `dir`: merged export and manifest live next to
+    /// the shard files, budget 3, backoff 100 ms doubling to a 2 s cap,
+    /// 25 ms polls, 10 s stall timeout.
+    pub fn in_dir(dir: impl Into<PathBuf>, shards: u32) -> Self {
+        let dir = dir.into();
+        Self {
+            shards,
+            merged_export: dir.join("merged.bin"),
+            manifest: dir.join("manifest.txt"),
+            dir,
+            restart_budget: 3,
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(2),
+            poll_interval: Duration::from_millis(25),
+            stall_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Shard `k`'s journal path.
+    pub fn journal_path(&self, shard: u32) -> PathBuf {
+        self.dir.join(format!("shard-{shard}.journal"))
+    }
+
+    /// Shard `k`'s partial-export path.
+    pub fn export_path(&self, shard: u32) -> PathBuf {
+        self.dir.join(format!("shard-{shard}.bin"))
+    }
+
+    /// Shard `k`'s heartbeat sidecar path.
+    pub fn heartbeat_path(&self, shard: u32) -> PathBuf {
+        self.dir.join(format!("shard-{shard}.hb"))
+    }
+}
+
+/// The delay before restart number `restart` (1-based):
+/// `base × 2^(restart-1)`, capped.
+fn backoff_delay(options: &SupervisorOptions, restart: u32) -> Duration {
+    let doublings = restart.saturating_sub(1).min(16);
+    let delay = options.backoff_base.saturating_mul(1u32 << doublings);
+    delay.min(options.backoff_cap)
+}
+
+/// How one shard ended up, for the report and the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardFate {
+    /// The shard ran to completion (possibly after restarts); exit code
+    /// `0`, or `4` when it quarantined poisoned jobs.
+    Completed {
+        /// `true` when the shard exited `4` (poisoned jobs inside).
+        poisoned: bool,
+        /// Restarts this shard burned.
+        restarts: u32,
+    },
+    /// The shard exhausted its restart budget and was given up on; its
+    /// jobs are missing from the merged export.
+    Quarantined {
+        /// Restarts this shard burned (the full budget).
+        restarts: u32,
+        /// The last observed failure, e.g. `"exit code 3"` or
+        /// `"wedged: no progress within the stall timeout"`.
+        last_failure: String,
+    },
+}
+
+/// What a supervised campaign produced.
+#[derive(Debug, Clone)]
+pub struct SupervisorReport {
+    /// Digest of the plan, from the merged export header.
+    pub plan_digest: u64,
+    /// Total jobs in the plan.
+    pub total_jobs: u32,
+    /// Per-shard fates, indexed by shard.
+    pub fates: Vec<ShardFate>,
+    /// Plan jobs no surviving shard covered (empty on full success).
+    pub missing_jobs: Vec<u32>,
+    /// Jobs the surviving shards poison-quarantined.
+    pub poisoned_jobs: Vec<u32>,
+    /// Restarts across all shards.
+    pub restarts: u32,
+    /// Where the merged export was written.
+    pub merged_export: PathBuf,
+    /// Where the manifest was written.
+    pub manifest: PathBuf,
+}
+
+impl SupervisorReport {
+    /// `true` when at least one shard was quarantined — the merged
+    /// export is partial and the manifest names what is missing.
+    pub fn degraded(&self) -> bool {
+        self.fates
+            .iter()
+            .any(|fate| matches!(fate, ShardFate::Quarantined { .. }))
+    }
+
+    /// `true` when any surviving shard carried poisoned jobs.
+    pub fn poisoned(&self) -> bool {
+        !self.poisoned_jobs.is_empty()
+    }
+}
+
+/// What a child's exit status means for the restart policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ChildOutcome {
+    /// Exit `0` or `4`: the shard is done.
+    Completed {
+        /// Exit `4`: poisoned jobs inside.
+        poisoned: bool,
+    },
+    /// Exit `2`: the command line is wrong; restarting cannot fix it.
+    Usage,
+    /// Exit `3`, an unexpected code, or death by signal.
+    Retryable(String),
+}
+
+/// Maps the `campaign_run` exit-code contract onto the restart policy.
+fn classify_exit(status: ExitStatus) -> ChildOutcome {
+    match status.code() {
+        Some(0) => ChildOutcome::Completed { poisoned: false },
+        Some(4) => ChildOutcome::Completed { poisoned: true },
+        Some(2) => ChildOutcome::Usage,
+        Some(code) => ChildOutcome::Retryable(format!("exit code {code}")),
+        None => ChildOutcome::Retryable(signal_description(status)),
+    }
+}
+
+#[cfg(unix)]
+fn signal_description(status: ExitStatus) -> String {
+    use std::os::unix::process::ExitStatusExt;
+    match status.signal() {
+        Some(signal) => format!("killed by signal {signal}"),
+        None => "killed by a signal".to_string(),
+    }
+}
+
+#[cfg(not(unix))]
+fn signal_description(_status: ExitStatus) -> String {
+    "terminated without an exit code".to_string()
+}
+
+/// One shard's supervision state.
+struct Slot {
+    shard: u32,
+    child: Option<Child>,
+    /// Times this shard has been launched (1 after the first spawn).
+    launches: u32,
+    last_progress: Instant,
+    seen_beats: u64,
+    seen_journal_len: u64,
+    /// When a scheduled restart is due.
+    retry_at: Option<Instant>,
+    last_failure: String,
+    fate: Option<ShardFate>,
+}
+
+impl Slot {
+    fn restarts(&self) -> u32 {
+        self.launches.saturating_sub(1)
+    }
+}
+
+/// Runs a supervised N-shard campaign to its terminal state and merges
+/// the surviving shard exports. See the module docs for the policy; see
+/// [`SupervisorReport::degraded`] for how partial success is reported.
+///
+/// # Errors
+///
+/// Fails when a child cannot be spawned, a child reports a usage error,
+/// a completed shard's export is unreadable, no shard completes at all,
+/// or the merge itself conflicts (which would mean overlapping shard
+/// exports — a supervisor bug, not a crash).
+pub fn supervise(
+    command: &ShardCommand,
+    options: &SupervisorOptions,
+    injector: &ProcessInjector,
+) -> Result<SupervisorReport, CampaignError> {
+    if options.shards == 0 {
+        return Err(CampaignError::Supervisor {
+            reason: "cannot supervise zero shards".to_string(),
+        });
+    }
+    command.validate()?;
+    std::fs::create_dir_all(&options.dir).map_err(|error| {
+        CampaignError::io(format!("create supervisor dir {:?}", options.dir), &error)
+    })?;
+
+    let now = Instant::now();
+    let mut slots: Vec<Slot> = (0..options.shards)
+        .map(|shard| Slot {
+            shard,
+            child: None,
+            launches: 0,
+            last_progress: now,
+            seen_beats: 0,
+            seen_journal_len: 0,
+            retry_at: Some(now), // due immediately: the first launch
+            last_failure: String::new(),
+            fate: None,
+        })
+        .collect();
+
+    let result = supervise_loop(command, options, injector, &mut slots);
+    // Whatever happened, never leave children behind.
+    for slot in &mut slots {
+        if let Some(child) = &mut slot.child {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+    result?;
+
+    let fates: Vec<ShardFate> = slots
+        .iter()
+        .map(|slot| slot.fate.clone().expect("every slot reached a fate"))
+        .collect();
+    let restarts = slots.iter().map(Slot::restarts).sum();
+
+    // Merge what survived. Quarantined shards have no (complete) export;
+    // their jobs surface as `missing_jobs`.
+    let mut parts = Vec::new();
+    for (slot, fate) in slots.iter().zip(&fates) {
+        if matches!(fate, ShardFate::Completed { .. }) {
+            let path = options.export_path(slot.shard);
+            parts.push(ShardExport::read(slot.shard, &path).map_err(|error| {
+                CampaignError::Supervisor {
+                    reason: format!(
+                        "shard {} completed but its export is unreadable: {error}",
+                        slot.shard
+                    ),
+                }
+            })?);
+        }
+    }
+    if parts.is_empty() {
+        return Err(CampaignError::Supervisor {
+            reason: format!(
+                "no shard of {} completed within its restart budget",
+                options.shards
+            ),
+        });
+    }
+    let degraded = fates
+        .iter()
+        .any(|fate| matches!(fate, ShardFate::Quarantined { .. }));
+    let PartialMerge {
+        export,
+        missing_jobs,
+    } = if degraded {
+        merge_shard_exports_partial(&parts)?
+    } else {
+        let export = merge_shard_exports(&parts)?;
+        PartialMerge {
+            export,
+            missing_jobs: Vec::new(),
+        }
+    };
+    let poisoned_jobs: Vec<u32> = export
+        .outcomes
+        .iter()
+        .filter(|outcome| outcome.status == JobStatus::Poisoned)
+        .map(|outcome| outcome.job)
+        .collect();
+
+    export.write(&options.merged_export)?;
+    let report = SupervisorReport {
+        plan_digest: export.plan_digest,
+        total_jobs: export.total_jobs,
+        fates,
+        missing_jobs,
+        poisoned_jobs,
+        restarts,
+        merged_export: options.merged_export.clone(),
+        manifest: options.manifest.clone(),
+    };
+    std::fs::write(&options.manifest, render_manifest(&report)).map_err(|error| {
+        CampaignError::io(format!("write manifest {:?}", options.manifest), &error)
+    })?;
+    Ok(report)
+}
+
+/// The polling loop: spawn due shards, reap exits, watch liveness,
+/// schedule restarts. Returns once every slot has a fate, or fails fast
+/// on spawn failures and child usage errors.
+fn supervise_loop(
+    command: &ShardCommand,
+    options: &SupervisorOptions,
+    injector: &ProcessInjector,
+    slots: &mut [Slot],
+) -> Result<(), CampaignError> {
+    while slots.iter().any(|slot| slot.fate.is_none()) {
+        for slot in slots.iter_mut() {
+            if slot.fate.is_some() {
+                continue;
+            }
+            if slot.child.is_some() {
+                poll_child(options, injector, slot)?;
+            } else if let Some(due) = slot.retry_at {
+                if Instant::now() >= due {
+                    spawn_shard(command, options, injector, slot)?;
+                }
+            }
+        }
+        std::thread::sleep(options.poll_interval);
+    }
+    Ok(())
+}
+
+/// Launches (or relaunches) one shard child. Always passes `--resume`:
+/// a missing journal is a fresh start, and an existing one is exactly
+/// what the restart is for.
+fn spawn_shard(
+    command: &ShardCommand,
+    options: &SupervisorOptions,
+    injector: &ProcessInjector,
+    slot: &mut Slot,
+) -> Result<(), CampaignError> {
+    // A stale sidecar from the previous life would count as beats the
+    // new child never made (and could fire kill injections spuriously).
+    let _ = std::fs::remove_file(options.heartbeat_path(slot.shard));
+    slot.seen_beats = 0;
+    let mut child = Command::new(&command.program);
+    child
+        .args(&command.plan_args)
+        .arg("--journal")
+        .arg(options.journal_path(slot.shard))
+        .arg("--export")
+        .arg(options.export_path(slot.shard))
+        .arg("--heartbeat")
+        .arg(options.heartbeat_path(slot.shard))
+        .arg("--shard")
+        .arg(format!("{}/{}", slot.shard, options.shards))
+        .arg("--resume")
+        .args(injector.child_args(slot.shard, slot.launches))
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit());
+    let spawned = child.spawn().map_err(|error| CampaignError::Supervisor {
+        reason: format!(
+            "cannot spawn shard {} ({:?}): {error}",
+            slot.shard, command.program
+        ),
+    })?;
+    slot.child = Some(spawned);
+    slot.launches += 1;
+    slot.retry_at = None;
+    slot.last_progress = Instant::now();
+    Ok(())
+}
+
+/// One poll of a running child: reap an exit, otherwise check liveness
+/// and the kill injection.
+fn poll_child(
+    options: &SupervisorOptions,
+    injector: &ProcessInjector,
+    slot: &mut Slot,
+) -> Result<(), CampaignError> {
+    let child = slot.child.as_mut().expect("poll_child needs a child");
+    let status = child.try_wait().map_err(|error| {
+        CampaignError::io(format!("wait for shard {} child", slot.shard), &error)
+    })?;
+    if let Some(status) = status {
+        slot.child = None;
+        return match classify_exit(status) {
+            ChildOutcome::Completed { poisoned } => {
+                slot.fate = Some(ShardFate::Completed {
+                    poisoned,
+                    restarts: slot.restarts(),
+                });
+                Ok(())
+            }
+            ChildOutcome::Usage => Err(CampaignError::Supervisor {
+                reason: format!(
+                    "shard {} exited with a usage error — the child command line is wrong \
+                     and restarting cannot fix it",
+                    slot.shard
+                ),
+            }),
+            ChildOutcome::Retryable(reason) => {
+                schedule_restart(options, slot, reason);
+                Ok(())
+            }
+        };
+    }
+
+    // Still running: progress is a changed heartbeat *or* a grown
+    // journal — a silent heartbeat alone does not condemn a shard whose
+    // journal still moves.
+    let beats = read_heartbeat(&options.heartbeat_path(slot.shard))
+        .map(|snapshot| snapshot.beats)
+        .unwrap_or(0);
+    let journal_len = std::fs::metadata(options.journal_path(slot.shard))
+        .map(|meta| meta.len())
+        .unwrap_or(0);
+    if beats != slot.seen_beats || journal_len != slot.seen_journal_len {
+        slot.seen_beats = beats;
+        slot.seen_journal_len = journal_len;
+        slot.last_progress = Instant::now();
+    }
+    if injector.kill_due(slot.shard, beats) {
+        kill_child(slot);
+        schedule_restart(options, slot, "injected child SIGKILL".to_string());
+    } else if slot.last_progress.elapsed() > options.stall_timeout {
+        kill_child(slot);
+        schedule_restart(
+            options,
+            slot,
+            "wedged: no heartbeat or journal growth within the stall timeout".to_string(),
+        );
+    }
+    Ok(())
+}
+
+/// SIGKILLs and reaps a slot's child (best-effort: the child may win the
+/// race and exit first, which is fine — `--resume` makes an unnecessary
+/// restart a no-op).
+fn kill_child(slot: &mut Slot) {
+    if let Some(mut child) = slot.child.take() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+/// Burns one restart (or the quarantine) for a failed shard life.
+fn schedule_restart(options: &SupervisorOptions, slot: &mut Slot, reason: String) {
+    slot.last_failure = reason;
+    if slot.restarts() >= options.restart_budget {
+        slot.fate = Some(ShardFate::Quarantined {
+            restarts: slot.restarts(),
+            last_failure: slot.last_failure.clone(),
+        });
+    } else {
+        let restart = slot.restarts() + 1;
+        slot.retry_at = Some(Instant::now() + backoff_delay(options, restart));
+    }
+}
+
+/// Renders the manifest: the plan identity, every shard's fate, and —
+/// the point of the file — exactly which shards and jobs are missing
+/// from a degraded merge, so a later manual re-run knows what to run.
+pub fn render_manifest(report: &SupervisorReport) -> String {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    let _ = writeln!(text, "campaign supervisor manifest v1");
+    let _ = writeln!(text, "plan {:#018x}", report.plan_digest);
+    let _ = writeln!(
+        text,
+        "jobs {}/{}",
+        report.total_jobs as usize - report.missing_jobs.len(),
+        report.total_jobs
+    );
+    let _ = writeln!(text, "shards {}", report.fates.len());
+    for (shard, fate) in report.fates.iter().enumerate() {
+        match fate {
+            ShardFate::Completed { poisoned, restarts } => {
+                let poison = if *poisoned {
+                    " poisoned-jobs-inside"
+                } else {
+                    ""
+                };
+                let _ = writeln!(text, "shard {shard}: completed restarts={restarts}{poison}");
+            }
+            ShardFate::Quarantined {
+                restarts,
+                last_failure,
+            } => {
+                let _ = writeln!(
+                    text,
+                    "shard {shard}: quarantined restarts={restarts} last-failure=\"{last_failure}\""
+                );
+            }
+        }
+    }
+    let _ = writeln!(
+        text,
+        "missing-shards {}",
+        render_list(missing_shards(report))
+    );
+    let _ = writeln!(
+        text,
+        "missing-jobs {}",
+        render_list(report.missing_jobs.iter().copied())
+    );
+    let _ = writeln!(
+        text,
+        "poisoned-jobs {}",
+        render_list(report.poisoned_jobs.iter().copied())
+    );
+    text
+}
+
+/// Shard indices whose fate is quarantined.
+fn missing_shards(report: &SupervisorReport) -> impl Iterator<Item = u32> + '_ {
+    report
+        .fates
+        .iter()
+        .enumerate()
+        .filter(|(_, fate)| matches!(fate, ShardFate::Quarantined { .. }))
+        .map(|(shard, _)| shard as u32)
+}
+
+/// `-` for an empty list, else comma-separated.
+fn render_list(items: impl Iterator<Item = u32>) -> String {
+    let rendered: Vec<String> = items.map(|item| item.to_string()).collect();
+    if rendered.is_empty() {
+        "-".to_string()
+    } else {
+        rendered.join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_from_base_and_caps() {
+        let mut options = SupervisorOptions::in_dir("/tmp/x", 2);
+        options.backoff_base = Duration::from_millis(100);
+        options.backoff_cap = Duration::from_millis(450);
+        assert_eq!(backoff_delay(&options, 1), Duration::from_millis(100));
+        assert_eq!(backoff_delay(&options, 2), Duration::from_millis(200));
+        assert_eq!(backoff_delay(&options, 3), Duration::from_millis(400));
+        assert_eq!(backoff_delay(&options, 4), Duration::from_millis(450));
+        assert_eq!(backoff_delay(&options, 40), Duration::from_millis(450));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn exit_codes_map_onto_the_restart_policy() {
+        use std::os::unix::process::ExitStatusExt;
+        let code = |code: i32| ExitStatus::from_raw(code << 8);
+        assert_eq!(
+            classify_exit(code(0)),
+            ChildOutcome::Completed { poisoned: false }
+        );
+        assert_eq!(
+            classify_exit(code(4)),
+            ChildOutcome::Completed { poisoned: true }
+        );
+        assert_eq!(classify_exit(code(2)), ChildOutcome::Usage);
+        assert_eq!(
+            classify_exit(code(3)),
+            ChildOutcome::Retryable("exit code 3".to_string())
+        );
+        assert_eq!(
+            classify_exit(code(7)),
+            ChildOutcome::Retryable("exit code 7".to_string())
+        );
+        // Raw status 9: killed by SIGKILL, no exit code.
+        assert_eq!(
+            classify_exit(ExitStatus::from_raw(9)),
+            ChildOutcome::Retryable("killed by signal 9".to_string())
+        );
+    }
+
+    #[test]
+    fn reserved_flags_are_refused_in_plan_args() {
+        let command = ShardCommand::new("/bin/true", &["--seeds", "1,2", "--journal", "x"]);
+        match command.validate() {
+            Err(CampaignError::Supervisor { reason }) => {
+                assert!(reason.contains("--journal"), "{reason}");
+            }
+            other => panic!("expected Supervisor error, got {other:?}"),
+        }
+        assert!(ShardCommand::new("/bin/true", &["--seeds", "1,2"])
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn manifest_names_fates_missing_shards_and_jobs() {
+        let report = SupervisorReport {
+            plan_digest: 0xABCD,
+            total_jobs: 9,
+            fates: vec![
+                ShardFate::Completed {
+                    poisoned: false,
+                    restarts: 1,
+                },
+                ShardFate::Quarantined {
+                    restarts: 3,
+                    last_failure: "exit code 3".to_string(),
+                },
+                ShardFate::Completed {
+                    poisoned: true,
+                    restarts: 0,
+                },
+            ],
+            missing_jobs: vec![1, 4, 7],
+            poisoned_jobs: vec![5],
+            restarts: 4,
+            merged_export: PathBuf::from("/runs/merged.bin"),
+            manifest: PathBuf::from("/runs/manifest.txt"),
+        };
+        assert!(report.degraded());
+        assert!(report.poisoned());
+        let manifest = render_manifest(&report);
+        let expected = "campaign supervisor manifest v1\n\
+                        plan 0x000000000000abcd\n\
+                        jobs 6/9\n\
+                        shards 3\n\
+                        shard 0: completed restarts=1\n\
+                        shard 1: quarantined restarts=3 last-failure=\"exit code 3\"\n\
+                        shard 2: completed restarts=0 poisoned-jobs-inside\n\
+                        missing-shards 1\n\
+                        missing-jobs 1,4,7\n\
+                        poisoned-jobs 5\n";
+        assert_eq!(manifest, expected);
+    }
+
+    #[test]
+    fn shard_paths_are_rooted_in_the_dir() {
+        let options = SupervisorOptions::in_dir("/runs/campaign", 3);
+        assert_eq!(
+            options.journal_path(1),
+            PathBuf::from("/runs/campaign/shard-1.journal")
+        );
+        assert_eq!(
+            options.export_path(2),
+            PathBuf::from("/runs/campaign/shard-2.bin")
+        );
+        assert_eq!(
+            options.heartbeat_path(0),
+            PathBuf::from("/runs/campaign/shard-0.hb")
+        );
+        assert_eq!(
+            options.merged_export,
+            PathBuf::from("/runs/campaign/merged.bin")
+        );
+        assert_eq!(
+            options.manifest,
+            PathBuf::from("/runs/campaign/manifest.txt")
+        );
+    }
+}

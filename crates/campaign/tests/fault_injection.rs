@@ -55,8 +55,7 @@ fn options(threads: usize) -> CampaignOptions {
         threads,
         max_attempts: 3,
         backoff: Duration::ZERO,
-        resume: false,
-        job_delay: Duration::ZERO,
+        ..CampaignOptions::default()
     }
 }
 

@@ -94,6 +94,7 @@ fn identical_duplicate_records_replay_once() {
     // right before a crash, then finished again after a resume.
     journal.append(&record, &FaultInjector::none()).unwrap();
     journal.append(&record, &FaultInjector::none()).unwrap();
+    drop(journal); // release the advisory lock, as the crashed process would
     let (_, replay) = Journal::open_resume(&path, 2, 0xD0).expect("resume");
     assert_eq!(replay.records, 2);
     assert_eq!(replay.completed.len(), 1);
@@ -125,6 +126,7 @@ fn conflicting_duplicate_records_fail_the_resume() {
             &FaultInjector::none(),
         )
         .unwrap();
+    drop(journal); // release the advisory lock, as the crashed process would
     match Journal::open_resume(&path, 2, 0xD0) {
         Err(CampaignError::Corrupt { reason, .. }) => {
             assert!(reason.contains("two completed records"));
@@ -161,6 +163,7 @@ fn failed_records_accumulate_attempts_until_a_completion() {
             &none,
         )
         .unwrap();
+    drop(journal); // release the advisory lock, as the crashed process would
     let (_, replay) = Journal::open_resume(&path, 3, 0xE0).expect("resume");
     assert_eq!(replay.failed_attempts[&0], (2, "boom again".to_string()));
     assert!(

@@ -1,0 +1,282 @@
+//! End-to-end supervisor tests against the real `campaign_run` binary.
+//!
+//! These spawn actual child processes (via `CARGO_BIN_EXE_campaign_run`)
+//! and drive them through the supervisor under seeded process-level
+//! faults:
+//!
+//! 1. the kill-storm: two injected child SIGKILLs, one wedged child
+//!    (recovered by the stall-timeout kill) and one silent heartbeat —
+//!    the merged export must be **byte-identical** to an uninterrupted
+//!    single-process run;
+//! 2. a silent heartbeat over a *growing* journal must not be mistaken
+//!    for a wedge (journal growth is the fallback liveness signal);
+//! 3. restart-budget exhaustion: a shard that crashes on every launch is
+//!    quarantined, the merged export is partial, the manifest names the
+//!    missing shard and jobs, and a later manual re-run of that one
+//!    shard merges cleanly into the full answer — including through the
+//!    `campaign_supervisor` binary's exit-code contract (5 = degraded).
+//!
+//! Timing margins are generous: this suite must pass on a loaded
+//! single-core machine. Progress ticks every `--job-delay-ms` (150 ms);
+//! stall timeouts sit several multiples above that.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use campaign::runner::{run_campaign, CampaignOptions};
+use campaign::spec::{CampaignPlan, PopulationSpec};
+use campaign::supervise::{supervise, ShardCommand, ShardFate, SupervisorOptions};
+use campaign::{FaultInjector, ProcessInjection, ProcessInjector, Shard, ShardExport};
+use march_test::coverage::SweepBackend;
+
+/// A unique temp dir per call, so parallel tests never collide.
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "campaign-supervise-{tag}-{}-{unique}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// The plan flags every child receives; [`storm_plan`] builds the same
+/// plan in-process so the supervised runs can be compared against an
+/// uninterrupted one. 3 seeds × 2 algorithms × 2 orders = 12 jobs.
+const PLAN_FLAGS: [&str; 16] = [
+    "--organization",
+    "16x16",
+    "--seeds",
+    "1,2,3",
+    "--algorithms",
+    "March C-,MATS+",
+    "--orders",
+    "word line after word line,pseudo-random",
+    "--backgrounds",
+    "0",
+    "--population",
+    "mixed:120",
+    "--backend",
+    "lane",
+    "--threads",
+    "1",
+];
+
+fn storm_plan() -> CampaignPlan {
+    CampaignPlan::cross(
+        16,
+        16,
+        &[1, 2, 3],
+        &["March C-".to_string(), "MATS+".to_string()],
+        &[
+            "word line after word line".to_string(),
+            "pseudo-random".to_string(),
+        ],
+        &[false],
+        SweepBackend::LaneBatched,
+        PopulationSpec::Mixed { count: 120 },
+    )
+}
+
+/// The uninterrupted single-process export bytes for [`storm_plan`].
+fn clean_export_bytes(tag: &str) -> Vec<u8> {
+    let dir = temp_dir(tag);
+    let journal = dir.join("clean.journal");
+    let summary = run_campaign(
+        &storm_plan(),
+        Shard::whole(),
+        &journal,
+        &CampaignOptions {
+            threads: 1,
+            backoff: Duration::ZERO,
+            ..CampaignOptions::default()
+        },
+        &FaultInjector::none(),
+    )
+    .expect("clean run");
+    std::fs::remove_dir_all(&dir).ok();
+    summary.export.to_bytes()
+}
+
+/// A [`ShardCommand`] targeting the real `campaign_run` binary with the
+/// shared plan flags plus `extra`.
+fn child_command(extra: &[&str]) -> ShardCommand {
+    let mut plan_args: Vec<&str> = PLAN_FLAGS.to_vec();
+    plan_args.extend_from_slice(extra);
+    ShardCommand::new(env!("CARGO_BIN_EXE_campaign_run"), &plan_args)
+}
+
+#[test]
+fn kill_storm_merges_byte_identical_to_a_single_process_run() {
+    let clean = clean_export_bytes("storm-clean");
+    let dir = temp_dir("storm");
+    let mut options = SupervisorOptions::in_dir(&dir, 3);
+    options.backoff_base = Duration::from_millis(50);
+    options.backoff_cap = Duration::from_millis(200);
+    options.poll_interval = Duration::from_millis(15);
+    options.stall_timeout = Duration::from_millis(2500);
+    // The storm: shard 0 is SIGKILLed twice (once per life, as soon as a
+    // job lands), shard 1 wedges after its first job on its first launch
+    // (recovered by the stall-timeout kill), shard 2's heartbeat goes
+    // silent after its first job while its journal keeps growing.
+    let injector = ProcessInjector::new(vec![
+        ProcessInjection::KillChild {
+            shard: 0,
+            after_beats: 2,
+        },
+        ProcessInjection::KillChild {
+            shard: 0,
+            after_beats: 2,
+        },
+    ])
+    .with_first_launch_args(1, &["--wedge-after", "1"])
+    .with_first_launch_args(2, &["--stall-heartbeat-after", "1"]);
+
+    let report = supervise(
+        &child_command(&["--job-delay-ms", "150"]),
+        &options,
+        &injector,
+    )
+    .expect("the storm must not sink the campaign");
+
+    assert_eq!(injector.unfired_kills(), 0, "both kills must have fired");
+    assert!(!report.degraded() && !report.poisoned());
+    assert!(report.missing_jobs.is_empty());
+    assert_eq!(report.total_jobs, 12);
+    let restarts = |shard: usize| match &report.fates[shard] {
+        ShardFate::Completed { restarts, .. } => *restarts,
+        other => panic!("shard {shard} must complete, got {other:?}"),
+    };
+    assert_eq!(restarts(0), 2, "shard 0 dies twice, completes third life");
+    assert_eq!(restarts(1), 1, "the wedged shard is killed and restarted");
+    assert_eq!(restarts(2), 0, "a silent heartbeat alone is not a wedge");
+    let merged = std::fs::read(&report.merged_export).expect("merged export");
+    assert_eq!(
+        merged, clean,
+        "the supervised kill-storm must merge byte-identical to one process"
+    );
+    let manifest = std::fs::read_to_string(&report.manifest).expect("manifest");
+    assert!(manifest.contains("jobs 12/12"), "{manifest}");
+    assert!(manifest.contains("missing-shards -"), "{manifest}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn silent_heartbeat_with_growing_journal_is_not_wedged() {
+    let dir = temp_dir("silent");
+    let mut options = SupervisorOptions::in_dir(&dir, 1);
+    options.poll_interval = Duration::from_millis(15);
+    // The whole campaign (12 jobs × 150 ms) outlives the stall timeout,
+    // and the heartbeat never beats past campaign start — only the
+    // journal-growth fallback keeps the shard alive.
+    options.stall_timeout = Duration::from_millis(800);
+    let injector =
+        ProcessInjector::none().with_first_launch_args(0, &["--stall-heartbeat-after", "0"]);
+    let report = supervise(
+        &child_command(&["--job-delay-ms", "150"]),
+        &options,
+        &injector,
+    )
+    .expect("a silent sidecar must not fail the campaign");
+    assert_eq!(
+        report.fates[0],
+        ShardFate::Completed {
+            poisoned: false,
+            restarts: 0
+        },
+        "journal growth must count as liveness"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Runs the `campaign_supervisor` binary with `args` appended to the
+/// plan flags, returning its exit code.
+fn run_supervisor_binary(dir: &Path, args: &[&str]) -> i32 {
+    let status = Command::new(env!("CARGO_BIN_EXE_campaign_supervisor"))
+        .args(PLAN_FLAGS)
+        .arg("--child")
+        .arg(env!("CARGO_BIN_EXE_campaign_run"))
+        .arg("--dir")
+        .arg(dir)
+        .args(args)
+        .status()
+        .expect("spawn campaign_supervisor");
+    status.code().expect("supervisor exit code")
+}
+
+#[test]
+fn budget_exhaustion_quarantines_one_shard_and_the_manifest_recovers_it() {
+    let clean = clean_export_bytes("budget-clean");
+    let dir = temp_dir("budget");
+    // Shard 0 crashes on *every* launch after one record; with a budget
+    // of 1 restart it burns launch + restart and is quarantined. Shard 1
+    // is healthy and must be unaffected.
+    let code = run_supervisor_binary(
+        &dir,
+        &[
+            "--shards",
+            "2",
+            "--restart-budget",
+            "1",
+            "--restart-backoff-ms",
+            "10",
+            "--poll-ms",
+            "10",
+            "--crash-shard",
+            "0@1",
+        ],
+    );
+    assert_eq!(code, 5, "a degraded campaign must exit 5, not 0");
+
+    let manifest = std::fs::read_to_string(dir.join("manifest.txt")).expect("manifest");
+    assert!(
+        manifest.contains("shard 0: quarantined restarts=1"),
+        "{manifest}"
+    );
+    assert!(
+        manifest.contains("shard 1: completed restarts=0"),
+        "{manifest}"
+    );
+    assert!(manifest.contains("missing-shards 0"), "{manifest}");
+    assert!(manifest.contains("missing-jobs 0,2,4,6,8,10"), "{manifest}");
+    assert!(manifest.contains("jobs 6/12"), "{manifest}");
+
+    // The partial export covers exactly shard 1's jobs.
+    let partial = ShardExport::read(u32::MAX, &dir.join("merged.bin")).expect("partial export");
+    let jobs: Vec<u32> = partial.export.outcomes.iter().map(|o| o.job).collect();
+    assert_eq!(jobs, vec![1, 3, 5, 7, 9, 11]);
+
+    // Manual recovery: re-run the quarantined shard alone (resuming its
+    // journal, no injection this time) and merge it with the partial
+    // export — the combination must equal the uninterrupted run.
+    let status = Command::new(env!("CARGO_BIN_EXE_campaign_run"))
+        .args(PLAN_FLAGS)
+        .arg("--journal")
+        .arg(dir.join("shard-0.journal"))
+        .arg("--export")
+        .arg(dir.join("shard-0.bin"))
+        .args(["--shard", "0/2", "--resume"])
+        .status()
+        .expect("manual shard re-run");
+    assert_eq!(status.code(), Some(0), "the manual re-run must succeed");
+    let late = ShardExport::read(0, &dir.join("shard-0.bin")).expect("late shard export");
+    let full = campaign::merge_shard_exports(&[partial, late])
+        .expect("partial + re-run shard must merge cleanly");
+    assert_eq!(
+        full.to_bytes(),
+        clean,
+        "recovered campaign must equal the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn supervisor_binary_rejects_unknown_flags_with_a_usage_error() {
+    let dir = temp_dir("usage");
+    let code = run_supervisor_binary(&dir, &["--shards", "1", "--frobnicate", "9"]);
+    assert_eq!(code, 2, "unknown flags are usage errors");
+    std::fs::remove_dir_all(&dir).ok();
+}
