@@ -7,7 +7,7 @@
 //! cargo run --release -p bench --bin fault_sim_bench -- --rows 16 --cols 16
 //! cargo run --release -p bench --bin fault_sim_bench -- --passes 5 --out custom.json
 //! cargo run --release -p bench --bin fault_sim_bench -- --dense-size 512x512 --dense-faults 50000
-//! cargo run --release -p bench --bin fault_sim_bench -- --no-dense --no-campaign --no-scheduler
+//! cargo run --release -p bench --bin fault_sim_bench -- --no-dense --no-campaign --no-daemon --no-scheduler
 //! ```
 //!
 //! The workload is the acceptance sweep of the kernel work: the standard
@@ -22,8 +22,10 @@
 //! 1024×1024 and the address-aware packer vs. the greedy planner on an
 //! overlap-heavy population (skip with `--no-dense`) — and the campaign
 //! section, the crash-safe campaign runner's jobs/sec against a direct
-//! per-job loop (skip with `--no-campaign`), and the scheduler section,
-//! interned `OutcomeCode` report assembly against the classic
+//! per-job loop (skip with `--no-campaign`), the daemon section, the
+//! dynamic-intake path's sustained jobs/sec and overload shed fraction
+//! (skip with `--no-daemon`), and the scheduler section, interned
+//! `OutcomeCode` report assembly against the classic
 //! three-strings-per-fault `CoverageReport` (skip with
 //! `--no-scheduler`).
 //!
@@ -76,13 +78,15 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
         Some((dense_rows, dense_cols, dense_faults))
     };
     let campaign = !args.iter().any(|a| a == "--no-campaign");
+    let daemon = !args.iter().any(|a| a == "--no-daemon");
     let scheduler = !args.iter().any(|a| a == "--no-scheduler");
 
     println!(
         "# Fault-simulation sweep throughput ({} organizations, {passes} passes per variant)",
         organizations.len()
     );
-    let sweep = FaultSimSweep::measure_full(&organizations, passes, dense, campaign, scheduler);
+    let sweep =
+        FaultSimSweep::measure_full(&organizations, passes, dense, campaign, daemon, scheduler);
     for result in &sweep.sizes {
         println!(
             "{}x{}: {} algorithms x {} faults, {} threads",
@@ -177,6 +181,22 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
         println!(
             "  journaled campaign ({} worker threads):     {:>12.1} jobs/sec",
             section.threads, section.campaign_parallel_jobs_per_sec
+        );
+    }
+
+    if let Some(section) = &sweep.daemon {
+        println!(
+            "daemon section ({} jobs offered per pass):",
+            section.offered
+        );
+        println!(
+            "  sustained intake (spool + journal v2):     {:>12.1} jobs/sec",
+            section.intake_jobs_per_sec
+        );
+        println!(
+            "  overload shed (queue bound {}):             {:.0}% answered queue-full",
+            section.queue_limit,
+            section.shed_fraction * 100.0
         );
     }
 

@@ -767,6 +767,86 @@ mod tests {
             .any(|f| f.contains("campaign: section missing")));
     }
 
+    /// A committed fault-sim baseline carrying the daemon-intake section.
+    fn daemon_baseline() -> String {
+        r#"{
+  "benchmark": "fault_sim_sweep",
+  "threads": 4,
+  "sizes": [
+    { "rows": 64, "cols": 64,
+      "kernel_serial_faults_per_sec": 110000.0,
+      "batched_faults_per_sec": 900000.0,
+      "speedup_batched_vs_kernel": 8.2 }
+  ],
+  "daemon": {
+    "jobs": 24,
+    "offered": 24,
+    "queue_limit": 8,
+    "intake_jobs_per_sec": 450.0,
+    "shed_fraction": 0.667
+  }
+}"#
+        .to_string()
+    }
+
+    #[test]
+    fn daemon_section_gates_its_intake_rate_only() {
+        let report = check_benchmarks(
+            &daemon_baseline(),
+            &daemon_baseline(),
+            GateThresholds::default(),
+        )
+        .unwrap();
+        assert!(report.passed(), "{:?}", report.failures);
+        // Gated: 3 per-size metrics + the intake rate. The shed fraction
+        // and the raw counts carry no gate suffix — shedding is asserted
+        // exact at measurement time, not tracked as a drifting metric.
+        assert_eq!(report.comparisons.len(), 4);
+        assert!(report
+            .comparisons
+            .iter()
+            .any(|c| c.metric == "daemon intake_jobs_per_sec"));
+        assert!(!report
+            .comparisons
+            .iter()
+            .any(|c| c.metric.contains("shed_fraction")));
+    }
+
+    #[test]
+    fn collapsed_daemon_intake_rate_fails_the_absolute_gate() {
+        // Intake collapsing to 40% of the baseline (an fsync storm, a
+        // scan gone quadratic) exceeds the 50% absolute allowance.
+        let current = daemon_baseline().replace(
+            "\"intake_jobs_per_sec\": 450.0",
+            "\"intake_jobs_per_sec\": 180.0",
+        );
+        let report =
+            check_benchmarks(&daemon_baseline(), &current, GateThresholds::default()).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("daemon intake_jobs_per_sec"));
+    }
+
+    #[test]
+    fn missing_daemon_section_fails_the_gate() {
+        let current = r#"{
+  "benchmark": "fault_sim_sweep",
+  "sizes": [
+    { "rows": 64, "cols": 64,
+      "kernel_serial_faults_per_sec": 110000.0,
+      "batched_faults_per_sec": 900000.0,
+      "speedup_batched_vs_kernel": 8.2 }
+  ]
+}"#;
+        let report =
+            check_benchmarks(&daemon_baseline(), current, GateThresholds::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("daemon: section missing")));
+    }
+
     #[test]
     fn unknown_nested_sections_without_gated_fields_are_tolerated() {
         // A committed annotation object (no gated metrics inside) absent

@@ -39,7 +39,7 @@
 //! devirtualizing the lane hot path buys). All ratios are
 //! machine-relative and carry the tight CI gate.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use march_test::address_order::AddressOrder;
 use march_test::algorithm::MarchTest;
@@ -1000,6 +1000,172 @@ pub fn scheduler_bench(passes: usize) -> SchedulerBenchSection {
     }
 }
 
+/// The daemon-intake section: a fixed job stream pushed through the full
+/// dynamic-admission path — spool submit (tmp+rename), journal-v2
+/// `JobAdded` append with fsync, worker-pool execution, export assembly.
+///
+/// * **intake** — every pass offers the stream to a fresh spool and runs
+///   a single-threaded daemon to quiescence. The committed
+///   `intake_jobs_per_sec` is the sustained end-to-end admission rate
+///   and gates as an absolute throughput (the "intake suddenly 10x
+///   slower" class of failure).
+/// * **overload** — the same stream offered against a queue bounded well
+///   below it: the daemon must shed the overflow with explicit
+///   `queue-full` responses. With one worker and a pre-spooled backlog
+///   the shed count is deterministic, so `shed_fraction` is asserted
+///   exact at measurement time and committed as documentation of the
+///   backpressure contract (it carries no gate suffix — it cannot
+///   regress without the assertion failing first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonBenchSection {
+    /// Jobs offered (and admitted) per intake pass.
+    pub jobs: usize,
+    /// Submissions offered in the overload pass.
+    pub offered: usize,
+    /// Queue bound of the overload pass.
+    pub queue_limit: usize,
+    /// Jobs per second through spool submit + admission + execution +
+    /// export, single-threaded.
+    pub intake_jobs_per_sec: f64,
+    /// Fraction of the overload pass's submissions shed with
+    /// `queue-full` — `(offered - queue_limit) / offered` by
+    /// construction.
+    pub shed_fraction: f64,
+}
+
+impl DaemonBenchSection {
+    /// Renders the section as the `daemon` member of the sweep JSON.
+    fn to_json_entry(&self) -> String {
+        let fields = [
+            format!("\"jobs\": {}", self.jobs),
+            format!("\"offered\": {}", self.offered),
+            format!("\"queue_limit\": {}", self.queue_limit),
+            format!("\"intake_jobs_per_sec\": {:.1}", self.intake_jobs_per_sec),
+            format!("\"shed_fraction\": {:.3}", self.shed_fraction),
+        ];
+        format!("  {{\n    {}\n  }}", fields.join(",\n    "))
+    }
+}
+
+/// The daemon benchmark's job stream: small 16×16 jobs so the measured
+/// rate is dominated by the intake machinery (spool I/O, fsynced journal
+/// appends, queue handoff) rather than by sweep time.
+fn daemon_bench_jobs(count: u64) -> Vec<campaign::JobSpec> {
+    (1..=count)
+        .map(|seed| campaign::JobSpec {
+            rows: 16,
+            cols: 16,
+            seed,
+            algorithm: "March C-".to_string(),
+            order: "linear".to_string(),
+            background: false,
+            backend: SweepBackend::LaneBatched,
+            population: campaign::PopulationSpec::Mixed { count: 64 },
+        })
+        .collect()
+}
+
+/// Measures the daemon-intake section.
+///
+/// Before timing, one daemon run's export is asserted byte-identical to
+/// `run_campaign` over the same jobs as a static plan — the determinism
+/// contract the daemon suite pins, re-checked so the bench never times a
+/// path that silently diverged. The overload pass then asserts the exact
+/// deterministic shed count before committing its fraction.
+///
+/// # Panics
+///
+/// Panics if any run errors, the export diverges from the static plan's,
+/// or the overload pass sheds anything but the expected overflow.
+pub fn daemon_bench(passes: usize) -> DaemonBenchSection {
+    use campaign::{
+        run_campaign, run_daemon, CampaignOptions, DaemonOptions, FaultInjector, Shard, SpoolDir,
+    };
+    use std::sync::atomic::Ordering;
+
+    let jobs = daemon_bench_jobs(24);
+    let counter = std::sync::atomic::AtomicU64::new(0);
+    let unique = || {
+        let n = counter.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("daemon-bench-{}-{n}", std::process::id()))
+    };
+    let daemon_options = |queue_limit: usize| {
+        let options = DaemonOptions {
+            threads: 1,
+            backoff: Duration::ZERO,
+            poll_interval: Duration::ZERO,
+            queue_limit,
+            ..DaemonOptions::default()
+        };
+        options.quiesce.store(true, Ordering::SeqCst);
+        options
+    };
+    let run = |spool_dir: &std::path::Path, journal: &std::path::Path, queue_limit: usize| {
+        let spool = SpoolDir::open(spool_dir).expect("spool");
+        for (index, spec) in jobs.iter().enumerate() {
+            spool.submit(&format!("j{index:04}"), spec).expect("submit");
+        }
+        let summary = run_daemon(
+            &spool,
+            journal,
+            &daemon_options(queue_limit),
+            &FaultInjector::none(),
+        )
+        .expect("daemon run");
+        std::fs::remove_dir_all(spool_dir).ok();
+        std::fs::remove_file(journal).ok();
+        summary
+    };
+
+    // Equivalence gate: the dynamic-admission path must reproduce the
+    // static campaign byte for byte before it is worth timing.
+    let static_journal = unique();
+    let static_summary = run_campaign(
+        &campaign::CampaignPlan::new(jobs.clone()),
+        Shard::whole(),
+        &static_journal,
+        &CampaignOptions {
+            threads: 1,
+            ..CampaignOptions::default()
+        },
+        &FaultInjector::none(),
+    )
+    .expect("static run");
+    std::fs::remove_file(&static_journal).ok();
+    let daemon_summary = run(&unique(), &unique(), usize::MAX);
+    assert_eq!(
+        daemon_summary.export.to_bytes(),
+        static_summary.export.to_bytes(),
+        "daemon export diverged from the equivalent static plan"
+    );
+
+    // Overload pass: one worker, the queue bounded at a third of the
+    // stream — the first scan deterministically admits `queue_limit` and
+    // sheds the rest with explicit queue-full responses.
+    let queue_limit = 8;
+    let overload = run(&unique(), &unique(), queue_limit);
+    assert_eq!(
+        overload.shed,
+        jobs.len() - queue_limit,
+        "overload pass must shed exactly the overflow"
+    );
+    let shed_fraction = overload.shed as f64 / jobs.len() as f64;
+
+    // The timed intake passes: full spool + admission + execution cycle
+    // per pass, fresh directories each time so dedup never short-circuits.
+    let timing = time_passes(passes, jobs.len(), || {
+        run(&unique(), &unique(), usize::MAX);
+    });
+
+    DaemonBenchSection {
+        jobs: jobs.len(),
+        offered: jobs.len(),
+        queue_limit,
+        intake_jobs_per_sec: timing.faults_per_sec,
+        shed_fraction,
+    }
+}
+
 /// The `--organization` sweep: one [`FaultSimThroughput`] per array size,
 /// 64×64 up to 1024×1024 by default (the frozen baseline replica runs up
 /// to 256×256; larger entries gate on the batched-vs-kernel speedup),
@@ -1012,6 +1178,8 @@ pub struct FaultSimSweep {
     pub dense: Option<DenseSweepSection>,
     /// The campaign-runner overhead section, when measured.
     pub campaign: Option<CampaignBenchSection>,
+    /// The daemon-intake (dynamic admission) section, when measured.
+    pub daemon: Option<DaemonBenchSection>,
     /// The unified-scheduler (interned outcome assembly) section, when
     /// measured.
     pub scheduler: Option<SchedulerBenchSection>,
@@ -1041,22 +1209,23 @@ impl FaultSimSweep {
         passes: usize,
         dense: Option<(u32, u32, usize)>,
     ) -> Self {
-        Self::measure_full(organizations, passes, dense, false, false)
+        Self::measure_full(organizations, passes, dense, false, false, false)
     }
 
-    /// Measures the size sweep plus the optional dense, campaign-overhead
-    /// and scheduler sections.
+    /// Measures the size sweep plus the optional dense, campaign-overhead,
+    /// daemon-intake and scheduler sections.
     ///
     /// # Panics
     ///
     /// Panics if any organization is invalid or any equivalence gate
     /// fails (see [`fault_sim_throughput`], [`dense_sweep`],
-    /// [`campaign_bench`] and [`scheduler_bench`]).
+    /// [`campaign_bench`], [`daemon_bench`] and [`scheduler_bench`]).
     pub fn measure_full(
         organizations: &[(u32, u32)],
         passes: usize,
         dense: Option<(u32, u32, usize)>,
         campaign: bool,
+        daemon: bool,
         scheduler: bool,
     ) -> Self {
         // The dense section runs first, on a pristine heap: the size
@@ -1071,6 +1240,7 @@ impl FaultSimSweep {
         // they run second, still ahead of the allocation-heavy size
         // ladder.
         let campaign = campaign.then(|| campaign_bench(passes));
+        let daemon = daemon.then(|| daemon_bench(passes));
         let scheduler = scheduler.then(|| scheduler_bench(passes));
         Self {
             sizes: organizations
@@ -1079,6 +1249,7 @@ impl FaultSimSweep {
                 .collect(),
             dense,
             campaign,
+            daemon,
             scheduler,
         }
     }
@@ -1112,6 +1283,11 @@ impl FaultSimSweep {
             .as_ref()
             .map(|section| format!(",\n  \"campaign\":\n{}", section.to_json_entry()))
             .unwrap_or_default();
+        let daemon = self
+            .daemon
+            .as_ref()
+            .map(|section| format!(",\n  \"daemon\":\n{}", section.to_json_entry()))
+            .unwrap_or_default();
         let scheduler = self
             .scheduler
             .as_ref()
@@ -1119,7 +1295,7 @@ impl FaultSimSweep {
             .unwrap_or_default();
         format!(
             "{{\n  \"benchmark\": \"fault_sim_sweep\",\n  \"algorithms\": [{algorithms}],\n  \
-             \"passes\": {},\n  \"threads\": {},\n  \"sizes\": [\n{entries}\n  ]{dense}{campaign}{scheduler}\n}}\n",
+             \"passes\": {},\n  \"threads\": {},\n  \"sizes\": [\n{entries}\n  ]{dense}{campaign}{daemon}{scheduler}\n}}\n",
             first.map_or(0, |s| s.passes),
             first.map_or(0, |s| s.threads),
         )
@@ -1394,6 +1570,7 @@ mod tests {
             sizes: vec![],
             dense: Some(section),
             campaign: None,
+            daemon: None,
             scheduler: None,
         };
         let json = sweep.to_json();
@@ -1417,10 +1594,12 @@ mod tests {
         let sweep = FaultSimSweep::measure(&[(4, 8)], 1);
         assert!(sweep.dense.is_none());
         assert!(sweep.campaign.is_none());
+        assert!(sweep.daemon.is_none());
         assert!(sweep.scheduler.is_none());
         let json = sweep.to_json();
         assert!(!json.contains("\"dense\""));
         assert!(!json.contains("\"campaign\""));
+        assert!(!json.contains("\"daemon\""));
         assert!(!json.contains("\"scheduler\""));
         crate::json::parse(&json).expect("sweep JSON parses");
     }
@@ -1438,6 +1617,7 @@ mod tests {
             sizes: vec![],
             dense: None,
             campaign: None,
+            daemon: None,
             scheduler: Some(section),
         };
         let json = sweep.to_json();
@@ -1464,6 +1644,7 @@ mod tests {
             sizes: vec![],
             dense: None,
             campaign: Some(section),
+            daemon: None,
             scheduler: None,
         };
         let json = sweep.to_json();
@@ -1473,6 +1654,47 @@ mod tests {
         assert!(json.contains("\"campaign_parallel_jobs_per_sec\": 310.0"));
         assert!(json.contains("\"speedup_campaign_vs_direct\": 0.950"));
         crate::json::parse(&json).expect("sweep JSON parses");
+    }
+
+    #[test]
+    fn daemon_section_renders_its_gated_fields() {
+        let section = DaemonBenchSection {
+            jobs: 24,
+            offered: 24,
+            queue_limit: 8,
+            intake_jobs_per_sec: 512.0,
+            shed_fraction: 2.0 / 3.0,
+        };
+        let sweep = FaultSimSweep {
+            sizes: vec![],
+            dense: None,
+            campaign: None,
+            daemon: Some(section),
+            scheduler: None,
+        };
+        let json = sweep.to_json();
+        assert!(json.contains("\"daemon\":"));
+        assert!(json.contains("\"jobs\": 24"));
+        assert!(json.contains("\"offered\": 24"));
+        assert!(json.contains("\"queue_limit\": 8"));
+        assert!(json.contains("\"intake_jobs_per_sec\": 512.0"));
+        assert!(json.contains("\"shed_fraction\": 0.667"));
+        crate::json::parse(&json).expect("sweep JSON parses");
+    }
+
+    #[test]
+    fn daemon_bench_measures_intake_and_deterministic_shed() {
+        // One pass of the real section: the equivalence and overload
+        // gates inside `daemon_bench` do the asserting; here the numbers
+        // just have to come out sane. (The committed acceptance numbers
+        // live in BENCH_fault_sim.json.)
+        let section = daemon_bench(1);
+        assert_eq!(section.jobs, 24);
+        assert_eq!(section.offered, 24);
+        assert_eq!(section.queue_limit, 8);
+        assert!(section.intake_jobs_per_sec > 0.0);
+        let expected = (24.0 - 8.0) / 24.0;
+        assert!((section.shed_fraction - expected).abs() < 1e-12);
     }
 
     #[test]

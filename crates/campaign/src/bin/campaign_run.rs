@@ -63,10 +63,16 @@ const USAGE: &str = "usage: campaign_run --journal PATH [options]
   --heartbeat PATH      write a heartbeat sidecar after each journaled job
   --resume              resume from the journal (fresh start if missing)
   --list                print the plan and exit
+  --help                print this help and exit
 debug fault injections (for the supervisor test harness):
   --abort-after-records N      abort once N records are journaled (exit 3)
   --stall-heartbeat-after N    stop heartbeating after N jobs, keep working
-  --wedge-after N              hang forever once N jobs are done";
+  --wedge-after N              hang forever once N jobs are done
+exit codes:
+  0  campaign completed, no poisoned jobs
+  2  usage error (unknown flag, malformed value)
+  3  campaign error (I/O, corrupt journal, plan mismatch)
+  4  campaign completed but some jobs are poison-quarantined";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -131,6 +137,10 @@ fn parse_list<T>(
 }
 
 fn run(args: &[String]) -> Result<ExitCode, UsageError> {
+    if arg_present(args, "--help") {
+        println!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    }
     for (index, arg) in args.iter().enumerate() {
         if arg.starts_with("--") {
             let known = [
@@ -151,6 +161,7 @@ fn run(args: &[String]) -> Result<ExitCode, UsageError> {
                 "--heartbeat",
                 "--resume",
                 "--list",
+                "--help",
                 "--abort-after-records",
                 "--stall-heartbeat-after",
                 "--wedge-after",

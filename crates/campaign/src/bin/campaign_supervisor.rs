@@ -65,7 +65,13 @@ debug fault injections (for the kill-storm harness; repeatable):
                             (first launch only)
   --wedge-shard K@JOBS      shard K hangs after JOBS jobs (first launch only)
   --crash-shard K@RECORDS   shard K aborts after RECORDS journal records,
-                            on every launch (restart-budget exhaustion)";
+                            on every launch (restart-budget exhaustion)
+exit codes:
+  0  every shard completed, no poisoned jobs
+  2  usage error (unknown flag, malformed value)
+  3  supervisor error (spawn failure, child usage error, I/O)
+  4  every shard completed but some jobs are poison-quarantined
+  5  degraded: shards were quarantined, the export is partial";
 
 /// Flags forwarded verbatim (with their value) to every child.
 const PLAN_FLAGS: [&str; 11] = [
@@ -206,6 +212,10 @@ fn build_injector(injections: &[(String, u32, u64)]) -> ProcessInjector {
 }
 
 fn run(args: &[String]) -> Result<ExitCode, UsageError> {
+    if args.iter().any(|a| a == "--help") {
+        println!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    }
     let cli = parse_cli(args)?;
     let parse = |flag: &str, default: u64| -> Result<u64, UsageError> {
         match cli.values.get(flag) {

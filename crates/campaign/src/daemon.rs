@@ -1,0 +1,654 @@
+//! The long-running campaign daemon: dynamic job intake feeding the
+//! `sched`-backed worker pool.
+//!
+//! [`run_daemon`] is the service half of ROADMAP item 5: instead of a
+//! plan fixed up front, jobs arrive *while the campaign runs*, through
+//! the [`crate::spool`] drop directory, and are appended to a dynamic
+//! (v2) journal as [`crate::journal::JournalRecord::JobAdded`] records.
+//! Robustness properties, each pinned by a test:
+//!
+//! * **Bounded admission.** At most [`DaemonOptions::queue_limit`]
+//!   attempts wait in the queue; a submission that would exceed it gets
+//!   an explicit `queue-full` response and is *not* journaled — overload
+//!   sheds visibly instead of growing an unbounded queue
+//!   ([`SpoolResponse::QueueFull`]).
+//! * **Exactly-once admission.** Submissions dedupe by
+//!   [`crate::spec::JobSpec::digest`]: a resubmitted or re-offered job
+//!   answers `duplicate` with the original plan index. Combined with the
+//!   journal-append-then-archive intake order, a crash anywhere in
+//!   intake re-offers the spool file and dedup absorbs it — at-least-once
+//!   offer, exactly-once run.
+//! * **Deadlines, not wedges.** With [`DaemonOptions::deadline`] set,
+//!   each attempt runs under a watchdog; an overrunning attempt is
+//!   abandoned and journaled as [`crate::journal::JournalRecord::TimedOut`]
+//!   (burning an attempt, quarantining at the attempt cap) while the
+//!   worker moves on.
+//! * **Graceful drain.** When [`DaemonOptions::shutdown`] flips (the
+//!   binary's SIGTERM handler), intake stops, queued and in-flight jobs
+//!   finish, and the run returns with a journal in which every admitted
+//!   job has a final fate — exit 0, nothing lost. A SIGKILL instead
+//!   resumes from the journal and produces a byte-identical export; the
+//!   CI `daemon-drain-resume` job diffs exactly that.
+//!
+//! Determinism contract: the export is
+//! [`Export::new`] over the dynamic plan in journal order with the
+//! dynamic plan's own digest, so a daemon campaign's export is
+//! byte-identical to `campaign_run` executing the same jobs as a static
+//! up-front plan — regardless of thread count, timeouts, crashes, or how
+//! ragged the arrival timing was.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use march_test::coverage::panic_message;
+use march_test::parallel::max_threads;
+use sched::{run_pool, Poll, WorkItem};
+
+use crate::error::CampaignError;
+use crate::faultpoint::FaultInjector;
+use crate::journal::{JobResult, JobWire, Journal, JournalRecord, Replay};
+use crate::output::{Export, JobOutcome, JobStatus};
+use crate::runner::execute_job;
+use crate::spec::{CampaignPlan, JobSpec};
+use crate::spool::{SpoolDir, SpoolResponse};
+
+/// Tuning knobs of a daemon run.
+#[derive(Debug, Clone)]
+pub struct DaemonOptions {
+    /// Worker threads draining the job queue.
+    pub threads: usize,
+    /// Attempts per job before it is quarantined as poison (≥ 1).
+    pub max_attempts: u8,
+    /// Base retry backoff, linear in the attempt number.
+    pub backoff: Duration,
+    /// Resume from an existing dynamic journal instead of starting
+    /// fresh. A missing journal file falls back to a fresh start.
+    pub resume: bool,
+    /// Debug: sleep this long at the start of every job.
+    pub job_delay: Duration,
+    /// Bounded admission queue: submissions beyond this many waiting
+    /// attempts are shed with a `queue-full` response.
+    pub queue_limit: usize,
+    /// Per-attempt deadline; an overrunning attempt is abandoned and
+    /// journaled as timed-out. `None` disables the watchdog.
+    pub deadline: Option<Duration>,
+    /// Minimum interval between spool scans while idle.
+    pub poll_interval: Duration,
+    /// Graceful-drain flag (the binary's SIGTERM handler sets it): stop
+    /// intake, finish queued and in-flight work, return.
+    pub shutdown: Arc<AtomicBool>,
+    /// Batch-mode flag: when set, the daemon returns once the spool has
+    /// no committed submissions left and all admitted work is done —
+    /// "run until the trace is drained" for tests and benches.
+    pub quiesce: Arc<AtomicBool>,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> Self {
+        Self {
+            threads: max_threads(),
+            max_attempts: 3,
+            backoff: Duration::from_millis(10),
+            resume: false,
+            job_delay: Duration::ZERO,
+            queue_limit: 64,
+            deadline: None,
+            poll_interval: Duration::from_millis(2),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            quiesce: Arc::new(AtomicBool::new(false)),
+        }
+    }
+}
+
+/// What a daemon run did and produced.
+#[derive(Debug, Clone)]
+pub struct DaemonSummary {
+    /// Deterministic per-job outcomes over the dynamic plan, in journal
+    /// (admission) order — byte-identical to the equivalent static run.
+    pub export: Export,
+    /// The dynamic plan as admitted, in journal order.
+    pub plan: CampaignPlan,
+    /// Submissions admitted (journaled) by *this* invocation.
+    pub accepted: usize,
+    /// Submissions answered `duplicate`.
+    pub duplicates: usize,
+    /// Submissions shed with `queue-full`.
+    pub shed: usize,
+    /// Submissions answered `rejected`.
+    pub rejected: usize,
+    /// Attempts abandoned at their deadline by this invocation.
+    pub timed_out: usize,
+    /// Jobs executed to completion by this invocation.
+    pub executed: usize,
+    /// Jobs already complete in the resumed journal.
+    pub skipped: usize,
+    /// Retry attempts dispatched by this invocation.
+    pub retries: usize,
+    /// Quarantined jobs (plan indices), from this run and the journal.
+    pub poisoned: Vec<u32>,
+    /// `true` when the run ended via the graceful-drain flag.
+    pub drained: bool,
+}
+
+/// State shared by the daemon's worker pool.
+struct Shared {
+    /// The dynamic plan, in journal order. Grows under intake.
+    plan: Mutex<Vec<JobSpec>>,
+    /// Spec digest → plan index, the dedup table.
+    digests: Mutex<BTreeMap<u64, u32>>,
+    queue: Mutex<VecDeque<(u32, u8)>>,
+    journal: Mutex<Journal>,
+    results: Mutex<BTreeMap<u32, JobResult>>,
+    poisoned: Mutex<BTreeMap<u32, String>>,
+    /// Serializes spool scans; holds the idle-poll clock and the intake
+    /// ordinal the crash-mid-intake injection runs on.
+    intake: Mutex<Intake>,
+    in_flight: AtomicUsize,
+    abort: Mutex<Option<CampaignError>>,
+    abort_flag: AtomicBool,
+    accepted: AtomicUsize,
+    duplicates: AtomicUsize,
+    shed: AtomicUsize,
+    rejected: AtomicUsize,
+    timed_out: AtomicUsize,
+    executed: AtomicUsize,
+    retries: AtomicUsize,
+}
+
+struct Intake {
+    last_scan: Option<Instant>,
+    submissions_seen: u64,
+}
+
+/// Runs (or resumes) a daemon campaign over `spool`, journaling to
+/// `journal_path`, until drained ([`DaemonOptions::shutdown`]) or
+/// quiesced ([`DaemonOptions::quiesce`] with an empty spool).
+///
+/// Fails fast on an unreadable or mismatched journal and on injected
+/// crashes; per-job failures are retried and quarantined, not returned
+/// as errors.
+pub fn run_daemon(
+    spool: &SpoolDir,
+    journal_path: &Path,
+    options: &DaemonOptions,
+    injector: &FaultInjector,
+) -> Result<DaemonSummary, CampaignError> {
+    let (journal, replay) = if options.resume && journal_path.exists() {
+        Journal::open_resume_dynamic(journal_path)?
+    } else {
+        (Journal::create_dynamic(journal_path)?, Replay::default())
+    };
+    let shared = seed_shared(journal, replay, options, injector)?;
+    let skipped = shared.results.lock().expect("results lock").len();
+
+    run_pool(options.threads.max(1), |_| {
+        poll_daemon_item(spool, options, injector, &shared)
+    });
+    if let Some(error) = shared.abort.lock().expect("abort lock").take() {
+        return Err(error);
+    }
+
+    let plan = CampaignPlan::new(shared.plan.into_inner().expect("plan lock"));
+    let results = shared.results.into_inner().expect("results lock");
+    let poisoned = shared.poisoned.into_inner().expect("poisoned lock");
+    let outcomes = (0..plan.len() as u32)
+        .map(|job| {
+            if let Some(result) = results.get(&job) {
+                Ok(JobOutcome {
+                    job,
+                    status: JobStatus::Completed,
+                    result: *result,
+                })
+            } else if poisoned.contains_key(&job) {
+                Ok(JobOutcome {
+                    job,
+                    status: JobStatus::Poisoned,
+                    result: JobResult {
+                        detected: 0,
+                        total: 0,
+                        mismatches: 0,
+                        digest: 0,
+                    },
+                })
+            } else {
+                Err(CampaignError::Corrupt {
+                    offset: 0,
+                    reason: format!("admitted job {job} finished the run unaccounted"),
+                })
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(DaemonSummary {
+        export: Export::new(plan.digest(), plan.len() as u32, outcomes),
+        accepted: shared.accepted.load(Ordering::Relaxed),
+        duplicates: shared.duplicates.load(Ordering::Relaxed),
+        shed: shared.shed.load(Ordering::Relaxed),
+        rejected: shared.rejected.load(Ordering::Relaxed),
+        timed_out: shared.timed_out.load(Ordering::Relaxed),
+        executed: shared.executed.load(Ordering::Relaxed),
+        skipped,
+        retries: shared.retries.load(Ordering::Relaxed),
+        poisoned: poisoned.keys().copied().collect(),
+        drained: options.shutdown.load(Ordering::SeqCst),
+        plan,
+    })
+}
+
+/// Builds the shared state from a freshly opened journal: the replayed
+/// dynamic plan, the dedup table, and the pending queue (with the same
+/// exhausted-attempt quarantine the static runner applies).
+fn seed_shared(
+    mut journal: Journal,
+    replay: Replay,
+    options: &DaemonOptions,
+    injector: &FaultInjector,
+) -> Result<Shared, CampaignError> {
+    let mut digests = BTreeMap::new();
+    for (index, spec) in replay.dynamic.iter().enumerate() {
+        digests.insert(spec.digest(), index as u32);
+    }
+    let mut poisoned = replay.poisoned;
+    let mut pending = VecDeque::new();
+    for job in 0..replay.dynamic.len() as u32 {
+        if replay.completed.contains_key(&job) || poisoned.contains_key(&job) {
+            continue;
+        }
+        let (used, last_message) = replay
+            .failed_attempts
+            .get(&job)
+            .cloned()
+            .unwrap_or((0, String::new()));
+        if used >= options.max_attempts {
+            journal.append(
+                &JournalRecord::Poisoned {
+                    job,
+                    attempt: used,
+                    message: last_message.clone(),
+                },
+                injector,
+            )?;
+            poisoned.insert(job, last_message);
+        } else {
+            pending.push_back((job, used + 1));
+        }
+    }
+    Ok(Shared {
+        plan: Mutex::new(replay.dynamic),
+        digests: Mutex::new(digests),
+        queue: Mutex::new(pending),
+        journal: Mutex::new(journal),
+        results: Mutex::new(replay.completed),
+        poisoned: Mutex::new(poisoned),
+        intake: Mutex::new(Intake {
+            last_scan: None,
+            submissions_seen: 0,
+        }),
+        in_flight: AtomicUsize::new(0),
+        abort: Mutex::new(None),
+        abort_flag: AtomicBool::new(false),
+        accepted: AtomicUsize::new(0),
+        duplicates: AtomicUsize::new(0),
+        shed: AtomicUsize::new(0),
+        rejected: AtomicUsize::new(0),
+        timed_out: AtomicUsize::new(0),
+        executed: AtomicUsize::new(0),
+        retries: AtomicUsize::new(0),
+    })
+}
+
+/// The daemon's [`sched::run_pool`] producer: drain the queue first;
+/// when it is empty, run one intake scan (unless draining); then decide
+/// between [`Poll::Pending`] (work in flight, or still serving) and
+/// [`Poll::Done`] (drained or quiesced).
+fn poll_daemon_item<'a>(
+    spool: &'a SpoolDir,
+    options: &'a DaemonOptions,
+    injector: &'a FaultInjector,
+    shared: &'a Shared,
+) -> Poll<'a> {
+    if shared.abort_flag.load(Ordering::SeqCst) {
+        return Poll::Done;
+    }
+    let draining = options.shutdown.load(Ordering::SeqCst);
+    if !draining {
+        if let Err(error) = intake_scan(spool, options, injector, shared) {
+            let mut abort = shared.abort.lock().expect("abort lock");
+            if abort.is_none() {
+                *abort = Some(error);
+            }
+            shared.abort_flag.store(true, Ordering::SeqCst);
+            return Poll::Done;
+        }
+    }
+    let next = {
+        let mut queue = shared.queue.lock().expect("queue lock");
+        let next = queue.pop_front();
+        if next.is_some() {
+            shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        }
+        next
+    };
+    match next {
+        Some((job, attempt)) => Poll::Item(WorkItem::campaign_job(move |_scratch| {
+            run_attempt(options, injector, shared, job, attempt);
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        })),
+        None if shared.in_flight.load(Ordering::SeqCst) > 0 => Poll::Pending,
+        None if draining => Poll::Done,
+        None => {
+            // Idle with nothing in flight: quiesce mode returns once the
+            // spool holds no committed submissions either; service mode
+            // keeps polling (run_pool backs off between Pending polls).
+            let quiesce = options.quiesce.load(Ordering::SeqCst);
+            let spool_empty =
+                quiesce && matches!(spool.scan(), Ok(submissions) if submissions.is_empty());
+            if spool_empty {
+                Poll::Done
+            } else {
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// One spool scan, rate-limited by [`DaemonOptions::poll_interval`]:
+/// every committed submission is admitted, deduped, shed, or rejected,
+/// and answered explicitly. Only one worker scans at a time.
+fn intake_scan(
+    spool: &SpoolDir,
+    options: &DaemonOptions,
+    injector: &FaultInjector,
+    shared: &Shared,
+) -> Result<(), CampaignError> {
+    let Ok(mut intake) = shared.intake.try_lock() else {
+        return Ok(()); // another worker is scanning
+    };
+    if let Some(last) = intake.last_scan {
+        if last.elapsed() < options.poll_interval {
+            return Ok(());
+        }
+    }
+    intake.last_scan = Some(Instant::now());
+    let submissions = spool.scan()?;
+    for submission in submissions {
+        let ordinal = intake.submissions_seen;
+        intake.submissions_seen += 1;
+        // The crash window the issue names: the submission was read from
+        // the spool ("spool-accept") but its JobAdded record has not been
+        // appended. Dying here must lose nothing — the .job file stays,
+        // restart re-offers it.
+        if injector.crash_mid_intake(ordinal) {
+            return Err(CampaignError::Injected {
+                point: format!("crash mid-intake at submission {ordinal}"),
+            });
+        }
+        let response = admit(options, injector, shared, &submission.spec)?;
+        match &response {
+            SpoolResponse::Accepted { .. } => shared.accepted.fetch_add(1, Ordering::Relaxed),
+            SpoolResponse::Duplicate { .. } => shared.duplicates.fetch_add(1, Ordering::Relaxed),
+            SpoolResponse::QueueFull => shared.shed.fetch_add(1, Ordering::Relaxed),
+            SpoolResponse::Rejected { .. } => shared.rejected.fetch_add(1, Ordering::Relaxed),
+        };
+        spool.respond(&submission.name, &response)?;
+        spool.archive(&submission.name)?;
+    }
+    Ok(())
+}
+
+/// Decides one submission's fate: rejected (unparsable, invalid, or
+/// outside the wire catalogs), duplicate (digest already admitted),
+/// queue-full (bounded admission), or accepted — in which case the
+/// JobAdded record is fsynced to the journal *before* the job becomes
+/// visible to workers or the client.
+fn admit(
+    options: &DaemonOptions,
+    injector: &FaultInjector,
+    shared: &Shared,
+    spec: &Result<JobSpec, String>,
+) -> Result<SpoolResponse, CampaignError> {
+    let spec = match spec {
+        Ok(spec) => spec,
+        Err(reason) => {
+            return Ok(SpoolResponse::Rejected {
+                reason: reason.clone(),
+            })
+        }
+    };
+    if let Err(reason) = spec.validate() {
+        return Ok(SpoolResponse::Rejected { reason });
+    }
+    let wire = match JobWire::from_spec(spec) {
+        Ok(wire) => wire,
+        Err(reason) => return Ok(SpoolResponse::Rejected { reason }),
+    };
+    let mut digests = shared.digests.lock().expect("digests lock");
+    if let Some(&job) = digests.get(&wire.spec_digest) {
+        return Ok(SpoolResponse::Duplicate { job });
+    }
+    let mut queue = shared.queue.lock().expect("queue lock");
+    if queue.len() >= options.queue_limit {
+        // Shed *before* journaling: a queue-full submission leaves no
+        // trace in the plan, so the client can resubmit identical bytes
+        // later without tripping dedup.
+        return Ok(SpoolResponse::QueueFull);
+    }
+    let mut journal = shared.journal.lock().expect("journal lock");
+    let mut plan = shared.plan.lock().expect("plan lock");
+    let job = plan.len() as u32;
+    journal.append(&JournalRecord::JobAdded { job, wire }, injector)?;
+    plan.push(spec.clone());
+    digests.insert(wire.spec_digest, job);
+    queue.push_back((job, 1));
+    Ok(SpoolResponse::Accepted { job })
+}
+
+/// One journaled attempt at one job, run under the deadline watchdog:
+/// backoff, panic-isolated execution (abandoned at the deadline), journal
+/// append, then completion / retry / quarantine / abort bookkeeping.
+fn run_attempt(
+    options: &DaemonOptions,
+    injector: &FaultInjector,
+    shared: &Shared,
+    job: u32,
+    attempt: u8,
+) {
+    if attempt > 1 {
+        thread::sleep(options.backoff * u32::from(attempt - 1));
+    }
+    let spec = shared.plan.lock().expect("plan lock")[job as usize].clone();
+    let outcome = attempt_with_deadline(&spec, job, attempt, options, injector);
+    let timed_out = matches!(outcome, AttemptOutcome::TimedOut);
+    let final_attempt = attempt >= options.max_attempts;
+    let appended = {
+        let mut journal = shared.journal.lock().expect("journal lock");
+        let result = match &outcome {
+            AttemptOutcome::Finished(Ok(result)) => journal.append(
+                &JournalRecord::Completed {
+                    job,
+                    attempt,
+                    result: *result,
+                },
+                injector,
+            ),
+            AttemptOutcome::Finished(Err(message)) if !final_attempt => journal.append(
+                &JournalRecord::Failed {
+                    job,
+                    attempt,
+                    message: message.clone(),
+                },
+                injector,
+            ),
+            AttemptOutcome::Finished(Err(message)) => journal.append(
+                &JournalRecord::Poisoned {
+                    job,
+                    attempt,
+                    message: message.clone(),
+                },
+                injector,
+            ),
+            AttemptOutcome::TimedOut => {
+                // The timeout is its own record kind; at the attempt cap
+                // the quarantine record follows so the job's fate is
+                // final in the journal, same as an ordinary failure.
+                let message = timeout_message(options);
+                journal
+                    .append(
+                        &JournalRecord::TimedOut {
+                            job,
+                            attempt,
+                            message: message.clone(),
+                        },
+                        injector,
+                    )
+                    .and_then(|()| {
+                        if final_attempt {
+                            journal.append(
+                                &JournalRecord::Poisoned {
+                                    job,
+                                    attempt,
+                                    message,
+                                },
+                                injector,
+                            )
+                        } else {
+                            Ok(())
+                        }
+                    })
+            }
+        };
+        result.and_then(|()| {
+            if injector.should_abort(journal.records_written()) {
+                Err(CampaignError::Injected {
+                    point: format!("abort after {} records", journal.records_written()),
+                })
+            } else {
+                Ok(())
+            }
+        })
+    };
+    match appended {
+        Ok(()) => {
+            if timed_out {
+                shared.timed_out.fetch_add(1, Ordering::Relaxed);
+            }
+            match outcome {
+                AttemptOutcome::Finished(Ok(result)) => {
+                    shared
+                        .results
+                        .lock()
+                        .expect("results lock")
+                        .insert(job, result);
+                    shared.executed.fetch_add(1, Ordering::Relaxed);
+                }
+                AttemptOutcome::Finished(Err(message)) if final_attempt => {
+                    shared
+                        .poisoned
+                        .lock()
+                        .expect("poisoned lock")
+                        .insert(job, message);
+                }
+                AttemptOutcome::TimedOut if final_attempt => {
+                    shared
+                        .poisoned
+                        .lock()
+                        .expect("poisoned lock")
+                        .insert(job, timeout_message(options));
+                }
+                AttemptOutcome::Finished(Err(_)) | AttemptOutcome::TimedOut => {
+                    shared.retries.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .queue
+                        .lock()
+                        .expect("queue lock")
+                        .push_back((job, attempt + 1));
+                }
+            }
+        }
+        Err(error) => {
+            // Injected crash (or real I/O failure): stop without
+            // recording the in-memory outcome — exactly what dying
+            // mid-append loses.
+            let mut abort = shared.abort.lock().expect("abort lock");
+            if abort.is_none() {
+                *abort = Some(error);
+            }
+            shared.abort_flag.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// How one attempt ended.
+enum AttemptOutcome {
+    /// The attempt ran to an end: a result or a failure message.
+    Finished(Result<JobResult, String>),
+    /// The attempt overran its deadline and was abandoned.
+    TimedOut,
+}
+
+/// Runs one attempt, under a watchdog when a deadline is configured: the
+/// job executes on a helper thread; if it misses the deadline the helper
+/// is abandoned (its eventual result lands in a closed channel) and the
+/// attempt reports [`AttemptOutcome::TimedOut`] — the worker slot is
+/// never wedged by a slow job.
+fn attempt_with_deadline(
+    spec: &JobSpec,
+    job: u32,
+    attempt: u8,
+    options: &DaemonOptions,
+    injector: &FaultInjector,
+) -> AttemptOutcome {
+    let Some(deadline) = options.deadline else {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            execute_job(spec, job, attempt, options.job_delay, injector)
+        }));
+        return AttemptOutcome::Finished(flatten_caught(caught));
+    };
+    let (sender, receiver) = mpsc::channel();
+    let spec = spec.clone();
+    let injector = injector.clone();
+    let job_delay = options.job_delay;
+    thread::spawn(move || {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            execute_job(&spec, job, attempt, job_delay, &injector)
+        }));
+        // The receiver may be long gone (deadline missed) — that is the
+        // abandonment working, not an error.
+        let _ = sender.send(flatten_caught(caught));
+    });
+    match receiver.recv_timeout(deadline) {
+        Ok(outcome) => AttemptOutcome::Finished(outcome),
+        Err(_) => AttemptOutcome::TimedOut,
+    }
+}
+
+/// Collapses a `catch_unwind` of [`execute_job`] into the journaled form.
+fn flatten_caught(
+    caught: Result<Result<JobResult, String>, Box<dyn std::any::Any + Send>>,
+) -> Result<JobResult, String> {
+    match caught {
+        Ok(Ok(result)) => Ok(result),
+        Ok(Err(message)) => Err(message),
+        Err(payload) => Err(panic_message(&*payload)),
+    }
+}
+
+/// The journaled message for a missed deadline.
+fn timeout_message(options: &DaemonOptions) -> String {
+    let ms = options.deadline.map(|d| d.as_millis()).unwrap_or(0);
+    format!("deadline {ms}ms exceeded; attempt abandoned")
+}
+
+/// Convenience for tests and the binary: a daemon options value whose
+/// `shutdown`/`quiesce` flags are owned by the caller.
+pub fn daemon_flags() -> (Arc<AtomicBool>, Arc<AtomicBool>) {
+    (
+        Arc::new(AtomicBool::new(false)),
+        Arc::new(AtomicBool::new(false)),
+    )
+}

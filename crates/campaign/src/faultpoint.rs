@@ -78,6 +78,34 @@ pub enum Injection {
         /// Journaled attempts after which the process wedges.
         after_jobs: u64,
     },
+    /// A submitting client dies mid-write: trace-replay event ordinal
+    /// `submission` (0-based) writes only a prefix of its `.tmp` spool
+    /// file and never renames it. The daemon must ignore the orphan
+    /// forever — the job simply never arrived.
+    TornSpoolWrite {
+        /// Trace event ordinal whose submission is torn.
+        submission: u64,
+    },
+    /// Abort the daemon between spool-accept and journal-append of
+    /// intake ordinal `submission` (0-based count of spool files read) —
+    /// a crash mid-intake. The `.job` file is still in the spool, so a
+    /// restart re-offers it and digest dedup absorbs any half-progress.
+    CrashMidIntake {
+        /// Intake ordinal at which the daemon dies.
+        submission: u64,
+    },
+    /// Stall job `job` for `delay_ms` on its first `attempts` attempts —
+    /// fuel for deadline storms: with a per-job deadline below the stall,
+    /// each stalled attempt times out and is journaled as such instead of
+    /// wedging its worker.
+    StallJob {
+        /// Plan index of the job to stall.
+        job: u32,
+        /// How many attempts stall before the job runs at full speed.
+        attempts: u8,
+        /// Stall duration in milliseconds.
+        delay_ms: u64,
+    },
 }
 
 /// What the journal should do with the record it is about to write.
@@ -180,6 +208,42 @@ impl FaultInjector {
             matches!(injection, Injection::WedgeProcess { after_jobs }
                 if jobs_done >= *after_jobs)
         })
+    }
+
+    /// `true` when trace-replay event ordinal `submission` should be
+    /// written torn ([`Injection::TornSpoolWrite`]).
+    pub fn spool_torn(&self, submission: u64) -> bool {
+        self.injections.iter().any(|injection| {
+            matches!(injection, Injection::TornSpoolWrite { submission: target }
+                if *target == submission)
+        })
+    }
+
+    /// `true` when the daemon should die between spool-accept and
+    /// journal-append of intake ordinal `submission`
+    /// ([`Injection::CrashMidIntake`]).
+    pub fn crash_mid_intake(&self, submission: u64) -> bool {
+        self.injections.iter().any(|injection| {
+            matches!(injection, Injection::CrashMidIntake { submission: target }
+                if *target == submission)
+        })
+    }
+
+    /// The injected stall for `(job, attempt)`, if any
+    /// ([`Injection::StallJob`]).
+    pub fn job_stall(&self, job: u32, attempt: u8) -> Option<std::time::Duration> {
+        self.injections
+            .iter()
+            .find_map(|injection| match injection {
+                Injection::StallJob {
+                    job: target,
+                    attempts,
+                    delay_ms,
+                } if *target == job && attempt <= *attempts => {
+                    Some(std::time::Duration::from_millis(*delay_ms))
+                }
+                _ => None,
+            })
     }
 }
 
@@ -430,6 +494,38 @@ mod tests {
         let none = FaultInjector::none();
         assert!(!none.heartbeat_stalled(u64::MAX));
         assert!(!none.wedge_armed(u64::MAX));
+    }
+
+    #[test]
+    fn intake_injections_fire_at_their_own_ordinals() {
+        let injector = FaultInjector::new(vec![
+            Injection::TornSpoolWrite { submission: 2 },
+            Injection::CrashMidIntake { submission: 4 },
+            Injection::StallJob {
+                job: 1,
+                attempts: 2,
+                delay_ms: 300,
+            },
+        ]);
+        assert!(!injector.spool_torn(1));
+        assert!(injector.spool_torn(2));
+        assert!(!injector.crash_mid_intake(3));
+        assert!(injector.crash_mid_intake(4));
+        // The stall covers attempts 1 and 2 of job 1 only.
+        assert_eq!(
+            injector.job_stall(1, 1),
+            Some(std::time::Duration::from_millis(300))
+        );
+        assert_eq!(
+            injector.job_stall(1, 2),
+            Some(std::time::Duration::from_millis(300))
+        );
+        assert_eq!(injector.job_stall(1, 3), None);
+        assert_eq!(injector.job_stall(0, 1), None);
+        let none = FaultInjector::none();
+        assert!(!none.spool_torn(0));
+        assert!(!none.crash_mid_intake(0));
+        assert_eq!(none.job_stall(0, 1), None);
     }
 
     #[test]

@@ -33,12 +33,26 @@
 //!   injection point, resume it, and require the export to match the
 //!   uninterrupted run byte for byte.
 //!
-//! The `campaign_run` binary drives all of this from the command line;
-//! see `crates/campaign/README.md` for the journal wire format, resume
-//! semantics and the poison-quarantine policy.
+//! On top of the fixed-plan runner sits the long-running service half
+//! (ROADMAP item 5's "serves heavy traffic"):
+//!
+//! * [`spool`] — the atomic tmp+rename job-intake drop directory, with
+//!   explicit per-submission responses (accepted / duplicate /
+//!   queue-full / rejected) so overload sheds visibly instead of growing
+//!   an unbounded queue.
+//! * [`trace`] — recorded arrival traces and their open-loop replay, the
+//!   overload harness.
+//! * [`daemon`] — the intake loop itself: journal v2 dynamic-plan
+//!   appends, bounded admission, per-job deadlines that journal a
+//!   `timed-out` fate, SIGTERM graceful drain, SIGKILL crash-resume.
+//!
+//! The `campaign_run` and `campaign_daemon` binaries drive all of this
+//! from the command line; see `crates/campaign/README.md` for the journal
+//! wire format, resume semantics and the poison-quarantine policy.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod daemon;
 pub mod error;
 pub mod faultpoint;
 pub mod heartbeat;
@@ -47,12 +61,15 @@ pub mod output;
 pub mod runner;
 pub mod shard;
 pub mod spec;
+pub mod spool;
 pub mod supervise;
+pub mod trace;
 
+pub use daemon::{run_daemon, DaemonOptions, DaemonSummary};
 pub use error::CampaignError;
 pub use faultpoint::{FaultInjector, Injection, ProcessInjection, ProcessInjector};
 pub use heartbeat::{read_heartbeat, HeartbeatSnapshot, HeartbeatWriter};
-pub use journal::{JobResult, Journal, JournalRecord, Replay};
+pub use journal::{JobResult, JobWire, Journal, JournalRecord, Replay};
 pub use output::{
     merge_exports, merge_shard_exports, merge_shard_exports_partial, Export, JobOutcome, JobStatus,
     PartialMerge, ShardExport,
@@ -60,4 +77,6 @@ pub use output::{
 pub use runner::{run_campaign, run_job, CampaignOptions, CampaignSummary};
 pub use shard::Shard;
 pub use spec::{CampaignPlan, JobSpec, PopulationSpec};
+pub use spool::{SpoolDir, SpoolResponse, Submission};
 pub use supervise::{supervise, ShardCommand, ShardFate, SupervisorOptions, SupervisorReport};
+pub use trace::{load_trace, parse_trace, replay_trace, replay_trace_injected, TraceEvent};

@@ -405,8 +405,9 @@ pub fn run_job(spec: &JobSpec) -> Result<JobResult, String> {
 
 /// Executes one job attempt: resolve the spec, build the population,
 /// sweep, digest. Returns a message (for the journal) on any failure;
-/// panics escape to the worker's `catch_unwind`.
-fn execute_job(
+/// panics escape to the worker's `catch_unwind`. Also the daemon's
+/// per-attempt workhorse, run under its deadline watchdog.
+pub(crate) fn execute_job(
     spec: &JobSpec,
     job: u32,
     attempt: u8,
@@ -414,6 +415,11 @@ fn execute_job(
     injector: &FaultInjector,
 ) -> Result<JobResult, String> {
     injector.check_worker_kill(job, attempt);
+    if let Some(stall) = injector.job_stall(job, attempt) {
+        // Injected stall: the job is healthy but slow — deadline-storm
+        // fuel. The result is unchanged once the stall passes.
+        thread::sleep(stall);
+    }
     if !job_delay.is_zero() {
         thread::sleep(job_delay);
     }

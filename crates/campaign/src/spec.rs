@@ -18,11 +18,59 @@
 use march_test::coverage::SweepBackend;
 use march_test::faultgen::FaultGen;
 use march_test::faults::{standard_fault_list, FaultFactory};
-use march_test::library::algorithm_by_name;
+use march_test::library::{algorithm_by_name, all_algorithms};
 use march_test::{address_order::order_by_name, rng::Fnv1a};
 use sram_model::config::ArrayOrganization;
 
 use crate::error::CampaignError;
+
+/// The address-order catalog, in wire-index order.
+///
+/// Journal v2 dynamic-plan records store a job's address order as an
+/// index into this list (names are too long for a fixed 64-byte record),
+/// so the list order is part of the journal wire format: entries may be
+/// appended but never reordered or removed. Each record also carries the
+/// job's field digest, which covers the *name* — a resumed journal whose
+/// catalog drifted fails loudly instead of running the wrong order.
+pub const ORDER_CATALOG: [&str; 5] = [
+    "word line after word line",
+    "column major",
+    "linear",
+    "pseudo-random",
+    "address complement",
+];
+
+/// The algorithm catalog, in wire-index order — every library algorithm
+/// name, in [`all_algorithms`] order. Subject to the same
+/// append-only rule as [`ORDER_CATALOG`], and pinned the same way by the
+/// per-record job digest.
+pub fn algorithm_catalog() -> Vec<String> {
+    all_algorithms()
+        .iter()
+        .map(|test| test.name().to_string())
+        .collect()
+}
+
+/// Resolves a sweep-backend name as used by `campaign_run --backend` and
+/// the spool job format.
+pub fn backend_by_name(name: &str) -> Option<SweepBackend> {
+    match name {
+        "lane" => Some(SweepBackend::LaneBatched),
+        "list-order" => Some(SweepBackend::LaneBatchedListOrder),
+        "per-fault" => Some(SweepBackend::PerFault),
+        _ => None,
+    }
+}
+
+/// Stable textual form of a sweep backend, the inverse of
+/// [`backend_by_name`].
+pub fn backend_name(backend: SweepBackend) -> &'static str {
+    match backend {
+        SweepBackend::LaneBatched => "lane",
+        SweepBackend::LaneBatchedListOrder => "list-order",
+        SweepBackend::PerFault => "per-fault",
+    }
+}
 
 /// Which fault population a job sweeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +233,15 @@ impl JobSpec {
                 Ok(())
             }
         }
+    }
+
+    /// FNV-1a digest over this job's fields alone — the identity the
+    /// daemon dedupes dynamic submissions by, and the pin that journal v2
+    /// dynamic-plan records carry alongside their catalog indices.
+    pub fn digest(&self) -> u64 {
+        let mut hasher = Fnv1a::new();
+        self.digest_into(&mut hasher);
+        hasher.finish()
     }
 
     /// Absorbs every field into `hasher`, with separators, so plans that
@@ -390,5 +447,24 @@ mod tests {
         assert_eq!(plan.jobs[2].algorithm, "March C-");
         assert_eq!(plan.jobs[4].seed, 2);
         assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn every_catalog_entry_resolves() {
+        // The wire-format catalogs must stay in lockstep with the actual
+        // resolvers: a name the catalogs promise but the library cannot
+        // build would brick journal v2 resume.
+        for name in algorithm_catalog() {
+            assert!(
+                algorithm_by_name(&name).is_some(),
+                "algorithm catalog entry {name:?} does not resolve"
+            );
+        }
+        for name in ORDER_CATALOG {
+            assert!(
+                order_by_name(name, 1).is_some(),
+                "order catalog entry {name:?} does not resolve"
+            );
+        }
     }
 }

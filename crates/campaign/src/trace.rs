@@ -1,0 +1,211 @@
+//! Arrival traces: recorded job streams for open-loop replay against the
+//! daemon.
+//!
+//! A trace is a text file of one submission per line,
+//!
+//! ```text
+//! offset_ms|name|ROWSxCOLS|seed|algorithm|order|background|backend|population
+//! ```
+//!
+//! where `offset_ms` is the arrival time relative to replay start and
+//! `name` is the spool submission name (also the tie-break order for
+//! same-offset arrivals, since the daemon scans the spool sorted by
+//! name). Blank lines and `#` comments are skipped. The tail after
+//! `name` is exactly the spool job-line body, so a trace line is a spool
+//! submission plus a timestamp.
+//!
+//! Replay is **open-loop**: arrivals happen at their recorded offsets
+//! whether or not the daemon keeps up — the point of the harness is to
+//! drive the daemon into overload and watch it shed, not to politely wait
+//! for it. This mirrors how committed serving traces (RAGPulse-style) are
+//! replayed against RAG serving stacks.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use crate::error::CampaignError;
+use crate::spec::JobSpec;
+use crate::spool::{parse_job_line, SpoolDir, SPOOL_JOB_MAGIC};
+
+/// One trace line: a job and when it arrives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Arrival offset from replay start, in milliseconds.
+    pub offset_ms: u64,
+    /// Spool submission name.
+    pub name: String,
+    /// The job to submit.
+    pub spec: JobSpec,
+}
+
+/// Parses a trace file's text. Events are returned sorted by
+/// `(offset_ms, name)`; a malformed line fails the whole parse (a trace
+/// is an artifact, not live input — half a trace is a different
+/// experiment).
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, CampaignError> {
+    let mut events = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |reason: String| CampaignError::InvalidJob {
+            job: index as u32,
+            reason: format!("trace line {}: {reason}", index + 1),
+        };
+        let (offset, rest) = line
+            .split_once('|')
+            .ok_or_else(|| bad("missing offset field".to_string()))?;
+        let offset_ms: u64 = offset
+            .parse()
+            .map_err(|_| bad(format!("bad offset \"{offset}\"")))?;
+        let (name, body) = rest
+            .split_once('|')
+            .ok_or_else(|| bad("missing name field".to_string()))?;
+        let spec = parse_job_line(&format!("{SPOOL_JOB_MAGIC}|{body}")).map_err(bad)?;
+        events.push(TraceEvent {
+            offset_ms,
+            name: name.to_string(),
+            spec,
+        });
+    }
+    events.sort_by(|a, b| (a.offset_ms, &a.name).cmp(&(b.offset_ms, &b.name)));
+    Ok(events)
+}
+
+/// Reads and parses a trace file.
+pub fn load_trace(path: &Path) -> Result<Vec<TraceEvent>, CampaignError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|error| CampaignError::io(format!("read trace {path:?}"), &error))?;
+    parse_trace(&text)
+}
+
+/// Replays `events` into `spool` open-loop: each submission is published
+/// at its recorded offset from `start`, regardless of whether earlier
+/// ones were answered. Returns the number of submissions published.
+///
+/// Call this from a dedicated thread (it sleeps between arrivals); the
+/// daemon's intake loop picks submissions up independently.
+pub fn replay_trace(
+    spool: &SpoolDir,
+    events: &[TraceEvent],
+    start: Instant,
+) -> Result<usize, CampaignError> {
+    replay_trace_injected(
+        spool,
+        events,
+        start,
+        &crate::faultpoint::FaultInjector::none(),
+    )
+}
+
+/// [`replay_trace`] with a fault injector: an event whose ordinal matches
+/// an armed [`crate::faultpoint::Injection::TornSpoolWrite`] is written
+/// as a torn `.tmp` (a client dying mid-submission) instead of being
+/// committed — the daemon must never see it. Returns the number of
+/// submissions actually committed.
+pub fn replay_trace_injected(
+    spool: &SpoolDir,
+    events: &[TraceEvent],
+    start: Instant,
+    injector: &crate::faultpoint::FaultInjector,
+) -> Result<usize, CampaignError> {
+    let mut committed = 0;
+    for (ordinal, event) in events.iter().enumerate() {
+        let due = start + Duration::from_millis(event.offset_ms);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        if injector.spool_torn(ordinal as u64) {
+            // Tear mid-line: roughly half the job line hits the disk.
+            let keep = crate::spool::render_job_line(&event.spec).len() / 2;
+            spool.submit_torn(&event.name, &event.spec, keep)?;
+        } else {
+            spool.submit(&event.name, &event.spec)?;
+            committed += 1;
+        }
+    }
+    Ok(committed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spool::render_job_line;
+    use march_test::coverage::SweepBackend;
+
+    fn spec(seed: u64) -> JobSpec {
+        JobSpec {
+            rows: 16,
+            cols: 16,
+            seed,
+            algorithm: "March C-".to_string(),
+            order: "linear".to_string(),
+            background: false,
+            backend: SweepBackend::LaneBatched,
+            population: crate::spec::PopulationSpec::Mixed { count: 32 },
+        }
+    }
+
+    fn trace_line(offset: u64, name: &str, seed: u64) -> String {
+        let body = render_job_line(&spec(seed));
+        let body = body.strip_prefix("CJOB1|").unwrap();
+        format!("{offset}|{name}|{body}")
+    }
+
+    #[test]
+    fn traces_parse_sorted_with_comments_skipped() {
+        let text = format!(
+            "# an overload burst\n\n{}\n{}\n{}\n",
+            trace_line(50, "0002", 3),
+            trace_line(0, "0001", 1),
+            trace_line(0, "0000", 2),
+        );
+        let events = parse_trace(&text).expect("parse");
+        assert_eq!(
+            events.iter().map(|e| e.name.as_str()).collect::<Vec<_>>(),
+            vec!["0000", "0001", "0002"],
+            "sorted by (offset, name)"
+        );
+        assert_eq!(events[0].spec, spec(2));
+        assert_eq!(events[2].offset_ms, 50);
+    }
+
+    #[test]
+    fn malformed_trace_lines_fail_the_parse() {
+        for line in [
+            "x|0000|16x16|1|March C-|linear|0|lane|standard",
+            "0|0000|16x16|1|March C-|linear|0|warp|standard",
+            "0",
+            "0|name-only",
+        ] {
+            let error = parse_trace(line).expect_err(line);
+            assert!(
+                matches!(error, CampaignError::InvalidJob { .. }),
+                "{line:?} -> {error:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_publishes_every_event() {
+        let dir = std::env::temp_dir().join(format!(
+            "campaign-trace-replay-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let spool = SpoolDir::open(&dir).expect("open");
+        let events = parse_trace(&format!(
+            "{}\n{}\n",
+            trace_line(0, "0000", 1),
+            trace_line(1, "0001", 2)
+        ))
+        .expect("parse");
+        let published = replay_trace(&spool, &events, Instant::now()).expect("replay");
+        assert_eq!(published, 2);
+        let scanned = spool.scan().expect("scan");
+        assert_eq!(scanned.len(), 2);
+        assert_eq!(scanned[0].spec, Ok(spec(1)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,178 @@
+//! Cross-version journal compatibility, pinned by a **committed byte
+//! fixture**: `tests/fixtures/v1_campaign.journal` was written by the
+//! v1 (static) wire code and checked into the repo. Every future build
+//! must keep resuming it — the fixture is the backstop against an
+//! accidental wire-format change that same-version round-trip tests
+//! cannot see. Regenerate (only after a *deliberate*, version-bumped
+//! format change) with:
+//!
+//! ```text
+//! cargo test -p campaign --test journal_compat -- --ignored regenerate
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use campaign::journal::{JobResult, Journal, JournalRecord};
+use campaign::{CampaignError, FaultInjector};
+
+/// The fixture's plan parameters, fixed forever: 3 jobs, an arbitrary
+/// but pinned digest.
+const FIXTURE_JOBS: u32 = 3;
+const FIXTURE_DIGEST: u64 = 0x5EED_CA3D_BEEF_F00D;
+
+fn fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/v1_campaign.journal")
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "campaign-compat-{tag}-{}-{unique}",
+        std::process::id()
+    ))
+}
+
+/// The fixture's record sequence: one of every v1 record kind, including
+/// a fail-then-complete retry arc and a quarantine.
+fn fixture_records() -> Vec<JournalRecord> {
+    vec![
+        JournalRecord::Completed {
+            job: 0,
+            attempt: 1,
+            result: JobResult {
+                detected: 96,
+                total: 128,
+                mismatches: 0,
+                digest: 0x0123_4567_89AB_CDEF,
+            },
+        },
+        JournalRecord::Failed {
+            job: 1,
+            attempt: 1,
+            message: "worker panicked: lane model".to_string(),
+        },
+        JournalRecord::Completed {
+            job: 1,
+            attempt: 2,
+            result: JobResult {
+                detected: 128,
+                total: 128,
+                mismatches: 2,
+                digest: 0xFEDC_BA98_7654_3210,
+            },
+        },
+        JournalRecord::Poisoned {
+            job: 2,
+            attempt: 3,
+            message: "poison: persistent failure".to_string(),
+        },
+    ]
+}
+
+/// Writes the fixture's journal (header + records) at `path` using the
+/// current wire code.
+fn write_fixture(path: &Path) {
+    let mut journal = Journal::create(path, FIXTURE_JOBS, FIXTURE_DIGEST).expect("create");
+    for record in fixture_records() {
+        journal
+            .append(&record, &FaultInjector::none())
+            .expect("append");
+    }
+}
+
+/// Copies the committed fixture to a temp path (resume opens read-write
+/// and takes the journal lock, so tests never open the fixture itself).
+fn fixture_copy(tag: &str) -> PathBuf {
+    let path = temp_path(tag);
+    std::fs::copy(fixture_path(), &path).expect("copy fixture");
+    path
+}
+
+#[test]
+fn committed_v1_fixture_still_resumes() {
+    let path = fixture_copy("resume");
+    let (_journal, replay) =
+        Journal::open_resume(&path, FIXTURE_JOBS, FIXTURE_DIGEST).expect("resume v1 fixture");
+    assert_eq!(replay.records, 4);
+    assert_eq!(replay.truncated_bytes, 0, "the fixture is a clean journal");
+    assert_eq!(replay.completed.len(), 2);
+    assert_eq!(replay.completed[&0].detected, 96);
+    assert_eq!(replay.completed[&1].mismatches, 2);
+    assert_eq!(
+        replay.poisoned.get(&2).map(String::as_str),
+        Some("poison: persistent failure")
+    );
+    assert!(replay.failed_attempts.is_empty(), "job 1's retry completed");
+    assert!(
+        replay.dynamic.is_empty(),
+        "a v1 journal has no dynamic jobs"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn v1_wire_encoding_has_not_drifted_from_the_fixture() {
+    // The current encoder, run over the fixture's inputs, must reproduce
+    // the committed bytes exactly. If this fails, the v1 wire format
+    // changed — that requires a version bump and a migration story, not
+    // a fixture update.
+    let path = temp_path("drift");
+    write_fixture(&path);
+    let fresh = std::fs::read(&path).expect("read fresh");
+    let committed = std::fs::read(fixture_path()).expect("read fixture");
+    assert_eq!(
+        fresh, committed,
+        "today's v1 encoder no longer reproduces the committed journal bytes"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn future_versions_fail_naming_both_supported_versions() {
+    // A journal from a future build (version 9) must be refused with an
+    // error that names the versions this build *can* read — both of
+    // them — so an operator knows which tool generation to reach for.
+    let path = fixture_copy("future");
+    let mut bytes = std::fs::read(&path).expect("read");
+    bytes[8..12].copy_from_slice(&9u32.to_le_bytes());
+    std::fs::write(&path, &bytes).expect("write");
+    match Journal::open_resume(&path, FIXTURE_JOBS, FIXTURE_DIGEST) {
+        Err(CampaignError::Corrupt { reason, .. }) => {
+            assert!(
+                reason.contains("unsupported journal version 9"),
+                "must name the offending version, got: {reason}"
+            );
+            assert!(
+                reason.contains("version 1 static"),
+                "must name the static version it reads, got: {reason}"
+            );
+            assert!(
+                reason.contains("version 2 dynamic"),
+                "must name the dynamic version it reads, got: {reason}"
+            );
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    // The same refusal (same wording) guards the dynamic resume path.
+    match Journal::open_resume_dynamic(&path) {
+        Err(CampaignError::Corrupt { reason, .. }) => {
+            assert!(
+                reason.contains("unsupported journal version 9"),
+                "got: {reason}"
+            );
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Maintainer tool, not a test: rewrites the committed fixture with the
+/// current encoder. Run only after a deliberate format change.
+#[test]
+#[ignore = "rewrites the committed fixture; run by hand after a deliberate format change"]
+fn regenerate_fixture() {
+    std::fs::create_dir_all(fixture_path().parent().expect("parent")).expect("mkdir");
+    write_fixture(&fixture_path());
+}

@@ -1,0 +1,127 @@
+//! Property tests for the spool's tmp+rename commit protocol.
+//!
+//! The protocol's two safety claims, each exercised exhaustively here:
+//! a torn `.tmp` file — truncated at *any* prefix length — is never
+//! picked up by a scan, and a reader racing a live writer never observes
+//! a half-written spec: every scanned submission parses back to exactly
+//! the bytes some writer committed.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use campaign::spec::{JobSpec, PopulationSpec};
+use campaign::spool::{render_job_line, SpoolDir};
+use march_test::coverage::SweepBackend;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "campaign-spool-{tag}-{}-{unique}",
+        std::process::id()
+    ))
+}
+
+fn spec(seed: u64) -> JobSpec {
+    JobSpec {
+        rows: 16,
+        cols: 16,
+        seed,
+        algorithm: "March C-".to_string(),
+        order: "pseudo-random".to_string(),
+        background: seed % 2 == 1,
+        backend: SweepBackend::LaneBatched,
+        population: PopulationSpec::Mixed {
+            count: 32 + seed as usize,
+        },
+    }
+}
+
+#[test]
+fn torn_tmp_prefixes_of_any_length_are_never_scanned() {
+    let dir = temp_dir("torn");
+    let spool = SpoolDir::open(&dir).expect("spool");
+    let line = render_job_line(&spec(7));
+    // One orphaned .tmp per possible prefix length, including empty and
+    // full — a client can die after any number of written bytes.
+    for keep in 0..=line.len() {
+        spool
+            .submit_torn(&format!("torn-{keep:03}"), &spec(7), keep)
+            .expect("torn submit");
+    }
+    assert!(
+        spool.scan().expect("scan").is_empty(),
+        "no torn .tmp prefix may ever be offered as a submission"
+    );
+    // A committed submission alongside the wreckage is still found.
+    spool.submit("alive", &spec(8)).expect("submit");
+    let scanned = spool.scan().expect("scan");
+    assert_eq!(scanned.len(), 1);
+    assert_eq!(scanned[0].name, "alive");
+    assert_eq!(scanned[0].spec, Ok(spec(8)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_reader_racing_live_writers_never_sees_a_half_written_spec() {
+    let dir = temp_dir("race");
+    let spool = SpoolDir::open(&dir).expect("spool");
+    const WRITERS: u64 = 4;
+    const PER_WRITER: u64 = 50;
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Writers publish distinct specs as fast as they can; each submit is
+    // a full tmp-write + rename cycle the reader can race.
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|writer| {
+            let spool = spool.clone();
+            std::thread::spawn(move || {
+                for index in 0..PER_WRITER {
+                    let seed = writer * PER_WRITER + index + 1;
+                    spool
+                        .submit(&format!("w{writer}-{index:03}"), &spec(seed))
+                        .expect("submit");
+                }
+            })
+        })
+        .collect();
+
+    // The reader scans continuously while the writers run. Every spec it
+    // observes must be complete and valid — `Err` (a parse failure)
+    // would mean a half-written file became visible.
+    let reader = {
+        let spool = spool.clone();
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut seen = BTreeSet::new();
+            while !done.load(Ordering::SeqCst) {
+                for submission in spool.scan().expect("scan") {
+                    let spec = submission
+                        .spec
+                        .unwrap_or_else(|reason| panic!("torn read observed: {reason}"));
+                    seen.insert(spec.seed);
+                }
+            }
+            seen
+        })
+    };
+
+    for writer in writers {
+        writer.join().expect("writer");
+    }
+    done.store(true, Ordering::SeqCst);
+    let seen = reader.join().expect("reader");
+    // Everything the reader did observe was one of the published seeds.
+    assert!(seen
+        .iter()
+        .all(|seed| (1..=WRITERS * PER_WRITER).contains(seed)));
+    // And a final scan (no race left) sees the full set, all parseable.
+    let mut final_seeds = BTreeSet::new();
+    for submission in spool.scan().expect("scan") {
+        final_seeds.insert(submission.spec.expect("committed spec").seed);
+    }
+    assert_eq!(final_seeds.len() as u64, WRITERS * PER_WRITER);
+    std::fs::remove_dir_all(&dir).ok();
+}
